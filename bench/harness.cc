@@ -1,0 +1,178 @@
+#include "harness.hh"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "common/log.hh"
+#include "reuse/reuse_cache.hh"
+
+namespace rc::bench
+{
+
+RunOptions
+parseArgs(int argc, char **argv)
+{
+    RunOptions opt;
+    for (int i = 1; i < argc; ++i) {
+        const char *arg = argv[i];
+        auto value = [&](const char *prefix) -> const char * {
+            const std::size_t n = std::strlen(prefix);
+            return std::strncmp(arg, prefix, n) == 0 ? arg + n : nullptr;
+        };
+        if (const char *v = value("--mixes=")) {
+            opt.mixCount = static_cast<std::uint32_t>(std::atoi(v));
+        } else if (const char *v = value("--scale=")) {
+            opt.scale = static_cast<std::uint32_t>(std::atoi(v));
+        } else if (const char *v = value("--warmup=")) {
+            opt.warmup = static_cast<Cycle>(std::atoll(v));
+        } else if (const char *v = value("--measure=")) {
+            opt.measure = static_cast<Cycle>(std::atoll(v));
+        } else if (const char *v = value("--seed=")) {
+            opt.seed = static_cast<std::uint64_t>(std::atoll(v));
+        } else if (std::strcmp(arg, "--full") == 0) {
+            opt.mixCount = 100;
+            opt.warmup = 5'000'000;
+            opt.measure = 20'000'000;
+        } else if (std::strcmp(arg, "--help") == 0) {
+            std::printf("flags: --mixes=N --scale=N --warmup=N "
+                        "--measure=N --seed=N --full\n");
+            std::exit(0);
+        } else {
+            fatal("unknown flag '%s' (try --help)", arg);
+        }
+    }
+    if (opt.mixCount == 0 || opt.scale == 0 || opt.measure == 0)
+        fatal("mixes, scale and measure must be positive");
+    return opt;
+}
+
+namespace
+{
+
+RunResult
+collect(Cmp &cmp)
+{
+    RunResult res;
+    res.aggregateIpc = cmp.aggregateIpc();
+    for (CoreId c = 0; c < cmp.numCores(); ++c) {
+        res.coreIpc.push_back(cmp.ipc(c));
+        res.mpki.push_back(cmp.measuredMpki(c));
+    }
+    const StatSet &llc = cmp.llc().stats();
+    res.llcAccesses = llc.lookup("accesses");
+    if (llc.has("tagMisses"))
+        res.llcMemFetches = llc.lookup("tagMisses");
+    if (const auto *reuse = dynamic_cast<const ReuseCache *>(&cmp.llc()))
+        res.fracNeverEnteredData = reuse->fractionNeverEnteredData();
+    res.dramReads = cmp.memory().totalReads();
+    return res;
+}
+
+} // namespace
+
+RunResult
+runMix(const SystemConfig &sys, const Mix &mix, const RunOptions &opt,
+       GenerationTracker *tracker, Cycle *win_start, Cycle *win_end)
+{
+    SystemConfig cfg = sys;
+    cfg.seed = opt.seed;
+    Cmp cmp(cfg, buildMixStreams(mix, opt.seed, opt.scale));
+    if (tracker)
+        cmp.llc().setObserver(tracker);
+    cmp.run(opt.warmup);
+    cmp.beginMeasurement();
+    if (win_start)
+        *win_start = cmp.now();
+    cmp.run(opt.measure);
+    if (win_end)
+        *win_end = cmp.now();
+    const RunResult res = collect(cmp);
+    if (tracker) {
+        // Cooldown: liveness is future knowledge ("will this line be
+        // hit again?"), so keep simulating past the reported window;
+        // otherwise every line looks dead near the window's end.
+        cmp.run(opt.measure / 2);
+        tracker->finalize(cmp.now());
+    }
+    return res;
+}
+
+RunResult
+runParallel(const SystemConfig &sys, const AppProfile &app,
+            const RunOptions &opt)
+{
+    SystemConfig cfg = sys;
+    cfg.seed = opt.seed;
+    Cmp cmp(cfg, buildParallelStreams(app, cfg.numCores, opt.seed,
+                                      opt.scale));
+    cmp.run(opt.warmup);
+    cmp.beginMeasurement();
+    cmp.run(opt.measure);
+    return collect(cmp);
+}
+
+std::vector<RunResult>
+runBaselineOverMixes(const SystemConfig &baseline,
+                     const std::vector<Mix> &mixes, const RunOptions &opt)
+{
+    std::vector<RunResult> results;
+    results.reserve(mixes.size());
+    for (const Mix &mix : mixes)
+        results.push_back(runMix(baseline, mix, opt));
+    return results;
+}
+
+SpeedupSummary
+compareAgainst(const SystemConfig &sys, const std::vector<Mix> &mixes,
+               const std::vector<RunResult> &baseline,
+               const RunOptions &opt)
+{
+    RC_ASSERT(mixes.size() == baseline.size(),
+              "baseline results do not match the mix list");
+    SpeedupSummary s;
+    s.perMix.reserve(mixes.size());
+    for (std::size_t i = 0; i < mixes.size(); ++i) {
+        const RunResult r = runMix(sys, mixes[i], opt);
+        const double ratio = baseline[i].aggregateIpc > 0.0
+            ? r.aggregateIpc / baseline[i].aggregateIpc
+            : 0.0;
+        s.perMix.push_back(ratio);
+    }
+    double sum = 0.0;
+    s.min = s.perMix.empty() ? 0.0 : s.perMix.front();
+    s.max = s.min;
+    for (double v : s.perMix) {
+        sum += v;
+        s.min = std::min(s.min, v);
+        s.max = std::max(s.max, v);
+    }
+    s.mean = s.perMix.empty() ? 0.0
+                              : sum / static_cast<double>(s.perMix.size());
+    return s;
+}
+
+SpeedupSummary
+compareOverMixes(const SystemConfig &sys, const SystemConfig &baseline,
+                 const std::vector<Mix> &mixes, const RunOptions &opt)
+{
+    return compareAgainst(sys, mixes,
+                          runBaselineOverMixes(baseline, mixes, opt), opt);
+}
+
+void
+printHeader(const std::string &artifact, const std::string &claim,
+            const RunOptions &opt)
+{
+    std::printf("== %s ==\n", artifact.c_str());
+    std::printf("paper: %s\n", claim.c_str());
+    std::printf("settings: %u mixes, scale 1/%u, warmup %llu, "
+                "measure %llu cycles, seed %llu\n",
+                opt.mixCount, opt.scale,
+                static_cast<unsigned long long>(opt.warmup),
+                static_cast<unsigned long long>(opt.measure),
+                static_cast<unsigned long long>(opt.seed));
+    std::fflush(stdout);
+}
+
+} // namespace rc::bench

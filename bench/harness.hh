@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Shared benchmark harness: option parsing, simulation runners and
+ * speedup aggregation used by every per-figure/per-table bench binary.
+ *
+ * Common flags (all optional):
+ *   --mixes=N     multiprogrammed workloads per experiment (default 5)
+ *   --scale=N     capacity divisor, 1 = paper-size caches (default 8)
+ *   --warmup=N    warmup cycles (default 3M)
+ *   --measure=N   measured cycles (default 12M; the data arrays need
+ *                 several fill times to reach steady state)
+ *   --seed=N      base RNG seed (default 42)
+ *   --full        paper-strength settings (100 mixes, longer windows)
+ */
+
+#ifndef RC_BENCH_HARNESS_HH
+#define RC_BENCH_HARNESS_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "analysis/liveness.hh"
+#include "sim/cmp.hh"
+#include "workloads/mixes.hh"
+#include "workloads/parallel.hh"
+
+namespace rc::bench
+{
+
+/** Harness options shared by every bench. */
+struct RunOptions
+{
+    std::uint32_t scale = 8;
+    Cycle warmup = 3'000'000;
+    Cycle measure = 12'000'000;
+    std::uint32_t mixCount = 5;
+    std::uint64_t seed = 42;
+
+    /** Sampling period for liveness series (cycles). */
+    Cycle samplePeriod = 20'000;
+};
+
+/** Parse the common flags; unknown flags abort with a usage message. */
+RunOptions parseArgs(int argc, char **argv);
+
+/** Results of one simulation run. */
+struct RunResult
+{
+    double aggregateIpc = 0.0;
+    std::vector<double> coreIpc;
+    std::vector<MpkiTriple> mpki;
+    double fracNeverEnteredData = -1.0; //!< reuse cache only
+    Counter llcAccesses = 0;
+    Counter llcMemFetches = 0;
+    Counter dramReads = 0;
+};
+
+/**
+ * Simulate one multiprogrammed mix on one system configuration.
+ * @param tracker optional generation tracker attached for the whole run;
+ *        the harness finalizes it and reports the measurement window via
+ *        win_start/win_end.
+ */
+RunResult runMix(const SystemConfig &sys, const Mix &mix,
+                 const RunOptions &opt,
+                 GenerationTracker *tracker = nullptr,
+                 Cycle *win_start = nullptr, Cycle *win_end = nullptr);
+
+/** Simulate one parallel application on one system configuration. */
+RunResult runParallel(const SystemConfig &sys, const AppProfile &app,
+                      const RunOptions &opt);
+
+/**
+ * Mean speedup of @p sys over @p baseline across @p mixes
+ * (per-mix aggregate-IPC ratios).
+ */
+struct SpeedupSummary
+{
+    double mean = 0.0;
+    double min = 0.0;
+    double max = 0.0;
+    std::vector<double> perMix; //!< one ratio per mix
+};
+
+/** Run both systems over every mix and summarize the ratios. */
+SpeedupSummary compareOverMixes(const SystemConfig &sys,
+                                const SystemConfig &baseline,
+                                const std::vector<Mix> &mixes,
+                                const RunOptions &opt);
+
+/**
+ * Baseline results cache: benches comparing many configurations against
+ * the same baseline reuse one result set.
+ */
+std::vector<RunResult> runBaselineOverMixes(const SystemConfig &baseline,
+                                            const std::vector<Mix> &mixes,
+                                            const RunOptions &opt);
+
+/** Speedups of @p sys against precomputed baseline results. */
+SpeedupSummary compareAgainst(const SystemConfig &sys,
+                              const std::vector<Mix> &mixes,
+                              const std::vector<RunResult> &baseline,
+                              const RunOptions &opt);
+
+/** Standard experiment preamble: prints what is being reproduced. */
+void printHeader(const std::string &artifact, const std::string &claim,
+                 const RunOptions &opt);
+
+} // namespace rc::bench
+
+#endif // RC_BENCH_HARNESS_HH

@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Downsizing study: the paper's headline experiment in miniature.
+ *
+ * Sweeps the reuse-cache data array from 4 MB down to 512 KB (paper
+ * scale) against the conventional 8 MB baseline on a few random
+ * multiprogrammed mixes, and prints speedups next to the storage cost of
+ * each configuration - reproducing the "RC-4/1 matches an 8 MB
+ * conventional cache with 16.7% of the storage" story.
+ *
+ * Usage: downsizing_study [num_mixes] [scale]
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+
+#include "common/table.hh"
+#include "model/cost_model.hh"
+#include "sim/cmp.hh"
+#include "workloads/mixes.hh"
+
+namespace
+{
+
+double
+runIpc(const rc::SystemConfig &sys, const rc::Mix &mix, std::uint32_t scale)
+{
+    rc::Cmp cmp(sys, rc::buildMixStreams(mix, 42, scale));
+    cmp.run(3'000'000);
+    cmp.beginMeasurement();
+    cmp.run(10'000'000);
+    return cmp.aggregateIpc();
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const auto num_mixes = static_cast<std::uint32_t>(
+        argc > 1 ? std::atoi(argv[1]) : 4);
+    const auto scale = static_cast<std::uint32_t>(
+        argc > 2 ? std::atoi(argv[2]) : 8);
+    constexpr std::uint64_t MiB = 1ull << 20;
+
+    const auto mixes = rc::makeMixes(num_mixes, 8, 7);
+
+    std::printf("Simulating %u mixes at capacity scale 1/%u "
+                "(sizes below are paper-equivalent)...\n",
+                num_mixes, scale);
+
+    std::vector<double> base;
+    for (const auto &mix : mixes)
+        base.push_back(runIpc(rc::baselineSystem(scale), mix, scale));
+
+    const double conv_kbits =
+        rc::conventionalCost(8 * MiB, 16).totalKbits();
+
+    struct Config
+    {
+        const char *name;
+        double tagMbeq;
+        double dataMb;
+    };
+    const Config configs[] = {
+        {"RC-8/4", 8, 4}, {"RC-8/2", 8, 2}, {"RC-8/1", 8, 1},
+        {"RC-4/1", 4, 1}, {"RC-4/0.5", 4, 0.5},
+    };
+
+    rc::Table table("Reuse-cache downsizing vs conventional 8 MB LRU");
+    table.header({"config", "speedup", "storage (Kbits)", "vs conv 8MB"});
+    table.row({"conv-8MB", "1.000", rc::fmtInt(static_cast<std::uint64_t>(
+                                        conv_kbits)), "100%"});
+    for (const Config &c : configs) {
+        double sum = 0.0;
+        for (std::size_t i = 0; i < mixes.size(); ++i) {
+            const rc::SystemConfig sys =
+                rc::reuseSystem(c.tagMbeq, c.dataMb, 0, scale);
+            sum += runIpc(sys, mixes[i], scale) / base[i];
+        }
+        const double cost = rc::reuseCost(
+            static_cast<std::uint64_t>(c.tagMbeq * MiB), 16,
+            static_cast<std::uint64_t>(c.dataMb * MiB), 0).totalKbits();
+        table.row({c.name,
+                   rc::fmtDouble(sum / static_cast<double>(mixes.size())),
+                   rc::fmtInt(static_cast<std::uint64_t>(cost)),
+                   rc::fmtPercent(cost / conv_kbits)});
+        std::printf("  %s done\n", c.name);
+    }
+    table.print(std::cout);
+    return 0;
+}

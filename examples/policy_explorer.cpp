@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Policy explorer: compare SLLC replacement policies on a conventional
+ * cache (the Section 5.5 comparison, interactively sized).
+ *
+ * Usage: policy_explorer [mb] [num_mixes]
+ *   mb         conventional cache size in paper-equivalent MB (default 8)
+ *   num_mixes  workloads to average over (default 4)
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+
+#include "common/table.hh"
+#include "sim/cmp.hh"
+#include "workloads/mixes.hh"
+
+namespace
+{
+
+constexpr std::uint32_t scale = 8;
+
+double
+runIpc(const rc::SystemConfig &sys, const rc::Mix &mix)
+{
+    rc::Cmp cmp(sys, rc::buildMixStreams(mix, 42, scale));
+    cmp.run(3'000'000);
+    cmp.beginMeasurement();
+    cmp.run(10'000'000);
+    return cmp.aggregateIpc();
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const double mb = argc > 1 ? std::atof(argv[1]) : 8.0;
+    const auto num_mixes = static_cast<std::uint32_t>(
+        argc > 2 ? std::atoi(argv[2]) : 4);
+
+    const auto mixes = rc::makeMixes(num_mixes, 8, 7);
+    std::printf("Comparing replacement policies on a %.3g MB "
+                "conventional SLLC (%u mixes)...\n", mb, num_mixes);
+
+    std::vector<double> base;
+    for (const auto &mix : mixes)
+        base.push_back(
+            runIpc(rc::conventionalSystem(mb, rc::ReplKind::LRU, scale),
+                   mix));
+
+    rc::Table table("Replacement policies vs LRU");
+    table.header({"policy", "mean speedup", "min", "max"});
+    table.row({"LRU", "1.000", "-", "-"});
+    for (rc::ReplKind kind :
+         {rc::ReplKind::NRU, rc::ReplKind::Random, rc::ReplKind::SRRIP,
+          rc::ReplKind::BRRIP, rc::ReplKind::DRRIP, rc::ReplKind::NRR}) {
+        double sum = 0.0, mn = 1e9, mx = 0.0;
+        for (std::size_t i = 0; i < mixes.size(); ++i) {
+            const double r =
+                runIpc(rc::conventionalSystem(mb, kind, scale),
+                       mixes[i]) / base[i];
+            sum += r;
+            mn = std::min(mn, r);
+            mx = std::max(mx, r);
+        }
+        table.row({rc::toString(kind),
+                   rc::fmtDouble(sum / static_cast<double>(mixes.size())),
+                   rc::fmtDouble(mn), rc::fmtDouble(mx)});
+        std::printf("  %s done\n", rc::toString(kind));
+    }
+    table.print(std::cout);
+    return 0;
+}

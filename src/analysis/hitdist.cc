@@ -1,0 +1,59 @@
+#include "analysis/hitdist.hh"
+
+#include <algorithm>
+
+#include "common/log.hh"
+
+namespace rc
+{
+
+HitDistribution
+hitDistribution(const std::vector<GenRecord> &records,
+                std::uint32_t num_groups)
+{
+    RC_ASSERT(num_groups > 0, "need at least one group");
+
+    HitDistribution dist;
+    dist.generations = records.size();
+    if (records.empty())
+        return dist;
+
+    std::vector<std::uint32_t> hits;
+    hits.reserve(records.size());
+    std::uint64_t useful = 0;
+    for (const GenRecord &g : records) {
+        hits.push_back(g.hits);
+        dist.totalHits += g.hits;
+        useful += g.hits > 0;
+    }
+    dist.usefulFraction =
+        static_cast<double>(useful) / static_cast<double>(records.size());
+
+    std::sort(hits.begin(), hits.end(), std::greater<>());
+
+    dist.groups.resize(num_groups);
+    const double group_size =
+        static_cast<double>(hits.size()) / num_groups;
+    for (std::uint32_t g = 0; g < num_groups; ++g) {
+        const auto begin = static_cast<std::size_t>(g * group_size);
+        auto end = static_cast<std::size_t>((g + 1) * group_size);
+        if (g + 1 == num_groups)
+            end = hits.size();
+        if (end <= begin) {
+            dist.groups[g] = HitGroup{};
+            continue;
+        }
+        std::uint64_t sum = 0;
+        for (std::size_t i = begin; i < end; ++i)
+            sum += hits[i];
+        dist.groups[g].hitShare = dist.totalHits
+            ? static_cast<double>(sum) /
+                  static_cast<double>(dist.totalHits)
+            : 0.0;
+        dist.groups[g].avgHits =
+            static_cast<double>(sum) / static_cast<double>(end - begin);
+    }
+    return dist;
+}
+
+} // namespace rc

@@ -1,0 +1,128 @@
+#include "analysis/liveness.hh"
+
+#include <algorithm>
+
+#include "common/log.hh"
+
+namespace rc
+{
+
+void
+GenerationTracker::onDataFill(Addr line_addr, Cycle now)
+{
+    const Addr line = lineAlign(line_addr);
+    auto [it, inserted] = resident.try_emplace(line);
+    if (!inserted) {
+        // Defensive: a fill over an open generation closes the old one.
+        GenRecord old = it->second;
+        old.evict = now;
+        done.push_back(old);
+        it->second = GenRecord{};
+    }
+    it->second.fill = now;
+    it->second.lastHit = now;
+    it->second.hits = 0;
+}
+
+void
+GenerationTracker::onDataHit(Addr line_addr, Cycle now)
+{
+    const Addr line = lineAlign(line_addr);
+    auto it = resident.find(line);
+    if (it == resident.end()) {
+        // Line resident before the tracker attached: open an implicit
+        // generation starting now.
+        it = resident.try_emplace(line).first;
+        it->second.fill = now;
+    }
+    it->second.lastHit = now;
+    ++it->second.hits;
+    ++hitsSeen;
+}
+
+void
+GenerationTracker::onDataEvict(Addr line_addr, Cycle now)
+{
+    const Addr line = lineAlign(line_addr);
+    auto it = resident.find(line);
+    if (it == resident.end())
+        return; // resident since before the tracker attached, never hit
+    GenRecord rec = it->second;
+    rec.evict = now;
+    resident.erase(it);
+    done.push_back(rec);
+}
+
+void
+GenerationTracker::finalize(Cycle end)
+{
+    for (auto &[line, rec] : resident) {
+        (void)line;
+        GenRecord closed = rec;
+        closed.evict = end;
+        done.push_back(closed);
+    }
+    resident.clear();
+}
+
+LiveSeries
+computeLiveSeries(const std::vector<GenRecord> &records, Cycle start,
+                  Cycle end, Cycle period, std::uint64_t capacity_lines)
+{
+    RC_ASSERT(period > 0, "sampling period must be positive");
+    RC_ASSERT(end > start, "empty observation window");
+    RC_ASSERT(capacity_lines > 0, "capacity must be positive");
+
+    const std::size_t samples =
+        static_cast<std::size_t>((end - start) / period);
+    LiveSeries series;
+    series.start = start;
+    series.period = period;
+    series.fraction.assign(samples, 0.0);
+    if (samples == 0)
+        return series;
+
+    // Difference array over sample bins: a generation is live on samples
+    // in [fill, lastHit).
+    std::vector<std::int64_t> diff(samples + 1, 0);
+    auto bin_of = [&](Cycle t) -> std::int64_t {
+        if (t <= start)
+            return 0;
+        const Cycle rel = t - start;
+        const auto b = static_cast<std::int64_t>((rel + period - 1) /
+                                                 period);
+        return std::min<std::int64_t>(b, static_cast<std::int64_t>(samples));
+    };
+
+    for (const GenRecord &g : records) {
+        if (g.hits == 0 || g.lastHit <= start || g.fill >= end)
+            continue;
+        const std::int64_t b0 = bin_of(g.fill);
+        const std::int64_t b1 = bin_of(g.lastHit);
+        if (b1 <= b0)
+            continue;
+        ++diff[static_cast<std::size_t>(b0)];
+        --diff[static_cast<std::size_t>(b1)];
+    }
+
+    std::int64_t live = 0;
+    double sum = 0.0;
+    for (std::size_t s = 0; s < samples; ++s) {
+        live += diff[s];
+        series.fraction[s] =
+            static_cast<double>(live) / static_cast<double>(capacity_lines);
+        sum += series.fraction[s];
+    }
+    series.mean = sum / static_cast<double>(samples);
+    return series;
+}
+
+double
+averageLiveFraction(const std::vector<GenRecord> &records, Cycle start,
+                    Cycle end, Cycle period, std::uint64_t capacity_lines)
+{
+    return computeLiveSeries(records, start, end, period,
+                             capacity_lines).mean;
+}
+
+} // namespace rc

@@ -1,0 +1,294 @@
+#include "cache/conventional_llc.hh"
+
+#include <cstdio>
+
+#include "common/log.hh"
+
+namespace rc
+{
+
+ConventionalLlc::ConventionalLlc(const ConvLlcConfig &cfg_, MemCtrl &mem_)
+    : cfg(cfg_),
+      geom(CacheGeometry::fromBytes(cfg_.capacityBytes, cfg_.ways)),
+      entries(geom.numLines()),
+      repl(makeReplacement(cfg_.repl, geom.numSets(), geom.numWays(),
+                           cfg_.numCores, cfg_.seed)),
+      mem(mem_),
+      statSet(cfg_.name),
+      accesses(statSet.add("accesses", "demand requests received")),
+      dataHits(statSet.add("dataHits", "requests served by the data array")),
+      tagMisses(statSet.add("tagMisses", "requests missing the tag array")),
+      upgradeReqs(statSet.add("upgrades", "UPG requests received")),
+      interventions(statSet.add("interventions",
+                                "requests served by a private owner")),
+      invalidationsSent(statSet.add("invalidationsSent",
+                                    "private copies invalidated (GETX/UPG)")),
+      inclusionRecalls(statSet.add("inclusionRecalls",
+                                   "victims recalled from private caches")),
+      dirtyWritebacks(statSet.add("dirtyWritebacks",
+                                  "dirty lines written to memory")),
+      coreAccesses(cfg_.numCores, 0),
+      coreMisses(cfg_.numCores, 0)
+{
+    RC_ASSERT(cfg.numCores > 0 && cfg.numCores <= 32,
+              "full-map directory supports 1..32 cores");
+}
+
+ConventionalLlc::Entry *
+ConventionalLlc::find(Addr line_addr)
+{
+    const std::uint64_t set = geom.setIndex(line_addr);
+    const std::uint64_t tag = geom.tagOf(line_addr);
+    const std::uint64_t base = set * geom.numWays();
+    for (std::uint32_t w = 0; w < geom.numWays(); ++w) {
+        Entry &e = entries[base + w];
+        if (e.state != LlcState::I && e.tag == tag)
+            return &e;
+    }
+    return nullptr;
+}
+
+const ConventionalLlc::Entry *
+ConventionalLlc::find(Addr line_addr) const
+{
+    return const_cast<ConventionalLlc *>(this)->find(line_addr);
+}
+
+void
+ConventionalLlc::evictEntry(std::uint64_t set, std::uint32_t way, Cycle now)
+{
+    Entry &e = entries[set * geom.numWays() + way];
+    RC_ASSERT(e.state != LlcState::I, "evicting an invalid entry");
+    const Addr line = geom.lineAddr(e.tag, set);
+
+    ProtoInput in{e.state, ProtoEvent::TagRepl, e.dir.hasOwner(), false};
+    const ProtoResult res = protocolTransition(in);
+    RC_ASSERT(res.legal, "TagRepl illegal in state %s", toString(e.state));
+
+    bool dirty_recalled = false;
+    if ((res.actions & ActRecallSharers) && !e.dir.empty()) {
+        RC_ASSERT(recaller, "no recall handler installed");
+        dirty_recalled = recaller->recall(line, e.dir.presenceMask());
+        ++inclusionRecalls;
+    }
+    if (res.actions & ActWriteMemData) {
+        mem.writeLine(line, now);
+        ++dirtyWritebacks;
+    }
+    if ((res.actions & ActWriteMemPut) && dirty_recalled) {
+        mem.writeLine(line, now);
+        ++dirtyWritebacks;
+    }
+
+    if (watcher)
+        watcher->onDataEvict(line, now);
+
+    e.state = LlcState::I;
+    e.dir.clear();
+    repl->onInvalidate(set, way);
+}
+
+std::uint32_t
+ConventionalLlc::allocateWay(Addr line_addr, const LlcRequest &req)
+{
+    const std::uint64_t set = geom.setIndex(line_addr);
+    const std::uint64_t base = set * geom.numWays();
+
+    for (std::uint32_t w = 0; w < geom.numWays(); ++w) {
+        if (entries[base + w].state == LlcState::I)
+            return w;
+    }
+
+    VictimQuery q;
+    q.core = req.core;
+    for (std::uint32_t w = 0; w < geom.numWays() && w < 64; ++w) {
+        if (!entries[base + w].dir.empty())
+            q.avoidMask |= std::uint64_t{1} << w;
+    }
+    const std::uint32_t w = repl->victim(set, q);
+    RC_ASSERT(w < geom.numWays(), "victim way out of range");
+    evictEntry(set, w, req.now);
+    return w;
+}
+
+LlcResponse
+ConventionalLlc::request(const LlcRequest &req)
+{
+    const Addr line = lineAlign(req.lineAddr);
+    ++accesses;
+    ++coreAccesses[req.core % coreAccesses.size()];
+    if (req.event == ProtoEvent::UPG)
+        ++upgradeReqs;
+
+    const std::uint64_t set = geom.setIndex(line);
+    Entry *entry = find(line);
+
+    const bool owner_valid = entry && entry->dir.hasOwner();
+    RC_ASSERT(!owner_valid || entry->dir.owner() != req.core,
+              "owner cannot request its own line at the SLLC");
+
+    ProtoInput in;
+    in.state = entry ? entry->state : LlcState::I;
+    in.event = req.event;
+    in.ownerValid = owner_valid;
+    in.selectiveAlloc = false;
+    // Conventional caches always allocate data; prefetch priority is
+    // handled below at insertion/promotion time.
+    const ProtoResult res = protocolTransition(in);
+    RC_ASSERT(res.legal, "%s illegal in state %s",
+              toString(req.event), toString(in.state));
+
+    LlcResponse resp;
+    resp.tagHit = entry != nullptr;
+    Cycle done = req.now + cfg.tagLatency;
+
+    if (res.actions & ActDataHit) {
+        done += cfg.dataLatency;
+        resp.dataHit = true;
+        ++dataHits;
+        if (watcher)
+            watcher->onDataHit(line, req.now);
+    }
+
+    if (res.actions & ActFetchOwner) {
+        RC_ASSERT(recaller && entry, "intervention needs owner context");
+        done += cfg.interventionLatency;
+        ++interventions;
+        if (req.event == ProtoEvent::GETS) {
+            // Read intervention: the owner keeps a shared clean copy.
+            recaller->downgrade(line,
+                                1u << entry->dir.owner());
+        }
+        // For GETX the InvSharers recall below retrieves the dirty data
+        // while invalidating the old owner.
+    }
+
+    if (res.actions & ActInvSharers) {
+        RC_ASSERT(entry, "invalidation needs a directory entry");
+        const std::uint32_t mask = entry->dir.othersMask(req.core);
+        if (mask) {
+            RC_ASSERT(recaller, "no recall handler installed");
+            recaller->recall(line, mask);
+            invalidationsSent += __builtin_popcount(mask);
+            for (CoreId c = 0; c < cfg.numCores; ++c) {
+                if (mask & (1u << c))
+                    entry->dir.removeSharer(c);
+            }
+        }
+    }
+
+    if (res.actions & ActFetchMem) {
+        // Conventional caches only fetch on a tag miss.
+        done = mem.readLine(line, req.now + cfg.tagLatency);
+        resp.memFetched = true;
+        ++tagMisses;
+        ++coreMisses[req.core % coreMisses.size()];
+    }
+
+    if (entry) {
+        // Hit path: update state, directory and recency.
+        entry->state = res.next;
+        if (res.actions & ActClearOwner)
+            entry->dir.clearOwner();
+        if (res.actions & ActFillPrivate)
+            entry->dir.addSharer(req.core);
+        if (res.actions & ActSetOwner)
+            entry->dir.setOwner(req.core);
+        std::uint32_t way = 0;
+        const std::uint64_t base = set * geom.numWays();
+        for (std::uint32_t w = 0; w < geom.numWays(); ++w) {
+            if (&entries[base + w] == entry) {
+                way = w;
+                break;
+            }
+        }
+        if (!req.prefetch)
+            repl->onHit(set, way, ReplAccess{req.core, false, false});
+    } else {
+        RC_ASSERT(res.actions & ActAllocTag, "miss without tag allocation");
+        const std::uint32_t way = allocateWay(line, req);
+        Entry &e = entries[set * geom.numWays() + way];
+        e.tag = geom.tagOf(line);
+        e.state = res.next;
+        e.dir.clear();
+        if (res.actions & ActFillPrivate)
+            e.dir.addSharer(req.core);
+        if (res.actions & ActSetOwner)
+            e.dir.setOwner(req.core);
+        // Prefetched fills enter at the lowest priority [Srinath+07,
+        // Wu+11]; with LRU that is the LRU position.
+        repl->onFill(set, way, ReplAccess{req.core, true, req.prefetch});
+        if ((res.actions & ActAllocData) && watcher)
+            watcher->onDataFill(line, req.now);
+    }
+
+    resp.doneAt = done;
+    return resp;
+}
+
+void
+ConventionalLlc::evictNotify(Addr line_addr, CoreId core, bool dirty,
+                             Cycle now)
+{
+    const Addr line = lineAlign(line_addr);
+    Entry *entry = find(line);
+    RC_ASSERT(entry, "eviction notification for a non-resident line "
+              "(inclusion violated)");
+
+    ProtoInput in;
+    in.state = entry->state;
+    in.event = dirty ? ProtoEvent::PUTX : ProtoEvent::PUTS;
+    in.ownerValid = entry->dir.hasOwner();
+    in.selectiveAlloc = false;
+    const ProtoResult res = protocolTransition(in);
+    RC_ASSERT(res.legal, "%s illegal in state %s",
+              toString(in.event), toString(in.state));
+
+    if (res.actions & ActWriteMemPut) {
+        mem.writeLine(line, now);
+        ++dirtyWritebacks;
+    }
+    entry->state = res.next;
+    if (res.actions & ActClearOwner)
+        entry->dir.clearOwner();
+    entry->dir.removeSharer(core);
+}
+
+Counter
+ConventionalLlc::missesBy(CoreId core) const
+{
+    return coreMisses[core % coreMisses.size()];
+}
+
+Counter
+ConventionalLlc::accessesBy(CoreId core) const
+{
+    return coreAccesses[core % coreAccesses.size()];
+}
+
+std::string
+ConventionalLlc::describe() const
+{
+    const double mb =
+        static_cast<double>(cfg.capacityBytes) / (1024.0 * 1024.0);
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "conv-%.3gMB-%s", mb,
+                  toString(cfg.repl));
+    return buf;
+}
+
+LlcState
+ConventionalLlc::stateOf(Addr line_addr) const
+{
+    const Entry *e = find(lineAlign(line_addr));
+    return e ? e->state : LlcState::I;
+}
+
+const DirectoryEntry *
+ConventionalLlc::dirOf(Addr line_addr) const
+{
+    const Entry *e = find(lineAlign(line_addr));
+    return e ? &e->dir : nullptr;
+}
+
+} // namespace rc

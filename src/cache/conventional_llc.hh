@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Conventional inclusive SLLC: the paper's baseline (Table 4).
+ *
+ * Tag and data are coupled one-to-one, every miss allocates both
+ * (non-selective allocation), and a full-map directory keeps the private
+ * levels coherent.  Replacement is pluggable: LRU for the baseline,
+ * TA-DRRIP and NRR for the Section 5.5 comparisons.
+ */
+
+#ifndef RC_CACHE_CONVENTIONAL_LLC_HH
+#define RC_CACHE_CONVENTIONAL_LLC_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cache/geometry.hh"
+#include "cache/llc_iface.hh"
+#include "cache/replacement.hh"
+#include "coherence/directory.hh"
+#include "mem/memctrl.hh"
+
+namespace rc
+{
+
+/** Conventional SLLC configuration. */
+struct ConvLlcConfig
+{
+    std::uint64_t capacityBytes = 8ull << 20; //!< 8 MB baseline
+    std::uint32_t ways = 16;
+    ReplKind repl = ReplKind::LRU;
+    std::uint32_t numCores = 8;
+    Cycle tagLatency = 2;          //!< serial tag-array portion
+    Cycle dataLatency = 8;         //!< data-array portion (hit = tag+data)
+    Cycle interventionLatency = 14; //!< fetch from a private owner
+    std::uint64_t seed = 1;
+    std::string name = "llc";
+};
+
+/** The baseline inclusive SLLC. */
+class ConventionalLlc : public Sllc
+{
+  public:
+    /**
+     * @param cfg geometry, policy and latencies.
+     * @param mem memory controller servicing misses (not owned).
+     */
+    ConventionalLlc(const ConvLlcConfig &cfg, MemCtrl &mem);
+
+    LlcResponse request(const LlcRequest &req) override;
+    void evictNotify(Addr line_addr, CoreId core, bool dirty,
+                     Cycle now) override;
+    void setRecallHandler(RecallHandler *handler) override { recaller = handler; }
+    void setObserver(LlcObserver *observer) override { watcher = observer; }
+    const StatSet &stats() const override { return statSet; }
+    Counter missesBy(CoreId core) const override;
+    Counter accessesBy(CoreId core) const override;
+    std::string describe() const override;
+
+    /** Directory/state of a resident line (tests); I when absent. */
+    LlcState stateOf(Addr line_addr) const;
+
+    /** Directory entry of a resident line (tests); nullptr when absent. */
+    const DirectoryEntry *dirOf(Addr line_addr) const;
+
+    /** Geometry in force. */
+    const CacheGeometry &geometry() const { return geom; }
+
+  private:
+    struct Entry
+    {
+        std::uint64_t tag = 0;
+        LlcState state = LlcState::I;
+        DirectoryEntry dir;
+    };
+
+    Entry *find(Addr line_addr);
+    const Entry *find(Addr line_addr) const;
+    std::uint32_t allocateWay(Addr line_addr, const LlcRequest &req);
+    void evictEntry(std::uint64_t set, std::uint32_t way, Cycle now);
+
+    ConvLlcConfig cfg;
+    CacheGeometry geom;
+    std::vector<Entry> entries;
+    std::unique_ptr<ReplacementPolicy> repl;
+    MemCtrl &mem;
+    RecallHandler *recaller = nullptr;
+    LlcObserver *watcher = nullptr;
+
+    StatSet statSet;
+    Counter &accesses;
+    Counter &dataHits;
+    Counter &tagMisses;
+    Counter &upgradeReqs;
+    Counter &interventions;
+    Counter &invalidationsSent;
+    Counter &inclusionRecalls;
+    Counter &dirtyWritebacks;
+    std::vector<Counter> coreAccesses;
+    std::vector<Counter> coreMisses;
+};
+
+} // namespace rc
+
+#endif // RC_CACHE_CONVENTIONAL_LLC_HH

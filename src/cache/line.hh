@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Coherence state enums shared by the private caches and SLLC models.
+ */
+
+#ifndef RC_CACHE_LINE_HH
+#define RC_CACHE_LINE_HH
+
+#include <cstdint>
+
+namespace rc
+{
+
+/**
+ * Private-cache (L1/L2) line state: plain MSI as seen from the core side.
+ */
+enum class PrivState : std::uint8_t {
+    I,  //!< invalid / not present
+    S,  //!< readable, clean with respect to the SLLC
+    M,  //!< writable; may be dirty with respect to the SLLC
+};
+
+/**
+ * SLLC directory-side stable state (TO-MSI of paper Fig. 3 / Table 1).
+ *
+ * I  - not present (no tag).
+ * S  - tag + data present, data clean with respect to memory.
+ * M  - tag + data present, data dirty with respect to memory.
+ * TO - tag only, no data at the SLLC.  Memory is up to date unless a
+ *      private owner holds a modified copy (ownership is tracked
+ *      orthogonally by the directory entry).
+ *
+ * A conventional cache never uses TO.
+ */
+enum class LlcState : std::uint8_t {
+    I,
+    S,
+    M,
+    TO,
+};
+
+/** @return true iff the SLLC data array holds this line. */
+constexpr bool
+llcHasData(LlcState s)
+{
+    return s == LlcState::S || s == LlcState::M;
+}
+
+/** @return true iff the SLLC data copy is dirty with respect to memory. */
+constexpr bool
+llcDataDirty(LlcState s)
+{
+    return s == LlcState::M;
+}
+
+/** Human-readable state name. */
+constexpr const char *
+toString(LlcState s)
+{
+    switch (s) {
+      case LlcState::I: return "I";
+      case LlcState::S: return "S";
+      case LlcState::M: return "M";
+      case LlcState::TO: return "TO";
+    }
+    return "?";
+}
+
+/** Human-readable state name. */
+constexpr const char *
+toString(PrivState s)
+{
+    switch (s) {
+      case PrivState::I: return "I";
+      case PrivState::S: return "S";
+      case PrivState::M: return "M";
+    }
+    return "?";
+}
+
+} // namespace rc
+
+#endif // RC_CACHE_LINE_HH

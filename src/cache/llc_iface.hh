@@ -1,0 +1,138 @@
+/**
+ * @file
+ * Abstract interface of a shared last-level cache model.
+ *
+ * Three organizations implement it: the conventional inclusive SLLC
+ * (baseline), the reuse cache (the paper's contribution) and NCID (the
+ * Section 5.5 comparison point).  The CMP simulator drives whichever is
+ * configured through this interface, so every experiment swaps only the
+ * SLLC.
+ */
+
+#ifndef RC_CACHE_LLC_IFACE_HH
+#define RC_CACHE_LLC_IFACE_HH
+
+#include <cstdint>
+#include <string>
+
+#include "coherence/protocol.hh"
+#include "common/stats.hh"
+#include "common/types.hh"
+
+namespace rc
+{
+
+/** A demand request arriving from a private L2. */
+struct LlcRequest
+{
+    Addr lineAddr = 0;     //!< line-aligned address
+    CoreId core = 0;       //!< requesting core
+    ProtoEvent event = ProtoEvent::GETS; //!< GETS, GETX or UPG
+    Cycle now = 0;         //!< arrival cycle at the SLLC bank
+    bool prefetch = false; //!< speculative (prefetcher-issued) GETS:
+                           //!< treated as low priority by the SLLC
+                           //!< policies (paper Section 6)
+};
+
+/** Completion information for a demand request. */
+struct LlcResponse
+{
+    Cycle doneAt = 0;      //!< cycle the requester may resume
+    bool tagHit = false;   //!< a tag entry existed on arrival
+    bool dataHit = false;  //!< served from the SLLC data array
+    bool memFetched = false; //!< main memory supplied the data
+};
+
+/**
+ * Observer of data-array population events; the liveness and
+ * hit-distribution analyses (Figs. 1 and 7) attach here.  For a
+ * conventional cache the data array holds every line, so these events
+ * describe all resident lines.
+ */
+class LlcObserver
+{
+  public:
+    virtual ~LlcObserver() = default;
+
+    /** A line generation entered the data array. */
+    virtual void onDataFill(Addr line_addr, Cycle now)
+    {
+        (void)line_addr; (void)now;
+    }
+
+    /** A data-array resident line was hit. */
+    virtual void onDataHit(Addr line_addr, Cycle now)
+    {
+        (void)line_addr; (void)now;
+    }
+
+    /** A line generation left the data array. */
+    virtual void onDataEvict(Addr line_addr, Cycle now)
+    {
+        (void)line_addr; (void)now;
+    }
+};
+
+/**
+ * Back-invalidation callback into the private levels: SLLC tag
+ * replacement (inclusion) and GETX/UPG invalidations use it.
+ */
+class RecallHandler
+{
+  public:
+    virtual ~RecallHandler() = default;
+
+    /**
+     * Invalidate @p line_addr in the private caches of every core whose
+     * bit is set in @p core_mask.
+     * @return true iff one of them held a dirty (modified) copy.
+     */
+    virtual bool recall(Addr line_addr, std::uint32_t core_mask) = 0;
+
+    /**
+     * Downgrade @p line_addr from M to S in the private caches of the
+     * cores in @p core_mask (read intervention: the owner keeps a clean
+     * shared copy while the SLLC absorbs the dirty data).
+     * @return true iff a dirty copy was surrendered.
+     */
+    virtual bool downgrade(Addr line_addr, std::uint32_t core_mask) = 0;
+};
+
+/** Common interface of every SLLC organization. */
+class Sllc
+{
+  public:
+    virtual ~Sllc() = default;
+
+    /** Service a GETS/GETX/UPG demand request. */
+    virtual LlcResponse request(const LlcRequest &req) = 0;
+
+    /**
+     * Private-cache eviction notification (PUTS when clean, PUTX when
+     * dirty); keeps the full-map directory precise.
+     */
+    virtual void evictNotify(Addr line_addr, CoreId core, bool dirty,
+                             Cycle now) = 0;
+
+    /** Install the back-invalidation callback (required before use). */
+    virtual void setRecallHandler(RecallHandler *handler) = 0;
+
+    /** Attach a data-array observer (optional; may be nullptr). */
+    virtual void setObserver(LlcObserver *observer) = 0;
+
+    /** Aggregate counters. */
+    virtual const StatSet &stats() const = 0;
+
+    /** Misses by @p core (for MPKI accounting). */
+    virtual Counter missesBy(CoreId core) const = 0;
+
+    /** Demand accesses by @p core. */
+    virtual Counter accessesBy(CoreId core) const = 0;
+
+    /** Organization name for reports (e.g. "conv-8MB", "RC-4/1"). */
+    virtual std::string describe() const = 0;
+};
+
+} // namespace rc
+
+#endif // RC_CACHE_LLC_IFACE_HH

@@ -1,0 +1,100 @@
+#include "cache/mshr.hh"
+
+#include <algorithm>
+
+#include "common/log.hh"
+
+namespace rc
+{
+
+MshrFile::MshrFile(std::uint32_t num_entries, const std::string &name)
+    : entries(num_entries),
+      statSet(name),
+      allocations(statSet.add("allocations", "MSHR entries allocated")),
+      merges(statSet.add("merges", "misses merged into an existing entry")),
+      fullStalls(statSet.add("fullStalls", "requests rejected: file full")),
+      peakOccupancy(statSet.add("peakOccupancy", "maximum live entries"))
+{
+    RC_ASSERT(num_entries > 0, "MSHR file needs at least one entry");
+}
+
+void
+MshrFile::retire(Cycle now)
+{
+    if (live == 0)
+        return;
+    for (auto &e : entries) {
+        if (e.valid && e.doneAt <= now) {
+            e.valid = false;
+            --live;
+        }
+    }
+}
+
+MshrFile::Outcome
+MshrFile::request(Addr line_addr, Cycle now, Cycle done_at)
+{
+    retire(now);
+    const Addr line = lineAlign(line_addr);
+
+    Entry *free_entry = nullptr;
+    for (auto &e : entries) {
+        if (e.valid && e.line == line) {
+            ++merges;
+            return Outcome::Merged;
+        }
+        if (!e.valid && !free_entry)
+            free_entry = &e;
+    }
+    if (!free_entry) {
+        ++fullStalls;
+        return Outcome::Full;
+    }
+    free_entry->valid = true;
+    free_entry->line = line;
+    free_entry->doneAt = done_at;
+    ++live;
+    ++allocations;
+    peakOccupancy = std::max<Counter>(peakOccupancy, live);
+    return Outcome::Allocated;
+}
+
+Cycle
+MshrFile::trackedUntil(Addr line_addr) const
+{
+    const Addr line = lineAlign(line_addr);
+    for (const auto &e : entries) {
+        if (e.valid && e.line == line)
+            return e.doneAt;
+    }
+    return neverCycle;
+}
+
+std::uint32_t
+MshrFile::occupancy(Cycle now)
+{
+    retire(now);
+    return live;
+}
+
+Cycle
+MshrFile::earliestRelease() const
+{
+    Cycle best = neverCycle;
+    for (const auto &e : entries) {
+        if (e.valid)
+            best = std::min(best, e.doneAt);
+    }
+    return best;
+}
+
+void
+MshrFile::reset()
+{
+    for (auto &e : entries)
+        e = Entry{};
+    live = 0;
+    statSet.reset();
+}
+
+} // namespace rc

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Miss Status Holding Register file.
+ *
+ * Each SLLC bank in the baseline has 16 MSHRs (Table 4).  With blocking
+ * in-order cores at most one miss per core is outstanding, so the file
+ * rarely saturates, but it still (i) merges concurrent requests for the
+ * same line and (ii) back-pressures a bank when full, which the crossbar
+ * turns into extra queuing delay.
+ */
+
+#ifndef RC_CACHE_MSHR_HH
+#define RC_CACHE_MSHR_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/stats.hh"
+#include "common/types.hh"
+
+namespace rc
+{
+
+/** Fixed-capacity MSHR file tracking in-flight line misses. */
+class MshrFile
+{
+  public:
+    /**
+     * @param num_entries capacity (16 per bank in the paper).
+     * @param name stat-set name.
+     */
+    MshrFile(std::uint32_t num_entries, const std::string &name);
+
+    /** Outcome of presenting a miss to the file. */
+    enum class Outcome : std::uint8_t {
+        Allocated, //!< new entry allocated
+        Merged,    //!< an entry for this line already existed
+        Full,      //!< no free entry; the requester must stall
+    };
+
+    /**
+     * Present a miss for @p line_addr that will complete at @p done_at.
+     * Entries whose completion time has passed are retired lazily first.
+     */
+    Outcome request(Addr line_addr, Cycle now, Cycle done_at);
+
+    /** @return completion cycle of the entry covering @p line_addr, or
+     *  neverCycle when the line is not being tracked. */
+    Cycle trackedUntil(Addr line_addr) const;
+
+    /** Entries currently live at @p now (after lazy retirement). */
+    std::uint32_t occupancy(Cycle now);
+
+    /** Earliest completion among live entries (neverCycle when empty). */
+    Cycle earliestRelease() const;
+
+    /** Capacity given at construction. */
+    std::uint32_t capacity() const
+    {
+        return static_cast<std::uint32_t>(entries.size());
+    }
+
+    /** Counters: allocations, merges, full-stalls, peak occupancy. */
+    const StatSet &stats() const { return statSet; }
+
+    /** Drop all entries and zero the counters. */
+    void reset();
+
+  private:
+    struct Entry
+    {
+        Addr line = invalidAddr;
+        Cycle doneAt = 0;
+        bool valid = false;
+    };
+
+    void retire(Cycle now);
+
+    std::vector<Entry> entries;
+    std::uint32_t live = 0;
+
+    StatSet statSet;
+    Counter &allocations;
+    Counter &merges;
+    Counter &fullStalls;
+    Counter &peakOccupancy;
+};
+
+} // namespace rc
+
+#endif // RC_CACHE_MSHR_HH

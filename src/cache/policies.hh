@@ -1,0 +1,175 @@
+/**
+ * @file
+ * Concrete replacement-policy classes.
+ *
+ * Exposed in a header (rather than hidden behind the factory) so unit
+ * tests can exercise policy internals such as DRRIP's per-thread PSEL.
+ */
+
+#ifndef RC_CACHE_POLICIES_HH
+#define RC_CACHE_POLICIES_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "cache/replacement.hh"
+#include "cache/set_dueling.hh"
+#include "common/rng.hh"
+
+namespace rc
+{
+
+/** Exact LRU via per-line timestamps. */
+class LruPolicy : public ReplacementPolicy
+{
+  public:
+    LruPolicy(std::uint64_t num_sets, std::uint32_t num_ways);
+
+    void onFill(std::uint64_t set, std::uint32_t way,
+                const ReplAccess &ctx) override;
+    void onHit(std::uint64_t set, std::uint32_t way,
+               const ReplAccess &ctx) override;
+    std::uint32_t victim(std::uint64_t set, const VictimQuery &q) override;
+
+  private:
+    std::vector<std::uint64_t> stamp;
+    std::uint64_t tick = 0;
+};
+
+/**
+ * Not Recently Used: one bit per line.  Setting the last zero bit clears
+ * every other bit in the set (classic NRU aging).  Victim is the first
+ * way whose bit is clear.
+ */
+class NruPolicy : public ReplacementPolicy
+{
+  public:
+    NruPolicy(std::uint64_t num_sets, std::uint32_t num_ways);
+
+    void onFill(std::uint64_t set, std::uint32_t way,
+                const ReplAccess &ctx) override;
+    void onHit(std::uint64_t set, std::uint32_t way,
+               const ReplAccess &ctx) override;
+    std::uint32_t victim(std::uint64_t set, const VictimQuery &q) override;
+
+    /** Test hook: the NRU ("recently used") bit of a line. */
+    bool usedBit(std::uint64_t set, std::uint32_t way) const;
+
+  private:
+    void markUsed(std::uint64_t set, std::uint32_t way);
+
+    std::vector<std::uint8_t> used;
+};
+
+/**
+ * Not Recently Reused (paper Section 3.2): one bit per line, set on fill
+ * (not yet reused) and cleared on hit (reused).  Victims are chosen at
+ * random among lines with the bit set that are not present in the private
+ * caches (the VictimQuery avoid mask); falls back to any non-present way,
+ * then to a fully random pick.
+ */
+class NrrPolicy : public ReplacementPolicy
+{
+  public:
+    NrrPolicy(std::uint64_t num_sets, std::uint32_t num_ways,
+              std::uint64_t seed);
+
+    void onFill(std::uint64_t set, std::uint32_t way,
+                const ReplAccess &ctx) override;
+    void onHit(std::uint64_t set, std::uint32_t way,
+               const ReplAccess &ctx) override;
+    std::uint32_t victim(std::uint64_t set, const VictimQuery &q) override;
+
+    /** Test hook: the NRR ("not recently reused") bit of a line. */
+    bool nrrBit(std::uint64_t set, std::uint32_t way) const;
+
+  private:
+    std::vector<std::uint8_t> nrr;
+    Rng rng;
+};
+
+/** Uniform random victim selection. */
+class RandomPolicy : public ReplacementPolicy
+{
+  public:
+    RandomPolicy(std::uint64_t num_sets, std::uint32_t num_ways,
+                 std::uint64_t seed);
+
+    void onFill(std::uint64_t set, std::uint32_t way,
+                const ReplAccess &ctx) override;
+    void onHit(std::uint64_t set, std::uint32_t way,
+               const ReplAccess &ctx) override;
+    std::uint32_t victim(std::uint64_t set, const VictimQuery &q) override;
+
+  private:
+    Rng rng;
+};
+
+/**
+ * Clock (second chance), the paper's pick for the fully-associative data
+ * array (cost: one bit per line plus one hand per set).
+ */
+class ClockPolicy : public ReplacementPolicy
+{
+  public:
+    ClockPolicy(std::uint64_t num_sets, std::uint32_t num_ways);
+
+    void onFill(std::uint64_t set, std::uint32_t way,
+                const ReplAccess &ctx) override;
+    void onHit(std::uint64_t set, std::uint32_t way,
+               const ReplAccess &ctx) override;
+    std::uint32_t victim(std::uint64_t set, const VictimQuery &q) override;
+
+    /** Test hook: current hand position of a set. */
+    std::uint32_t hand(std::uint64_t set) const;
+
+  private:
+    std::vector<std::uint8_t> ref;
+    std::vector<std::uint32_t> hands;
+};
+
+/**
+ * RRIP family (Jaleel et al., ISCA 2010) with 2-bit re-reference
+ * prediction values.
+ *
+ * - SRRIP-HP: insert at RRPV = max-1, promote to 0 on hit.
+ * - BRRIP: insert at max, with low probability at max-1.
+ * - DRRIP (thread-aware): per-core set dueling between the two.
+ */
+class RripPolicy : public ReplacementPolicy
+{
+  public:
+    /** Insertion flavour. */
+    enum class Mode : std::uint8_t { SRRIP, BRRIP, DRRIP };
+
+    RripPolicy(std::uint64_t num_sets, std::uint32_t num_ways, Mode mode,
+               std::uint32_t num_cores, std::uint64_t seed,
+               std::uint32_t rrpv_bits = 2);
+
+    void onFill(std::uint64_t set, std::uint32_t way,
+                const ReplAccess &ctx) override;
+    void onHit(std::uint64_t set, std::uint32_t way,
+               const ReplAccess &ctx) override;
+    void onInvalidate(std::uint64_t set, std::uint32_t way) override;
+    std::uint32_t victim(std::uint64_t set, const VictimQuery &q) override;
+
+    /** Test hook: a line's current RRPV. */
+    std::uint32_t rrpv(std::uint64_t set, std::uint32_t way) const;
+
+    /** Test hook: the dueling monitor (DRRIP mode only). */
+    const SetDueling &dueling() const { return duel; }
+
+  private:
+    bool useBrrip(std::uint64_t set, CoreId core);
+
+    Mode mode;
+    std::uint32_t maxRrpv;
+    std::vector<std::uint8_t> rrpvs;
+    SetDueling duel;
+    Rng rng;
+    static constexpr std::uint32_t brripEpsilonInv = 32;
+};
+
+} // namespace rc
+
+#endif // RC_CACHE_POLICIES_HH

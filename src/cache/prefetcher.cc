@@ -1,0 +1,68 @@
+#include "cache/prefetcher.hh"
+
+#include "common/bitops.hh"
+#include "common/log.hh"
+
+namespace rc
+{
+
+StridePrefetcher::StridePrefetcher(const PrefetcherConfig &cfg_,
+                                   const std::string &name)
+    : cfg(cfg_),
+      statSet(name),
+      misses(statSet.add("misses", "demand L2 misses observed")),
+      triggers(statSet.add("triggers", "confident strides detected")),
+      candidates(statSet.add("candidates", "prefetch candidates emitted"))
+{
+    std::uint32_t size = 1;
+    while (size < cfg.tableEntries)
+        size <<= 1;
+    table.resize(size);
+}
+
+void
+StridePrefetcher::observeMiss(Addr line_addr, std::vector<Addr> &out)
+{
+    ++misses;
+    const auto line = static_cast<std::int64_t>(lineNumber(line_addr));
+    const std::uint64_t region = line_addr >> cfg.regionShift;
+    Entry &e = table[region & (table.size() - 1)];
+
+    if (!e.valid || e.regionTag != region) {
+        e.valid = true;
+        e.regionTag = region;
+        e.lastLine = line;
+        e.stride = 0;
+        e.confidence = 0;
+        return;
+    }
+
+    const std::int64_t delta = line - e.lastLine;
+    e.lastLine = line;
+    if (delta == 0)
+        return;
+    if (delta == e.stride) {
+        if (e.confidence < 255)
+            ++e.confidence;
+    } else {
+        e.stride = delta;
+        e.confidence = 0;
+    }
+
+    if (e.confidence >= cfg.minConfidence) {
+        ++triggers;
+        for (std::uint32_t k = 1; k <= cfg.degree; ++k) {
+            const std::int64_t target =
+                line + e.stride * static_cast<std::int64_t>(k);
+            if (target <= 0)
+                continue;
+            const Addr addr = static_cast<Addr>(target) << lineShift;
+            if (addr >= (Addr{1} << physAddrBits))
+                continue;
+            out.push_back(addr);
+            ++candidates;
+        }
+    }
+}
+
+} // namespace rc

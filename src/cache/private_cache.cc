@@ -1,0 +1,305 @@
+#include "cache/private_cache.hh"
+
+#include "common/log.hh"
+
+namespace rc
+{
+
+TagStore::TagStore(const CacheGeometry &geometry, const std::string &name)
+    : geom(geometry),
+      ways(geometry.numLines()),
+      valid(geometry.numLines(), 0),
+      repl(makeReplacement(ReplKind::LRU, geometry.numSets(),
+                           geometry.numWays()))
+{
+    (void)name;
+}
+
+TagStore::Way *
+TagStore::lookup(Addr line_addr)
+{
+    const std::uint64_t set = geom.setIndex(line_addr);
+    const std::uint64_t tag = geom.tagOf(line_addr);
+    const std::uint64_t base = set * geom.numWays();
+    for (std::uint32_t w = 0; w < geom.numWays(); ++w) {
+        if (valid[base + w] && ways[base + w].tag == tag) {
+            repl->onHit(set, w, ReplAccess{});
+            return &ways[base + w];
+        }
+    }
+    return nullptr;
+}
+
+const TagStore::Way *
+TagStore::peek(Addr line_addr) const
+{
+    const std::uint64_t set = geom.setIndex(line_addr);
+    const std::uint64_t tag = geom.tagOf(line_addr);
+    const std::uint64_t base = set * geom.numWays();
+    for (std::uint32_t w = 0; w < geom.numWays(); ++w) {
+        if (valid[base + w] && ways[base + w].tag == tag)
+            return &ways[base + w];
+    }
+    return nullptr;
+}
+
+TagStore::Eviction
+TagStore::fill(Addr line_addr, PrivState state)
+{
+    RC_ASSERT(peek(line_addr) == nullptr,
+              "fill of already-resident line %llx",
+              static_cast<unsigned long long>(line_addr));
+    const std::uint64_t set = geom.setIndex(line_addr);
+    const std::uint64_t base = set * geom.numWays();
+
+    std::uint32_t way = geom.numWays();
+    for (std::uint32_t w = 0; w < geom.numWays(); ++w) {
+        if (!valid[base + w]) {
+            way = w;
+            break;
+        }
+    }
+
+    Eviction ev;
+    if (way == geom.numWays()) {
+        way = repl->victim(set, VictimQuery{});
+        const Way &victim = ways[base + way];
+        ev.valid = true;
+        ev.lineAddr = geom.lineAddr(victim.tag, set);
+        ev.state = victim.state;
+        ev.dirty = victim.dirty;
+    }
+
+    ways[base + way] = Way{geom.tagOf(line_addr), state, false};
+    valid[base + way] = 1;
+    repl->onFill(set, way, ReplAccess{});
+    return ev;
+}
+
+TagStore::Eviction
+TagStore::invalidate(Addr line_addr)
+{
+    const std::uint64_t set = geom.setIndex(line_addr);
+    const std::uint64_t tag = geom.tagOf(line_addr);
+    const std::uint64_t base = set * geom.numWays();
+    for (std::uint32_t w = 0; w < geom.numWays(); ++w) {
+        if (valid[base + w] && ways[base + w].tag == tag) {
+            Eviction ev;
+            ev.valid = true;
+            ev.lineAddr = line_addr;
+            ev.state = ways[base + w].state;
+            ev.dirty = ways[base + w].dirty;
+            valid[base + w] = 0;
+            ways[base + w] = Way{};
+            repl->onInvalidate(set, w);
+            return ev;
+        }
+    }
+    return Eviction{};
+}
+
+std::uint64_t
+TagStore::residentCount() const
+{
+    std::uint64_t n = 0;
+    for (auto v : valid)
+        n += v;
+    return n;
+}
+
+PrivateHierarchy::PrivateHierarchy(const PrivateConfig &cfg_, CoreId core,
+                                   const std::string &name)
+    : cfg(cfg_),
+      coreId(core),
+      l1i(CacheGeometry::fromBytes(cfg_.l1Bytes, cfg_.l1Ways), name + ".l1i"),
+      l1d(CacheGeometry::fromBytes(cfg_.l1Bytes, cfg_.l1Ways), name + ".l1d"),
+      l2(CacheGeometry::fromBytes(cfg_.l2Bytes, cfg_.l2Ways), name + ".l2"),
+      statSet(name),
+      l1iHits(statSet.add("l1iHits", "instruction fetches hitting the L1I")),
+      l1iMisses(statSet.add("l1iMisses", "instruction fetches missing L1I")),
+      l1dHits(statSet.add("l1dHits", "data accesses hitting the L1D")),
+      l1dMisses(statSet.add("l1dMisses", "data accesses missing the L1D")),
+      l2Hits(statSet.add("l2Hits", "L1 misses hitting the L2")),
+      l2Misses(statSet.add("l2Misses", "L1 misses missing the L2")),
+      upgrades(statSet.add("upgrades", "S->M upgrade requests issued")),
+      recalls(statSet.add("recalls", "SLLC back-invalidations received")),
+      dirtyRecalls(statSet.add("dirtyRecalls",
+                               "back-invalidations of a dirty copy"))
+{
+    (void)coreId;
+}
+
+PrivateMissAction
+PrivateHierarchy::classify(Addr line_addr, MemOp op, bool is_instr)
+{
+    PrivateMissAction act;
+    act.latency = cfg.l1Latency;
+
+    if (is_instr) {
+        RC_ASSERT(op == MemOp::Read, "instruction fetches are reads");
+        if (l1i.lookup(line_addr)) {
+            ++l1iHits;
+            return act;
+        }
+        ++l1iMisses;
+        act.latency += cfg.l2Latency;
+        if (TagStore::Way *w = l2.lookup(line_addr)) {
+            (void)w;
+            ++l2Hits;
+            l1i.fill(line_addr, PrivState::S);
+            return act;
+        }
+        ++l2Misses;
+        act.needLlc = true;
+        act.event = ProtoEvent::GETS;
+        return act;
+    }
+
+    TagStore::Way *in_l1 = l1d.lookup(line_addr);
+    if (in_l1) {
+        ++l1dHits;
+        if (op == MemOp::Read)
+            return act;
+        TagStore::Way *in_l2 = l2.lookup(line_addr);
+        RC_ASSERT(in_l2, "L1D copy without an L2 copy breaks inclusion");
+        if (in_l2->state == PrivState::M) {
+            in_l2->dirty = true;
+            return act;
+        }
+        // Write permission missing: upgrade at the SLLC.
+        ++upgrades;
+        act.latency += cfg.l2Latency;
+        act.needLlc = true;
+        act.event = ProtoEvent::UPG;
+        return act;
+    }
+    ++l1dMisses;
+    act.latency += cfg.l2Latency;
+
+    if (TagStore::Way *in_l2 = l2.lookup(line_addr)) {
+        if (op == MemOp::Read) {
+            ++l2Hits;
+            l1d.fill(line_addr, in_l2->state);
+            return act;
+        }
+        if (in_l2->state == PrivState::M) {
+            ++l2Hits;
+            in_l2->dirty = true;
+            l1d.fill(line_addr, PrivState::M);
+            return act;
+        }
+        ++l2Hits;
+        ++upgrades;
+        act.needLlc = true;
+        act.event = ProtoEvent::UPG;
+        return act;
+    }
+    ++l2Misses;
+    act.needLlc = true;
+    act.event = op == MemOp::Write ? ProtoEvent::GETX : ProtoEvent::GETS;
+    return act;
+}
+
+bool
+PrivateHierarchy::fill(Addr line_addr, bool is_instr, bool writable,
+                       Addr &evict_line, bool &evict_dirty)
+{
+    const PrivState st = writable ? PrivState::M : PrivState::S;
+    TagStore::Eviction ev = l2.fill(line_addr, st);
+    if (writable) {
+        // The pending write completes right after the fill.
+        TagStore::Way *w = l2.lookup(line_addr);
+        RC_ASSERT(w, "line vanished during fill");
+        w->dirty = true;
+    }
+
+    if (ev.valid) {
+        // Inclusion within the private hierarchy: an L2 victim may not
+        // linger in the L1s.
+        l1i.invalidate(ev.lineAddr);
+        l1d.invalidate(ev.lineAddr);
+    }
+
+    if (is_instr)
+        l1i.fill(line_addr, PrivState::S);
+    else
+        l1d.fill(line_addr, st);
+
+    evict_line = ev.lineAddr;
+    evict_dirty = ev.dirty;
+    return ev.valid;
+}
+
+bool
+PrivateHierarchy::fillPrefetch(Addr line_addr, Addr &evict_line,
+                               bool &evict_dirty)
+{
+    if (l2.peek(line_addr))
+        return false;
+    TagStore::Eviction ev = l2.fill(line_addr, PrivState::S);
+    if (ev.valid) {
+        l1i.invalidate(ev.lineAddr);
+        l1d.invalidate(ev.lineAddr);
+    }
+    evict_line = ev.lineAddr;
+    evict_dirty = ev.dirty;
+    return ev.valid;
+}
+
+void
+PrivateHierarchy::upgraded(Addr line_addr)
+{
+    TagStore::Way *w = l2.lookup(line_addr);
+    RC_ASSERT(w, "upgrade completion for a non-resident line");
+    w->state = PrivState::M;
+    w->dirty = true;
+    if (TagStore::Way *l1w = l1d.lookup(line_addr))
+        l1w->state = PrivState::M;
+    else
+        l1d.fill(line_addr, PrivState::M);
+}
+
+bool
+PrivateHierarchy::invalidate(Addr line_addr)
+{
+    ++recalls;
+    l1i.invalidate(line_addr);
+    l1d.invalidate(line_addr);
+    TagStore::Eviction ev = l2.invalidate(line_addr);
+    if (ev.valid && ev.dirty) {
+        ++dirtyRecalls;
+        return true;
+    }
+    return false;
+}
+
+bool
+PrivateHierarchy::downgrade(Addr line_addr)
+{
+    TagStore::Way *w = l2.lookup(line_addr);
+    if (!w)
+        return false;
+    const bool was_dirty = w->dirty;
+    w->state = PrivState::S;
+    w->dirty = false;
+    if (TagStore::Way *l1w = l1d.lookup(line_addr)) {
+        l1w->state = PrivState::S;
+        l1w->dirty = false;
+    }
+    return was_dirty;
+}
+
+bool
+PrivateHierarchy::present(Addr line_addr) const
+{
+    return l2.peek(line_addr) != nullptr;
+}
+
+PrivState
+PrivateHierarchy::state(Addr line_addr) const
+{
+    const TagStore::Way *w = l2.peek(line_addr);
+    return w ? w->state : PrivState::I;
+}
+
+} // namespace rc

@@ -1,0 +1,198 @@
+/**
+ * @file
+ * Private per-core cache hierarchy: L1 instruction, L1 data and a
+ * unified write-back L2 that is inclusive of both L1s (Table 4 of the
+ * paper: 32 KB 4-way L1 I/D, 256 KB 8-way L2).
+ *
+ * Coherence state (MSI) and dirtiness live at the L2; the L1s act as
+ * latency filters whose contents are always a subset of the L2.
+ */
+
+#ifndef RC_CACHE_PRIVATE_CACHE_HH
+#define RC_CACHE_PRIVATE_CACHE_HH
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cache/geometry.hh"
+#include "cache/line.hh"
+#include "cache/replacement.hh"
+#include "coherence/protocol.hh"
+#include "common/stats.hh"
+#include "common/types.hh"
+
+namespace rc
+{
+
+/** Sizing and latencies of one core's private hierarchy. */
+struct PrivateConfig
+{
+    std::uint64_t l1Bytes = 32 * 1024;   //!< per L1 (I and D each)
+    std::uint32_t l1Ways = 4;
+    Cycle l1Latency = 1;
+    std::uint64_t l2Bytes = 256 * 1024;
+    std::uint32_t l2Ways = 8;
+    Cycle l2Latency = 7;
+};
+
+/**
+ * Simple set-associative tag store with LRU replacement; payload is the
+ * MSI state plus a dirty bit (only used by the L2 instance).
+ */
+class TagStore
+{
+  public:
+    /** One resident line. */
+    struct Way
+    {
+        std::uint64_t tag = 0;
+        PrivState state = PrivState::I;
+        bool dirty = false;
+    };
+
+    /** Result of evicting to make room. */
+    struct Eviction
+    {
+        bool valid = false;    //!< an occupied way was displaced
+        Addr lineAddr = 0;
+        PrivState state = PrivState::I;
+        bool dirty = false;
+    };
+
+    TagStore(const CacheGeometry &geometry, const std::string &name);
+
+    /** @return pointer to the resident way, or nullptr on miss.
+     *  Hits update LRU. */
+    Way *lookup(Addr line_addr);
+
+    /** Peek without touching LRU state. */
+    const Way *peek(Addr line_addr) const;
+
+    /**
+     * Install @p line_addr with @p state, evicting the LRU way of the
+     * target set if it is full.
+     */
+    Eviction fill(Addr line_addr, PrivState state);
+
+    /** Drop @p line_addr if present. @return the displaced way info. */
+    Eviction invalidate(Addr line_addr);
+
+    /** Number of valid lines (for tests). */
+    std::uint64_t residentCount() const;
+
+    /** Geometry in force. */
+    const CacheGeometry &geometry() const { return geom; }
+
+  private:
+    CacheGeometry geom;
+    std::vector<Way> ways;
+    std::vector<std::uint8_t> valid;
+    std::unique_ptr<ReplacementPolicy> repl;
+};
+
+/** What the private hierarchy needs from the outside world for a miss. */
+struct PrivateMissAction
+{
+    bool needLlc = false;       //!< must send `event` to the SLLC
+    ProtoEvent event = ProtoEvent::GETS;
+    Cycle latency = 0;          //!< private-level latency accumulated
+};
+
+/**
+ * One core's L1I + L1D + L2.  The CMP simulator calls classify() to learn
+ * whether an access completes privately, then (on a miss or upgrade)
+ * performs the SLLC transaction itself and completes the access with
+ * fill().
+ */
+class PrivateHierarchy
+{
+  public:
+    PrivateHierarchy(const PrivateConfig &cfg, CoreId core,
+                     const std::string &name);
+
+    /**
+     * First phase of an access: consult L1/L2.
+     * If the access hits with sufficient permission, needLlc is false and
+     * `latency` is the complete access latency.  Otherwise the caller
+     * must issue `event` (GETS/GETX/UPG) to the SLLC and then call
+     * fill()/upgraded().
+     *
+     * @param line_addr line-aligned address.
+     * @param op read or write.
+     * @param is_instr instruction fetch (uses the L1I).
+     */
+    PrivateMissAction classify(Addr line_addr, MemOp op, bool is_instr);
+
+    /**
+     * Complete an SLLC fill after a GETS/GETX: installs into L2 and the
+     * appropriate L1.
+     * @param writable true when the SLLC granted exclusivity (GETX).
+     * @param evict_line out: L2 victim that the SLLC must be notified of.
+     * @param evict_dirty out: whether that victim was dirty.
+     * @return true when an L2 victim was displaced.
+     */
+    bool fill(Addr line_addr, bool is_instr, bool writable,
+              Addr &evict_line, bool &evict_dirty);
+
+    /** Complete an upgrade (UPG): the resident line becomes M and dirty. */
+    void upgraded(Addr line_addr);
+
+    /**
+     * Install a prefetched line into the L2 only (no L1 fill, shared
+     * state).  No-op when the line is already resident.
+     * @param evict_line out: displaced L2 victim, if any.
+     * @param evict_dirty out: whether that victim was dirty.
+     * @return true when a victim was displaced.
+     */
+    bool fillPrefetch(Addr line_addr, Addr &evict_line, bool &evict_dirty);
+
+    /**
+     * Back-invalidation from the SLLC.
+     * @return true iff the dropped copy was dirty.
+     */
+    bool invalidate(Addr line_addr);
+
+    /**
+     * Read-intervention downgrade from the SLLC: an M copy becomes S and
+     * its dirty data is surrendered.
+     * @return true iff the copy was dirty.
+     */
+    bool downgrade(Addr line_addr);
+
+    /** Copy present in any private level? (directory cross-check). */
+    bool present(Addr line_addr) const;
+
+    /** L2 state of the line (I when absent). */
+    PrivState state(Addr line_addr) const;
+
+    /** Counters (l1d/l1i/l2 hits and misses). */
+    const StatSet &stats() const { return statSet; }
+
+    /** Config in force. */
+    const PrivateConfig &config() const { return cfg; }
+
+  private:
+    PrivateConfig cfg;
+    CoreId coreId;
+
+    TagStore l1i;
+    TagStore l1d;
+    TagStore l2;
+
+    StatSet statSet;
+    Counter &l1iHits;
+    Counter &l1iMisses;
+    Counter &l1dHits;
+    Counter &l1dMisses;
+    Counter &l2Hits;
+    Counter &l2Misses;
+    Counter &upgrades;
+    Counter &recalls;
+    Counter &dirtyRecalls;
+};
+
+} // namespace rc
+
+#endif // RC_CACHE_PRIVATE_CACHE_HH

@@ -1,0 +1,39 @@
+#include "cache/policies.hh"
+
+namespace rc
+{
+
+RandomPolicy::RandomPolicy(std::uint64_t num_sets, std::uint32_t num_ways,
+                           std::uint64_t seed)
+    : ReplacementPolicy(num_sets, num_ways),
+      rng(seed)
+{
+}
+
+void
+RandomPolicy::onFill(std::uint64_t set, std::uint32_t way,
+                     const ReplAccess &ctx)
+{
+    (void)set;
+    (void)way;
+    (void)ctx;
+}
+
+void
+RandomPolicy::onHit(std::uint64_t set, std::uint32_t way,
+                    const ReplAccess &ctx)
+{
+    (void)set;
+    (void)way;
+    (void)ctx;
+}
+
+std::uint32_t
+RandomPolicy::victim(std::uint64_t set, const VictimQuery &q)
+{
+    (void)set;
+    (void)q;
+    return static_cast<std::uint32_t>(rng.below(ways));
+}
+
+} // namespace rc

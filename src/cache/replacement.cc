@@ -1,0 +1,65 @@
+#include "cache/replacement.hh"
+
+#include "cache/policies.hh"
+#include "common/log.hh"
+
+namespace rc
+{
+
+const char *
+toString(ReplKind kind)
+{
+    switch (kind) {
+      case ReplKind::LRU: return "LRU";
+      case ReplKind::NRU: return "NRU";
+      case ReplKind::NRR: return "NRR";
+      case ReplKind::Random: return "Random";
+      case ReplKind::Clock: return "Clock";
+      case ReplKind::SRRIP: return "SRRIP";
+      case ReplKind::BRRIP: return "BRRIP";
+      case ReplKind::DRRIP: return "DRRIP";
+    }
+    return "?";
+}
+
+void
+ReplacementPolicy::onInvalidate(std::uint64_t set, std::uint32_t way)
+{
+    // Most policies need no action: the owning cache fills invalid ways
+    // first, and the stale metadata is overwritten by the next onFill.
+    (void)set;
+    (void)way;
+}
+
+std::unique_ptr<ReplacementPolicy>
+makeReplacement(ReplKind kind, std::uint64_t num_sets, std::uint32_t num_ways,
+                std::uint32_t num_cores, std::uint64_t seed)
+{
+    switch (kind) {
+      case ReplKind::LRU:
+        return std::make_unique<LruPolicy>(num_sets, num_ways);
+      case ReplKind::NRU:
+        return std::make_unique<NruPolicy>(num_sets, num_ways);
+      case ReplKind::NRR:
+        return std::make_unique<NrrPolicy>(num_sets, num_ways, seed);
+      case ReplKind::Random:
+        return std::make_unique<RandomPolicy>(num_sets, num_ways, seed);
+      case ReplKind::Clock:
+        return std::make_unique<ClockPolicy>(num_sets, num_ways);
+      case ReplKind::SRRIP:
+        return std::make_unique<RripPolicy>(num_sets, num_ways,
+                                            RripPolicy::Mode::SRRIP,
+                                            num_cores, seed);
+      case ReplKind::BRRIP:
+        return std::make_unique<RripPolicy>(num_sets, num_ways,
+                                            RripPolicy::Mode::BRRIP,
+                                            num_cores, seed);
+      case ReplKind::DRRIP:
+        return std::make_unique<RripPolicy>(num_sets, num_ways,
+                                            RripPolicy::Mode::DRRIP,
+                                            num_cores, seed);
+    }
+    panic("unknown replacement kind %d", static_cast<int>(kind));
+}
+
+} // namespace rc

@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Replacement-policy interface and factory.
+ *
+ * The paper exercises LRU (baseline), NRU, NRR (tag array), Clock (fully
+ * associative data array), Random, and the RRIP family including
+ * thread-aware DRRIP (comparison in Section 5.5).  All policies implement
+ * one interface so every cache model in the repository can be configured
+ * with any of them.
+ */
+
+#ifndef RC_CACHE_REPLACEMENT_HH
+#define RC_CACHE_REPLACEMENT_HH
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "common/rng.hh"
+#include "common/types.hh"
+
+namespace rc
+{
+
+/** Context accompanying fill/hit notifications. */
+struct ReplAccess
+{
+    CoreId core = 0;    //!< requesting core (thread-aware policies)
+    bool isMiss = false; //!< the access that caused this fill was a miss
+    bool insertLru = false; //!< demote the fill to the LRU position
+                            //!< (honoured by LRU; NCID selective mode)
+};
+
+/** Context for victim selection. */
+struct VictimQuery
+{
+    CoreId core = 0;          //!< requesting core
+    std::uint64_t avoidMask = 0; //!< ways the policy should prefer NOT to
+                                 //!< evict (e.g. present in private caches;
+                                 //!< honoured by NRR, ignored by others)
+};
+
+/** Identifiers for every implemented policy. */
+enum class ReplKind : std::uint8_t {
+    LRU,
+    NRU,
+    NRR,
+    Random,
+    Clock,
+    SRRIP,
+    BRRIP,
+    DRRIP,   //!< thread-aware DRRIP (set dueling per core)
+};
+
+/** @return short name, e.g. "DRRIP". */
+const char *toString(ReplKind kind);
+
+/**
+ * Per-array replacement state.
+ *
+ * The owning cache is responsible for filling invalid ways first; victim()
+ * is only consulted when the target set is full.
+ */
+class ReplacementPolicy
+{
+  public:
+    /**
+     * @param num_sets sets in the array.
+     * @param num_ways associativity.
+     */
+    ReplacementPolicy(std::uint64_t num_sets, std::uint32_t num_ways)
+        : sets(num_sets), ways(num_ways)
+    {}
+
+    virtual ~ReplacementPolicy() = default;
+
+    ReplacementPolicy(const ReplacementPolicy &) = delete;
+    ReplacementPolicy &operator=(const ReplacementPolicy &) = delete;
+
+    /** A line was installed in (set, way). */
+    virtual void onFill(std::uint64_t set, std::uint32_t way,
+                        const ReplAccess &ctx) = 0;
+
+    /** The line in (set, way) was hit. */
+    virtual void onHit(std::uint64_t set, std::uint32_t way,
+                       const ReplAccess &ctx) = 0;
+
+    /** The line in (set, way) was invalidated (its state is now garbage). */
+    virtual void onInvalidate(std::uint64_t set, std::uint32_t way);
+
+    /**
+     * Choose a victim way in a full @p set.
+     * @param q requester and the protect-preference mask.
+     * @return way index in [0, numWays).
+     */
+    virtual std::uint32_t victim(std::uint64_t set, const VictimQuery &q) = 0;
+
+    std::uint64_t numSets() const { return sets; }  //!< sets in the array
+    std::uint32_t numWays() const { return ways; }  //!< associativity
+
+  protected:
+    std::uint64_t sets;
+    std::uint32_t ways;
+};
+
+/**
+ * Instantiate a policy.
+ * @param kind which policy.
+ * @param num_sets sets in the array.
+ * @param num_ways associativity.
+ * @param num_cores cores (thread-aware dueling); 1 is fine for private.
+ * @param seed RNG seed for randomized policies.
+ */
+std::unique_ptr<ReplacementPolicy>
+makeReplacement(ReplKind kind, std::uint64_t num_sets, std::uint32_t num_ways,
+                std::uint32_t num_cores = 1, std::uint64_t seed = 1);
+
+} // namespace rc
+
+#endif // RC_CACHE_REPLACEMENT_HH

@@ -1,0 +1,89 @@
+#include "cache/set_dueling.hh"
+
+#include <algorithm>
+
+#include "common/log.hh"
+
+namespace rc
+{
+
+SetDueling::SetDueling(std::uint64_t num_sets, std::uint32_t num_cores,
+                       std::uint32_t psel_bits)
+    : sets(num_sets),
+      pselMax((1u << psel_bits) - 1),
+      pselMid(1u << (psel_bits - 1)),
+      psels(num_cores, 1u << (psel_bits - 1))
+{
+    RC_ASSERT(num_cores > 0, "need at least one core");
+    RC_ASSERT(psel_bits >= 2 && psel_bits <= 16, "unreasonable PSEL width");
+    // Leader mapping is region-based on set % modulus: value c in
+    // [0, cores) is core c's A-leader, value 32+c (mod modulus) its
+    // B-leader.  With fewer than 2*cores sets, dueling degenerates to
+    // always-A followers, which is harmless for tiny test arrays.
+    modulus = 64;
+    while (modulus > sets && modulus > 1)
+        modulus /= 2;
+    if (modulus < 2 * num_cores)
+        warn("set-dueling: %llu sets cannot host leaders for %u cores",
+             static_cast<unsigned long long>(num_sets), num_cores);
+}
+
+SetDueling::Role
+SetDueling::role(std::uint64_t set, CoreId core) const
+{
+    if (modulus < 2)
+        return Role::Follower;
+    const std::uint64_t slot = set % modulus;
+    const std::uint64_t b_base = modulus / 2;
+    if (slot == core && core < b_base)
+        return Role::LeaderA;
+    if (slot == b_base + core && core < b_base)
+        return Role::LeaderB;
+    return Role::Follower;
+}
+
+void
+SetDueling::onMiss(std::uint64_t set, CoreId core)
+{
+    if (core >= psels.size())
+        core = core % psels.size();
+    switch (role(set, core)) {
+      case Role::LeaderA:
+        // Misses under policy A push toward policy B.
+        if (psels[core] < pselMax)
+            ++psels[core];
+        break;
+      case Role::LeaderB:
+        if (psels[core] > 0)
+            --psels[core];
+        break;
+      case Role::Follower:
+        break;
+    }
+}
+
+bool
+SetDueling::chooseB(std::uint64_t set, CoreId core) const
+{
+    if (core >= psels.size())
+        core = core % psels.size();
+    switch (role(set, core)) {
+      case Role::LeaderA:
+        return false;
+      case Role::LeaderB:
+        return true;
+      case Role::Follower:
+        // Strictly above the midpoint: a neutral counter prefers A.
+        return psels[core] > pselMid;
+    }
+    return false;
+}
+
+std::uint32_t
+SetDueling::psel(CoreId core) const
+{
+    RC_ASSERT(core < psels.size(), "core %u out of range", core);
+    return psels[core];
+}
+
+} // namespace rc

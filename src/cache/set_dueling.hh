@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Thread-aware set-dueling monitor (Qureshi et al., ISCA 2007; the
+ * thread-aware form follows Jaleel et al.'s TA-DRRIP).
+ *
+ * A few sets are dedicated leaders: in a core's A-leader sets that core's
+ * fills always use policy A, in its B-leader sets policy B.  Misses a core
+ * suffers in its own leader sets steer a per-core saturating PSEL counter;
+ * everywhere else the core follows whichever policy its PSEL favours.
+ *
+ * The same monitor drives both TA-DRRIP (A = SRRIP, B = BRRIP) and the
+ * NCID baseline's fill-mode selection (A = normal fill, B = selective).
+ */
+
+#ifndef RC_CACHE_SET_DUELING_HH
+#define RC_CACHE_SET_DUELING_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace rc
+{
+
+/** Per-core dueling state over one cache array. */
+class SetDueling
+{
+  public:
+    /** A set's role from one core's point of view. */
+    enum class Role : std::uint8_t {
+        Follower, //!< use the PSEL-selected policy
+        LeaderA,  //!< always policy A for this core's fills
+        LeaderB,  //!< always policy B for this core's fills
+    };
+
+    /**
+     * @param num_sets sets in the monitored array.
+     * @param num_cores independent PSEL counters.
+     * @param psel_bits width of each saturating counter.
+     */
+    SetDueling(std::uint64_t num_sets, std::uint32_t num_cores,
+               std::uint32_t psel_bits = 10);
+
+    /** Role of @p set for fills issued by @p core. */
+    Role role(std::uint64_t set, CoreId core) const;
+
+    /**
+     * Record a miss by @p core in @p set; adjusts the core's PSEL when the
+     * set is one of that core's leader sets.
+     */
+    void onMiss(std::uint64_t set, CoreId core);
+
+    /**
+     * Policy decision for a fill by @p core into @p set: false = policy A,
+     * true = policy B.  Leader sets force their policy; followers consult
+     * the core's PSEL (high PSEL = many misses under A = choose B).
+     */
+    bool chooseB(std::uint64_t set, CoreId core) const;
+
+    /** Test hook: current PSEL of a core. */
+    std::uint32_t psel(CoreId core) const;
+
+    /** Number of cores monitored. */
+    std::uint32_t numCores() const
+    {
+        return static_cast<std::uint32_t>(psels.size());
+    }
+
+  private:
+    std::uint64_t sets;
+    std::uint32_t modulus;
+    std::uint32_t pselMax;
+    std::uint32_t pselMid;
+    std::vector<std::uint32_t> psels;
+};
+
+} // namespace rc
+
+#endif // RC_CACHE_SET_DUELING_HH

@@ -1,0 +1,29 @@
+#include "coherence/directory.hh"
+
+#include <string>
+
+namespace rc
+{
+
+/**
+ * Render a presence mask as e.g. "{0,3,7}" for diagnostics.
+ * Defined here (not in the header) to keep <string> out of the hot path.
+ */
+std::string
+presenceToString(std::uint32_t mask)
+{
+    std::string out = "{";
+    bool first = true;
+    for (std::uint32_t c = 0; c < 32; ++c) {
+        if (mask & (1u << c)) {
+            if (!first)
+                out += ',';
+            out += std::to_string(c);
+            first = false;
+        }
+    }
+    out += '}';
+    return out;
+}
+
+} // namespace rc

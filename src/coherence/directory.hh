@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Full-map directory entry (paper Section 3.2: NRR uses the full-map
+ * directory bits to distinguish lines present in the private caches).
+ */
+
+#ifndef RC_COHERENCE_DIRECTORY_HH
+#define RC_COHERENCE_DIRECTORY_HH
+
+#include <cstdint>
+#include <string>
+
+#include "common/types.hh"
+
+namespace rc
+{
+
+/** Render a presence mask as e.g. "{0,3,7}" for diagnostics. */
+std::string presenceToString(std::uint32_t mask);
+
+/**
+ * Presence bit-vector plus ownership for one SLLC line.  Supports up to
+ * 32 cores (the paper's CMP has 8).
+ */
+class DirectoryEntry
+{
+  public:
+    /** Remove every sharer and the owner. */
+    void
+    clear()
+    {
+        presence = 0;
+        ownerId = noOwner;
+    }
+
+    /** Mark @p core as holding a copy. */
+    void
+    addSharer(CoreId core)
+    {
+        presence |= bit(core);
+    }
+
+    /** Remove @p core; dissolves ownership if it was the owner. */
+    void
+    removeSharer(CoreId core)
+    {
+        presence &= ~bit(core);
+        if (ownerId == core)
+            ownerId = noOwner;
+    }
+
+    /** @p core becomes the exclusive modified-copy owner (and a sharer). */
+    void
+    setOwner(CoreId core)
+    {
+        presence |= bit(core);
+        ownerId = core;
+    }
+
+    /** Ownership dissolves; presence is unchanged. */
+    void
+    clearOwner()
+    {
+        ownerId = noOwner;
+    }
+
+    /** @return true iff @p core holds a copy. */
+    bool isSharer(CoreId core) const { return presence & bit(core); }
+
+    /** @return true iff some private cache owns a modified copy. */
+    bool hasOwner() const { return ownerId != noOwner; }
+
+    /** Owner core; only meaningful when hasOwner(). */
+    CoreId owner() const { return ownerId; }
+
+    /** @return true iff no private cache holds a copy. */
+    bool empty() const { return presence == 0; }
+
+    /** Raw presence vector. */
+    std::uint32_t presenceMask() const { return presence; }
+
+    /** Number of private caches holding a copy. */
+    std::uint32_t
+    sharerCount() const
+    {
+        return static_cast<std::uint32_t>(__builtin_popcount(presence));
+    }
+
+    /** Sharers other than @p core. */
+    std::uint32_t
+    othersMask(CoreId core) const
+    {
+        return presence & ~bit(core);
+    }
+
+  private:
+    static std::uint32_t bit(CoreId core) { return 1u << core; }
+    static constexpr CoreId noOwner = 0xffffffffu;
+
+    std::uint32_t presence = 0;
+    CoreId ownerId = noOwner;
+};
+
+} // namespace rc
+
+#endif // RC_COHERENCE_DIRECTORY_HH

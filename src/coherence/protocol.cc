@@ -1,0 +1,269 @@
+#include "coherence/protocol.hh"
+
+#include "common/log.hh"
+
+namespace rc
+{
+
+const char *
+toString(ProtoEvent e)
+{
+    switch (e) {
+      case ProtoEvent::GETS: return "GETS";
+      case ProtoEvent::GETX: return "GETX";
+      case ProtoEvent::UPG: return "UPG";
+      case ProtoEvent::PUTS: return "PUTS";
+      case ProtoEvent::PUTX: return "PUTX";
+      case ProtoEvent::DataRepl: return "DataRepl";
+      case ProtoEvent::TagRepl: return "TagRepl";
+    }
+    return "?";
+}
+
+namespace
+{
+
+ProtoResult
+legalResult(LlcState next, std::uint32_t actions)
+{
+    return ProtoResult{next, actions, true};
+}
+
+ProtoResult
+illegal(LlcState state)
+{
+    return ProtoResult{state, 0, false};
+}
+
+/** Transitions out of I: first request allocates a tag. */
+ProtoResult
+fromInvalid(const ProtoInput &in)
+{
+    if (in.ownerValid)
+        return illegal(in.state);
+    switch (in.event) {
+      case ProtoEvent::GETS:
+        if (in.selectiveAlloc) {
+            // Reuse cache: load the private cache only; remember the tag.
+            return legalResult(LlcState::TO,
+                              ActFetchMem | ActFillPrivate | ActAllocTag);
+        }
+        return legalResult(LlcState::S,
+                          ActFetchMem | ActFillPrivate | ActAllocTag |
+                          ActAllocData);
+      case ProtoEvent::GETX:
+        if (in.selectiveAlloc) {
+            return legalResult(LlcState::TO,
+                              ActFetchMem | ActFillPrivate | ActAllocTag |
+                              ActSetOwner);
+        }
+        return legalResult(LlcState::S,
+                          ActFetchMem | ActFillPrivate | ActAllocTag |
+                          ActAllocData | ActSetOwner);
+      default:
+        // Inclusion guarantees no private copy exists: UPG/PUTS/PUTX
+        // cannot arrive, and there is nothing to replace.
+        return illegal(in.state);
+    }
+}
+
+/** Transitions out of TO (tag only): the first hit is a detected reuse. */
+ProtoResult
+fromTagOnly(const ProtoInput &in)
+{
+    switch (in.event) {
+      case ProtoEvent::GETS:
+        if (in.prefetch) {
+            // A speculative access is not a reuse (paper Section 6:
+            // prefetched lines keep the lowest priority): deliver the
+            // line but allocate no data.
+            if (in.ownerValid) {
+                return legalResult(LlcState::TO,
+                                  ActFetchOwner | ActFillPrivate |
+                                  ActWriteMemPut | ActClearOwner);
+            }
+            return legalResult(LlcState::TO,
+                              ActFetchMem | ActFillPrivate);
+        }
+        if (in.ownerValid) {
+            // Intervention supplies the data; it is dirty w.r.t. memory,
+            // so the allocated data-array copy enters M.
+            return legalResult(LlcState::M,
+                              ActFetchOwner | ActFillPrivate |
+                              ActAllocData | ActClearOwner);
+        }
+        // The paper's double-fetch: the line is read from memory again
+        // and loaded in the private cache and data array simultaneously.
+        return legalResult(LlcState::S,
+                          ActFetchMem | ActFillPrivate | ActAllocData);
+      case ProtoEvent::GETX:
+        if (in.ownerValid) {
+            return legalResult(LlcState::M,
+                              ActFetchOwner | ActFillPrivate | ActAllocData |
+                              ActInvSharers | ActSetOwner);
+        }
+        return legalResult(LlcState::S,
+                          ActFetchMem | ActFillPrivate | ActAllocData |
+                          ActInvSharers | ActSetOwner);
+      case ProtoEvent::UPG:
+        // No data transfer: grant exclusivity, stay tag-only.
+        return legalResult(LlcState::TO, ActInvSharers | ActSetOwner);
+      case ProtoEvent::PUTS:
+        return legalResult(LlcState::TO, 0);
+      case ProtoEvent::PUTX:
+        // No data array entry to absorb the writeback: write through to
+        // memory (an eviction is not a reuse).
+        return legalResult(LlcState::TO, ActWriteMemPut | ActClearOwner);
+      case ProtoEvent::DataRepl:
+        return illegal(in.state); // no data to replace
+      case ProtoEvent::TagRepl:
+        if (in.ownerValid) {
+            return legalResult(LlcState::I,
+                              ActRecallSharers | ActFetchOwner |
+                              ActWriteMemPut | ActClearOwner);
+        }
+        return legalResult(LlcState::I, ActRecallSharers);
+    }
+    return illegal(in.state);
+}
+
+/** Transitions out of S (tag + data, memory up to date). */
+ProtoResult
+fromShared(const ProtoInput &in)
+{
+    switch (in.event) {
+      case ProtoEvent::GETS:
+        if (in.ownerValid) {
+            // The data-array copy is stale w.r.t. the owner: intervene
+            // and absorb the dirty line.
+            return legalResult(LlcState::M,
+                              ActFetchOwner | ActFillPrivate |
+                              ActWriteLlcData | ActClearOwner);
+        }
+        return legalResult(LlcState::S, ActDataHit | ActFillPrivate);
+      case ProtoEvent::GETX:
+        if (in.ownerValid) {
+            return legalResult(LlcState::M,
+                              ActFetchOwner | ActFillPrivate |
+                              ActWriteLlcData | ActInvSharers |
+                              ActSetOwner);
+        }
+        return legalResult(LlcState::S,
+                          ActDataHit | ActFillPrivate | ActInvSharers |
+                          ActSetOwner);
+      case ProtoEvent::UPG:
+        return legalResult(LlcState::S, ActInvSharers | ActSetOwner);
+      case ProtoEvent::PUTS:
+        return legalResult(LlcState::S, 0);
+      case ProtoEvent::PUTX:
+        // Absorb the dirty line into the data array.
+        return legalResult(LlcState::M, ActWriteLlcData | ActClearOwner);
+      case ProtoEvent::DataRepl:
+        // Clean data: drop it, keep the tag.
+        return legalResult(LlcState::TO, 0);
+      case ProtoEvent::TagRepl:
+        if (in.ownerValid) {
+            return legalResult(LlcState::I,
+                              ActRecallSharers | ActFetchOwner |
+                              ActWriteMemPut | ActClearOwner);
+        }
+        return legalResult(LlcState::I, ActRecallSharers);
+    }
+    return illegal(in.state);
+}
+
+/** Transitions out of M (tag + data, memory stale). */
+ProtoResult
+fromModified(const ProtoInput &in)
+{
+    switch (in.event) {
+      case ProtoEvent::GETS:
+        if (in.ownerValid) {
+            return legalResult(LlcState::M,
+                              ActFetchOwner | ActFillPrivate |
+                              ActWriteLlcData | ActClearOwner);
+        }
+        return legalResult(LlcState::M, ActDataHit | ActFillPrivate);
+      case ProtoEvent::GETX:
+        if (in.ownerValid) {
+            return legalResult(LlcState::M,
+                              ActFetchOwner | ActFillPrivate |
+                              ActWriteLlcData | ActInvSharers |
+                              ActSetOwner);
+        }
+        return legalResult(LlcState::M,
+                          ActDataHit | ActFillPrivate | ActInvSharers |
+                          ActSetOwner);
+      case ProtoEvent::UPG:
+        return legalResult(LlcState::M, ActInvSharers | ActSetOwner);
+      case ProtoEvent::PUTS:
+        return legalResult(LlcState::M, 0);
+      case ProtoEvent::PUTX:
+        return legalResult(LlcState::M, ActWriteLlcData | ActClearOwner);
+      case ProtoEvent::DataRepl:
+        if (in.ownerValid) {
+            // The only valid copy lives in the owner's private cache;
+            // dropping the stale SLLC copy needs no writeback.
+            return legalResult(LlcState::TO, 0);
+        }
+        return legalResult(LlcState::TO, ActWriteMemData);
+      case ProtoEvent::TagRepl:
+        if (in.ownerValid) {
+            return legalResult(LlcState::I,
+                              ActRecallSharers | ActFetchOwner |
+                              ActWriteMemPut | ActClearOwner);
+        }
+        return legalResult(LlcState::I,
+                          ActRecallSharers | ActWriteMemData);
+    }
+    return illegal(in.state);
+}
+
+} // namespace
+
+ProtoResult
+protocolTransition(const ProtoInput &in)
+{
+    switch (in.state) {
+      case LlcState::I:
+        return fromInvalid(in);
+      case LlcState::TO:
+        return in.selectiveAlloc ? fromTagOnly(in) : illegal(in.state);
+      case LlcState::S:
+        return fromShared(in);
+      case LlcState::M:
+        return fromModified(in);
+    }
+    return illegal(in.state);
+}
+
+std::string
+actionsToString(std::uint32_t actions)
+{
+    static const struct { std::uint32_t bit; const char *name; } names[] = {
+        {ActFetchMem, "FetchMem"},
+        {ActFetchOwner, "FetchOwner"},
+        {ActDataHit, "DataHit"},
+        {ActFillPrivate, "FillPrivate"},
+        {ActAllocTag, "AllocTag"},
+        {ActAllocData, "AllocData"},
+        {ActWriteMemData, "WriteMemData"},
+        {ActWriteMemPut, "WriteMemPut"},
+        {ActWriteLlcData, "WriteLlcData"},
+        {ActInvSharers, "InvSharers"},
+        {ActRecallSharers, "RecallSharers"},
+        {ActSetOwner, "SetOwner"},
+        {ActClearOwner, "ClearOwner"},
+    };
+    std::string out;
+    for (const auto &n : names) {
+        if (actions & n.bit) {
+            if (!out.empty())
+                out += '|';
+            out += n.name;
+        }
+    }
+    return out.empty() ? "none" : out;
+}
+
+} // namespace rc

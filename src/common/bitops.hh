@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Small bit-manipulation helpers used by cache geometry and cost models.
+ */
+
+#ifndef RC_COMMON_BITOPS_HH
+#define RC_COMMON_BITOPS_HH
+
+#include <bit>
+#include <cstdint>
+
+namespace rc
+{
+
+/** @return true iff @p v is a power of two (0 is not). */
+constexpr bool
+isPowerOf2(std::uint64_t v)
+{
+    return v != 0 && (v & (v - 1)) == 0;
+}
+
+/** Floor of log2; @p v must be non-zero. */
+constexpr std::uint32_t
+floorLog2(std::uint64_t v)
+{
+    return 63u - static_cast<std::uint32_t>(std::countl_zero(v));
+}
+
+/** Ceiling of log2; @p v must be non-zero. */
+constexpr std::uint32_t
+ceilLog2(std::uint64_t v)
+{
+    return v <= 1 ? 0 : floorLog2(v - 1) + 1;
+}
+
+/**
+ * Number of bits needed to encode @p n distinct values.
+ * bitsFor(1) == 0, bitsFor(16) == 4, bitsFor(17) == 5.
+ */
+constexpr std::uint32_t
+bitsFor(std::uint64_t n)
+{
+    return ceilLog2(n);
+}
+
+/** Extract @p num_bits starting at bit @p lsb from @p v. */
+constexpr std::uint64_t
+bitField(std::uint64_t v, std::uint32_t lsb, std::uint32_t num_bits)
+{
+    if (num_bits == 0)
+        return 0;
+    if (num_bits >= 64)
+        return v >> lsb;
+    return (v >> lsb) & ((std::uint64_t{1} << num_bits) - 1);
+}
+
+} // namespace rc
+
+#endif // RC_COMMON_BITOPS_HH

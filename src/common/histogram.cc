@@ -1,0 +1,104 @@
+#include "common/histogram.hh"
+
+#include <ostream>
+
+#include "common/bitops.hh"
+#include "common/log.hh"
+
+namespace rc
+{
+
+Histogram::Histogram(std::size_t cap) : buckets(cap, 0)
+{
+    RC_ASSERT(cap > 0, "histogram needs at least one bucket");
+}
+
+void
+Histogram::record(std::uint64_t value)
+{
+    if (value < buckets.size())
+        ++buckets[value];
+    else
+        ++over;
+    ++samples;
+    sum += value;
+}
+
+double
+Histogram::mean() const
+{
+    return samples ? static_cast<double>(sum) / static_cast<double>(samples)
+                   : 0.0;
+}
+
+std::uint64_t
+Histogram::bucket(std::size_t value) const
+{
+    RC_ASSERT(value < buckets.size(), "bucket %zu out of range", value);
+    return buckets[value];
+}
+
+void
+Histogram::reset()
+{
+    for (auto &b : buckets)
+        b = 0;
+    over = 0;
+    samples = 0;
+    sum = 0;
+}
+
+void
+Histogram::merge(const Histogram &other)
+{
+    RC_ASSERT(other.buckets.size() == buckets.size(),
+              "histogram capacity mismatch");
+    for (std::size_t i = 0; i < buckets.size(); ++i)
+        buckets[i] += other.buckets[i];
+    over += other.over;
+    samples += other.samples;
+    sum += other.sum;
+}
+
+Log2Histogram::Log2Histogram(std::size_t num_buckets)
+    : buckets(num_buckets, 0)
+{
+    RC_ASSERT(num_buckets > 0, "log2 histogram needs at least one bucket");
+}
+
+void
+Log2Histogram::record(std::uint64_t value)
+{
+    std::size_t idx = value <= 1 ? 0 : floorLog2(value);
+    if (idx >= buckets.size())
+        idx = buckets.size() - 1;
+    ++buckets[idx];
+    ++samples;
+}
+
+std::uint64_t
+Log2Histogram::bucket(std::size_t i) const
+{
+    RC_ASSERT(i < buckets.size(), "log bucket %zu out of range", i);
+    return buckets[i];
+}
+
+void
+Log2Histogram::reset()
+{
+    for (auto &b : buckets)
+        b = 0;
+    samples = 0;
+}
+
+void
+Log2Histogram::dump(std::ostream &os, const std::string &label) const
+{
+    os << label << " (" << samples << " samples)\n";
+    for (std::size_t i = 0; i < buckets.size(); ++i) {
+        if (buckets[i])
+            os << "  2^" << i << ": " << buckets[i] << '\n';
+    }
+}
+
+} // namespace rc

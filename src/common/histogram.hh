@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Fixed-bucket and log2-bucket histograms for reuse-distance and
+ * hits-per-generation distributions.
+ */
+
+#ifndef RC_COMMON_HISTOGRAM_HH
+#define RC_COMMON_HISTOGRAM_HH
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace rc
+{
+
+/**
+ * Histogram with unit-width buckets [0, cap); samples >= cap go to an
+ * overflow bucket.  Tracks the exact sum so means stay exact.
+ */
+class Histogram
+{
+  public:
+    /** @param cap number of unit buckets before overflow. */
+    explicit Histogram(std::size_t cap);
+
+    /** Record one sample. */
+    void record(std::uint64_t value);
+
+    /** Number of samples recorded. */
+    std::uint64_t count() const { return samples; }
+
+    /** Sum of all samples. */
+    std::uint64_t total() const { return sum; }
+
+    /** Mean of all samples (0 when empty). */
+    double mean() const;
+
+    /** Count in bucket @p value (overflow excluded). */
+    std::uint64_t bucket(std::size_t value) const;
+
+    /** Count of samples >= cap. */
+    std::uint64_t overflow() const { return over; }
+
+    /** Number of unit buckets. */
+    std::size_t capacity() const { return buckets.size(); }
+
+    /** Zero everything. */
+    void reset();
+
+    /** Merge another histogram of identical capacity into this one. */
+    void merge(const Histogram &other);
+
+  private:
+    std::vector<std::uint64_t> buckets;
+    std::uint64_t over = 0;
+    std::uint64_t samples = 0;
+    std::uint64_t sum = 0;
+};
+
+/**
+ * Log2-bucket histogram: bucket i counts samples in [2^i, 2^(i+1)),
+ * bucket 0 counts {0, 1}.  Used for reuse-distance profiles.
+ */
+class Log2Histogram
+{
+  public:
+    explicit Log2Histogram(std::size_t num_buckets = 40);
+
+    /** Record one sample. */
+    void record(std::uint64_t value);
+
+    /** Count in log bucket @p i. */
+    std::uint64_t bucket(std::size_t i) const;
+
+    /** Number of log buckets. */
+    std::size_t size() const { return buckets.size(); }
+
+    /** Number of samples recorded. */
+    std::uint64_t count() const { return samples; }
+
+    /** Zero everything. */
+    void reset();
+
+    /** Render "2^i: count" lines. */
+    void dump(std::ostream &os, const std::string &label) const;
+
+  private:
+    std::vector<std::uint64_t> buckets;
+    std::uint64_t samples = 0;
+};
+
+} // namespace rc
+
+#endif // RC_COMMON_HISTOGRAM_HH

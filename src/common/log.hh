@@ -1,0 +1,54 @@
+/**
+ * @file
+ * gem5-style status / error reporting.
+ *
+ * panic()  - internal invariant violated (a bug in this library); aborts.
+ * fatal()  - the user asked for something impossible (bad config); exits.
+ * warn()   - something questionable happened; execution continues.
+ * inform() - plain status output.
+ */
+
+#ifndef RC_COMMON_LOG_HH
+#define RC_COMMON_LOG_HH
+
+#include <cstdarg>
+#include <string>
+
+namespace rc
+{
+
+/** Abort with a formatted message; use for internal invariant violations. */
+[[noreturn]] void panic(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** Exit(1) with a formatted message; use for user/configuration errors. */
+[[noreturn]] void fatal(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** Print a warning to stderr; execution continues. */
+void warn(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/** Print an informational message to stderr. */
+void inform(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/** Suppress warn()/inform() output (benches use this to keep tables clean). */
+void setQuiet(bool quiet);
+
+/** @return whether warn()/inform() are currently suppressed. */
+bool quiet();
+
+/**
+ * Assert-like check that stays enabled in release builds.
+ * Prefer this over <cassert> for simulator invariants.
+ */
+#define RC_ASSERT(cond, msg, ...)                                             \
+    do {                                                                      \
+        if (!(cond)) {                                                        \
+            ::rc::panic("assertion '%s' failed at %s:%d: " msg,               \
+                        #cond, __FILE__, __LINE__ __VA_OPT__(,) __VA_ARGS__); \
+        }                                                                     \
+    } while (0)
+
+} // namespace rc
+
+#endif // RC_COMMON_LOG_HH

@@ -1,0 +1,151 @@
+#include "common/stats.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <ostream>
+
+#include "common/log.hh"
+
+namespace rc
+{
+
+Counter &
+StatSet::add(const std::string &name, const std::string &desc)
+{
+    for (const auto &e : stats) {
+        if (e.name == name)
+            panic("duplicate stat '%s' in set '%s'",
+                  name.c_str(), setName.c_str());
+    }
+    stats.push_back(Entry{name, desc, 0});
+    return stats.back().value;
+}
+
+Counter
+StatSet::lookup(const std::string &name) const
+{
+    for (const auto &e : stats) {
+        if (e.name == name)
+            return e.value;
+    }
+    panic("unknown stat '%s' in set '%s'", name.c_str(), setName.c_str());
+}
+
+bool
+StatSet::has(const std::string &name) const
+{
+    for (const auto &e : stats) {
+        if (e.name == name)
+            return true;
+    }
+    return false;
+}
+
+void
+StatSet::reset()
+{
+    for (auto &e : stats)
+        e.value = 0;
+}
+
+void
+StatSet::dump(std::ostream &os) const
+{
+    for (const auto &e : stats) {
+        os << setName << '.' << e.name << " = " << e.value
+           << "  # " << e.desc << '\n';
+    }
+}
+
+void
+Accum::add(double x)
+{
+    if (n == 0) {
+        lo = hi = x;
+    } else {
+        lo = std::min(lo, x);
+        hi = std::max(hi, x);
+    }
+    ++n;
+    sum += x;
+    sumSq += x * x;
+    sumLog += x > 0.0 ? std::log(x) : 0.0;
+}
+
+double
+Accum::mean() const
+{
+    return n ? sum / static_cast<double>(n) : 0.0;
+}
+
+double
+Accum::min() const
+{
+    return n ? lo : 0.0;
+}
+
+double
+Accum::max() const
+{
+    return n ? hi : 0.0;
+}
+
+double
+Accum::stddev() const
+{
+    if (n == 0)
+        return 0.0;
+    const double m = mean();
+    const double var = sumSq / static_cast<double>(n) - m * m;
+    return var > 0.0 ? std::sqrt(var) : 0.0;
+}
+
+double
+Accum::geomean() const
+{
+    return n ? std::exp(sumLog / static_cast<double>(n)) : 0.0;
+}
+
+void
+Accum::reset()
+{
+    *this = Accum{};
+}
+
+namespace
+{
+
+/** Linear-interpolated quantile of a sorted vector. */
+double
+quantileSorted(const std::vector<double> &v, double q)
+{
+    if (v.empty())
+        return 0.0;
+    if (v.size() == 1)
+        return v.front();
+    const double pos = q * static_cast<double>(v.size() - 1);
+    const auto idx = static_cast<std::size_t>(pos);
+    const double frac = pos - static_cast<double>(idx);
+    if (idx + 1 >= v.size())
+        return v.back();
+    return v[idx] * (1.0 - frac) + v[idx + 1] * frac;
+}
+
+} // namespace
+
+Quartiles
+computeQuartiles(std::vector<double> samples)
+{
+    Quartiles q;
+    if (samples.empty())
+        return q;
+    std::sort(samples.begin(), samples.end());
+    q.min = samples.front();
+    q.q1 = quantileSorted(samples, 0.25);
+    q.median = quantileSorted(samples, 0.5);
+    q.q3 = quantileSorted(samples, 0.75);
+    q.max = samples.back();
+    return q;
+}
+
+} // namespace rc

@@ -1,0 +1,134 @@
+/**
+ * @file
+ * Minimal statistics framework.
+ *
+ * Components own a StatSet and register named counters in it; harnesses
+ * read, reset, and pretty-print them.  An Accum aggregates doubles across
+ * workloads (mean / min / max / stddev), which is what the paper's figures
+ * report.
+ */
+
+#ifndef RC_COMMON_STATS_HH
+#define RC_COMMON_STATS_HH
+
+#include <cstdint>
+#include <deque>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace rc
+{
+
+/** Monotonic event counter. */
+using Counter = std::uint64_t;
+
+/**
+ * A named collection of counters with stable references.
+ *
+ * Counters are stored in a deque so that references returned by add()
+ * remain valid as more counters are registered.
+ */
+class StatSet
+{
+  public:
+    /** One registered counter. */
+    struct Entry
+    {
+        std::string name;
+        std::string desc;
+        Counter value = 0;
+    };
+
+    explicit StatSet(std::string name_) : setName(std::move(name_)) {}
+
+    StatSet(const StatSet &) = delete;
+    StatSet &operator=(const StatSet &) = delete;
+
+    /**
+     * Register a counter.
+     * @param name Short dotted name, unique within the set.
+     * @param desc One-line human description.
+     * @return Reference valid for the lifetime of this StatSet.
+     */
+    Counter &add(const std::string &name, const std::string &desc);
+
+    /** Look a counter up by name; panics if absent. */
+    Counter lookup(const std::string &name) const;
+
+    /** @return true iff a counter with @p name exists. */
+    bool has(const std::string &name) const;
+
+    /** Zero every counter. */
+    void reset();
+
+    /** All registered entries, in registration order. */
+    const std::deque<Entry> &entries() const { return stats; }
+
+    /** Name given at construction. */
+    const std::string &name() const { return setName; }
+
+    /** Print "name.counter = value  # desc" lines. */
+    void dump(std::ostream &os) const;
+
+  private:
+    std::string setName;
+    std::deque<Entry> stats;
+};
+
+/** Streaming aggregation of doubles: count/mean/min/max/stddev. */
+class Accum
+{
+  public:
+    /** Incorporate one sample. */
+    void add(double x);
+
+    /** Number of samples so far. */
+    std::uint64_t count() const { return n; }
+
+    /** Arithmetic mean (0 when empty). */
+    double mean() const;
+
+    /** Smallest sample (0 when empty). */
+    double min() const;
+
+    /** Largest sample (0 when empty). */
+    double max() const;
+
+    /** Population standard deviation (0 when empty). */
+    double stddev() const;
+
+    /** Geometric mean; samples must be positive (0 when empty). */
+    double geomean() const;
+
+    /** Forget all samples. */
+    void reset();
+
+  private:
+    std::uint64_t n = 0;
+    double sum = 0.0;
+    double sumSq = 0.0;
+    double sumLog = 0.0;
+    double lo = 0.0;
+    double hi = 0.0;
+};
+
+/**
+ * Quartile summary of a sample set (Figure 10 of the paper reports
+ * min / Q1 / median / Q3 / max per application).
+ */
+struct Quartiles
+{
+    double min = 0.0;
+    double q1 = 0.0;
+    double median = 0.0;
+    double q3 = 0.0;
+    double max = 0.0;
+};
+
+/** Compute quartiles of @p samples (copied and sorted internally). */
+Quartiles computeQuartiles(std::vector<double> samples);
+
+} // namespace rc
+
+#endif // RC_COMMON_STATS_HH

@@ -1,0 +1,98 @@
+#include "common/table.hh"
+
+#include <algorithm>
+#include <cstdio>
+#include <ostream>
+
+#include "common/log.hh"
+
+namespace rc
+{
+
+Table::Table(std::string title_) : title(std::move(title_)) {}
+
+void
+Table::header(std::vector<std::string> cols)
+{
+    head = std::move(cols);
+}
+
+void
+Table::row(std::vector<std::string> cols)
+{
+    RC_ASSERT(head.empty() || cols.size() == head.size(),
+              "row width %zu does not match header width %zu",
+              cols.size(), head.size());
+    body.push_back(std::move(cols));
+}
+
+void
+Table::print(std::ostream &os) const
+{
+    std::vector<std::size_t> widths(head.size(), 0);
+    auto widen = [&widths](const std::vector<std::string> &cols) {
+        if (widths.size() < cols.size())
+            widths.resize(cols.size(), 0);
+        for (std::size_t i = 0; i < cols.size(); ++i)
+            widths[i] = std::max(widths[i], cols[i].size());
+    };
+    widen(head);
+    for (const auto &r : body)
+        widen(r);
+
+    auto emit = [&os, &widths](const std::vector<std::string> &cols) {
+        os << "| ";
+        for (std::size_t i = 0; i < widths.size(); ++i) {
+            const std::string &cell = i < cols.size() ? cols[i] : "";
+            os << cell << std::string(widths[i] - cell.size(), ' ');
+            os << (i + 1 < widths.size() ? " | " : " |");
+        }
+        os << '\n';
+    };
+
+    std::size_t total = 4;
+    for (auto w : widths)
+        total += w + 3;
+
+    os << '\n' << title << '\n';
+    os << std::string(total > 4 ? total - 4 : title.size(), '-') << '\n';
+    if (!head.empty()) {
+        emit(head);
+        os << std::string(total > 4 ? total - 4 : 0, '-') << '\n';
+    }
+    for (const auto &r : body)
+        emit(r);
+    os.flush();
+}
+
+std::string
+fmtDouble(double v, int digits)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", digits, v);
+    return buf;
+}
+
+std::string
+fmtPercent(double fraction, int digits)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f%%", digits, fraction * 100.0);
+    return buf;
+}
+
+std::string
+fmtInt(std::uint64_t v)
+{
+    std::string raw = std::to_string(v);
+    std::string out;
+    out.reserve(raw.size() + raw.size() / 3);
+    for (std::size_t i = 0; i < raw.size(); ++i) {
+        if (i != 0 && (raw.size() - i) % 3 == 0)
+            out.push_back(',');
+        out.push_back(raw[i]);
+    }
+    return out;
+}
+
+} // namespace rc

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * ASCII table renderer used by the benchmark harnesses to print the
+ * paper's tables and figure series in a uniform format.
+ */
+
+#ifndef RC_COMMON_TABLE_HH
+#define RC_COMMON_TABLE_HH
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace rc
+{
+
+/** Column-aligned text table with a title and header row. */
+class Table
+{
+  public:
+    /** @param title caption printed above the table. */
+    explicit Table(std::string title);
+
+    /** Set the header row; defines the column count. */
+    void header(std::vector<std::string> cols);
+
+    /** Append one data row; must match the header width. */
+    void row(std::vector<std::string> cols);
+
+    /** Render with aligned columns and separators. */
+    void print(std::ostream &os) const;
+
+    /** Number of data rows so far. */
+    std::size_t rows() const { return body.size(); }
+
+  private:
+    std::string title;
+    std::vector<std::string> head;
+    std::vector<std::vector<std::string>> body;
+};
+
+/** Format a double with @p digits decimal places. */
+std::string fmtDouble(double v, int digits = 3);
+
+/** Format a fraction (0..1) as a percentage with @p digits decimals. */
+std::string fmtPercent(double fraction, int digits = 1);
+
+/** Format an integer with thousands separators: 69888 -> "69,888". */
+std::string fmtInt(std::uint64_t v);
+
+} // namespace rc
+
+#endif // RC_COMMON_TABLE_HH

@@ -1,0 +1,90 @@
+#include "mem/dram.hh"
+
+#include <algorithm>
+
+#include "common/bitops.hh"
+#include "common/log.hh"
+
+namespace rc
+{
+
+DramChannel::DramChannel(const DramConfig &cfg_, const std::string &name)
+    : cfg(cfg_),
+      banks(cfg_.numBanks),
+      statSet(name),
+      reads(statSet.add("reads", "line reads serviced")),
+      writes(statSet.add("writes", "line writebacks accepted")),
+      rowHits(statSet.add("rowHits", "accesses hitting the open row")),
+      rowMisses(statSet.add("rowMisses", "accesses to a closed bank")),
+      rowConflicts(statSet.add("rowConflicts",
+                               "accesses evicting a different open row")),
+      busWaitCycles(statSet.add("busWaitCycles",
+                                "cycles spent waiting for the data bus")),
+      bankWaitCycles(statSet.add("bankWaitCycles",
+                                 "cycles spent waiting for a busy bank"))
+{
+    RC_ASSERT(cfg.numBanks > 0, "channel needs at least one bank");
+    RC_ASSERT(isPowerOf2(cfg.pageBytes), "page size must be a power of two");
+}
+
+DramResult
+DramChannel::access(Addr line_addr, Cycle now, bool is_write)
+{
+    // Interleave banks on line address bits just above the line offset so
+    // a streaming access pattern spreads across banks.
+    const Addr line = lineNumber(line_addr);
+    const std::size_t bank_idx = line % banks.size();
+    const std::uint64_t row = line_addr / (cfg.pageBytes * banks.size());
+
+    Bank &bank = banks[bank_idx];
+
+    const Cycle bank_ready = std::max(now, bank.busyUntil);
+    bankWaitCycles += bank_ready - now;
+
+    DramResult res;
+    Cycle access_lat;
+    if (bank.openRow == row) {
+        res.rowHit = true;
+        access_lat = cfg.rowHitLatency;
+        ++rowHits;
+    } else if (bank.openRow == UINT64_MAX) {
+        access_lat = cfg.rowMissLatency;
+        ++rowMisses;
+    } else {
+        access_lat = cfg.rowMissLatency + cfg.rowConflictExtra;
+        ++rowConflicts;
+    }
+    bank.openRow = row;
+
+    const Cycle data_ready = bank_ready + access_lat;
+    Cycle done;
+    if (is_write) {
+        // Posted writebacks drain through the controller's write buffer
+        // in idle bus slots (standard controller behaviour); they hold
+        // their bank but do not head-of-line-block demand reads.
+        done = data_ready + cfg.busCyclesPerLine;
+        ++writes;
+    } else {
+        const Cycle bus_start = std::max(data_ready, busBusyUntil);
+        busWaitCycles += bus_start - data_ready;
+        done = bus_start + cfg.busCyclesPerLine;
+        busBusyUntil = done;
+        ++reads;
+    }
+
+    bank.busyUntil = bank_ready + access_lat + cfg.bankOccupancy;
+
+    res.doneAt = done;
+    return res;
+}
+
+void
+DramChannel::reset()
+{
+    for (auto &b : banks)
+        b = Bank{};
+    busBusyUntil = 0;
+    statSet.reset();
+}
+
+} // namespace rc

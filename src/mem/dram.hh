@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Occupancy-based DDR3 DRAM channel model.
+ *
+ * Mirrors the paper's baseline memory (Table 4): one rank of 16 banks with
+ * 4 KB pages behind a DDR3-1333 channel; a raw access costs 92 processor
+ * cycles and transferring one 64 B line occupies the 8-byte bus for 16
+ * processor cycles.  Banks keep an open row, so consecutive accesses to
+ * the same row are cheaper and row conflicts pay a precharge penalty.
+ *
+ * The model is atomic: a request presented at cycle `now` returns its
+ * completion cycle, and the bank/bus busy windows it consumed are recorded
+ * so later requests queue behind it.  This captures bandwidth contention
+ * without a full command-level (tRCD/tRP/tCAS) scheduler.
+ */
+
+#ifndef RC_MEM_DRAM_HH
+#define RC_MEM_DRAM_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/stats.hh"
+#include "common/types.hh"
+
+namespace rc
+{
+
+/** Timing and geometry of one DRAM channel. */
+struct DramConfig
+{
+    std::uint32_t numBanks = 16;      //!< banks per channel (1 rank)
+    std::uint32_t pageBytes = 4096;   //!< row-buffer (page) size
+    Cycle rowMissLatency = 92;        //!< closed-row access, CPU cycles
+    Cycle rowHitLatency = 40;         //!< open-row access, CPU cycles
+    Cycle rowConflictExtra = 24;      //!< extra precharge on row conflict
+    Cycle busCyclesPerLine = 16;      //!< 64 B line on an 8 B DDR3-1333 bus
+    Cycle bankOccupancy = 24;         //!< bank busy window per access
+};
+
+/** Completion information for one DRAM access. */
+struct DramResult
+{
+    Cycle doneAt = 0;      //!< cycle at which the line is available
+    bool rowHit = false;   //!< serviced from the open row buffer
+};
+
+/**
+ * One DDR3 channel: a set of banks with open-row tracking plus a shared
+ * data bus.  Deterministic and allocation-free on the access path.
+ */
+class DramChannel
+{
+  public:
+    /**
+     * @param cfg timing parameters.
+     * @param name stat-set name (e.g. "dram0").
+     */
+    explicit DramChannel(const DramConfig &cfg, const std::string &name);
+
+    /**
+     * Perform one line read or write.
+     *
+     * Reads return the cycle at which data is available.  Writes are
+     * posted: they consume bank and bus occupancy but the returned
+     * completion time never stalls the requester.
+     *
+     * @param line_addr line-aligned physical address.
+     * @param now cycle at which the request reaches the channel.
+     * @param is_write true for a writeback.
+     */
+    DramResult access(Addr line_addr, Cycle now, bool is_write);
+
+    /** Counter access for harnesses. */
+    const StatSet &stats() const { return statSet; }
+
+    /** Reset open rows, busy windows and counters. */
+    void reset();
+
+    /** Timing parameters in force. */
+    const DramConfig &config() const { return cfg; }
+
+  private:
+    struct Bank
+    {
+        std::uint64_t openRow = UINT64_MAX;
+        Cycle busyUntil = 0;
+    };
+
+    DramConfig cfg;
+    std::vector<Bank> banks;
+    Cycle busBusyUntil = 0;
+
+    StatSet statSet;
+    Counter &reads;
+    Counter &writes;
+    Counter &rowHits;
+    Counter &rowMisses;
+    Counter &rowConflicts;
+    Counter &busWaitCycles;
+    Counter &bankWaitCycles;
+};
+
+} // namespace rc
+
+#endif // RC_MEM_DRAM_HH

@@ -1,0 +1,61 @@
+#include "mem/memctrl.hh"
+
+#include "common/log.hh"
+
+namespace rc
+{
+
+MemCtrl::MemCtrl(const MemCtrlConfig &cfg, const std::string &name)
+{
+    RC_ASSERT(cfg.numChannels > 0, "need at least one memory channel");
+    chans.reserve(cfg.numChannels);
+    for (std::uint32_t i = 0; i < cfg.numChannels; ++i) {
+        chans.push_back(std::make_unique<DramChannel>(
+            cfg.dram, name + std::to_string(i)));
+    }
+}
+
+DramChannel &
+MemCtrl::channelFor(Addr line_addr)
+{
+    return *chans[lineNumber(line_addr) % chans.size()];
+}
+
+Cycle
+MemCtrl::readLine(Addr line_addr, Cycle now)
+{
+    return channelFor(line_addr).access(line_addr, now, false).doneAt;
+}
+
+void
+MemCtrl::writeLine(Addr line_addr, Cycle now)
+{
+    channelFor(line_addr).access(line_addr, now, true);
+}
+
+Counter
+MemCtrl::totalReads() const
+{
+    Counter n = 0;
+    for (const auto &c : chans)
+        n += c->stats().lookup("reads");
+    return n;
+}
+
+Counter
+MemCtrl::totalWrites() const
+{
+    Counter n = 0;
+    for (const auto &c : chans)
+        n += c->stats().lookup("writes");
+    return n;
+}
+
+void
+MemCtrl::reset()
+{
+    for (auto &c : chans)
+        c->reset();
+}
+
+} // namespace rc

@@ -1,0 +1,109 @@
+#include "model/cost_model.hh"
+
+#include "common/bitops.hh"
+#include "common/log.hh"
+#include "common/types.hh"
+
+namespace rc
+{
+
+std::uint32_t
+replacementBitsPerLine(ReplKind kind)
+{
+    switch (kind) {
+      case ReplKind::LRU:
+        // The paper costs the conventional cache with NRU "to not bias
+        // the comparison"; true LRU would need log2(ways!) bits shared
+        // across the set.  We follow the paper: 1 bit.
+      case ReplKind::NRU:
+      case ReplKind::NRR:
+      case ReplKind::Clock:
+        return 1;
+      case ReplKind::Random:
+        return 0;
+      case ReplKind::SRRIP:
+      case ReplKind::BRRIP:
+      case ReplKind::DRRIP:
+        return 2;
+    }
+    return 1;
+}
+
+namespace
+{
+
+std::uint32_t
+tagFieldBits(std::uint64_t sets, std::uint32_t phys_bits)
+{
+    return phys_bits - bitsFor(sets) - lineShift;
+}
+
+} // namespace
+
+CacheCost
+conventionalCost(std::uint64_t capacity_bytes, std::uint32_t ways,
+                 std::uint32_t num_cores, ReplKind repl,
+                 std::uint32_t phys_bits)
+{
+    const std::uint64_t lines = capacity_bytes / lineBytes;
+    const std::uint64_t sets = lines / ways;
+    RC_ASSERT(isPowerOf2(sets), "set count must be a power of two");
+
+    CacheCost cost;
+    cost.tagFieldBits = tagFieldBits(sets, phys_bits);
+    cost.coherenceBits = 4;
+    cost.presenceBits = num_cores;
+    cost.replacementBits = replacementBitsPerLine(repl);
+
+    cost.tag.entries = lines;
+    cost.tag.bitsPerEntry = cost.tagFieldBits + cost.coherenceBits +
+                            cost.presenceBits + cost.replacementBits;
+    cost.data.entries = lines;
+    cost.data.bitsPerEntry = lineBytes * 8;
+    return cost;
+}
+
+CacheCost
+reuseCost(std::uint64_t tag_equiv_bytes, std::uint32_t tag_ways,
+          std::uint64_t data_bytes, std::uint32_t data_ways,
+          std::uint32_t num_cores, std::uint32_t phys_bits)
+{
+    const std::uint64_t tag_entries = tag_equiv_bytes / lineBytes;
+    const std::uint64_t tag_sets = tag_entries / tag_ways;
+    const std::uint64_t data_entries = data_bytes / lineBytes;
+    const std::uint32_t dw = data_ways == 0
+        ? static_cast<std::uint32_t>(data_entries)
+        : data_ways;
+    const std::uint64_t data_sets = data_entries / dw;
+    RC_ASSERT(isPowerOf2(tag_sets) && isPowerOf2(data_sets),
+              "set counts must be powers of two");
+    RC_ASSERT(data_sets <= tag_sets,
+              "data array may not have more sets than the tag array");
+
+    CacheCost cost;
+    cost.tagFieldBits = tagFieldBits(tag_sets, phys_bits);
+    // One extra state bit: the TO-MSI protocol roughly doubles the
+    // stable-state count (paper Section 3.5, footnote 4).
+    cost.coherenceBits = 5;
+    cost.presenceBits = num_cores;
+    cost.replacementBits = 1; // NRR on tags, NRU/Clock on data
+    // Forward pointer: names the data-array way (the set index is a
+    // suffix of the tag set index).
+    cost.fwdPointerBits = bitsFor(dw);
+    // Reverse pointer: tag way plus the tag-set bits the data-set index
+    // does not imply.
+    cost.revPointerBits = bitsFor(tag_ways) +
+                          (bitsFor(tag_sets) - bitsFor(data_sets));
+
+    cost.tag.entries = tag_entries;
+    cost.tag.bitsPerEntry = cost.tagFieldBits + cost.coherenceBits +
+                            cost.presenceBits + cost.replacementBits +
+                            cost.fwdPointerBits;
+    cost.data.entries = data_entries;
+    // Data entry: the line, one valid bit, one replacement bit, and the
+    // reverse pointer.
+    cost.data.bitsPerEntry = lineBytes * 8 + 1 + 1 + cost.revPointerBits;
+    return cost;
+}
+
+} // namespace rc

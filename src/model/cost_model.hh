@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Hardware storage cost model (paper Section 3.5, Table 2).
+ *
+ * Counts the bits of tag and data arrays for conventional and reuse
+ * organizations: tags sized for a 40-bit physical space, 4-bit coherence
+ * state (5 for the reuse cache's extra tag-only states), an 8-bit
+ * full-map presence vector, one replacement bit per line, and the
+ * forward/reverse decoupling pointers of the reuse cache.
+ */
+
+#ifndef RC_MODEL_COST_MODEL_HH
+#define RC_MODEL_COST_MODEL_HH
+
+#include <cstdint>
+
+#include "cache/replacement.hh"
+
+namespace rc
+{
+
+/** Cost of one array. */
+struct ArrayCost
+{
+    std::uint64_t entries = 0;
+    std::uint32_t bitsPerEntry = 0;
+
+    /** Total bits. */
+    std::uint64_t totalBits() const { return entries * bitsPerEntry; }
+};
+
+/** Cost of a complete SLLC organization. */
+struct CacheCost
+{
+    ArrayCost tag;
+    ArrayCost data;
+
+    /** Bit breakdown of a tag entry (Table 2 rows). */
+    std::uint32_t tagFieldBits = 0;
+    std::uint32_t coherenceBits = 0;
+    std::uint32_t presenceBits = 0;
+    std::uint32_t replacementBits = 0;
+    std::uint32_t fwdPointerBits = 0;   //!< reuse cache only
+    std::uint32_t revPointerBits = 0;   //!< reuse cache only (data entry)
+
+    /** Total bits across both arrays. */
+    std::uint64_t totalBits() const
+    {
+        return tag.totalBits() + data.totalBits();
+    }
+
+    /** Total in Kbits (the unit of Table 2). */
+    double
+    totalKbits() const
+    {
+        return static_cast<double>(totalBits()) / 1024.0;
+    }
+};
+
+/** Replacement metadata width per line for a policy. */
+std::uint32_t replacementBitsPerLine(ReplKind kind);
+
+/**
+ * Conventional cache cost.
+ * @param capacity_bytes data capacity.
+ * @param ways associativity.
+ * @param num_cores presence-vector width.
+ * @param repl replacement policy (NRU/NRR/LRU-as-NRU = 1 bit, RRIP = 2).
+ * @param phys_bits physical address width.
+ */
+CacheCost conventionalCost(std::uint64_t capacity_bytes, std::uint32_t ways,
+                           std::uint32_t num_cores = 8,
+                           ReplKind repl = ReplKind::NRU,
+                           std::uint32_t phys_bits = 40);
+
+/**
+ * Reuse cache cost (RC-x/y).
+ * @param tag_equiv_bytes tag array size in MBeq-bytes.
+ * @param tag_ways tag associativity.
+ * @param data_bytes data array capacity.
+ * @param data_ways data associativity; 0 = fully associative.
+ * @param num_cores presence-vector width.
+ * @param phys_bits physical address width.
+ */
+CacheCost reuseCost(std::uint64_t tag_equiv_bytes, std::uint32_t tag_ways,
+                    std::uint64_t data_bytes, std::uint32_t data_ways = 0,
+                    std::uint32_t num_cores = 8,
+                    std::uint32_t phys_bits = 40);
+
+} // namespace rc
+
+#endif // RC_MODEL_COST_MODEL_HH

@@ -1,0 +1,92 @@
+#include "model/energy_model.hh"
+
+#include <cmath>
+
+#include "common/bitops.hh"
+
+namespace rc
+{
+
+namespace
+{
+
+// Reference: the conventional 8 MB, 16-way cache (Table 2 geometry).
+constexpr double refTagProbeBits = 16.0 * 34.0;  // ways x bits/entry
+constexpr double refDecodeBits = 13.0;           // log2(8192 sets)
+constexpr double refDataEntryBits = 512.0;
+constexpr double refDataArrayBits = 8.0 * 1024 * 1024 * 8;
+constexpr double refTotalBits = 71565312.0;      // 69888 Kbit
+
+// Weights of the model terms, chosen so the reference tag probe is 1.0
+// and a reference data access ~3x that (mirroring the latency ratio).
+constexpr double probeWeight = 0.8 / refTagProbeBits;
+constexpr double decodeWeight = 0.2 / refDecodeBits;
+constexpr double entryWeight = 1.8 / refDataEntryBits;
+constexpr double arrayWeight = 1.2; // x sqrt(bits)/sqrt(refBits)
+
+double
+tagProbeEnergy(double ways, double bits_per_entry, double sets)
+{
+    return probeWeight * ways * bits_per_entry +
+           decodeWeight * (sets > 1.0 ? std::log2(sets) : 1.0);
+}
+
+double
+dataAccessEnergy(double bits_per_entry, double total_bits)
+{
+    // Entry term (the bits actually read) plus an array term for the
+    // shared wordline/bitline capacitance, which shrinks with the array.
+    return entryWeight * bits_per_entry +
+           arrayWeight * std::sqrt(total_bits / refDataArrayBits);
+}
+
+} // namespace
+
+EnergyEstimate
+conventionalEnergy(std::uint64_t capacity_bytes, std::uint32_t ways,
+                   std::uint32_t num_cores)
+{
+    const CacheCost cost = conventionalCost(capacity_bytes, ways,
+                                            num_cores);
+    const double sets = static_cast<double>(cost.tag.entries) / ways;
+    EnergyEstimate e;
+    e.tagProbe = tagProbeEnergy(ways, cost.tag.bitsPerEntry, sets);
+    e.dataAccess = dataAccessEnergy(cost.data.bitsPerEntry,
+                                    static_cast<double>(
+                                        cost.data.totalBits()));
+    e.leakage = static_cast<double>(cost.totalBits()) / refTotalBits;
+    return e;
+}
+
+EnergyEstimate
+reuseEnergy(std::uint64_t tag_equiv_bytes, std::uint32_t tag_ways,
+            std::uint64_t data_bytes, std::uint32_t data_ways,
+            std::uint32_t num_cores)
+{
+    const CacheCost cost = reuseCost(tag_equiv_bytes, tag_ways,
+                                     data_bytes, data_ways, num_cores);
+    const double sets =
+        static_cast<double>(cost.tag.entries) / tag_ways;
+    EnergyEstimate e;
+    e.tagProbe = tagProbeEnergy(tag_ways, cost.tag.bitsPerEntry, sets);
+    // The data array is never searched associatively: exactly one entry
+    // is activated regardless of its (possibly full) associativity.
+    e.dataAccess = dataAccessEnergy(cost.data.bitsPerEntry,
+                                    static_cast<double>(
+                                        cost.data.totalBits()));
+    e.leakage = static_cast<double>(cost.totalBits()) / refTotalBits;
+    return e;
+}
+
+double
+windowEnergy(const EnergyEstimate &e, const SllcActivity &a)
+{
+    // Leakage calibration: reference cache, 1 M cycles == 10000 probes.
+    constexpr double leakagePerCycle = 10000.0 / 1.0e6;
+    return e.tagProbe * static_cast<double>(a.tagProbes) +
+           e.dataAccess * static_cast<double>(a.dataAccesses) +
+           e.leakage * leakagePerCycle *
+               static_cast<double>(a.windowCycles);
+}
+
+} // namespace rc

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * SLLC energy surrogate.
+ *
+ * The paper motivates the reuse cache partly by power: "the saved area
+ * could help to ... reduce power consumption" (Section 1).  It does not
+ * publish an energy evaluation, so this model is an extension, built on
+ * the same bit counts as the Table 2 cost model with standard scaling
+ * rules:
+ *
+ *  - a tag probe reads every way of one set in parallel: energy
+ *    proportional to ways x bits-per-tag-entry, plus a decoder term
+ *    proportional to log2(sets);
+ *  - a data access reads or writes exactly one entry (the reuse cache
+ *    never searches the data array associatively - the forward pointer
+ *    names the way): energy proportional to bits-per-data-entry, plus
+ *    an array term proportional to sqrt(total bits) for the shared
+ *    wordlines/bitlines;
+ *  - static (leakage) power is proportional to total bits.
+ *
+ * All values are normalized: the conventional 8 MB cache's tag probe
+ * costs 1.0 energy units; its leakage is 1.0 power units.
+ */
+
+#ifndef RC_MODEL_ENERGY_MODEL_HH
+#define RC_MODEL_ENERGY_MODEL_HH
+
+#include <cstdint>
+
+#include "model/cost_model.hh"
+
+namespace rc
+{
+
+/** Normalized per-event energies and static power of one organization. */
+struct EnergyEstimate
+{
+    double tagProbe = 0.0;    //!< one tag-array lookup (all ways)
+    double dataAccess = 0.0;  //!< one data-entry read or write
+    double leakage = 0.0;     //!< static power (conv 8 MB == 1.0)
+};
+
+/** Activity counts of a simulation window (from the SLLC stat sets). */
+struct SllcActivity
+{
+    std::uint64_t tagProbes = 0;   //!< demand requests + evict notifies
+    std::uint64_t dataAccesses = 0; //!< data hits + fills + writebacks
+    Cycle windowCycles = 0;        //!< for the static-energy term
+};
+
+/** Per-event energies for a conventional cache. */
+EnergyEstimate conventionalEnergy(std::uint64_t capacity_bytes,
+                                  std::uint32_t ways,
+                                  std::uint32_t num_cores = 8);
+
+/** Per-event energies for a reuse cache RC-x/y. */
+EnergyEstimate reuseEnergy(std::uint64_t tag_equiv_bytes,
+                           std::uint32_t tag_ways,
+                           std::uint64_t data_bytes,
+                           std::uint32_t data_ways = 0,
+                           std::uint32_t num_cores = 8);
+
+/**
+ * Total (dynamic + static) energy of a window in normalized units.
+ * The static term uses a fixed leakage-to-dynamic conversion so that
+ * the conventional 8 MB cache's leakage over 1 M cycles costs as much
+ * as 10000 tag probes (a typical LLC is leakage-dominated).
+ */
+double windowEnergy(const EnergyEstimate &e, const SllcActivity &a);
+
+} // namespace rc
+
+#endif // RC_MODEL_ENERGY_MODEL_HH

@@ -1,0 +1,70 @@
+#include "model/latency_model.hh"
+
+#include <cmath>
+
+namespace rc
+{
+
+namespace
+{
+
+// Calibration anchors (see the header comment).
+constexpr double refTagEntries = 131072.0;   // conventional 8 MB, 64 B lines
+constexpr double refTagBits = 34.0;          // conventional tag entry
+constexpr double refDataBits = 8.0 * 1024 * 1024 * 8; // 8 MB in bits
+constexpr double entryExp = 0.25;
+constexpr double widthExp = 0.72;
+constexpr double dataExp = 0.25;
+constexpr double dataToTagRatio = 3.0;
+
+double
+tagLatency(double entries, double bits_per_entry)
+{
+    return std::pow(entries / refTagEntries, entryExp) *
+           std::pow(bits_per_entry / refTagBits, widthExp);
+}
+
+double
+dataLatency(double total_bits)
+{
+    return dataToTagRatio * std::pow(total_bits / refDataBits, dataExp);
+}
+
+} // namespace
+
+LatencyEstimate
+conventionalLatency(std::uint64_t capacity_bytes, std::uint32_t ways,
+                    std::uint32_t num_cores)
+{
+    const CacheCost cost = conventionalCost(capacity_bytes, ways,
+                                            num_cores);
+    LatencyEstimate est;
+    est.tag = tagLatency(static_cast<double>(cost.tag.entries),
+                         cost.tag.bitsPerEntry);
+    est.data = dataLatency(static_cast<double>(cost.data.totalBits()));
+    est.total = est.tag + est.data;
+    return est;
+}
+
+LatencyEstimate
+reuseLatency(std::uint64_t tag_equiv_bytes, std::uint32_t tag_ways,
+             std::uint64_t data_bytes, std::uint32_t data_ways,
+             std::uint32_t num_cores)
+{
+    const CacheCost cost = reuseCost(tag_equiv_bytes, tag_ways, data_bytes,
+                                     data_ways, num_cores);
+    LatencyEstimate est;
+    est.tag = tagLatency(static_cast<double>(cost.tag.entries),
+                         cost.tag.bitsPerEntry);
+    est.data = dataLatency(static_cast<double>(cost.data.totalBits()));
+    est.total = est.tag + est.data;
+    return est;
+}
+
+double
+relativeChange(double x, double base)
+{
+    return base != 0.0 ? (x - base) / base : 0.0;
+}
+
+} // namespace rc

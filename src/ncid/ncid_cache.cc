@@ -1,0 +1,320 @@
+#include "ncid/ncid_cache.hh"
+
+#include <cstdio>
+
+#include "common/log.hh"
+
+namespace rc
+{
+
+namespace
+{
+
+CacheGeometry
+ncidDataGeometry(const NcidConfig &cfg)
+{
+    const CacheGeometry tag_geom =
+        CacheGeometry::fromBytes(cfg.tagEquivBytes, cfg.tagWays);
+    const std::uint64_t data_lines = cfg.dataBytes / lineBytes;
+    RC_ASSERT(data_lines % tag_geom.numSets() == 0,
+              "NCID data lines must be a multiple of the tag set count");
+    const std::uint64_t ways = data_lines / tag_geom.numSets();
+    RC_ASSERT(ways >= 1, "NCID needs at least one data way per set");
+    return CacheGeometry(data_lines, static_cast<std::uint32_t>(ways));
+}
+
+} // namespace
+
+NcidCache::NcidCache(const NcidConfig &cfg_, MemCtrl &mem_)
+    : cfg(cfg_),
+      tags(CacheGeometry::fromBytes(cfg_.tagEquivBytes, cfg_.tagWays),
+           ReplKind::LRU, cfg_.numCores, cfg_.seed),
+      data(ncidDataGeometry(cfg_), ReplKind::LRU, cfg_.seed + 1),
+      duel(tags.geometry().numSets(), cfg_.numCores),
+      mem(mem_),
+      rng(cfg_.seed + 2),
+      statSet(cfg_.name),
+      accesses(statSet.add("accesses", "demand requests received")),
+      tagMisses(statSet.add("tagMisses", "requests missing the tag array")),
+      dataHits(statSet.add("dataHits", "hits served by the data array")),
+      tagOnlyHits(statSet.add("tagOnlyHits",
+                              "hits on tag-only lines (data refetched)")),
+      selectiveFills(statSet.add("selectiveFills",
+                                 "misses filled in selective mode")),
+      normalFills(statSet.add("normalFills",
+                              "misses filled in normal mode")),
+      tagOnlyFills(statSet.add("tagOnlyFills",
+                               "misses that allocated only a tag")),
+      dirtyWritebacks(statSet.add("dirtyWritebacks",
+                                  "dirty lines written to memory")),
+      inclusionRecalls(statSet.add("inclusionRecalls",
+                                   "tag victims recalled from private caches")),
+      invalidationsSent(statSet.add("invalidationsSent",
+                                    "private copies invalidated (GETX/UPG)")),
+      interventions(statSet.add("interventions",
+                                "requests served by a private owner")),
+      coreAccesses(cfg_.numCores, 0),
+      coreMisses(cfg_.numCores, 0)
+{
+    RC_ASSERT(data.geometry().numSets() == tags.geometry().numSets(),
+              "NCID requires equal set counts in tag and data arrays");
+}
+
+void
+NcidCache::allocData(std::uint64_t set, std::uint32_t way, Cycle now)
+{
+    ReuseTagArray::Entry &entry = tags.at(set, way);
+
+    bool needs_eviction = false;
+    const std::uint32_t dway = data.allocateWay(set, needs_eviction);
+    if (needs_eviction) {
+        const ReuseDataArray::Entry &victim = data.at(set, dway);
+        ReuseTagArray::Entry &vtag = tags.at(victim.tagSet, victim.tagWay);
+        RC_ASSERT(llcHasData(vtag.state),
+                  "data entry owned by a tag without data");
+        const Addr vline = tags.lineAddrOf(victim.tagSet, victim.tagWay);
+
+        ProtoInput in{vtag.state, ProtoEvent::DataRepl,
+                      vtag.dir.hasOwner(), true};
+        const ProtoResult res = protocolTransition(in);
+        RC_ASSERT(res.legal, "DataRepl illegal in state %s",
+                  toString(vtag.state));
+        if (res.actions & ActWriteMemData) {
+            mem.writeLine(vline, now);
+            ++dirtyWritebacks;
+        }
+        vtag.state = res.next;
+        data.invalidate(set, dway);
+        if (watcher)
+            watcher->onDataEvict(vline, now);
+    }
+
+    data.fill(set, dway, set, way);
+    entry.fwdWay = dway;
+    entry.enteredData = true;
+    if (watcher)
+        watcher->onDataFill(tags.lineAddrOf(set, way), now);
+}
+
+void
+NcidCache::evictTag(std::uint64_t set, std::uint32_t way, Cycle now)
+{
+    ReuseTagArray::Entry &e = tags.at(set, way);
+    RC_ASSERT(e.state != LlcState::I, "evicting an invalid tag");
+    const Addr line = tags.lineAddrOf(set, way);
+
+    ProtoInput in{e.state, ProtoEvent::TagRepl, e.dir.hasOwner(), true};
+    const ProtoResult res = protocolTransition(in);
+    RC_ASSERT(res.legal, "TagRepl illegal in state %s", toString(e.state));
+
+    bool dirty_recalled = false;
+    if ((res.actions & ActRecallSharers) && !e.dir.empty()) {
+        RC_ASSERT(recaller, "no recall handler installed");
+        dirty_recalled = recaller->recall(line, e.dir.presenceMask());
+        ++inclusionRecalls;
+    }
+    if (res.actions & ActWriteMemData) {
+        mem.writeLine(line, now);
+        ++dirtyWritebacks;
+    }
+    if ((res.actions & ActWriteMemPut) && dirty_recalled) {
+        mem.writeLine(line, now);
+        ++dirtyWritebacks;
+    }
+
+    if (llcHasData(e.state)) {
+        data.invalidate(set, e.fwdWay);
+        if (watcher)
+            watcher->onDataEvict(line, now);
+    }
+
+    tags.invalidate(set, way);
+}
+
+LlcResponse
+NcidCache::request(const LlcRequest &req)
+{
+    const Addr line = lineAlign(req.lineAddr);
+    ++accesses;
+    ++coreAccesses[req.core % coreAccesses.size()];
+
+    const std::uint64_t set = tags.geometry().setIndex(line);
+    std::uint32_t way = 0;
+    ReuseTagArray::Entry *entry = tags.find(line, way);
+
+    const bool owner_valid = entry && entry->dir.hasOwner();
+    RC_ASSERT(!owner_valid || entry->dir.owner() != req.core,
+              "owner cannot request its own line at the SLLC");
+
+    LlcResponse resp;
+    resp.tagHit = entry != nullptr;
+    Cycle done = req.now + cfg.tagLatency;
+
+    if (entry) {
+        ProtoInput in{entry->state, req.event, owner_valid, true};
+        const ProtoResult res = protocolTransition(in);
+        RC_ASSERT(res.legal, "%s illegal in state %s",
+                  toString(req.event), toString(entry->state));
+
+        const bool was_tag_only = entry->state == LlcState::TO;
+
+        if (res.actions & ActDataHit) {
+            done += cfg.dataLatency;
+            resp.dataHit = true;
+            ++dataHits;
+            data.touchHit(set, entry->fwdWay);
+            if (watcher)
+                watcher->onDataHit(line, req.now);
+        }
+        if (res.actions & ActFetchOwner) {
+            RC_ASSERT(recaller, "intervention needs a recall handler");
+            done += cfg.interventionLatency;
+            ++interventions;
+            if (req.event == ProtoEvent::GETS)
+                recaller->downgrade(line, 1u << entry->dir.owner());
+        }
+        if (res.actions & ActInvSharers) {
+            const std::uint32_t mask = entry->dir.othersMask(req.core);
+            if (mask) {
+                RC_ASSERT(recaller, "no recall handler installed");
+                recaller->recall(line, mask);
+                invalidationsSent += __builtin_popcount(mask);
+                for (CoreId c = 0; c < cfg.numCores; ++c) {
+                    if (mask & (1u << c))
+                        entry->dir.removeSharer(c);
+                }
+            }
+        }
+        if (res.actions & ActFetchMem) {
+            done = mem.readLine(line, req.now + cfg.tagLatency);
+            resp.memFetched = true;
+            ++coreMisses[req.core % coreMisses.size()];
+        }
+        if (res.actions & ActAllocData) {
+            RC_ASSERT(was_tag_only, "data allocation on a tag+data state");
+            ++tagOnlyHits;
+            allocData(set, way, req.now);
+        }
+
+        entry->state = res.next;
+        if (res.actions & ActClearOwner)
+            entry->dir.clearOwner();
+        if (res.actions & ActFillPrivate)
+            entry->dir.addSharer(req.core);
+        if (res.actions & ActSetOwner)
+            entry->dir.setOwner(req.core);
+        tags.touchHit(set, way, req.core);
+        resp.doneAt = done;
+        return resp;
+    }
+
+    // Tag miss: pick the fill mode by thread-aware set dueling.
+    duel.onMiss(set, req.core);
+    const bool selective = duel.chooseB(set, req.core);
+    bool with_data;
+    if (selective) {
+        ++selectiveFills;
+        with_data = rng.uniform() < cfg.selectiveFillRate;
+    } else {
+        ++normalFills;
+        with_data = true;
+    }
+
+    ProtoInput in{LlcState::I, req.event, false, !with_data};
+    const ProtoResult res = protocolTransition(in);
+    RC_ASSERT(res.legal, "%s illegal in state I", toString(req.event));
+
+    bool needs_eviction = false;
+    way = tags.allocateWay(set, req.core, needs_eviction);
+    if (needs_eviction)
+        evictTag(set, way, req.now);
+
+    ReuseTagArray::Entry &e = tags.at(set, way);
+    e.tag = tags.geometry().tagOf(line);
+    e.state = res.next;
+    e.dir.clear();
+    e.enteredData = false;
+    if (res.actions & ActFillPrivate)
+        e.dir.addSharer(req.core);
+    if (res.actions & ActSetOwner)
+        e.dir.setOwner(req.core);
+    // Selective-mode tag-only fills go to the LRU position.
+    tags.touchFill(set, way, req.core, selective && !with_data);
+
+    if (res.actions & ActAllocData)
+        allocData(set, way, req.now);
+    else
+        ++tagOnlyFills;
+
+    done = mem.readLine(line, req.now + cfg.tagLatency);
+    resp.memFetched = true;
+    ++tagMisses;
+    ++coreMisses[req.core % coreMisses.size()];
+    resp.doneAt = done;
+    return resp;
+}
+
+void
+NcidCache::evictNotify(Addr line_addr, CoreId core, bool dirty, Cycle now)
+{
+    const Addr line = lineAlign(line_addr);
+    std::uint32_t way = 0;
+    ReuseTagArray::Entry *entry = tags.find(line, way);
+    RC_ASSERT(entry, "eviction notification for a non-resident tag "
+              "(inclusion violated)");
+
+    ProtoInput in;
+    in.state = entry->state;
+    in.event = dirty ? ProtoEvent::PUTX : ProtoEvent::PUTS;
+    in.ownerValid = entry->dir.hasOwner();
+    in.selectiveAlloc = true;
+    const ProtoResult res = protocolTransition(in);
+    RC_ASSERT(res.legal, "%s illegal in state %s",
+              toString(in.event), toString(in.state));
+
+    if (res.actions & ActWriteMemPut) {
+        mem.writeLine(line, now);
+        ++dirtyWritebacks;
+    }
+    entry->state = res.next;
+    if (res.actions & ActClearOwner)
+        entry->dir.clearOwner();
+    entry->dir.removeSharer(core);
+}
+
+Counter
+NcidCache::missesBy(CoreId core) const
+{
+    return coreMisses[core % coreMisses.size()];
+}
+
+Counter
+NcidCache::accessesBy(CoreId core) const
+{
+    return coreAccesses[core % coreAccesses.size()];
+}
+
+std::string
+NcidCache::describe() const
+{
+    const double tag_mb =
+        static_cast<double>(cfg.tagEquivBytes) / (1024.0 * 1024.0);
+    const double data_mb =
+        static_cast<double>(cfg.dataBytes) / (1024.0 * 1024.0);
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "NCID-%.3g/%.3g (%u data ways)",
+                  tag_mb, data_mb, data.geometry().numWays());
+    return buf;
+}
+
+LlcState
+NcidCache::stateOf(Addr line_addr) const
+{
+    std::uint32_t way = 0;
+    auto *self = const_cast<NcidCache *>(this);
+    const ReuseTagArray::Entry *e =
+        self->tags.find(lineAlign(line_addr), way);
+    return e ? e->state : LlcState::I;
+}
+
+} // namespace rc

@@ -1,0 +1,75 @@
+#include "reuse/data_array.hh"
+
+#include "common/log.hh"
+
+namespace rc
+{
+
+ReuseDataArray::ReuseDataArray(const CacheGeometry &geometry, ReplKind kind,
+                               std::uint64_t seed)
+    : geom(geometry),
+      entries(geometry.numLines()),
+      repl(makeReplacement(kind, geometry.numSets(), geometry.numWays(),
+                           1, seed))
+{
+}
+
+std::uint32_t
+ReuseDataArray::allocateWay(std::uint64_t set, bool &needs_eviction)
+{
+    const std::uint64_t base = set * geom.numWays();
+    for (std::uint32_t w = 0; w < geom.numWays(); ++w) {
+        if (!entries[base + w].valid) {
+            needs_eviction = false;
+            return w;
+        }
+    }
+    needs_eviction = true;
+    const std::uint32_t w = repl->victim(set, VictimQuery{});
+    RC_ASSERT(w < geom.numWays(), "victim way out of range");
+    return w;
+}
+
+void
+ReuseDataArray::fill(std::uint64_t set, std::uint32_t way,
+                     std::uint64_t tag_set, std::uint32_t tag_way)
+{
+    Entry &e = entries[set * geom.numWays() + way];
+    RC_ASSERT(!e.valid, "filling an occupied data entry");
+    e.valid = true;
+    e.tagSet = tag_set;
+    e.tagWay = tag_way;
+    repl->onFill(set, way, ReplAccess{});
+}
+
+void
+ReuseDataArray::touchHit(std::uint64_t set, std::uint32_t way)
+{
+    repl->onHit(set, way, ReplAccess{});
+}
+
+void
+ReuseDataArray::invalidate(std::uint64_t set, std::uint32_t way)
+{
+    Entry &e = entries[set * geom.numWays() + way];
+    RC_ASSERT(e.valid, "invalidating an empty data entry");
+    e = Entry{};
+    repl->onInvalidate(set, way);
+}
+
+const ReuseDataArray::Entry &
+ReuseDataArray::at(std::uint64_t set, std::uint32_t way) const
+{
+    return entries[set * geom.numWays() + way];
+}
+
+std::uint64_t
+ReuseDataArray::residentCount() const
+{
+    std::uint64_t n = 0;
+    for (const auto &e : entries)
+        n += e.valid;
+    return n;
+}
+
+} // namespace rc

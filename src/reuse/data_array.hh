@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Reuse-cache data array (paper Section 3.3).
+ *
+ * Holds only lines that have shown reuse.  Never searched associatively:
+ * the tag array's forward pointer names the exact way, and each entry's
+ * reverse pointer names the owning tag entry so a data eviction can
+ * invalidate the corresponding forward pointer.  The number of sets is a
+ * power-of-two divisor of the tag array's set count and both arrays are
+ * indexed with the least significant line-address bits, so the data-set
+ * index is a suffix of the tag-set index.  A single set makes the array
+ * fully associative (the paper's preferred configuration, with Clock
+ * replacement).
+ */
+
+#ifndef RC_REUSE_DATA_ARRAY_HH
+#define RC_REUSE_DATA_ARRAY_HH
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "cache/geometry.hh"
+#include "cache/replacement.hh"
+#include "common/types.hh"
+
+namespace rc
+{
+
+/** The decoupled data array. */
+class ReuseDataArray
+{
+  public:
+    /** One data entry: occupancy plus the reverse pointer. */
+    struct Entry
+    {
+        bool valid = false;
+        std::uint64_t tagSet = 0;   //!< reverse pointer: tag-array set
+        std::uint32_t tagWay = 0;   //!< reverse pointer: tag-array way
+    };
+
+    /**
+     * @param geometry data-array sets/ways.
+     * @param kind replacement policy (NRU set-associative, Clock FA).
+     * @param seed RNG seed for randomized policies.
+     */
+    ReuseDataArray(const CacheGeometry &geometry, ReplKind kind,
+                   std::uint64_t seed);
+
+    /** Data-array set for a line that lives in tag-array set @p tag_set. */
+    std::uint64_t
+    setFor(std::uint64_t tag_set) const
+    {
+        return tag_set & (geom.numSets() - 1);
+    }
+
+    /**
+     * Way to host a new data line in @p set: an invalid way when one
+     * exists, otherwise the policy victim.
+     * @param needs_eviction out: true when the returned way is occupied.
+     */
+    std::uint32_t allocateWay(std::uint64_t set, bool &needs_eviction);
+
+    /** Install a line owned by tag entry (tag_set, tag_way). */
+    void fill(std::uint64_t set, std::uint32_t way, std::uint64_t tag_set,
+              std::uint32_t tag_way);
+
+    /** Record a hit for replacement purposes. */
+    void touchHit(std::uint64_t set, std::uint32_t way);
+
+    /** Free (set, way) after a DataRepl or owning-tag eviction. */
+    void invalidate(std::uint64_t set, std::uint32_t way);
+
+    /** Entry at (set, way). */
+    const Entry &at(std::uint64_t set, std::uint32_t way) const;
+
+    /** Number of valid entries (tests). */
+    std::uint64_t residentCount() const;
+
+    /** Geometry in force. */
+    const CacheGeometry &geometry() const { return geom; }
+
+  private:
+    CacheGeometry geom;
+    std::vector<Entry> entries;
+    std::unique_ptr<ReplacementPolicy> repl;
+};
+
+} // namespace rc
+
+#endif // RC_REUSE_DATA_ARRAY_HH

@@ -1,0 +1,447 @@
+#include "reuse/reuse_cache.hh"
+
+#include <cstdio>
+
+#include "common/log.hh"
+
+namespace rc
+{
+
+ReuseCacheConfig
+ReuseCacheConfig::standard(std::uint64_t tag_equiv_bytes,
+                           std::uint64_t data_bytes,
+                           std::uint32_t data_ways)
+{
+    ReuseCacheConfig cfg;
+    cfg.tagEquivBytes = tag_equiv_bytes;
+    cfg.dataBytes = data_bytes;
+    cfg.dataWays = data_ways;
+    cfg.dataRepl = data_ways == 0 ? ReplKind::Clock : ReplKind::NRU;
+    return cfg;
+}
+
+namespace
+{
+
+CacheGeometry
+dataGeometry(const ReuseCacheConfig &cfg)
+{
+    const std::uint64_t lines = cfg.dataBytes / lineBytes;
+    const std::uint32_t ways = cfg.dataWays == 0
+        ? static_cast<std::uint32_t>(lines)
+        : cfg.dataWays;
+    return CacheGeometry(lines, ways);
+}
+
+} // namespace
+
+ReuseCache::ReuseCache(const ReuseCacheConfig &cfg_, MemCtrl &mem_)
+    : cfg(cfg_),
+      tags(CacheGeometry::fromBytes(cfg_.tagEquivBytes, cfg_.tagWays),
+           cfg_.tagRepl, cfg_.numCores, cfg_.seed),
+      data(dataGeometry(cfg_), cfg_.dataRepl, cfg_.seed + 1),
+      mem(mem_),
+      predictor(cfg_.usePredictor
+                    ? std::make_unique<ReusePredictor>(
+                          cfg_.predictorEntries)
+                    : nullptr),
+      statSet(cfg_.name),
+      accesses(statSet.add("accesses", "demand requests received")),
+      tagMisses(statSet.add("tagMisses", "requests missing the tag array")),
+      tagHitsData(statSet.add("tagHitsData",
+                              "hits served by the data array")),
+      tagHitsTagOnly(statSet.add("tagHitsTagOnly",
+                                 "reuse detections (hit on a TO tag)")),
+      reloadsFromMem(statSet.add("reloadsFromMem",
+                                 "reuses paying a second memory fetch")),
+      upgradeReqs(statSet.add("upgrades", "UPG requests received")),
+      interventions(statSet.add("interventions",
+                                "requests served by a private owner")),
+      invalidationsSent(statSet.add("invalidationsSent",
+                                    "private copies invalidated (GETX/UPG)")),
+      inclusionRecalls(statSet.add("inclusionRecalls",
+                                   "tag victims recalled from private caches")),
+      dirtyWritebacks(statSet.add("dirtyWritebacks",
+                                  "dirty lines written to memory")),
+      tagAllocs(statSet.add("tagAllocs", "tag generations started")),
+      tagEvictions(statSet.add("tagEvictions", "tag generations ended")),
+      dataAllocs(statSet.add("dataAllocs", "data-array fills")),
+      dataEvictions(statSet.add("dataEvictions", "data-array evictions")),
+      generationsWithData(statSet.add("generationsWithData",
+                                      "tag generations that reached the "
+                                      "data array")),
+      predictedFills(statSet.add("predictedFills",
+                                 "misses installed with data by the "
+                                 "reuse predictor")),
+      predictedFillsWasted(statSet.add("predictedFillsWasted",
+                                       "predicted fills never reused")),
+      coreAccesses(cfg_.numCores, 0),
+      coreMisses(cfg_.numCores, 0)
+{
+    RC_ASSERT(cfg.numCores > 0 && cfg.numCores <= 32,
+              "full-map directory supports 1..32 cores");
+    RC_ASSERT(data.geometry().numSets() <= tags.geometry().numSets(),
+              "data array may not have more sets than the tag array");
+    RC_ASSERT(tags.geometry().numLines() >= data.geometry().numLines(),
+              "tag array must cover at least the data array");
+}
+
+void
+ReuseCache::allocData(std::uint64_t tag_set, std::uint32_t tag_way,
+                      Cycle now)
+{
+    ReuseTagArray::Entry &entry = tags.at(tag_set, tag_way);
+    const std::uint64_t dset = data.setFor(tag_set);
+
+    bool needs_eviction = false;
+    const std::uint32_t dway = data.allocateWay(dset, needs_eviction);
+    if (needs_eviction) {
+        // DataRepl: follow the victim's reverse pointer to its tag.
+        const ReuseDataArray::Entry &victim = data.at(dset, dway);
+        ReuseTagArray::Entry &vtag = tags.at(victim.tagSet, victim.tagWay);
+        RC_ASSERT(llcHasData(vtag.state),
+                  "data entry owned by a tag without data (state %s)",
+                  toString(vtag.state));
+        const Addr vline = tags.lineAddrOf(victim.tagSet, victim.tagWay);
+
+        ProtoInput in{vtag.state, ProtoEvent::DataRepl,
+                      vtag.dir.hasOwner(), true};
+        const ProtoResult res = protocolTransition(in);
+        RC_ASSERT(res.legal, "DataRepl illegal in state %s",
+                  toString(vtag.state));
+        if (res.actions & ActWriteMemData) {
+            mem.writeLine(vline, now);
+            ++dirtyWritebacks;
+        }
+        vtag.state = res.next; // TO: the tag remains, the data is gone
+        data.invalidate(dset, dway);
+        ++dataEvictions;
+        if (watcher)
+            watcher->onDataEvict(vline, now);
+    }
+
+    data.fill(dset, dway, tag_set, tag_way);
+    entry.fwdWay = dway;
+    if (!entry.enteredData) {
+        entry.enteredData = true;
+        ++generationsWithData;
+    }
+    ++dataAllocs;
+    if (watcher)
+        watcher->onDataFill(tags.lineAddrOf(tag_set, tag_way), now);
+}
+
+void
+ReuseCache::evictTag(std::uint64_t set, std::uint32_t way, Cycle now)
+{
+    ReuseTagArray::Entry &e = tags.at(set, way);
+    RC_ASSERT(e.state != LlcState::I, "evicting an invalid tag");
+    const Addr line = tags.lineAddrOf(set, way);
+
+    ProtoInput in{e.state, ProtoEvent::TagRepl, e.dir.hasOwner(), true};
+    const ProtoResult res = protocolTransition(in);
+    RC_ASSERT(res.legal, "TagRepl illegal in state %s", toString(e.state));
+
+    bool dirty_recalled = false;
+    if ((res.actions & ActRecallSharers) && !e.dir.empty()) {
+        RC_ASSERT(recaller, "no recall handler installed");
+        dirty_recalled = recaller->recall(line, e.dir.presenceMask());
+        ++inclusionRecalls;
+    }
+    if (res.actions & ActWriteMemData) {
+        mem.writeLine(line, now);
+        ++dirtyWritebacks;
+    }
+    if ((res.actions & ActWriteMemPut) && dirty_recalled) {
+        mem.writeLine(line, now);
+        ++dirtyWritebacks;
+    }
+
+    if (llcHasData(e.state)) {
+        data.invalidate(data.setFor(set), e.fwdWay);
+        ++dataEvictions;
+        if (watcher)
+            watcher->onDataEvict(line, now);
+    }
+
+    if (predictor) {
+        predictor->train(line, e.reused);
+        if (e.predicted && !e.reused)
+            ++predictedFillsWasted;
+    }
+
+    tags.invalidate(set, way);
+    ++tagEvictions;
+}
+
+LlcResponse
+ReuseCache::request(const LlcRequest &req)
+{
+    const Addr line = lineAlign(req.lineAddr);
+    ++accesses;
+    ++coreAccesses[req.core % coreAccesses.size()];
+    if (req.event == ProtoEvent::UPG)
+        ++upgradeReqs;
+
+    const std::uint64_t set = tags.geometry().setIndex(line);
+    std::uint32_t way = 0;
+    ReuseTagArray::Entry *entry = tags.find(line, way);
+
+    const bool owner_valid = entry && entry->dir.hasOwner();
+    RC_ASSERT(!owner_valid || entry->dir.owner() != req.core,
+              "owner cannot request its own line at the SLLC");
+
+    // Optional predictor extension: a tag miss predicted to show reuse
+    // allocates tag AND data immediately (the non-selective transition),
+    // trading a possibly wasted data entry for skipping the tag-only
+    // stage and its second memory fetch.
+    const bool predicted_fill =
+        !entry && predictor && predictor->predictReused(line);
+
+    ProtoInput in;
+    in.state = entry ? entry->state : LlcState::I;
+    in.event = req.event;
+    in.ownerValid = owner_valid;
+    in.selectiveAlloc = !predicted_fill;
+    in.prefetch = req.prefetch;
+    const ProtoResult res = protocolTransition(in);
+    RC_ASSERT(res.legal, "%s illegal in state %s",
+              toString(req.event), toString(in.state));
+
+    LlcResponse resp;
+    resp.tagHit = entry != nullptr;
+    Cycle done = req.now + cfg.tagLatency;
+
+    if (entry) {
+        const bool was_tag_only = entry->state == LlcState::TO;
+
+        if (res.actions & ActDataHit) {
+            done += cfg.dataLatency;
+            resp.dataHit = true;
+            ++tagHitsData;
+            if (!req.prefetch)
+                data.touchHit(data.setFor(set), entry->fwdWay);
+            if (watcher)
+                watcher->onDataHit(line, req.now);
+        }
+
+        if (res.actions & ActFetchOwner) {
+            RC_ASSERT(recaller, "intervention needs a recall handler");
+            done += cfg.interventionLatency;
+            ++interventions;
+            if (req.event == ProtoEvent::GETS)
+                recaller->downgrade(line, 1u << entry->dir.owner());
+            // For GETX the InvSharers recall below retrieves the data
+            // while invalidating the old owner.
+        }
+
+        if (res.actions & ActInvSharers) {
+            const std::uint32_t mask = entry->dir.othersMask(req.core);
+            if (mask) {
+                RC_ASSERT(recaller, "no recall handler installed");
+                recaller->recall(line, mask);
+                invalidationsSent += __builtin_popcount(mask);
+                for (CoreId c = 0; c < cfg.numCores; ++c) {
+                    if (mask & (1u << c))
+                        entry->dir.removeSharer(c);
+                }
+            }
+        }
+
+        if (res.actions & ActFetchMem) {
+            // The paper's double fetch: a reuse on a TO tag re-reads the
+            // line from main memory.  (A prefetch touching a TO tag also
+            // fetches, but is not a reuse and not counted as a reload.)
+            done = mem.readLine(line, req.now + cfg.tagLatency);
+            resp.memFetched = true;
+            if (!req.prefetch)
+                ++reloadsFromMem;
+            ++coreMisses[req.core % coreMisses.size()];
+        }
+
+        if (res.actions & ActAllocData) {
+            RC_ASSERT(was_tag_only, "data allocation on a tag+data state");
+            ++tagHitsTagOnly;
+            allocData(set, way, req.now);
+        }
+
+        entry->state = res.next;
+        if (res.actions & ActClearOwner)
+            entry->dir.clearOwner();
+        if (res.actions & ActFillPrivate)
+            entry->dir.addSharer(req.core);
+        if (res.actions & ActSetOwner)
+            entry->dir.setOwner(req.core);
+        if (!req.prefetch) {
+            // Prefetch hits are not reuses and earn no promotion
+            // (Section 6: prefetched lines keep the lowest priority).
+            entry->reused = true;
+            tags.touchHit(set, way, req.core);
+        }
+    } else {
+        RC_ASSERT(res.actions & ActAllocTag, "miss without tag allocation");
+        bool needs_eviction = false;
+        way = tags.allocateWay(set, req.core, needs_eviction);
+        if (needs_eviction)
+            evictTag(set, way, req.now);
+
+        ReuseTagArray::Entry &e = tags.at(set, way);
+        e.tag = tags.geometry().tagOf(line);
+        e.state = res.next; // TO (S with a predicted fill)
+        e.dir.clear();
+        e.enteredData = false;
+        e.reused = false;
+        e.predicted = predicted_fill;
+        if (res.actions & ActFillPrivate)
+            e.dir.addSharer(req.core);
+        if (res.actions & ActSetOwner)
+            e.dir.setOwner(req.core);
+        tags.touchFill(set, way, req.core); // NRR bit set: not reused yet
+        ++tagAllocs;
+
+        if (res.actions & ActAllocData) {
+            // Predictor extension: install the data right away.
+            allocData(set, way, req.now);
+            ++predictedFills;
+        }
+
+        RC_ASSERT(res.actions & ActFetchMem, "tag miss must fetch memory");
+        done = mem.readLine(line, req.now + cfg.tagLatency);
+        resp.memFetched = true;
+        ++tagMisses;
+        ++coreMisses[req.core % coreMisses.size()];
+    }
+
+    resp.doneAt = done;
+    return resp;
+}
+
+void
+ReuseCache::evictNotify(Addr line_addr, CoreId core, bool dirty, Cycle now)
+{
+    const Addr line = lineAlign(line_addr);
+    std::uint32_t way = 0;
+    ReuseTagArray::Entry *entry = tags.find(line, way);
+    RC_ASSERT(entry, "eviction notification for a non-resident tag "
+              "(inclusion violated)");
+
+    ProtoInput in;
+    in.state = entry->state;
+    in.event = dirty ? ProtoEvent::PUTX : ProtoEvent::PUTS;
+    in.ownerValid = entry->dir.hasOwner();
+    in.selectiveAlloc = true;
+    const ProtoResult res = protocolTransition(in);
+    RC_ASSERT(res.legal, "%s illegal in state %s",
+              toString(in.event), toString(in.state));
+
+    if (res.actions & ActWriteMemPut) {
+        // TO tags have no data array entry to absorb the writeback.
+        mem.writeLine(line, now);
+        ++dirtyWritebacks;
+    }
+    entry->state = res.next;
+    if (res.actions & ActClearOwner)
+        entry->dir.clearOwner();
+    entry->dir.removeSharer(core);
+}
+
+Counter
+ReuseCache::missesBy(CoreId core) const
+{
+    return coreMisses[core % coreMisses.size()];
+}
+
+Counter
+ReuseCache::accessesBy(CoreId core) const
+{
+    return coreAccesses[core % coreAccesses.size()];
+}
+
+std::string
+ReuseCache::describe() const
+{
+    const double tag_mb =
+        static_cast<double>(cfg.tagEquivBytes) / (1024.0 * 1024.0);
+    const double data_mb =
+        static_cast<double>(cfg.dataBytes) / (1024.0 * 1024.0);
+    char buf[96];
+    std::snprintf(buf, sizeof(buf), "RC-%.3g/%.3g (%s data array)",
+                  tag_mb, data_mb,
+                  cfg.dataWays == 0 ? "FA"
+                                    : (std::to_string(cfg.dataWays) +
+                                       "-way").c_str());
+    return buf;
+}
+
+LlcState
+ReuseCache::stateOf(Addr line_addr) const
+{
+    std::uint32_t way = 0;
+    auto *self = const_cast<ReuseCache *>(this);
+    const ReuseTagArray::Entry *e =
+        self->tags.find(lineAlign(line_addr), way);
+    return e ? e->state : LlcState::I;
+}
+
+const DirectoryEntry *
+ReuseCache::dirOf(Addr line_addr) const
+{
+    std::uint32_t way = 0;
+    auto *self = const_cast<ReuseCache *>(this);
+    const ReuseTagArray::Entry *e =
+        self->tags.find(lineAlign(line_addr), way);
+    return e ? &e->dir : nullptr;
+}
+
+void
+ReuseCache::checkInvariants() const
+{
+    std::uint64_t tags_with_data = 0;
+    const auto &tg = tags.geometry();
+    for (std::uint64_t s = 0; s < tg.numSets(); ++s) {
+        for (std::uint32_t w = 0; w < tg.numWays(); ++w) {
+            const ReuseTagArray::Entry &e = tags.at(s, w);
+            if (!llcHasData(e.state))
+                continue;
+            ++tags_with_data;
+            const std::uint64_t ds = data.setFor(s);
+            RC_ASSERT(e.fwdWay < data.geometry().numWays(),
+                      "forward pointer out of range");
+            const ReuseDataArray::Entry &d = data.at(ds, e.fwdWay);
+            RC_ASSERT(d.valid, "forward pointer to an empty data entry");
+            RC_ASSERT(d.tagSet == s && d.tagWay == w,
+                      "reverse pointer does not match forward pointer");
+        }
+    }
+    std::uint64_t valid_data = 0;
+    const auto &dg = data.geometry();
+    for (std::uint64_t s = 0; s < dg.numSets(); ++s) {
+        for (std::uint32_t w = 0; w < dg.numWays(); ++w) {
+            const ReuseDataArray::Entry &d = data.at(s, w);
+            if (!d.valid)
+                continue;
+            ++valid_data;
+            const ReuseTagArray::Entry &e = tags.at(d.tagSet, d.tagWay);
+            RC_ASSERT(llcHasData(e.state),
+                      "data entry owned by tag in state %s",
+                      toString(e.state));
+            RC_ASSERT(e.fwdWay == w && data.setFor(d.tagSet) == s,
+                      "forward pointer does not match reverse pointer");
+        }
+    }
+    RC_ASSERT(tags_with_data == valid_data,
+              "tag/data population mismatch: %llu tags vs %llu data",
+              static_cast<unsigned long long>(tags_with_data),
+              static_cast<unsigned long long>(valid_data));
+}
+
+double
+ReuseCache::fractionNeverEnteredData() const
+{
+    if (tagAllocs == 0)
+        return 0.0;
+    return 1.0 - static_cast<double>(generationsWithData) /
+                     static_cast<double>(tagAllocs);
+}
+
+} // namespace rc

@@ -1,0 +1,57 @@
+#include "reuse/reuse_predictor.hh"
+
+#include "common/bitops.hh"
+#include "common/log.hh"
+
+namespace rc
+{
+
+namespace
+{
+
+constexpr std::uint8_t counterMax = 3;
+constexpr std::uint8_t takenThreshold = 2;
+
+} // namespace
+
+ReusePredictor::ReusePredictor(std::uint32_t entries)
+{
+    RC_ASSERT(entries > 0, "predictor needs at least one entry");
+    std::uint32_t size = 1;
+    while (size < entries)
+        size <<= 1;
+    // Initialize weakly not-reused: the common case (Section 2: ~95% of
+    // lines never show reuse) should be the default prediction.
+    table.assign(size, 1);
+}
+
+std::size_t
+ReusePredictor::indexOf(Addr line_addr) const
+{
+    // Mix the line number so neighbouring lines spread over the table.
+    std::uint64_t x = lineNumber(line_addr);
+    x ^= x >> 33;
+    x *= 0xff51afd7ed558ccdULL;
+    x ^= x >> 33;
+    return static_cast<std::size_t>(x & (table.size() - 1));
+}
+
+bool
+ReusePredictor::predictReused(Addr line_addr) const
+{
+    return table[indexOf(line_addr)] >= takenThreshold;
+}
+
+void
+ReusePredictor::train(Addr line_addr, bool was_reused)
+{
+    std::uint8_t &ctr = table[indexOf(line_addr)];
+    if (was_reused) {
+        if (ctr < counterMax)
+            ++ctr;
+    } else if (ctr > 0) {
+        --ctr;
+    }
+}
+
+} // namespace rc

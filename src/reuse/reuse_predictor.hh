@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Optional reuse predictor (paper Section 6, "related work and
+ * concluding remarks"): the authors note that reuse predictors in the
+ * style of SHiP / EAF "could be used to increase the performance of the
+ * reuse cache by predicting the reuse behavior of a cache line on a tag
+ * miss" - a correctly predicted line can be installed in the data array
+ * immediately, skipping the tag-only stage and its second memory fetch.
+ *
+ * This is a deliberately cheap address-hashed bimodal predictor: a table
+ * of 2-bit saturating counters trained with each tag generation's
+ * observed outcome (did the generation see a reuse before eviction?).
+ */
+
+#ifndef RC_REUSE_REUSE_PREDICTOR_HH
+#define RC_REUSE_REUSE_PREDICTOR_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace rc
+{
+
+/** Address-hashed bimodal (2-bit) reuse predictor. */
+class ReusePredictor
+{
+  public:
+    /** @param entries table size; rounded up to a power of two. */
+    explicit ReusePredictor(std::uint32_t entries = 16384);
+
+    /** @return true iff @p line_addr is predicted to show reuse. */
+    bool predictReused(Addr line_addr) const;
+
+    /**
+     * Train with an observed outcome.
+     * @param line_addr the line whose generation ended.
+     * @param was_reused whether the generation saw at least one reuse.
+     */
+    void train(Addr line_addr, bool was_reused);
+
+    /** Table size in entries. */
+    std::uint32_t size() const
+    {
+        return static_cast<std::uint32_t>(table.size());
+    }
+
+    /** Storage cost in bits (2 per entry). */
+    std::uint64_t costBits() const { return table.size() * 2; }
+
+  private:
+    std::size_t indexOf(Addr line_addr) const;
+
+    std::vector<std::uint8_t> table; //!< 2-bit counters, 0..3
+};
+
+} // namespace rc
+
+#endif // RC_REUSE_REUSE_PREDICTOR_HH

@@ -1,0 +1,110 @@
+#include "reuse/tag_array.hh"
+
+#include "common/log.hh"
+
+namespace rc
+{
+
+ReuseTagArray::ReuseTagArray(const CacheGeometry &geometry, ReplKind kind,
+                             std::uint32_t num_cores, std::uint64_t seed)
+    : geom(geometry),
+      entries(geometry.numLines()),
+      repl(makeReplacement(kind, geometry.numSets(), geometry.numWays(),
+                           num_cores, seed))
+{
+}
+
+ReuseTagArray::Entry *
+ReuseTagArray::find(Addr line_addr, std::uint32_t &way_out)
+{
+    const std::uint64_t set = geom.setIndex(line_addr);
+    const std::uint64_t tag = geom.tagOf(line_addr);
+    const std::uint64_t base = set * geom.numWays();
+    for (std::uint32_t w = 0; w < geom.numWays(); ++w) {
+        Entry &e = entries[base + w];
+        if (e.state != LlcState::I && e.tag == tag) {
+            way_out = w;
+            return &e;
+        }
+    }
+    return nullptr;
+}
+
+ReuseTagArray::Entry &
+ReuseTagArray::at(std::uint64_t set, std::uint32_t way)
+{
+    return entries[set * geom.numWays() + way];
+}
+
+const ReuseTagArray::Entry &
+ReuseTagArray::at(std::uint64_t set, std::uint32_t way) const
+{
+    return entries[set * geom.numWays() + way];
+}
+
+void
+ReuseTagArray::touchHit(std::uint64_t set, std::uint32_t way, CoreId core)
+{
+    repl->onHit(set, way, ReplAccess{core, false});
+}
+
+void
+ReuseTagArray::touchFill(std::uint64_t set, std::uint32_t way, CoreId core,
+                         bool insert_lru)
+{
+    repl->onFill(set, way, ReplAccess{core, true, insert_lru});
+}
+
+void
+ReuseTagArray::invalidate(std::uint64_t set, std::uint32_t way)
+{
+    Entry &e = entries[set * geom.numWays() + way];
+    e.state = LlcState::I;
+    e.dir.clear();
+    e.enteredData = false;
+    e.reused = false;
+    e.predicted = false;
+    repl->onInvalidate(set, way);
+}
+
+std::uint32_t
+ReuseTagArray::allocateWay(std::uint64_t set, CoreId core,
+                           bool &needs_eviction)
+{
+    const std::uint64_t base = set * geom.numWays();
+    for (std::uint32_t w = 0; w < geom.numWays(); ++w) {
+        if (entries[base + w].state == LlcState::I) {
+            needs_eviction = false;
+            return w;
+        }
+    }
+    VictimQuery q;
+    q.core = core;
+    for (std::uint32_t w = 0; w < geom.numWays() && w < 64; ++w) {
+        if (!entries[base + w].dir.empty())
+            q.avoidMask |= std::uint64_t{1} << w;
+    }
+    needs_eviction = true;
+    const std::uint32_t w = repl->victim(set, q);
+    RC_ASSERT(w < geom.numWays(), "victim way out of range");
+    return w;
+}
+
+Addr
+ReuseTagArray::lineAddrOf(std::uint64_t set, std::uint32_t way) const
+{
+    const Entry &e = entries[set * geom.numWays() + way];
+    RC_ASSERT(e.state != LlcState::I, "address of an invalid entry");
+    return geom.lineAddr(e.tag, set);
+}
+
+std::uint64_t
+ReuseTagArray::residentCount() const
+{
+    std::uint64_t n = 0;
+    for (const auto &e : entries)
+        n += e.state != LlcState::I;
+    return n;
+}
+
+} // namespace rc

@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Reuse-cache tag array (paper Sections 3.1-3.2).
+ *
+ * Each entry holds a tag, the TO-MSI stable state, the full-map directory
+ * information, and the forward pointer into the data array (valid only in
+ * the tag+data states).  Replacement defaults to NRR: victims are chosen
+ * at random among entries that are not recently reused and not present in
+ * the private caches.
+ */
+
+#ifndef RC_REUSE_TAG_ARRAY_HH
+#define RC_REUSE_TAG_ARRAY_HH
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "cache/geometry.hh"
+#include "cache/line.hh"
+#include "cache/replacement.hh"
+#include "coherence/directory.hh"
+#include "common/types.hh"
+
+namespace rc
+{
+
+/** The decoupled tag array. */
+class ReuseTagArray
+{
+  public:
+    /** One tag entry. */
+    struct Entry
+    {
+        std::uint64_t tag = 0;
+        LlcState state = LlcState::I;   //!< I, TO, S or M
+        DirectoryEntry dir;             //!< presence + ownership
+        std::uint32_t fwdWay = 0;       //!< data-array way (S/M only)
+        bool enteredData = false;       //!< this generation reached the
+                                        //!< data array at least once
+        bool reused = false;            //!< this generation saw a tag hit
+        bool predicted = false;         //!< data pre-allocated by the
+                                        //!< optional reuse predictor
+    };
+
+    /**
+     * @param geometry tag-array sets/ways ("x MBeq" of the paper).
+     * @param kind replacement policy (NRR in the paper).
+     * @param num_cores for thread-aware policies.
+     * @param seed RNG seed for randomized victim selection.
+     */
+    ReuseTagArray(const CacheGeometry &geometry, ReplKind kind,
+                  std::uint32_t num_cores, std::uint64_t seed);
+
+    /**
+     * Locate @p line_addr without touching replacement state.
+     * @param way_out way index when found.
+     * @return the entry, or nullptr on a tag miss.
+     */
+    Entry *find(Addr line_addr, std::uint32_t &way_out);
+
+    /** Entry at (set, way). */
+    Entry &at(std::uint64_t set, std::uint32_t way);
+
+    /** Const entry at (set, way). */
+    const Entry &at(std::uint64_t set, std::uint32_t way) const;
+
+    /** Record a reuse (tag hit) for replacement purposes. */
+    void touchHit(std::uint64_t set, std::uint32_t way, CoreId core);
+
+    /**
+     * Record a fill (new generation) for replacement purposes.
+     * @param insert_lru demote the fill to the LRU position (NCID
+     *        selective mode; only meaningful with an LRU policy).
+     */
+    void touchFill(std::uint64_t set, std::uint32_t way, CoreId core,
+                   bool insert_lru = false);
+
+    /** Invalidate (set, way) after a TagRepl. */
+    void invalidate(std::uint64_t set, std::uint32_t way);
+
+    /**
+     * Way to host a new tag in @p set: an invalid way when one exists,
+     * otherwise the policy victim (NRR avoids ways whose directory shows
+     * private-cache presence).
+     * @param needs_eviction out: true when the returned way is occupied.
+     */
+    std::uint32_t allocateWay(std::uint64_t set, CoreId core,
+                              bool &needs_eviction);
+
+    /** Reconstruct the line address stored at (set, way). */
+    Addr lineAddrOf(std::uint64_t set, std::uint32_t way) const;
+
+    /** Geometry in force. */
+    const CacheGeometry &geometry() const { return geom; }
+
+    /** Number of non-invalid entries (tests). */
+    std::uint64_t residentCount() const;
+
+  private:
+    CacheGeometry geom;
+    std::vector<Entry> entries;
+    std::unique_ptr<ReplacementPolicy> repl;
+};
+
+} // namespace rc
+
+#endif // RC_REUSE_TAG_ARRAY_HH

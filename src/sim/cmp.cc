@@ -1,0 +1,229 @@
+#include "sim/cmp.hh"
+
+#include "common/log.hh"
+
+namespace rc
+{
+
+namespace
+{
+
+std::unique_ptr<Sllc>
+makeLlc(const SystemConfig &cfg, MemCtrl &mem)
+{
+    switch (cfg.llcKind) {
+      case LlcKind::Conventional:
+        return std::make_unique<ConventionalLlc>(cfg.conv, mem);
+      case LlcKind::Reuse:
+        return std::make_unique<ReuseCache>(cfg.reuse, mem);
+      case LlcKind::Ncid:
+        return std::make_unique<NcidCache>(cfg.ncid, mem);
+    }
+    panic("unknown LLC kind");
+}
+
+Counter
+privL1Misses(const Core &core)
+{
+    return core.priv().stats().lookup("l1iMisses") +
+           core.priv().stats().lookup("l1dMisses");
+}
+
+} // namespace
+
+Cmp::Cmp(const SystemConfig &cfg_,
+         std::vector<std::unique_ptr<RefStream>> streams)
+    : cfg(cfg_),
+      ownedStreams(std::move(streams)),
+      mem(cfg_.memory),
+      xbar(cfg_.xbar),
+      llcPtr(makeLlc(cfg_, mem))
+{
+    RC_ASSERT(ownedStreams.size() == cfg.numCores,
+              "need exactly one stream per core (%u cores, %zu streams)",
+              cfg.numCores, ownedStreams.size());
+    cores.reserve(cfg.numCores);
+    for (CoreId i = 0; i < cfg.numCores; ++i)
+        cores.push_back(std::make_unique<Core>(i, cfg.priv,
+                                               *ownedStreams[i]));
+    llcPtr->setRecallHandler(this);
+
+    if (cfg.prefetch.enable) {
+        for (CoreId i = 0; i < cfg.numCores; ++i)
+            prefetchers.push_back(std::make_unique<StridePrefetcher>(
+                cfg.prefetch, "pf" + std::to_string(i)));
+    }
+
+    snapInstr.assign(cfg.numCores, 0);
+    snapL1Miss.assign(cfg.numCores, 0);
+    snapL2Miss.assign(cfg.numCores, 0);
+    snapLlcMiss.assign(cfg.numCores, 0);
+}
+
+Cmp::~Cmp() = default;
+
+void
+Cmp::issuePrefetches(Core &core, Addr demand_line, Cycle when)
+{
+    StridePrefetcher &pf = *prefetchers[core.id()];
+    prefetchScratch.clear();
+    pf.observeMiss(demand_line, prefetchScratch);
+    for (Addr cand : prefetchScratch) {
+        if (core.priv().present(cand))
+            continue;
+        // Prefetches ride off the critical path: they consume bank and
+        // memory occupancy but never stall the core.
+        const Cycle start = xbar.requestSlot(cand, when);
+        LlcRequest req{cand, core.id(), ProtoEvent::GETS, start};
+        req.prefetch = true;
+        const LlcResponse resp = llcPtr->request(req);
+        if (resp.memFetched)
+            xbar.noteMiss(cand, start, resp.doneAt);
+        Addr evict_line = 0;
+        bool evict_dirty = false;
+        if (core.priv().fillPrefetch(cand, evict_line, evict_dirty)) {
+            llcPtr->evictNotify(evict_line, core.id(), evict_dirty,
+                                resp.doneAt);
+        }
+        ++prefetchIssued;
+    }
+}
+
+void
+Cmp::stepCore(Core &core)
+{
+    const MemRef ref = core.nextRef();
+    const Cycle issue = core.readyAt() + ref.think;
+    const Addr line = lineAlign(ref.addr);
+
+    const PrivateMissAction act =
+        core.priv().classify(line, ref.op, ref.isInstr);
+
+    Cycle done;
+    if (!act.needLlc) {
+        done = issue + act.latency;
+    } else {
+        const Cycle llc_issue = issue + act.latency;
+        const Cycle bank_start = xbar.requestSlot(line, llc_issue);
+        const LlcResponse resp = llcPtr->request(
+            LlcRequest{line, core.id(), act.event, bank_start});
+        if (resp.memFetched)
+            xbar.noteMiss(line, bank_start, resp.doneAt);
+        const Cycle returned = resp.doneAt + xbar.responseLatency();
+
+        if (act.event == ProtoEvent::UPG) {
+            core.priv().upgraded(line);
+        } else {
+            Addr evict_line = 0;
+            bool evict_dirty = false;
+            const bool writable = act.event == ProtoEvent::GETX;
+            if (core.priv().fill(line, ref.isInstr, writable,
+                                 evict_line, evict_dirty)) {
+                llcPtr->evictNotify(evict_line, core.id(), evict_dirty,
+                                    returned);
+            }
+        }
+        done = returned;
+        if (!prefetchers.empty() && !ref.isInstr &&
+            act.event != ProtoEvent::UPG) {
+            issuePrefetches(core, line, returned);
+        }
+    }
+
+    core.retire(ref.think + (ref.isInstr ? 0 : 1));
+    core.setReadyAt(done);
+}
+
+void
+Cmp::run(Cycle cycles)
+{
+    const Cycle end = horizon + cycles;
+    for (;;) {
+        Core *next = nullptr;
+        for (auto &c : cores) {
+            if (!next || c->readyAt() < next->readyAt())
+                next = c.get();
+        }
+        if (!next || next->readyAt() >= end)
+            break;
+        stepCore(*next);
+    }
+    horizon = end;
+}
+
+void
+Cmp::beginMeasurement()
+{
+    snapCycle = horizon;
+    for (CoreId i = 0; i < cores.size(); ++i) {
+        snapInstr[i] = cores[i]->instructions();
+        snapL1Miss[i] = privL1Misses(*cores[i]);
+        snapL2Miss[i] = cores[i]->priv().stats().lookup("l2Misses");
+        snapLlcMiss[i] = llcPtr->missesBy(i);
+    }
+}
+
+std::uint64_t
+Cmp::measuredInstructions(CoreId core) const
+{
+    return cores[core]->instructions() - snapInstr[core];
+}
+
+double
+Cmp::ipc(CoreId core) const
+{
+    const Cycle c = measuredCycles();
+    return c ? static_cast<double>(measuredInstructions(core)) /
+                   static_cast<double>(c)
+             : 0.0;
+}
+
+double
+Cmp::aggregateIpc() const
+{
+    double sum = 0.0;
+    for (CoreId i = 0; i < cores.size(); ++i)
+        sum += ipc(i);
+    return sum;
+}
+
+MpkiTriple
+Cmp::measuredMpki(CoreId core) const
+{
+    MpkiTriple t;
+    const double ki =
+        static_cast<double>(measuredInstructions(core)) / 1000.0;
+    if (ki <= 0.0)
+        return t;
+    t.l1 = static_cast<double>(privL1Misses(*cores[core]) -
+                               snapL1Miss[core]) / ki;
+    t.l2 = static_cast<double>(cores[core]->priv().stats().lookup(
+                                   "l2Misses") - snapL2Miss[core]) / ki;
+    t.llc = static_cast<double>(llcPtr->missesBy(core) -
+                                snapLlcMiss[core]) / ki;
+    return t;
+}
+
+bool
+Cmp::recall(Addr line_addr, std::uint32_t core_mask)
+{
+    bool dirty = false;
+    for (CoreId c = 0; c < cores.size(); ++c) {
+        if (core_mask & (1u << c))
+            dirty |= cores[c]->priv().invalidate(line_addr);
+    }
+    return dirty;
+}
+
+bool
+Cmp::downgrade(Addr line_addr, std::uint32_t core_mask)
+{
+    bool dirty = false;
+    for (CoreId c = 0; c < cores.size(); ++c) {
+        if (core_mask & (1u << c))
+            dirty |= cores[c]->priv().downgrade(line_addr);
+    }
+    return dirty;
+}
+
+} // namespace rc

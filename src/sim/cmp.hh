@@ -1,0 +1,135 @@
+/**
+ * @file
+ * The eight-core CMP system: cores + private hierarchies + crossbar +
+ * SLLC + DRAM, with warmup/measurement bookkeeping.
+ *
+ * The run loop is timestamp-ordered: the core with the earliest ready
+ * time processes its next reference atomically (private lookups, SLLC
+ * transaction, fills, eviction notifications), charging latency and
+ * resource occupancy as it goes.  Identical seeds and streams make runs
+ * bit-reproducible across SLLC organizations.
+ */
+
+#ifndef RC_SIM_CMP_HH
+#define RC_SIM_CMP_HH
+
+#include <memory>
+#include <vector>
+
+#include "cache/llc_iface.hh"
+#include "cache/prefetcher.hh"
+#include "mem/memctrl.hh"
+#include "sim/core.hh"
+#include "sim/crossbar.hh"
+#include "sim/system_config.hh"
+#include "sim/trace.hh"
+
+namespace rc
+{
+
+/** Per-core/per-level miss rates in misses per kilo-instruction. */
+struct MpkiTriple
+{
+    double l1 = 0.0;   //!< L1 I+D
+    double l2 = 0.0;
+    double llc = 0.0;  //!< requests the SLLC sent to memory
+};
+
+/** The complete simulated system. */
+class Cmp : public RecallHandler
+{
+  public:
+    /**
+     * @param cfg system description (choose the SLLC via cfg.llcKind).
+     * @param streams one reference stream per core (ownership taken).
+     */
+    Cmp(const SystemConfig &cfg,
+        std::vector<std::unique_ptr<RefStream>> streams);
+
+    ~Cmp() override;
+
+    /** Advance simulated time by @p cycles. */
+    void run(Cycle cycles);
+
+    /** Snapshot all counters; subsequent measured*() report deltas. */
+    void beginMeasurement();
+
+    /** Current simulated horizon. */
+    Cycle now() const { return horizon; }
+
+    /** Cycles simulated since beginMeasurement(). */
+    Cycle measuredCycles() const { return horizon - snapCycle; }
+
+    /** Instructions retired by @p core since beginMeasurement(). */
+    std::uint64_t measuredInstructions(CoreId core) const;
+
+    /** Per-core IPC over the measurement window. */
+    double ipc(CoreId core) const;
+
+    /** Sum of per-core IPCs (system throughput). */
+    double aggregateIpc() const;
+
+    /** Per-core L1/L2/LLC MPKI over the measurement window (Table 5). */
+    MpkiTriple measuredMpki(CoreId core) const;
+
+    /** The SLLC. */
+    Sllc &llc() { return *llcPtr; }
+
+    /** The SLLC, const. */
+    const Sllc &llc() const { return *llcPtr; }
+
+    /** The memory controller. */
+    MemCtrl &memory() { return mem; }
+
+    /** Core @p i. */
+    Core &core(CoreId i) { return *cores[i]; }
+
+    /** Number of cores. */
+    std::uint32_t numCores() const
+    {
+        return static_cast<std::uint32_t>(cores.size());
+    }
+
+    /** Crossbar (MSHR stats). */
+    const Crossbar &crossbar() const { return xbar; }
+
+    /** Per-core prefetcher (nullptr when disabled). */
+    const StridePrefetcher *prefetcher(CoreId i) const
+    {
+        return i < prefetchers.size() ? prefetchers[i].get() : nullptr;
+    }
+
+    /** Prefetch requests actually issued to the SLLC. */
+    Counter prefetchesIssued() const { return prefetchIssued; }
+
+    // RecallHandler interface (called by the SLLC).
+    bool recall(Addr line_addr, std::uint32_t core_mask) override;
+    bool downgrade(Addr line_addr, std::uint32_t core_mask) override;
+
+  private:
+    void stepCore(Core &core);
+    void issuePrefetches(Core &core, Addr demand_line, Cycle when);
+
+    SystemConfig cfg;
+    std::vector<std::unique_ptr<RefStream>> ownedStreams;
+    MemCtrl mem;
+    Crossbar xbar;
+    std::unique_ptr<Sllc> llcPtr;
+    std::vector<std::unique_ptr<Core>> cores;
+    std::vector<std::unique_ptr<StridePrefetcher>> prefetchers;
+    std::vector<Addr> prefetchScratch;
+    Counter prefetchIssued = 0;
+
+    Cycle horizon = 0;
+
+    // Measurement snapshots.
+    Cycle snapCycle = 0;
+    std::vector<std::uint64_t> snapInstr;
+    std::vector<Counter> snapL1Miss;
+    std::vector<Counter> snapL2Miss;
+    std::vector<Counter> snapLlcMiss;
+};
+
+} // namespace rc
+
+#endif // RC_SIM_CMP_HH

@@ -1,0 +1,13 @@
+#include "sim/core.hh"
+
+namespace rc
+{
+
+Core::Core(CoreId id, const PrivateConfig &cfg, RefStream &stream)
+    : coreId(id),
+      streamRef(stream),
+      hierarchy(cfg, id, "core" + std::to_string(id))
+{
+}
+
+} // namespace rc

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * In-order blocking core model.
+ *
+ * Each core retires one instruction per cycle until it reaches the next
+ * memory reference of its stream; the reference's latency through the
+ * cache hierarchy then stalls the core.  This is the standard
+ * trace-driven abstraction of the paper's in-order SPARC cores: since
+ * every SLLC organization is driven by identical streams, cores and
+ * private levels, relative performance isolates the SLLC.
+ */
+
+#ifndef RC_SIM_CORE_HH
+#define RC_SIM_CORE_HH
+
+#include <memory>
+#include <string>
+
+#include "cache/private_cache.hh"
+#include "common/stats.hh"
+#include "sim/trace.hh"
+
+namespace rc
+{
+
+/** Per-core state: stream cursor, private caches and retirement counters. */
+class Core
+{
+  public:
+    /**
+     * @param id core number.
+     * @param cfg private-cache sizing.
+     * @param stream reference stream (not owned).
+     */
+    Core(CoreId id, const PrivateConfig &cfg, RefStream &stream);
+
+    /** Core number. */
+    CoreId id() const { return coreId; }
+
+    /** Cycle at which the core can issue its next reference. */
+    Cycle readyAt() const { return ready; }
+
+    /** Advance the ready time (set by the CMP after each reference). */
+    void setReadyAt(Cycle c) { ready = c; }
+
+    /** Fetch the next reference from the stream. */
+    MemRef nextRef() { return streamRef.next(); }
+
+    /** Account @p n retired instructions. */
+    void retire(std::uint64_t n) { instrRetired += n; }
+
+    /** Instructions retired since construction. */
+    std::uint64_t instructions() const { return instrRetired; }
+
+    /** Private hierarchy (L1I/L1D/L2). */
+    PrivateHierarchy &priv() { return hierarchy; }
+
+    /** Private hierarchy, const. */
+    const PrivateHierarchy &priv() const { return hierarchy; }
+
+    /** Label of the stream driving this core. */
+    const char *workloadLabel() const { return streamRef.label(); }
+
+  private:
+    CoreId coreId;
+    RefStream &streamRef;
+    PrivateHierarchy hierarchy;
+    Cycle ready = 0;
+    std::uint64_t instrRetired = 0;
+};
+
+} // namespace rc
+
+#endif // RC_SIM_CORE_HH

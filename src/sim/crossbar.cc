@@ -1,0 +1,54 @@
+#include "sim/crossbar.hh"
+
+#include <algorithm>
+
+#include "common/log.hh"
+
+namespace rc
+{
+
+Crossbar::Crossbar(const CrossbarConfig &cfg_)
+    : cfg(cfg_),
+      bankBusyUntil(cfg_.numBanks, 0)
+{
+    RC_ASSERT(cfg.numBanks > 0, "need at least one SLLC bank");
+    mshrFiles.reserve(cfg.numBanks);
+    for (std::uint32_t b = 0; b < cfg.numBanks; ++b) {
+        mshrFiles.push_back(std::make_unique<MshrFile>(
+            cfg.mshrPerBank, "mshr" + std::to_string(b)));
+    }
+}
+
+std::uint32_t
+Crossbar::bankOf(Addr line_addr) const
+{
+    return static_cast<std::uint32_t>(lineNumber(line_addr) % cfg.numBanks);
+}
+
+Cycle
+Crossbar::requestSlot(Addr line_addr, Cycle issue)
+{
+    const std::uint32_t bank = bankOf(line_addr);
+    Cycle arrival = issue + cfg.linkLatency;
+
+    // MSHR back-pressure: a full file rejects the request until an entry
+    // retires.
+    MshrFile &mshr = *mshrFiles[bank];
+    if (mshr.occupancy(arrival) >= mshr.capacity()) {
+        const Cycle release = mshr.earliestRelease();
+        if (release != neverCycle)
+            arrival = std::max(arrival, release);
+    }
+
+    const Cycle start = std::max(arrival, bankBusyUntil[bank]);
+    bankBusyUntil[bank] = start + cfg.bankOccupancy;
+    return start;
+}
+
+void
+Crossbar::noteMiss(Addr line_addr, Cycle start, Cycle done_at)
+{
+    mshrFiles[bankOf(line_addr)]->request(line_addr, start, done_at);
+}
+
+} // namespace rc

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Crossbar between the private L2s and the banked SLLC.
+ *
+ * The baseline SLLC is split into 4 banks interleaved at line
+ * granularity (Table 4); each bank has a port that is busy for a couple
+ * of cycles per access and a 16-entry MSHR file.  The crossbar adds a
+ * fixed link latency each way and serializes accesses contending for the
+ * same bank port.
+ */
+
+#ifndef RC_SIM_CROSSBAR_HH
+#define RC_SIM_CROSSBAR_HH
+
+#include <memory>
+#include <vector>
+
+#include "cache/mshr.hh"
+#include "sim/system_config.hh"
+
+namespace rc
+{
+
+/** Banked-SLLC front end. */
+class Crossbar
+{
+  public:
+    explicit Crossbar(const CrossbarConfig &cfg);
+
+    /** Bank servicing @p line_addr. */
+    std::uint32_t bankOf(Addr line_addr) const;
+
+    /**
+     * Reserve a service slot at the owning bank for a request issued by
+     * a private L2 at cycle @p issue.
+     * @return cycle at which the bank starts servicing the request
+     *         (includes the request-path link latency, port contention
+     *         and MSHR back-pressure).
+     */
+    Cycle requestSlot(Addr line_addr, Cycle issue);
+
+    /**
+     * Record a miss in the owning bank's MSHR file so later requests see
+     * its occupancy.  Call after the SLLC reports the completion time.
+     */
+    void noteMiss(Addr line_addr, Cycle start, Cycle done_at);
+
+    /** Response-path link latency back to the core. */
+    Cycle responseLatency() const { return cfg.linkLatency; }
+
+    /** Per-bank MSHR files (stats). */
+    const std::vector<std::unique_ptr<MshrFile>> &mshrs() const
+    {
+        return mshrFiles;
+    }
+
+  private:
+    CrossbarConfig cfg;
+    std::vector<Cycle> bankBusyUntil;
+    std::vector<std::unique_ptr<MshrFile>> mshrFiles;
+};
+
+} // namespace rc
+
+#endif // RC_SIM_CROSSBAR_HH

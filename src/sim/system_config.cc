@@ -1,0 +1,92 @@
+#include "sim/system_config.hh"
+
+#include <cmath>
+
+#include "common/log.hh"
+
+namespace rc
+{
+
+namespace
+{
+
+constexpr std::uint64_t MiB = 1ull << 20;
+
+std::uint64_t
+mbToBytes(double mb)
+{
+    return static_cast<std::uint64_t>(std::llround(mb * 1024.0 * 1024.0));
+}
+
+/** Common skeleton shared by all presets (Table 4, scaled). */
+SystemConfig
+skeleton(std::uint32_t scale)
+{
+    RC_ASSERT(scale >= 1, "capacity scale must be at least 1");
+    SystemConfig sys;
+    sys.capacityScale = scale;
+    sys.priv.l1Bytes = (32 * 1024) / scale;
+    sys.priv.l1Ways = 4;
+    sys.priv.l1Latency = 1;
+    sys.priv.l2Bytes = (256 * 1024) / scale;
+    sys.priv.l2Ways = 8;
+    sys.priv.l2Latency = 7;
+    sys.memory.numChannels = 1;
+    return sys;
+}
+
+} // namespace
+
+SystemConfig
+baselineSystem(std::uint32_t scale)
+{
+    SystemConfig sys = skeleton(scale);
+    sys.llcKind = LlcKind::Conventional;
+    sys.conv.capacityBytes = (8 * MiB) / scale;
+    sys.conv.ways = 16;
+    sys.conv.repl = ReplKind::LRU;
+    sys.conv.numCores = sys.numCores;
+    sys.conv.name = "llc";
+    return sys;
+}
+
+SystemConfig
+conventionalSystem(double mb, ReplKind repl, std::uint32_t scale)
+{
+    SystemConfig sys = skeleton(scale);
+    sys.llcKind = LlcKind::Conventional;
+    sys.conv.capacityBytes = mbToBytes(mb) / scale;
+    sys.conv.ways = 16;
+    sys.conv.repl = repl;
+    sys.conv.numCores = sys.numCores;
+    sys.conv.name = "llc";
+    return sys;
+}
+
+SystemConfig
+reuseSystem(double tag_mbeq, double data_mb, std::uint32_t data_ways,
+            std::uint32_t scale)
+{
+    SystemConfig sys = skeleton(scale);
+    sys.llcKind = LlcKind::Reuse;
+    sys.reuse = ReuseCacheConfig::standard(mbToBytes(tag_mbeq) / scale,
+                                           mbToBytes(data_mb) / scale,
+                                           data_ways);
+    sys.reuse.numCores = sys.numCores;
+    sys.reuse.name = "llc";
+    return sys;
+}
+
+SystemConfig
+ncidSystem(double tag_mbeq, double data_mb, std::uint32_t scale)
+{
+    SystemConfig sys = skeleton(scale);
+    sys.llcKind = LlcKind::Ncid;
+    sys.ncid.tagEquivBytes = mbToBytes(tag_mbeq) / scale;
+    sys.ncid.dataBytes = mbToBytes(data_mb) / scale;
+    sys.ncid.numCores = sys.numCores;
+    sys.ncid.name = "llc";
+    return sys;
+}
+
+} // namespace rc

@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Memory-reference stream interface between workload generators and the
+ * CMP timing model.
+ */
+
+#ifndef RC_SIM_TRACE_HH
+#define RC_SIM_TRACE_HH
+
+#include <cstdint>
+
+#include "common/types.hh"
+
+namespace rc
+{
+
+/** One memory reference issued by a core. */
+struct MemRef
+{
+    Addr addr = 0;           //!< byte address (any alignment)
+    MemOp op = MemOp::Read;  //!< read or write
+    std::uint32_t think = 0; //!< non-memory instructions executed before
+                             //!< this reference (1 cycle each)
+    bool isInstr = false;    //!< instruction fetch (L1I path, always read)
+};
+
+/**
+ * Infinite reference stream.  Implementations must be deterministic for
+ * a given seed: the simulator replays identical streams across SLLC
+ * configurations so speedups compare like with like.
+ */
+class RefStream
+{
+  public:
+    virtual ~RefStream() = default;
+
+    /** Produce the next reference. */
+    virtual MemRef next() = 0;
+
+    /** Short label for reports (e.g. "mcf"). */
+    virtual const char *label() const = 0;
+};
+
+} // namespace rc
+
+#endif // RC_SIM_TRACE_HH

@@ -1,0 +1,122 @@
+#include "sim/trace_file.hh"
+
+#include <cstring>
+
+#include "common/log.hh"
+
+namespace rc
+{
+
+namespace
+{
+
+constexpr char traceMagic[8] = {'R', 'C', 'T', 'R', 'A', 'C', 'E', '1'};
+constexpr std::size_t recordBytes = 12;
+
+void
+encode(const MemRef &ref, unsigned char out[recordBytes])
+{
+    for (int i = 0; i < 8; ++i)
+        out[i] = static_cast<unsigned char>(ref.addr >> (8 * i));
+    RC_ASSERT(ref.think < (1u << 24), "think count exceeds 24 bits");
+    out[8] = static_cast<unsigned char>(ref.think);
+    out[9] = static_cast<unsigned char>(ref.think >> 8);
+    out[10] = static_cast<unsigned char>(ref.think >> 16);
+    out[11] = static_cast<unsigned char>(
+        (ref.op == MemOp::Write ? 1 : 0) | (ref.isInstr ? 2 : 0));
+}
+
+MemRef
+decode(const unsigned char in[recordBytes])
+{
+    MemRef ref;
+    ref.addr = 0;
+    for (int i = 0; i < 8; ++i)
+        ref.addr |= static_cast<Addr>(in[i]) << (8 * i);
+    ref.think = in[8] | (std::uint32_t{in[9]} << 8) |
+                (std::uint32_t{in[10]} << 16);
+    ref.op = (in[11] & 1) ? MemOp::Write : MemOp::Read;
+    ref.isInstr = (in[11] & 2) != 0;
+    return ref;
+}
+
+} // namespace
+
+TraceWriter::TraceWriter(const std::string &path)
+    : file(std::fopen(path.c_str(), "wb"))
+{
+    if (!file)
+        fatal("cannot open trace file '%s' for writing", path.c_str());
+    unsigned char header[16] = {};
+    std::memcpy(header, traceMagic, sizeof(traceMagic));
+    if (std::fwrite(header, 1, sizeof(header), file) != sizeof(header))
+        fatal("cannot write trace header to '%s'", path.c_str());
+}
+
+TraceWriter::~TraceWriter()
+{
+    close();
+}
+
+void
+TraceWriter::write(const MemRef &ref)
+{
+    RC_ASSERT(file, "write on a closed trace");
+    unsigned char buf[recordBytes];
+    encode(ref, buf);
+    if (std::fwrite(buf, 1, recordBytes, file) != recordBytes)
+        fatal("trace write failed");
+    ++written;
+}
+
+void
+TraceWriter::close()
+{
+    if (file) {
+        std::fclose(file);
+        file = nullptr;
+    }
+}
+
+TraceReader::TraceReader(const std::string &path) : name(path)
+{
+    std::FILE *file = std::fopen(path.c_str(), "rb");
+    if (!file)
+        fatal("cannot open trace file '%s'", path.c_str());
+    unsigned char header[16];
+    if (std::fread(header, 1, sizeof(header), file) != sizeof(header) ||
+        std::memcmp(header, traceMagic, sizeof(traceMagic)) != 0) {
+        std::fclose(file);
+        fatal("'%s' is not a reuse-cache trace file", path.c_str());
+    }
+    unsigned char buf[recordBytes];
+    while (std::fread(buf, 1, recordBytes, file) == recordBytes)
+        records.push_back(decode(buf));
+    std::fclose(file);
+    if (records.empty())
+        fatal("trace file '%s' contains no records", path.c_str());
+}
+
+MemRef
+TraceReader::next()
+{
+    const MemRef ref = records[pos];
+    ++pos;
+    if (pos == records.size()) {
+        pos = 0;
+        ++wrapCount;
+    }
+    return ref;
+}
+
+void
+recordTrace(RefStream &source, std::uint64_t count,
+            const std::string &path)
+{
+    TraceWriter writer(path);
+    for (std::uint64_t i = 0; i < count; ++i)
+        writer.write(source.next());
+    writer.close();
+}
+
+} // namespace rc

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Binary trace recording and replay.
+ *
+ * The simulator is trace-driven; synthetic generators are the default
+ * source, but downstream users often want to replay captured reference
+ * streams (or archive a synthetic stream for exact cross-machine
+ * reproduction).  The format is a fixed 16-byte header followed by
+ * 12-byte little-endian records:
+ *
+ *   [0..7]  address (64-bit)
+ *   [8..10] think (24-bit non-memory instruction count)
+ *   [11]    flags: bit0 = write, bit1 = instruction fetch
+ */
+
+#ifndef RC_SIM_TRACE_FILE_HH
+#define RC_SIM_TRACE_FILE_HH
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "sim/trace.hh"
+
+namespace rc
+{
+
+/** Writes MemRef streams to a trace file. */
+class TraceWriter
+{
+  public:
+    /** Opens (truncates) @p path and writes the header; fatal on error. */
+    explicit TraceWriter(const std::string &path);
+
+    ~TraceWriter();
+
+    TraceWriter(const TraceWriter &) = delete;
+    TraceWriter &operator=(const TraceWriter &) = delete;
+
+    /** Append one reference. */
+    void write(const MemRef &ref);
+
+    /** References written so far. */
+    std::uint64_t count() const { return written; }
+
+    /** Flush and close; further writes are invalid. */
+    void close();
+
+  private:
+    std::FILE *file = nullptr;
+    std::uint64_t written = 0;
+};
+
+/**
+ * Replays a trace file as a RefStream.  The stream loops at EOF (the
+ * simulator needs an infinite stream), counting wraps.
+ */
+class TraceReader : public RefStream
+{
+  public:
+    /** Loads the whole trace into memory; fatal on a bad file. */
+    explicit TraceReader(const std::string &path);
+
+    MemRef next() override;
+
+    const char *label() const override { return name.c_str(); }
+
+    /** Number of records in the file. */
+    std::uint64_t size() const { return records.size(); }
+
+    /** Times the replay wrapped back to the start. */
+    std::uint64_t wraps() const { return wrapCount; }
+
+  private:
+    std::string name;
+    std::vector<MemRef> records;
+    std::size_t pos = 0;
+    std::uint64_t wrapCount = 0;
+};
+
+/** Record @p count references of @p source into @p path. */
+void recordTrace(RefStream &source, std::uint64_t count,
+                 const std::string &path);
+
+} // namespace rc
+
+#endif // RC_SIM_TRACE_FILE_HH

@@ -1,0 +1,258 @@
+#include "workloads/generator.hh"
+#include <cstdlib>
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/log.hh"
+
+namespace rc
+{
+
+namespace
+{
+
+/** Per-core private window: 64 GB apart within the 40-bit space. */
+Addr
+privateBase(CoreId core, std::uint32_t slot)
+{
+    return (static_cast<Addr>(core) << 36) |
+           (static_cast<Addr>(slot) << 30);
+}
+
+/** Shared window common to all cores. */
+Addr
+sharedBase(std::uint32_t shared_id)
+{
+    return (Addr{8} << 36) | (static_cast<Addr>(shared_id + 1) << 30);
+}
+
+std::uint64_t
+scaledLines(std::uint64_t region_bytes, std::uint32_t scale)
+{
+    const std::uint64_t lines = region_bytes / scale / lineBytes;
+    return std::max<std::uint64_t>(lines, 1);
+}
+
+/** Lines per 1 GB component slot. */
+constexpr std::uint64_t slotLines = (1ull << 30) / lineBytes;
+
+/**
+ * Scatter a region inside its slot.  Slot bases are 1 GB aligned, so
+ * without an offset every region of every core would start at set 0 of
+ * every cache and pile up in the low sets.  The offset is derived
+ * deterministically from the slot identity (not the stream RNG) so
+ * shared regions land at the same place for every core.
+ */
+Addr
+scatterOffset(Addr base, std::uint64_t region_lines)
+{
+    if (region_lines >= slotLines)
+        return 0;
+    const std::uint64_t room = slotLines - region_lines;
+    SplitMix64 h(base ^ 0xa2c1e7f3d4b59617ULL);
+    return (h.next() % room) * lineBytes;
+}
+
+} // namespace
+
+SyntheticStream::SyntheticStream(const AppProfile &app, CoreId core,
+                                 std::uint64_t seed, std::uint32_t scale,
+                                 std::uint32_t num_cores)
+    : appName(app.name),
+      writeRatio(app.writeRatio),
+      rng(SplitMix64(seed ^ (0x5851f42d4c957f2dULL * (core + 1))).next())
+{
+    RC_ASSERT(scale >= 1, "capacity scale must be at least 1");
+    RC_ASSERT(app.memRatio > 0.0 && app.memRatio <= 1.0,
+              "memRatio out of range for %s", app.name.c_str());
+
+    const double mean_think = 1.0 / app.memRatio - 1.0;
+    thinkLo = static_cast<std::uint32_t>(mean_think);
+    thinkFrac = mean_think - thinkLo;
+
+    double cumulative = 0.0;
+    std::uint32_t slot = 1;
+    for (const Component &c : app.components) {
+        CompState st;
+        st.pattern = c.pattern;
+        st.lines = scaledLines(c.regionBytes, scale);
+        st.burstLines = std::max<std::uint32_t>(c.burstLines, 1);
+        if (c.pattern == AccessPattern::Loop && !c.shared) {
+            // Private loops relocate within an 8x universe at phase
+            // boundaries.
+            st.universeLines = st.lines * 8;
+        } else {
+            st.universeLines = st.lines;
+        }
+        st.base = c.shared ? sharedBase(c.sharedId)
+                           : privateBase(core, slot);
+        st.base += scatterOffset(st.base, st.universeLines);
+        if (c.pattern == AccessPattern::Stream) {
+            // Parallel sweeps start staggered (domain decomposition).
+            st.cursor = c.shared && num_cores
+                ? (st.lines / num_cores) * core
+                : 0;
+        }
+        if (c.pattern == AccessPattern::Zipf) {
+            st.zipfCdf.resize(st.lines);
+            double sum = 0.0;
+            for (std::uint64_t i = 0; i < st.lines; ++i) {
+                sum += 1.0 / std::pow(static_cast<double>(i + 1), c.zipfS);
+                st.zipfCdf[i] = sum;
+            }
+            // Scatter hot ranks across the region so they spread over
+            // cache sets; an odd multiplier keeps power-of-two coverage.
+            st.scatter = 0x9E3779B9u | 1u;
+        }
+        comps.push_back(std::move(st));
+        cumulative += c.weight;
+        pickCdf.push_back(cumulative);
+        ++slot;
+    }
+    RC_ASSERT(cumulative <= 1.0 + 1e-9,
+              "component weights of %s exceed 1", app.name.c_str());
+
+    hot.pattern = AccessPattern::Loop;
+    hot.lines = scaledLines(16 * 1024, scale);
+    hot.universeLines = hot.lines * 8;
+    hot.base = privateBase(core, 62);
+    hot.base += scatterOffset(hot.base, hot.universeLines);
+
+    // Instruction fetches follow a skewed popularity distribution over
+    // the code region (hot basic blocks dominate); a cyclic walk would
+    // pathologically defeat the L1I for any footprint above its size.
+    code.pattern = AccessPattern::Zipf;
+    code.lines = scaledLines(app.codeBytes, scale);
+    code.base = privateBase(core, 63);
+    code.base += scatterOffset(code.base, code.lines);
+    code.scatter = 0x9E3779B9u | 1u;
+    code.zipfCdf.resize(code.lines);
+    double code_sum = 0.0;
+    for (std::uint64_t i = 0; i < code.lines; ++i) {
+        code_sum += 1.0 / std::pow(static_cast<double>(i + 1), 1.3);
+        code.zipfCdf[i] = code_sum;
+    }
+
+    // Phase behaviour: every refsPerPhase data references the hot sets
+    // relocate and the popularity rankings reshuffle.  Cores start at
+    // staggered positions within their first phase.
+    refsPerPhase = app.phaseRefs / scale;
+    if (const char *p = std::getenv("RC_PHASE_REFS"))
+        refsPerPhase = static_cast<std::uint64_t>(std::atoll(p)) / scale;
+    phaseSeed = SplitMix64(seed ^ 0xfeedfacecafebeefULL ^ core).next();
+    if (refsPerPhase > 0)
+        refsInPhase = SplitMix64(phaseSeed).next() % refsPerPhase;
+}
+
+void
+SyntheticStream::reseedComponent(CompState &comp, std::uint64_t mix)
+{
+    SplitMix64 h(phaseSeed ^ (phaseIndex * 0x9e3779b97f4a7c15ULL) ^ mix);
+    switch (comp.pattern) {
+      case AccessPattern::Loop:
+        if (comp.universeLines > comp.lines)
+            comp.window = h.next() % (comp.universeLines - comp.lines);
+        break;
+      case AccessPattern::Zipf:
+        // New popularity ranking: different lines become hot.
+        comp.scatter = h.next() | 1u;
+        comp.salt = h.next();
+        break;
+      default:
+        break; // Stream/Chase/Uniform are memoryless
+    }
+}
+
+void
+SyntheticStream::advancePhase()
+{
+    ++phaseIndex;
+    refsInPhase = 0;
+    std::uint64_t mix = 1;
+    for (auto &c : comps)
+        reseedComponent(c, mix++);
+    reseedComponent(hot, 0x68f7);
+    reseedComponent(code, 0xc0de);
+}
+
+Addr
+SyntheticStream::genLine(CompState &comp)
+{
+    std::uint64_t line = 0;
+    switch (comp.pattern) {
+      case AccessPattern::Loop:
+        line = comp.window + comp.cursor;
+        comp.cursor = (comp.cursor + 1) % comp.lines;
+        break;
+      case AccessPattern::Stream:
+        line = comp.cursor;
+        comp.cursor = (comp.cursor + 1) % comp.lines;
+        break;
+      case AccessPattern::Uniform:
+        line = rng.below(comp.lines);
+        break;
+      case AccessPattern::Zipf: {
+        const double u = rng.uniform() * comp.zipfCdf.back();
+        const auto it = std::lower_bound(comp.zipfCdf.begin(),
+                                         comp.zipfCdf.end(), u);
+        const std::uint64_t rank = static_cast<std::uint64_t>(
+            it - comp.zipfCdf.begin());
+        line = (rank * comp.scatter + comp.salt) % comp.lines;
+        break;
+      }
+      case AccessPattern::Chase:
+        if (comp.burstLeft > 0) {
+            --comp.burstLeft;
+            comp.cursor = (comp.cursor + 1) % comp.lines;
+        } else {
+            comp.cursor = rng.below(comp.lines);
+            comp.burstLeft = static_cast<std::uint32_t>(
+                rng.geometric(comp.burstLines)) - 1;
+        }
+        line = comp.cursor;
+        break;
+    }
+    return comp.base + line * lineBytes;
+}
+
+MemRef
+SyntheticStream::makeDataRef()
+{
+    if (refsPerPhase > 0 && ++refsInPhase >= refsPerPhase)
+        advancePhase();
+
+    CompState *comp = &hot;
+    if (!pickCdf.empty()) {
+        const double u = rng.uniform();
+        const auto it = std::lower_bound(pickCdf.begin(), pickCdf.end(), u);
+        if (it != pickCdf.end())
+            comp = &comps[static_cast<std::size_t>(it - pickCdf.begin())];
+    }
+
+    MemRef ref;
+    ref.addr = genLine(*comp) + rng.below(8) * 8;
+    ref.op = rng.chance(writeRatio) ? MemOp::Write : MemOp::Read;
+    ref.think = thinkLo + (rng.chance(thinkFrac) ? 1 : 0);
+    ref.isInstr = false;
+    return ref;
+}
+
+MemRef
+SyntheticStream::next()
+{
+    if (instrSinceFetch >= instrPerFetch) {
+        instrSinceFetch -= instrPerFetch;
+        MemRef ref;
+        ref.addr = genLine(code);
+        ref.op = MemOp::Read;
+        ref.think = 0;
+        ref.isInstr = true;
+        return ref;
+    }
+    MemRef ref = makeDataRef();
+    instrSinceFetch += ref.think + 1;
+    return ref;
+}
+
+} // namespace rc

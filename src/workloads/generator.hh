@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Synthetic reference-stream generator: turns an AppProfile into the
+ * deterministic MemRef stream a core consumes.
+ */
+
+#ifndef RC_WORKLOADS_GENERATOR_HH
+#define RC_WORKLOADS_GENERATOR_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/rng.hh"
+#include "sim/trace.hh"
+#include "workloads/app_profile.hh"
+
+namespace rc
+{
+
+/**
+ * RefStream implementation over an AppProfile.
+ *
+ * Memory layout: each core owns a 64 GB window of the 40-bit physical
+ * space ((core << 36)); every component gets a 1 GB slot inside it.
+ * Shared components (parallel workloads) instead live in a common window
+ * at (8 << 36) so all cores touch the same lines.  Working-set sizes are
+ * divided by the capacity scale so scaled caches see proportionate
+ * pressure.
+ *
+ * One instruction fetch is emitted per 16 retired instructions, walking
+ * the profile's code region sequentially.
+ */
+class SyntheticStream : public RefStream
+{
+  public:
+    /**
+     * @param app the profile to synthesize.
+     * @param core owning core (address window, shared-stream offsets).
+     * @param seed RNG seed (combine workload and core ids for variety).
+     * @param scale capacity divisor matching SystemConfig::capacityScale.
+     * @param num_cores cores sharing the parallel regions.
+     */
+    SyntheticStream(const AppProfile &app, CoreId core, std::uint64_t seed,
+                    std::uint32_t scale, std::uint32_t num_cores = 8);
+
+    MemRef next() override;
+
+    const char *label() const override { return appName.c_str(); }
+
+    /** Number of mixture components (incl. code and hot; tests). */
+    std::size_t componentCount() const { return comps.size(); }
+
+  private:
+    struct CompState
+    {
+        AccessPattern pattern = AccessPattern::Loop;
+        Addr base = 0;
+        std::uint64_t lines = 1;
+        std::uint32_t burstLines = 4;
+        std::uint64_t cursor = 0;
+        std::uint32_t burstLeft = 0;
+        std::uint64_t scatter = 1;        //!< rank->line multiplier (Zipf)
+        std::uint64_t salt = 0;           //!< rank->line offset (Zipf)
+        std::vector<double> zipfCdf;      //!< cumulative Zipf weights
+        std::uint64_t universeLines = 1;  //!< Loop: relocation universe
+        std::uint64_t window = 0;         //!< Loop: current window start
+    };
+
+    Addr genLine(CompState &comp);
+    MemRef makeDataRef();
+    void advancePhase();
+    void reseedComponent(CompState &comp, std::uint64_t mix);
+
+    std::string appName;
+    double writeRatio;
+    std::uint32_t thinkLo;
+    double thinkFrac;
+
+    Rng rng;
+    std::vector<CompState> comps;     //!< profile components
+    std::vector<double> pickCdf;      //!< cumulative component weights
+    CompState hot;                    //!< L1-resident remainder component
+    CompState code;                   //!< instruction stream
+
+    std::uint64_t instrSinceFetch = 0;
+    static constexpr std::uint64_t instrPerFetch = 32;
+
+    // Phase machinery (see AppProfile::phaseRefs).
+    std::uint64_t refsPerPhase = 0;   //!< 0 disables phases
+    std::uint64_t refsInPhase = 0;
+    std::uint64_t phaseIndex = 0;
+    std::uint64_t phaseSeed = 0;
+};
+
+} // namespace rc
+
+#endif // RC_WORKLOADS_GENERATOR_HH

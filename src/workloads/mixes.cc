@@ -1,0 +1,66 @@
+#include "workloads/mixes.hh"
+
+#include "common/log.hh"
+#include "workloads/generator.hh"
+
+namespace rc
+{
+
+std::string
+Mix::label() const
+{
+    std::string out;
+    for (const auto &a : apps) {
+        if (!out.empty())
+            out += '+';
+        out += a;
+    }
+    return out;
+}
+
+std::vector<Mix>
+makeMixes(std::uint32_t count, std::uint32_t apps_per_mix,
+          std::uint64_t seed)
+{
+    const auto &profiles = specProfiles();
+    Rng rng(SplitMix64(seed).next());
+    std::vector<Mix> mixes;
+    mixes.reserve(count);
+    for (std::uint32_t m = 0; m < count; ++m) {
+        Mix mix;
+        mix.apps.reserve(apps_per_mix);
+        for (std::uint32_t a = 0; a < apps_per_mix; ++a) {
+            const std::size_t idx =
+                static_cast<std::size_t>(rng.below(profiles.size()));
+            mix.apps.push_back(profiles[idx].name);
+        }
+        mixes.push_back(std::move(mix));
+    }
+    return mixes;
+}
+
+Mix
+exampleMix()
+{
+    // The Section 2 footnote's example workload.
+    return Mix{{"gcc", "mcf", "povray", "leslie3d", "h264ref", "lbm",
+                "namd", "gcc"}};
+}
+
+std::vector<std::unique_ptr<RefStream>>
+buildMixStreams(const Mix &mix, std::uint64_t seed, std::uint32_t scale)
+{
+    std::vector<std::unique_ptr<RefStream>> streams;
+    streams.reserve(mix.apps.size());
+    for (CoreId core = 0; core < mix.apps.size(); ++core) {
+        const AppProfile *app = findProfile(mix.apps[core]);
+        if (!app)
+            fatal("unknown application '%s'", mix.apps[core].c_str());
+        streams.push_back(std::make_unique<SyntheticStream>(
+            *app, core, seed, scale,
+            static_cast<std::uint32_t>(mix.apps.size())));
+    }
+    return streams;
+}
+
+} // namespace rc

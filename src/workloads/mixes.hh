@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Multiprogrammed workload construction (paper Section 4.1): 100 random
+ * mixes of 8 applications drawn from the 29 SPEC CPU 2006 analogs, plus
+ * the example workload of Section 2.
+ */
+
+#ifndef RC_WORKLOADS_MIXES_HH
+#define RC_WORKLOADS_MIXES_HH
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sim/trace.hh"
+#include "workloads/app_profile.hh"
+
+namespace rc
+{
+
+/** One multiprogrammed workload: an application name per core. */
+struct Mix
+{
+    std::vector<std::string> apps;
+
+    /** "gcc+mcf+..." label for reports. */
+    std::string label() const;
+};
+
+/**
+ * Random mixes, reproducible from @p seed (the paper uses 100 mixes of 8
+ * applications; apps appear 16-35 times across the set).
+ */
+std::vector<Mix> makeMixes(std::uint32_t count, std::uint32_t apps_per_mix,
+                           std::uint64_t seed);
+
+/** The Section 2 example workload:
+ *  gcc, mcf, povray, leslie3d, h264ref, lbm, namd, gcc. */
+Mix exampleMix();
+
+/**
+ * Instantiate one stream per core for @p mix.
+ * @param seed base seed; each core derives its own.
+ * @param scale capacity divisor (must match the SystemConfig).
+ */
+std::vector<std::unique_ptr<RefStream>>
+buildMixStreams(const Mix &mix, std::uint64_t seed, std::uint32_t scale);
+
+} // namespace rc
+
+#endif // RC_WORKLOADS_MIXES_HH

@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Parallel-application analogs (paper Section 5.7): blackscholes,
+ * canneal, ferret and fluidanimate from PARSEC plus ocean from SPLASH-2,
+ * modeled as profiles with shared components so the TO-MSI protocol's
+ * sharing transitions are exercised.
+ */
+
+#ifndef RC_WORKLOADS_PARALLEL_HH
+#define RC_WORKLOADS_PARALLEL_HH
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "sim/trace.hh"
+#include "workloads/app_profile.hh"
+
+namespace rc
+{
+
+/** The five parallel analogs, in the paper's order. */
+const std::vector<AppProfile> &parallelProfiles();
+
+/** Look a parallel analog up by name; nullptr when unknown. */
+const AppProfile *findParallelProfile(const std::string &name);
+
+/**
+ * Instantiate one stream per core running @p app; shared components
+ * reference common regions across all cores.
+ */
+std::vector<std::unique_ptr<RefStream>>
+buildParallelStreams(const AppProfile &app, std::uint32_t num_cores,
+                     std::uint64_t seed, std::uint32_t scale);
+
+} // namespace rc
+
+#endif // RC_WORKLOADS_PARALLEL_HH

@@ -1,0 +1,283 @@
+/** @file Unit tests for the conventional inclusive SLLC. */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "cache/conventional_llc.hh"
+
+namespace rc
+{
+namespace
+{
+
+/** Records recalls/downgrades and plays back scripted dirtiness. */
+class MockRecaller : public RecallHandler
+{
+  public:
+    struct Call
+    {
+        Addr line;
+        std::uint32_t mask;
+        bool wasDowngrade;
+    };
+
+    bool
+    recall(Addr line_addr, std::uint32_t mask) override
+    {
+        calls.push_back({line_addr, mask, false});
+        return nextDirty;
+    }
+
+    bool
+    downgrade(Addr line_addr, std::uint32_t mask) override
+    {
+        calls.push_back({line_addr, mask, true});
+        return nextDirty;
+    }
+
+    std::vector<Call> calls;
+    bool nextDirty = false;
+};
+
+class ConvLlcTest : public ::testing::Test
+{
+  protected:
+    ConvLlcTest()
+        : mem(MemCtrlConfig{}),
+          llc(makeCfg(), mem)
+    {
+        llc.setRecallHandler(&recaller);
+    }
+
+    static ConvLlcConfig
+    makeCfg()
+    {
+        ConvLlcConfig cfg;
+        cfg.capacityBytes = 64 * 1024; // 1024 lines, 64 sets
+        cfg.ways = 16;
+        cfg.numCores = 8;
+        cfg.repl = ReplKind::LRU;
+        return cfg;
+    }
+
+    LlcResponse
+    req(Addr line, CoreId core, ProtoEvent e, Cycle now = 0)
+    {
+        return llc.request(LlcRequest{line, core, e, now});
+    }
+
+    static Addr line(std::uint64_t n) { return n * lineBytes; }
+
+    MemCtrl mem;
+    MockRecaller recaller;
+    ConventionalLlc llc;
+};
+
+TEST_F(ConvLlcTest, MissAllocatesAndFetches)
+{
+    const auto r = req(line(1), 0, ProtoEvent::GETS);
+    EXPECT_FALSE(r.tagHit);
+    EXPECT_TRUE(r.memFetched);
+    EXPECT_EQ(llc.stateOf(line(1)), LlcState::S);
+    ASSERT_NE(llc.dirOf(line(1)), nullptr);
+    EXPECT_TRUE(llc.dirOf(line(1))->isSharer(0));
+    EXPECT_EQ(mem.totalReads(), 1u);
+}
+
+TEST_F(ConvLlcTest, HitServesFromDataArray)
+{
+    req(line(1), 0, ProtoEvent::GETS);
+    const auto r = req(line(1), 1, ProtoEvent::GETS, 100);
+    EXPECT_TRUE(r.tagHit);
+    EXPECT_TRUE(r.dataHit);
+    EXPECT_FALSE(r.memFetched);
+    EXPECT_EQ(r.doneAt, 100 + makeCfg().tagLatency + makeCfg().dataLatency);
+    EXPECT_TRUE(llc.dirOf(line(1))->isSharer(1));
+}
+
+TEST_F(ConvLlcTest, GetxInvalidatesOtherSharers)
+{
+    req(line(1), 0, ProtoEvent::GETS);
+    req(line(1), 1, ProtoEvent::GETS);
+    recaller.calls.clear();
+    req(line(1), 2, ProtoEvent::GETX);
+    ASSERT_EQ(recaller.calls.size(), 1u);
+    EXPECT_EQ(recaller.calls[0].mask, 0b011u);
+    EXPECT_FALSE(recaller.calls[0].wasDowngrade);
+    const DirectoryEntry *d = llc.dirOf(line(1));
+    EXPECT_TRUE(d->isSharer(2));
+    EXPECT_FALSE(d->isSharer(0));
+    EXPECT_EQ(d->owner(), 2u);
+}
+
+TEST_F(ConvLlcTest, UpgradeKeepsDataState)
+{
+    req(line(1), 0, ProtoEvent::GETS);
+    req(line(1), 1, ProtoEvent::GETS);
+    recaller.calls.clear();
+    const auto r = req(line(1), 0, ProtoEvent::UPG);
+    EXPECT_TRUE(r.tagHit);
+    EXPECT_FALSE(r.memFetched);
+    ASSERT_EQ(recaller.calls.size(), 1u);
+    EXPECT_EQ(recaller.calls[0].mask, 0b010u);
+    EXPECT_EQ(llc.dirOf(line(1))->owner(), 0u);
+    EXPECT_EQ(llc.stats().lookup("upgrades"), 1u);
+}
+
+TEST_F(ConvLlcTest, ReadInterventionDowngradesOwner)
+{
+    req(line(1), 0, ProtoEvent::GETX); // core 0 owns
+    recaller.calls.clear();
+    recaller.nextDirty = true;
+    const auto r = req(line(1), 1, ProtoEvent::GETS);
+    EXPECT_TRUE(r.tagHit);
+    ASSERT_EQ(recaller.calls.size(), 1u);
+    EXPECT_TRUE(recaller.calls[0].wasDowngrade);
+    EXPECT_EQ(recaller.calls[0].mask, 0b001u);
+    EXPECT_EQ(llc.stateOf(line(1)), LlcState::M) << "absorbed dirty data";
+    EXPECT_FALSE(llc.dirOf(line(1))->hasOwner());
+    EXPECT_EQ(llc.stats().lookup("interventions"), 1u);
+}
+
+TEST_F(ConvLlcTest, WriteInterventionTransfersOwnership)
+{
+    req(line(1), 0, ProtoEvent::GETX);
+    recaller.calls.clear();
+    req(line(1), 1, ProtoEvent::GETX);
+    // The old owner is invalidated (not downgraded).
+    ASSERT_EQ(recaller.calls.size(), 1u);
+    EXPECT_FALSE(recaller.calls[0].wasDowngrade);
+    EXPECT_EQ(llc.dirOf(line(1))->owner(), 1u);
+}
+
+TEST_F(ConvLlcTest, PutxMakesLineDirtyAtLlc)
+{
+    req(line(1), 0, ProtoEvent::GETX);
+    llc.evictNotify(line(1), 0, true, 50);
+    EXPECT_EQ(llc.stateOf(line(1)), LlcState::M);
+    EXPECT_FALSE(llc.dirOf(line(1))->hasOwner());
+    EXPECT_TRUE(llc.dirOf(line(1))->empty());
+}
+
+TEST_F(ConvLlcTest, PutsJustClearsPresence)
+{
+    req(line(1), 0, ProtoEvent::GETS);
+    llc.evictNotify(line(1), 0, false, 50);
+    EXPECT_EQ(llc.stateOf(line(1)), LlcState::S);
+    EXPECT_TRUE(llc.dirOf(line(1))->empty());
+}
+
+TEST_F(ConvLlcTest, CapacityEvictionRecallsAndWritesBack)
+{
+    // Fill one set (16 ways map to set 1: lines 1, 65, 129, ...).
+    for (std::uint64_t i = 0; i < 16; ++i)
+        req(line(1 + 64 * i), 0, ProtoEvent::GETS);
+    // Make the LRU victim dirty at the LLC.
+    llc.evictNotify(line(1), 0, true, 0);
+    for (std::uint64_t i = 1; i < 16; ++i)
+        llc.evictNotify(line(1 + 64 * i), 0, false, 0);
+    const auto writes_before = mem.totalWrites();
+    recaller.calls.clear();
+    // A 17th line in the same set evicts line(1) (LRU, dirty, not
+    // present in any private cache anymore).
+    req(line(1 + 64 * 16), 0, ProtoEvent::GETS);
+    EXPECT_EQ(llc.stateOf(line(1)), LlcState::I);
+    EXPECT_EQ(mem.totalWrites(), writes_before + 1);
+    EXPECT_TRUE(recaller.calls.empty()) << "no private copies to recall";
+}
+
+TEST_F(ConvLlcTest, InclusionVictimRecallsPrivateCopies)
+{
+    for (std::uint64_t i = 0; i < 17; ++i)
+        req(line(1 + 64 * i), 3, ProtoEvent::GETS);
+    // All 17 lines were loaded by core 3 and no eviction notifications
+    // arrived, so the victim was recalled.
+    EXPECT_EQ(llc.stats().lookup("inclusionRecalls"), 1u);
+    bool saw_recall = false;
+    for (const auto &c : recaller.calls)
+        saw_recall |= !c.wasDowngrade && (c.mask & (1u << 3));
+    EXPECT_TRUE(saw_recall);
+}
+
+TEST_F(ConvLlcTest, MissLatencyIncludesMemory)
+{
+    const auto r = req(line(1), 0, ProtoEvent::GETS, 1000);
+    EXPECT_GT(r.doneAt,
+              1000 + makeCfg().tagLatency + makeCfg().dataLatency);
+}
+
+TEST_F(ConvLlcTest, PerCoreCounters)
+{
+    req(line(1), 2, ProtoEvent::GETS);
+    req(line(1), 2, ProtoEvent::GETS);
+    req(line(2), 5, ProtoEvent::GETS);
+    EXPECT_EQ(llc.accessesBy(2), 2u);
+    EXPECT_EQ(llc.missesBy(2), 1u);
+    EXPECT_EQ(llc.missesBy(5), 1u);
+    EXPECT_EQ(llc.missesBy(0), 0u);
+}
+
+TEST_F(ConvLlcTest, ObserverSeesFillsHitsEvictions)
+{
+    struct Obs : LlcObserver
+    {
+        int fills = 0, hits = 0, evicts = 0;
+        void onDataFill(Addr, Cycle) override { ++fills; }
+        void onDataHit(Addr, Cycle) override { ++hits; }
+        void onDataEvict(Addr, Cycle) override { ++evicts; }
+    } obs;
+    llc.setObserver(&obs);
+    for (std::uint64_t i = 0; i < 17; ++i)
+        req(line(1 + 64 * i), 0, ProtoEvent::GETS);
+    req(line(1 + 64 * 16), 0, ProtoEvent::GETS); // hit
+    EXPECT_EQ(obs.fills, 17);
+    EXPECT_EQ(obs.hits, 1);
+    EXPECT_EQ(obs.evicts, 1);
+}
+
+TEST_F(ConvLlcTest, NrrPolicyAvoidsRecallsWherePossible)
+{
+    // Build an NRR-managed conventional cache: inclusion victims prefer
+    // lines absent from the private caches.
+    ConvLlcConfig cfg = makeCfg();
+    cfg.repl = ReplKind::NRR;
+    MemCtrl m2(MemCtrlConfig{});
+    ConventionalLlc nrr(cfg, m2);
+    MockRecaller rec;
+    nrr.setRecallHandler(&rec);
+    // 15 lines still held by core 1; one line (the 16th) was PUTS'd.
+    for (std::uint64_t i = 0; i < 16; ++i)
+        nrr.request(LlcRequest{line(1 + 64 * i), 1, ProtoEvent::GETS, 0});
+    nrr.evictNotify(line(1 + 64 * 7), 1, false, 0);
+    rec.calls.clear();
+    // The 17th line must victimize the non-present one: no recall.
+    nrr.request(LlcRequest{line(1 + 64 * 16), 2, ProtoEvent::GETS, 0});
+    EXPECT_TRUE(rec.calls.empty());
+    EXPECT_EQ(nrr.stateOf(line(1 + 64 * 7)), LlcState::I);
+}
+
+TEST_F(ConvLlcTest, PrefetchFillGoesToLruPosition)
+{
+    // Fill a set with 15 demand lines + 1 prefetched line (all PUTS'd so
+    // inclusion does not interfere); the prefetched one is evicted first.
+    for (std::uint64_t i = 0; i < 15; ++i) {
+        req(line(1 + 64 * i), 0, ProtoEvent::GETS);
+        llc.evictNotify(line(1 + 64 * i), 0, false, 0);
+    }
+    LlcRequest pf{line(1 + 64 * 15), 0, ProtoEvent::GETS, 0};
+    pf.prefetch = true;
+    llc.request(pf);
+    llc.evictNotify(line(1 + 64 * 15), 0, false, 0);
+    req(line(1 + 64 * 16), 0, ProtoEvent::GETS);
+    EXPECT_EQ(llc.stateOf(line(1 + 64 * 15)), LlcState::I)
+        << "the prefetched line entered at LRU and leaves first";
+}
+
+TEST_F(ConvLlcTest, Describe)
+{
+    EXPECT_EQ(llc.describe(), "conv-0.0625MB-LRU");
+}
+
+} // namespace
+} // namespace rc

@@ -1,0 +1,114 @@
+/** @file
+ * Tests of the hardware cost model against the paper's Table 2 numbers.
+ */
+
+#include <gtest/gtest.h>
+
+#include "model/cost_model.hh"
+
+namespace rc
+{
+namespace
+{
+
+constexpr std::uint64_t MiB = 1ull << 20;
+
+TEST(CostModel, Conventional8MbMatchesTable2)
+{
+    // Table 2, column "Conv. 8MB, 16-way": tag 21 bits, coherence 4,
+    // presence 8, replacement 1 -> 34 bits/entry; data 512 bits;
+    // total 69888 Kbits.
+    const CacheCost c = conventionalCost(8 * MiB, 16, 8, ReplKind::NRU);
+    EXPECT_EQ(c.tagFieldBits, 21u);
+    EXPECT_EQ(c.coherenceBits, 4u);
+    EXPECT_EQ(c.presenceBits, 8u);
+    EXPECT_EQ(c.replacementBits, 1u);
+    EXPECT_EQ(c.tag.bitsPerEntry, 34u);
+    EXPECT_EQ(c.data.bitsPerEntry, 512u);
+    EXPECT_EQ(c.tag.entries, 131072u);
+    EXPECT_DOUBLE_EQ(c.totalKbits(), 69888.0);
+}
+
+TEST(CostModel, ReuseRc41FullyAssociativeMatchesTable2)
+{
+    // Table 2, column "RC-4/1 FA": tag entry 50 bits (22 tag + 5 coh +
+    // 8 presence + 1 repl + 14 fwd), data entry 530 bits (512 + valid +
+    // repl + 16 rev), total 11680 Kbits.
+    const CacheCost c = reuseCost(4 * MiB, 16, 1 * MiB, 0);
+    EXPECT_EQ(c.tagFieldBits, 22u);
+    EXPECT_EQ(c.coherenceBits, 5u);
+    EXPECT_EQ(c.fwdPointerBits, 14u);
+    EXPECT_EQ(c.tag.bitsPerEntry, 50u);
+    EXPECT_EQ(c.revPointerBits, 16u);
+    EXPECT_EQ(c.data.bitsPerEntry, 530u);
+    EXPECT_EQ(c.tag.entries, 65536u);
+    EXPECT_EQ(c.data.entries, 16384u);
+    EXPECT_DOUBLE_EQ(c.totalKbits(), 11680.0);
+}
+
+TEST(CostModel, ReuseRc41SixteenWayMatchesTable2)
+{
+    // Table 2, column "RC-4/1 16-way": tag entry 40 bits (fwd 4), data
+    // entry 520 bits (rev 6 = 4 way + 2 set), total 10880 Kbits.
+    const CacheCost c = reuseCost(4 * MiB, 16, 1 * MiB, 16);
+    EXPECT_EQ(c.fwdPointerBits, 4u);
+    EXPECT_EQ(c.tag.bitsPerEntry, 40u);
+    EXPECT_EQ(c.revPointerBits, 6u);
+    EXPECT_EQ(c.data.bitsPerEntry, 520u);
+    EXPECT_DOUBLE_EQ(c.totalKbits(), 10880.0);
+}
+
+TEST(CostModel, HeadlineStorageReduction)
+{
+    // Section 3.5: RC-4/1 FA needs 16.7% of the conventional 8 MB
+    // storage (15.6% set-associative).
+    const double conv =
+        conventionalCost(8 * MiB, 16, 8, ReplKind::NRU).totalKbits();
+    const double fa = reuseCost(4 * MiB, 16, 1 * MiB, 0).totalKbits();
+    const double sa = reuseCost(4 * MiB, 16, 1 * MiB, 16).totalKbits();
+    EXPECT_NEAR(fa / conv, 0.167, 0.001);
+    EXPECT_NEAR(sa / conv, 0.156, 0.001);
+    EXPECT_NEAR(1.0 - fa / conv, 0.833, 0.001); // "reduction 83.3%"
+    EXPECT_NEAR(1.0 - sa / conv, 0.844, 0.001); // "reduction 84.4%"
+}
+
+TEST(CostModel, SetAssociativeCheaperThanFa)
+{
+    // Section 3.5: the set-associative data array needs ~6.8% fewer bits.
+    const double fa = reuseCost(4 * MiB, 16, 1 * MiB, 0).totalKbits();
+    const double sa = reuseCost(4 * MiB, 16, 1 * MiB, 16).totalKbits();
+    EXPECT_NEAR((fa - sa) / fa, 0.068, 0.002);
+}
+
+TEST(CostModel, ReplacementBitWidths)
+{
+    EXPECT_EQ(replacementBitsPerLine(ReplKind::NRU), 1u);
+    EXPECT_EQ(replacementBitsPerLine(ReplKind::NRR), 1u);
+    EXPECT_EQ(replacementBitsPerLine(ReplKind::Clock), 1u);
+    EXPECT_EQ(replacementBitsPerLine(ReplKind::DRRIP), 2u);
+    EXPECT_EQ(replacementBitsPerLine(ReplKind::Random), 0u);
+}
+
+TEST(CostModel, DrripCostsOneExtraBitPerLine)
+{
+    const CacheCost nru = conventionalCost(8 * MiB, 16, 8, ReplKind::NRU);
+    const CacheCost dr = conventionalCost(8 * MiB, 16, 8, ReplKind::DRRIP);
+    EXPECT_EQ(dr.tag.bitsPerEntry, nru.tag.bitsPerEntry + 1);
+}
+
+TEST(CostModel, TagFieldShrinksWithMoreSets)
+{
+    const CacheCost small = conventionalCost(1 * MiB, 16);
+    const CacheCost big = conventionalCost(16 * MiB, 16);
+    EXPECT_EQ(small.tagFieldBits, big.tagFieldBits + 4);
+}
+
+TEST(CostModel, ScalesLinearly)
+{
+    const CacheCost a = conventionalCost(2 * MiB, 16);
+    const CacheCost b = conventionalCost(4 * MiB, 16);
+    EXPECT_EQ(b.data.totalBits(), 2 * a.data.totalBits());
+}
+
+} // namespace
+} // namespace rc

@@ -1,0 +1,89 @@
+/** @file Unit tests for the full-map directory entry. */
+
+#include <gtest/gtest.h>
+
+#include "coherence/directory.hh"
+
+namespace rc
+{
+namespace
+{
+
+TEST(Directory, StartsEmpty)
+{
+    DirectoryEntry d;
+    EXPECT_TRUE(d.empty());
+    EXPECT_FALSE(d.hasOwner());
+    EXPECT_EQ(d.sharerCount(), 0u);
+}
+
+TEST(Directory, AddRemoveSharers)
+{
+    DirectoryEntry d;
+    d.addSharer(0);
+    d.addSharer(7);
+    EXPECT_TRUE(d.isSharer(0));
+    EXPECT_TRUE(d.isSharer(7));
+    EXPECT_FALSE(d.isSharer(3));
+    EXPECT_EQ(d.sharerCount(), 2u);
+    d.removeSharer(0);
+    EXPECT_FALSE(d.isSharer(0));
+    EXPECT_EQ(d.sharerCount(), 1u);
+}
+
+TEST(Directory, OwnerIsAlsoSharer)
+{
+    DirectoryEntry d;
+    d.setOwner(3);
+    EXPECT_TRUE(d.hasOwner());
+    EXPECT_EQ(d.owner(), 3u);
+    EXPECT_TRUE(d.isSharer(3));
+}
+
+TEST(Directory, RemovingOwnerDissolvesOwnership)
+{
+    DirectoryEntry d;
+    d.setOwner(2);
+    d.removeSharer(2);
+    EXPECT_FALSE(d.hasOwner());
+    EXPECT_TRUE(d.empty());
+}
+
+TEST(Directory, ClearOwnerKeepsPresence)
+{
+    DirectoryEntry d;
+    d.setOwner(2);
+    d.clearOwner();
+    EXPECT_FALSE(d.hasOwner());
+    EXPECT_TRUE(d.isSharer(2));
+}
+
+TEST(Directory, OthersMask)
+{
+    DirectoryEntry d;
+    d.addSharer(0);
+    d.addSharer(1);
+    d.addSharer(5);
+    EXPECT_EQ(d.othersMask(1), (1u << 0) | (1u << 5));
+    EXPECT_EQ(d.othersMask(7), d.presenceMask());
+}
+
+TEST(Directory, Clear)
+{
+    DirectoryEntry d;
+    d.setOwner(4);
+    d.addSharer(1);
+    d.clear();
+    EXPECT_TRUE(d.empty());
+    EXPECT_FALSE(d.hasOwner());
+}
+
+TEST(Directory, PresenceToString)
+{
+    EXPECT_EQ(presenceToString(0), "{}");
+    EXPECT_EQ(presenceToString((1u << 0) | (1u << 3) | (1u << 7)),
+              "{0,3,7}");
+}
+
+} // namespace
+} // namespace rc

@@ -1,0 +1,81 @@
+/** @file Unit tests for cache geometry. */
+
+#include <gtest/gtest.h>
+
+#include "cache/geometry.hh"
+
+namespace rc
+{
+namespace
+{
+
+TEST(Geometry, BaselineLlc)
+{
+    // Paper Table 4: 8 MB, 16-way, 64 B lines -> 131072 lines, 8192 sets.
+    const auto g = CacheGeometry::fromBytes(8ull << 20, 16);
+    EXPECT_EQ(g.numLines(), 131072u);
+    EXPECT_EQ(g.numSets(), 8192u);
+    EXPECT_EQ(g.numWays(), 16u);
+    EXPECT_EQ(g.sizeBytes(), 8ull << 20);
+    EXPECT_FALSE(g.fullyAssociative());
+}
+
+TEST(Geometry, FullyAssociative)
+{
+    const CacheGeometry g(16384, 16384); // 1 MB FA data array
+    EXPECT_TRUE(g.fullyAssociative());
+    EXPECT_EQ(g.numSets(), 1u);
+    EXPECT_EQ(g.setIndex(0xdeadbeefc0), 0u);
+}
+
+TEST(Geometry, IndexAndTagRoundTrip)
+{
+    const auto g = CacheGeometry::fromBytes(1ull << 20, 16);
+    for (Addr a : {Addr{0}, Addr{0x40}, Addr{0xfffc0},
+                   Addr{0x123456780}, (Addr{1} << 39) + 0x1c0}) {
+        const Addr line = lineAlign(a);
+        EXPECT_EQ(g.lineAddr(g.tagOf(line), g.setIndex(line)), line);
+    }
+}
+
+TEST(Geometry, SetIndexUsesLowLineBits)
+{
+    const auto g = CacheGeometry::fromBytes(1ull << 20, 16); // 1024 sets
+    EXPECT_EQ(g.setIndex(0), 0u);
+    EXPECT_EQ(g.setIndex(64), 1u);
+    EXPECT_EQ(g.setIndex(64 * 1024), 0u); // wraps after 1024 lines
+    EXPECT_EQ(g.setIndex(64 * 1023), 1023u);
+}
+
+TEST(Geometry, TagSkipsSetBits)
+{
+    const auto g = CacheGeometry::fromBytes(1ull << 20, 16); // 1024 sets
+    EXPECT_EQ(g.tagOf(0), 0u);
+    EXPECT_EQ(g.tagOf(64ull * 1024), 1u);
+    EXPECT_EQ(g.tagOf(64ull * 1024 * 5 + 64), 5u);
+}
+
+TEST(Geometry, SuffixPropertyForDecoupledArrays)
+{
+    // Paper Section 3.3: tag and data arrays share low index bits, so a
+    // line's data-set index is a suffix of its tag-set index.
+    const auto tag = CacheGeometry::fromBytes(4ull << 20, 16);  // 4096 sets
+    const auto data = CacheGeometry::fromBytes(1ull << 20, 16); // 1024 sets
+    for (Addr a = 0; a < (1ull << 26); a += 64 * 977) {
+        EXPECT_EQ(data.setIndex(a),
+                  tag.setIndex(a) & (data.numSets() - 1));
+    }
+}
+
+TEST(Geometry, RejectsNonPowerOf2Sets)
+{
+    EXPECT_DEATH(CacheGeometry(48, 16), "power of two");
+}
+
+TEST(Geometry, RejectsIndivisibleWays)
+{
+    EXPECT_DEATH(CacheGeometry(100, 16), "multiple of ways");
+}
+
+} // namespace
+} // namespace rc

@@ -1,0 +1,94 @@
+/** @file Unit tests for the hits-per-generation distribution (Fig 1b). */
+
+#include <gtest/gtest.h>
+
+#include "analysis/hitdist.hh"
+
+namespace rc
+{
+namespace
+{
+
+GenRecord
+gen(std::uint32_t hits)
+{
+    return GenRecord{0, 1, 0, hits};
+}
+
+TEST(HitDist, Empty)
+{
+    const HitDistribution d = hitDistribution({}, 10);
+    EXPECT_EQ(d.generations, 0u);
+    EXPECT_EQ(d.totalHits, 0u);
+}
+
+TEST(HitDist, GroupsSortedHottestFirst)
+{
+    std::vector<GenRecord> recs;
+    for (std::uint32_t h : {0, 5, 1, 0, 10, 0, 2, 0})
+        recs.push_back(gen(h));
+    const HitDistribution d = hitDistribution(recs, 4);
+    ASSERT_EQ(d.groups.size(), 4u);
+    EXPECT_EQ(d.totalHits, 18u);
+    // Sorted: 10,5 | 2,1 | 0,0 | 0,0
+    EXPECT_DOUBLE_EQ(d.groups[0].hitShare, 15.0 / 18.0);
+    EXPECT_DOUBLE_EQ(d.groups[0].avgHits, 7.5);
+    EXPECT_DOUBLE_EQ(d.groups[1].hitShare, 3.0 / 18.0);
+    EXPECT_DOUBLE_EQ(d.groups[2].hitShare, 0.0);
+    EXPECT_DOUBLE_EQ(d.groups[3].hitShare, 0.0);
+}
+
+TEST(HitDist, SharesSumToOne)
+{
+    std::vector<GenRecord> recs;
+    for (int i = 0; i < 1000; ++i)
+        recs.push_back(gen(i % 7));
+    const HitDistribution d = hitDistribution(recs, 200);
+    double sum = 0.0;
+    for (const auto &g : d.groups)
+        sum += g.hitShare;
+    EXPECT_NEAR(sum, 1.0, 1e-9);
+}
+
+TEST(HitDist, UsefulFraction)
+{
+    std::vector<GenRecord> recs;
+    for (int i = 0; i < 95; ++i)
+        recs.push_back(gen(0));
+    for (int i = 0; i < 5; ++i)
+        recs.push_back(gen(3));
+    const HitDistribution d = hitDistribution(recs, 10);
+    EXPECT_NEAR(d.usefulFraction, 0.05, 1e-9);
+}
+
+TEST(HitDist, PaperShapedInput)
+{
+    // Synthetic input shaped like Figure 1b: 0.5% of generations very
+    // hot, ~5% mildly hot, 95% dead.  The top 0.5% group must dominate.
+    std::vector<GenRecord> recs;
+    for (int i = 0; i < 10; ++i)
+        recs.push_back(gen(12)); // 0.5% of 2000
+    for (int i = 0; i < 90; ++i)
+        recs.push_back(gen(1));
+    for (int i = 0; i < 1900; ++i)
+        recs.push_back(gen(0));
+    const HitDistribution d = hitDistribution(recs, 200);
+    EXPECT_NEAR(d.groups[0].hitShare,
+                120.0 / 210.0, 0.01); // ~57% of hits in 0.5% of lines
+    EXPECT_NEAR(d.groups[0].avgHits, 12.0, 0.01);
+    EXPECT_NEAR(d.usefulFraction, 0.05, 0.0001);
+}
+
+TEST(HitDist, FewerGenerationsThanGroups)
+{
+    std::vector<GenRecord> recs{gen(2), gen(1)};
+    const HitDistribution d = hitDistribution(recs, 200);
+    EXPECT_EQ(d.groups.size(), 200u);
+    double sum = 0.0;
+    for (const auto &g : d.groups)
+        sum += g.hitShare;
+    EXPECT_NEAR(sum, 1.0, 1e-9);
+}
+
+} // namespace
+} // namespace rc

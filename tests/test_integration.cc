@@ -1,0 +1,176 @@
+/** @file
+ * Integration tests: whole-system runs asserting the paper's qualitative
+ * claims on small workloads (fast versions of the bench experiments).
+ */
+
+#include <gtest/gtest.h>
+
+#include "analysis/hitdist.hh"
+#include "analysis/liveness.hh"
+#include "sim/cmp.hh"
+#include "workloads/mixes.hh"
+#include "workloads/parallel.hh"
+
+namespace rc
+{
+namespace
+{
+
+constexpr Cycle warmup = 1'000'000;
+constexpr Cycle window = 4'000'000;
+
+double
+runIpc(const SystemConfig &sys, const Mix &mix)
+{
+    Cmp cmp(sys, buildMixStreams(mix, 42, 8));
+    cmp.run(warmup);
+    cmp.beginMeasurement();
+    cmp.run(window);
+    return cmp.aggregateIpc();
+}
+
+TEST(Integration, ReuseCacheTracksBaselineAtEighthData)
+{
+    // Headline claim (scaled-down, one mix): RC-8/1 performs within a
+    // few percent of the conventional 8 MB baseline.
+    const Mix mix = exampleMix();
+    const double base = runIpc(baselineSystem(8), mix);
+    const double rc = runIpc(reuseSystem(8, 1, 0, 8), mix);
+    EXPECT_GT(rc / base, 0.9);
+    EXPECT_LT(rc / base, 1.15);
+}
+
+TEST(Integration, BiggerDataArrayNeverLoses)
+{
+    const Mix mix = exampleMix();
+    const double rc_small = runIpc(reuseSystem(8, 0.5, 0, 8), mix);
+    const double rc_large = runIpc(reuseSystem(8, 4, 0, 8), mix);
+    EXPECT_GE(rc_large, rc_small * 0.995);
+}
+
+TEST(Integration, ConventionalSizeOrdering)
+{
+    const Mix mix = exampleMix();
+    const double c4 = runIpc(conventionalSystem(4, ReplKind::LRU, 8), mix);
+    const double c8 = runIpc(baselineSystem(8), mix);
+    const double c16 = runIpc(conventionalSystem(16, ReplKind::LRU, 8),
+                              mix);
+    EXPECT_LT(c4, c8);
+    EXPECT_LE(c8, c16 * 1.005);
+}
+
+TEST(Integration, SelectiveAllocationDiscardsMostLines)
+{
+    // Table 6: >= 80% of tags never enter the data array even in the
+    // most demanding workloads; the mean is ~93-95%.
+    Cmp cmp(reuseSystem(8, 1, 0, 8), buildMixStreams(exampleMix(), 42, 8));
+    cmp.run(warmup + window);
+    const auto &rc = dynamic_cast<const ReuseCache &>(cmp.llc());
+    EXPECT_GT(rc.fractionNeverEnteredData(), 0.7);
+}
+
+TEST(Integration, LiveFractionLowUnderLruBaseline)
+{
+    // Section 2.1: most lines in a conventional LRU SLLC are dead.
+    GenerationTracker tracker;
+    Cmp cmp(baselineSystem(8), buildMixStreams(exampleMix(), 42, 8));
+    cmp.llc().setObserver(&tracker);
+    cmp.run(warmup);
+    const Cycle start = cmp.now();
+    cmp.run(window);
+    tracker.finalize(cmp.now());
+    const ConvLlcConfig &cfg = baselineSystem(8).conv;
+    const double live = averageLiveFraction(
+        tracker.records(), start, cmp.now(), 20'000,
+        cfg.capacityBytes / lineBytes);
+    EXPECT_LT(live, 0.45);
+    EXPECT_GT(live, 0.02);
+}
+
+TEST(Integration, ReuseCacheLiveFractionHigherThanBaseline)
+{
+    // Figure 7: the reuse cache data array holds mostly live lines.
+    auto live_of = [](const SystemConfig &sys, std::uint64_t cap_lines) {
+        GenerationTracker tracker;
+        Cmp cmp(sys, buildMixStreams(exampleMix(), 42, 8));
+        cmp.llc().setObserver(&tracker);
+        cmp.run(warmup);
+        const Cycle start = cmp.now();
+        cmp.run(window);
+        tracker.finalize(cmp.now());
+        return averageLiveFraction(tracker.records(), start, cmp.now(),
+                                   20'000, cap_lines);
+    };
+    const SystemConfig base = baselineSystem(8);
+    const SystemConfig rc = reuseSystem(8, 2, 0, 8);
+    const double base_live =
+        live_of(base, base.conv.capacityBytes / lineBytes);
+    const double rc_live =
+        live_of(rc, rc.reuse.dataBytes / lineBytes);
+    EXPECT_GT(rc_live, base_live);
+}
+
+TEST(Integration, HitsConcentratedInFewGenerations)
+{
+    // Figure 1b: a small fraction of generations receives most hits.
+    GenerationTracker tracker;
+    Cmp cmp(baselineSystem(8), buildMixStreams(exampleMix(), 42, 8));
+    cmp.llc().setObserver(&tracker);
+    cmp.run(warmup + window);
+    tracker.finalize(cmp.now());
+    const HitDistribution d = hitDistribution(tracker.records(), 200);
+    ASSERT_GT(d.generations, 1000u);
+    EXPECT_LT(d.usefulFraction, 0.5) << "most generations must be dead";
+    // The hottest 1% of generations (2 groups) holds a large share.
+    EXPECT_GT(d.groups[0].hitShare + d.groups[1].hitShare, 0.2);
+}
+
+TEST(Integration, ReuseCacheBeatsNcidAtEqualBudget)
+{
+    // Figure 9's ordering on one mix.
+    const Mix mix = exampleMix();
+    const double rc = runIpc(reuseSystem(8, 1, 0, 8), mix);
+    const double ncid = runIpc(ncidSystem(8, 1, 8), mix);
+    EXPECT_GT(rc, ncid);
+}
+
+TEST(Integration, ParallelWorkloadRunsCoherently)
+{
+    const AppProfile *ocean = findParallelProfile("ocean");
+    ASSERT_NE(ocean, nullptr);
+    SystemConfig sys = reuseSystem(8, 1, 0, 8);
+    Cmp cmp(sys, buildParallelStreams(*ocean, sys.numCores, 42, 8));
+    cmp.run(500'000);
+    cmp.beginMeasurement();
+    cmp.run(1'000'000);
+    EXPECT_GT(cmp.aggregateIpc(), 0.1);
+    // Sharing must actually occur: interventions or invalidations.
+    const StatSet &s = cmp.llc().stats();
+    EXPECT_GT(s.lookup("invalidationsSent") + s.lookup("interventions"),
+              0u);
+}
+
+TEST(Integration, MemoryChannelsBarelyMatter)
+{
+    // Section 5.8: 2 or 4 channels change performance by ~1%.
+    const Mix mix = exampleMix();
+    SystemConfig one = baselineSystem(8);
+    SystemConfig four = baselineSystem(8);
+    four.memory.numChannels = 4;
+    const double ipc1 = runIpc(one, mix);
+    const double ipc4 = runIpc(four, mix);
+    EXPECT_GT(ipc4, ipc1 * 0.99); // more channels never hurt
+    EXPECT_LT(ipc4, ipc1 * 1.10); // and buy little
+}
+
+TEST(Integration, DataAssociativityBarelyMatters)
+{
+    // Figure 4: 16-way vs fully associative differ by ~1%.
+    const Mix mix = exampleMix();
+    const double fa = runIpc(reuseSystem(8, 1, 0, 8), mix);
+    const double sa = runIpc(reuseSystem(8, 1, 16, 8), mix);
+    EXPECT_NEAR(sa / fa, 1.0, 0.05);
+}
+
+} // namespace
+} // namespace rc

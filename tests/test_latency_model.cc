@@ -1,0 +1,84 @@
+/** @file Tests of the CACTI-lite latency surrogate against Table 3. */
+
+#include <gtest/gtest.h>
+
+#include "model/latency_model.hh"
+
+namespace rc
+{
+namespace
+{
+
+constexpr std::uint64_t MiB = 1ull << 20;
+
+TEST(LatencyModel, Conv8MbAnchors)
+{
+    const LatencyEstimate conv = conventionalLatency(8 * MiB, 16);
+    EXPECT_NEAR(conv.tag, 1.0, 1e-9) << "tag latency is the unit";
+    // Section 3.6: "the data array access latency ... is roughly three
+    // times larger than its tag array access latency".
+    EXPECT_NEAR(conv.data / conv.tag, 3.0, 1e-9);
+}
+
+TEST(LatencyModel, Rc88TagPenalty)
+{
+    // Table 3: RC-8/8 tag access +36% vs the conventional 8 MB cache.
+    const LatencyEstimate conv = conventionalLatency(8 * MiB, 16);
+    const LatencyEstimate rc = reuseLatency(8 * MiB, 16, 8 * MiB, 0);
+    EXPECT_NEAR(relativeChange(rc.tag, conv.tag), 0.36, 0.03);
+}
+
+TEST(LatencyModel, Rc84DataSavings)
+{
+    // Table 3: data access -16% when halved from 8 to 4 MB.
+    const LatencyEstimate conv = conventionalLatency(8 * MiB, 16);
+    const LatencyEstimate rc = reuseLatency(8 * MiB, 16, 4 * MiB, 0);
+    EXPECT_NEAR(relativeChange(rc.data, conv.data), -0.16, 0.02);
+}
+
+TEST(LatencyModel, Rc84TotalSlightlyFaster)
+{
+    // Table 3 bottom line: RC-8/4 total -3%.
+    const LatencyEstimate conv = conventionalLatency(8 * MiB, 16);
+    const LatencyEstimate rc = reuseLatency(8 * MiB, 16, 4 * MiB, 0);
+    EXPECT_NEAR(relativeChange(rc.total, conv.total), -0.03, 0.02);
+}
+
+TEST(LatencyModel, Rc88TotalSlightlySlower)
+{
+    // Table 3: RC-8/8 total +10%.
+    const LatencyEstimate conv = conventionalLatency(8 * MiB, 16);
+    const LatencyEstimate rc = reuseLatency(8 * MiB, 16, 8 * MiB, 0);
+    EXPECT_NEAR(relativeChange(rc.total, conv.total), 0.10, 0.02);
+}
+
+TEST(LatencyModel, SmallerArraysAreFaster)
+{
+    // Section 3.6's closing claim: every evaluated reuse configuration
+    // is no slower than the conventional cache it replaces.
+    const LatencyEstimate conv = conventionalLatency(8 * MiB, 16);
+    for (double data_mb : {4.0, 2.0, 1.0, 0.5}) {
+        const LatencyEstimate rc = reuseLatency(
+            8 * MiB, 16,
+            static_cast<std::uint64_t>(data_mb * MiB), 0);
+        EXPECT_LE(rc.total, conv.total * 1.001) << data_mb;
+    }
+}
+
+TEST(LatencyModel, MonotonicInSize)
+{
+    EXPECT_LT(conventionalLatency(4 * MiB, 16).total,
+              conventionalLatency(8 * MiB, 16).total);
+    EXPECT_LT(conventionalLatency(8 * MiB, 16).total,
+              conventionalLatency(16 * MiB, 16).total);
+}
+
+TEST(LatencyModel, RelativeChangeHelper)
+{
+    EXPECT_DOUBLE_EQ(relativeChange(1.36, 1.0), 0.36);
+    EXPECT_DOUBLE_EQ(relativeChange(0.84, 1.0), -0.16);
+    EXPECT_DOUBLE_EQ(relativeChange(5.0, 0.0), 0.0);
+}
+
+} // namespace
+} // namespace rc

@@ -1,0 +1,139 @@
+/** @file Unit tests for the generation tracker and live-line analysis. */
+
+#include <gtest/gtest.h>
+
+#include "analysis/liveness.hh"
+
+namespace rc
+{
+namespace
+{
+
+TEST(GenerationTracker, BasicLifecycle)
+{
+    GenerationTracker t;
+    t.onDataFill(0x1000, 10);
+    t.onDataHit(0x1000, 20);
+    t.onDataHit(0x1000, 30);
+    t.onDataEvict(0x1000, 50);
+    ASSERT_EQ(t.records().size(), 1u);
+    const GenRecord &g = t.records()[0];
+    EXPECT_EQ(g.fill, 10u);
+    EXPECT_EQ(g.lastHit, 30u);
+    EXPECT_EQ(g.evict, 50u);
+    EXPECT_EQ(g.hits, 2u);
+    EXPECT_EQ(t.totalHits(), 2u);
+}
+
+TEST(GenerationTracker, MultipleGenerationsOfSameLine)
+{
+    GenerationTracker t;
+    t.onDataFill(0x40, 0);
+    t.onDataEvict(0x40, 10);
+    t.onDataFill(0x40, 20);
+    t.onDataHit(0x40, 25);
+    t.onDataEvict(0x40, 30);
+    ASSERT_EQ(t.records().size(), 2u);
+    EXPECT_EQ(t.records()[0].hits, 0u);
+    EXPECT_EQ(t.records()[1].hits, 1u);
+}
+
+TEST(GenerationTracker, FinalizeClosesResidents)
+{
+    GenerationTracker t;
+    t.onDataFill(0x40, 5);
+    t.onDataFill(0x80, 6);
+    EXPECT_EQ(t.residentCount(), 2u);
+    t.finalize(100);
+    EXPECT_EQ(t.residentCount(), 0u);
+    EXPECT_EQ(t.records().size(), 2u);
+    for (const auto &g : t.records())
+        EXPECT_EQ(g.evict, 100u);
+}
+
+TEST(GenerationTracker, HitOnUnknownLineOpensImplicitGeneration)
+{
+    GenerationTracker t;
+    t.onDataHit(0x40, 50); // resident before the tracker attached
+    t.onDataEvict(0x40, 80);
+    ASSERT_EQ(t.records().size(), 1u);
+    EXPECT_EQ(t.records()[0].fill, 50u);
+    EXPECT_EQ(t.records()[0].hits, 1u);
+}
+
+TEST(GenerationTracker, EvictOfUnknownLineIgnored)
+{
+    GenerationTracker t;
+    t.onDataEvict(0x40, 10);
+    EXPECT_TRUE(t.records().empty());
+}
+
+TEST(GenerationTracker, SubLineAddressesAlias)
+{
+    GenerationTracker t;
+    t.onDataFill(0x1000, 0);
+    t.onDataHit(0x1010, 5); // same line, different offset
+    t.onDataEvict(0x103f, 9);
+    ASSERT_EQ(t.records().size(), 1u);
+    EXPECT_EQ(t.records()[0].hits, 1u);
+}
+
+// ---------------------------------------------------------------------
+// Live series (Figure 1a semantics: live == will be hit again).
+// ---------------------------------------------------------------------
+
+TEST(LiveSeries, SingleGenerationLiveUntilLastHit)
+{
+    // One line in a 1-line cache: filled at 0, hit at 50, evicted at
+    // 100.  Live on samples in [0, 50), dead on [50, 100).
+    std::vector<GenRecord> recs{{0, 100, 50, 1}};
+    const LiveSeries s = computeLiveSeries(recs, 0, 100, 10, 1);
+    ASSERT_EQ(s.fraction.size(), 10u);
+    for (std::size_t i = 0; i < 5; ++i)
+        EXPECT_DOUBLE_EQ(s.fraction[i], 1.0) << i;
+    for (std::size_t i = 5; i < 10; ++i)
+        EXPECT_DOUBLE_EQ(s.fraction[i], 0.0) << i;
+    EXPECT_DOUBLE_EQ(s.mean, 0.5);
+}
+
+TEST(LiveSeries, ZeroHitGenerationsNeverLive)
+{
+    std::vector<GenRecord> recs{{0, 100, 0, 0}};
+    const LiveSeries s = computeLiveSeries(recs, 0, 100, 10, 4);
+    for (double f : s.fraction)
+        EXPECT_DOUBLE_EQ(f, 0.0);
+}
+
+TEST(LiveSeries, CapacityNormalizes)
+{
+    std::vector<GenRecord> recs{{0, 100, 100, 3}, {0, 100, 100, 2}};
+    const LiveSeries s = computeLiveSeries(recs, 0, 100, 10, 4);
+    for (double f : s.fraction)
+        EXPECT_DOUBLE_EQ(f, 0.5); // 2 live lines of 4
+}
+
+TEST(LiveSeries, WindowClipping)
+{
+    // Generation entirely before the window contributes nothing.
+    std::vector<GenRecord> recs{{0, 40, 30, 1}, {60, 200, 190, 5}};
+    const LiveSeries s = computeLiveSeries(recs, 100, 200, 10, 1);
+    EXPECT_GT(s.mean, 0.8); // only the second, live during the window
+}
+
+TEST(LiveSeries, AverageHelperMatches)
+{
+    std::vector<GenRecord> recs{{0, 100, 50, 1}};
+    EXPECT_DOUBLE_EQ(averageLiveFraction(recs, 0, 100, 10, 1),
+                     computeLiveSeries(recs, 0, 100, 10, 1).mean);
+}
+
+TEST(LiveSeries, InvalidArgumentsPanic)
+{
+    std::vector<GenRecord> recs;
+    EXPECT_DEATH(computeLiveSeries(recs, 0, 100, 0, 1), "period");
+    EXPECT_DEATH(computeLiveSeries(recs, 100, 100, 10, 1), "window");
+    EXPECT_DEATH(computeLiveSeries(recs, 0, 100, 10, 0), "capacity");
+}
+
+} // namespace
+} // namespace rc

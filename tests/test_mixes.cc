@@ -1,0 +1,178 @@
+/** @file Unit tests for workload mixes and parallel analogs. */
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "workloads/mixes.hh"
+#include "workloads/parallel.hh"
+
+namespace rc
+{
+namespace
+{
+
+TEST(Profiles, TwentyNineSpecAnalogs)
+{
+    EXPECT_EQ(specProfiles().size(), 29u);
+}
+
+TEST(Profiles, FindByName)
+{
+    EXPECT_NE(findProfile("mcf"), nullptr);
+    EXPECT_NE(findProfile("libquantum"), nullptr);
+    EXPECT_EQ(findProfile("doom"), nullptr);
+}
+
+TEST(Profiles, WeightsWithinBudget)
+{
+    for (const auto &app : specProfiles()) {
+        double sum = 0.0;
+        for (const auto &c : app.components) {
+            EXPECT_GT(c.weight, 0.0) << app.name;
+            sum += c.weight;
+        }
+        EXPECT_LE(sum, 1.0) << app.name;
+    }
+}
+
+TEST(Profiles, PureStreamingAppsHaveNoReuseComponent)
+{
+    // libquantum: L2 MPKI == LLC MPKI == 36.6, so the analog must not
+    // contain a Zipf (SLLC-reuse) component.
+    const AppProfile *lq = findProfile("libquantum");
+    ASSERT_NE(lq, nullptr);
+    for (const auto &c : lq->components)
+        EXPECT_NE(c.pattern, AccessPattern::Zipf);
+}
+
+TEST(Profiles, ReuseHeavyAppsHaveZipf)
+{
+    for (const char *name : {"mcf", "omnetpp", "gcc", "bzip2"}) {
+        const AppProfile *app = findProfile(name);
+        ASSERT_NE(app, nullptr) << name;
+        bool has_zipf = false;
+        for (const auto &c : app->components)
+            has_zipf |= c.pattern == AccessPattern::Zipf;
+        EXPECT_TRUE(has_zipf) << name;
+    }
+}
+
+TEST(Profiles, MakeSpecAnalogRejectsNonMonotoneMpki)
+{
+    EXPECT_DEATH(makeSpecAnalog("bad", 1.0, 2.0, 0.5, MissStyle::Chase),
+                 "monotonically");
+}
+
+TEST(Mixes, CountAndWidth)
+{
+    const auto mixes = makeMixes(100, 8, 7);
+    EXPECT_EQ(mixes.size(), 100u);
+    for (const auto &m : mixes)
+        EXPECT_EQ(m.apps.size(), 8u);
+}
+
+TEST(Mixes, Reproducible)
+{
+    const auto a = makeMixes(10, 8, 7);
+    const auto b = makeMixes(10, 8, 7);
+    for (std::size_t i = 0; i < a.size(); ++i)
+        EXPECT_EQ(a[i].apps, b[i].apps);
+    const auto c = makeMixes(10, 8, 8);
+    bool any_diff = false;
+    for (std::size_t i = 0; i < a.size(); ++i)
+        any_diff |= a[i].apps != c[i].apps;
+    EXPECT_TRUE(any_diff);
+}
+
+TEST(Mixes, OccurrencesRoughlyBalanced)
+{
+    // Paper Section 4.1: across 100 mixes of 8, applications appear
+    // 16-35 times (mean 27.6).  Check ours is in the same ballpark.
+    const auto mixes = makeMixes(100, 8, 7);
+    std::map<std::string, int> occurrences;
+    for (const auto &m : mixes)
+        for (const auto &a : m.apps)
+            ++occurrences[a];
+    for (const auto &[name, n] : occurrences) {
+        EXPECT_GT(n, 10) << name;
+        EXPECT_LT(n, 50) << name;
+    }
+}
+
+TEST(Mixes, ExampleWorkloadMatchesPaperFootnote)
+{
+    const Mix m = exampleMix();
+    const std::vector<std::string> expect{
+        "gcc", "mcf", "povray", "leslie3d", "h264ref", "lbm", "namd",
+        "gcc"};
+    EXPECT_EQ(m.apps, expect);
+    EXPECT_EQ(m.label(), "gcc+mcf+povray+leslie3d+h264ref+lbm+namd+gcc");
+}
+
+TEST(Mixes, BuildStreamsOnePerCore)
+{
+    const auto streams = buildMixStreams(exampleMix(), 42, 8);
+    EXPECT_EQ(streams.size(), 8u);
+    EXPECT_STREQ(streams[0]->label(), "gcc");
+    EXPECT_STREQ(streams[1]->label(), "mcf");
+}
+
+TEST(Mixes, UnknownAppIsFatal)
+{
+    Mix bad;
+    bad.apps = {"nonexistent"};
+    EXPECT_DEATH(buildMixStreams(bad, 42, 8), "unknown application");
+}
+
+TEST(Parallel, FiveApplications)
+{
+    const auto &apps = parallelProfiles();
+    ASSERT_EQ(apps.size(), 5u);
+    EXPECT_EQ(apps[0].name, "blackscholes");
+    EXPECT_EQ(apps[1].name, "canneal");
+    EXPECT_EQ(apps[2].name, "ferret");
+    EXPECT_EQ(apps[3].name, "fluidanimate");
+    EXPECT_EQ(apps[4].name, "ocean");
+}
+
+TEST(Parallel, EveryAppHasASharedComponent)
+{
+    for (const auto &app : parallelProfiles()) {
+        bool shared = false;
+        for (const auto &c : app.components)
+            shared |= c.shared;
+        EXPECT_TRUE(shared) << app.name;
+    }
+}
+
+TEST(Parallel, SharedIdsDistinct)
+{
+    std::map<std::uint32_t, std::string> ids;
+    for (const auto &app : parallelProfiles()) {
+        for (const auto &c : app.components) {
+            if (!c.shared)
+                continue;
+            auto [it, fresh] = ids.emplace(c.sharedId, app.name);
+            EXPECT_TRUE(fresh) << app.name << " reuses shared id of "
+                               << it->second;
+        }
+    }
+}
+
+TEST(Parallel, BuildStreams)
+{
+    const auto streams =
+        buildParallelStreams(parallelProfiles()[1], 8, 42, 8);
+    EXPECT_EQ(streams.size(), 8u);
+    EXPECT_STREQ(streams[3]->label(), "canneal");
+}
+
+TEST(Parallel, FindByName)
+{
+    EXPECT_NE(findParallelProfile("ocean"), nullptr);
+    EXPECT_EQ(findParallelProfile("mcf"), nullptr);
+}
+
+} // namespace
+} // namespace rc

@@ -1,0 +1,90 @@
+/** @file Unit tests for the MSHR file. */
+
+#include <gtest/gtest.h>
+
+#include "cache/mshr.hh"
+
+namespace rc
+{
+namespace
+{
+
+TEST(Mshr, AllocateAndMerge)
+{
+    MshrFile m(4, "m");
+    EXPECT_EQ(m.request(0x1000, 0, 100), MshrFile::Outcome::Allocated);
+    EXPECT_EQ(m.request(0x1000, 10, 100), MshrFile::Outcome::Merged);
+    EXPECT_EQ(m.request(0x1040, 10, 100), MshrFile::Outcome::Allocated);
+    EXPECT_EQ(m.occupancy(20), 2u);
+    EXPECT_EQ(m.stats().lookup("merges"), 1u);
+}
+
+TEST(Mshr, SubLineAddressesMerge)
+{
+    MshrFile m(4, "m");
+    m.request(0x1000, 0, 100);
+    EXPECT_EQ(m.request(0x1004, 0, 100), MshrFile::Outcome::Merged);
+}
+
+TEST(Mshr, FullRejects)
+{
+    MshrFile m(2, "m");
+    m.request(0x0, 0, 1000);
+    m.request(0x40, 0, 1000);
+    EXPECT_EQ(m.request(0x80, 0, 1000), MshrFile::Outcome::Full);
+    EXPECT_EQ(m.stats().lookup("fullStalls"), 1u);
+}
+
+TEST(Mshr, LazyRetirementFreesEntries)
+{
+    MshrFile m(2, "m");
+    m.request(0x0, 0, 50);
+    m.request(0x40, 0, 60);
+    // At cycle 55 the first entry has completed.
+    EXPECT_EQ(m.request(0x80, 55, 200), MshrFile::Outcome::Allocated);
+    EXPECT_EQ(m.occupancy(55), 2u);
+}
+
+TEST(Mshr, TrackedUntil)
+{
+    MshrFile m(2, "m");
+    m.request(0x1000, 0, 123);
+    EXPECT_EQ(m.trackedUntil(0x1000), 123u);
+    EXPECT_EQ(m.trackedUntil(0x2000), neverCycle);
+}
+
+TEST(Mshr, EarliestRelease)
+{
+    MshrFile m(4, "m");
+    m.request(0x0, 0, 300);
+    m.request(0x40, 0, 100);
+    m.request(0x80, 0, 200);
+    EXPECT_EQ(m.earliestRelease(), 100u);
+}
+
+TEST(Mshr, EarliestReleaseEmpty)
+{
+    MshrFile m(4, "m");
+    EXPECT_EQ(m.earliestRelease(), neverCycle);
+}
+
+TEST(Mshr, PeakOccupancyTracked)
+{
+    MshrFile m(4, "m");
+    m.request(0x0, 0, 1000);
+    m.request(0x40, 0, 1000);
+    m.request(0x80, 0, 1000);
+    EXPECT_EQ(m.stats().lookup("peakOccupancy"), 3u);
+}
+
+TEST(Mshr, Reset)
+{
+    MshrFile m(2, "m");
+    m.request(0x0, 0, 1000);
+    m.reset();
+    EXPECT_EQ(m.occupancy(0), 0u);
+    EXPECT_EQ(m.stats().lookup("allocations"), 0u);
+}
+
+} // namespace
+} // namespace rc

@@ -1,0 +1,165 @@
+/** @file Unit tests for the NCID baseline. */
+
+#include <gtest/gtest.h>
+
+#include "ncid/ncid_cache.hh"
+
+namespace rc
+{
+namespace
+{
+
+class NullRecaller : public RecallHandler
+{
+  public:
+    bool recall(Addr, std::uint32_t) override { return false; }
+    bool downgrade(Addr, std::uint32_t) override { return false; }
+};
+
+NcidConfig
+smallCfg()
+{
+    NcidConfig cfg;
+    cfg.tagEquivBytes = 64 * 1024;  // 1024 tags, 64 sets of 16
+    cfg.dataBytes = 16 * 1024;      // 256 data lines -> 4 ways per set
+    cfg.numCores = 8;
+    cfg.seed = 3;
+    return cfg;
+}
+
+Addr
+line(std::uint64_t n)
+{
+    return n * lineBytes;
+}
+
+TEST(Ncid, DataWaysDerivedFromSetCount)
+{
+    MemCtrl mem(MemCtrlConfig{});
+    NcidCache llc(smallCfg(), mem);
+    // Paper Section 5.5: an NCID with a 16-way 8 MBeq tag array and a
+    // 1 MB data array has 2 data ways; here 256 lines / 64 sets = 4.
+    EXPECT_EQ(llc.dataWays(), 4u);
+}
+
+TEST(Ncid, RejectsIndivisibleDataSize)
+{
+    MemCtrl mem(MemCtrlConfig{});
+    NcidConfig cfg = smallCfg();
+    cfg.dataBytes = 1000; // not a multiple of 64 sets * 64 B
+    EXPECT_DEATH(NcidCache llc(cfg, mem), "multiple");
+}
+
+TEST(Ncid, NormalModeFillsTagAndData)
+{
+    MemCtrl mem(MemCtrlConfig{});
+    NcidCache llc(smallCfg(), mem);
+    NullRecaller rec;
+    llc.setRecallHandler(&rec);
+    // Set 0 is core 0's normal-fill leader set (policy A).
+    llc.request(LlcRequest{line(0), 0, ProtoEvent::GETS, 0});
+    EXPECT_EQ(llc.stateOf(line(0)), LlcState::S);
+    EXPECT_EQ(llc.stats().lookup("normalFills"), 1u);
+}
+
+TEST(Ncid, SelectiveModeMostlyFillsTagOnly)
+{
+    MemCtrl mem(MemCtrlConfig{});
+    NcidCache llc(smallCfg(), mem);
+    NullRecaller rec;
+    llc.setRecallHandler(&rec);
+    // Set 32 is core 0's selective leader set: fill many lines mapping
+    // to it and check ~95% stay tag-only.
+    int tag_only = 0;
+    constexpr int n = 200;
+    for (int i = 0; i < n; ++i) {
+        const Addr a = line(32 + 64ull * i);
+        llc.request(LlcRequest{a, 0, ProtoEvent::GETS, 0});
+        tag_only += llc.stateOf(a) == LlcState::TO;
+        llc.evictNotify(a, 0, false, 0);
+    }
+    EXPECT_GT(tag_only, n * 3 / 4);
+    EXPECT_LT(tag_only, n); // but the 5% exists
+    EXPECT_GT(llc.stats().lookup("tagOnlyFills"), 0u);
+}
+
+TEST(Ncid, TagOnlyHitAllocatesData)
+{
+    MemCtrl mem(MemCtrlConfig{});
+    NcidCache llc(smallCfg(), mem);
+    NullRecaller rec;
+    llc.setRecallHandler(&rec);
+    // Find a tag-only fill in the selective leader set, then hit it.
+    Addr victim = invalidAddr;
+    for (int i = 0; i < 50 && victim == invalidAddr; ++i) {
+        const Addr a = line(32 + 64ull * i);
+        llc.request(LlcRequest{a, 0, ProtoEvent::GETS, 0});
+        llc.evictNotify(a, 0, false, 0);
+        if (llc.stateOf(a) == LlcState::TO)
+            victim = a;
+    }
+    ASSERT_NE(victim, invalidAddr);
+    const auto r = llc.request(LlcRequest{victim, 0, ProtoEvent::GETS, 0});
+    EXPECT_TRUE(r.tagHit);
+    EXPECT_TRUE(r.memFetched) << "NCID pays the same refetch cost";
+    EXPECT_EQ(llc.stateOf(victim), LlcState::S);
+    EXPECT_EQ(llc.stats().lookup("tagOnlyHits"), 1u);
+}
+
+TEST(Ncid, MissesSteerTheDuelingMonitor)
+{
+    MemCtrl mem(MemCtrlConfig{});
+    NcidCache llc(smallCfg(), mem);
+    NullRecaller rec;
+    llc.setRecallHandler(&rec);
+    const auto before = llc.dueling().psel(0);
+    for (int i = 0; i < 10; ++i) {
+        const Addr a = line(0 + 64ull * (i + 1));
+        llc.request(LlcRequest{a, 0, ProtoEvent::GETS, 0});
+        llc.evictNotify(a, 0, false, 0);
+    }
+    EXPECT_GT(llc.dueling().psel(0), before);
+}
+
+TEST(Ncid, DataHitsServeFromArray)
+{
+    MemCtrl mem(MemCtrlConfig{});
+    NcidCache llc(smallCfg(), mem);
+    NullRecaller rec;
+    llc.setRecallHandler(&rec);
+    llc.request(LlcRequest{line(0), 0, ProtoEvent::GETS, 0});
+    ASSERT_EQ(llc.stateOf(line(0)), LlcState::S);
+    const auto r = llc.request(LlcRequest{line(0), 1, ProtoEvent::GETS, 0});
+    EXPECT_TRUE(r.dataHit);
+    EXPECT_FALSE(r.memFetched);
+    EXPECT_EQ(llc.stats().lookup("dataHits"), 1u);
+}
+
+TEST(Ncid, DataPressureWithinSetEvictsToTagOnly)
+{
+    MemCtrl mem(MemCtrlConfig{});
+    NcidCache llc(smallCfg(), mem);
+    NullRecaller rec;
+    llc.setRecallHandler(&rec);
+    // Five normal-mode (leader set 0) data fills into 4 data ways.
+    for (std::uint64_t i = 0; i < 5; ++i)
+        llc.request(LlcRequest{line(64ull * i), 0, ProtoEvent::GETS, 0});
+    std::uint64_t with_data = 0, tag_only = 0;
+    for (std::uint64_t i = 0; i < 5; ++i) {
+        const LlcState s = llc.stateOf(line(64ull * i));
+        with_data += llcHasData(s);
+        tag_only += s == LlcState::TO;
+    }
+    EXPECT_EQ(with_data, 4u);
+    EXPECT_EQ(tag_only, 1u);
+}
+
+TEST(Ncid, Describe)
+{
+    MemCtrl mem(MemCtrlConfig{});
+    NcidCache llc(smallCfg(), mem);
+    EXPECT_NE(llc.describe().find("NCID-"), std::string::npos);
+}
+
+} // namespace
+} // namespace rc

@@ -1,0 +1,241 @@
+/** @file
+ * Unit tests for the stride prefetcher and the prefetch-aware SLLC
+ * policies (paper Section 6).
+ */
+
+#include <gtest/gtest.h>
+
+#include "cache/prefetcher.hh"
+#include "reuse/reuse_cache.hh"
+#include "sim/cmp.hh"
+
+namespace rc
+{
+namespace
+{
+
+PrefetcherConfig
+pfCfg(std::uint32_t degree = 2)
+{
+    PrefetcherConfig cfg;
+    cfg.enable = true;
+    cfg.degree = degree;
+    return cfg;
+}
+
+Addr
+line(std::uint64_t n)
+{
+    return n * lineBytes;
+}
+
+TEST(StridePf, DetectsUnitStride)
+{
+    StridePrefetcher pf(pfCfg(2), "pf");
+    std::vector<Addr> out;
+    pf.observeMiss(line(100), out);
+    EXPECT_TRUE(out.empty()) << "first miss trains only";
+    pf.observeMiss(line(101), out);
+    EXPECT_TRUE(out.empty()) << "stride seen once: below confidence";
+    pf.observeMiss(line(102), out);
+    ASSERT_EQ(out.size(), 2u);
+    EXPECT_EQ(out[0], line(103));
+    EXPECT_EQ(out[1], line(104));
+}
+
+TEST(StridePf, DetectsLargeStride)
+{
+    StridePrefetcher pf(pfCfg(1), "pf");
+    std::vector<Addr> out;
+    // Strides within one 4 KB region (64 lines): use stride 7.
+    pf.observeMiss(line(0), out);
+    pf.observeMiss(line(7), out);
+    pf.observeMiss(line(14), out);
+    ASSERT_EQ(out.size(), 1u);
+    EXPECT_EQ(out[0], line(21));
+}
+
+TEST(StridePf, IrregularPatternStaysQuiet)
+{
+    StridePrefetcher pf(pfCfg(2), "pf");
+    Rng rng(3);
+    std::vector<Addr> out;
+    for (int i = 0; i < 200; ++i)
+        pf.observeMiss(line(rng.below(64)), out);
+    // Random lines inside one region rarely repeat a stride twice.
+    EXPECT_LT(out.size(), 40u);
+}
+
+TEST(StridePf, RegionsTrackedIndependently)
+{
+    StridePrefetcher pf(pfCfg(1), "pf");
+    std::vector<Addr> out;
+    // Interleave two sequential streams in adjacent 4 KB regions (the
+    // 16-entry table indexes region & 15, so these use distinct slots).
+    const std::uint64_t a = 0, b = 64;
+    pf.observeMiss(line(a + 0), out);
+    pf.observeMiss(line(b + 0), out);
+    pf.observeMiss(line(a + 1), out);
+    pf.observeMiss(line(b + 1), out);
+    pf.observeMiss(line(a + 2), out);
+    pf.observeMiss(line(b + 2), out);
+    ASSERT_EQ(out.size(), 2u);
+    EXPECT_EQ(out[0], line(a + 3));
+    EXPECT_EQ(out[1], line(b + 3));
+}
+
+TEST(StridePf, StatsCount)
+{
+    StridePrefetcher pf(pfCfg(2), "pf");
+    std::vector<Addr> out;
+    for (std::uint64_t i = 0; i < 10; ++i)
+        pf.observeMiss(line(i), out);
+    EXPECT_EQ(pf.stats().lookup("misses"), 10u);
+    EXPECT_GT(pf.stats().lookup("candidates"), 0u);
+}
+
+// ---------------------------------------------------------------------
+// Prefetch-aware reuse cache (Section 6: prefetched lines keep the
+// lowest priority; a prefetch hit on a TO tag is not a reuse).
+// ---------------------------------------------------------------------
+
+class NullRecaller : public RecallHandler
+{
+  public:
+    bool recall(Addr, std::uint32_t) override { return false; }
+    bool downgrade(Addr, std::uint32_t) override { return false; }
+};
+
+TEST(PrefetchAwareReuse, PrefetchTagOnlyHitDoesNotAllocateData)
+{
+    MemCtrl mem(MemCtrlConfig{});
+    ReuseCacheConfig cfg =
+        ReuseCacheConfig::standard(64 * 1024, 16 * 1024, 0);
+    ReuseCache llc(cfg, mem);
+    NullRecaller rec;
+    llc.setRecallHandler(&rec);
+
+    // Demand miss creates a TO tag; the line leaves the private cache.
+    llc.request(LlcRequest{line(5), 0, ProtoEvent::GETS, 0});
+    llc.evictNotify(line(5), 0, false, 0);
+    ASSERT_EQ(llc.stateOf(line(5)), LlcState::TO);
+
+    // A prefetch touching the TO tag must NOT be treated as a reuse.
+    LlcRequest pf{line(5), 1, ProtoEvent::GETS, 10};
+    pf.prefetch = true;
+    const auto r = llc.request(pf);
+    EXPECT_TRUE(r.tagHit);
+    EXPECT_TRUE(r.memFetched);
+    EXPECT_EQ(llc.stateOf(line(5)), LlcState::TO)
+        << "prefetches are as low priority as non-reused lines";
+    EXPECT_EQ(llc.dataArray().residentCount(), 0u);
+    llc.checkInvariants();
+
+    // A later demand access is still a genuine reuse.
+    llc.evictNotify(line(5), 1, false, 20);
+    llc.request(LlcRequest{line(5), 0, ProtoEvent::GETS, 30});
+    EXPECT_EQ(llc.stateOf(line(5)), LlcState::S);
+}
+
+TEST(PrefetchAwareReuse, PrefetchMissAllocatesTagOnly)
+{
+    MemCtrl mem(MemCtrlConfig{});
+    ReuseCacheConfig cfg =
+        ReuseCacheConfig::standard(64 * 1024, 16 * 1024, 0);
+    ReuseCache llc(cfg, mem);
+    NullRecaller rec;
+    llc.setRecallHandler(&rec);
+
+    LlcRequest pf{line(7), 0, ProtoEvent::GETS, 0};
+    pf.prefetch = true;
+    llc.request(pf);
+    EXPECT_EQ(llc.stateOf(line(7)), LlcState::TO);
+    EXPECT_EQ(llc.dataArray().residentCount(), 0u);
+}
+
+// ---------------------------------------------------------------------
+// System integration.
+// ---------------------------------------------------------------------
+
+class SeqStream : public RefStream
+{
+  public:
+    explicit SeqStream(Addr base_) : base(base_) {}
+
+    MemRef
+    next() override
+    {
+        MemRef r{base + pos * lineBytes, MemOp::Read, 3, false};
+        ++pos;
+        return r;
+    }
+
+    const char *label() const override { return "seq"; }
+
+  private:
+    Addr base;
+    std::uint64_t pos = 0;
+};
+
+TEST(PrefetchSystem, SequentialStreamSpeedsUp)
+{
+    auto run = [](bool enable) {
+        SystemConfig sys = baselineSystem(8);
+        sys.prefetch.enable = enable;
+        sys.prefetch.degree = 4;
+        std::vector<std::unique_ptr<RefStream>> streams;
+        for (CoreId i = 0; i < 8; ++i)
+            streams.push_back(
+                std::make_unique<SeqStream>(Addr{i} << 32));
+        Cmp cmp(sys, std::move(streams));
+        cmp.run(100'000);
+        cmp.beginMeasurement();
+        cmp.run(400'000);
+        return cmp.aggregateIpc();
+    };
+    const double off = run(false);
+    const double on = run(true);
+    EXPECT_GT(on, off * 1.2)
+        << "a pure sequential stream must benefit from prefetching";
+}
+
+TEST(PrefetchSystem, IssueCounterTracks)
+{
+    SystemConfig sys = baselineSystem(8);
+    sys.prefetch.enable = true;
+    std::vector<std::unique_ptr<RefStream>> streams;
+    for (CoreId i = 0; i < 8; ++i)
+        streams.push_back(std::make_unique<SeqStream>(Addr{i} << 32));
+    Cmp cmp(sys, std::move(streams));
+    cmp.run(200'000);
+    EXPECT_GT(cmp.prefetchesIssued(), 0u);
+    ASSERT_NE(cmp.prefetcher(0), nullptr);
+    EXPECT_GT(cmp.prefetcher(0)->stats().lookup("triggers"), 0u);
+}
+
+TEST(PrefetchSystem, DisabledByDefault)
+{
+    SystemConfig sys = baselineSystem(8);
+    std::vector<std::unique_ptr<RefStream>> streams;
+    for (CoreId i = 0; i < 8; ++i)
+        streams.push_back(std::make_unique<SeqStream>(Addr{i} << 32));
+    Cmp cmp(sys, std::move(streams));
+    cmp.run(100'000);
+    EXPECT_EQ(cmp.prefetchesIssued(), 0u);
+    EXPECT_EQ(cmp.prefetcher(0), nullptr);
+}
+
+TEST(PrefetchSystem, ReuseCacheWithPrefetchingRunsCoherently)
+{
+    SystemConfig sys = reuseSystem(4, 1, 0, 8);
+    sys.prefetch.enable = true;
+    std::vector<std::unique_ptr<RefStream>> streams;
+    for (CoreId i = 0; i < 8; ++i)
+        streams.push_back(std::make_unique<SeqStream>(Addr{i} << 32));
+    Cmp cmp(sys, std::move(streams));
+    cmp.run(300'000);
+    EXPECT_GT(cmp.prefetchesIssued(), 0u);
+}
+
+} // namespace
+} // namespace rc

@@ -1,0 +1,235 @@
+/** @file Unit tests for the private L1/L2 hierarchy. */
+
+#include <gtest/gtest.h>
+
+#include "cache/private_cache.hh"
+
+namespace rc
+{
+namespace
+{
+
+PrivateConfig
+smallCfg()
+{
+    PrivateConfig cfg;
+    cfg.l1Bytes = 1024;  // 16 lines
+    cfg.l1Ways = 4;
+    cfg.l2Bytes = 4096;  // 64 lines
+    cfg.l2Ways = 8;
+    return cfg;
+}
+
+Addr
+line(std::uint64_t n)
+{
+    return n * lineBytes;
+}
+
+// ---------------------------------------------------------------------
+// TagStore.
+// ---------------------------------------------------------------------
+
+TEST(TagStore, FillLookupInvalidate)
+{
+    TagStore ts(CacheGeometry(16, 4), "t");
+    EXPECT_EQ(ts.lookup(line(1)), nullptr);
+    ts.fill(line(1), PrivState::S);
+    ASSERT_NE(ts.lookup(line(1)), nullptr);
+    EXPECT_EQ(ts.lookup(line(1))->state, PrivState::S);
+    const auto ev = ts.invalidate(line(1));
+    EXPECT_TRUE(ev.valid);
+    EXPECT_EQ(ts.lookup(line(1)), nullptr);
+}
+
+TEST(TagStore, EvictsLruWhenFull)
+{
+    TagStore ts(CacheGeometry(4, 4), "t"); // one set of 4 ways
+    for (std::uint64_t i = 0; i < 4; ++i)
+        EXPECT_FALSE(ts.fill(line(i), PrivState::S).valid);
+    ts.lookup(line(0)); // touch 0: LRU is now 1
+    const auto ev = ts.fill(line(9), PrivState::S);
+    ASSERT_TRUE(ev.valid);
+    EXPECT_EQ(ev.lineAddr, line(1));
+}
+
+TEST(TagStore, EvictionCarriesDirtyState)
+{
+    TagStore ts(CacheGeometry(1, 1), "t");
+    ts.fill(line(0), PrivState::M);
+    ts.lookup(line(0))->dirty = true;
+    const auto ev = ts.fill(line(1), PrivState::S);
+    ASSERT_TRUE(ev.valid);
+    EXPECT_TRUE(ev.dirty);
+    EXPECT_EQ(ev.state, PrivState::M);
+}
+
+TEST(TagStore, DoubleFillPanics)
+{
+    TagStore ts(CacheGeometry(16, 4), "t");
+    ts.fill(line(1), PrivState::S);
+    EXPECT_DEATH(ts.fill(line(1), PrivState::S), "already-resident");
+}
+
+// ---------------------------------------------------------------------
+// PrivateHierarchy: classify / fill / upgrade / invalidate.
+// ---------------------------------------------------------------------
+
+TEST(Private, ColdReadMissesEverything)
+{
+    PrivateHierarchy ph(smallCfg(), 0, "p");
+    const auto act = ph.classify(line(100), MemOp::Read, false);
+    EXPECT_TRUE(act.needLlc);
+    EXPECT_EQ(act.event, ProtoEvent::GETS);
+    EXPECT_EQ(act.latency, smallCfg().l1Latency + smallCfg().l2Latency);
+}
+
+TEST(Private, ColdWriteIssuesGetx)
+{
+    PrivateHierarchy ph(smallCfg(), 0, "p");
+    const auto act = ph.classify(line(100), MemOp::Write, false);
+    EXPECT_TRUE(act.needLlc);
+    EXPECT_EQ(act.event, ProtoEvent::GETX);
+}
+
+TEST(Private, FillThenReadHitsL1)
+{
+    PrivateHierarchy ph(smallCfg(), 0, "p");
+    Addr ev;
+    bool dirty;
+    ph.fill(line(100), false, false, ev, dirty);
+    const auto act = ph.classify(line(100), MemOp::Read, false);
+    EXPECT_FALSE(act.needLlc);
+    EXPECT_EQ(act.latency, smallCfg().l1Latency);
+}
+
+TEST(Private, WriteToSharedNeedsUpgrade)
+{
+    PrivateHierarchy ph(smallCfg(), 0, "p");
+    Addr ev;
+    bool dirty;
+    ph.fill(line(100), false, false, ev, dirty); // S fill
+    const auto act = ph.classify(line(100), MemOp::Write, false);
+    EXPECT_TRUE(act.needLlc);
+    EXPECT_EQ(act.event, ProtoEvent::UPG);
+    ph.upgraded(line(100));
+    const auto again = ph.classify(line(100), MemOp::Write, false);
+    EXPECT_FALSE(again.needLlc);
+    EXPECT_EQ(ph.state(line(100)), PrivState::M);
+}
+
+TEST(Private, WritableFillAllowsImmediateWrite)
+{
+    PrivateHierarchy ph(smallCfg(), 0, "p");
+    Addr ev;
+    bool dirty;
+    ph.fill(line(100), false, true, ev, dirty); // GETX fill
+    const auto act = ph.classify(line(100), MemOp::Write, false);
+    EXPECT_FALSE(act.needLlc);
+}
+
+TEST(Private, InstrFetchUsesL1i)
+{
+    PrivateHierarchy ph(smallCfg(), 0, "p");
+    Addr ev;
+    bool dirty;
+    ph.fill(line(100), true, false, ev, dirty);
+    const auto act = ph.classify(line(100), MemOp::Read, true);
+    EXPECT_FALSE(act.needLlc);
+    EXPECT_EQ(ph.stats().lookup("l1iHits"), 1u);
+    // The same line is NOT in the L1D, but is in the L2.
+    const auto dact = ph.classify(line(100), MemOp::Read, false);
+    EXPECT_FALSE(dact.needLlc);
+    EXPECT_EQ(dact.latency, smallCfg().l1Latency + smallCfg().l2Latency);
+}
+
+TEST(Private, L2HitFillsL1)
+{
+    PrivateHierarchy ph(smallCfg(), 0, "p");
+    Addr ev;
+    bool dirty;
+    ph.fill(line(1), false, false, ev, dirty);
+    // Push line 1 out of the tiny L1D with conflicting fills (same set
+    // every 4 lines for a 16-line 4-way L1).
+    for (std::uint64_t i = 0; i < 8; ++i)
+        ph.fill(line(1 + 4 * (i + 1)), false, false, ev, dirty);
+    const auto act = ph.classify(line(1), MemOp::Read, false);
+    // Either still in L1 (if not displaced) or an L2 hit; never an LLC
+    // miss, since the L2 is big enough here.
+    EXPECT_FALSE(act.needLlc);
+}
+
+TEST(Private, L2EvictionReportedForNotification)
+{
+    PrivateConfig tiny = smallCfg();
+    tiny.l2Bytes = 128; // 2 lines
+    tiny.l2Ways = 2;
+    tiny.l1Bytes = 64;  // 1 line
+    tiny.l1Ways = 1;
+    PrivateHierarchy ph(tiny, 0, "p");
+    Addr ev;
+    bool dirty;
+    EXPECT_FALSE(ph.fill(line(0), false, false, ev, dirty));
+    EXPECT_FALSE(ph.fill(line(1), false, false, ev, dirty));
+    EXPECT_TRUE(ph.fill(line(2), false, false, ev, dirty));
+    EXPECT_EQ(ev, line(0));
+    EXPECT_FALSE(dirty);
+    // The victim may not survive anywhere in the hierarchy (inclusion).
+    EXPECT_FALSE(ph.present(line(0)));
+}
+
+TEST(Private, DirtyEvictionReportsDirty)
+{
+    PrivateConfig tiny = smallCfg();
+    tiny.l2Bytes = 128;
+    tiny.l2Ways = 2;
+    tiny.l1Bytes = 64;
+    tiny.l1Ways = 1;
+    PrivateHierarchy ph(tiny, 0, "p");
+    Addr ev;
+    bool dirty;
+    ph.fill(line(0), false, true, ev, dirty); // written
+    ph.fill(line(1), false, false, ev, dirty);
+    ph.fill(line(2), false, false, ev, dirty);
+    EXPECT_EQ(ev, line(0));
+    EXPECT_TRUE(dirty);
+}
+
+TEST(Private, InvalidateReturnsDirtiness)
+{
+    PrivateHierarchy ph(smallCfg(), 0, "p");
+    Addr ev;
+    bool dirty;
+    ph.fill(line(5), false, true, ev, dirty);
+    EXPECT_TRUE(ph.invalidate(line(5)));
+    EXPECT_FALSE(ph.present(line(5)));
+    ph.fill(line(6), false, false, ev, dirty);
+    EXPECT_FALSE(ph.invalidate(line(6)));
+}
+
+TEST(Private, DowngradeSurrendersDirtyData)
+{
+    PrivateHierarchy ph(smallCfg(), 0, "p");
+    Addr ev;
+    bool dirty;
+    ph.fill(line(5), false, true, ev, dirty);
+    EXPECT_TRUE(ph.downgrade(line(5)));
+    EXPECT_EQ(ph.state(line(5)), PrivState::S);
+    // A second downgrade has nothing dirty to give.
+    EXPECT_FALSE(ph.downgrade(line(5)));
+    // Writing again requires an upgrade.
+    const auto act = ph.classify(line(5), MemOp::Write, false);
+    EXPECT_TRUE(act.needLlc);
+    EXPECT_EQ(act.event, ProtoEvent::UPG);
+}
+
+TEST(Private, StatsAccumulate)
+{
+    PrivateHierarchy ph(smallCfg(), 0, "p");
+    ph.classify(line(1), MemOp::Read, false);
+    EXPECT_EQ(ph.stats().lookup("l1dMisses"), 1u);
+    EXPECT_EQ(ph.stats().lookup("l2Misses"), 1u);
+}
+
+} // namespace
+} // namespace rc

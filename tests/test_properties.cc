@@ -1,0 +1,256 @@
+/** @file
+ * Randomized property tests: throw long random event streams at the
+ * cache models and check structural invariants after every step.
+ */
+
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "cache/conventional_llc.hh"
+#include "ncid/ncid_cache.hh"
+#include "reuse/reuse_cache.hh"
+
+namespace rc
+{
+namespace
+{
+
+/**
+ * Reference model of the private side: tracks which cores hold which
+ * lines (and dirtiness) purely from the request/recall traffic, and
+ * verifies the SLLC directory against it.
+ */
+class PrivateMirror : public RecallHandler
+{
+  public:
+    bool
+    recall(Addr line, std::uint32_t mask) override
+    {
+        bool dirty = false;
+        for (CoreId c = 0; c < 32; ++c) {
+            if (!(mask & (1u << c)))
+                continue;
+            const auto it = held[c].find(line);
+            if (it != held[c].end()) {
+                dirty |= it->second;
+                held[c].erase(it);
+            }
+        }
+        return dirty;
+    }
+
+    bool
+    downgrade(Addr line, std::uint32_t mask) override
+    {
+        bool dirty = false;
+        for (CoreId c = 0; c < 32; ++c) {
+            if (!(mask & (1u << c)))
+                continue;
+            const auto it = held[c].find(line);
+            if (it != held[c].end()) {
+                dirty |= it->second;
+                it->second = false;
+            }
+        }
+        return dirty;
+    }
+
+    void grant(Addr line, CoreId core, bool dirty)
+    {
+        held[core][line] = dirty;
+    }
+
+    void drop(Addr line, CoreId core) { held[core].erase(line); }
+
+    bool holds(CoreId core, Addr line) const
+    {
+        return held[core].count(line) != 0;
+    }
+
+    bool isDirty(CoreId core, Addr line) const
+    {
+        const auto it = held[core].find(line);
+        return it != held[core].end() && it->second;
+    }
+
+    std::unordered_map<Addr, bool> held[32];
+};
+
+/** Drive an Sllc with random traffic from a mirrored private model. */
+template <typename LlcT>
+void
+fuzz(LlcT &llc, PrivateMirror &mirror, std::uint32_t cores,
+     std::uint64_t lines, std::uint64_t steps, std::uint64_t seed,
+     const std::function<void()> &check)
+{
+    Rng rng(seed);
+    Cycle now = 0;
+    for (std::uint64_t i = 0; i < steps; ++i) {
+        now += rng.below(20);
+        const CoreId core = static_cast<CoreId>(rng.below(cores));
+        const Addr line = rng.below(lines) * lineBytes;
+        const std::uint64_t action = rng.below(10);
+        if (action < 7) {
+            // Demand access.
+            const bool held_line = mirror.holds(core, line);
+            ProtoEvent ev;
+            if (held_line) {
+                // A private hit would not reach the SLLC except as an
+                // upgrade of a clean copy.
+                if (mirror.isDirty(core, line))
+                    continue;
+                ev = ProtoEvent::UPG;
+            } else {
+                ev = rng.chance(0.3) ? ProtoEvent::GETX : ProtoEvent::GETS;
+            }
+            llc.request(LlcRequest{line, core, ev, now});
+            mirror.grant(line, core, ev != ProtoEvent::GETS);
+        } else {
+            // Private eviction notification (if the core holds it).
+            if (!mirror.holds(core, line))
+                continue;
+            const bool dirty = mirror.isDirty(core, line);
+            llc.evictNotify(line, core, dirty, now);
+            mirror.drop(line, core);
+        }
+        if (i % 64 == 0)
+            check();
+    }
+}
+
+TEST(Property, ReuseCachePointerInvariantsUnderFuzz)
+{
+    MemCtrl mem(MemCtrlConfig{});
+    ReuseCacheConfig cfg = ReuseCacheConfig::standard(64 * 1024,
+                                                      8 * 1024, 0);
+    ReuseCache llc(cfg, mem);
+    PrivateMirror mirror;
+    llc.setRecallHandler(&mirror);
+    fuzz(llc, mirror, 8, 4096, 60'000, 11,
+         [&llc] { llc.checkInvariants(); });
+    llc.checkInvariants();
+}
+
+TEST(Property, ReuseCacheSetAssociativeDataFuzz)
+{
+    MemCtrl mem(MemCtrlConfig{});
+    ReuseCacheConfig cfg = ReuseCacheConfig::standard(64 * 1024,
+                                                      16 * 1024, 16);
+    ReuseCache llc(cfg, mem);
+    PrivateMirror mirror;
+    llc.setRecallHandler(&mirror);
+    fuzz(llc, mirror, 8, 4096, 60'000, 13,
+         [&llc] { llc.checkInvariants(); });
+}
+
+TEST(Property, ReuseCacheDirectoryMatchesMirror)
+{
+    MemCtrl mem(MemCtrlConfig{});
+    ReuseCacheConfig cfg = ReuseCacheConfig::standard(32 * 1024,
+                                                      4 * 1024, 0);
+    ReuseCache llc(cfg, mem);
+    PrivateMirror mirror;
+    llc.setRecallHandler(&mirror);
+    const std::uint64_t lines = 1024;
+    fuzz(llc, mirror, 4, lines, 60'000, 17, [&] {
+        // Inclusion: every privately held line has an SLLC tag, and the
+        // directory presence matches the mirror exactly.
+        for (CoreId c = 0; c < 4; ++c) {
+            for (const auto &[line, dirty] : mirror.held[c]) {
+                const DirectoryEntry *d = llc.dirOf(line);
+                ASSERT_NE(d, nullptr)
+                    << "private line without an SLLC tag (inclusion)";
+                EXPECT_TRUE(d->isSharer(c));
+            }
+        }
+        for (std::uint64_t l = 0; l < lines; ++l) {
+            const Addr line = l * lineBytes;
+            if (const DirectoryEntry *d = llc.dirOf(line)) {
+                for (CoreId c = 0; c < 4; ++c) {
+                    EXPECT_EQ(d->isSharer(c), mirror.holds(c, line))
+                        << "directory drift on line " << l;
+                }
+            }
+        }
+    });
+}
+
+TEST(Property, ConventionalDirectoryMatchesMirror)
+{
+    MemCtrl mem(MemCtrlConfig{});
+    ConvLlcConfig cfg;
+    cfg.capacityBytes = 32 * 1024;
+    cfg.numCores = 4;
+    ConventionalLlc llc(cfg, mem);
+    PrivateMirror mirror;
+    llc.setRecallHandler(&mirror);
+    const std::uint64_t lines = 1024;
+    fuzz(llc, mirror, 4, lines, 60'000, 19, [&] {
+        for (CoreId c = 0; c < 4; ++c) {
+            for (const auto &[line, dirty] : mirror.held[c]) {
+                const DirectoryEntry *d = llc.dirOf(line);
+                ASSERT_NE(d, nullptr);
+                EXPECT_TRUE(d->isSharer(c));
+            }
+        }
+    });
+}
+
+TEST(Property, NcidSurvivesFuzz)
+{
+    MemCtrl mem(MemCtrlConfig{});
+    NcidConfig cfg;
+    cfg.tagEquivBytes = 64 * 1024;
+    cfg.dataBytes = 8 * 1024;
+    cfg.numCores = 8;
+    NcidCache llc(cfg, mem);
+    PrivateMirror mirror;
+    llc.setRecallHandler(&mirror);
+    fuzz(llc, mirror, 8, 4096, 60'000, 23, [] {});
+}
+
+TEST(Property, ReuseDataNeverExceedsTagsWithData)
+{
+    // Fuzz with a stats cross-check: dataAllocs - dataEvictions must
+    // equal the data array's resident count.
+    MemCtrl mem(MemCtrlConfig{});
+    ReuseCacheConfig cfg = ReuseCacheConfig::standard(64 * 1024,
+                                                      8 * 1024, 0);
+    ReuseCache llc(cfg, mem);
+    PrivateMirror mirror;
+    llc.setRecallHandler(&mirror);
+    fuzz(llc, mirror, 8, 2048, 40'000, 29, [&llc] {
+        // Data residency can only shrink via DataRepl or tag evictions
+        // freeing entries, so resident <= allocs always, and the
+        // resident count can never exceed the array capacity.
+        const StatSet &s = llc.stats();
+        EXPECT_LE(llc.dataArray().residentCount(),
+                  s.lookup("dataAllocs"));
+        EXPECT_LE(llc.dataArray().residentCount(),
+                  llc.dataArray().geometry().numLines());
+    });
+}
+
+TEST(Property, ReuseGenerationsWithDataNeverExceedAllocs)
+{
+    MemCtrl mem(MemCtrlConfig{});
+    ReuseCacheConfig cfg = ReuseCacheConfig::standard(32 * 1024,
+                                                      4 * 1024, 0);
+    ReuseCache llc(cfg, mem);
+    PrivateMirror mirror;
+    llc.setRecallHandler(&mirror);
+    fuzz(llc, mirror, 8, 1024, 40'000, 31, [&llc] {
+        const StatSet &s = llc.stats();
+        EXPECT_LE(s.lookup("generationsWithData"), s.lookup("tagAllocs"));
+        EXPECT_LE(s.lookup("generationsWithData"), s.lookup("dataAllocs"));
+        const double f = llc.fractionNeverEnteredData();
+        EXPECT_GE(f, 0.0);
+        EXPECT_LE(f, 1.0);
+    });
+}
+
+} // namespace
+} // namespace rc

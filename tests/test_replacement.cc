@@ -1,0 +1,340 @@
+/** @file Unit and property tests for the replacement policies. */
+
+#include <gtest/gtest.h>
+
+#include "cache/policies.hh"
+
+namespace rc
+{
+namespace
+{
+
+// ---------------------------------------------------------------------
+// Generic properties every policy must satisfy (parameterized).
+// ---------------------------------------------------------------------
+
+class PolicyProperty : public ::testing::TestWithParam<ReplKind>
+{
+  protected:
+    static constexpr std::uint64_t sets = 64;
+    static constexpr std::uint32_t ways = 16;
+
+    std::unique_ptr<ReplacementPolicy>
+    make() const
+    {
+        return makeReplacement(GetParam(), sets, ways, 8, 12345);
+    }
+};
+
+TEST_P(PolicyProperty, VictimAlwaysInRange)
+{
+    auto p = make();
+    Rng rng(1);
+    for (int i = 0; i < 2000; ++i) {
+        const std::uint64_t set = rng.below(sets);
+        // Random interleave of fills and hits to reach varied states.
+        if (rng.chance(0.5))
+            p->onFill(set, static_cast<std::uint32_t>(rng.below(ways)),
+                      ReplAccess{static_cast<CoreId>(rng.below(8)), true});
+        else
+            p->onHit(set, static_cast<std::uint32_t>(rng.below(ways)),
+                     ReplAccess{static_cast<CoreId>(rng.below(8)), false});
+        const std::uint32_t v = p->victim(set, VictimQuery{});
+        EXPECT_LT(v, ways);
+    }
+}
+
+TEST_P(PolicyProperty, VictimOnUntouchedSetInRange)
+{
+    auto p = make();
+    EXPECT_LT(p->victim(0, VictimQuery{}), ways);
+}
+
+TEST_P(PolicyProperty, InvalidateIsSafe)
+{
+    auto p = make();
+    for (std::uint32_t w = 0; w < ways; ++w) {
+        p->onFill(3, w, ReplAccess{});
+        p->onInvalidate(3, w);
+    }
+    EXPECT_LT(p->victim(3, VictimQuery{}), ways);
+}
+
+TEST_P(PolicyProperty, HitPromotionProtectsLine)
+{
+    // A line hit on every round must never be the victim under any
+    // recency-based policy (Random exempted below).
+    if (GetParam() == ReplKind::Random)
+        GTEST_SKIP() << "random selection has no recency";
+    auto p = make();
+    for (std::uint32_t w = 0; w < ways; ++w)
+        p->onFill(7, w, ReplAccess{});
+    for (int round = 0; round < 50; ++round) {
+        p->onHit(7, 5, ReplAccess{});
+        const std::uint32_t v = p->victim(7, VictimQuery{});
+        EXPECT_NE(v, 5u);
+        // Model the eviction + refill of the victim.
+        p->onFill(7, v, ReplAccess{});
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllPolicies, PolicyProperty,
+    ::testing::Values(ReplKind::LRU, ReplKind::NRU, ReplKind::NRR,
+                      ReplKind::Random, ReplKind::Clock, ReplKind::SRRIP,
+                      ReplKind::BRRIP, ReplKind::DRRIP),
+    [](const ::testing::TestParamInfo<ReplKind> &info) {
+        return toString(info.param);
+    });
+
+// ---------------------------------------------------------------------
+// LRU specifics.
+// ---------------------------------------------------------------------
+
+TEST(Lru, EvictsLeastRecentlyUsed)
+{
+    LruPolicy p(1, 4);
+    for (std::uint32_t w = 0; w < 4; ++w)
+        p.onFill(0, w, ReplAccess{});
+    p.onHit(0, 0, ReplAccess{});
+    p.onHit(0, 2, ReplAccess{});
+    // Order (oldest first): 1, 3, 0, 2.
+    EXPECT_EQ(p.victim(0, VictimQuery{}), 1u);
+    p.onHit(0, 1, ReplAccess{});
+    EXPECT_EQ(p.victim(0, VictimQuery{}), 3u);
+}
+
+TEST(Lru, InsertLruGoesOutFirst)
+{
+    LruPolicy p(1, 4);
+    for (std::uint32_t w = 0; w < 3; ++w)
+        p.onFill(0, w, ReplAccess{});
+    ReplAccess demoted;
+    demoted.insertLru = true;
+    p.onFill(0, 3, demoted);
+    EXPECT_EQ(p.victim(0, VictimQuery{}), 3u);
+    // ...unless referenced before the eviction.
+    p.onHit(0, 3, ReplAccess{});
+    EXPECT_EQ(p.victim(0, VictimQuery{}), 0u);
+}
+
+TEST(Lru, CyclicLoopOverCapacityNeverHits)
+{
+    // Classic LRU pathology the workload generator relies on: a loop one
+    // line larger than the set always evicts the next-needed line.
+    LruPolicy p(1, 4);
+    std::uint64_t resident[4] = {0, 1, 2, 3};
+    for (std::uint32_t w = 0; w < 4; ++w)
+        p.onFill(0, w, ReplAccess{});
+    int hits = 0;
+    std::uint64_t next = 4;
+    for (int i = 0; i < 100; ++i) {
+        bool found = false;
+        for (std::uint32_t w = 0; w < 4; ++w)
+            found |= resident[w] == next % 5;
+        if (found) {
+            ++hits;
+        } else {
+            const std::uint32_t v = p.victim(0, VictimQuery{});
+            resident[v] = next % 5;
+            p.onFill(0, v, ReplAccess{});
+        }
+        ++next;
+    }
+    EXPECT_EQ(hits, 0);
+}
+
+// ---------------------------------------------------------------------
+// NRU specifics.
+// ---------------------------------------------------------------------
+
+TEST(Nru, VictimHasClearBit)
+{
+    NruPolicy p(1, 4);
+    p.onFill(0, 0, ReplAccess{});
+    p.onFill(0, 1, ReplAccess{});
+    const std::uint32_t v = p.victim(0, VictimQuery{});
+    EXPECT_FALSE(p.usedBit(0, v));
+}
+
+TEST(Nru, AgingClearsOthers)
+{
+    NruPolicy p(1, 4);
+    for (std::uint32_t w = 0; w < 4; ++w)
+        p.onFill(0, w, ReplAccess{});
+    // The last fill saturated the set: only way 3 keeps its bit.
+    EXPECT_TRUE(p.usedBit(0, 3));
+    EXPECT_FALSE(p.usedBit(0, 0));
+    EXPECT_FALSE(p.usedBit(0, 1));
+    EXPECT_FALSE(p.usedBit(0, 2));
+}
+
+// ---------------------------------------------------------------------
+// NRR specifics (paper Section 3.2).
+// ---------------------------------------------------------------------
+
+TEST(Nrr, FillSetsBitHitClearsBit)
+{
+    NrrPolicy p(1, 4, 1);
+    p.onFill(0, 2, ReplAccess{});
+    EXPECT_TRUE(p.nrrBit(0, 2)); // not recently reused
+    p.onHit(0, 2, ReplAccess{});
+    EXPECT_FALSE(p.nrrBit(0, 2)); // reused
+}
+
+TEST(Nrr, PrefersNotReusedAndNotPresent)
+{
+    NrrPolicy p(1, 4, 99);
+    for (std::uint32_t w = 0; w < 4; ++w)
+        p.onFill(0, w, ReplAccess{});
+    p.onHit(0, 0, ReplAccess{}); // way 0 reused
+    p.onHit(0, 1, ReplAccess{}); // way 1 reused
+    VictimQuery q;
+    q.avoidMask = 1u << 2; // way 2 present in a private cache
+    // Only way 3 is both not-reused and not-present.
+    for (int i = 0; i < 20; ++i)
+        EXPECT_EQ(p.victim(0, q), 3u);
+}
+
+TEST(Nrr, FallsBackToNotPresent)
+{
+    NrrPolicy p(1, 4, 7);
+    for (std::uint32_t w = 0; w < 4; ++w) {
+        p.onFill(0, w, ReplAccess{});
+        p.onHit(0, w, ReplAccess{}); // everything reused
+    }
+    VictimQuery q;
+    q.avoidMask = 0b0111; // ways 0..2 in private caches
+    // Aging resets the NRR bits, and way 3 is the only non-present one.
+    EXPECT_EQ(p.victim(0, q), 3u);
+}
+
+TEST(Nrr, AllPresentStillFindsVictim)
+{
+    NrrPolicy p(1, 4, 11);
+    for (std::uint32_t w = 0; w < 4; ++w)
+        p.onFill(0, w, ReplAccess{});
+    VictimQuery q;
+    q.avoidMask = 0b1111;
+    EXPECT_LT(p.victim(0, q), 4u);
+}
+
+TEST(Nrr, RandomAmongCandidates)
+{
+    NrrPolicy p(1, 8, 5);
+    for (std::uint32_t w = 0; w < 8; ++w)
+        p.onFill(0, w, ReplAccess{});
+    bool seen[8] = {};
+    for (int i = 0; i < 400; ++i)
+        seen[p.victim(0, VictimQuery{})] = true;
+    int distinct = 0;
+    for (bool s : seen)
+        distinct += s;
+    EXPECT_GE(distinct, 4); // random choice spreads across the set
+}
+
+// ---------------------------------------------------------------------
+// Clock specifics.
+// ---------------------------------------------------------------------
+
+TEST(Clock, SecondChanceSweep)
+{
+    ClockPolicy p(1, 4);
+    for (std::uint32_t w = 0; w < 4; ++w)
+        p.onFill(0, w, ReplAccess{});
+    // All reference bits set: the sweep clears 0..3 and returns to 0.
+    EXPECT_EQ(p.victim(0, VictimQuery{}), 0u);
+    // Bits are now clear except those re-referenced.
+    p.onHit(0, 1, ReplAccess{});
+    EXPECT_EQ(p.victim(0, VictimQuery{}), 2u); // hand at 1, skips it
+}
+
+TEST(Clock, HandAdvances)
+{
+    ClockPolicy p(1, 4);
+    p.onFill(0, 0, ReplAccess{});
+    const auto before = p.hand(0);
+    p.victim(0, VictimQuery{});
+    EXPECT_NE(p.hand(0), before);
+}
+
+// ---------------------------------------------------------------------
+// RRIP specifics.
+// ---------------------------------------------------------------------
+
+TEST(Rrip, SrripInsertsLongReRef)
+{
+    RripPolicy p(1, 4, RripPolicy::Mode::SRRIP, 1, 1);
+    p.onFill(0, 0, ReplAccess{});
+    EXPECT_EQ(p.rrpv(0, 0), 2u); // max-1 with 2-bit RRPVs
+    p.onHit(0, 0, ReplAccess{});
+    EXPECT_EQ(p.rrpv(0, 0), 0u); // hit promotion
+}
+
+TEST(Rrip, BrripMostlyInsertsDistant)
+{
+    RripPolicy p(1, 4, RripPolicy::Mode::BRRIP, 1, 1);
+    int distant = 0;
+    for (int i = 0; i < 640; ++i) {
+        p.onFill(0, 0, ReplAccess{});
+        distant += p.rrpv(0, 0) == 3;
+    }
+    // Epsilon is 1/32: expect the overwhelming majority at max RRPV.
+    EXPECT_GT(distant, 560);
+    EXPECT_LT(distant, 640); // but not all
+}
+
+TEST(Rrip, VictimIsMaxRrpv)
+{
+    RripPolicy p(1, 4, RripPolicy::Mode::SRRIP, 1, 1);
+    for (std::uint32_t w = 0; w < 4; ++w)
+        p.onFill(0, w, ReplAccess{});
+    p.onHit(0, 0, ReplAccess{});
+    // Ways 1..3 at RRPV 2, way 0 at 0.  Aging pushes 1..3 to 3 first.
+    EXPECT_EQ(p.victim(0, VictimQuery{}), 1u);
+}
+
+TEST(Rrip, AgingTerminates)
+{
+    RripPolicy p(1, 4, RripPolicy::Mode::SRRIP, 1, 1);
+    for (std::uint32_t w = 0; w < 4; ++w) {
+        p.onFill(0, w, ReplAccess{});
+        p.onHit(0, w, ReplAccess{}); // everything at RRPV 0
+    }
+    EXPECT_LT(p.victim(0, VictimQuery{}), 4u);
+}
+
+TEST(Rrip, DrripLeadersSteerPsel)
+{
+    RripPolicy p(64, 4, RripPolicy::Mode::DRRIP, 2, 1);
+    const auto &duel = p.dueling();
+    const auto before = duel.psel(0);
+    // Misses by core 0 in its SRRIP leader set (set 0 with modulus 64)
+    // push PSEL up.
+    for (int i = 0; i < 10; ++i)
+        p.onFill(0, 0, ReplAccess{0, true});
+    EXPECT_GT(duel.psel(0), before);
+    // Misses in its BRRIP leader set (set 32) push PSEL down.
+    for (int i = 0; i < 20; ++i)
+        p.onFill(32, 0, ReplAccess{0, true});
+    EXPECT_LT(duel.psel(0), before);
+}
+
+// ---------------------------------------------------------------------
+// Factory.
+// ---------------------------------------------------------------------
+
+TEST(Factory, ProducesEveryKind)
+{
+    for (ReplKind k : {ReplKind::LRU, ReplKind::NRU, ReplKind::NRR,
+                       ReplKind::Random, ReplKind::Clock, ReplKind::SRRIP,
+                       ReplKind::BRRIP, ReplKind::DRRIP}) {
+        auto p = makeReplacement(k, 4, 4, 2, 3);
+        ASSERT_NE(p, nullptr) << toString(k);
+        EXPECT_EQ(p->numSets(), 4u);
+        EXPECT_EQ(p->numWays(), 4u);
+    }
+}
+
+} // namespace
+} // namespace rc

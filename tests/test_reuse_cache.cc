@@ -1,0 +1,359 @@
+/** @file Unit tests for the reuse cache (the paper's core contribution). */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "reuse/reuse_cache.hh"
+
+namespace rc
+{
+namespace
+{
+
+class MockRecaller : public RecallHandler
+{
+  public:
+    bool
+    recall(Addr line_addr, std::uint32_t mask) override
+    {
+        recalls.push_back({line_addr, mask});
+        return nextDirty;
+    }
+
+    bool
+    downgrade(Addr line_addr, std::uint32_t mask) override
+    {
+        downgrades.push_back({line_addr, mask});
+        return nextDirty;
+    }
+
+    std::vector<std::pair<Addr, std::uint32_t>> recalls;
+    std::vector<std::pair<Addr, std::uint32_t>> downgrades;
+    bool nextDirty = false;
+};
+
+class ReuseCacheTest : public ::testing::Test
+{
+  protected:
+    ReuseCacheTest() : mem(MemCtrlConfig{}), llc(makeCfg(), mem)
+    {
+        llc.setRecallHandler(&recaller);
+    }
+
+    static ReuseCacheConfig
+    makeCfg()
+    {
+        // Tag array "64 KB-eq" (1024 tags, 64 sets), 16 KB FA data
+        // array (256 lines) - a miniature RC-4/1.
+        ReuseCacheConfig cfg =
+            ReuseCacheConfig::standard(64 * 1024, 16 * 1024, 0);
+        cfg.numCores = 8;
+        return cfg;
+    }
+
+    LlcResponse
+    req(Addr a, CoreId core, ProtoEvent e, Cycle now = 0)
+    {
+        return llc.request(LlcRequest{a, core, e, now});
+    }
+
+    static Addr line(std::uint64_t n) { return n * lineBytes; }
+
+    MemCtrl mem;
+    MockRecaller recaller;
+    ReuseCache llc;
+};
+
+TEST_F(ReuseCacheTest, MissAllocatesTagOnly)
+{
+    const auto r = req(line(1), 0, ProtoEvent::GETS);
+    EXPECT_FALSE(r.tagHit);
+    EXPECT_TRUE(r.memFetched);
+    EXPECT_EQ(llc.stateOf(line(1)), LlcState::TO);
+    EXPECT_EQ(llc.dataArray().residentCount(), 0u)
+        << "a miss must not allocate data";
+    EXPECT_EQ(mem.totalReads(), 1u);
+    llc.checkInvariants();
+}
+
+TEST_F(ReuseCacheTest, SecondAccessDetectsReuseAndPaysDoubleFetch)
+{
+    req(line(1), 0, ProtoEvent::GETS);
+    llc.evictNotify(line(1), 0, false, 10); // line left the private cache
+    const auto r = req(line(1), 0, ProtoEvent::GETS, 20);
+    EXPECT_TRUE(r.tagHit);
+    EXPECT_FALSE(r.dataHit) << "data was not there yet";
+    EXPECT_TRUE(r.memFetched) << "the reuse re-reads main memory";
+    EXPECT_EQ(llc.stateOf(line(1)), LlcState::S);
+    EXPECT_EQ(llc.dataArray().residentCount(), 1u);
+    EXPECT_EQ(mem.totalReads(), 2u) << "paid the memory cost twice";
+    EXPECT_EQ(llc.stats().lookup("tagHitsTagOnly"), 1u);
+    llc.checkInvariants();
+}
+
+TEST_F(ReuseCacheTest, ThirdAccessHitsDataArray)
+{
+    req(line(1), 0, ProtoEvent::GETS);
+    llc.evictNotify(line(1), 0, false, 0);
+    req(line(1), 0, ProtoEvent::GETS);
+    llc.evictNotify(line(1), 0, false, 0);
+    const auto r = req(line(1), 0, ProtoEvent::GETS, 100);
+    EXPECT_TRUE(r.dataHit);
+    EXPECT_FALSE(r.memFetched);
+    EXPECT_EQ(r.doneAt,
+              100 + makeCfg().tagLatency + makeCfg().dataLatency);
+    EXPECT_EQ(mem.totalReads(), 2u);
+    llc.checkInvariants();
+}
+
+TEST_F(ReuseCacheTest, ReuseFromDifferentCoreCounts)
+{
+    // Reuse detection is independent of which private cache requests
+    // (paper Section 6): core 1's access to a line core 0 loaded is a
+    // reuse.
+    req(line(1), 0, ProtoEvent::GETS);
+    const auto r = req(line(1), 1, ProtoEvent::GETS);
+    EXPECT_TRUE(r.tagHit);
+    EXPECT_EQ(llc.stateOf(line(1)), LlcState::S);
+    EXPECT_EQ(llc.dataArray().residentCount(), 1u);
+}
+
+TEST_F(ReuseCacheTest, DataEvictionRevertsTagToTagOnly)
+{
+    // Fill the FA data array (256 lines) with reused lines, then one
+    // more: the Clock victim's tag must revert to TO via its reverse
+    // pointer.
+    const std::uint64_t n = llc.dataArray().geometry().numLines();
+    for (std::uint64_t i = 0; i < n + 1; ++i) {
+        req(line(i), 0, ProtoEvent::GETS);
+        llc.evictNotify(line(i), 0, false, 0);
+        req(line(i), 0, ProtoEvent::GETS); // reuse -> data alloc
+        llc.evictNotify(line(i), 0, false, 0);
+    }
+    EXPECT_EQ(llc.dataArray().residentCount(), n);
+    EXPECT_EQ(llc.stats().lookup("dataEvictions"), 1u);
+    // Exactly one line is back to TO with its tag still present.
+    std::uint64_t tag_only = 0;
+    for (std::uint64_t i = 0; i < n + 1; ++i)
+        tag_only += llc.stateOf(line(i)) == LlcState::TO;
+    EXPECT_EQ(tag_only, 1u);
+    llc.checkInvariants();
+}
+
+TEST_F(ReuseCacheTest, EvictedDataReusedAgainReloads)
+{
+    const std::uint64_t n = llc.dataArray().geometry().numLines();
+    // Line 0 becomes reused, then its data gets evicted by pressure.
+    req(line(0), 0, ProtoEvent::GETS);
+    llc.evictNotify(line(0), 0, false, 0);
+    req(line(0), 0, ProtoEvent::GETS);
+    llc.evictNotify(line(0), 0, false, 0);
+    for (std::uint64_t i = 1; i <= n; ++i) {
+        req(line(i), 0, ProtoEvent::GETS);
+        llc.evictNotify(line(i), 0, false, 0);
+        req(line(i), 0, ProtoEvent::GETS);
+        llc.evictNotify(line(i), 0, false, 0);
+    }
+    // If line 0's data was the victim, a further access is a TO hit that
+    // allocates again.
+    if (llc.stateOf(line(0)) == LlcState::TO) {
+        const auto r = req(line(0), 0, ProtoEvent::GETS);
+        EXPECT_TRUE(r.memFetched);
+        EXPECT_EQ(llc.stateOf(line(0)), LlcState::S);
+    }
+    llc.checkInvariants();
+}
+
+TEST_F(ReuseCacheTest, DirtyDataEvictionWritesBack)
+{
+    // Make line 0 dirty at the SLLC: GETX, then PUTX absorbs the data.
+    req(line(0), 0, ProtoEvent::GETX);
+    req(line(0), 1, ProtoEvent::GETS); // reuse; owner intervention
+    // State is M (absorbed dirty data from owner).
+    EXPECT_EQ(llc.stateOf(line(0)), LlcState::M);
+    const auto writes_before = mem.totalWrites();
+    // Evict its data entry by filling the array with other reused lines.
+    const std::uint64_t n = llc.dataArray().geometry().numLines();
+    for (std::uint64_t i = 1; i <= n; ++i) {
+        req(line(i), 0, ProtoEvent::GETS);
+        llc.evictNotify(line(i), 0, false, 0);
+        req(line(i), 0, ProtoEvent::GETS);
+        llc.evictNotify(line(i), 0, false, 0);
+    }
+    EXPECT_GT(mem.totalWrites(), writes_before);
+    llc.checkInvariants();
+}
+
+TEST_F(ReuseCacheTest, UpgradeDoesNotAllocateData)
+{
+    req(line(1), 0, ProtoEvent::GETS);
+    const auto r = req(line(1), 0, ProtoEvent::UPG);
+    EXPECT_TRUE(r.tagHit);
+    EXPECT_FALSE(r.memFetched);
+    EXPECT_EQ(llc.stateOf(line(1)), LlcState::TO);
+    EXPECT_EQ(llc.dataArray().residentCount(), 0u);
+    EXPECT_EQ(llc.dirOf(line(1))->owner(), 0u);
+}
+
+TEST_F(ReuseCacheTest, PutxOnTagOnlyWritesThrough)
+{
+    req(line(1), 0, ProtoEvent::GETX);
+    const auto writes_before = mem.totalWrites();
+    llc.evictNotify(line(1), 0, true, 50);
+    EXPECT_EQ(mem.totalWrites(), writes_before + 1);
+    EXPECT_EQ(llc.stateOf(line(1)), LlcState::TO);
+    EXPECT_FALSE(llc.dirOf(line(1))->hasOwner());
+    EXPECT_EQ(llc.dataArray().residentCount(), 0u);
+}
+
+TEST_F(ReuseCacheTest, ReuseWithOwnerAvoidsMemoryFetch)
+{
+    req(line(1), 0, ProtoEvent::GETX); // core 0 owns a dirty copy
+    recaller.nextDirty = true;
+    const auto reads_before = mem.totalReads();
+    const auto r = req(line(1), 1, ProtoEvent::GETS);
+    EXPECT_TRUE(r.tagHit);
+    EXPECT_FALSE(r.memFetched) << "data comes from the owner";
+    EXPECT_EQ(mem.totalReads(), reads_before);
+    EXPECT_EQ(llc.stateOf(line(1)), LlcState::M);
+    EXPECT_EQ(llc.dataArray().residentCount(), 1u);
+    ASSERT_EQ(recaller.downgrades.size(), 1u);
+    EXPECT_EQ(recaller.downgrades[0].second, 1u << 0);
+    llc.checkInvariants();
+}
+
+TEST_F(ReuseCacheTest, TagEvictionFreesDataAndRecalls)
+{
+    // Fill one tag set (16 ways) with reused lines held by core 2.
+    // Tag geometry: 64 sets, so same-set lines are 64 apart.
+    std::vector<Addr> lines;
+    for (std::uint64_t i = 0; i < 16; ++i)
+        lines.push_back(line(1 + 64 * i));
+    for (Addr a : lines) {
+        req(a, 2, ProtoEvent::GETS);
+        llc.evictNotify(a, 2, false, 0);
+        req(a, 2, ProtoEvent::GETS); // reuse, data allocated, present
+    }
+    EXPECT_EQ(llc.dataArray().residentCount(), 16u);
+    recaller.recalls.clear();
+    // A 17th line forces a tag eviction; every candidate is present in
+    // core 2's caches, so a recall must happen.
+    req(line(1 + 64 * 16), 3, ProtoEvent::GETS);
+    EXPECT_EQ(recaller.recalls.size(), 1u);
+    EXPECT_EQ(llc.dataArray().residentCount(), 15u)
+        << "the victim's data entry must be freed";
+    EXPECT_EQ(llc.stats().lookup("inclusionRecalls"), 1u);
+    llc.checkInvariants();
+}
+
+TEST_F(ReuseCacheTest, NrrPrefersTagOnlyNonPresentVictims)
+{
+    // 15 reused lines (NRR bit clear) + 1 fresh tag-only line that has
+    // also left the private caches: the fresh one must be the victim.
+    for (std::uint64_t i = 0; i < 15; ++i) {
+        const Addr a = line(1 + 64 * i);
+        req(a, 2, ProtoEvent::GETS);
+        llc.evictNotify(a, 2, false, 0);
+        req(a, 2, ProtoEvent::GETS);
+        llc.evictNotify(a, 2, false, 0);
+    }
+    const Addr fresh = line(1 + 64 * 15);
+    req(fresh, 2, ProtoEvent::GETS);
+    llc.evictNotify(fresh, 2, false, 0);
+    req(line(1 + 64 * 16), 3, ProtoEvent::GETS);
+    EXPECT_EQ(llc.stateOf(fresh), LlcState::I) << "NRR victimizes the "
+        "not-recently-reused, non-present line";
+    llc.checkInvariants();
+}
+
+TEST_F(ReuseCacheTest, FractionNeverEnteredData)
+{
+    // 10 tags allocated, 2 reused.
+    for (std::uint64_t i = 0; i < 10; ++i) {
+        req(line(i), 0, ProtoEvent::GETS);
+        llc.evictNotify(line(i), 0, false, 0);
+    }
+    req(line(0), 0, ProtoEvent::GETS);
+    req(line(1), 0, ProtoEvent::GETS);
+    EXPECT_NEAR(llc.fractionNeverEnteredData(), 0.8, 1e-9);
+}
+
+TEST_F(ReuseCacheTest, ObserverSeesDataArrayEventsOnly)
+{
+    struct Obs : LlcObserver
+    {
+        int fills = 0, hits = 0, evicts = 0;
+        void onDataFill(Addr, Cycle) override { ++fills; }
+        void onDataHit(Addr, Cycle) override { ++hits; }
+        void onDataEvict(Addr, Cycle) override { ++evicts; }
+    } obs;
+    llc.setObserver(&obs);
+    req(line(1), 0, ProtoEvent::GETS); // tag-only: no event
+    EXPECT_EQ(obs.fills, 0);
+    llc.evictNotify(line(1), 0, false, 0);
+    req(line(1), 0, ProtoEvent::GETS); // reuse: data fill
+    EXPECT_EQ(obs.fills, 1);
+    llc.evictNotify(line(1), 0, false, 0);
+    req(line(1), 0, ProtoEvent::GETS); // data hit
+    EXPECT_EQ(obs.hits, 1);
+}
+
+TEST_F(ReuseCacheTest, PerCoreMissCounters)
+{
+    req(line(1), 4, ProtoEvent::GETS); // tag miss
+    llc.evictNotify(line(1), 4, false, 0);
+    req(line(1), 4, ProtoEvent::GETS); // TO hit: memory fetch -> miss
+    llc.evictNotify(line(1), 4, false, 0);
+    req(line(1), 4, ProtoEvent::GETS); // data hit
+    EXPECT_EQ(llc.missesBy(4), 2u);
+    EXPECT_EQ(llc.accessesBy(4), 3u);
+}
+
+TEST_F(ReuseCacheTest, SetAssociativeDataArrayWorks)
+{
+    ReuseCacheConfig cfg =
+        ReuseCacheConfig::standard(64 * 1024, 16 * 1024, 16);
+    MemCtrl m2(MemCtrlConfig{});
+    ReuseCache rc(cfg, m2);
+    MockRecaller rec;
+    rc.setRecallHandler(&rec);
+    EXPECT_EQ(rc.dataArray().geometry().numSets(), 16u);
+    EXPECT_EQ(rc.dataArray().geometry().numWays(), 16u);
+    for (std::uint64_t i = 0; i < 600; ++i) {
+        rc.request(LlcRequest{line(i), 0, ProtoEvent::GETS, 0});
+        rc.evictNotify(line(i), 0, false, 0);
+        rc.request(LlcRequest{line(i), 0, ProtoEvent::GETS, 0});
+        rc.evictNotify(line(i), 0, false, 0);
+        rc.checkInvariants();
+    }
+    EXPECT_EQ(rc.dataArray().residentCount(),
+              rc.dataArray().geometry().numLines());
+}
+
+TEST_F(ReuseCacheTest, DescribeNamesThePaperConfig)
+{
+    EXPECT_NE(llc.describe().find("RC-"), std::string::npos);
+    EXPECT_NE(llc.describe().find("FA"), std::string::npos);
+}
+
+TEST(ReuseCacheConfigTest, StandardPicksClockForFa)
+{
+    const auto fa = ReuseCacheConfig::standard(4u << 20, 1u << 20, 0);
+    EXPECT_EQ(fa.dataRepl, ReplKind::Clock);
+    const auto sa = ReuseCacheConfig::standard(4u << 20, 1u << 20, 16);
+    EXPECT_EQ(sa.dataRepl, ReplKind::NRU);
+}
+
+TEST(ReuseCacheConfigTest, RejectsMoreDataSetsThanTagSets)
+{
+    // 64 KB-eq tags (64 sets of 16) with a 32 KB 2-way data array would
+    // need 256 data sets > 64 tag sets.
+    ReuseCacheConfig cfg = ReuseCacheConfig::standard(64 * 1024,
+                                                      32 * 1024, 2);
+    MemCtrl mem(MemCtrlConfig{});
+    EXPECT_DEATH(ReuseCache rc(cfg, mem), "more sets");
+}
+
+} // namespace
+} // namespace rc

@@ -1,0 +1,140 @@
+/** @file Unit tests for the statistics framework. */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/stats.hh"
+
+namespace rc
+{
+namespace
+{
+
+TEST(StatSet, AddLookup)
+{
+    StatSet s("test");
+    Counter &a = s.add("a", "first");
+    Counter &b = s.add("b", "second");
+    a = 5;
+    b += 7;
+    EXPECT_EQ(s.lookup("a"), 5u);
+    EXPECT_EQ(s.lookup("b"), 7u);
+    EXPECT_TRUE(s.has("a"));
+    EXPECT_FALSE(s.has("c"));
+}
+
+TEST(StatSet, ReferencesStableAcrossGrowth)
+{
+    StatSet s("test");
+    Counter &first = s.add("first", "");
+    for (int i = 0; i < 100; ++i)
+        s.add("x" + std::to_string(i), "");
+    first = 42;
+    EXPECT_EQ(s.lookup("first"), 42u);
+}
+
+TEST(StatSet, Reset)
+{
+    StatSet s("test");
+    Counter &a = s.add("a", "");
+    a = 9;
+    s.reset();
+    EXPECT_EQ(s.lookup("a"), 0u);
+}
+
+TEST(StatSet, DuplicateNamePanics)
+{
+    StatSet s("test");
+    s.add("a", "");
+    EXPECT_DEATH(s.add("a", ""), "duplicate stat");
+}
+
+TEST(StatSet, UnknownLookupPanics)
+{
+    StatSet s("test");
+    EXPECT_DEATH(s.lookup("nope"), "unknown stat");
+}
+
+TEST(StatSet, DumpFormat)
+{
+    StatSet s("llc");
+    s.add("hits", "cache hits") = 3;
+    std::ostringstream os;
+    s.dump(os);
+    EXPECT_EQ(os.str(), "llc.hits = 3  # cache hits\n");
+}
+
+TEST(Accum, Empty)
+{
+    Accum a;
+    EXPECT_EQ(a.count(), 0u);
+    EXPECT_DOUBLE_EQ(a.mean(), 0.0);
+    EXPECT_DOUBLE_EQ(a.stddev(), 0.0);
+}
+
+TEST(Accum, Moments)
+{
+    Accum a;
+    for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0})
+        a.add(v);
+    EXPECT_EQ(a.count(), 8u);
+    EXPECT_DOUBLE_EQ(a.mean(), 5.0);
+    EXPECT_NEAR(a.stddev(), 2.0, 1e-12);
+    EXPECT_DOUBLE_EQ(a.min(), 2.0);
+    EXPECT_DOUBLE_EQ(a.max(), 9.0);
+}
+
+TEST(Accum, Geomean)
+{
+    Accum a;
+    a.add(1.0);
+    a.add(4.0);
+    EXPECT_NEAR(a.geomean(), 2.0, 1e-12);
+}
+
+TEST(Accum, Reset)
+{
+    Accum a;
+    a.add(3.0);
+    a.reset();
+    EXPECT_EQ(a.count(), 0u);
+    EXPECT_DOUBLE_EQ(a.mean(), 0.0);
+}
+
+TEST(Quartiles, Basic)
+{
+    // 1..9: min 1, Q1 3, median 5, Q3 7, max 9.
+    std::vector<double> v{9, 1, 8, 2, 7, 3, 6, 4, 5};
+    const Quartiles q = computeQuartiles(v);
+    EXPECT_DOUBLE_EQ(q.min, 1.0);
+    EXPECT_DOUBLE_EQ(q.q1, 3.0);
+    EXPECT_DOUBLE_EQ(q.median, 5.0);
+    EXPECT_DOUBLE_EQ(q.q3, 7.0);
+    EXPECT_DOUBLE_EQ(q.max, 9.0);
+}
+
+TEST(Quartiles, SingleElement)
+{
+    const Quartiles q = computeQuartiles({4.2});
+    EXPECT_DOUBLE_EQ(q.min, 4.2);
+    EXPECT_DOUBLE_EQ(q.median, 4.2);
+    EXPECT_DOUBLE_EQ(q.max, 4.2);
+}
+
+TEST(Quartiles, Empty)
+{
+    const Quartiles q = computeQuartiles({});
+    EXPECT_DOUBLE_EQ(q.median, 0.0);
+}
+
+TEST(Quartiles, Interpolated)
+{
+    const Quartiles q = computeQuartiles({1.0, 2.0, 3.0, 4.0});
+    EXPECT_DOUBLE_EQ(q.median, 2.5);
+    EXPECT_DOUBLE_EQ(q.q1, 1.75);
+    EXPECT_DOUBLE_EQ(q.q3, 3.25);
+}
+
+} // namespace
+} // namespace rc

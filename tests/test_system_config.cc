@@ -1,0 +1,88 @@
+/** @file Unit tests for the system-configuration presets. */
+
+#include <gtest/gtest.h>
+
+#include "sim/system_config.hh"
+
+namespace rc
+{
+namespace
+{
+
+TEST(SystemConfig, BaselineMatchesTable4AtFullScale)
+{
+    const SystemConfig sys = baselineSystem(1);
+    EXPECT_EQ(sys.numCores, 8u);
+    EXPECT_EQ(sys.priv.l1Bytes, 32u * 1024);
+    EXPECT_EQ(sys.priv.l1Ways, 4u);
+    EXPECT_EQ(sys.priv.l1Latency, 1u);
+    EXPECT_EQ(sys.priv.l2Bytes, 256u * 1024);
+    EXPECT_EQ(sys.priv.l2Ways, 8u);
+    EXPECT_EQ(sys.priv.l2Latency, 7u);
+    EXPECT_EQ(sys.conv.capacityBytes, 8ull << 20);
+    EXPECT_EQ(sys.conv.ways, 16u);
+    EXPECT_EQ(sys.conv.repl, ReplKind::LRU);
+    EXPECT_EQ(sys.memory.numChannels, 1u);
+    EXPECT_EQ(sys.xbar.numBanks, 4u);
+    EXPECT_EQ(sys.xbar.mshrPerBank, 16u);
+    EXPECT_EQ(sys.llcKind, LlcKind::Conventional);
+}
+
+TEST(SystemConfig, ScalingDividesEveryCapacity)
+{
+    const SystemConfig sys = baselineSystem(8);
+    EXPECT_EQ(sys.priv.l1Bytes, 4u * 1024);
+    EXPECT_EQ(sys.priv.l2Bytes, 32u * 1024);
+    EXPECT_EQ(sys.conv.capacityBytes, 1ull << 20);
+    EXPECT_EQ(sys.capacityScale, 8u);
+    EXPECT_EQ(sys.scaled(8ull << 20), 1ull << 20);
+}
+
+TEST(SystemConfig, ReusePresetSelectsKindAndSizes)
+{
+    const SystemConfig sys = reuseSystem(4.0, 1.0, 0, 1);
+    EXPECT_EQ(sys.llcKind, LlcKind::Reuse);
+    EXPECT_EQ(sys.reuse.tagEquivBytes, 4ull << 20);
+    EXPECT_EQ(sys.reuse.dataBytes, 1ull << 20);
+    EXPECT_EQ(sys.reuse.dataWays, 0u);
+    EXPECT_EQ(sys.reuse.dataRepl, ReplKind::Clock);
+    EXPECT_EQ(sys.reuse.tagRepl, ReplKind::NRR);
+    EXPECT_EQ(sys.reuse.numCores, 8u);
+}
+
+TEST(SystemConfig, ReusePresetSetAssociative)
+{
+    const SystemConfig sys = reuseSystem(8.0, 2.0, 16, 1);
+    EXPECT_EQ(sys.reuse.dataWays, 16u);
+    EXPECT_EQ(sys.reuse.dataRepl, ReplKind::NRU);
+}
+
+TEST(SystemConfig, FractionalMbSizes)
+{
+    const SystemConfig sys = reuseSystem(4.0, 0.5, 0, 1);
+    EXPECT_EQ(sys.reuse.dataBytes, 512u * 1024);
+}
+
+TEST(SystemConfig, ConventionalPresetReplacement)
+{
+    const SystemConfig sys = conventionalSystem(16.0, ReplKind::DRRIP, 2);
+    EXPECT_EQ(sys.llcKind, LlcKind::Conventional);
+    EXPECT_EQ(sys.conv.capacityBytes, 8ull << 20);
+    EXPECT_EQ(sys.conv.repl, ReplKind::DRRIP);
+}
+
+TEST(SystemConfig, NcidPreset)
+{
+    const SystemConfig sys = ncidSystem(8.0, 1.0, 1);
+    EXPECT_EQ(sys.llcKind, LlcKind::Ncid);
+    EXPECT_EQ(sys.ncid.tagEquivBytes, 8ull << 20);
+    EXPECT_EQ(sys.ncid.dataBytes, 1ull << 20);
+}
+
+TEST(SystemConfig, ZeroScaleRejected)
+{
+    EXPECT_DEATH(baselineSystem(0), "scale");
+}
+
+} // namespace
+} // namespace rc

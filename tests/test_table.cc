@@ -1,0 +1,80 @@
+/** @file Unit tests for the ASCII table renderer and formatters. */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/table.hh"
+
+namespace rc
+{
+namespace
+{
+
+TEST(Table, RendersHeaderAndRows)
+{
+    Table t("My Table");
+    t.header({"name", "value"});
+    t.row({"alpha", "1"});
+    t.row({"b", "22"});
+    std::ostringstream os;
+    t.print(os);
+    const std::string out = os.str();
+    EXPECT_NE(out.find("My Table"), std::string::npos);
+    EXPECT_NE(out.find("| name "), std::string::npos);
+    EXPECT_NE(out.find("| alpha | 1 "), std::string::npos);
+    EXPECT_EQ(t.rows(), 2u);
+}
+
+TEST(Table, MismatchedRowPanics)
+{
+    Table t("t");
+    t.header({"a", "b"});
+    EXPECT_DEATH(t.row({"only-one"}), "row width");
+}
+
+TEST(Table, ColumnsAligned)
+{
+    Table t("t");
+    t.header({"x", "y"});
+    t.row({"longvalue", "1"});
+    std::ostringstream os;
+    t.print(os);
+    // Both data and header cells are padded to the same width, so every
+    // line has equal length.
+    std::istringstream in(os.str());
+    std::string line;
+    std::size_t width = 0;
+    while (std::getline(in, line)) {
+        if (line.empty() || line[0] != '|')
+            continue;
+        if (width == 0)
+            width = line.size();
+        EXPECT_EQ(line.size(), width);
+    }
+}
+
+TEST(Formatters, FmtDouble)
+{
+    EXPECT_EQ(fmtDouble(1.23456, 2), "1.23");
+    EXPECT_EQ(fmtDouble(1.0, 0), "1");
+    EXPECT_EQ(fmtDouble(-0.5, 1), "-0.5");
+}
+
+TEST(Formatters, FmtPercent)
+{
+    EXPECT_EQ(fmtPercent(0.167, 1), "16.7%");
+    EXPECT_EQ(fmtPercent(1.0, 0), "100%");
+}
+
+TEST(Formatters, FmtInt)
+{
+    EXPECT_EQ(fmtInt(0), "0");
+    EXPECT_EQ(fmtInt(999), "999");
+    EXPECT_EQ(fmtInt(1000), "1,000");
+    EXPECT_EQ(fmtInt(69888), "69,888");
+    EXPECT_EQ(fmtInt(1234567890), "1,234,567,890");
+}
+
+} // namespace
+} // namespace rc

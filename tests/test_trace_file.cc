@@ -1,0 +1,126 @@
+/** @file Unit tests for trace recording and replay. */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "sim/trace_file.hh"
+#include "workloads/generator.hh"
+
+namespace rc
+{
+namespace
+{
+
+std::string
+tempPath(const char *name)
+{
+    return std::string(::testing::TempDir()) + name;
+}
+
+TEST(TraceFile, RoundTrip)
+{
+    const std::string path = tempPath("roundtrip.rct");
+    std::vector<MemRef> refs{
+        {0x123456789a, MemOp::Read, 3, false},
+        {0xdeadbeefc0, MemOp::Write, 0, false},
+        {0x0, MemOp::Read, 0xffffff, false},
+        {0x40, MemOp::Read, 7, true},
+    };
+    {
+        TraceWriter w(path);
+        for (const MemRef &r : refs)
+            w.write(r);
+        EXPECT_EQ(w.count(), refs.size());
+    }
+    TraceReader r(path);
+    EXPECT_EQ(r.size(), refs.size());
+    for (const MemRef &want : refs) {
+        const MemRef got = r.next();
+        EXPECT_EQ(got.addr, want.addr);
+        EXPECT_EQ(got.op, want.op);
+        EXPECT_EQ(got.think, want.think);
+        EXPECT_EQ(got.isInstr, want.isInstr);
+    }
+    std::remove(path.c_str());
+}
+
+TEST(TraceFile, LoopsAtEof)
+{
+    const std::string path = tempPath("loop.rct");
+    {
+        TraceWriter w(path);
+        w.write({0x40, MemOp::Read, 1, false});
+        w.write({0x80, MemOp::Read, 2, false});
+    }
+    TraceReader r(path);
+    EXPECT_EQ(r.next().addr, 0x40u);
+    EXPECT_EQ(r.next().addr, 0x80u);
+    EXPECT_EQ(r.next().addr, 0x40u); // wrapped
+    EXPECT_EQ(r.wraps(), 1u);
+    std::remove(path.c_str());
+}
+
+TEST(TraceFile, RecordHelperCapturesSyntheticStream)
+{
+    const AppProfile *app = findProfile("mcf");
+    ASSERT_NE(app, nullptr);
+    const std::string path = tempPath("mcf.rct");
+    {
+        SyntheticStream src(*app, 0, 42, 8);
+        recordTrace(src, 5000, path);
+    }
+    // Replay must match a fresh instance of the same stream exactly.
+    TraceReader replay(path);
+    SyntheticStream fresh(*app, 0, 42, 8);
+    for (int i = 0; i < 5000; ++i) {
+        const MemRef a = replay.next();
+        const MemRef b = fresh.next();
+        EXPECT_EQ(a.addr, b.addr);
+        EXPECT_EQ(a.op, b.op);
+        EXPECT_EQ(a.think, b.think);
+        EXPECT_EQ(a.isInstr, b.isInstr);
+    }
+    std::remove(path.c_str());
+}
+
+TEST(TraceFile, RejectsGarbage)
+{
+    const std::string path = tempPath("garbage.rct");
+    std::FILE *f = std::fopen(path.c_str(), "wb");
+    std::fputs("this is not a trace", f);
+    std::fclose(f);
+    EXPECT_DEATH(TraceReader r(path), "not a reuse-cache trace");
+    std::remove(path.c_str());
+}
+
+TEST(TraceFile, RejectsEmptyTrace)
+{
+    const std::string path = tempPath("empty.rct");
+    {
+        TraceWriter w(path);
+    }
+    EXPECT_DEATH(TraceReader r(path), "no records");
+    std::remove(path.c_str());
+}
+
+TEST(TraceFile, MissingFileFatal)
+{
+    EXPECT_DEATH(TraceReader r("/nonexistent/dir/nope.rct"),
+                 "cannot open");
+}
+
+TEST(TraceFile, LabelIsPath)
+{
+    const std::string path = tempPath("label.rct");
+    {
+        TraceWriter w(path);
+        w.write({0x40, MemOp::Read, 1, false});
+    }
+    TraceReader r(path);
+    EXPECT_EQ(std::string(r.label()), path);
+    std::remove(path.c_str());
+}
+
+} // namespace
+} // namespace rc
