@@ -28,10 +28,9 @@ main(int argc, char **argv)
 
     const auto mixes = makeMixes(opt.mixCount, 8, 7);
 
-    // Baseline per-core IPCs per mix.
-    std::vector<bench::RunResult> base;
-    for (const Mix &mix : mixes)
-        base.push_back(bench::runMix(baselineSystem(opt.scale), mix, opt));
+    // Baseline per-core IPCs per mix (runs concurrently under --jobs).
+    const auto base =
+        bench::runBaselineOverMixes(baselineSystem(opt.scale), mixes, opt);
     std::cout << "  baseline done\n" << std::flush;
 
     struct Cfg { const char *name; double tag, data; };
@@ -39,11 +38,18 @@ main(int argc, char **argv)
                         {"RC-8/1", 8, 1}};
 
     for (const Cfg &cfg : cfgs) {
-        std::map<std::string, std::vector<double>> per_app;
-        for (std::size_t i = 0; i < mixes.size(); ++i) {
-            const auto res = bench::runMix(
+        // Per-mix runs fan out over the pool into pre-sized slots; the
+        // per-application aggregation below stays sequential so the
+        // sample order (and the quartiles) match the serial path.
+        std::vector<bench::RunResult> results(mixes.size());
+        bench::forEachRun(mixes.size(), opt, [&](std::size_t i) {
+            results[i] = bench::runMix(
                 reuseSystem(cfg.tag, cfg.data, 0, opt.scale), mixes[i],
                 opt);
+        });
+        std::map<std::string, std::vector<double>> per_app;
+        for (std::size_t i = 0; i < mixes.size(); ++i) {
+            const auto &res = results[i];
             for (std::size_t c = 0; c < res.coreIpc.size(); ++c) {
                 if (base[i].coreIpc[c] > 0.0) {
                     per_app[mixes[i].apps[c]].push_back(

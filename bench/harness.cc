@@ -1,18 +1,118 @@
 #include "harness.hh"
 
+#include <algorithm>
+#include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <mutex>
 
 #include "common/log.hh"
+#include "common/task_pool.hh"
 #include "reuse/reuse_cache.hh"
 
 namespace rc::bench
 {
 
+namespace
+{
+
+/**
+ * Aggregate throughput of every forEachRun batch in this process, for
+ * the BENCH_harness.json record written at exit.  cpuSeconds sums the
+ * individual run durations (the serial-equivalent time); wallSeconds
+ * sums the batch wall clocks, so cpu/wall is the realized speedup.
+ */
+struct PerfTotals
+{
+    std::mutex mu;
+    std::string bench = "harness";
+    std::uint64_t sims = 0;
+    double cpuSeconds = 0.0;
+    double wallSeconds = 0.0;
+    std::uint32_t jobs = 1;
+};
+
+PerfTotals &
+perfTotals()
+{
+    static PerfTotals t;
+    return t;
+}
+
+void
+writePerfRecord()
+{
+    PerfTotals &t = perfTotals();
+    std::lock_guard<std::mutex> lock(t.mu);
+    if (t.sims == 0)
+        return;
+    std::FILE *f = std::fopen("BENCH_harness.json", "w");
+    if (!f) {
+        warn("cannot write BENCH_harness.json");
+        return;
+    }
+    const double serial =
+        t.cpuSeconds > 0.0 ? static_cast<double>(t.sims) / t.cpuSeconds
+                           : 0.0;
+    const double parallel =
+        t.wallSeconds > 0.0 ? static_cast<double>(t.sims) / t.wallSeconds
+                            : 0.0;
+    const double speedup =
+        t.wallSeconds > 0.0 ? t.cpuSeconds / t.wallSeconds : 0.0;
+    std::fprintf(f,
+                 "{\n"
+                 "  \"bench\": \"%s\",\n"
+                 "  \"jobs\": %u,\n"
+                 "  \"sims\": %llu,\n"
+                 "  \"cpu_seconds\": %.3f,\n"
+                 "  \"wall_seconds\": %.3f,\n"
+                 "  \"serial_sims_per_sec\": %.4f,\n"
+                 "  \"parallel_sims_per_sec\": %.4f,\n"
+                 "  \"speedup\": %.3f\n"
+                 "}\n",
+                 t.bench.c_str(), t.jobs,
+                 static_cast<unsigned long long>(t.sims), t.cpuSeconds,
+                 t.wallSeconds, serial, parallel, speedup);
+    std::fclose(f);
+}
+
+void
+registerPerfRecord()
+{
+    static std::once_flag once;
+    std::call_once(once, [] { std::atexit(writePerfRecord); });
+}
+
+} // namespace
+
+const char *
+usageString()
+{
+    return "usage: <bench> [flags]\n"
+           "  --mixes=N    multiprogrammed workloads per experiment "
+           "(default 5)\n"
+           "  --scale=N    capacity divisor, 1 = paper-size caches "
+           "(default 8)\n"
+           "  --warmup=N   warmup cycles (default 3000000)\n"
+           "  --measure=N  measured cycles (default 12000000)\n"
+           "  --seed=N     base RNG seed (default 42)\n"
+           "  --jobs=N     concurrent simulations (default: hardware "
+           "threads; 1 = serial)\n"
+           "  --full       paper-strength settings (100 mixes, longer "
+           "windows)\n"
+           "  --help       print this text and exit\n";
+}
+
 RunOptions
 parseArgs(int argc, char **argv)
 {
+    if (argc > 0 && argv[0]) {
+        const char *base = std::strrchr(argv[0], '/');
+        std::lock_guard<std::mutex> lock(perfTotals().mu);
+        perfTotals().bench = base ? base + 1 : argv[0];
+    }
     RunOptions opt;
     for (int i = 1; i < argc; ++i) {
         const char *arg = argv[i];
@@ -30,21 +130,81 @@ parseArgs(int argc, char **argv)
             opt.measure = static_cast<Cycle>(std::atoll(v));
         } else if (const char *v = value("--seed=")) {
             opt.seed = static_cast<std::uint64_t>(std::atoll(v));
+        } else if (const char *v = value("--jobs=")) {
+            const int jobs = std::atoi(v);
+            if (jobs < 1)
+                fatal("--jobs must be >= 1 (got '%s'); use --jobs=1 for "
+                      "the serial path", v);
+            opt.jobs = static_cast<std::uint32_t>(jobs);
         } else if (std::strcmp(arg, "--full") == 0) {
             opt.mixCount = 100;
             opt.warmup = 5'000'000;
             opt.measure = 20'000'000;
         } else if (std::strcmp(arg, "--help") == 0) {
-            std::printf("flags: --mixes=N --scale=N --warmup=N "
-                        "--measure=N --seed=N --full\n");
+            std::printf("%s", usageString());
             std::exit(0);
         } else {
-            fatal("unknown flag '%s' (try --help)", arg);
+            std::fprintf(stderr, "%s", usageString());
+            fatal("unknown flag '%s'", arg);
         }
     }
     if (opt.mixCount == 0 || opt.scale == 0 || opt.measure == 0)
         fatal("mixes, scale and measure must be positive");
     return opt;
+}
+
+std::uint32_t
+effectiveJobs(const RunOptions &opt)
+{
+    return opt.jobs ? opt.jobs
+                    : static_cast<std::uint32_t>(
+                          TaskPool::defaultConcurrency());
+}
+
+void
+forEachRun(std::size_t n, const RunOptions &opt,
+           const std::function<void(std::size_t)> &body)
+{
+    if (n == 0)
+        return;
+    registerPerfRecord();
+    const std::uint32_t jobs = effectiveJobs(opt);
+
+    using clock = std::chrono::steady_clock;
+    std::atomic<std::uint64_t> runNanos{0};
+    auto timed = [&](std::size_t i) {
+        const auto t0 = clock::now();
+        body(i);
+        runNanos.fetch_add(
+            static_cast<std::uint64_t>(
+                std::chrono::duration_cast<std::chrono::nanoseconds>(
+                    clock::now() - t0).count()),
+            std::memory_order_relaxed);
+    };
+
+    const auto wall0 = clock::now();
+    if (jobs <= 1 || n == 1) {
+        for (std::size_t i = 0; i < n; ++i)
+            timed(i);
+    } else {
+        TaskPool pool(std::min<std::size_t>(jobs, n));
+        pool.parallelFor(0, n, timed);
+    }
+    const double wall =
+        std::chrono::duration<double>(clock::now() - wall0).count();
+
+    PerfTotals &t = perfTotals();
+    std::lock_guard<std::mutex> lock(t.mu);
+    t.sims += n;
+    t.cpuSeconds += static_cast<double>(runNanos.load()) * 1e-9;
+    t.wallSeconds += wall;
+    t.jobs = jobs;
+}
+
+double
+speedupRatio(double sys_ipc, double baseline_ipc)
+{
+    return baseline_ipc > 0.0 ? sys_ipc / baseline_ipc : 0.0;
 }
 
 namespace
@@ -60,9 +220,9 @@ collect(Cmp &cmp)
         res.mpki.push_back(cmp.measuredMpki(c));
     }
     const StatSet &llc = cmp.llc().stats();
-    res.llcAccesses = llc.lookup("accesses");
-    if (llc.has("tagMisses"))
-        res.llcMemFetches = llc.lookup("tagMisses");
+    res.llcAccesses = llc.ref("accesses");
+    if (const Counter *tagMisses = llc.tryRef("tagMisses"))
+        res.llcMemFetches = *tagMisses;
     if (const auto *reuse = dynamic_cast<const ReuseCache *>(&cmp.llc()))
         res.fracNeverEnteredData = reuse->fractionNeverEnteredData();
     res.dramReads = cmp.memory().totalReads();
@@ -116,10 +276,10 @@ std::vector<RunResult>
 runBaselineOverMixes(const SystemConfig &baseline,
                      const std::vector<Mix> &mixes, const RunOptions &opt)
 {
-    std::vector<RunResult> results;
-    results.reserve(mixes.size());
-    for (const Mix &mix : mixes)
-        results.push_back(runMix(baseline, mix, opt));
+    std::vector<RunResult> results(mixes.size());
+    forEachRun(mixes.size(), opt, [&](std::size_t i) {
+        results[i] = runMix(baseline, mixes[i], opt);
+    });
     return results;
 }
 
@@ -131,21 +291,24 @@ compareAgainst(const SystemConfig &sys, const std::vector<Mix> &mixes,
     RC_ASSERT(mixes.size() == baseline.size(),
               "baseline results do not match the mix list");
     SpeedupSummary s;
-    s.perMix.reserve(mixes.size());
-    for (std::size_t i = 0; i < mixes.size(); ++i) {
+    s.perMix.assign(mixes.size(), 0.0);
+    forEachRun(mixes.size(), opt, [&](std::size_t i) {
         const RunResult r = runMix(sys, mixes[i], opt);
-        const double ratio = baseline[i].aggregateIpc > 0.0
-            ? r.aggregateIpc / baseline[i].aggregateIpc
-            : 0.0;
-        s.perMix.push_back(ratio);
-    }
+        s.perMix[i] = speedupRatio(r.aggregateIpc,
+                                   baseline[i].aggregateIpc);
+    });
+    // One pass over the filled vector: seed min/max from the first
+    // element instead of pre-initializing them ahead of the loop.
     double sum = 0.0;
-    s.min = s.perMix.empty() ? 0.0 : s.perMix.front();
-    s.max = s.min;
-    for (double v : s.perMix) {
+    for (std::size_t i = 0; i < s.perMix.size(); ++i) {
+        const double v = s.perMix[i];
         sum += v;
-        s.min = std::min(s.min, v);
-        s.max = std::max(s.max, v);
+        if (i == 0) {
+            s.min = s.max = v;
+        } else {
+            s.min = std::min(s.min, v);
+            s.max = std::max(s.max, v);
+        }
     }
     s.mean = s.perMix.empty() ? 0.0
                               : sum / static_cast<double>(s.perMix.size());
@@ -167,11 +330,12 @@ printHeader(const std::string &artifact, const std::string &claim,
     std::printf("== %s ==\n", artifact.c_str());
     std::printf("paper: %s\n", claim.c_str());
     std::printf("settings: %u mixes, scale 1/%u, warmup %llu, "
-                "measure %llu cycles, seed %llu\n",
+                "measure %llu cycles, seed %llu, %u jobs\n",
                 opt.mixCount, opt.scale,
                 static_cast<unsigned long long>(opt.warmup),
                 static_cast<unsigned long long>(opt.measure),
-                static_cast<unsigned long long>(opt.seed));
+                static_cast<unsigned long long>(opt.seed),
+                effectiveJobs(opt));
     std::fflush(stdout);
 }
 

@@ -10,12 +10,22 @@
  *   --measure=N   measured cycles (default 12M; the data arrays need
  *                 several fill times to reach steady state)
  *   --seed=N      base RNG seed (default 42)
+ *   --jobs=N      concurrent simulations (default: hardware threads;
+ *                 1 forces the legacy serial path)
  *   --full        paper-strength settings (100 mixes, longer windows)
+ *
+ * Independent (SystemConfig × Mix) runs execute on a TaskPool; results
+ * land in pre-sized slots keyed by index, so every reported statistic
+ * is bit-identical to the serial path regardless of --jobs.  Each
+ * binary also drops a BENCH_harness.json throughput record (sims/sec
+ * serial-equivalent vs parallel) on exit.
  */
 
 #ifndef RC_BENCH_HARNESS_HH
 #define RC_BENCH_HARNESS_HH
 
+#include <cstddef>
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
@@ -39,10 +49,37 @@ struct RunOptions
 
     /** Sampling period for liveness series (cycles). */
     Cycle samplePeriod = 20'000;
+
+    /** Concurrent simulations; 0 = hardware concurrency, 1 = serial. */
+    std::uint32_t jobs = 0;
 };
 
-/** Parse the common flags; unknown flags abort with a usage message. */
+/** Parse the common flags; unknown flags abort with the usage string. */
 RunOptions parseArgs(int argc, char **argv);
+
+/** The full usage string printed by --help and on flag errors. */
+const char *usageString();
+
+/** Worker count @p opt resolves to (0 → hardware concurrency). */
+std::uint32_t effectiveJobs(const RunOptions &opt);
+
+/**
+ * Run body(0) .. body(n-1) — one independent simulation each — on
+ * opt.jobs pool workers (inline and in order when that resolves to 1).
+ * Bodies must write their results into pre-sized slots keyed by index
+ * and must not touch shared mutable state; aggregation stays with the
+ * caller, after this returns, so output is identical for any job count.
+ * Batch wall/cpu time is accumulated into the BENCH_harness.json
+ * throughput record written at process exit.
+ */
+void forEachRun(std::size_t n, const RunOptions &opt,
+                const std::function<void(std::size_t)> &body);
+
+/**
+ * IPC ratio @p sys_ipc / @p baseline_ipc with the zero-baseline guard
+ * in one place (0.0 when the baseline measured no instructions).
+ */
+double speedupRatio(double sys_ipc, double baseline_ipc);
 
 /** Results of one simulation run. */
 struct RunResult

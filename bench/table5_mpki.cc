@@ -56,12 +56,21 @@ main(int argc, char **argv)
     t.header({"application", "L1", "L1 paper", "L2", "L2 paper", "LLC",
               "LLC paper"});
 
-    for (const PaperRow &row : paperRows) {
+    // One homogeneous run per application, fanned out over the pool;
+    // rows are emitted afterwards in table order so output is identical
+    // for any --jobs value.
+    constexpr std::size_t numRows = std::size(paperRows);
+    std::vector<bench::RunResult> results(numRows);
+    bench::forEachRun(numRows, opt, [&](std::size_t i) {
         Mix mix;
-        for (int i = 0; i < 8; ++i)
-            mix.apps.push_back(row.name);
-        const auto res =
-            bench::runMix(baselineSystem(opt.scale), mix, opt);
+        for (int c = 0; c < 8; ++c)
+            mix.apps.push_back(paperRows[i].name);
+        results[i] = bench::runMix(baselineSystem(opt.scale), mix, opt);
+    });
+
+    for (std::size_t i = 0; i < numRows; ++i) {
+        const PaperRow &row = paperRows[i];
+        const auto &res = results[i];
         double l1 = 0, l2 = 0, llc = 0;
         for (const MpkiTriple &m : res.mpki) {
             l1 += m.l1;
@@ -72,8 +81,9 @@ main(int argc, char **argv)
         t.row({row.name, fmtDouble(l1 / n, 1), fmtDouble(row.l1, 1),
                fmtDouble(l2 / n, 1), fmtDouble(row.l2, 1),
                fmtDouble(llc / n, 1), fmtDouble(row.llc, 1)});
-        std::cout << "  " << row.name << " done\n" << std::flush;
     }
+    std::cout << "  " << numRows << " applications simulated\n"
+              << std::flush;
     t.print(std::cout);
     return 0;
 }

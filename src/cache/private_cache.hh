@@ -170,6 +170,15 @@ class PrivateHierarchy
     /** Counters (l1d/l1i/l2 hits and misses). */
     const StatSet &stats() const { return statSet; }
 
+    /**
+     * Demand L1 misses (I + D) without a string lookup; the per-run
+     * measurement path reads this once per core per snapshot.
+     */
+    Counter l1MissTotal() const { return l1iMisses + l1dMisses; }
+
+    /** Demand L2 misses without a string lookup. */
+    Counter l2MissTotal() const { return l2Misses; }
+
     /** Config in force. */
     const PrivateConfig &config() const { return cfg; }
 

@@ -1,8 +1,12 @@
 #include "common/log.hh"
 
+#include <atomic>
 #include <cstdarg>
 #include <cstdio>
 #include <cstdlib>
+#include <mutex>
+
+#include "common/task_pool.hh"
 
 namespace rc
 {
@@ -10,11 +14,23 @@ namespace rc
 namespace
 {
 
-bool quietFlag = false;
+std::atomic<bool> quietFlag{false};
+
+thread_local std::string threadTag;
+
+std::mutex &
+sinkMutex()
+{
+    static std::mutex m;
+    return m;
+}
 
 void
 vreport(const char *tag, const char *fmt, std::va_list ap)
 {
+    std::lock_guard<std::mutex> lock(sinkMutex());
+    if (!threadTag.empty())
+        std::fprintf(stderr, "[%s] ", threadTag.c_str());
     std::fprintf(stderr, "%s: ", tag);
     std::vfprintf(stderr, fmt, ap);
     std::fprintf(stderr, "\n");
@@ -29,6 +45,8 @@ panic(const char *fmt, ...)
     va_start(ap, fmt);
     vreport("panic", fmt, ap);
     va_end(ap);
+    std::fflush(stdout);
+    std::fflush(stderr);
     std::abort();
 }
 
@@ -39,13 +57,20 @@ fatal(const char *fmt, ...)
     va_start(ap, fmt);
     vreport("fatal", fmt, ap);
     va_end(ap);
+    std::fflush(stdout);
+    std::fflush(stderr);
+    // exit() from a pool worker would run atexit handlers and static
+    // destructors underneath threads that are still simulating; _Exit
+    // keeps the abort clean.  The main thread keeps the normal exit.
+    if (TaskPool::workerId() >= 0)
+        std::_Exit(1);
     std::exit(1);
 }
 
 void
 warn(const char *fmt, ...)
 {
-    if (quietFlag)
+    if (quietFlag.load(std::memory_order_relaxed))
         return;
     std::va_list ap;
     va_start(ap, fmt);
@@ -56,7 +81,7 @@ warn(const char *fmt, ...)
 void
 inform(const char *fmt, ...)
 {
-    if (quietFlag)
+    if (quietFlag.load(std::memory_order_relaxed))
         return;
     std::va_list ap;
     va_start(ap, fmt);
@@ -67,13 +92,19 @@ inform(const char *fmt, ...)
 void
 setQuiet(bool quiet)
 {
-    quietFlag = quiet;
+    quietFlag.store(quiet, std::memory_order_relaxed);
 }
 
 bool
 quiet()
 {
-    return quietFlag;
+    return quietFlag.load(std::memory_order_relaxed);
+}
+
+void
+setThreadLogTag(const std::string &tag)
+{
+    threadTag = tag;
 }
 
 } // namespace rc

@@ -38,6 +38,14 @@ void setQuiet(bool quiet);
 bool quiet();
 
 /**
+ * Tag every log line emitted by the calling thread with "[tag]"
+ * (TaskPool workers use "w<id>").  The sink itself is mutex-guarded,
+ * so concurrent reports from different workers never interleave.
+ * An empty tag restores untagged output.
+ */
+void setThreadLogTag(const std::string &tag);
+
+/**
  * Assert-like check that stays enabled in release builds.
  * Prefer this over <cassert> for simulator invariants.
  */

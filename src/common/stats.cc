@@ -24,11 +24,25 @@ StatSet::add(const std::string &name, const std::string &desc)
 Counter
 StatSet::lookup(const std::string &name) const
 {
+    return ref(name);
+}
+
+const Counter &
+StatSet::ref(const std::string &name) const
+{
+    if (const Counter *c = tryRef(name))
+        return *c;
+    panic("unknown stat '%s' in set '%s'", name.c_str(), setName.c_str());
+}
+
+const Counter *
+StatSet::tryRef(const std::string &name) const
+{
     for (const auto &e : stats) {
         if (e.name == name)
-            return e.value;
+            return &e.value;
     }
-    panic("unknown stat '%s' in set '%s'", name.c_str(), setName.c_str());
+    return nullptr;
 }
 
 bool

@@ -56,6 +56,16 @@ class StatSet
     /** Look a counter up by name; panics if absent. */
     Counter lookup(const std::string &name) const;
 
+    /**
+     * Stable reference to a counter; panics if absent.  Harnesses that
+     * read the same counter once per measurement cache this instead of
+     * paying a string lookup per read.
+     */
+    const Counter &ref(const std::string &name) const;
+
+    /** Stable pointer to a counter, or nullptr when absent. */
+    const Counter *tryRef(const std::string &name) const;
+
     /** @return true iff a counter with @p name exists. */
     bool has(const std::string &name) const;
 

@@ -1,0 +1,118 @@
+#include "common/task_pool.hh"
+
+#include <atomic>
+#include <string>
+
+#include "common/log.hh"
+
+namespace rc
+{
+
+namespace
+{
+
+thread_local int tlsWorkerId = -1;
+
+} // namespace
+
+TaskPool::TaskPool(std::size_t workers)
+{
+    if (workers < 2)
+        return;
+    threads.reserve(workers);
+    for (std::size_t i = 0; i < workers; ++i)
+        threads.emplace_back([this, i] { workerMain(i); });
+}
+
+TaskPool::~TaskPool()
+{
+    {
+        std::lock_guard<std::mutex> lock(mu);
+        stopping = true;
+    }
+    cv.notify_all();
+    for (std::thread &t : threads)
+        t.join();
+}
+
+std::size_t
+TaskPool::defaultConcurrency()
+{
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw ? hw : 1;
+}
+
+int
+TaskPool::workerId()
+{
+    return tlsWorkerId;
+}
+
+void
+TaskPool::workerMain(std::size_t id)
+{
+    tlsWorkerId = static_cast<int>(id);
+    setThreadLogTag("w" + std::to_string(id));
+    for (;;) {
+        std::function<void()> job;
+        {
+            std::unique_lock<std::mutex> lock(mu);
+            cv.wait(lock, [this] { return stopping || !queue.empty(); });
+            if (queue.empty())
+                return; // stopping and drained
+            job = std::move(queue.front());
+            queue.pop_front();
+        }
+        job();
+    }
+}
+
+void
+TaskPool::parallelFor(std::size_t begin, std::size_t end,
+                      const std::function<void(std::size_t)> &body)
+{
+    if (end <= begin)
+        return;
+    const std::size_t n = end - begin;
+    if (threads.empty() || n == 1 || workerId() >= 0) {
+        for (std::size_t i = begin; i < end; ++i)
+            body(i);
+        return;
+    }
+
+    std::atomic<std::size_t> next{begin};
+    std::atomic<bool> failed{false};
+    std::mutex errMu;
+    std::exception_ptr firstError;
+
+    const std::size_t drivers = std::min(threads.size(), n);
+    std::vector<std::future<void>> futures;
+    futures.reserve(drivers);
+    for (std::size_t d = 0; d < drivers; ++d) {
+        futures.push_back(submit([&] {
+            for (;;) {
+                if (failed.load(std::memory_order_acquire))
+                    return;
+                const std::size_t i =
+                    next.fetch_add(1, std::memory_order_relaxed);
+                if (i >= end)
+                    return;
+                try {
+                    body(i);
+                } catch (...) {
+                    std::lock_guard<std::mutex> lock(errMu);
+                    if (!firstError)
+                        firstError = std::current_exception();
+                    failed.store(true, std::memory_order_release);
+                    return;
+                }
+            }
+        }));
+    }
+    for (auto &f : futures)
+        f.get();
+    if (firstError)
+        std::rethrow_exception(firstError);
+}
+
+} // namespace rc

@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Fixed-size worker pool for running independent simulations in
+ * parallel.
+ *
+ * The experiment harness sweeps (SystemConfig × Mix) grids whose runs
+ * share nothing, so a plain pool with a futures-based submit() and a
+ * dynamically scheduled parallelFor() over an index range is all the
+ * scheduling the benches need.  Determinism contract: callers write
+ * results into pre-sized slots keyed by index, so the aggregation order
+ * (and therefore every reported statistic) is independent of the
+ * execution interleaving.
+ *
+ * A pool constructed with fewer than two workers spawns no threads and
+ * runs everything inline on the calling thread, in index order — the
+ * legacy serial path (`--jobs=1`) goes through the exact same code the
+ * parallel one does.
+ */
+
+#ifndef RC_COMMON_TASK_POOL_HH
+#define RC_COMMON_TASK_POOL_HH
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <vector>
+
+namespace rc
+{
+
+/** Fixed-size worker pool; see the file comment for the contract. */
+class TaskPool
+{
+  public:
+    /**
+     * @param workers worker threads to spawn; values below 2 create an
+     *        inline (serial) pool that runs tasks on the caller.
+     */
+    explicit TaskPool(std::size_t workers);
+
+    /** Drains the queue and joins every worker. */
+    ~TaskPool();
+
+    TaskPool(const TaskPool &) = delete;
+    TaskPool &operator=(const TaskPool &) = delete;
+
+    /** Worker threads actually spawned (0 for an inline pool). */
+    std::size_t size() const { return threads.size(); }
+
+    /**
+     * Sensible default worker count: the hardware thread count, at
+     * least 1 (hardware_concurrency() may legally return 0).
+     */
+    static std::size_t defaultConcurrency();
+
+    /**
+     * Id of the pool worker running the calling thread, or -1 when
+     * called from outside any pool (log sinks use this for tagging).
+     */
+    static int workerId();
+
+    /**
+     * Enqueue @p fn and return a future for its result.  Exceptions
+     * thrown by @p fn surface from future::get().  Called from a worker
+     * thread (nested use) or on an inline pool, @p fn runs immediately
+     * on the caller — nesting must not deadlock on a bounded pool.
+     */
+    template <typename F>
+    auto
+    submit(F &&fn) -> std::future<std::invoke_result_t<std::decay_t<F>>>
+    {
+        using R = std::invoke_result_t<std::decay_t<F>>;
+        auto task = std::make_shared<std::packaged_task<R()>>(
+            std::forward<F>(fn));
+        std::future<R> fut = task->get_future();
+        if (threads.empty() || workerId() >= 0) {
+            (*task)();
+            return fut;
+        }
+        {
+            std::lock_guard<std::mutex> lock(mu);
+            queue.emplace_back([task] { (*task)(); });
+        }
+        cv.notify_one();
+        return fut;
+    }
+
+    /**
+     * Run body(i) for every i in [begin, end), dynamically scheduled
+     * across the workers; returns when all indices completed.  The
+     * first exception thrown by any body is rethrown on the caller
+     * after the remaining workers stop claiming new indices.  On an
+     * inline pool (or when nested inside a worker) the range runs
+     * serially in index order.
+     */
+    void parallelFor(std::size_t begin, std::size_t end,
+                     const std::function<void(std::size_t)> &body);
+
+  private:
+    void workerMain(std::size_t id);
+
+    std::vector<std::thread> threads;
+    std::deque<std::function<void()>> queue;
+    std::mutex mu;
+    std::condition_variable cv;
+    bool stopping = false;
+};
+
+} // namespace rc
+
+#endif // RC_COMMON_TASK_POOL_HH

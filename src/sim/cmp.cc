@@ -22,13 +22,6 @@ makeLlc(const SystemConfig &cfg, MemCtrl &mem)
     panic("unknown LLC kind");
 }
 
-Counter
-privL1Misses(const Core &core)
-{
-    return core.priv().stats().lookup("l1iMisses") +
-           core.priv().stats().lookup("l1dMisses");
-}
-
 } // namespace
 
 Cmp::Cmp(const SystemConfig &cfg_,
@@ -157,8 +150,8 @@ Cmp::beginMeasurement()
     snapCycle = horizon;
     for (CoreId i = 0; i < cores.size(); ++i) {
         snapInstr[i] = cores[i]->instructions();
-        snapL1Miss[i] = privL1Misses(*cores[i]);
-        snapL2Miss[i] = cores[i]->priv().stats().lookup("l2Misses");
+        snapL1Miss[i] = cores[i]->priv().l1MissTotal();
+        snapL2Miss[i] = cores[i]->priv().l2MissTotal();
         snapLlcMiss[i] = llcPtr->missesBy(i);
     }
 }
@@ -172,6 +165,9 @@ Cmp::measuredInstructions(CoreId core) const
 double
 Cmp::ipc(CoreId core) const
 {
+    // The zero-measurement-window guard lives here (and only here):
+    // aggregateIpc() and every harness consumer funnel through ipc(),
+    // so callers never need their own window check.
     const Cycle c = measuredCycles();
     return c ? static_cast<double>(measuredInstructions(core)) /
                    static_cast<double>(c)
@@ -195,10 +191,10 @@ Cmp::measuredMpki(CoreId core) const
         static_cast<double>(measuredInstructions(core)) / 1000.0;
     if (ki <= 0.0)
         return t;
-    t.l1 = static_cast<double>(privL1Misses(*cores[core]) -
+    t.l1 = static_cast<double>(cores[core]->priv().l1MissTotal() -
                                snapL1Miss[core]) / ki;
-    t.l2 = static_cast<double>(cores[core]->priv().stats().lookup(
-                                   "l2Misses") - snapL2Miss[core]) / ki;
+    t.l2 = static_cast<double>(cores[core]->priv().l2MissTotal() -
+                               snapL2Miss[core]) / ki;
     t.llc = static_cast<double>(llcPtr->missesBy(core) -
                                 snapLlcMiss[core]) / ki;
     return t;

@@ -1,0 +1,167 @@
+/**
+ * @file
+ * Determinism and flag-validation tests for the parallel bench harness:
+ * the same seed must produce bit-identical RunResults whether the
+ * (SystemConfig × Mix) batch runs serially (--jobs=1) or on a pool
+ * (--jobs=4), and --jobs=0 must be rejected.
+ */
+
+#include <cstring>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "harness.hh"
+#include "sim/system_config.hh"
+
+namespace rc
+{
+namespace
+{
+
+/** Short windows keep the smoke runs fast; still long enough that the
+ *  caches see real traffic. */
+bench::RunOptions
+smokeOptions(std::uint32_t jobs)
+{
+    bench::RunOptions opt;
+    opt.mixCount = 2;
+    opt.scale = 8;
+    opt.warmup = 20'000;
+    opt.measure = 100'000;
+    opt.seed = 42;
+    opt.jobs = jobs;
+    return opt;
+}
+
+void
+expectIdentical(const bench::RunResult &a, const bench::RunResult &b)
+{
+    EXPECT_EQ(a.aggregateIpc, b.aggregateIpc);
+    ASSERT_EQ(a.coreIpc.size(), b.coreIpc.size());
+    for (std::size_t c = 0; c < a.coreIpc.size(); ++c)
+        EXPECT_EQ(a.coreIpc[c], b.coreIpc[c]) << "core " << c;
+    ASSERT_EQ(a.mpki.size(), b.mpki.size());
+    for (std::size_t c = 0; c < a.mpki.size(); ++c) {
+        EXPECT_EQ(a.mpki[c].l1, b.mpki[c].l1) << "core " << c;
+        EXPECT_EQ(a.mpki[c].l2, b.mpki[c].l2) << "core " << c;
+        EXPECT_EQ(a.mpki[c].llc, b.mpki[c].llc) << "core " << c;
+    }
+    EXPECT_EQ(a.fracNeverEnteredData, b.fracNeverEnteredData);
+    EXPECT_EQ(a.llcAccesses, b.llcAccesses);
+    EXPECT_EQ(a.llcMemFetches, b.llcMemFetches);
+    EXPECT_EQ(a.dramReads, b.dramReads);
+}
+
+TEST(HarnessParallel, BaselineRunsBitIdenticalAcrossJobCounts)
+{
+    const auto serial = smokeOptions(1);
+    const auto parallel = smokeOptions(4);
+    const auto mixes = makeMixes(serial.mixCount, 8, 7);
+
+    const auto a = bench::runBaselineOverMixes(baselineSystem(serial.scale),
+                                               mixes, serial);
+    const auto b = bench::runBaselineOverMixes(
+        baselineSystem(parallel.scale), mixes, parallel);
+
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i)
+        expectIdentical(a[i], b[i]);
+}
+
+TEST(HarnessParallel, SpeedupSummaryBitIdenticalAcrossJobCounts)
+{
+    const auto serial = smokeOptions(1);
+    const auto parallel = smokeOptions(4);
+    const auto mixes = makeMixes(serial.mixCount, 8, 7);
+    const auto sys = reuseSystem(4.0, 1.0, 0, serial.scale);
+
+    const auto a =
+        bench::compareOverMixes(sys, baselineSystem(serial.scale), mixes,
+                                serial);
+    const auto b =
+        bench::compareOverMixes(sys, baselineSystem(parallel.scale),
+                                mixes, parallel);
+
+    EXPECT_EQ(a.mean, b.mean);
+    EXPECT_EQ(a.min, b.min);
+    EXPECT_EQ(a.max, b.max);
+    ASSERT_EQ(a.perMix.size(), b.perMix.size());
+    for (std::size_t i = 0; i < a.perMix.size(); ++i)
+        EXPECT_EQ(a.perMix[i], b.perMix[i]) << "mix " << i;
+}
+
+TEST(HarnessParallel, SummaryStatsAreOnePassConsistent)
+{
+    const auto opt = smokeOptions(2);
+    const auto mixes = makeMixes(opt.mixCount, 8, 7);
+    const auto s = bench::compareOverMixes(
+        reuseSystem(4.0, 1.0, 0, opt.scale), baselineSystem(opt.scale),
+        mixes, opt);
+    ASSERT_EQ(s.perMix.size(), mixes.size());
+    EXPECT_LE(s.min, s.mean);
+    EXPECT_LE(s.mean, s.max);
+    for (double v : s.perMix) {
+        EXPECT_GE(v, s.min);
+        EXPECT_LE(v, s.max);
+        EXPECT_GT(v, 0.0);
+    }
+}
+
+TEST(HarnessParallel, SpeedupRatioGuardsZeroBaseline)
+{
+    EXPECT_EQ(bench::speedupRatio(1.5, 0.0), 0.0);
+    EXPECT_EQ(bench::speedupRatio(1.5, -1.0), 0.0);
+    EXPECT_DOUBLE_EQ(bench::speedupRatio(3.0, 2.0), 1.5);
+}
+
+TEST(HarnessParallel, EffectiveJobsResolvesAutoAndExplicit)
+{
+    bench::RunOptions opt;
+    opt.jobs = 0;
+    EXPECT_GE(bench::effectiveJobs(opt), 1u);
+    opt.jobs = 3;
+    EXPECT_EQ(bench::effectiveJobs(opt), 3u);
+}
+
+TEST(HarnessParallelDeathTest, RejectsJobsZero)
+{
+    char arg0[] = "bench";
+    char arg1[] = "--jobs=0";
+    char *argv[] = {arg0, arg1, nullptr};
+    EXPECT_EXIT(bench::parseArgs(2, argv),
+                ::testing::ExitedWithCode(1), "--jobs must be >= 1");
+}
+
+TEST(HarnessParallelDeathTest, UnknownFlagPrintsUsage)
+{
+    char arg0[] = "bench";
+    char arg1[] = "--bogus";
+    char *argv[] = {arg0, arg1, nullptr};
+    EXPECT_EXIT(bench::parseArgs(2, argv),
+                ::testing::ExitedWithCode(1), "--jobs=N");
+}
+
+TEST(HarnessParallel, ParseArgsReadsJobsFlag)
+{
+    char arg0[] = "bench";
+    char arg1[] = "--jobs=4";
+    char arg2[] = "--mixes=3";
+    char *argv[] = {arg0, arg1, arg2, nullptr};
+    const auto opt = bench::parseArgs(3, argv);
+    EXPECT_EQ(opt.jobs, 4u);
+    EXPECT_EQ(opt.mixCount, 3u);
+}
+
+TEST(HarnessParallel, UsageStringDocumentsEveryFlag)
+{
+    const char *usage = bench::usageString();
+    for (const char *flag : {"--mixes=", "--scale=", "--warmup=",
+                             "--measure=", "--seed=", "--jobs=",
+                             "--full", "--help"}) {
+        EXPECT_NE(std::strstr(usage, flag), nullptr) << flag;
+    }
+}
+
+} // namespace
+} // namespace rc

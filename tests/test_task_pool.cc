@@ -1,0 +1,140 @@
+/**
+ * @file
+ * TaskPool unit tests: slot ordering under parallelFor, futures-based
+ * submit, exception propagation, pool reuse and worker tagging.
+ */
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/task_pool.hh"
+
+namespace rc
+{
+namespace
+{
+
+TEST(TaskPool, ParallelForFillsEverySlotInOrder)
+{
+    TaskPool pool(4);
+    constexpr std::size_t n = 100;
+    std::vector<std::size_t> out(n, 0);
+    pool.parallelFor(0, n, [&](std::size_t i) { out[i] = i * i; });
+    for (std::size_t i = 0; i < n; ++i)
+        EXPECT_EQ(out[i], i * i);
+}
+
+TEST(TaskPool, ParallelForRespectsBeginOffset)
+{
+    TaskPool pool(3);
+    std::vector<int> touched(10, 0);
+    pool.parallelFor(4, 8, [&](std::size_t i) { touched[i] = 1; });
+    for (std::size_t i = 0; i < touched.size(); ++i)
+        EXPECT_EQ(touched[i], (i >= 4 && i < 8) ? 1 : 0) << i;
+}
+
+TEST(TaskPool, ParallelForEmptyRangeIsNoop)
+{
+    TaskPool pool(2);
+    bool ran = false;
+    pool.parallelFor(5, 5, [&](std::size_t) { ran = true; });
+    EXPECT_FALSE(ran);
+}
+
+TEST(TaskPool, SubmitReturnsFutureValue)
+{
+    TaskPool pool(2);
+    auto f1 = pool.submit([] { return 41 + 1; });
+    auto f2 = pool.submit([] { return std::string("ok"); });
+    EXPECT_EQ(f1.get(), 42);
+    EXPECT_EQ(f2.get(), "ok");
+}
+
+TEST(TaskPool, SubmitPropagatesExceptions)
+{
+    TaskPool pool(2);
+    auto f = pool.submit(
+        []() -> int { throw std::runtime_error("boom"); });
+    EXPECT_THROW(f.get(), std::runtime_error);
+}
+
+TEST(TaskPool, ParallelForPropagatesBodyException)
+{
+    TaskPool pool(4);
+    EXPECT_THROW(pool.parallelFor(0, 64,
+                                  [&](std::size_t i) {
+                                      if (i == 13)
+                                          throw std::runtime_error("13");
+                                  }),
+                 std::runtime_error);
+}
+
+TEST(TaskPool, PoolIsReusableAcrossBatches)
+{
+    TaskPool pool(4);
+    std::vector<int> a(32, 0), b(32, 0);
+    pool.parallelFor(0, a.size(), [&](std::size_t i) { a[i] = 1; });
+    pool.parallelFor(0, b.size(), [&](std::size_t i) { b[i] = 2; });
+    EXPECT_EQ(std::accumulate(a.begin(), a.end(), 0), 32);
+    EXPECT_EQ(std::accumulate(b.begin(), b.end(), 0), 64);
+}
+
+TEST(TaskPool, SurvivesExceptionThenRunsNextBatch)
+{
+    TaskPool pool(2);
+    EXPECT_THROW(pool.parallelFor(0, 8,
+                                  [](std::size_t) {
+                                      throw std::runtime_error("x");
+                                  }),
+                 std::runtime_error);
+    std::atomic<int> count{0};
+    pool.parallelFor(0, 8, [&](std::size_t) { ++count; });
+    EXPECT_EQ(count.load(), 8);
+}
+
+TEST(TaskPool, InlinePoolRunsOnCallerInIndexOrder)
+{
+    TaskPool pool(1);
+    EXPECT_EQ(pool.size(), 0u);
+    std::vector<std::size_t> order;
+    pool.parallelFor(0, 5, [&](std::size_t i) {
+        order.push_back(i);
+        EXPECT_EQ(TaskPool::workerId(), -1);
+    });
+    EXPECT_EQ(order, (std::vector<std::size_t>{0, 1, 2, 3, 4}));
+}
+
+TEST(TaskPool, WorkerIdTaggedInsidePoolAndNotOutside)
+{
+    EXPECT_EQ(TaskPool::workerId(), -1);
+    TaskPool pool(3);
+    std::atomic<int> badIds{0};
+    pool.parallelFor(0, 32, [&](std::size_t) {
+        const int id = TaskPool::workerId();
+        if (id < 0 || id >= 3)
+            ++badIds;
+    });
+    EXPECT_EQ(badIds.load(), 0);
+    EXPECT_EQ(TaskPool::workerId(), -1);
+}
+
+TEST(TaskPool, ManyMoreTasksThanWorkers)
+{
+    TaskPool pool(2);
+    constexpr std::size_t n = 1000;
+    std::vector<std::uint8_t> seen(n, 0);
+    pool.parallelFor(0, n, [&](std::size_t i) { seen[i] = 1; });
+    EXPECT_EQ(std::accumulate(seen.begin(), seen.end(), 0u), n);
+}
+
+TEST(TaskPool, DefaultConcurrencyIsAtLeastOne)
+{
+    EXPECT_GE(TaskPool::defaultConcurrency(), 1u);
+}
+
+} // namespace
+} // namespace rc
