@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -11,6 +12,8 @@
 #include "common/log.hh"
 #include "common/task_pool.hh"
 #include "reuse/reuse_cache.hh"
+#include "verify/fault_injector.hh"
+#include "verify/integrity.hh"
 
 namespace rc::bench
 {
@@ -32,13 +35,100 @@ struct PerfTotals
     double cpuSeconds = 0.0;
     double wallSeconds = 0.0;
     std::uint32_t jobs = 1;
+    std::uint64_t runsOk = 0;
+    std::uint64_t runsRetried = 0;
+    std::uint64_t runsQuarantined = 0;
+    std::vector<RunOutcome> outcomes; //!< per-run records, batch order
 };
+
+/** Batch-local run index of the calling worker (npos outside a run). */
+thread_local std::size_t tlsRunIndex = SIZE_MAX;
+
+/** Attempt number of the calling worker's current run. */
+thread_local std::uint32_t tlsAttempt = 0;
+
+/** Exit nonzero when quarantined runs remain (parseArgs guard). */
+std::atomic<bool> exitOnQuarantineFlag{true};
+
+/** Escape a string for embedding in a JSON literal. */
+std::string
+jsonEscape(const std::string &in)
+{
+    std::string out;
+    out.reserve(in.size());
+    for (char c : in) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\t': out += "\\t"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
 
 PerfTotals &
 perfTotals()
 {
     static PerfTotals t;
     return t;
+}
+
+std::string
+perfRecordJsonLocked(const PerfTotals &t)
+{
+    const double serial =
+        t.cpuSeconds > 0.0 ? static_cast<double>(t.sims) / t.cpuSeconds
+                           : 0.0;
+    const double parallel =
+        t.wallSeconds > 0.0 ? static_cast<double>(t.sims) / t.wallSeconds
+                            : 0.0;
+    const double speedup =
+        t.wallSeconds > 0.0 ? t.cpuSeconds / t.wallSeconds : 0.0;
+    char buf[512];
+    std::snprintf(buf, sizeof(buf),
+                  "{\n"
+                  "  \"bench\": \"%s\",\n"
+                  "  \"jobs\": %u,\n"
+                  "  \"sims\": %llu,\n"
+                  "  \"cpu_seconds\": %.3f,\n"
+                  "  \"wall_seconds\": %.3f,\n"
+                  "  \"serial_sims_per_sec\": %.4f,\n"
+                  "  \"parallel_sims_per_sec\": %.4f,\n"
+                  "  \"speedup\": %.3f,\n"
+                  "  \"runs_ok\": %llu,\n"
+                  "  \"runs_retried\": %llu,\n"
+                  "  \"runs_quarantined\": %llu,\n"
+                  "  \"runs\": [",
+                  t.bench.c_str(), t.jobs,
+                  static_cast<unsigned long long>(t.sims), t.cpuSeconds,
+                  t.wallSeconds, serial, parallel, speedup,
+                  static_cast<unsigned long long>(t.runsOk),
+                  static_cast<unsigned long long>(t.runsRetried),
+                  static_cast<unsigned long long>(t.runsQuarantined));
+    std::string out = buf;
+    for (std::size_t i = 0; i < t.outcomes.size(); ++i) {
+        const RunOutcome &o = t.outcomes[i];
+        std::snprintf(buf, sizeof(buf),
+                      "%s\n    {\"index\": %zu, \"status\": \"%s\", "
+                      "\"attempts\": %u, \"wall_seconds\": %.3f",
+                      i == 0 ? "" : ",", o.index, toString(o.status),
+                      o.attempts, o.wallSeconds);
+        out += buf;
+        if (!o.error.empty())
+            out += ", \"error\": \"" + jsonEscape(o.error) + "\"";
+        out += "}";
+    }
+    out += t.outcomes.empty() ? "]\n}\n" : "\n  ]\n}\n";
+    return out;
 }
 
 void
@@ -53,28 +143,8 @@ writePerfRecord()
         warn("cannot write BENCH_harness.json");
         return;
     }
-    const double serial =
-        t.cpuSeconds > 0.0 ? static_cast<double>(t.sims) / t.cpuSeconds
-                           : 0.0;
-    const double parallel =
-        t.wallSeconds > 0.0 ? static_cast<double>(t.sims) / t.wallSeconds
-                            : 0.0;
-    const double speedup =
-        t.wallSeconds > 0.0 ? t.cpuSeconds / t.wallSeconds : 0.0;
-    std::fprintf(f,
-                 "{\n"
-                 "  \"bench\": \"%s\",\n"
-                 "  \"jobs\": %u,\n"
-                 "  \"sims\": %llu,\n"
-                 "  \"cpu_seconds\": %.3f,\n"
-                 "  \"wall_seconds\": %.3f,\n"
-                 "  \"serial_sims_per_sec\": %.4f,\n"
-                 "  \"parallel_sims_per_sec\": %.4f,\n"
-                 "  \"speedup\": %.3f\n"
-                 "}\n",
-                 t.bench.c_str(), t.jobs,
-                 static_cast<unsigned long long>(t.sims), t.cpuSeconds,
-                 t.wallSeconds, serial, parallel, speedup);
+    const std::string json = perfRecordJsonLocked(t);
+    std::fwrite(json.data(), 1, json.size(), f);
     std::fclose(f);
 }
 
@@ -82,10 +152,92 @@ void
 registerPerfRecord()
 {
     static std::once_flag once;
-    std::call_once(once, [] { std::atexit(writePerfRecord); });
+    std::call_once(once, [] {
+        // Construct the totals BEFORE registering the handler: function
+        // statics are destroyed in reverse construction order, so this
+        // guarantees writePerfRecord runs while they are still alive.
+        perfTotals();
+        std::atexit(writePerfRecord);
+    });
+}
+
+/**
+ * Exit-code guard: a sweep with runs still quarantined must not look
+ * successful to scripts.  Runs after writePerfRecord (atexit is LIFO
+ * and parseArgs registers this guard first), so the JSON is on disk
+ * before _Exit.
+ */
+void
+quarantineExitGuard()
+{
+    if (!exitOnQuarantineFlag.load(std::memory_order_relaxed))
+        return;
+    const std::uint64_t q = quarantinedRunsTotal();
+    if (q == 0)
+        return;
+    std::fprintf(stderr,
+                 "harness: %llu run(s) stayed quarantined; exiting "
+                 "nonzero\n", static_cast<unsigned long long>(q));
+    std::fflush(stderr);
+    std::_Exit(1);
+}
+
+void
+registerQuarantineGuard()
+{
+    static std::once_flag once;
+    std::call_once(once, [] {
+        perfTotals(); // keep alive for the guard (see registerPerfRecord)
+        std::atexit(quarantineExitGuard);
+    });
 }
 
 } // namespace
+
+const char *
+toString(RunStatus status)
+{
+    switch (status) {
+      case RunStatus::Ok: return "ok";
+      case RunStatus::Retried: return "retried";
+      case RunStatus::Quarantined: return "quarantined";
+    }
+    return "unknown";
+}
+
+std::size_t
+currentRunIndex()
+{
+    return tlsRunIndex;
+}
+
+std::uint32_t
+currentAttempt()
+{
+    return tlsAttempt;
+}
+
+std::uint64_t
+quarantinedRunsTotal()
+{
+    PerfTotals &t = perfTotals();
+    std::lock_guard<std::mutex> lock(t.mu);
+    return t.runsQuarantined;
+}
+
+void
+setExitOnQuarantine(bool enable)
+{
+    exitOnQuarantineFlag.store(enable, std::memory_order_relaxed);
+}
+
+std::string
+perfRecordJson()
+{
+    PerfTotals &t = perfTotals();
+    std::lock_guard<std::mutex> lock(t.mu);
+    return perfRecordJsonLocked(t);
+}
 
 const char *
 usageString()
@@ -100,6 +252,12 @@ usageString()
            "  --seed=N     base RNG seed (default 42)\n"
            "  --jobs=N     concurrent simulations (default: hardware "
            "threads; 1 = serial)\n"
+           "  --check-interval=N  walk the integrity checker every N "
+           "references (0 = off)\n"
+           "  --inject=CLASS[@IDX]  poison run IDX (default 0) of each "
+           "batch with one CLASS fault\n"
+           "               (tag-state, dir-drop, dir-ghost, owner, "
+           "orphan-data, mshr-leak, repl-meta)\n"
            "  --full       paper-strength settings (100 mixes, longer "
            "windows)\n"
            "  --help       print this text and exit\n";
@@ -113,6 +271,10 @@ parseArgs(int argc, char **argv)
         std::lock_guard<std::mutex> lock(perfTotals().mu);
         perfTotals().bench = base ? base + 1 : argv[0];
     }
+    // Guard first, JSON writer second: atexit runs LIFO, so the perf
+    // record is on disk before the guard can _Exit nonzero.
+    registerQuarantineGuard();
+    registerPerfRecord();
     RunOptions opt;
     for (int i = 1; i < argc; ++i) {
         const char *arg = argv[i];
@@ -136,6 +298,23 @@ parseArgs(int argc, char **argv)
                 fatal("--jobs must be >= 1 (got '%s'); use --jobs=1 for "
                       "the serial path", v);
             opt.jobs = static_cast<std::uint32_t>(jobs);
+        } else if (const char *v = value("--check-interval=")) {
+            opt.checkInterval = static_cast<std::uint64_t>(std::atoll(v));
+        } else if (const char *v = value("--inject=")) {
+            std::string spec = v;
+            if (const std::size_t at = spec.find('@');
+                at != std::string::npos) {
+                opt.injectRun =
+                    static_cast<std::size_t>(std::atoll(spec.c_str() +
+                                                        at + 1));
+                spec.resize(at);
+            }
+            FaultClass cls = FaultClass::TagStateFlip;
+            if (!faultClassFromName(spec, cls))
+                fatal("unknown fault class '%s'; known classes: "
+                      "tag-state, dir-drop, dir-ghost, owner, "
+                      "orphan-data, mshr-leak, repl-meta", spec.c_str());
+            opt.injectFault = spec;
         } else if (std::strcmp(arg, "--full") == 0) {
             opt.mixCount = 100;
             opt.warmup = 5'000'000;
@@ -161,34 +340,62 @@ effectiveJobs(const RunOptions &opt)
                           TaskPool::defaultConcurrency());
 }
 
-void
+std::vector<RunOutcome>
 forEachRun(std::size_t n, const RunOptions &opt,
            const std::function<void(std::size_t)> &body)
 {
     if (n == 0)
-        return;
+        return {};
     registerPerfRecord();
     const std::uint32_t jobs = effectiveJobs(opt);
 
     using clock = std::chrono::steady_clock;
     std::atomic<std::uint64_t> runNanos{0};
-    auto timed = [&](std::size_t i) {
+    std::vector<RunOutcome> outcomes(n);
+    // Crash isolation: a SimError fails only this run — retry once,
+    // then quarantine.  Anything else still propagates (a logic bug in
+    // the harness must not be silently absorbed).
+    auto guarded = [&](std::size_t i) {
+        RunOutcome &out = outcomes[i];
+        out.index = i;
+        tlsRunIndex = i;
         const auto t0 = clock::now();
-        body(i);
+        for (std::uint32_t attempt = 0;; ++attempt) {
+            tlsAttempt = attempt;
+            out.attempts = attempt + 1;
+            try {
+                body(i);
+                out.status =
+                    attempt == 0 ? RunStatus::Ok : RunStatus::Retried;
+                out.error.clear();
+                break;
+            } catch (const SimError &err) {
+                out.error = err.what();
+                warn("run %zu attempt %u failed: %s%s", i, attempt + 1,
+                     err.what(),
+                     attempt == 0 ? " -- retrying" : " -- quarantined");
+                if (attempt == 1) {
+                    out.status = RunStatus::Quarantined;
+                    break;
+                }
+            }
+        }
+        tlsRunIndex = SIZE_MAX;
+        tlsAttempt = 0;
+        out.wallSeconds =
+            std::chrono::duration<double>(clock::now() - t0).count();
         runNanos.fetch_add(
-            static_cast<std::uint64_t>(
-                std::chrono::duration_cast<std::chrono::nanoseconds>(
-                    clock::now() - t0).count()),
+            static_cast<std::uint64_t>(out.wallSeconds * 1e9),
             std::memory_order_relaxed);
     };
 
     const auto wall0 = clock::now();
     if (jobs <= 1 || n == 1) {
         for (std::size_t i = 0; i < n; ++i)
-            timed(i);
+            guarded(i);
     } else {
         TaskPool pool(std::min<std::size_t>(jobs, n));
-        pool.parallelFor(0, n, timed);
+        pool.parallelFor(0, n, guarded);
     }
     const double wall =
         std::chrono::duration<double>(clock::now() - wall0).count();
@@ -199,6 +406,15 @@ forEachRun(std::size_t n, const RunOptions &opt,
     t.cpuSeconds += static_cast<double>(runNanos.load()) * 1e-9;
     t.wallSeconds += wall;
     t.jobs = jobs;
+    for (const RunOutcome &o : outcomes) {
+        switch (o.status) {
+          case RunStatus::Ok: ++t.runsOk; break;
+          case RunStatus::Retried: ++t.runsRetried; break;
+          case RunStatus::Quarantined: ++t.runsQuarantined; break;
+        }
+        t.outcomes.push_back(o);
+    }
+    return outcomes;
 }
 
 double
@@ -229,6 +445,43 @@ collect(Cmp &cmp)
     return res;
 }
 
+/** Is the calling thread's run the --inject target, this attempt? */
+bool
+isInjectTarget(const RunOptions &opt)
+{
+    return !opt.injectFault.empty() &&
+           currentRunIndex() == opt.injectRun &&
+           (opt.injectOnRetry || currentAttempt() == 0);
+}
+
+/**
+ * Cadence for the integrity checker: the explicit --check-interval, or
+ * a default one on a poisoned run so the injected fault is actually
+ * caught mid-run rather than only at quiesce.
+ */
+std::uint64_t
+checkCadence(const RunOptions &opt)
+{
+    if (opt.checkInterval != 0)
+        return opt.checkInterval;
+    return isInjectTarget(opt) ? 5'000 : 0;
+}
+
+void
+applyInjectedFault(Cmp &cmp, const RunOptions &opt)
+{
+    FaultClass cls = FaultClass::TagStateFlip;
+    if (!faultClassFromName(opt.injectFault, cls))
+        throwSimError(SimError::Kind::Config,
+                      "unknown fault class '%s'",
+                      opt.injectFault.c_str());
+    // Per-run seed: deterministic, but distinct targets across runs.
+    FaultInjector injector(opt.seed + currentRunIndex());
+    const InjectionResult r = injector.inject(cmp, cls);
+    warn("run %zu attempt %u: inject %s: %s", currentRunIndex(),
+         currentAttempt() + 1, toString(cls), r.detail.c_str());
+}
+
 } // namespace
 
 RunResult
@@ -240,7 +493,15 @@ runMix(const SystemConfig &sys, const Mix &mix, const RunOptions &opt,
     Cmp cmp(cfg, buildMixStreams(mix, opt.seed, opt.scale));
     if (tracker)
         cmp.llc().setObserver(tracker);
+    IntegrityChecker checker(cmp);
+    const std::uint64_t cadence = checkCadence(opt);
+    if (cadence != 0)
+        cmp.setCheckHook(cadence, [&checker](const Cmp &, Cycle now) {
+            checker.enforce(now);
+        });
     cmp.run(opt.warmup);
+    if (isInjectTarget(opt))
+        applyInjectedFault(cmp, opt);
     cmp.beginMeasurement();
     if (win_start)
         *win_start = cmp.now();
@@ -255,6 +516,8 @@ runMix(const SystemConfig &sys, const Mix &mix, const RunOptions &opt,
         cmp.run(opt.measure / 2);
         tracker->finalize(cmp.now());
     }
+    if (cadence != 0)
+        checker.enforceQuiesce(cmp.now());
     return res;
 }
 
@@ -266,10 +529,21 @@ runParallel(const SystemConfig &sys, const AppProfile &app,
     cfg.seed = opt.seed;
     Cmp cmp(cfg, buildParallelStreams(app, cfg.numCores, opt.seed,
                                       opt.scale));
+    IntegrityChecker checker(cmp);
+    const std::uint64_t cadence = checkCadence(opt);
+    if (cadence != 0)
+        cmp.setCheckHook(cadence, [&checker](const Cmp &, Cycle now) {
+            checker.enforce(now);
+        });
     cmp.run(opt.warmup);
+    if (isInjectTarget(opt))
+        applyInjectedFault(cmp, opt);
     cmp.beginMeasurement();
     cmp.run(opt.measure);
-    return collect(cmp);
+    const RunResult res = collect(cmp);
+    if (cadence != 0)
+        checker.enforceQuiesce(cmp.now());
+    return res;
 }
 
 std::vector<RunResult>

@@ -12,13 +12,25 @@
  *   --seed=N      base RNG seed (default 42)
  *   --jobs=N      concurrent simulations (default: hardware threads;
  *                 1 forces the legacy serial path)
+ *   --check-interval=N  run the integrity checker every N references
+ *                 and at end-of-run (0 = off, the default)
+ *   --inject=CLASS[@IDX]  poison run IDX (default 0) of each batch with
+ *                 one fault of CLASS (tag-state, dir-drop, dir-ghost,
+ *                 owner, orphan-data, mshr-leak, repl-meta) after
+ *                 warmup — exercises the quarantine path
  *   --full        paper-strength settings (100 mixes, longer windows)
  *
  * Independent (SystemConfig × Mix) runs execute on a TaskPool; results
  * land in pre-sized slots keyed by index, so every reported statistic
  * is bit-identical to the serial path regardless of --jobs.  Each
  * binary also drops a BENCH_harness.json throughput record (sims/sec
- * serial-equivalent vs parallel) on exit.
+ * serial-equivalent vs parallel, plus per-run wall time and outcome)
+ * on exit.
+ *
+ * Crash isolation: a run that throws SimError (integrity violation,
+ * corrupt trace, ...) is retried once and, if it fails again,
+ * quarantined — its slot keeps default values, every sibling run
+ * completes untouched, and the process exits nonzero at the end.
  */
 
 #ifndef RC_BENCH_HARNESS_HH
@@ -52,7 +64,74 @@ struct RunOptions
 
     /** Concurrent simulations; 0 = hardware concurrency, 1 = serial. */
     std::uint32_t jobs = 0;
+
+    /**
+     * Integrity-checker cadence in references (0 = off).  When set,
+     * every run walks the whole simulated state every N references and
+     * once more at end-of-run; any violation throws SimError and the
+     * run is retried/quarantined.
+     */
+    std::uint64_t checkInterval = 0;
+
+    /**
+     * Fault class to inject ("" = none); see --inject above for the
+     * spellings.  The fault is applied after warmup of run injectRun.
+     */
+    std::string injectFault;
+
+    /** Batch-local index of the run to poison. */
+    std::size_t injectRun = 0;
+
+    /**
+     * Re-inject on the retry attempt too (true models a deterministic
+     * corruption: the run stays quarantined; false models a transient
+     * one: the retry succeeds and the run reports Retried).
+     */
+    bool injectOnRetry = true;
 };
+
+/** How one run of a batch ended. */
+enum class RunStatus : std::uint8_t
+{
+    Ok,          //!< first attempt succeeded
+    Retried,     //!< first attempt threw SimError, the retry succeeded
+    Quarantined, //!< both attempts threw; the result slot is untouched
+};
+
+/** JSON/report spelling: "ok", "retried", "quarantined". */
+const char *toString(RunStatus status);
+
+/** Per-run record reported in BENCH_harness.json. */
+struct RunOutcome
+{
+    std::size_t index = 0;      //!< batch-local run index
+    RunStatus status = RunStatus::Ok;
+    std::uint32_t attempts = 1; //!< 1 normally, 2 after a retry
+    double wallSeconds = 0.0;   //!< wall time across all attempts
+    std::string error;          //!< last SimError message ("" when Ok)
+};
+
+/**
+ * Batch-local index of the run the calling thread is executing, or
+ * npos outside forEachRun.  runMix uses it to decide whether this run
+ * is the --inject target.
+ */
+std::size_t currentRunIndex();
+
+/** Attempt number (0 = first, 1 = retry) of the calling thread's run. */
+std::uint32_t currentAttempt();
+
+/** Quarantined runs across every batch in this process. */
+std::uint64_t quarantinedRunsTotal();
+
+/**
+ * Whether the process exits nonzero when any run stayed quarantined
+ * (default true; parseArgs installs the exit-code guard).
+ */
+void setExitOnQuarantine(bool enable);
+
+/** The BENCH_harness.json payload for the batches run so far. */
+std::string perfRecordJson();
 
 /** Parse the common flags; unknown flags abort with the usage string. */
 RunOptions parseArgs(int argc, char **argv);
@@ -71,9 +150,15 @@ std::uint32_t effectiveJobs(const RunOptions &opt);
  * caller, after this returns, so output is identical for any job count.
  * Batch wall/cpu time is accumulated into the BENCH_harness.json
  * throughput record written at process exit.
+ *
+ * A body that throws SimError is retried once; a second SimError
+ * quarantines the run (its slot keeps default values) while every
+ * other run completes normally.  Any other exception still propagates.
+ * @return one RunOutcome per run, in index order.
  */
-void forEachRun(std::size_t n, const RunOptions &opt,
-                const std::function<void(std::size_t)> &body);
+std::vector<RunOutcome> forEachRun(
+    std::size_t n, const RunOptions &opt,
+    const std::function<void(std::size_t)> &body);
 
 /**
  * IPC ratio @p sys_ipc / @p baseline_ipc with the zero-baseline guard

@@ -58,16 +58,19 @@ void
 ConventionalLlc::evictEntry(std::uint64_t set, std::uint32_t way, Cycle now)
 {
     Entry &e = entries[set * geom.numWays() + way];
-    RC_ASSERT(e.state != LlcState::I, "evicting an invalid entry");
+    RC_CHECK(e.state != LlcState::I, SimError::Kind::Integrity,
+             "evicting an invalid entry");
     const Addr line = geom.lineAddr(e.tag, set);
 
     ProtoInput in{e.state, ProtoEvent::TagRepl, e.dir.hasOwner(), false};
     const ProtoResult res = protocolTransition(in);
-    RC_ASSERT(res.legal, "TagRepl illegal in state %s", toString(e.state));
+    RC_CHECK(res.legal, SimError::Kind::Protocol,
+             "TagRepl illegal in state %s", toString(e.state));
 
     bool dirty_recalled = false;
     if ((res.actions & ActRecallSharers) && !e.dir.empty()) {
-        RC_ASSERT(recaller, "no recall handler installed");
+        RC_CHECK(recaller, SimError::Kind::Config,
+                 "no recall handler installed");
         dirty_recalled = recaller->recall(line, e.dir.presenceMask());
         ++inclusionRecalls;
     }
@@ -106,7 +109,8 @@ ConventionalLlc::allocateWay(Addr line_addr, const LlcRequest &req)
             q.avoidMask |= std::uint64_t{1} << w;
     }
     const std::uint32_t w = repl->victim(set, q);
-    RC_ASSERT(w < geom.numWays(), "victim way out of range");
+    RC_CHECK(w < geom.numWays(), SimError::Kind::Integrity,
+             "victim way out of range");
     evictEntry(set, w, req.now);
     return w;
 }
@@ -124,8 +128,9 @@ ConventionalLlc::request(const LlcRequest &req)
     Entry *entry = find(line);
 
     const bool owner_valid = entry && entry->dir.hasOwner();
-    RC_ASSERT(!owner_valid || entry->dir.owner() != req.core,
-              "owner cannot request its own line at the SLLC");
+    RC_CHECK(!owner_valid || entry->dir.owner() != req.core,
+             SimError::Kind::Protocol,
+             "owner cannot request its own line at the SLLC");
 
     ProtoInput in;
     in.state = entry ? entry->state : LlcState::I;
@@ -135,8 +140,8 @@ ConventionalLlc::request(const LlcRequest &req)
     // Conventional caches always allocate data; prefetch priority is
     // handled below at insertion/promotion time.
     const ProtoResult res = protocolTransition(in);
-    RC_ASSERT(res.legal, "%s illegal in state %s",
-              toString(req.event), toString(in.state));
+    RC_CHECK(res.legal, SimError::Kind::Protocol, "%s illegal in state %s",
+             toString(req.event), toString(in.state));
 
     LlcResponse resp;
     resp.tagHit = entry != nullptr;
@@ -151,7 +156,8 @@ ConventionalLlc::request(const LlcRequest &req)
     }
 
     if (res.actions & ActFetchOwner) {
-        RC_ASSERT(recaller && entry, "intervention needs owner context");
+        RC_CHECK(recaller && entry, SimError::Kind::Config,
+                 "intervention needs owner context");
         done += cfg.interventionLatency;
         ++interventions;
         if (req.event == ProtoEvent::GETS) {
@@ -164,10 +170,12 @@ ConventionalLlc::request(const LlcRequest &req)
     }
 
     if (res.actions & ActInvSharers) {
-        RC_ASSERT(entry, "invalidation needs a directory entry");
+        RC_CHECK(entry, SimError::Kind::Protocol,
+                 "invalidation needs a directory entry");
         const std::uint32_t mask = entry->dir.othersMask(req.core);
         if (mask) {
-            RC_ASSERT(recaller, "no recall handler installed");
+            RC_CHECK(recaller, SimError::Kind::Config,
+                     "no recall handler installed");
             recaller->recall(line, mask);
             invalidationsSent += __builtin_popcount(mask);
             for (CoreId c = 0; c < cfg.numCores; ++c) {
@@ -205,7 +213,8 @@ ConventionalLlc::request(const LlcRequest &req)
         if (!req.prefetch)
             repl->onHit(set, way, ReplAccess{req.core, false, false});
     } else {
-        RC_ASSERT(res.actions & ActAllocTag, "miss without tag allocation");
+        RC_CHECK(res.actions & ActAllocTag, SimError::Kind::Protocol,
+                 "miss without tag allocation");
         const std::uint32_t way = allocateWay(line, req);
         Entry &e = entries[set * geom.numWays() + way];
         e.tag = geom.tagOf(line);
@@ -232,8 +241,9 @@ ConventionalLlc::evictNotify(Addr line_addr, CoreId core, bool dirty,
 {
     const Addr line = lineAlign(line_addr);
     Entry *entry = find(line);
-    RC_ASSERT(entry, "eviction notification for a non-resident line "
-              "(inclusion violated)");
+    RC_CHECK(entry, SimError::Kind::Integrity,
+             "eviction notification for a non-resident line "
+             "(inclusion violated)");
 
     ProtoInput in;
     in.state = entry->state;
@@ -241,8 +251,8 @@ ConventionalLlc::evictNotify(Addr line_addr, CoreId core, bool dirty,
     in.ownerValid = entry->dir.hasOwner();
     in.selectiveAlloc = false;
     const ProtoResult res = protocolTransition(in);
-    RC_ASSERT(res.legal, "%s illegal in state %s",
-              toString(in.event), toString(in.state));
+    RC_CHECK(res.legal, SimError::Kind::Protocol, "%s illegal in state %s",
+             toString(in.event), toString(in.state));
 
     if (res.actions & ActWriteMemPut) {
         mem.writeLine(line, now);
@@ -275,6 +285,38 @@ ConventionalLlc::describe() const
     std::snprintf(buf, sizeof(buf), "conv-%.3gMB-%s", mb,
                   toString(cfg.repl));
     return buf;
+}
+
+void
+ConventionalLlc::forEachResident(
+    const std::function<void(Addr, LlcState, const DirectoryEntry &)> &fn)
+    const
+{
+    for (std::uint64_t s = 0; s < geom.numSets(); ++s) {
+        const std::uint64_t base = s * geom.numWays();
+        for (std::uint32_t w = 0; w < geom.numWays(); ++w) {
+            const Entry &e = entries[base + w];
+            if (e.state != LlcState::I)
+                fn(geom.lineAddr(e.tag, s), e.state, e.dir);
+        }
+    }
+}
+
+DirectoryEntry *
+ConventionalLlc::dirOfMut(Addr line_addr)
+{
+    Entry *e = find(lineAlign(line_addr));
+    return e ? &e->dir : nullptr;
+}
+
+bool
+ConventionalLlc::corruptStateForTest(Addr line_addr, LlcState state)
+{
+    Entry *e = find(lineAlign(line_addr));
+    if (!e)
+        return false;
+    e->state = state;
+    return true;
 }
 
 LlcState

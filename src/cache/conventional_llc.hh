@@ -11,6 +11,7 @@
 #ifndef RC_CACHE_CONVENTIONAL_LLC_HH
 #define RC_CACHE_CONVENTIONAL_LLC_HH
 
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
@@ -66,6 +67,31 @@ class ConventionalLlc : public Sllc
 
     /** Geometry in force. */
     const CacheGeometry &geometry() const { return geom; }
+
+    /**
+     * Verify layer: visit every resident line with its state and
+     * directory entry (no replacement-state side effects).
+     */
+    void forEachResident(
+        const std::function<void(Addr, LlcState, const DirectoryEntry &)>
+            &fn) const;
+
+    /** Verify layer: the replacement policy (metadata sanity walks). */
+    const ReplacementPolicy &policy() const { return *repl; }
+
+    /** Fault-injection hook: mutable replacement policy. */
+    ReplacementPolicy &policyMut() { return *repl; }
+
+    /** Fault-injection hook: mutable directory of a resident line. */
+    DirectoryEntry *dirOfMut(Addr line_addr);
+
+    /**
+     * Fault-injection hook: overwrite the state of a resident line
+     * without any protocol action (e.g. force the reuse-cache-only TO
+     * encoding, which is illegal here).
+     * @return false when the line is not resident.
+     */
+    bool corruptStateForTest(Addr line_addr, LlcState state);
 
   private:
     struct Entry

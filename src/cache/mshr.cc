@@ -77,6 +77,28 @@ MshrFile::occupancy(Cycle now)
     return live;
 }
 
+std::uint32_t
+MshrFile::inFlightAt(Cycle now) const
+{
+    std::uint32_t n = 0;
+    for (const auto &e : entries) {
+        if (e.valid && e.doneAt > now)
+            ++n;
+    }
+    return n;
+}
+
+std::uint32_t
+MshrFile::leakedEntries() const
+{
+    std::uint32_t n = 0;
+    for (const auto &e : entries) {
+        if (e.valid && e.doneAt == neverCycle)
+            ++n;
+    }
+    return n;
+}
+
 Cycle
 MshrFile::earliestRelease() const
 {

@@ -51,6 +51,19 @@ class MshrFile
     /** Entries currently live at @p now (after lazy retirement). */
     std::uint32_t occupancy(Cycle now);
 
+    /**
+     * Verify layer: valid entries still completing after @p now
+     * (const — no lazy retirement, safe mid-run).
+     */
+    std::uint32_t inFlightAt(Cycle now) const;
+
+    /**
+     * Verify layer: valid entries that can never retire
+     * (doneAt == neverCycle) — a leaked slot that lazy retirement will
+     * never reclaim.  Legitimate misses always carry a finite doneAt.
+     */
+    std::uint32_t leakedEntries() const;
+
     /** Earliest completion among live entries (neverCycle when empty). */
     Cycle earliestRelease() const;
 

@@ -31,6 +31,9 @@ class LruPolicy : public ReplacementPolicy
                const ReplAccess &ctx) override;
     std::uint32_t victim(std::uint64_t set, const VictimQuery &q) override;
 
+    bool metadataSane(std::string *why = nullptr) const override;
+    bool corruptMetadata(std::uint64_t set, std::uint32_t way) override;
+
   private:
     std::vector<std::uint64_t> stamp;
     std::uint64_t tick = 0;
@@ -54,6 +57,9 @@ class NruPolicy : public ReplacementPolicy
 
     /** Test hook: the NRU ("recently used") bit of a line. */
     bool usedBit(std::uint64_t set, std::uint32_t way) const;
+
+    bool metadataSane(std::string *why = nullptr) const override;
+    bool corruptMetadata(std::uint64_t set, std::uint32_t way) override;
 
   private:
     void markUsed(std::uint64_t set, std::uint32_t way);
@@ -82,6 +88,9 @@ class NrrPolicy : public ReplacementPolicy
 
     /** Test hook: the NRR ("not recently reused") bit of a line. */
     bool nrrBit(std::uint64_t set, std::uint32_t way) const;
+
+    bool metadataSane(std::string *why = nullptr) const override;
+    bool corruptMetadata(std::uint64_t set, std::uint32_t way) override;
 
   private:
     std::vector<std::uint8_t> nrr;
@@ -123,6 +132,9 @@ class ClockPolicy : public ReplacementPolicy
     /** Test hook: current hand position of a set. */
     std::uint32_t hand(std::uint64_t set) const;
 
+    bool metadataSane(std::string *why = nullptr) const override;
+    bool corruptMetadata(std::uint64_t set, std::uint32_t way) override;
+
   private:
     std::vector<std::uint8_t> ref;
     std::vector<std::uint32_t> hands;
@@ -158,6 +170,9 @@ class RripPolicy : public ReplacementPolicy
 
     /** Test hook: the dueling monitor (DRRIP mode only). */
     const SetDueling &dueling() const { return duel; }
+
+    bool metadataSane(std::string *why = nullptr) const override;
+    bool corruptMetadata(std::uint64_t set, std::uint32_t way) override;
 
   private:
     bool useBrrip(std::uint64_t set, CoreId core);

@@ -107,6 +107,19 @@ TagStore::residentCount() const
     return n;
 }
 
+void
+TagStore::forEachResident(
+    const std::function<void(Addr, const Way &)> &fn) const
+{
+    for (std::uint64_t s = 0; s < geom.numSets(); ++s) {
+        const std::uint64_t base = s * geom.numWays();
+        for (std::uint32_t w = 0; w < geom.numWays(); ++w) {
+            if (valid[base + w])
+                fn(geom.lineAddr(ways[base + w].tag, s), ways[base + w]);
+        }
+    }
+}
+
 PrivateHierarchy::PrivateHierarchy(const PrivateConfig &cfg_, CoreId core,
                                    const std::string &name)
     : cfg(cfg_),
@@ -293,6 +306,23 @@ bool
 PrivateHierarchy::present(Addr line_addr) const
 {
     return l2.peek(line_addr) != nullptr;
+}
+
+void
+PrivateHierarchy::forEachL2Resident(
+    const std::function<void(Addr, const TagStore::Way &)> &fn) const
+{
+    l2.forEachResident(fn);
+}
+
+void
+PrivateHierarchy::forEachL1Resident(
+    const std::function<void(Addr, const TagStore::Way &, bool)> &fn) const
+{
+    l1i.forEachResident(
+        [&](Addr line, const TagStore::Way &w) { fn(line, w, true); });
+    l1d.forEachResident(
+        [&](Addr line, const TagStore::Way &w) { fn(line, w, false); });
 }
 
 PrivState

@@ -12,6 +12,7 @@
 #define RC_CACHE_PRIVATE_CACHE_HH
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
@@ -81,6 +82,13 @@ class TagStore
 
     /** Number of valid lines (for tests). */
     std::uint64_t residentCount() const;
+
+    /**
+     * Verify layer: visit every resident line without touching LRU
+     * state (line address reconstructed from tag and set).
+     */
+    void forEachResident(
+        const std::function<void(Addr, const Way &)> &fn) const;
 
     /** Geometry in force. */
     const CacheGeometry &geometry() const { return geom; }
@@ -163,6 +171,22 @@ class PrivateHierarchy
 
     /** Copy present in any private level? (directory cross-check). */
     bool present(Addr line_addr) const;
+
+    /**
+     * Verify layer: visit every L2-resident line (the hierarchy's full
+     * footprint, since both L1s are inclusive subsets of the L2).
+     */
+    void forEachL2Resident(
+        const std::function<void(Addr, const TagStore::Way &)> &fn) const;
+
+    /**
+     * Verify layer: visit every L1-resident line (I and D) for the
+     * L1-subset-of-L2 inclusion check.
+     * @param fn called with (line, way, is_instr).
+     */
+    void forEachL1Resident(
+        const std::function<void(Addr, const TagStore::Way &, bool)> &fn)
+        const;
 
     /** L2 state of the line (I when absent). */
     PrivState state(Addr line_addr) const;

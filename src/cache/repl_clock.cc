@@ -50,4 +50,36 @@ ClockPolicy::hand(std::uint64_t set) const
     return hands[set];
 }
 
+bool
+ClockPolicy::metadataSane(std::string *why) const
+{
+    // One hand per set, and it must point at a real way.
+    for (std::uint64_t s = 0; s < sets; ++s) {
+        if (hands[s] >= ways) {
+            if (why)
+                *why = "Clock hand of set " + std::to_string(s) + " = " +
+                       std::to_string(hands[s]) + ", beyond " +
+                       std::to_string(ways) + " ways";
+            return false;
+        }
+    }
+    for (std::uint64_t i = 0; i < ref.size(); ++i) {
+        if (ref[i] > 1) {
+            if (why)
+                *why = "Clock reference bit (" + std::to_string(i / ways) +
+                       "," + std::to_string(i % ways) + ") = " +
+                       std::to_string(ref[i]) + ", not 0/1";
+            return false;
+        }
+    }
+    return true;
+}
+
+bool
+ClockPolicy::corruptMetadata(std::uint64_t set, std::uint32_t way)
+{
+    hands[set] = ways + 1 + way;
+    return true;
+}
+
 } // namespace rc

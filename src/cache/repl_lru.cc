@@ -42,4 +42,29 @@ LruPolicy::victim(std::uint64_t set, const VictimQuery &q)
     return best;
 }
 
+bool
+LruPolicy::metadataSane(std::string *why) const
+{
+    // Stamps are drawn from the monotonic tick, so none may be ahead
+    // of it (a "future" stamp would never be victimized).
+    for (std::uint64_t i = 0; i < stamp.size(); ++i) {
+        if (stamp[i] > tick) {
+            if (why)
+                *why = "LRU stamp of (" + std::to_string(i / ways) + "," +
+                       std::to_string(i % ways) + ") is " +
+                       std::to_string(stamp[i]) + ", ahead of tick " +
+                       std::to_string(tick);
+            return false;
+        }
+    }
+    return true;
+}
+
+bool
+LruPolicy::corruptMetadata(std::uint64_t set, std::uint32_t way)
+{
+    stamp[set * ways + way] = tick + 1'000'000;
+    return true;
+}
+
 } // namespace rc

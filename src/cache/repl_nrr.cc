@@ -86,6 +86,28 @@ NrrPolicy::victim(std::uint64_t set, const VictimQuery &q)
 }
 
 bool
+NrrPolicy::metadataSane(std::string *why) const
+{
+    for (std::uint64_t i = 0; i < nrr.size(); ++i) {
+        if (nrr[i] > 1) {
+            if (why)
+                *why = "NRR bit (" + std::to_string(i / ways) + "," +
+                       std::to_string(i % ways) + ") = " +
+                       std::to_string(nrr[i]) + ", not 0/1";
+            return false;
+        }
+    }
+    return true;
+}
+
+bool
+NrrPolicy::corruptMetadata(std::uint64_t set, std::uint32_t way)
+{
+    nrr[set * ways + way] = 0xff;
+    return true;
+}
+
+bool
 NrrPolicy::nrrBit(std::uint64_t set, std::uint32_t way) const
 {
     return nrr[set * ways + way] != 0;

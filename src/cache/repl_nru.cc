@@ -60,4 +60,39 @@ NruPolicy::usedBit(std::uint64_t set, std::uint32_t way) const
     return used[set * ways + way] != 0;
 }
 
+bool
+NruPolicy::metadataSane(std::string *why) const
+{
+    for (std::uint64_t s = 0; s < sets; ++s) {
+        const std::uint64_t base = s * ways;
+        bool all_set = true;
+        for (std::uint32_t w = 0; w < ways; ++w) {
+            if (used[base + w] > 1) {
+                if (why)
+                    *why = "NRU bit (" + std::to_string(s) + "," +
+                           std::to_string(w) + ") = " +
+                           std::to_string(used[base + w]) + ", not 0/1";
+                return false;
+            }
+            all_set = all_set && used[base + w];
+        }
+        // markUsed() ages the set whenever the last zero would vanish,
+        // so an all-ones set means the metadata was tampered with.
+        if (all_set && ways > 1) {
+            if (why)
+                *why = "NRU set " + std::to_string(s) +
+                       " has every bit set (no victim candidate)";
+            return false;
+        }
+    }
+    return true;
+}
+
+bool
+NruPolicy::corruptMetadata(std::uint64_t set, std::uint32_t way)
+{
+    used[set * ways + way] = 0xff;
+    return true;
+}
+
 } // namespace rc

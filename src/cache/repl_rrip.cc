@@ -87,4 +87,29 @@ RripPolicy::rrpv(std::uint64_t set, std::uint32_t way) const
     return rrpvs[set * ways + way];
 }
 
+bool
+RripPolicy::metadataSane(std::string *why) const
+{
+    for (std::uint64_t i = 0; i < rrpvs.size(); ++i) {
+        if (rrpvs[i] > maxRrpv) {
+            if (why)
+                *why = "RRPV (" + std::to_string(i / ways) + "," +
+                       std::to_string(i % ways) + ") = " +
+                       std::to_string(rrpvs[i]) + " exceeds max " +
+                       std::to_string(maxRrpv);
+            return false;
+        }
+    }
+    return true;
+}
+
+bool
+RripPolicy::corruptMetadata(std::uint64_t set, std::uint32_t way)
+{
+    if (maxRrpv >= 0xff)
+        return false;
+    rrpvs[set * ways + way] = 0xff;
+    return true;
+}
+
 } // namespace rc

@@ -98,6 +98,32 @@ class ReplacementPolicy
     std::uint64_t numSets() const { return sets; }  //!< sets in the array
     std::uint32_t numWays() const { return ways; }  //!< associativity
 
+    /**
+     * Verify layer: is every piece of replacement metadata within its
+     * legal range (NRU/NRR bits 0/1, Clock hand < ways, RRPV <= max)?
+     * Policies without range-checkable metadata report sane.
+     * @param why filled with a diagnostic on failure when non-null.
+     */
+    virtual bool
+    metadataSane(std::string *why = nullptr) const
+    {
+        (void)why;
+        return true;
+    }
+
+    /**
+     * Fault-injection hook: force one piece of metadata for
+     * (set, way) out of its legal range so metadataSane() must flag it.
+     * @return false when this policy has nothing corruptible.
+     */
+    virtual bool
+    corruptMetadata(std::uint64_t set, std::uint32_t way)
+    {
+        (void)set;
+        (void)way;
+        return false;
+    }
+
   protected:
     std::uint64_t sets;
     std::uint32_t ways;

@@ -26,4 +26,32 @@ presenceToString(std::uint32_t mask)
     return out;
 }
 
+bool
+DirectoryEntry::encodingSane(std::uint32_t num_cores, std::string *why) const
+{
+    if (num_cores < 32 && (presence >> num_cores) != 0) {
+        if (why)
+            *why = "presence " + presenceToString(presence) +
+                   " addresses cores beyond numCores=" +
+                   std::to_string(num_cores);
+        return false;
+    }
+    if (ownerId != noOwner) {
+        if (ownerId >= num_cores) {
+            if (why)
+                *why = "owner " + std::to_string(ownerId) +
+                       " is out of range for numCores=" +
+                       std::to_string(num_cores);
+            return false;
+        }
+        if (!isSharer(ownerId)) {
+            if (why)
+                *why = "owner " + std::to_string(ownerId) +
+                       " is not a sharer in " + presenceToString(presence);
+            return false;
+        }
+    }
+    return true;
+}
+
 } // namespace rc

@@ -93,6 +93,23 @@ class DirectoryEntry
         return presence & ~bit(core);
     }
 
+    /**
+     * Verify layer: is this entry a legal encoding for a @p num_cores
+     * CMP?  Checks that no presence bit addresses a nonexistent core
+     * and that a recorded owner is a real core that is also a sharer.
+     * @param why filled with a diagnostic on failure when non-null.
+     */
+    bool encodingSane(std::uint32_t num_cores,
+                      std::string *why = nullptr) const;
+
+    /**
+     * Fault-injection hook: record @p core as owner WITHOUT adding its
+     * presence bit, producing an owner-not-sharer (or out-of-range
+     * owner) encoding that encodingSane() must flag.  Test/verify use
+     * only — never called on the simulation path.
+     */
+    void corruptOwnerForTest(CoreId core) { ownerId = core; }
+
   private:
     static std::uint32_t bit(CoreId core) { return 1u << core; }
     static constexpr CoreId noOwner = 0xffffffffu;

@@ -67,6 +67,30 @@ fatal(const char *fmt, ...)
     std::exit(1);
 }
 
+const char *
+toString(SimError::Kind kind)
+{
+    switch (kind) {
+      case SimError::Kind::Integrity: return "integrity";
+      case SimError::Kind::Protocol: return "protocol";
+      case SimError::Kind::Trace: return "trace";
+      case SimError::Kind::Config: return "config";
+    }
+    return "unknown";
+}
+
+void
+throwSimError(SimError::Kind kind, const char *fmt, ...)
+{
+    char buf[1024];
+    std::va_list ap;
+    va_start(ap, fmt);
+    std::vsnprintf(buf, sizeof(buf), fmt, ap);
+    va_end(ap);
+    throw SimError(kind,
+                   std::string("[") + toString(kind) + "] " + buf);
+}
+
 void
 warn(const char *fmt, ...)
 {

@@ -12,10 +12,53 @@
 #define RC_COMMON_LOG_HH
 
 #include <cstdarg>
+#include <cstdint>
+#include <stdexcept>
 #include <string>
 
 namespace rc
 {
+
+/**
+ * Recoverable simulation failure.
+ *
+ * Where panic()/fatal() kill the process, a SimError unwinds one
+ * simulation: the bench harness catches it per (config x mix) run,
+ * retries once and quarantines the run into its RunOutcome report, so a
+ * single poisoned run cannot destroy a --jobs=N sweep.  Thrown by
+ * RC_CHECK on the simulation path and by the verify layer's enforce().
+ */
+class SimError : public std::runtime_error
+{
+  public:
+    /** Broad failure category, used for reporting and test filtering. */
+    enum class Kind : std::uint8_t
+    {
+        Integrity, //!< simulated state failed a structural invariant
+        Protocol,  //!< illegal coherence/state transition was attempted
+        Trace,     //!< trace file truncated, corrupt or empty
+        Config,    //!< a run asked for an unsupported combination
+    };
+
+    SimError(Kind kind, const std::string &what)
+        : std::runtime_error(what), errKind(kind)
+    {}
+
+    Kind kind() const { return errKind; }
+
+  private:
+    Kind errKind;
+};
+
+/** Human-readable name of a SimError kind ("integrity", "trace", ...). */
+const char *toString(SimError::Kind kind);
+
+/**
+ * Throw a SimError with a printf-formatted message (the throwing
+ * counterpart of panic/fatal; used by the RC_CHECK macro).
+ */
+[[noreturn]] void throwSimError(SimError::Kind kind, const char *fmt, ...)
+    __attribute__((format(printf, 2, 3)));
 
 /** Abort with a formatted message; use for internal invariant violations. */
 [[noreturn]] void panic(const char *fmt, ...)
@@ -46,14 +89,37 @@ bool quiet();
 void setThreadLogTag(const std::string &tag);
 
 /**
- * Assert-like check that stays enabled in release builds.
+ * Assert-like check that stays enabled in release builds (no NDEBUG
+ * dependence — the integrity checker relies on it in Release too).
  * Prefer this over <cassert> for simulator invariants.
+ *
+ * The condition is captured into a local bool, so it is evaluated
+ * exactly once even when it carries side effects, and the do/while(0)
+ * wrapper makes the macro a single statement that is safe as the body
+ * of an if/else without braces.
  */
 #define RC_ASSERT(cond, msg, ...)                                             \
     do {                                                                      \
-        if (!(cond)) {                                                        \
+        const bool rc_assert_ok_ = static_cast<bool>(cond);                   \
+        if (!rc_assert_ok_) {                                                 \
             ::rc::panic("assertion '%s' failed at %s:%d: " msg,               \
                         #cond, __FILE__, __LINE__ __VA_OPT__(,) __VA_ARGS__); \
+        }                                                                     \
+    } while (0)
+
+/**
+ * Recoverable counterpart of RC_ASSERT for the simulation path: on
+ * failure it throws SimError(kind) instead of aborting, so the bench
+ * harness can quarantine the run.  Same guarantees as RC_ASSERT:
+ * single evaluation, if/else-safe, enabled in Release builds.
+ */
+#define RC_CHECK(cond, kind, msg, ...)                                        \
+    do {                                                                      \
+        const bool rc_check_ok_ = static_cast<bool>(cond);                    \
+        if (!rc_check_ok_) {                                                  \
+            ::rc::throwSimError(kind, "check '%s' failed at %s:%d: " msg,     \
+                                #cond, __FILE__,                              \
+                                __LINE__ __VA_OPT__(,) __VA_ARGS__);          \
         }                                                                     \
     } while (0)
 

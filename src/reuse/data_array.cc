@@ -63,6 +63,12 @@ ReuseDataArray::at(std::uint64_t set, std::uint32_t way) const
     return entries[set * geom.numWays() + way];
 }
 
+ReuseDataArray::Entry &
+ReuseDataArray::atMut(std::uint64_t set, std::uint32_t way)
+{
+    return entries[set * geom.numWays() + way];
+}
+
 std::uint64_t
 ReuseDataArray::residentCount() const
 {

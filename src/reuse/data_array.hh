@@ -74,8 +74,17 @@ class ReuseDataArray
     /** Entry at (set, way). */
     const Entry &at(std::uint64_t set, std::uint32_t way) const;
 
+    /** Fault-injection hook: mutable entry at (set, way). */
+    Entry &atMut(std::uint64_t set, std::uint32_t way);
+
     /** Number of valid entries (tests). */
     std::uint64_t residentCount() const;
+
+    /** Verify layer: the replacement policy (metadata sanity walks). */
+    const ReplacementPolicy &policy() const { return *repl; }
+
+    /** Fault-injection hook: mutable replacement policy. */
+    ReplacementPolicy &policyMut() { return *repl; }
 
     /** Geometry in force. */
     const CacheGeometry &geometry() const { return geom; }

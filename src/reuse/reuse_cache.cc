@@ -99,16 +99,16 @@ ReuseCache::allocData(std::uint64_t tag_set, std::uint32_t tag_way,
         // DataRepl: follow the victim's reverse pointer to its tag.
         const ReuseDataArray::Entry &victim = data.at(dset, dway);
         ReuseTagArray::Entry &vtag = tags.at(victim.tagSet, victim.tagWay);
-        RC_ASSERT(llcHasData(vtag.state),
-                  "data entry owned by a tag without data (state %s)",
-                  toString(vtag.state));
+        RC_CHECK(llcHasData(vtag.state), SimError::Kind::Integrity,
+                 "data entry owned by a tag without data (state %s)",
+                 toString(vtag.state));
         const Addr vline = tags.lineAddrOf(victim.tagSet, victim.tagWay);
 
         ProtoInput in{vtag.state, ProtoEvent::DataRepl,
                       vtag.dir.hasOwner(), true};
         const ProtoResult res = protocolTransition(in);
-        RC_ASSERT(res.legal, "DataRepl illegal in state %s",
-                  toString(vtag.state));
+        RC_CHECK(res.legal, SimError::Kind::Protocol,
+                 "DataRepl illegal in state %s", toString(vtag.state));
         if (res.actions & ActWriteMemData) {
             mem.writeLine(vline, now);
             ++dirtyWritebacks;
@@ -135,16 +135,19 @@ void
 ReuseCache::evictTag(std::uint64_t set, std::uint32_t way, Cycle now)
 {
     ReuseTagArray::Entry &e = tags.at(set, way);
-    RC_ASSERT(e.state != LlcState::I, "evicting an invalid tag");
+    RC_CHECK(e.state != LlcState::I, SimError::Kind::Integrity,
+             "evicting an invalid tag");
     const Addr line = tags.lineAddrOf(set, way);
 
     ProtoInput in{e.state, ProtoEvent::TagRepl, e.dir.hasOwner(), true};
     const ProtoResult res = protocolTransition(in);
-    RC_ASSERT(res.legal, "TagRepl illegal in state %s", toString(e.state));
+    RC_CHECK(res.legal, SimError::Kind::Protocol,
+             "TagRepl illegal in state %s", toString(e.state));
 
     bool dirty_recalled = false;
     if ((res.actions & ActRecallSharers) && !e.dir.empty()) {
-        RC_ASSERT(recaller, "no recall handler installed");
+        RC_CHECK(recaller, SimError::Kind::Config,
+                 "no recall handler installed");
         dirty_recalled = recaller->recall(line, e.dir.presenceMask());
         ++inclusionRecalls;
     }
@@ -188,8 +191,9 @@ ReuseCache::request(const LlcRequest &req)
     ReuseTagArray::Entry *entry = tags.find(line, way);
 
     const bool owner_valid = entry && entry->dir.hasOwner();
-    RC_ASSERT(!owner_valid || entry->dir.owner() != req.core,
-              "owner cannot request its own line at the SLLC");
+    RC_CHECK(!owner_valid || entry->dir.owner() != req.core,
+             SimError::Kind::Protocol,
+             "owner cannot request its own line at the SLLC");
 
     // Optional predictor extension: a tag miss predicted to show reuse
     // allocates tag AND data immediately (the non-selective transition),
@@ -205,8 +209,8 @@ ReuseCache::request(const LlcRequest &req)
     in.selectiveAlloc = !predicted_fill;
     in.prefetch = req.prefetch;
     const ProtoResult res = protocolTransition(in);
-    RC_ASSERT(res.legal, "%s illegal in state %s",
-              toString(req.event), toString(in.state));
+    RC_CHECK(res.legal, SimError::Kind::Protocol, "%s illegal in state %s",
+             toString(req.event), toString(in.state));
 
     LlcResponse resp;
     resp.tagHit = entry != nullptr;
@@ -226,7 +230,8 @@ ReuseCache::request(const LlcRequest &req)
         }
 
         if (res.actions & ActFetchOwner) {
-            RC_ASSERT(recaller, "intervention needs a recall handler");
+            RC_CHECK(recaller, SimError::Kind::Config,
+                     "intervention needs a recall handler");
             done += cfg.interventionLatency;
             ++interventions;
             if (req.event == ProtoEvent::GETS)
@@ -238,7 +243,8 @@ ReuseCache::request(const LlcRequest &req)
         if (res.actions & ActInvSharers) {
             const std::uint32_t mask = entry->dir.othersMask(req.core);
             if (mask) {
-                RC_ASSERT(recaller, "no recall handler installed");
+                RC_CHECK(recaller, SimError::Kind::Config,
+                         "no recall handler installed");
                 recaller->recall(line, mask);
                 invalidationsSent += __builtin_popcount(mask);
                 for (CoreId c = 0; c < cfg.numCores; ++c) {
@@ -260,7 +266,8 @@ ReuseCache::request(const LlcRequest &req)
         }
 
         if (res.actions & ActAllocData) {
-            RC_ASSERT(was_tag_only, "data allocation on a tag+data state");
+            RC_CHECK(was_tag_only, SimError::Kind::Protocol,
+                     "data allocation on a tag+data state");
             ++tagHitsTagOnly;
             allocData(set, way, req.now);
         }
@@ -279,7 +286,8 @@ ReuseCache::request(const LlcRequest &req)
             tags.touchHit(set, way, req.core);
         }
     } else {
-        RC_ASSERT(res.actions & ActAllocTag, "miss without tag allocation");
+        RC_CHECK(res.actions & ActAllocTag, SimError::Kind::Protocol,
+                 "miss without tag allocation");
         bool needs_eviction = false;
         way = tags.allocateWay(set, req.core, needs_eviction);
         if (needs_eviction)
@@ -305,7 +313,8 @@ ReuseCache::request(const LlcRequest &req)
             ++predictedFills;
         }
 
-        RC_ASSERT(res.actions & ActFetchMem, "tag miss must fetch memory");
+        RC_CHECK(res.actions & ActFetchMem, SimError::Kind::Protocol,
+                 "tag miss must fetch memory");
         done = mem.readLine(line, req.now + cfg.tagLatency);
         resp.memFetched = true;
         ++tagMisses;
@@ -322,8 +331,9 @@ ReuseCache::evictNotify(Addr line_addr, CoreId core, bool dirty, Cycle now)
     const Addr line = lineAlign(line_addr);
     std::uint32_t way = 0;
     ReuseTagArray::Entry *entry = tags.find(line, way);
-    RC_ASSERT(entry, "eviction notification for a non-resident tag "
-              "(inclusion violated)");
+    RC_CHECK(entry, SimError::Kind::Integrity,
+             "eviction notification for a non-resident tag "
+             "(inclusion violated)");
 
     ProtoInput in;
     in.state = entry->state;
@@ -331,8 +341,8 @@ ReuseCache::evictNotify(Addr line_addr, CoreId core, bool dirty, Cycle now)
     in.ownerValid = entry->dir.hasOwner();
     in.selectiveAlloc = true;
     const ProtoResult res = protocolTransition(in);
-    RC_ASSERT(res.legal, "%s illegal in state %s",
-              toString(in.event), toString(in.state));
+    RC_CHECK(res.legal, SimError::Kind::Protocol, "%s illegal in state %s",
+             toString(in.event), toString(in.state));
 
     if (res.actions & ActWriteMemPut) {
         // TO tags have no data array entry to absorb the writeback.
@@ -405,12 +415,15 @@ ReuseCache::checkInvariants() const
                 continue;
             ++tags_with_data;
             const std::uint64_t ds = data.setFor(s);
-            RC_ASSERT(e.fwdWay < data.geometry().numWays(),
-                      "forward pointer out of range");
+            RC_CHECK(e.fwdWay < data.geometry().numWays(),
+                     SimError::Kind::Integrity,
+                     "forward pointer out of range");
             const ReuseDataArray::Entry &d = data.at(ds, e.fwdWay);
-            RC_ASSERT(d.valid, "forward pointer to an empty data entry");
-            RC_ASSERT(d.tagSet == s && d.tagWay == w,
-                      "reverse pointer does not match forward pointer");
+            RC_CHECK(d.valid, SimError::Kind::Integrity,
+                     "forward pointer to an empty data entry");
+            RC_CHECK(d.tagSet == s && d.tagWay == w,
+                     SimError::Kind::Integrity,
+                     "reverse pointer does not match forward pointer");
         }
     }
     std::uint64_t valid_data = 0;
@@ -422,17 +435,18 @@ ReuseCache::checkInvariants() const
                 continue;
             ++valid_data;
             const ReuseTagArray::Entry &e = tags.at(d.tagSet, d.tagWay);
-            RC_ASSERT(llcHasData(e.state),
-                      "data entry owned by tag in state %s",
-                      toString(e.state));
-            RC_ASSERT(e.fwdWay == w && data.setFor(d.tagSet) == s,
-                      "forward pointer does not match reverse pointer");
+            RC_CHECK(llcHasData(e.state), SimError::Kind::Integrity,
+                     "data entry owned by tag in state %s",
+                     toString(e.state));
+            RC_CHECK(e.fwdWay == w && data.setFor(d.tagSet) == s,
+                     SimError::Kind::Integrity,
+                     "forward pointer does not match reverse pointer");
         }
     }
-    RC_ASSERT(tags_with_data == valid_data,
-              "tag/data population mismatch: %llu tags vs %llu data",
-              static_cast<unsigned long long>(tags_with_data),
-              static_cast<unsigned long long>(valid_data));
+    RC_CHECK(tags_with_data == valid_data, SimError::Kind::Integrity,
+             "tag/data population mismatch: %llu tags vs %llu data",
+             static_cast<unsigned long long>(tags_with_data),
+             static_cast<unsigned long long>(valid_data));
 }
 
 double

@@ -115,10 +115,17 @@ class ReuseCache : public Sllc
     /** Data array (tests / analyses). */
     const ReuseDataArray &dataArray() const { return data; }
 
+    /** Fault-injection hook: mutable tag array (verify/tests only). */
+    ReuseTagArray &tagArrayMut() { return tags; }
+
+    /** Fault-injection hook: mutable data array (verify/tests only). */
+    ReuseDataArray &dataArrayMut() { return data; }
+
     /**
      * Verify the pointer invariants: every tag in a tag+data state names
      * a valid data entry whose reverse pointer names it back, and vice
-     * versa.  Panics on violation; used by property tests.
+     * versa.  Throws SimError(Integrity) on violation; used by property
+     * tests and the end-of-run integrity walk.
      */
     void checkInvariants() const;
 

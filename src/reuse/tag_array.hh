@@ -97,6 +97,12 @@ class ReuseTagArray
     /** Number of non-invalid entries (tests). */
     std::uint64_t residentCount() const;
 
+    /** Verify layer: the replacement policy (metadata sanity walks). */
+    const ReplacementPolicy &policy() const { return *repl; }
+
+    /** Fault-injection hook: mutable replacement policy. */
+    ReplacementPolicy &policyMut() { return *repl; }
+
   private:
     CacheGeometry geom;
     std::vector<Entry> entries;

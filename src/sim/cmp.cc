@@ -1,5 +1,7 @@
 #include "sim/cmp.hh"
 
+#include <algorithm>
+
 #include "common/log.hh"
 
 namespace rc
@@ -140,8 +142,28 @@ Cmp::run(Cycle cycles)
         if (!next || next->readyAt() >= end)
             break;
         stepCore(*next);
+        ++refsProcessed;
+        if (checkEvery != 0 && refsProcessed % checkEvery == 0)
+            checkHook(*this, next->readyAt());
     }
     horizon = end;
+}
+
+void
+Cmp::setCheckHook(std::uint64_t every_n_refs,
+                  std::function<void(const Cmp &, Cycle)> hook)
+{
+    checkEvery = hook ? every_n_refs : 0;
+    checkHook = std::move(hook);
+}
+
+Cycle
+Cmp::maxCoreReadyAt() const
+{
+    Cycle latest = 0;
+    for (const auto &c : cores)
+        latest = std::max(latest, c->readyAt());
+    return latest;
 }
 
 void

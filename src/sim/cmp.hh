@@ -13,6 +13,7 @@
 #ifndef RC_SIM_CMP_HH
 #define RC_SIM_CMP_HH
 
+#include <functional>
 #include <memory>
 #include <vector>
 
@@ -84,6 +85,9 @@ class Cmp : public RecallHandler
     /** Core @p i. */
     Core &core(CoreId i) { return *cores[i]; }
 
+    /** Core @p i, const (integrity walks). */
+    const Core &core(CoreId i) const { return *cores[i]; }
+
     /** Number of cores. */
     std::uint32_t numCores() const
     {
@@ -101,6 +105,26 @@ class Cmp : public RecallHandler
 
     /** Prefetch requests actually issued to the SLLC. */
     Counter prefetchesIssued() const { return prefetchIssued; }
+
+    /**
+     * Install a periodic consistency hook: after every @p every_n_refs
+     * completed references the hook runs with (system, current cycle).
+     * References are atomic transactions, so the hook always observes
+     * the system at a quiescent point; it may throw SimError to abort
+     * the run recoverably (the bench harness quarantines it).  Pass 0
+     * to disable.
+     */
+    void setCheckHook(std::uint64_t every_n_refs,
+                      std::function<void(const Cmp &, Cycle)> hook);
+
+    /** References completed since construction (check-hook cadence). */
+    std::uint64_t referencesProcessed() const { return refsProcessed; }
+
+    /**
+     * Latest per-core ready time: every legitimate MSHR entry completes
+     * by then, so later completion times are leaks at quiesce.
+     */
+    Cycle maxCoreReadyAt() const;
 
     // RecallHandler interface (called by the SLLC).
     bool recall(Addr line_addr, std::uint32_t core_mask) override;
@@ -121,6 +145,11 @@ class Cmp : public RecallHandler
     Counter prefetchIssued = 0;
 
     Cycle horizon = 0;
+
+    // Periodic integrity hook (verify layer).
+    std::uint64_t refsProcessed = 0;
+    std::uint64_t checkEvery = 0;
+    std::function<void(const Cmp &, Cycle)> checkHook;
 
     // Measurement snapshots.
     Cycle snapCycle = 0;

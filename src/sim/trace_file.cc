@@ -80,21 +80,39 @@ TraceWriter::close()
 
 TraceReader::TraceReader(const std::string &path) : name(path)
 {
+    // A bad trace must not kill a whole sweep: every failure below is a
+    // recoverable SimError(Trace) the harness can quarantine per run.
     std::FILE *file = std::fopen(path.c_str(), "rb");
     if (!file)
-        fatal("cannot open trace file '%s'", path.c_str());
+        throwSimError(SimError::Kind::Trace,
+                      "cannot open trace file '%s'", path.c_str());
     unsigned char header[16];
-    if (std::fread(header, 1, sizeof(header), file) != sizeof(header) ||
-        std::memcmp(header, traceMagic, sizeof(traceMagic)) != 0) {
+    const std::size_t got = std::fread(header, 1, sizeof(header), file);
+    if (got != sizeof(header)) {
         std::fclose(file);
-        fatal("'%s' is not a reuse-cache trace file", path.c_str());
+        throwSimError(SimError::Kind::Trace,
+                      "'%s' is truncated: %zu header byte(s), expected "
+                      "%zu", path.c_str(), got, sizeof(header));
+    }
+    if (std::memcmp(header, traceMagic, sizeof(traceMagic)) != 0) {
+        std::fclose(file);
+        throwSimError(SimError::Kind::Trace,
+                      "'%s' is not a reuse-cache trace file (bad magic)",
+                      path.c_str());
     }
     unsigned char buf[recordBytes];
-    while (std::fread(buf, 1, recordBytes, file) == recordBytes)
+    std::size_t tail = 0;
+    while ((tail = std::fread(buf, 1, recordBytes, file)) == recordBytes)
         records.push_back(decode(buf));
     std::fclose(file);
+    if (tail != 0)
+        throwSimError(SimError::Kind::Trace,
+                      "'%s' ends mid-record: %zu trailing byte(s) after "
+                      "%zu full record(s)", path.c_str(), tail,
+                      records.size());
     if (records.empty())
-        fatal("trace file '%s' contains no records", path.c_str());
+        throwSimError(SimError::Kind::Trace,
+                      "trace file '%s' contains no records", path.c_str());
 }
 
 MemRef

@@ -59,7 +59,12 @@ class TraceWriter
 class TraceReader : public RefStream
 {
   public:
-    /** Loads the whole trace into memory; fatal on a bad file. */
+    /**
+     * Loads the whole trace into memory.  Throws SimError(Trace) on a
+     * missing file, bad magic, truncated header, a short read
+     * mid-record, or an empty trace — recoverable, so one corrupt
+     * trace quarantines its run instead of killing the sweep.
+     */
     explicit TraceReader(const std::string &path);
 
     MemRef next() override;

@@ -1,0 +1,376 @@
+#include "verify/fault_injector.hh"
+
+#include <cstdio>
+#include <utility>
+
+#include "cache/conventional_llc.hh"
+#include "cache/mshr.hh"
+#include "common/log.hh"
+#include "reuse/reuse_cache.hh"
+#include "sim/cmp.hh"
+
+namespace rc
+{
+
+namespace
+{
+
+struct TagCoord
+{
+    std::uint64_t set;
+    std::uint32_t way;
+};
+
+/** Resident tag-array coordinates satisfying @p pred, in array order. */
+template <typename Pred>
+std::vector<TagCoord>
+reuseCandidates(const ReuseTagArray &tags, Pred pred)
+{
+    std::vector<TagCoord> out;
+    const auto &g = tags.geometry();
+    for (std::uint64_t s = 0; s < g.numSets(); ++s) {
+        for (std::uint32_t w = 0; w < g.numWays(); ++w) {
+            const ReuseTagArray::Entry &e = tags.at(s, w);
+            if (e.state != LlcState::I && pred(e))
+                out.push_back(TagCoord{s, w});
+        }
+    }
+    return out;
+}
+
+/** Resident conventional lines satisfying @p pred, in array order. */
+template <typename Pred>
+std::vector<Addr>
+convCandidates(const ConventionalLlc &llc, Pred pred)
+{
+    std::vector<Addr> out;
+    llc.forEachResident(
+        [&](Addr line, LlcState st, const DirectoryEntry &dir) {
+            if (pred(st, dir))
+                out.push_back(line);
+        });
+    return out;
+}
+
+std::string
+coordStr(const TagCoord &c)
+{
+    return "(" + std::to_string(c.set) + "," + std::to_string(c.way) + ")";
+}
+
+std::string
+lineStr(Addr line)
+{
+    char buf[24];
+    std::snprintf(buf, sizeof(buf), "0x%llx",
+                  static_cast<unsigned long long>(line));
+    return buf;
+}
+
+} // namespace
+
+const char *
+toString(FaultClass cls)
+{
+    switch (cls) {
+      case FaultClass::TagStateFlip: return "tag-state";
+      case FaultClass::DirectoryDropBit: return "dir-drop";
+      case FaultClass::DirectoryGhostBit: return "dir-ghost";
+      case FaultClass::OwnerCorrupt: return "owner";
+      case FaultClass::OrphanDataBlock: return "orphan-data";
+      case FaultClass::LeakedMshr: return "mshr-leak";
+      case FaultClass::ReplMetadata: return "repl-meta";
+    }
+    return "unknown";
+}
+
+bool
+faultClassFromName(const std::string &name, FaultClass &out)
+{
+    for (std::size_t i = 0; i < numFaultClasses; ++i) {
+        const auto cls = static_cast<FaultClass>(i);
+        if (name == toString(cls)) {
+            out = cls;
+            return true;
+        }
+    }
+    return false;
+}
+
+Invariant
+detectedBy(FaultClass cls, LlcKind kind)
+{
+    switch (cls) {
+      case FaultClass::TagStateFlip:
+        return kind == LlcKind::Reuse ? Invariant::TagDataPointers
+                                      : Invariant::StateEncoding;
+      case FaultClass::DirectoryDropBit:
+      case FaultClass::DirectoryGhostBit:
+        return Invariant::DirectoryInclusion;
+      case FaultClass::OwnerCorrupt:
+        return Invariant::DirectoryEncoding;
+      case FaultClass::OrphanDataBlock:
+        return Invariant::TagDataPointers;
+      case FaultClass::LeakedMshr:
+        return Invariant::MshrLeak;
+      case FaultClass::ReplMetadata:
+        return Invariant::ReplMetadata;
+    }
+    return Invariant::TagDataPointers;
+}
+
+FaultInjector::FaultInjector(std::uint64_t seed) : rng(seed) {}
+
+InjectionResult
+FaultInjector::inject(Cmp &cmp, FaultClass cls)
+{
+    InjectionResult res;
+    res.fault = cls;
+
+    auto *reuse = dynamic_cast<ReuseCache *>(&cmp.llc());
+    auto *conv = dynamic_cast<ConventionalLlc *>(&cmp.llc());
+    const LlcKind kind = reuse ? LlcKind::Reuse : LlcKind::Conventional;
+    const std::uint32_t cores = cmp.numCores();
+
+    auto pickTag = [&](const std::vector<TagCoord> &cands) {
+        return cands[rng.below(cands.size())];
+    };
+    auto pickLine = [&](const std::vector<Addr> &cands) {
+        return cands[rng.below(cands.size())];
+    };
+    auto done = [&](std::string detail) {
+        res.applied = true;
+        res.detail = std::move(detail);
+        if (res.expected.empty())
+            res.expected.push_back(detectedBy(cls, kind));
+    };
+
+    switch (cls) {
+      case FaultClass::TagStateFlip: {
+        if (reuse) {
+            ReuseTagArray &tags = reuse->tagArrayMut();
+            // Preferred target: a tag+data state demoted to TO leaves
+            // its data entry orphaned (TagDataPointers, both walks).
+            auto cands = reuseCandidates(tags, [](const auto &e) {
+                return llcHasData(e.state);
+            });
+            if (!cands.empty()) {
+                const TagCoord c = pickTag(cands);
+                tags.at(c.set, c.way).state = LlcState::TO;
+                done("reuse tag " + coordStr(c) + " demoted to TO with "
+                     "its data entry left behind");
+                return res;
+            }
+            // Fallback: promote a TO tag to S with a dangling forward
+            // pointer — still a TagDataPointers violation.
+            cands = reuseCandidates(tags, [](const auto &e) {
+                return e.state == LlcState::TO;
+            });
+            if (cands.empty())
+                break;
+            const TagCoord c = pickTag(cands);
+            tags.at(c.set, c.way).state = LlcState::S;
+            done("reuse TO tag " + coordStr(c) +
+                 " promoted to S with no data entry");
+            return res;
+        }
+        if (conv) {
+            auto cands = convCandidates(
+                *conv, [](LlcState, const DirectoryEntry &) {
+                    return true;
+                });
+            if (cands.empty())
+                break;
+            const Addr line = pickLine(cands);
+            conv->corruptStateForTest(line, LlcState::TO);
+            done("conventional line " + lineStr(line) +
+                 " forced into the TO state");
+            return res;
+        }
+        break;
+      }
+
+      case FaultClass::DirectoryDropBit: {
+        auto drop = [&](DirectoryEntry &dir, const std::string &what) {
+            std::vector<CoreId> sharers;
+            for (CoreId c = 0; c < cores; ++c) {
+                if (dir.isSharer(c))
+                    sharers.push_back(c);
+            }
+            const CoreId victim =
+                sharers[rng.below(sharers.size())];
+            // removeSharer also dissolves ownership when the victim
+            // owned the line, so the encoding stays sane and only
+            // DirectoryInclusion can fire.
+            dir.removeSharer(victim);
+            done(what + ": dropped presence bit of core " +
+                 std::to_string(victim));
+        };
+        if (reuse) {
+            ReuseTagArray &tags = reuse->tagArrayMut();
+            auto cands = reuseCandidates(tags, [](const auto &e) {
+                return !e.dir.empty();
+            });
+            if (cands.empty())
+                break;
+            const TagCoord c = pickTag(cands);
+            drop(tags.at(c.set, c.way).dir, "reuse tag " + coordStr(c));
+            return res;
+        }
+        if (conv) {
+            auto cands = convCandidates(
+                *conv, [](LlcState, const DirectoryEntry &dir) {
+                    return !dir.empty();
+                });
+            if (cands.empty())
+                break;
+            const Addr line = pickLine(cands);
+            drop(*conv->dirOfMut(line), "line " + lineStr(line));
+            return res;
+        }
+        break;
+      }
+
+      case FaultClass::DirectoryGhostBit: {
+        auto ghost = [&](DirectoryEntry &dir, const std::string &what) {
+            std::vector<CoreId> absent;
+            for (CoreId c = 0; c < cores; ++c) {
+                if (!dir.isSharer(c))
+                    absent.push_back(c);
+            }
+            const CoreId ghost_core = absent[rng.below(absent.size())];
+            dir.addSharer(ghost_core);
+            done(what + ": added ghost presence bit for core " +
+                 std::to_string(ghost_core));
+        };
+        if (reuse) {
+            ReuseTagArray &tags = reuse->tagArrayMut();
+            auto cands = reuseCandidates(tags, [&](const auto &e) {
+                return e.dir.sharerCount() < cores;
+            });
+            if (cands.empty())
+                break;
+            const TagCoord c = pickTag(cands);
+            ghost(tags.at(c.set, c.way).dir, "reuse tag " + coordStr(c));
+            return res;
+        }
+        if (conv) {
+            auto cands = convCandidates(
+                *conv, [&](LlcState, const DirectoryEntry &dir) {
+                    return dir.sharerCount() < cores;
+                });
+            if (cands.empty())
+                break;
+            const Addr line = pickLine(cands);
+            ghost(*conv->dirOfMut(line), "line " + lineStr(line));
+            return res;
+        }
+        break;
+      }
+
+      case FaultClass::OwnerCorrupt: {
+        // An owner id == numCores is out of range; encodingSane rejects
+        // it before ever using it as a shift amount.
+        if (reuse) {
+            ReuseTagArray &tags = reuse->tagArrayMut();
+            auto cands =
+                reuseCandidates(tags, [](const auto &) { return true; });
+            if (cands.empty())
+                break;
+            const TagCoord c = pickTag(cands);
+            tags.at(c.set, c.way).dir.corruptOwnerForTest(cores);
+            done("reuse tag " + coordStr(c) +
+                 ": owner id set out of range");
+            return res;
+        }
+        if (conv) {
+            auto cands = convCandidates(
+                *conv,
+                [](LlcState, const DirectoryEntry &) { return true; });
+            if (cands.empty())
+                break;
+            const Addr line = pickLine(cands);
+            conv->dirOfMut(line)->corruptOwnerForTest(cores);
+            done("line " + lineStr(line) + ": owner id set out of range");
+            return res;
+        }
+        break;
+      }
+
+      case FaultClass::OrphanDataBlock: {
+        if (!reuse)
+            break; // coupled tag/data caches cannot orphan data
+        ReuseTagArray &tags = reuse->tagArrayMut();
+        // Prefer a tag with no private copies: invalidating it then
+        // violates only the tag/data pointer invariant.
+        auto cands = reuseCandidates(tags, [](const auto &e) {
+            return llcHasData(e.state) && e.dir.empty();
+        });
+        if (cands.empty()) {
+            cands = reuseCandidates(tags, [](const auto &e) {
+                return llcHasData(e.state);
+            });
+            if (cands.empty())
+                break;
+            // Dropping a tag with live sharers also breaks inclusion.
+            res.expected.push_back(detectedBy(cls, kind));
+            res.expected.push_back(Invariant::DirectoryInclusion);
+        }
+        const TagCoord c = pickTag(cands);
+        tags.invalidate(c.set, c.way);
+        done("reuse tag " + coordStr(c) +
+             " invalidated, orphaning its data entry");
+        return res;
+      }
+
+      case FaultClass::LeakedMshr: {
+        const auto &files = cmp.crossbar().mshrs();
+        for (std::uint32_t attempt = 0; attempt < 8; ++attempt) {
+            const Addr line =
+                (Addr{0xdead} << 32) | (rng.below(1u << 20) << 6);
+            for (std::size_t bank = 0; bank < files.size(); ++bank) {
+                const auto outcome =
+                    files[bank]->request(line, cmp.now(), neverCycle);
+                if (outcome == MshrFile::Outcome::Allocated) {
+                    done("bank " + std::to_string(bank) +
+                         ": leaked an MSHR entry for line " +
+                         lineStr(line) + " (doneAt = never)");
+                    return res;
+                }
+            }
+        }
+        break;
+      }
+
+      case FaultClass::ReplMetadata: {
+        auto corrupt = [&](ReplacementPolicy &p, const std::string &what) {
+            const std::uint64_t set = rng.below(p.numSets());
+            const std::uint32_t way =
+                static_cast<std::uint32_t>(rng.below(p.numWays()));
+            if (!p.corruptMetadata(set, way))
+                return false;
+            done(what + ": replacement metadata of (" +
+                 std::to_string(set) + "," + std::to_string(way) +
+                 ") forced out of range");
+            return true;
+        };
+        if (reuse) {
+            if (corrupt(reuse->dataArrayMut().policyMut(),
+                        "reuse data array") ||
+                corrupt(reuse->tagArrayMut().policyMut(),
+                        "reuse tag array"))
+                return res;
+            break;
+        }
+        if (conv && corrupt(conv->policyMut(), "conventional LLC"))
+            return res;
+        break;
+      }
+    }
+
+    res.applied = false;
+    res.detail = std::string("no viable target for ") + toString(cls);
+    return res;
+}
+
+} // namespace rc

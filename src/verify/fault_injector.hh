@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Deterministic fault injector: corrupts live simulated state so tests
+ * can prove each IntegrityChecker invariant actually fires (mutation
+ * testing of the checker itself), and so the bench harness can poison a
+ * designated run of a sweep to exercise the quarantine path.
+ *
+ * All randomness comes from a seeded Xorshift64* generator and all
+ * candidate scans are in fixed array order, so the same seed on the
+ * same simulated state always corrupts the same coordinate.
+ */
+
+#ifndef RC_VERIFY_FAULT_INJECTOR_HH
+#define RC_VERIFY_FAULT_INJECTOR_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/rng.hh"
+#include "sim/system_config.hh"
+#include "verify/integrity.hh"
+
+namespace rc
+{
+
+class Cmp;
+
+/** The state corruptions the injector can introduce. */
+enum class FaultClass : std::uint8_t
+{
+    TagStateFlip,     //!< flip a tag's stable state (S/M -> TO, or TO
+                      //!< -> TO in the conventional cache)
+    DirectoryDropBit, //!< drop a real sharer's presence bit
+    DirectoryGhostBit, //!< add a presence bit for a core with no copy
+    OwnerCorrupt,     //!< record an out-of-range owner id
+    OrphanDataBlock,  //!< invalidate a data-holding tag, leaving its
+                      //!< data entry behind (reuse cache only)
+    LeakedMshr,       //!< allocate an MSHR entry that can never retire
+    ReplMetadata,     //!< force replacement metadata out of range
+};
+
+/** Number of FaultClass values (matrix tests iterate over all). */
+inline constexpr std::size_t numFaultClasses = 7;
+
+/** Short name, e.g. "dir-drop" (also the --inject= spelling). */
+const char *toString(FaultClass cls);
+
+/**
+ * Parse a --inject= spelling ("tag-state", "dir-drop", "dir-ghost",
+ * "owner", "orphan-data", "mshr-leak", "repl-meta").
+ * @return false when @p name matches no class.
+ */
+bool faultClassFromName(const std::string &name, FaultClass &out);
+
+/**
+ * The invariant expected to catch @p cls on a @p kind organization
+ * (the checker-vs-injector matrix contract).
+ */
+Invariant detectedBy(FaultClass cls, LlcKind kind);
+
+/** What an injection attempt actually did. */
+struct InjectionResult
+{
+    bool applied = false;  //!< a corruption was introduced
+    FaultClass fault = FaultClass::TagStateFlip;
+    std::string detail;    //!< what was corrupted, with coordinates
+    /**
+     * Invariants this specific corruption must trip — normally exactly
+     * {detectedBy(...)}; a fallback target can add a second entry.
+     */
+    std::vector<Invariant> expected;
+};
+
+/** Seeded corruptor of live Cmp state. */
+class FaultInjector
+{
+  public:
+    /** @param seed drives every random choice (determinism). */
+    explicit FaultInjector(std::uint64_t seed);
+
+    /**
+     * Corrupt @p cmp with one fault of class @p cls.
+     * @return applied = false when the organization has no viable
+     *         target (e.g. orphan-data on a conventional cache, or an
+     *         empty cache before warmup).
+     */
+    InjectionResult inject(Cmp &cmp, FaultClass cls);
+
+  private:
+    Rng rng;
+};
+
+} // namespace rc
+
+#endif // RC_VERIFY_FAULT_INJECTOR_HH

@@ -1,0 +1,133 @@
+/**
+ * @file
+ * Whole-system integrity checker (the verify layer).
+ *
+ * Walks the complete simulated state at a quiescent point and validates
+ * the structural invariants the reuse cache's correctness rests on:
+ *
+ *  - TagDataPointers: every tag in a data-holding state (S/M) names a
+ *    valid data entry whose reverse pointer names it back, every valid
+ *    data entry is owned by such a tag, and the populations match.
+ *  - DirectoryInclusion: the full-map directory agrees bit-for-bit with
+ *    the actual private L1/L2 contents, in both directions.
+ *  - DirectoryEncoding: presence bits only address real cores; a
+ *    recorded owner is a real core and a sharer.
+ *  - PrivateInclusion: both L1s are subsets of their L2.
+ *  - StateEncoding: the conventional LLC never holds the reuse-cache-
+ *    only TO (tag-only) state.
+ *  - ReplMetadata: NRU/NRR/Clock-ref bits are 0/1, every Clock set has
+ *    exactly one hand and it points at a real way, RRPVs are in range.
+ *  - MshrLeak: no MSHR entry can linger forever (doneAt == never); at
+ *    quiesce, no entry outlives the last core's ready time.
+ *
+ * The checker is read-only and runs either every N references (via
+ * Cmp::setCheckHook) or at end-of-run.  enforce() turns a dirty report
+ * into a SimError(Integrity) that the bench harness quarantines.
+ */
+
+#ifndef RC_VERIFY_INTEGRITY_HH
+#define RC_VERIFY_INTEGRITY_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace rc
+{
+
+class Cmp;
+
+/** The invariant classes the checker can report against. */
+enum class Invariant : std::uint8_t
+{
+    TagDataPointers,    //!< reuse tag/data cross-consistency
+    DirectoryInclusion, //!< directory vs actual private contents
+    DirectoryEncoding,  //!< presence/owner bit encoding
+    PrivateInclusion,   //!< L1 subset of L2
+    StateEncoding,      //!< illegal stable state for the organization
+    ReplMetadata,       //!< replacement metadata out of range
+    MshrLeak,           //!< MSHR entry that can never retire
+};
+
+/** Short name, e.g. "TagDataPointers". */
+const char *toString(Invariant inv);
+
+/** One invariant violation found during a walk. */
+struct Violation
+{
+    Invariant invariant;
+    std::string detail; //!< human-readable diagnosis with coordinates
+};
+
+/** Result of one full state walk. */
+struct IntegrityReport
+{
+    std::vector<Violation> violations;
+    Cycle checkedAt = 0;            //!< cycle the walk observed
+    std::uint64_t tagsWalked = 0;   //!< LLC tag entries visited
+    std::uint64_t dataWalked = 0;   //!< reuse data entries visited
+    std::uint64_t privateWalked = 0; //!< private L1/L2 lines visited
+    std::uint64_t mshrWalked = 0;   //!< MSHR files visited
+
+    /** @return true iff the walk found no violations. */
+    bool clean() const { return violations.empty(); }
+
+    /** @return true iff some violation is of class @p inv. */
+    bool has(Invariant inv) const;
+
+    /** Number of violations of class @p inv. */
+    std::size_t countOf(Invariant inv) const;
+
+    /** One-line summary plus the first few violation details. */
+    std::string summary(std::size_t max_details = 4) const;
+};
+
+/**
+ * Read-only walker over one Cmp.  Stateless apart from the walk
+ * counter; safe to invoke from the Cmp check hook (the walk happens on
+ * the thread running that simulation, so sweeps with --jobs=N race
+ * nothing).
+ */
+class IntegrityChecker
+{
+  public:
+    /** @param cmp the system to validate (not owned). */
+    explicit IntegrityChecker(const Cmp &cmp);
+
+    /**
+     * Full mid-run walk at cycle @p now.  MSHR entries still in flight
+     * are legitimate; only unretirable ones are leaks.
+     */
+    IntegrityReport check(Cycle now) const;
+
+    /**
+     * End-of-run walk: everything check() covers, plus MSHR entries
+     * whose completion lies beyond every core's ready time (nothing can
+     * retire them anymore).
+     */
+    IntegrityReport checkQuiesce(Cycle now) const;
+
+    /** check() and throw SimError(Integrity) if the report is dirty. */
+    void enforce(Cycle now) const;
+
+    /** checkQuiesce() and throw SimError(Integrity) if dirty. */
+    void enforceQuiesce(Cycle now) const;
+
+    /** Completed walks (tests / cadence accounting). */
+    std::uint64_t walks() const { return walksDone; }
+
+  private:
+    void checkLlc(IntegrityReport &r) const;
+    void checkDirectoryInclusion(IntegrityReport &r) const;
+    void checkPrivate(IntegrityReport &r) const;
+    void checkMshrs(IntegrityReport &r, bool quiesce) const;
+
+    const Cmp &sys;
+    mutable std::uint64_t walksDone = 0;
+};
+
+} // namespace rc
+
+#endif // RC_VERIFY_INTEGRITY_HH

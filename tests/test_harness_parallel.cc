@@ -158,6 +158,7 @@ TEST(HarnessParallel, UsageStringDocumentsEveryFlag)
     const char *usage = bench::usageString();
     for (const char *flag : {"--mixes=", "--scale=", "--warmup=",
                              "--measure=", "--seed=", "--jobs=",
+                             "--check-interval=", "--inject=",
                              "--full", "--help"}) {
         EXPECT_NE(std::strstr(usage, flag), nullptr) << flag;
     }

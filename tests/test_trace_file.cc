@@ -3,7 +3,11 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <string>
 
+#include <unistd.h>
+
+#include "common/log.hh"
 #include "sim/trace_file.hh"
 #include "workloads/generator.hh"
 
@@ -16,6 +20,19 @@ std::string
 tempPath(const char *name)
 {
     return std::string(::testing::TempDir()) + name;
+}
+
+/** Construct a reader and return the SimError it must throw. */
+SimError
+readerError(const std::string &path)
+{
+    try {
+        TraceReader r(path);
+    } catch (const SimError &err) {
+        return err;
+    }
+    ADD_FAILURE() << "TraceReader('" << path << "') did not throw";
+    return SimError(SimError::Kind::Trace, "missing throw");
 }
 
 TEST(TraceFile, RoundTrip)
@@ -84,13 +101,19 @@ TEST(TraceFile, RecordHelperCapturesSyntheticStream)
     std::remove(path.c_str());
 }
 
+// A corrupt trace is a per-run condition: it must throw a recoverable
+// SimError(Trace) that the harness quarantines, not kill the process.
+
 TEST(TraceFile, RejectsGarbage)
 {
     const std::string path = tempPath("garbage.rct");
     std::FILE *f = std::fopen(path.c_str(), "wb");
-    std::fputs("this is not a trace", f);
+    std::fputs("this is not a trace, but it is header-sized!", f);
     std::fclose(f);
-    EXPECT_DEATH(TraceReader r(path), "not a reuse-cache trace");
+    const SimError err = readerError(path);
+    EXPECT_EQ(err.kind(), SimError::Kind::Trace);
+    EXPECT_NE(std::string(err.what()).find("not a reuse-cache trace"),
+              std::string::npos);
     std::remove(path.c_str());
 }
 
@@ -100,14 +123,58 @@ TEST(TraceFile, RejectsEmptyTrace)
     {
         TraceWriter w(path);
     }
-    EXPECT_DEATH(TraceReader r(path), "no records");
+    const SimError err = readerError(path);
+    EXPECT_EQ(err.kind(), SimError::Kind::Trace);
+    EXPECT_NE(std::string(err.what()).find("no records"),
+              std::string::npos);
     std::remove(path.c_str());
 }
 
-TEST(TraceFile, MissingFileFatal)
+TEST(TraceFile, MissingFileThrows)
 {
-    EXPECT_DEATH(TraceReader r("/nonexistent/dir/nope.rct"),
-                 "cannot open");
+    const SimError err = readerError("/nonexistent/dir/nope.rct");
+    EXPECT_EQ(err.kind(), SimError::Kind::Trace);
+    EXPECT_NE(std::string(err.what()).find("cannot open"),
+              std::string::npos);
+}
+
+TEST(TraceFile, RejectsTruncatedHeader)
+{
+    const std::string path = tempPath("shortheader.rct");
+    std::FILE *f = std::fopen(path.c_str(), "wb");
+    std::fwrite("RCTRACE1\x00\x00", 1, 10, f); // 10 of 16 bytes
+    std::fclose(f);
+    const SimError err = readerError(path);
+    EXPECT_EQ(err.kind(), SimError::Kind::Trace);
+    EXPECT_NE(std::string(err.what()).find("truncated"),
+              std::string::npos);
+    std::remove(path.c_str());
+}
+
+TEST(TraceFile, RejectsShortReadMidRecord)
+{
+    const std::string path = tempPath("midrecord.rct");
+    {
+        TraceWriter w(path);
+        w.write({0x40, MemOp::Read, 1, false});
+        w.write({0x80, MemOp::Read, 2, false});
+    }
+    // Chop 5 bytes off the last 12-byte record.
+    std::FILE *f = std::fopen(path.c_str(), "rb");
+    ASSERT_NE(f, nullptr);
+    ASSERT_EQ(std::fseek(f, 0, SEEK_END), 0);
+    const long full = std::ftell(f);
+    std::fclose(f);
+    ASSERT_EQ(::truncate(path.c_str(), full - 5), 0);
+    const SimError err = readerError(path);
+    EXPECT_EQ(err.kind(), SimError::Kind::Trace);
+    EXPECT_NE(std::string(err.what()).find("ends mid-record"),
+              std::string::npos);
+    EXPECT_NE(std::string(err.what()).find("7 trailing byte(s)"),
+              std::string::npos);
+    EXPECT_NE(std::string(err.what()).find("1 full record(s)"),
+              std::string::npos);
+    std::remove(path.c_str());
 }
 
 TEST(TraceFile, LabelIsPath)
