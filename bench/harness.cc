@@ -6,12 +6,18 @@
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
+#include <cerrno>
 #include <cstring>
 #include <mutex>
+#include <thread>
+
+#include <sys/stat.h>
 
 #include "common/log.hh"
 #include "common/task_pool.hh"
 #include "reuse/reuse_cache.hh"
+#include "snapshot/journal.hh"
+#include "snapshot/serializer.hh"
 #include "verify/fault_injector.hh"
 #include "verify/integrity.hh"
 
@@ -47,8 +53,67 @@ thread_local std::size_t tlsRunIndex = SIZE_MAX;
 /** Attempt number of the calling worker's current run. */
 thread_local std::uint32_t tlsAttempt = 0;
 
+/** Watchdog wiring of the calling worker's run (null = no watchdog). */
+thread_local std::atomic<std::uint64_t> *tlsHeartbeat = nullptr;
+thread_local const std::atomic<bool> *tlsAbortFlag = nullptr;
+
 /** Exit nonzero when quarantined runs remain (parseArgs guard). */
 std::atomic<bool> exitOnQuarantineFlag{true};
+
+/**
+ * forEachRun call counter: a bench executes the same batch sequence on
+ * every launch, so the pair (batch, run) names a run stably across
+ * relaunches and the journal of a killed sweep maps onto the relaunch.
+ */
+std::atomic<std::uint64_t> sweepBatchCounter{0};
+
+/** Batch index of the innermost active forEachRun (npos outside). */
+std::atomic<std::uint64_t> activeBatch{UINT64_MAX};
+
+/**
+ * Per-run watchdog slot.  The worker publishes forward progress into
+ * `beat` (wired into Cmp::setProgressCounter); the monitor thread sets
+ * `abort` when the beat stalls past the timeout.  `epoch` increments at
+ * every attempt start so a retry re-arms the monitor's stall timer.
+ */
+struct HeartbeatSlot
+{
+    std::atomic<std::uint64_t> beat{0};
+    std::atomic<std::uint64_t> epoch{0};
+    std::atomic<bool> running{false};
+    std::atomic<bool> abort{false};
+};
+
+/** True when @p path names an existing file. */
+bool
+fileExists(const std::string &path)
+{
+    struct stat st;
+    return ::stat(path.c_str(), &st) == 0;
+}
+
+/** mkdir that tolerates the directory already existing. */
+void
+ensureDir(const std::string &dir)
+{
+    if (::mkdir(dir.c_str(), 0755) != 0 && errno != EEXIST)
+        throwSimError(SimError::Kind::Snapshot,
+                      "cannot create sweep directory '%s'", dir.c_str());
+}
+
+/** `<dir>/<stem>-b<batch>-r<run>.<ext>` for the named run. */
+std::string
+runFilePath(const std::string &dir, const char *stem, std::uint64_t batch,
+            std::size_t run, const char *ext)
+{
+    char buf[96];
+    if (run == SIZE_MAX)
+        std::snprintf(buf, sizeof(buf), "/%s-solo.%s", stem, ext);
+    else
+        std::snprintf(buf, sizeof(buf), "/%s-b%llu-r%zu.%s", stem,
+                      static_cast<unsigned long long>(batch), run, ext);
+    return dir + buf;
+}
 
 /** Escape a string for embedding in a JSON literal. */
 std::string
@@ -217,6 +282,30 @@ currentAttempt()
     return tlsAttempt;
 }
 
+std::atomic<std::uint64_t> *
+currentRunHeartbeat()
+{
+    return tlsHeartbeat;
+}
+
+const std::atomic<bool> *
+currentRunAbortFlag()
+{
+    return tlsAbortFlag;
+}
+
+std::uint64_t
+currentBatchIndex()
+{
+    return activeBatch.load(std::memory_order_relaxed);
+}
+
+void
+resetSweepBatchesForTest()
+{
+    sweepBatchCounter.store(0, std::memory_order_relaxed);
+}
+
 std::uint64_t
 quarantinedRunsTotal()
 {
@@ -258,6 +347,18 @@ usageString()
            "batch with one CLASS fault\n"
            "               (tag-state, dir-drop, dir-ghost, owner, "
            "orphan-data, mshr-leak, repl-meta)\n"
+           "  --checkpoint-interval=N  checkpoint each run's full state "
+           "every N references\n"
+           "               (needs --sweep-dir or --resume; 0 = off)\n"
+           "  --sweep-dir=DIR  journal completed runs and keep results/"
+           "checkpoints in DIR\n"
+           "  --resume=DIR relaunch a killed sweep from DIR: skip "
+           "journaled runs, restore\n"
+           "               in-flight ones from their latest valid "
+           "checkpoint\n"
+           "  --hang-timeout=S  abort and quarantine runs making no "
+           "forward progress for\n"
+           "               S wall seconds (default 300; 0 = off)\n"
            "  --full       paper-strength settings (100 mixes, longer "
            "windows)\n"
            "  --help       print this text and exit\n";
@@ -276,6 +377,9 @@ parseArgs(int argc, char **argv)
     registerQuarantineGuard();
     registerPerfRecord();
     RunOptions opt;
+    // Bench CLIs default the watchdog on; tests constructing RunOptions
+    // directly keep it off (hangTimeout's field default is 0).
+    opt.hangTimeout = 300.0;
     for (int i = 1; i < argc; ++i) {
         const char *arg = argv[i];
         auto value = [&](const char *prefix) -> const char * {
@@ -300,6 +404,16 @@ parseArgs(int argc, char **argv)
             opt.jobs = static_cast<std::uint32_t>(jobs);
         } else if (const char *v = value("--check-interval=")) {
             opt.checkInterval = static_cast<std::uint64_t>(std::atoll(v));
+        } else if (const char *v = value("--checkpoint-interval=")) {
+            opt.checkpointInterval =
+                static_cast<std::uint64_t>(std::atoll(v));
+        } else if (const char *v = value("--sweep-dir=")) {
+            opt.sweepDir = v;
+        } else if (const char *v = value("--resume=")) {
+            opt.sweepDir = v;
+            opt.resume = true;
+        } else if (const char *v = value("--hang-timeout=")) {
+            opt.hangTimeout = std::atof(v);
         } else if (const char *v = value("--inject=")) {
             std::string spec = v;
             if (const std::size_t at = spec.find('@');
@@ -329,6 +443,13 @@ parseArgs(int argc, char **argv)
     }
     if (opt.mixCount == 0 || opt.scale == 0 || opt.measure == 0)
         fatal("mixes, scale and measure must be positive");
+    if (opt.resume && opt.sweepDir.empty())
+        fatal("--resume needs a directory (--resume=DIR)");
+    if (opt.checkpointInterval != 0 && opt.sweepDir.empty())
+        fatal("--checkpoint-interval needs --sweep-dir=DIR or "
+              "--resume=DIR to know where to put the checkpoints");
+    if (opt.hangTimeout < 0.0)
+        fatal("--hang-timeout must be >= 0");
     return opt;
 }
 
@@ -342,34 +463,159 @@ effectiveJobs(const RunOptions &opt)
 
 std::vector<RunOutcome>
 forEachRun(std::size_t n, const RunOptions &opt,
-           const std::function<void(std::size_t)> &body)
+           const std::function<void(std::size_t)> &body,
+           const ResultCodec *codec)
 {
     if (n == 0)
         return {};
     registerPerfRecord();
+    const std::uint64_t batch =
+        sweepBatchCounter.fetch_add(1, std::memory_order_relaxed);
+    activeBatch.store(batch, std::memory_order_relaxed);
     const std::uint32_t jobs = effectiveJobs(opt);
 
     using clock = std::chrono::steady_clock;
     std::atomic<std::uint64_t> runNanos{0};
     std::vector<RunOutcome> outcomes(n);
+    std::vector<char> skip(n, 0);
+
+    // Resume: journaled ok/retried runs whose result blob verifies are
+    // skipped; quarantined and unjournaled runs re-execute (restoring
+    // from their checkpoints inside runMix).  Later journal records win
+    // so a resume-of-a-resume sees the freshest state.
+    std::unique_ptr<SweepJournal> journal;
+    if (!opt.sweepDir.empty()) {
+        if (opt.resume) {
+            for (const JournalRecord &rec : SweepJournal::load(opt.sweepDir)) {
+                if (rec.batch != batch || rec.run >= n)
+                    continue;
+                const std::size_t i = static_cast<std::size_t>(rec.run);
+                if (rec.status == "quarantined" || !codec || !codec->load) {
+                    skip[i] = 0;
+                    continue;
+                }
+                const std::string rp =
+                    runFilePath(opt.sweepDir, "result", batch, i, "bin");
+                try {
+                    Deserializer d(rp);
+                    if (d.payloadCrc() != rec.digest)
+                        throwSimError(SimError::Kind::Snapshot,
+                                      "result blob '%s' digest 0x%08x does "
+                                      "not match the journal's 0x%08x",
+                                      rp.c_str(), d.payloadCrc(),
+                                      rec.digest);
+                    d.beginSection("result");
+                    codec->load(i, d);
+                    d.endSection("result");
+                } catch (const SimError &err) {
+                    warn("resume: run %zu of batch %llu: %s -- re-running",
+                         i, static_cast<unsigned long long>(batch),
+                         err.what());
+                    skip[i] = 0;
+                    continue;
+                }
+                RunOutcome &out = outcomes[i];
+                out.index = i;
+                out.status = rec.status == "retried" ? RunStatus::Retried
+                                                     : RunStatus::Ok;
+                out.attempts = rec.attempts;
+                out.wallSeconds = rec.wallSeconds;
+                out.error.clear();
+                out.fromJournal = true;
+                skip[i] = 1;
+            }
+        }
+        journal = std::make_unique<SweepJournal>(opt.sweepDir);
+    }
+
+    // Forward-progress watchdog: one heartbeat slot per run, one
+    // monitor thread flagging runs whose beat stalls past the timeout.
+    const bool watch = opt.hangTimeout > 0.0;
+    std::vector<HeartbeatSlot> slots(watch ? n : 0);
+    std::atomic<bool> stopWatch{false};
+    std::thread monitor;
+    if (watch) {
+        monitor = std::thread([&, n] {
+            struct Seen
+            {
+                std::uint64_t epoch = 0;
+                std::uint64_t beat = 0;
+                clock::time_point since;
+                bool armed = false;
+            };
+            std::vector<Seen> seen(n);
+            const auto poll = std::chrono::duration<double>(
+                std::clamp(opt.hangTimeout / 4.0, 0.001, 0.25));
+            while (!stopWatch.load(std::memory_order_relaxed)) {
+                std::this_thread::sleep_for(poll);
+                const auto now = clock::now();
+                for (std::size_t i = 0; i < n; ++i) {
+                    HeartbeatSlot &slot = slots[i];
+                    if (!slot.running.load(std::memory_order_acquire)) {
+                        seen[i].armed = false;
+                        continue;
+                    }
+                    Seen &sn = seen[i];
+                    const std::uint64_t e =
+                        slot.epoch.load(std::memory_order_relaxed);
+                    const std::uint64_t b =
+                        slot.beat.load(std::memory_order_relaxed);
+                    if (!sn.armed || e != sn.epoch || b != sn.beat) {
+                        sn = {e, b, now, true};
+                        continue;
+                    }
+                    if (slot.abort.load(std::memory_order_relaxed))
+                        continue;
+                    const double stalled =
+                        std::chrono::duration<double>(now - sn.since)
+                            .count();
+                    if (stalled >= opt.hangTimeout) {
+                        warn("watchdog: run %zu made no forward progress "
+                             "for %.1f s -- aborting it", i, stalled);
+                        slot.abort.store(true, std::memory_order_release);
+                    }
+                }
+            }
+        });
+    }
+
     // Crash isolation: a SimError fails only this run — retry once,
     // then quarantine.  Anything else still propagates (a logic bug in
     // the harness must not be silently absorbed).
     auto guarded = [&](std::size_t i) {
+        if (skip[i])
+            return;
         RunOutcome &out = outcomes[i];
         out.index = i;
         tlsRunIndex = i;
+        HeartbeatSlot *slot = watch ? &slots[i] : nullptr;
+        if (slot) {
+            // livelockRun (test hook): run normally, but never publish
+            // the heartbeat, so the monitor must flag this run.
+            tlsHeartbeat = i == opt.livelockRun ? nullptr : &slot->beat;
+            tlsAbortFlag = &slot->abort;
+        }
         const auto t0 = clock::now();
         for (std::uint32_t attempt = 0;; ++attempt) {
             tlsAttempt = attempt;
             out.attempts = attempt + 1;
+            if (slot) {
+                slot->abort.store(false, std::memory_order_relaxed);
+                slot->beat.store(0, std::memory_order_relaxed);
+                slot->epoch.fetch_add(1, std::memory_order_relaxed);
+                slot->running.store(true, std::memory_order_release);
+            }
             try {
                 body(i);
+                if (slot)
+                    slot->running.store(false, std::memory_order_release);
                 out.status =
                     attempt == 0 ? RunStatus::Ok : RunStatus::Retried;
                 out.error.clear();
                 break;
             } catch (const SimError &err) {
+                if (slot)
+                    slot->running.store(false, std::memory_order_release);
                 out.error = err.what();
                 warn("run %zu attempt %u failed: %s%s", i, attempt + 1,
                      err.what(),
@@ -382,27 +628,73 @@ forEachRun(std::size_t n, const RunOptions &opt,
         }
         tlsRunIndex = SIZE_MAX;
         tlsAttempt = 0;
+        tlsHeartbeat = nullptr;
+        tlsAbortFlag = nullptr;
         out.wallSeconds =
             std::chrono::duration<double>(clock::now() - t0).count();
         runNanos.fetch_add(
             static_cast<std::uint64_t>(out.wallSeconds * 1e9),
             std::memory_order_relaxed);
+
+        if (!journal)
+            return;
+        // Persist the result (when a codec exists) and journal the run.
+        std::uint32_t digest = 0;
+        if (out.status != RunStatus::Quarantined && codec && codec->save) {
+            try {
+                Serializer s;
+                s.beginSection("result");
+                codec->save(i, s);
+                s.endSection("result");
+                s.writeFile(
+                    runFilePath(opt.sweepDir, "result", batch, i, "bin"));
+                digest = s.payloadCrc();
+            } catch (const SimError &err) {
+                warn("cannot persist the result of run %zu: %s", i,
+                     err.what());
+            }
+        }
+        JournalRecord rec;
+        rec.batch = batch;
+        rec.run = i;
+        rec.status = toString(out.status);
+        rec.attempts = out.attempts;
+        rec.digest = digest;
+        rec.wallSeconds = out.wallSeconds;
+        rec.error = out.error;
+        journal->append(rec);
     };
 
     const auto wall0 = clock::now();
-    if (jobs <= 1 || n == 1) {
-        for (std::size_t i = 0; i < n; ++i)
-            guarded(i);
-    } else {
-        TaskPool pool(std::min<std::size_t>(jobs, n));
-        pool.parallelFor(0, n, guarded);
+    try {
+        if (jobs <= 1 || n == 1) {
+            for (std::size_t i = 0; i < n; ++i)
+                guarded(i);
+        } else {
+            TaskPool pool(std::min<std::size_t>(jobs, n));
+            pool.parallelFor(0, n, guarded);
+        }
+    } catch (...) {
+        stopWatch.store(true, std::memory_order_relaxed);
+        if (monitor.joinable())
+            monitor.join();
+        activeBatch.store(UINT64_MAX, std::memory_order_relaxed);
+        throw;
     }
+    stopWatch.store(true, std::memory_order_relaxed);
+    if (monitor.joinable())
+        monitor.join();
+    activeBatch.store(UINT64_MAX, std::memory_order_relaxed);
     const double wall =
         std::chrono::duration<double>(clock::now() - wall0).count();
 
+    std::size_t executed = 0;
+    for (std::size_t i = 0; i < n; ++i)
+        executed += skip[i] ? 0 : 1;
+
     PerfTotals &t = perfTotals();
     std::lock_guard<std::mutex> lock(t.mu);
-    t.sims += n;
+    t.sims += executed;
     t.cpuSeconds += static_cast<double>(runNanos.load()) * 1e-9;
     t.wallSeconds += wall;
     t.jobs = jobs;
@@ -482,15 +774,116 @@ applyInjectedFault(Cmp &cmp, const RunOptions &opt)
          currentAttempt() + 1, toString(cls), r.detail.c_str());
 }
 
-} // namespace
-
-RunResult
-runMix(const SystemConfig &sys, const Mix &mix, const RunOptions &opt,
-       GenerationTracker *tracker, Cycle *win_start, Cycle *win_end)
+/**
+ * Persist one run's resumable state: a "harness" section carrying the
+ * phase (0 = warmup, 1 = measurement) and a fingerprint of the options
+ * that shape determinism, then the full Cmp image.  Checkpoints and
+ * watchdog hang dumps share this layout.
+ */
+void
+writeRunState(const Cmp &cmp, std::uint32_t phase, const RunOptions &opt,
+              const std::string &path)
 {
-    SystemConfig cfg = sys;
-    cfg.seed = opt.seed;
-    Cmp cmp(cfg, buildMixStreams(mix, opt.seed, opt.scale));
+    Serializer s;
+    s.beginSection("run");
+    s.beginSection("harness");
+    s.putU32(phase);
+    s.putU64(opt.seed);
+    s.putU64(opt.warmup);
+    s.putU64(opt.measure);
+    s.putU64(opt.scale);
+    s.endSection("harness");
+    s.beginSection("cmp");
+    cmp.save(s);
+    s.endSection("cmp");
+    s.endSection("run");
+    s.writeFile(path);
+}
+
+/**
+ * One simulation run with the full robustness kit: optional resume from
+ * a checkpoint, periodic checkpointing, watchdog wiring, integrity
+ * cadence, fault injection and the tracker cooldown.  runMix and
+ * runParallel differ only in how the Cmp is built.
+ */
+RunResult
+executeRun(const SystemConfig &cfg,
+           const std::function<std::unique_ptr<Cmp>()> &make_cmp,
+           const RunOptions &opt, GenerationTracker *tracker,
+           Cycle *win_start, Cycle *win_end)
+{
+    std::unique_ptr<Cmp> sim = make_cmp();
+
+    // Quarantine-retry hygiene: a tracker that stayed attached across a
+    // failed attempt holds that attempt's history; start it clean so a
+    // retry is bit-identical to a clean first attempt.
+    if (tracker)
+        tracker->reset();
+
+    const bool wantCheckpoints =
+        opt.checkpointInterval != 0 && !opt.sweepDir.empty();
+    if (wantCheckpoints && tracker)
+        warn("run %zu: checkpointing disabled, a generation tracker is "
+             "attached (observer history is not simulated state)",
+             currentRunIndex());
+    std::string ckptPath;
+    if (wantCheckpoints && !tracker) {
+        ensureDir(opt.sweepDir);
+        ckptPath = runFilePath(opt.sweepDir, "ckpt", currentBatchIndex(),
+                               currentRunIndex(), "ckpt");
+    }
+
+    // Resume: restore from the run's checkpoint when one exists; any
+    // snapshot error falls back to a from-scratch execution.
+    std::uint32_t phase = 0; // 0 = warmup, 1 = measurement
+    if (opt.resume && !ckptPath.empty() && fileExists(ckptPath)) {
+        try {
+            Deserializer d(ckptPath);
+            d.beginSection("run");
+            d.beginSection("harness");
+            const std::uint32_t savedPhase = d.getU32();
+            const std::uint64_t seed = d.getU64();
+            const std::uint64_t warmup = d.getU64();
+            const std::uint64_t measure = d.getU64();
+            const std::uint64_t scale = d.getU64();
+            if (savedPhase > 1)
+                throwSimError(SimError::Kind::Snapshot,
+                              "checkpoint '%s' carries unknown phase %u",
+                              ckptPath.c_str(), savedPhase);
+            if (seed != opt.seed || warmup != opt.warmup ||
+                measure != opt.measure || scale != opt.scale)
+                throwSimError(SimError::Kind::Snapshot,
+                              "checkpoint '%s' was taken under different "
+                              "run options (seed %llu warmup %llu measure "
+                              "%llu scale %llu)", ckptPath.c_str(),
+                              static_cast<unsigned long long>(seed),
+                              static_cast<unsigned long long>(warmup),
+                              static_cast<unsigned long long>(measure),
+                              static_cast<unsigned long long>(scale));
+            d.endSection("harness");
+            d.beginSection("cmp");
+            sim->restore(d);
+            d.endSection("cmp");
+            d.endSection("run");
+            // A checkpoint that restores into an inconsistent system is
+            // as unusable as one that fails its CRC.
+            IntegrityChecker(*sim).enforce(sim->now());
+            phase = savedPhase;
+            warn("run %zu: resumed from '%s' (phase %u, %llu references "
+                 "already simulated)", currentRunIndex(), ckptPath.c_str(),
+                 phase,
+                 static_cast<unsigned long long>(
+                     sim->referencesProcessed()));
+        } catch (const SimError &err) {
+            warn("run %zu: checkpoint '%s' unusable: %s -- restarting "
+                 "the run from scratch", currentRunIndex(),
+                 ckptPath.c_str(), err.what());
+            sim = make_cmp();
+            phase = 0;
+        }
+    }
+
+    Cmp &cmp = *sim;
     if (tracker)
         cmp.llc().setObserver(tracker);
     IntegrityChecker checker(cmp);
@@ -499,13 +892,67 @@ runMix(const SystemConfig &sys, const Mix &mix, const RunOptions &opt,
         cmp.setCheckHook(cadence, [&checker](const Cmp &, Cycle now) {
             checker.enforce(now);
         });
-    cmp.run(opt.warmup);
-    if (isInjectTarget(opt))
-        applyInjectedFault(cmp, opt);
-    cmp.beginMeasurement();
-    if (win_start)
-        *win_start = cmp.now();
-    cmp.run(opt.measure);
+
+    // Watchdog wiring: publish forward progress, honor the abort flag,
+    // and leave a diagnostic state dump behind when aborted.
+    if (const std::atomic<bool> *abort_flag = currentRunAbortFlag()) {
+        cmp.setProgressCounter(currentRunHeartbeat());
+        std::string dumpPath;
+        if (!opt.sweepDir.empty()) {
+            ensureDir(opt.sweepDir);
+            dumpPath = runFilePath(opt.sweepDir, "hang",
+                                   currentBatchIndex(), currentRunIndex(),
+                                   "dump");
+        }
+        cmp.setAbortFlag(abort_flag,
+                         [&opt, &phase, dumpPath](const Cmp &c) {
+            if (dumpPath.empty())
+                return;
+            try {
+                writeRunState(c, phase, opt, dumpPath);
+                warn("watchdog: diagnostic state dump written to '%s'",
+                     dumpPath.c_str());
+            } catch (const SimError &err) {
+                warn("watchdog: cannot write the state dump: %s",
+                     err.what());
+            }
+        });
+    }
+
+    // Periodic checkpoints, plus the simulated-crash test hook (which
+    // dies right after a checkpoint landed, like a kill -9 would).
+    if (!ckptPath.empty())
+        cmp.setSnapshotHook(opt.checkpointInterval,
+                            [&opt, &phase, ckptPath](const Cmp &c, Cycle) {
+            writeRunState(c, phase, opt, ckptPath);
+            if (opt.crashAfterRefs != 0 &&
+                c.referencesProcessed() >= opt.crashAfterRefs)
+                throwSimError(SimError::Kind::Snapshot,
+                              "simulated crash after %llu references "
+                              "(test hook)",
+                              static_cast<unsigned long long>(
+                                  c.referencesProcessed()));
+        });
+
+    if (phase == 0) {
+        cmp.run(opt.warmup);
+        if (isInjectTarget(opt))
+            applyInjectedFault(cmp, opt);
+        cmp.beginMeasurement();
+        phase = 1;
+        if (win_start)
+            *win_start = cmp.now();
+        cmp.run(opt.measure);
+    } else {
+        // Mid-measurement restore: warmup, injection and the counter
+        // snapshots already happened before the checkpoint; re-running
+        // run(measure) continues to the identical horizon because the
+        // loop end is computed from the restored pre-measurement
+        // horizon.
+        if (win_start)
+            *win_start = cmp.measurementStart();
+        cmp.run(opt.measure);
+    }
     if (win_end)
         *win_end = cmp.now();
     const RunResult res = collect(cmp);
@@ -518,7 +965,27 @@ runMix(const SystemConfig &sys, const Mix &mix, const RunOptions &opt,
     }
     if (cadence != 0)
         checker.enforceQuiesce(cmp.now());
+    if (!ckptPath.empty())
+        std::remove(ckptPath.c_str());
+    (void)cfg;
     return res;
+}
+
+} // namespace
+
+RunResult
+runMix(const SystemConfig &sys, const Mix &mix, const RunOptions &opt,
+       GenerationTracker *tracker, Cycle *win_start, Cycle *win_end)
+{
+    SystemConfig cfg = sys;
+    cfg.seed = opt.seed;
+    return executeRun(cfg,
+                      [&] {
+                          return std::make_unique<Cmp>(
+                              cfg, buildMixStreams(mix, opt.seed,
+                                                   opt.scale));
+                      },
+                      opt, tracker, win_start, win_end);
 }
 
 RunResult
@@ -527,33 +994,77 @@ runParallel(const SystemConfig &sys, const AppProfile &app,
 {
     SystemConfig cfg = sys;
     cfg.seed = opt.seed;
-    Cmp cmp(cfg, buildParallelStreams(app, cfg.numCores, opt.seed,
-                                      opt.scale));
-    IntegrityChecker checker(cmp);
-    const std::uint64_t cadence = checkCadence(opt);
-    if (cadence != 0)
-        cmp.setCheckHook(cadence, [&checker](const Cmp &, Cycle now) {
-            checker.enforce(now);
-        });
-    cmp.run(opt.warmup);
-    if (isInjectTarget(opt))
-        applyInjectedFault(cmp, opt);
-    cmp.beginMeasurement();
-    cmp.run(opt.measure);
-    const RunResult res = collect(cmp);
-    if (cadence != 0)
-        checker.enforceQuiesce(cmp.now());
-    return res;
+    return executeRun(cfg,
+                      [&] {
+                          return std::make_unique<Cmp>(
+                              cfg, buildParallelStreams(app, cfg.numCores,
+                                                        opt.seed,
+                                                        opt.scale));
+                      },
+                      opt, nullptr, nullptr, nullptr);
 }
+
+namespace
+{
+
+/**
+ * Codec persisting finished RunResults so --resume can skip completed
+ * runs without re-simulating them (the journal's digest guards the
+ * blob against mixing results from different sweeps).
+ */
+ResultCodec
+runResultCodec(std::vector<RunResult> &results)
+{
+    ResultCodec codec;
+    codec.save = [&results](std::size_t i, Serializer &s) {
+        const RunResult &r = results[i];
+        s.putDouble(r.aggregateIpc);
+        s.putU64(r.coreIpc.size());
+        for (double v : r.coreIpc)
+            s.putDouble(v);
+        s.putU64(r.mpki.size());
+        for (const MpkiTriple &m : r.mpki) {
+            s.putDouble(m.l1);
+            s.putDouble(m.l2);
+            s.putDouble(m.llc);
+        }
+        s.putDouble(r.fracNeverEnteredData);
+        s.putU64(r.llcAccesses);
+        s.putU64(r.llcMemFetches);
+        s.putU64(r.dramReads);
+    };
+    codec.load = [&results](std::size_t i, Deserializer &d) {
+        RunResult r;
+        r.aggregateIpc = d.getDouble();
+        r.coreIpc.resize(d.getU64());
+        for (double &v : r.coreIpc)
+            v = d.getDouble();
+        r.mpki.resize(d.getU64());
+        for (MpkiTriple &m : r.mpki) {
+            m.l1 = d.getDouble();
+            m.l2 = d.getDouble();
+            m.llc = d.getDouble();
+        }
+        r.fracNeverEnteredData = d.getDouble();
+        r.llcAccesses = d.getU64();
+        r.llcMemFetches = d.getU64();
+        r.dramReads = d.getU64();
+        results[i] = r;
+    };
+    return codec;
+}
+
+} // namespace
 
 std::vector<RunResult>
 runBaselineOverMixes(const SystemConfig &baseline,
                      const std::vector<Mix> &mixes, const RunOptions &opt)
 {
     std::vector<RunResult> results(mixes.size());
+    const ResultCodec codec = runResultCodec(results);
     forEachRun(mixes.size(), opt, [&](std::size_t i) {
         results[i] = runMix(baseline, mixes[i], opt);
-    });
+    }, &codec);
     return results;
 }
 
@@ -566,11 +1077,18 @@ compareAgainst(const SystemConfig &sys, const std::vector<Mix> &mixes,
               "baseline results do not match the mix list");
     SpeedupSummary s;
     s.perMix.assign(mixes.size(), 0.0);
+    ResultCodec codec;
+    codec.save = [&s](std::size_t i, Serializer &ser) {
+        ser.putDouble(s.perMix[i]);
+    };
+    codec.load = [&s](std::size_t i, Deserializer &d) {
+        s.perMix[i] = d.getDouble();
+    };
     forEachRun(mixes.size(), opt, [&](std::size_t i) {
         const RunResult r = runMix(sys, mixes[i], opt);
         s.perMix[i] = speedupRatio(r.aggregateIpc,
                                    baseline[i].aggregateIpc);
-    });
+    }, &codec);
     // One pass over the filled vector: seed min/max from the first
     // element instead of pre-initializing them ahead of the loop.
     double sum = 0.0;

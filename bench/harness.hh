@@ -18,6 +18,14 @@
  *                 one fault of CLASS (tag-state, dir-drop, dir-ghost,
  *                 owner, orphan-data, mshr-leak, repl-meta) after
  *                 warmup — exercises the quarantine path
+ *   --checkpoint-interval=N  persist every run's full simulated state
+ *                 every N references (needs --sweep-dir or --resume)
+ *   --sweep-dir=DIR  journal completed runs and persist results/
+ *                 checkpoints under DIR
+ *   --resume=DIR  relaunch a killed sweep: skip journaled runs, restore
+ *                 in-flight ones from their latest valid checkpoint
+ *   --hang-timeout=S  abort + quarantine runs making no forward
+ *                 progress for S wall seconds (default 300; 0 = off)
  *   --full        paper-strength settings (100 mixes, longer windows)
  *
  * Independent (SystemConfig × Mix) runs execute on a TaskPool; results
@@ -36,7 +44,9 @@
 #ifndef RC_BENCH_HARNESS_HH
 #define RC_BENCH_HARNESS_HH
 
+#include <atomic>
 #include <cstddef>
+#include <cstdint>
 #include <functional>
 #include <memory>
 #include <string>
@@ -88,6 +98,56 @@ struct RunOptions
      * one: the retry succeeds and the run reports Retried).
      */
     bool injectOnRetry = true;
+
+    /**
+     * Checkpoint cadence in references (0 = off).  When set together
+     * with sweepDir, every run persists its full simulated state to
+     * `<sweepDir>/ckpt-b<batch>-r<run>.ckpt` every N references, at a
+     * quiescent point, so a killed sweep can resume mid-run.  Ignored
+     * (with a warning) when a GenerationTracker is attached: observer
+     * history is not part of the simulated state.
+     */
+    std::uint64_t checkpointInterval = 0;
+
+    /**
+     * Sweep working directory for the journal, per-run result blobs,
+     * checkpoints and hang dumps ("" disables all persistence).
+     */
+    std::string sweepDir;
+
+    /**
+     * Resume mode (--resume=DIR): journaled ok/retried runs are skipped
+     * (their results reloaded from the digest-checked result blobs);
+     * unjournaled or quarantined runs re-execute, restoring from their
+     * latest valid checkpoint when one exists and falling back to a
+     * from-scratch run on any snapshot error.
+     */
+    bool resume = false;
+
+    /**
+     * Forward-progress watchdog: a run whose heartbeat (completed
+     * references) does not advance for this many wall seconds is
+     * cooperatively aborted (SimError(Hang)), state-dumped to
+     * `<sweepDir>/hang-b<batch>-r<run>.dump`, and routed into the
+     * retry/quarantine path.  0 disables.  Tests constructing
+     * RunOptions directly get it off; parseArgs turns it on (300 s)
+     * for the bench CLIs.
+     */
+    double hangTimeout = 0.0;
+
+    /**
+     * Test hook simulating a kill -9: the run throws SimError(Snapshot)
+     * from its checkpoint hook once this many references completed,
+     * right after the checkpoint file landed on disk.  0 disables.
+     */
+    std::uint64_t crashAfterRefs = 0;
+
+    /**
+     * Test hook simulating a livelock: the run with this batch-local
+     * index keeps simulating but its watchdog heartbeat never advances,
+     * so the monitor must flag it.  SIZE_MAX disables.
+     */
+    std::size_t livelockRun = SIZE_MAX;
 };
 
 /** How one run of a batch ended. */
@@ -109,6 +169,19 @@ struct RunOutcome
     std::uint32_t attempts = 1; //!< 1 normally, 2 after a retry
     double wallSeconds = 0.0;   //!< wall time across all attempts
     std::string error;          //!< last SimError message ("" when Ok)
+    bool fromJournal = false;   //!< skipped on resume, result reloaded
+};
+
+/**
+ * Optional result persistence for forEachRun: save() serializes run
+ * i's slot after the body succeeds, load() refills it from a journaled
+ * blob on resume.  Runs without a codec always re-execute on resume
+ * (deterministic bodies make that equivalent, just slower).
+ */
+struct ResultCodec
+{
+    std::function<void(std::size_t, Serializer &)> save;
+    std::function<void(std::size_t, Deserializer &)> load;
 };
 
 /**
@@ -120,6 +193,30 @@ std::size_t currentRunIndex();
 
 /** Attempt number (0 = first, 1 = retry) of the calling thread's run. */
 std::uint32_t currentAttempt();
+
+/**
+ * Watchdog heartbeat slot of the calling thread's run (nullptr when no
+ * watchdog is armed).  runMix stores the completed-reference count here
+ * via Cmp::setProgressCounter.
+ */
+std::atomic<std::uint64_t> *currentRunHeartbeat();
+
+/**
+ * Watchdog abort flag of the calling thread's run (nullptr when no
+ * watchdog is armed); wired into Cmp::setAbortFlag.
+ */
+const std::atomic<bool> *currentRunAbortFlag();
+
+/**
+ * Batch index of the innermost active forEachRun, i.e. how many
+ * forEachRun calls this process made before it.  A bench executes the
+ * same batch sequence on every launch, so (batch, run) names a run
+ * stably across relaunches; npos outside forEachRun.
+ */
+std::uint64_t currentBatchIndex();
+
+/** Reset the process-global batch counter (tests only). */
+void resetSweepBatchesForTest();
 
 /** Quarantined runs across every batch in this process. */
 std::uint64_t quarantinedRunsTotal();
@@ -154,11 +251,20 @@ std::uint32_t effectiveJobs(const RunOptions &opt);
  * A body that throws SimError is retried once; a second SimError
  * quarantines the run (its slot keeps default values) while every
  * other run completes normally.  Any other exception still propagates.
+ *
+ * With opt.sweepDir set, every completed run is journaled (fsync'd
+ * append) and, when @p codec is given, its result is persisted to a
+ * digest-checked blob; with opt.resume also set, journaled ok/retried
+ * runs are skipped and their slots refilled from those blobs, so the
+ * aggregated output is bit-identical to an uninterrupted sweep.  With
+ * opt.hangTimeout > 0 a monitor thread aborts runs whose heartbeat
+ * stalls (see RunOptions::hangTimeout).
  * @return one RunOutcome per run, in index order.
  */
 std::vector<RunOutcome> forEachRun(
     std::size_t n, const RunOptions &opt,
-    const std::function<void(std::size_t)> &body);
+    const std::function<void(std::size_t)> &body,
+    const ResultCodec *codec = nullptr);
 
 /**
  * IPC ratio @p sys_ipc / @p baseline_ipc with the zero-baseline guard

@@ -54,6 +54,14 @@ GenerationTracker::onDataEvict(Addr line_addr, Cycle now)
 }
 
 void
+GenerationTracker::reset()
+{
+    resident.clear();
+    done.clear();
+    hitsSeen = 0;
+}
+
+void
 GenerationTracker::finalize(Cycle end)
 {
     for (auto &[line, rec] : resident) {

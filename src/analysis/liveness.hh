@@ -56,6 +56,13 @@ class GenerationTracker : public LlcObserver
     /** Total hits observed across all generations. */
     std::uint64_t totalHits() const { return hitsSeen; }
 
+    /**
+     * Drop all recorded state so the tracker can observe a fresh run.
+     * Quarantine retries re-create the Cmp from scratch; a tracker that
+     * stayed attached across the failed attempt must start clean too.
+     */
+    void reset();
+
   private:
     std::unordered_map<Addr, GenRecord> resident;
     std::vector<GenRecord> done;

@@ -3,6 +3,7 @@
 #include <cstdio>
 
 #include "common/log.hh"
+#include "snapshot/serializer.hh"
 
 namespace rc
 {
@@ -331,6 +332,45 @@ ConventionalLlc::dirOf(Addr line_addr) const
 {
     const Entry *e = find(lineAlign(line_addr));
     return e ? &e->dir : nullptr;
+}
+
+void
+ConventionalLlc::save(Serializer &s) const
+{
+    s.putU64(entries.size());
+    for (const Entry &e : entries) {
+        s.putU64(e.tag);
+        s.putU8(static_cast<std::uint8_t>(e.state));
+        e.dir.save(s);
+    }
+    s.beginSection("repl");
+    repl->save(s);
+    s.endSection();
+    statSet.save(s);
+    saveVec(s, coreAccesses);
+    saveVec(s, coreMisses);
+}
+
+void
+ConventionalLlc::restore(Deserializer &d)
+{
+    const std::uint64_t count = d.getU64();
+    if (count != entries.size())
+        throwSimError(SimError::Kind::Snapshot,
+                      "conventional LLC holds %zu entries but the "
+                      "checkpoint carries %llu", entries.size(),
+                      static_cast<unsigned long long>(count));
+    for (Entry &e : entries) {
+        e.tag = d.getU64();
+        e.state = static_cast<LlcState>(d.getU8());
+        e.dir.restore(d);
+    }
+    d.beginSection("repl");
+    repl->restore(d);
+    d.endSection();
+    statSet.restore(d);
+    restoreVec(d, coreAccesses, "per-core LLC accesses");
+    restoreVec(d, coreMisses, "per-core LLC misses");
 }
 
 } // namespace rc

@@ -58,6 +58,8 @@ class ConventionalLlc : public Sllc
     Counter missesBy(CoreId core) const override;
     Counter accessesBy(CoreId core) const override;
     std::string describe() const override;
+    void save(Serializer &s) const override;
+    void restore(Deserializer &d) override;
 
     /** Directory/state of a resident line (tests); I when absent. */
     LlcState stateOf(Addr line_addr) const;

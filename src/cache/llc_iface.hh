@@ -22,6 +22,9 @@
 namespace rc
 {
 
+class Serializer;
+class Deserializer;
+
 /** A demand request arriving from a private L2. */
 struct LlcRequest
 {
@@ -131,6 +134,14 @@ class Sllc
 
     /** Organization name for reports (e.g. "conv-8MB", "RC-4/1"). */
     virtual std::string describe() const = 0;
+
+    /** Checkpoint all mutable SLLC state (tags, data, directory,
+     *  replacement metadata, dueling monitors, RNGs, counters). */
+    virtual void save(Serializer &s) const = 0;
+
+    /** Restore a save()'d image into an identically-configured SLLC;
+     *  throws SimError(Snapshot) on shape mismatch. */
+    virtual void restore(Deserializer &d) = 0;
 };
 
 } // namespace rc

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/log.hh"
+#include "snapshot/serializer.hh"
 
 namespace rc
 {
@@ -117,6 +118,37 @@ MshrFile::reset()
         e = Entry{};
     live = 0;
     statSet.reset();
+}
+
+void
+MshrFile::save(Serializer &s) const
+{
+    s.putU64(entries.size());
+    for (const Entry &e : entries) {
+        s.putU64(e.line);
+        s.putU64(e.doneAt);
+        s.putBool(e.valid);
+    }
+    s.putU32(live);
+    statSet.save(s);
+}
+
+void
+MshrFile::restore(Deserializer &d)
+{
+    const std::uint64_t n = d.getU64();
+    if (n != entries.size())
+        throwSimError(SimError::Kind::Snapshot,
+                      "MSHR file holds %zu entries but the checkpoint "
+                      "carries %llu",
+                      entries.size(), (unsigned long long)n);
+    for (Entry &e : entries) {
+        e.line = d.getU64();
+        e.doneAt = d.getU64();
+        e.valid = d.getBool();
+    }
+    live = d.getU32();
+    statSet.restore(d);
 }
 
 } // namespace rc

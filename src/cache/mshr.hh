@@ -79,6 +79,12 @@ class MshrFile
     /** Drop all entries and zero the counters. */
     void reset();
 
+    /** Checkpoint entries, live count and counters. */
+    void save(Serializer &s) const;
+
+    /** Restore a save()'d image. */
+    void restore(Deserializer &d);
+
   private:
     struct Entry
     {

@@ -34,6 +34,9 @@ class LruPolicy : public ReplacementPolicy
     bool metadataSane(std::string *why = nullptr) const override;
     bool corruptMetadata(std::uint64_t set, std::uint32_t way) override;
 
+    void save(Serializer &s) const override;
+    void restore(Deserializer &d) override;
+
   private:
     std::vector<std::uint64_t> stamp;
     std::uint64_t tick = 0;
@@ -60,6 +63,9 @@ class NruPolicy : public ReplacementPolicy
 
     bool metadataSane(std::string *why = nullptr) const override;
     bool corruptMetadata(std::uint64_t set, std::uint32_t way) override;
+
+    void save(Serializer &s) const override;
+    void restore(Deserializer &d) override;
 
   private:
     void markUsed(std::uint64_t set, std::uint32_t way);
@@ -92,6 +98,9 @@ class NrrPolicy : public ReplacementPolicy
     bool metadataSane(std::string *why = nullptr) const override;
     bool corruptMetadata(std::uint64_t set, std::uint32_t way) override;
 
+    void save(Serializer &s) const override;
+    void restore(Deserializer &d) override;
+
   private:
     std::vector<std::uint8_t> nrr;
     Rng rng;
@@ -109,6 +118,9 @@ class RandomPolicy : public ReplacementPolicy
     void onHit(std::uint64_t set, std::uint32_t way,
                const ReplAccess &ctx) override;
     std::uint32_t victim(std::uint64_t set, const VictimQuery &q) override;
+
+    void save(Serializer &s) const override;
+    void restore(Deserializer &d) override;
 
   private:
     Rng rng;
@@ -134,6 +146,9 @@ class ClockPolicy : public ReplacementPolicy
 
     bool metadataSane(std::string *why = nullptr) const override;
     bool corruptMetadata(std::uint64_t set, std::uint32_t way) override;
+
+    void save(Serializer &s) const override;
+    void restore(Deserializer &d) override;
 
   private:
     std::vector<std::uint8_t> ref;
@@ -173,6 +188,9 @@ class RripPolicy : public ReplacementPolicy
 
     bool metadataSane(std::string *why = nullptr) const override;
     bool corruptMetadata(std::uint64_t set, std::uint32_t way) override;
+
+    void save(Serializer &s) const override;
+    void restore(Deserializer &d) override;
 
   private:
     bool useBrrip(std::uint64_t set, CoreId core);

@@ -2,6 +2,7 @@
 
 #include "common/bitops.hh"
 #include "common/log.hh"
+#include "snapshot/serializer.hh"
 
 namespace rc
 {
@@ -63,6 +64,39 @@ StridePrefetcher::observeMiss(Addr line_addr, std::vector<Addr> &out)
             ++candidates;
         }
     }
+}
+
+void
+StridePrefetcher::save(Serializer &s) const
+{
+    s.putU64(table.size());
+    for (const Entry &e : table) {
+        s.putBool(e.valid);
+        s.putU64(e.regionTag);
+        s.putI64(e.lastLine);
+        s.putI64(e.stride);
+        s.putU32(e.confidence);
+    }
+    statSet.save(s);
+}
+
+void
+StridePrefetcher::restore(Deserializer &d)
+{
+    const std::uint64_t n = d.getU64();
+    if (n != table.size())
+        throwSimError(SimError::Kind::Snapshot,
+                      "prefetcher table holds %zu entries but the "
+                      "checkpoint carries %llu",
+                      table.size(), (unsigned long long)n);
+    for (Entry &e : table) {
+        e.valid = d.getBool();
+        e.regionTag = d.getU64();
+        e.lastLine = d.getI64();
+        e.stride = d.getI64();
+        e.confidence = d.getU32();
+    }
+    statSet.restore(d);
 }
 
 } // namespace rc

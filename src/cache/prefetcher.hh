@@ -55,6 +55,12 @@ class StridePrefetcher
     /** Counters (triggers, candidates). */
     const StatSet &stats() const { return statSet; }
 
+    /** Checkpoint the region table and counters. */
+    void save(Serializer &s) const;
+
+    /** Restore a save()'d image. */
+    void restore(Deserializer &d);
+
   private:
     struct Entry
     {

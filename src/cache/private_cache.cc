@@ -1,6 +1,7 @@
 #include "cache/private_cache.hh"
 
 #include "common/log.hh"
+#include "snapshot/serializer.hh"
 
 namespace rc
 {
@@ -330,6 +331,71 @@ PrivateHierarchy::state(Addr line_addr) const
 {
     const TagStore::Way *w = l2.peek(line_addr);
     return w ? w->state : PrivState::I;
+}
+
+void
+TagStore::save(Serializer &s) const
+{
+    s.putU64(ways.size());
+    for (const Way &w : ways) {
+        s.putU64(w.tag);
+        s.putU8(static_cast<std::uint8_t>(w.state));
+        s.putBool(w.dirty);
+    }
+    saveVec(s, valid);
+    s.beginSection("repl");
+    repl->save(s);
+    s.endSection();
+}
+
+void
+TagStore::restore(Deserializer &d)
+{
+    const std::uint64_t count = d.getU64();
+    if (count != ways.size())
+        throwSimError(SimError::Kind::Snapshot,
+                      "tag store holds %zu ways but the checkpoint "
+                      "carries %llu", ways.size(),
+                      static_cast<unsigned long long>(count));
+    for (Way &w : ways) {
+        w.tag = d.getU64();
+        w.state = static_cast<PrivState>(d.getU8());
+        w.dirty = d.getBool();
+    }
+    restoreVec(d, valid, "tag-store valid bits");
+    d.beginSection("repl");
+    repl->restore(d);
+    d.endSection();
+}
+
+void
+PrivateHierarchy::save(Serializer &s) const
+{
+    s.beginSection("l1i");
+    l1i.save(s);
+    s.endSection();
+    s.beginSection("l1d");
+    l1d.save(s);
+    s.endSection();
+    s.beginSection("l2");
+    l2.save(s);
+    s.endSection();
+    statSet.save(s);
+}
+
+void
+PrivateHierarchy::restore(Deserializer &d)
+{
+    d.beginSection("l1i");
+    l1i.restore(d);
+    d.endSection();
+    d.beginSection("l1d");
+    l1d.restore(d);
+    d.endSection();
+    d.beginSection("l2");
+    l2.restore(d);
+    d.endSection();
+    statSet.restore(d);
 }
 
 } // namespace rc

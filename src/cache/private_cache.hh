@@ -93,6 +93,13 @@ class TagStore
     /** Geometry in force. */
     const CacheGeometry &geometry() const { return geom; }
 
+    /** Checkpoint resident ways, valid bits and replacement metadata. */
+    void save(Serializer &s) const;
+
+    /** Restore a save()'d image; throws SimError(Snapshot) on geometry
+     *  drift. */
+    void restore(Deserializer &d);
+
   private:
     CacheGeometry geom;
     std::vector<Way> ways;
@@ -205,6 +212,12 @@ class PrivateHierarchy
 
     /** Config in force. */
     const PrivateConfig &config() const { return cfg; }
+
+    /** Checkpoint L1I/L1D/L2 contents and counters. */
+    void save(Serializer &s) const;
+
+    /** Restore a save()'d image. */
+    void restore(Deserializer &d);
 
   private:
     PrivateConfig cfg;

@@ -1,5 +1,7 @@
 #include "cache/policies.hh"
 
+#include "snapshot/serializer.hh"
+
 namespace rc
 {
 
@@ -80,6 +82,20 @@ ClockPolicy::corruptMetadata(std::uint64_t set, std::uint32_t way)
 {
     hands[set] = ways + 1 + way;
     return true;
+}
+
+void
+ClockPolicy::save(Serializer &s) const
+{
+    saveVec(s, ref);
+    saveVec(s, hands);
+}
+
+void
+ClockPolicy::restore(Deserializer &d)
+{
+    restoreVec(d, ref, "Clock reference bits");
+    restoreVec(d, hands, "Clock hands");
 }
 
 } // namespace rc

@@ -1,5 +1,7 @@
 #include "cache/policies.hh"
 
+#include "snapshot/serializer.hh"
+
 #include "common/log.hh"
 
 namespace rc
@@ -65,6 +67,20 @@ LruPolicy::corruptMetadata(std::uint64_t set, std::uint32_t way)
 {
     stamp[set * ways + way] = tick + 1'000'000;
     return true;
+}
+
+void
+LruPolicy::save(Serializer &s) const
+{
+    s.putU64(tick);
+    saveVec(s, stamp);
+}
+
+void
+LruPolicy::restore(Deserializer &d)
+{
+    tick = d.getU64();
+    restoreVec(d, stamp, "LRU stamps");
 }
 
 } // namespace rc

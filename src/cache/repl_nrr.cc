@@ -1,5 +1,7 @@
 #include "cache/policies.hh"
 
+#include "snapshot/serializer.hh"
+
 #include "common/log.hh"
 
 namespace rc
@@ -111,6 +113,20 @@ bool
 NrrPolicy::nrrBit(std::uint64_t set, std::uint32_t way) const
 {
     return nrr[set * ways + way] != 0;
+}
+
+void
+NrrPolicy::save(Serializer &s) const
+{
+    s.putU64(rng.rawState());
+    saveVec(s, nrr);
+}
+
+void
+NrrPolicy::restore(Deserializer &d)
+{
+    rng.setRawState(d.getU64());
+    restoreVec(d, nrr, "NRR bits");
 }
 
 } // namespace rc

@@ -1,5 +1,7 @@
 #include "cache/policies.hh"
 
+#include "snapshot/serializer.hh"
+
 #include "common/log.hh"
 
 namespace rc
@@ -93,6 +95,18 @@ NruPolicy::corruptMetadata(std::uint64_t set, std::uint32_t way)
 {
     used[set * ways + way] = 0xff;
     return true;
+}
+
+void
+NruPolicy::save(Serializer &s) const
+{
+    saveVec(s, used);
+}
+
+void
+NruPolicy::restore(Deserializer &d)
+{
+    restoreVec(d, used, "NRU used bits");
 }
 
 } // namespace rc

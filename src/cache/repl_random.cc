@@ -1,5 +1,7 @@
 #include "cache/policies.hh"
 
+#include "snapshot/serializer.hh"
+
 namespace rc
 {
 
@@ -34,6 +36,18 @@ RandomPolicy::victim(std::uint64_t set, const VictimQuery &q)
     (void)set;
     (void)q;
     return static_cast<std::uint32_t>(rng.below(ways));
+}
+
+void
+RandomPolicy::save(Serializer &s) const
+{
+    s.putU64(rng.rawState());
+}
+
+void
+RandomPolicy::restore(Deserializer &d)
+{
+    rng.setRawState(d.getU64());
 }
 
 } // namespace rc

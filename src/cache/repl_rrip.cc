@@ -1,5 +1,7 @@
 #include "cache/policies.hh"
 
+#include "snapshot/serializer.hh"
+
 #include "common/log.hh"
 
 namespace rc
@@ -110,6 +112,22 @@ RripPolicy::corruptMetadata(std::uint64_t set, std::uint32_t way)
         return false;
     rrpvs[set * ways + way] = 0xff;
     return true;
+}
+
+void
+RripPolicy::save(Serializer &s) const
+{
+    s.putU64(rng.rawState());
+    saveVec(s, rrpvs);
+    duel.save(s);
+}
+
+void
+RripPolicy::restore(Deserializer &d)
+{
+    rng.setRawState(d.getU64());
+    restoreVec(d, rrpvs, "RRPV counters");
+    duel.restore(d);
 }
 
 } // namespace rc

@@ -2,9 +2,22 @@
 
 #include "cache/policies.hh"
 #include "common/log.hh"
+#include "snapshot/serializer.hh"
 
 namespace rc
 {
+
+void
+ReplacementPolicy::save(Serializer &s) const
+{
+    (void)s; // stateless policy: nothing to checkpoint
+}
+
+void
+ReplacementPolicy::restore(Deserializer &d)
+{
+    (void)d; // the owning cache's section framing rejects stray bytes
+}
 
 const char *
 toString(ReplKind kind)

@@ -22,6 +22,9 @@
 namespace rc
 {
 
+class Serializer;
+class Deserializer;
+
 /** Context accompanying fill/hit notifications. */
 struct ReplAccess
 {
@@ -123,6 +126,14 @@ class ReplacementPolicy
         (void)way;
         return false;
     }
+
+    /** Checkpoint this policy's mutable metadata (stamps, bits, hands,
+     *  RNG state...).  Policies without state write nothing. */
+    virtual void save(Serializer &s) const;
+
+    /** Restore save()'d metadata; the owning cache frames the call in a
+     *  section, so size drift surfaces as SimError(Snapshot). */
+    virtual void restore(Deserializer &d);
 
   protected:
     std::uint64_t sets;

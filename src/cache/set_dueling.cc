@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/log.hh"
+#include "snapshot/serializer.hh"
 
 namespace rc
 {
@@ -84,6 +85,18 @@ SetDueling::psel(CoreId core) const
 {
     RC_ASSERT(core < psels.size(), "core %u out of range", core);
     return psels[core];
+}
+
+void
+SetDueling::save(Serializer &s) const
+{
+    saveVec(s, psels);
+}
+
+void
+SetDueling::restore(Deserializer &d)
+{
+    restoreVec(d, psels, "set-dueling PSEL counters");
 }
 
 } // namespace rc

@@ -23,6 +23,9 @@
 namespace rc
 {
 
+class Serializer;
+class Deserializer;
+
 /** Per-core dueling state over one cache array. */
 class SetDueling
 {
@@ -66,6 +69,14 @@ class SetDueling
     {
         return static_cast<std::uint32_t>(psels.size());
     }
+
+    /** Checkpoint the per-core PSEL counters (everything else is
+     *  construction-derived). */
+    void save(Serializer &s) const;
+
+    /** Restore save()'d PSELs; throws SimError(Snapshot) on count
+     *  mismatch. */
+    void restore(Deserializer &d);
 
   private:
     std::uint64_t sets;

@@ -2,6 +2,8 @@
 
 #include <string>
 
+#include "snapshot/serializer.hh"
+
 namespace rc
 {
 
@@ -52,6 +54,20 @@ DirectoryEntry::encodingSane(std::uint32_t num_cores, std::string *why) const
         }
     }
     return true;
+}
+
+void
+DirectoryEntry::save(Serializer &s) const
+{
+    s.putU32(presence);
+    s.putU32(ownerId);
+}
+
+void
+DirectoryEntry::restore(Deserializer &d)
+{
+    presence = d.getU32();
+    ownerId = d.getU32();
 }
 
 } // namespace rc

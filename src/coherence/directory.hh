@@ -15,6 +15,9 @@
 namespace rc
 {
 
+class Serializer;
+class Deserializer;
+
 /** Render a presence mask as e.g. "{0,3,7}" for diagnostics. */
 std::string presenceToString(std::uint32_t mask);
 
@@ -109,6 +112,13 @@ class DirectoryEntry
      * only — never called on the simulation path.
      */
     void corruptOwnerForTest(CoreId core) { ownerId = core; }
+
+    /** Checkpoint presence + owner. */
+    void save(Serializer &s) const;
+
+    /** Restore a save()'d entry (the post-restore IntegrityChecker pass
+     *  re-validates the encoding against the actual private caches). */
+    void restore(Deserializer &d);
 
   private:
     static std::uint32_t bit(CoreId core) { return 1u << core; }

@@ -75,6 +75,8 @@ toString(SimError::Kind kind)
       case SimError::Kind::Protocol: return "protocol";
       case SimError::Kind::Trace: return "trace";
       case SimError::Kind::Config: return "config";
+      case SimError::Kind::Snapshot: return "snapshot";
+      case SimError::Kind::Hang: return "hang";
     }
     return "unknown";
 }

@@ -38,6 +38,8 @@ class SimError : public std::runtime_error
         Protocol,  //!< illegal coherence/state transition was attempted
         Trace,     //!< trace file truncated, corrupt or empty
         Config,    //!< a run asked for an unsupported combination
+        Snapshot,  //!< checkpoint/journal truncated, corrupt or mismatched
+        Hang,      //!< watchdog aborted a run with no forward progress
     };
 
     SimError(Kind kind, const std::string &what)

@@ -94,6 +94,20 @@ class Rng
     }
 
     /**
+     * Raw generator state, for checkpointing.  Restoring rawState()
+     * into setRawState() resumes the stream exactly where it left off.
+     */
+    std::uint64_t rawState() const { return state; }
+
+    /** Restore a previously captured rawState() (0 is remapped as in the
+     *  constructor, so a hostile snapshot cannot wedge the generator). */
+    void
+    setRawState(std::uint64_t s)
+    {
+        state = s ? s : 0x9e3779b97f4a7c15ULL;
+    }
+
+    /**
      * Geometric-ish draw: integer >= 1 with mean roughly @p mean.
      * Used for burst lengths in workload generation.
      */

@@ -5,6 +5,7 @@
 #include <ostream>
 
 #include "common/log.hh"
+#include "snapshot/serializer.hh"
 
 namespace rc
 {
@@ -60,6 +61,27 @@ StatSet::reset()
 {
     for (auto &e : stats)
         e.value = 0;
+}
+
+void
+StatSet::save(Serializer &s) const
+{
+    s.putU64(stats.size());
+    for (const auto &e : stats)
+        s.putU64(e.value);
+}
+
+void
+StatSet::restore(Deserializer &d)
+{
+    const std::uint64_t count = d.getU64();
+    if (count != stats.size())
+        throwSimError(SimError::Kind::Snapshot,
+                      "stat set '%s' has %zu counters but the checkpoint "
+                      "carries %llu", setName.c_str(), stats.size(),
+                      static_cast<unsigned long long>(count));
+    for (auto &e : stats)
+        e.value = d.getU64();
 }
 
 void

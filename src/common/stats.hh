@@ -20,6 +20,9 @@
 namespace rc
 {
 
+class Serializer;
+class Deserializer;
+
 /** Monotonic event counter. */
 using Counter = std::uint64_t;
 
@@ -71,6 +74,13 @@ class StatSet
 
     /** Zero every counter. */
     void reset();
+
+    /** Checkpoint: counter values in registration order. */
+    void save(Serializer &s) const;
+
+    /** Restore save()'d values; throws SimError(Snapshot) when the
+     *  checkpoint's counter count disagrees with this set's. */
+    void restore(Deserializer &d);
 
     /** All registered entries, in registration order. */
     const std::deque<Entry> &entries() const { return stats; }

@@ -4,6 +4,7 @@
 
 #include "common/bitops.hh"
 #include "common/log.hh"
+#include "snapshot/serializer.hh"
 
 namespace rc
 {
@@ -85,6 +86,35 @@ DramChannel::reset()
         b = Bank{};
     busBusyUntil = 0;
     statSet.reset();
+}
+
+void
+DramChannel::save(Serializer &s) const
+{
+    s.putU64(banks.size());
+    for (const Bank &b : banks) {
+        s.putU64(b.openRow);
+        s.putU64(b.busyUntil);
+    }
+    s.putU64(busBusyUntil);
+    statSet.save(s);
+}
+
+void
+DramChannel::restore(Deserializer &d)
+{
+    const std::uint64_t n = d.getU64();
+    if (n != banks.size())
+        throwSimError(SimError::Kind::Snapshot,
+                      "DRAM channel has %zu banks but the checkpoint "
+                      "carries %llu",
+                      banks.size(), (unsigned long long)n);
+    for (Bank &b : banks) {
+        b.openRow = d.getU64();
+        b.busyUntil = d.getU64();
+    }
+    busBusyUntil = d.getU64();
+    statSet.restore(d);
 }
 
 } // namespace rc

@@ -80,6 +80,12 @@ class DramChannel
     /** Timing parameters in force. */
     const DramConfig &config() const { return cfg; }
 
+    /** Checkpoint open rows, busy windows and counters. */
+    void save(Serializer &s) const;
+
+    /** Restore a save()'d image. */
+    void restore(Deserializer &d);
+
   private:
     struct Bank
     {

@@ -1,6 +1,7 @@
 #include "mem/memctrl.hh"
 
 #include "common/log.hh"
+#include "snapshot/serializer.hh"
 
 namespace rc
 {
@@ -56,6 +57,33 @@ MemCtrl::reset()
 {
     for (auto &c : chans)
         c->reset();
+}
+
+void
+MemCtrl::save(Serializer &s) const
+{
+    s.putU64(chans.size());
+    for (const auto &c : chans) {
+        s.beginSection("channel");
+        c->save(s);
+        s.endSection("channel");
+    }
+}
+
+void
+MemCtrl::restore(Deserializer &d)
+{
+    const std::uint64_t n = d.getU64();
+    if (n != chans.size())
+        throwSimError(SimError::Kind::Snapshot,
+                      "memory controller has %zu channels but the "
+                      "checkpoint carries %llu",
+                      chans.size(), (unsigned long long)n);
+    for (auto &c : chans) {
+        d.beginSection("channel");
+        c->restore(d);
+        d.endSection("channel");
+    }
 }
 
 } // namespace rc

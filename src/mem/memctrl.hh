@@ -71,6 +71,12 @@ class MemCtrl
         return static_cast<std::uint32_t>(chans.size());
     }
 
+    /** Checkpoint every channel. */
+    void save(Serializer &s) const;
+
+    /** Restore a save()'d image. */
+    void restore(Deserializer &d);
+
   private:
     DramChannel &channelFor(Addr line_addr);
 

@@ -3,6 +3,7 @@
 #include <cstdio>
 
 #include "common/log.hh"
+#include "snapshot/serializer.hh"
 
 namespace rc
 {
@@ -315,6 +316,42 @@ NcidCache::stateOf(Addr line_addr) const
     const ReuseTagArray::Entry *e =
         self->tags.find(lineAlign(line_addr), way);
     return e ? e->state : LlcState::I;
+}
+
+void
+NcidCache::save(Serializer &s) const
+{
+    s.beginSection("tags");
+    tags.save(s);
+    s.endSection("tags");
+    s.beginSection("data");
+    data.save(s);
+    s.endSection("data");
+    s.beginSection("duel");
+    duel.save(s);
+    s.endSection("duel");
+    s.putU64(rng.rawState());
+    statSet.save(s);
+    saveVec(s, coreAccesses);
+    saveVec(s, coreMisses);
+}
+
+void
+NcidCache::restore(Deserializer &d)
+{
+    d.beginSection("tags");
+    tags.restore(d);
+    d.endSection("tags");
+    d.beginSection("data");
+    data.restore(d);
+    d.endSection("data");
+    d.beginSection("duel");
+    duel.restore(d);
+    d.endSection("duel");
+    rng.setRawState(d.getU64());
+    statSet.restore(d);
+    restoreVec(d, coreAccesses, "NCID per-core accesses");
+    restoreVec(d, coreMisses, "NCID per-core misses");
 }
 
 } // namespace rc

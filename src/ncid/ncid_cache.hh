@@ -72,6 +72,8 @@ class NcidCache : public Sllc
     Counter missesBy(CoreId core) const override;
     Counter accessesBy(CoreId core) const override;
     std::string describe() const override;
+    void save(Serializer &s) const override;
+    void restore(Deserializer &d) override;
 
     /** State of a line (tests); I when absent. */
     LlcState stateOf(Addr line_addr) const;

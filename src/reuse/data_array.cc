@@ -1,6 +1,7 @@
 #include "reuse/data_array.hh"
 
 #include "common/log.hh"
+#include "snapshot/serializer.hh"
 
 namespace rc
 {
@@ -76,6 +77,39 @@ ReuseDataArray::residentCount() const
     for (const auto &e : entries)
         n += e.valid;
     return n;
+}
+
+void
+ReuseDataArray::save(Serializer &s) const
+{
+    s.putU64(entries.size());
+    for (const Entry &e : entries) {
+        s.putBool(e.valid);
+        s.putU64(e.tagSet);
+        s.putU32(e.tagWay);
+    }
+    s.beginSection("repl");
+    repl->save(s);
+    s.endSection("repl");
+}
+
+void
+ReuseDataArray::restore(Deserializer &d)
+{
+    const std::uint64_t n = d.getU64();
+    if (n != entries.size())
+        throwSimError(SimError::Kind::Snapshot,
+                      "reuse data array holds %zu entries but the checkpoint "
+                      "carries %llu",
+                      entries.size(), (unsigned long long)n);
+    for (Entry &e : entries) {
+        e.valid = d.getBool();
+        e.tagSet = d.getU64();
+        e.tagWay = d.getU32();
+    }
+    d.beginSection("repl");
+    repl->restore(d);
+    d.endSection("repl");
 }
 
 } // namespace rc

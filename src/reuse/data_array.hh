@@ -89,6 +89,12 @@ class ReuseDataArray
     /** Geometry in force. */
     const CacheGeometry &geometry() const { return geom; }
 
+    /** Checkpoint entries and replacement metadata. */
+    void save(Serializer &s) const;
+
+    /** Restore a save()'d image. */
+    void restore(Deserializer &d);
+
   private:
     CacheGeometry geom;
     std::vector<Entry> entries;

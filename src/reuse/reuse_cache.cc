@@ -3,6 +3,7 @@
 #include <cstdio>
 
 #include "common/log.hh"
+#include "snapshot/serializer.hh"
 
 namespace rc
 {
@@ -456,6 +457,51 @@ ReuseCache::fractionNeverEnteredData() const
         return 0.0;
     return 1.0 - static_cast<double>(generationsWithData) /
                      static_cast<double>(tagAllocs);
+}
+
+void
+ReuseCache::save(Serializer &s) const
+{
+    s.beginSection("tags");
+    tags.save(s);
+    s.endSection("tags");
+    s.beginSection("data");
+    data.save(s);
+    s.endSection("data");
+    s.putBool(predictor != nullptr);
+    if (predictor) {
+        s.beginSection("predictor");
+        predictor->save(s);
+        s.endSection("predictor");
+    }
+    statSet.save(s);
+    saveVec(s, coreAccesses);
+    saveVec(s, coreMisses);
+}
+
+void
+ReuseCache::restore(Deserializer &d)
+{
+    d.beginSection("tags");
+    tags.restore(d);
+    d.endSection("tags");
+    d.beginSection("data");
+    data.restore(d);
+    d.endSection("data");
+    const bool has_predictor = d.getBool();
+    if (has_predictor != (predictor != nullptr))
+        throwSimError(SimError::Kind::Snapshot,
+                      "reuse cache predictor configuration does not match "
+                      "the checkpoint (live: %s, checkpoint: %s)",
+                      predictor ? "on" : "off", has_predictor ? "on" : "off");
+    if (predictor) {
+        d.beginSection("predictor");
+        predictor->restore(d);
+        d.endSection("predictor");
+    }
+    statSet.restore(d);
+    restoreVec(d, coreAccesses, "reuse cache per-core accesses");
+    restoreVec(d, coreMisses, "reuse cache per-core misses");
 }
 
 } // namespace rc

@@ -2,6 +2,7 @@
 
 #include "common/bitops.hh"
 #include "common/log.hh"
+#include "snapshot/serializer.hh"
 
 namespace rc
 {
@@ -52,6 +53,18 @@ ReusePredictor::train(Addr line_addr, bool was_reused)
     } else if (ctr > 0) {
         --ctr;
     }
+}
+
+void
+ReusePredictor::save(Serializer &s) const
+{
+    saveVec(s, table);
+}
+
+void
+ReusePredictor::restore(Deserializer &d)
+{
+    restoreVec(d, table, "reuse predictor table");
 }
 
 } // namespace rc

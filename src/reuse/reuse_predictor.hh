@@ -23,6 +23,9 @@
 namespace rc
 {
 
+class Serializer;
+class Deserializer;
+
 /** Address-hashed bimodal (2-bit) reuse predictor. */
 class ReusePredictor
 {
@@ -48,6 +51,13 @@ class ReusePredictor
 
     /** Storage cost in bits (2 per entry). */
     std::uint64_t costBits() const { return table.size() * 2; }
+
+    /** Checkpoint the counter table. */
+    void save(Serializer &s) const;
+
+    /** Restore a save()'d table; throws SimError(Snapshot) on size
+     *  mismatch. */
+    void restore(Deserializer &d);
 
   private:
     std::size_t indexOf(Addr line_addr) const;

@@ -1,6 +1,7 @@
 #include "reuse/tag_array.hh"
 
 #include "common/log.hh"
+#include "snapshot/serializer.hh"
 
 namespace rc
 {
@@ -105,6 +106,47 @@ ReuseTagArray::residentCount() const
     for (const auto &e : entries)
         n += e.state != LlcState::I;
     return n;
+}
+
+void
+ReuseTagArray::save(Serializer &s) const
+{
+    s.putU64(entries.size());
+    for (const Entry &e : entries) {
+        s.putU64(e.tag);
+        s.putU8(static_cast<std::uint8_t>(e.state));
+        e.dir.save(s);
+        s.putU32(e.fwdWay);
+        s.putBool(e.enteredData);
+        s.putBool(e.reused);
+        s.putBool(e.predicted);
+    }
+    s.beginSection("repl");
+    repl->save(s);
+    s.endSection("repl");
+}
+
+void
+ReuseTagArray::restore(Deserializer &d)
+{
+    const std::uint64_t n = d.getU64();
+    if (n != entries.size())
+        throwSimError(SimError::Kind::Snapshot,
+                      "reuse tag array holds %zu entries but the checkpoint "
+                      "carries %llu",
+                      entries.size(), (unsigned long long)n);
+    for (Entry &e : entries) {
+        e.tag = d.getU64();
+        e.state = static_cast<LlcState>(d.getU8());
+        e.dir.restore(d);
+        e.fwdWay = d.getU32();
+        e.enteredData = d.getBool();
+        e.reused = d.getBool();
+        e.predicted = d.getBool();
+    }
+    d.beginSection("repl");
+    repl->restore(d);
+    d.endSection("repl");
 }
 
 } // namespace rc

@@ -103,6 +103,12 @@ class ReuseTagArray
     /** Fault-injection hook: mutable replacement policy. */
     ReplacementPolicy &policyMut() { return *repl; }
 
+    /** Checkpoint entries and replacement metadata. */
+    void save(Serializer &s) const;
+
+    /** Restore a save()'d image. */
+    void restore(Deserializer &d);
+
   private:
     CacheGeometry geom;
     std::vector<Entry> entries;

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/log.hh"
+#include "snapshot/serializer.hh"
 
 namespace rc
 {
@@ -141,10 +142,22 @@ Cmp::run(Cycle cycles)
         }
         if (!next || next->readyAt() >= end)
             break;
+        if (abortPtr && abortPtr->load(std::memory_order_relaxed)) {
+            if (onAbort)
+                onAbort(*this);
+            throwSimError(SimError::Kind::Hang,
+                          "watchdog abort: run made no forward progress "
+                          "(aborted after %llu references)",
+                          static_cast<unsigned long long>(refsProcessed));
+        }
         stepCore(*next);
         ++refsProcessed;
+        if (progressPtr)
+            progressPtr->store(refsProcessed, std::memory_order_relaxed);
         if (checkEvery != 0 && refsProcessed % checkEvery == 0)
             checkHook(*this, next->readyAt());
+        if (snapEvery != 0 && refsProcessed % snapEvery == 0)
+            snapHook(*this, next->readyAt());
     }
     horizon = end;
 }
@@ -155,6 +168,171 @@ Cmp::setCheckHook(std::uint64_t every_n_refs,
 {
     checkEvery = hook ? every_n_refs : 0;
     checkHook = std::move(hook);
+}
+
+void
+Cmp::setSnapshotHook(std::uint64_t every_n_refs,
+                     std::function<void(const Cmp &, Cycle)> hook)
+{
+    snapEvery = hook ? every_n_refs : 0;
+    snapHook = std::move(hook);
+}
+
+void
+Cmp::setProgressCounter(std::atomic<std::uint64_t> *counter)
+{
+    progressPtr = counter;
+}
+
+void
+Cmp::setAbortFlag(const std::atomic<bool> *flag,
+                  std::function<void(const Cmp &)> on_abort)
+{
+    abortPtr = flag;
+    onAbort = std::move(on_abort);
+}
+
+void
+Cmp::save(Serializer &s) const
+{
+    s.beginSection("cmp");
+
+    // Construction parameters: restore() validates these against its
+    // own config instead of restoring them, so a checkpoint can never
+    // be replayed into a differently-shaped system.
+    s.beginSection("meta");
+    s.putU32(cfg.numCores);
+    s.putU8(static_cast<std::uint8_t>(cfg.llcKind));
+    s.putU64(cfg.seed);
+    s.putU32(cfg.capacityScale);
+    s.putBool(cfg.prefetch.enable);
+    s.endSection();
+
+    s.beginSection("clock");
+    s.putU64(horizon);
+    s.putU64(refsProcessed);
+    s.putU64(prefetchIssued);
+    s.putU64(snapCycle);
+    saveVec(s, snapInstr);
+    saveVec(s, snapL1Miss);
+    saveVec(s, snapL2Miss);
+    saveVec(s, snapLlcMiss);
+    s.endSection();
+
+    s.beginSection("streams");
+    for (const auto &stream : ownedStreams) {
+        s.beginSection("stream");
+        stream->save(s);
+        s.endSection();
+    }
+    s.endSection();
+
+    s.beginSection("cores");
+    for (const auto &core : cores) {
+        s.beginSection("core");
+        core->save(s);
+        s.endSection();
+    }
+    s.endSection();
+
+    s.beginSection("llc");
+    llcPtr->save(s);
+    s.endSection();
+
+    s.beginSection("mem");
+    mem.save(s);
+    s.endSection();
+
+    s.beginSection("xbar");
+    xbar.save(s);
+    s.endSection();
+
+    s.beginSection("prefetchers");
+    s.putU64(prefetchers.size());
+    for (const auto &pf : prefetchers)
+        pf->save(s);
+    s.endSection();
+
+    s.endSection();
+}
+
+void
+Cmp::restore(Deserializer &d)
+{
+    d.beginSection("cmp");
+
+    d.beginSection("meta");
+    const std::uint32_t ckCores = d.getU32();
+    const auto ckKind = static_cast<LlcKind>(d.getU8());
+    const std::uint64_t ckSeed = d.getU64();
+    const std::uint32_t ckScale = d.getU32();
+    const bool ckPrefetch = d.getBool();
+    if (ckCores != cfg.numCores || ckKind != cfg.llcKind ||
+        ckSeed != cfg.seed || ckScale != cfg.capacityScale ||
+        ckPrefetch != cfg.prefetch.enable)
+        throwSimError(SimError::Kind::Snapshot,
+                      "checkpoint was taken under a different system "
+                      "configuration (%u cores, llcKind %u, seed %llu, "
+                      "scale %u, prefetch %d; this system: %u/%u/%llu/%u/%d)",
+                      ckCores, static_cast<unsigned>(ckKind),
+                      static_cast<unsigned long long>(ckSeed), ckScale,
+                      ckPrefetch, cfg.numCores,
+                      static_cast<unsigned>(cfg.llcKind),
+                      static_cast<unsigned long long>(cfg.seed),
+                      cfg.capacityScale, cfg.prefetch.enable);
+    d.endSection();
+
+    d.beginSection("clock");
+    horizon = d.getU64();
+    refsProcessed = d.getU64();
+    prefetchIssued = d.getU64();
+    snapCycle = d.getU64();
+    restoreVec(d, snapInstr, "instruction snapshots");
+    restoreVec(d, snapL1Miss, "L1-miss snapshots");
+    restoreVec(d, snapL2Miss, "L2-miss snapshots");
+    restoreVec(d, snapLlcMiss, "LLC-miss snapshots");
+    d.endSection();
+
+    d.beginSection("streams");
+    for (const auto &stream : ownedStreams) {
+        d.beginSection("stream");
+        stream->restore(d);
+        d.endSection();
+    }
+    d.endSection();
+
+    d.beginSection("cores");
+    for (const auto &core : cores) {
+        d.beginSection("core");
+        core->restore(d);
+        d.endSection();
+    }
+    d.endSection();
+
+    d.beginSection("llc");
+    llcPtr->restore(d);
+    d.endSection();
+
+    d.beginSection("mem");
+    mem.restore(d);
+    d.endSection();
+
+    d.beginSection("xbar");
+    xbar.restore(d);
+    d.endSection();
+
+    d.beginSection("prefetchers");
+    const std::uint64_t pfCount = d.getU64();
+    if (pfCount != prefetchers.size())
+        throwSimError(SimError::Kind::Snapshot,
+                      "checkpoint carries %llu prefetcher(s), this system "
+                      "has %zu", static_cast<unsigned long long>(pfCount),
+                      prefetchers.size());
+    for (const auto &pf : prefetchers)
+        pf->restore(d);
+    d.endSection();
+
+    d.endSection();
 }
 
 Cycle

@@ -13,6 +13,7 @@
 #ifndef RC_SIM_CMP_HH
 #define RC_SIM_CMP_HH
 
+#include <atomic>
 #include <functional>
 #include <memory>
 #include <vector>
@@ -27,6 +28,9 @@
 
 namespace rc
 {
+
+class Serializer;
+class Deserializer;
 
 /** Per-core/per-level miss rates in misses per kilo-instruction. */
 struct MpkiTriple
@@ -121,6 +125,50 @@ class Cmp : public RecallHandler
     std::uint64_t referencesProcessed() const { return refsProcessed; }
 
     /**
+     * Install a periodic checkpoint hook, symmetric to setCheckHook():
+     * runs with (system, current cycle) after every @p every_n_refs
+     * completed references, always at a quiescent point.  Pass 0 to
+     * disable.
+     */
+    void setSnapshotHook(std::uint64_t every_n_refs,
+                         std::function<void(const Cmp &, Cycle)> hook);
+
+    /**
+     * Watchdog heartbeat: when set, the run loop stores the completed
+     * reference count into @p counter (relaxed) after every reference,
+     * so a monitor thread can observe forward progress.
+     */
+    void setProgressCounter(std::atomic<std::uint64_t> *counter);
+
+    /**
+     * Cooperative abort: when @p flag becomes true the run loop calls
+     * @p on_abort (diagnostic state dump) and throws SimError(Hang),
+     * which the bench harness routes into its quarantine path.
+     */
+    void setAbortFlag(const std::atomic<bool> *flag,
+                      std::function<void(const Cmp &)> on_abort = {});
+
+    /** Cycle at which the current measurement window opened. */
+    Cycle measurementStart() const { return snapCycle; }
+
+    /**
+     * Checkpoint the complete mutable simulation state (cores, private
+     * hierarchies, SLLC, directory, MSHRs, DRAM, crossbar, streams,
+     * stats, measurement snapshots).  Must be called at a quiescent
+     * point (between run() calls or from a check/snapshot hook).
+     */
+    void save(Serializer &s) const;
+
+    /**
+     * Restore a save()'d image into a Cmp constructed from the SAME
+     * SystemConfig and stream set; construction-derived state is
+     * validated, not restored.  Throws SimError(Snapshot) on any
+     * mismatch or corruption.  Callers should run the IntegrityChecker
+     * immediately afterwards.
+     */
+    void restore(Deserializer &d);
+
+    /**
      * Latest per-core ready time: every legitimate MSHR entry completes
      * by then, so later completion times are leaks at quiesce.
      */
@@ -150,6 +198,15 @@ class Cmp : public RecallHandler
     std::uint64_t refsProcessed = 0;
     std::uint64_t checkEvery = 0;
     std::function<void(const Cmp &, Cycle)> checkHook;
+
+    // Periodic checkpoint hook (snapshot layer).
+    std::uint64_t snapEvery = 0;
+    std::function<void(const Cmp &, Cycle)> snapHook;
+
+    // Watchdog wiring (heartbeat out, abort in).
+    std::atomic<std::uint64_t> *progressPtr = nullptr;
+    const std::atomic<bool> *abortPtr = nullptr;
+    std::function<void(const Cmp &)> onAbort;
 
     // Measurement snapshots.
     Cycle snapCycle = 0;

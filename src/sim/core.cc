@@ -1,5 +1,7 @@
 #include "sim/core.hh"
 
+#include "snapshot/serializer.hh"
+
 namespace rc
 {
 
@@ -8,6 +10,26 @@ Core::Core(CoreId id, const PrivateConfig &cfg, RefStream &stream)
       streamRef(stream),
       hierarchy(cfg, id, "core" + std::to_string(id))
 {
+}
+
+void
+Core::save(Serializer &s) const
+{
+    s.putU64(ready);
+    s.putU64(instrRetired);
+    s.beginSection("priv");
+    hierarchy.save(s);
+    s.endSection();
+}
+
+void
+Core::restore(Deserializer &d)
+{
+    ready = d.getU64();
+    instrRetired = d.getU64();
+    d.beginSection("priv");
+    hierarchy.restore(d);
+    d.endSection();
 }
 
 } // namespace rc

@@ -61,6 +61,13 @@ class Core
     /** Label of the stream driving this core. */
     const char *workloadLabel() const { return streamRef.label(); }
 
+    /** Checkpoint ready time, retirement count and private caches
+     *  (the stream is serialized separately by its owner). */
+    void save(Serializer &s) const;
+
+    /** Restore a save()'d image. */
+    void restore(Deserializer &d);
+
   private:
     CoreId coreId;
     RefStream &streamRef;

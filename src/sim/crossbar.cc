@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/log.hh"
+#include "snapshot/serializer.hh"
 
 namespace rc
 {
@@ -49,6 +50,35 @@ void
 Crossbar::noteMiss(Addr line_addr, Cycle start, Cycle done_at)
 {
     mshrFiles[bankOf(line_addr)]->request(line_addr, start, done_at);
+}
+
+void
+Crossbar::save(Serializer &s) const
+{
+    saveVec(s, bankBusyUntil);
+    s.putU64(mshrFiles.size());
+    for (const auto &m : mshrFiles) {
+        s.beginSection("mshr");
+        m->save(s);
+        s.endSection("mshr");
+    }
+}
+
+void
+Crossbar::restore(Deserializer &d)
+{
+    restoreVec(d, bankBusyUntil, "crossbar bank busy windows");
+    const std::uint64_t n = d.getU64();
+    if (n != mshrFiles.size())
+        throwSimError(SimError::Kind::Snapshot,
+                      "crossbar has %zu MSHR files but the checkpoint "
+                      "carries %llu",
+                      mshrFiles.size(), (unsigned long long)n);
+    for (auto &m : mshrFiles) {
+        d.beginSection("mshr");
+        m->restore(d);
+        d.endSection("mshr");
+    }
 }
 
 } // namespace rc

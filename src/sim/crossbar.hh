@@ -54,6 +54,12 @@ class Crossbar
         return mshrFiles;
     }
 
+    /** Checkpoint bank busy windows and MSHR files. */
+    void save(Serializer &s) const;
+
+    /** Restore a save()'d image. */
+    void restore(Deserializer &d);
+
   private:
     CrossbarConfig cfg;
     std::vector<Cycle> bankBusyUntil;

@@ -1,0 +1,27 @@
+#include "sim/trace.hh"
+
+#include "common/log.hh"
+#include "snapshot/serializer.hh"
+
+namespace rc
+{
+
+void
+RefStream::save(Serializer &s) const
+{
+    (void)s;
+    throwSimError(SimError::Kind::Snapshot,
+                  "stream '%s' is not checkpointable (no save override)",
+                  label());
+}
+
+void
+RefStream::restore(Deserializer &d)
+{
+    (void)d;
+    throwSimError(SimError::Kind::Snapshot,
+                  "stream '%s' is not checkpointable (no restore override)",
+                  label());
+}
+
+} // namespace rc

@@ -29,6 +29,9 @@ struct MemRef
  * a given seed: the simulator replays identical streams across SLLC
  * configurations so speedups compare like with like.
  */
+class Serializer;
+class Deserializer;
+
 class RefStream
 {
   public:
@@ -39,6 +42,17 @@ class RefStream
 
     /** Short label for reports (e.g. "mcf"). */
     virtual const char *label() const = 0;
+
+    /**
+     * Checkpoint the stream cursor.  The default implementations throw
+     * SimError(Snapshot): a stream that does not override them cannot
+     * be checkpointed, and a run using one fails its checkpoint
+     * recoverably rather than silently dropping stream state.
+     */
+    virtual void save(Serializer &s) const;
+
+    /** Restore a save()'d cursor; default throws SimError(Snapshot). */
+    virtual void restore(Deserializer &d);
 };
 
 } // namespace rc

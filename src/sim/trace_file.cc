@@ -3,6 +3,7 @@
 #include <cstring>
 
 #include "common/log.hh"
+#include "snapshot/serializer.hh"
 
 namespace rc
 {
@@ -82,7 +83,7 @@ TraceReader::TraceReader(const std::string &path) : name(path)
 {
     // A bad trace must not kill a whole sweep: every failure below is a
     // recoverable SimError(Trace) the harness can quarantine per run.
-    std::FILE *file = std::fopen(path.c_str(), "rb");
+    file = std::fopen(path.c_str(), "rb");
     if (!file)
         throwSimError(SimError::Kind::Trace,
                       "cannot open trace file '%s'", path.c_str());
@@ -90,41 +91,91 @@ TraceReader::TraceReader(const std::string &path) : name(path)
     const std::size_t got = std::fread(header, 1, sizeof(header), file);
     if (got != sizeof(header)) {
         std::fclose(file);
+        file = nullptr;
         throwSimError(SimError::Kind::Trace,
                       "'%s' is truncated: %zu header byte(s), expected "
                       "%zu", path.c_str(), got, sizeof(header));
     }
     if (std::memcmp(header, traceMagic, sizeof(traceMagic)) != 0) {
         std::fclose(file);
+        file = nullptr;
         throwSimError(SimError::Kind::Trace,
                       "'%s' is not a reuse-cache trace file (bad magic)",
                       path.c_str());
     }
-    unsigned char buf[recordBytes];
-    std::size_t tail = 0;
-    while ((tail = std::fread(buf, 1, recordBytes, file)) == recordBytes)
-        records.push_back(decode(buf));
-    std::fclose(file);
-    if (tail != 0)
+    // Validate the whole-file framing up front: once the byte count is
+    // known to be header + N whole records, next() and seekToRecord()
+    // reduce to bounds-checked offset arithmetic.
+    std::fseek(file, 0, SEEK_END);
+    const long fileSize = std::ftell(file);
+    const std::size_t body = static_cast<std::size_t>(fileSize) -
+                             sizeof(header);
+    const std::size_t tail = body % recordBytes;
+    recordCount = body / recordBytes;
+    if (tail != 0) {
+        std::fclose(file);
+        file = nullptr;
         throwSimError(SimError::Kind::Trace,
                       "'%s' ends mid-record: %zu trailing byte(s) after "
                       "%zu full record(s)", path.c_str(), tail,
-                      records.size());
-    if (records.empty())
+                      static_cast<std::size_t>(recordCount));
+    }
+    if (recordCount == 0) {
+        std::fclose(file);
+        file = nullptr;
         throwSimError(SimError::Kind::Trace,
                       "trace file '%s' contains no records", path.c_str());
+    }
+    std::fseek(file, sizeof(header), SEEK_SET);
+}
+
+TraceReader::~TraceReader()
+{
+    if (file)
+        std::fclose(file);
 }
 
 MemRef
 TraceReader::next()
 {
-    const MemRef ref = records[pos];
+    unsigned char buf[recordBytes];
+    if (std::fread(buf, 1, recordBytes, file) != recordBytes)
+        throwSimError(SimError::Kind::Trace,
+                      "'%s' ends mid-record: short read at record %llu "
+                      "(file changed during replay?)", name.c_str(),
+                      static_cast<unsigned long long>(pos));
+    const MemRef ref = decode(buf);
     ++pos;
-    if (pos == records.size()) {
+    if (pos == recordCount) {
         pos = 0;
         ++wrapCount;
+        std::fseek(file, 16, SEEK_SET);
     }
     return ref;
+}
+
+void
+TraceReader::seekToRecord(std::uint64_t n)
+{
+    pos = n % recordCount;
+    wrapCount = n / recordCount;
+    if (std::fseek(file, static_cast<long>(16 + pos * recordBytes),
+                   SEEK_SET) != 0)
+        throwSimError(SimError::Kind::Trace,
+                      "'%s': cannot seek to record %llu", name.c_str(),
+                      static_cast<unsigned long long>(pos));
+}
+
+void
+TraceReader::save(Serializer &s) const
+{
+    s.putU64(consumed());
+}
+
+void
+TraceReader::restore(Deserializer &d)
+{
+    seekToRecord(d.getU64());
 }
 
 void

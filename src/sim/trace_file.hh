@@ -55,32 +55,61 @@ class TraceWriter
 /**
  * Replays a trace file as a RefStream.  The stream loops at EOF (the
  * simulator needs an infinite stream), counting wraps.
+ *
+ * Records are streamed from disk one at a time rather than preloaded,
+ * so a restored run can seekToRecord() straight to its checkpointed
+ * cursor without re-decoding the records it already consumed.
  */
 class TraceReader : public RefStream
 {
   public:
     /**
-     * Loads the whole trace into memory.  Throws SimError(Trace) on a
-     * missing file, bad magic, truncated header, a short read
+     * Opens @p path and validates its framing (header magic and an
+     * exact multiple of whole records).  Throws SimError(Trace) on a
+     * missing file, bad magic, truncated header, a short file ending
      * mid-record, or an empty trace — recoverable, so one corrupt
      * trace quarantines its run instead of killing the sweep.
      */
     explicit TraceReader(const std::string &path);
+
+    ~TraceReader() override;
+
+    TraceReader(const TraceReader &) = delete;
+    TraceReader &operator=(const TraceReader &) = delete;
 
     MemRef next() override;
 
     const char *label() const override { return name.c_str(); }
 
     /** Number of records in the file. */
-    std::uint64_t size() const { return records.size(); }
+    std::uint64_t size() const { return recordCount; }
 
     /** Times the replay wrapped back to the start. */
     std::uint64_t wraps() const { return wrapCount; }
 
+    /**
+     * Fast-forward (or rewind) the cursor so that exactly @p n records
+     * have been consumed, without decoding the skipped ones; @p n past
+     * the file size wraps, updating wraps() accordingly.  The record
+     * framing was validated at open, so the seek is a bounds-checked
+     * file offset computation.
+     */
+    void seekToRecord(std::uint64_t n);
+
+    /** Absolute records consumed since construction (wraps included). */
+    std::uint64_t consumed() const { return wrapCount * recordCount + pos; }
+
+    /** Checkpoint the replay cursor (consumed-record count). */
+    void save(Serializer &s) const override;
+
+    /** Restore a save()'d cursor via seekToRecord(). */
+    void restore(Deserializer &d) override;
+
   private:
     std::string name;
-    std::vector<MemRef> records;
-    std::size_t pos = 0;
+    std::FILE *file = nullptr;
+    std::uint64_t recordCount = 0;
+    std::uint64_t pos = 0;        //!< next record index within the file
     std::uint64_t wrapCount = 0;
 };
 

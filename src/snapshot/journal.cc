@@ -1,0 +1,125 @@
+#include "snapshot/journal.hh"
+
+#include <cerrno>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include "common/log.hh"
+
+namespace rc
+{
+
+namespace
+{
+
+constexpr const char *journalName = "sweep.journal";
+constexpr const char *journalHeader = "# rc sweep journal v1\n";
+
+/** Newlines would tear the one-record-per-line framing. */
+std::string
+oneLine(const std::string &s)
+{
+    std::string out = s;
+    for (char &c : out)
+        if (c == '\n' || c == '\r')
+            c = ' ';
+    return out;
+}
+
+} // namespace
+
+SweepJournal::SweepJournal(const std::string &dir)
+    : filePath(dir + "/" + journalName)
+{
+    if (::mkdir(dir.c_str(), 0777) != 0 && errno != EEXIST)
+        throwSimError(SimError::Kind::Snapshot,
+                      "cannot create sweep directory '%s': %s",
+                      dir.c_str(), std::strerror(errno));
+    const bool fresh = ::access(filePath.c_str(), F_OK) != 0;
+    file = std::fopen(filePath.c_str(), "ab");
+    if (!file)
+        throwSimError(SimError::Kind::Snapshot,
+                      "cannot open sweep journal '%s': %s",
+                      filePath.c_str(), std::strerror(errno));
+    if (fresh) {
+        std::fputs(journalHeader, file);
+        std::fflush(file);
+        ::fsync(::fileno(file));
+    }
+}
+
+SweepJournal::~SweepJournal()
+{
+    if (file)
+        std::fclose(file);
+}
+
+void
+SweepJournal::append(const JournalRecord &rec)
+{
+    char line[512];
+    std::snprintf(line, sizeof(line),
+                  "run b=%llu r=%llu status=%s attempts=%u digest=0x%08x "
+                  "wall=%.6f err=%s\n",
+                  static_cast<unsigned long long>(rec.batch),
+                  static_cast<unsigned long long>(rec.run),
+                  rec.status.c_str(), rec.attempts, rec.digest,
+                  rec.wallSeconds, oneLine(rec.error).c_str());
+    std::lock_guard<std::mutex> lock(mtx);
+    if (std::fputs(line, file) == EOF || std::fflush(file) != 0 ||
+        ::fsync(::fileno(file)) != 0)
+        throwSimError(SimError::Kind::Snapshot,
+                      "cannot append to sweep journal '%s'",
+                      filePath.c_str());
+}
+
+std::vector<JournalRecord>
+SweepJournal::load(const std::string &dir)
+{
+    std::vector<JournalRecord> out;
+    std::ifstream in(dir + "/" + journalName, std::ios::binary);
+    if (!in)
+        return out;
+    std::stringstream all;
+    all << in.rdbuf();
+    const std::string text = all.str();
+    std::size_t start = 0;
+    while (start < text.size()) {
+        const std::size_t nl = text.find('\n', start);
+        if (nl == std::string::npos)
+            break; // torn tail line: the append never completed
+        const std::string line = text.substr(start, nl - start);
+        start = nl + 1;
+        if (line.rfind("run ", 0) != 0)
+            continue;
+        JournalRecord rec;
+        unsigned long long b = 0, r = 0;
+        unsigned attempts = 0, digest = 0;
+        double wall = 0.0;
+        char status[32] = {};
+        const int matched =
+            std::sscanf(line.c_str(),
+                        "run b=%llu r=%llu status=%31s attempts=%u "
+                        "digest=%x wall=%lf",
+                        &b, &r, status, &attempts, &digest, &wall);
+        if (matched != 6)
+            continue; // malformed line: skip, the run simply re-runs
+        rec.batch = b;
+        rec.run = r;
+        rec.status = status;
+        rec.attempts = attempts;
+        rec.digest = digest;
+        rec.wallSeconds = wall;
+        const std::size_t errAt = line.find(" err=");
+        if (errAt != std::string::npos)
+            rec.error = line.substr(errAt + 5);
+        out.push_back(std::move(rec));
+    }
+    return out;
+}
+
+} // namespace rc

@@ -5,6 +5,7 @@
 #include <cmath>
 
 #include "common/log.hh"
+#include "snapshot/serializer.hh"
 
 namespace rc
 {
@@ -253,6 +254,56 @@ SyntheticStream::next()
     MemRef ref = makeDataRef();
     instrSinceFetch += ref.think + 1;
     return ref;
+}
+
+// Only the fields next()/advancePhase() mutate are serialized; the layout
+// (base, lines, pattern, zipfCdf) is ctor-derived and reconstructed from
+// the profile.
+void
+SyntheticStream::save(Serializer &s) const
+{
+    s.putU64(rng.rawState());
+    const auto put_comp = [&s](const CompState &c) {
+        s.putU64(c.cursor);
+        s.putU32(c.burstLeft);
+        s.putU64(c.scatter);
+        s.putU64(c.salt);
+        s.putU64(c.window);
+    };
+    s.putU64(comps.size());
+    for (const CompState &c : comps)
+        put_comp(c);
+    put_comp(hot);
+    put_comp(code);
+    s.putU64(instrSinceFetch);
+    s.putU64(refsInPhase);
+    s.putU64(phaseIndex);
+}
+
+void
+SyntheticStream::restore(Deserializer &d)
+{
+    rng.setRawState(d.getU64());
+    const auto get_comp = [&d](CompState &c) {
+        c.cursor = d.getU64();
+        c.burstLeft = d.getU32();
+        c.scatter = d.getU64();
+        c.salt = d.getU64();
+        c.window = d.getU64();
+    };
+    const std::uint64_t n = d.getU64();
+    if (n != comps.size())
+        throwSimError(SimError::Kind::Snapshot,
+                      "stream '%s' has %zu components but the checkpoint "
+                      "carries %llu",
+                      appName.c_str(), comps.size(), (unsigned long long)n);
+    for (CompState &c : comps)
+        get_comp(c);
+    get_comp(hot);
+    get_comp(code);
+    instrSinceFetch = d.getU64();
+    refsInPhase = d.getU64();
+    phaseIndex = d.getU64();
 }
 
 } // namespace rc

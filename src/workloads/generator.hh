@@ -48,6 +48,9 @@ class SyntheticStream : public RefStream
 
     const char *label() const override { return appName.c_str(); }
 
+    void save(Serializer &s) const override;
+    void restore(Deserializer &d) override;
+
     /** Number of mixture components (incl. code and hot; tests). */
     std::size_t componentCount() const { return comps.size(); }
 
