@@ -22,11 +22,11 @@ int
 main(int argc, char **argv)
 {
     using namespace rc;
-    auto opt = bench::parseArgs(argc, argv);
-    bench::printHeader(
+    const auto opt = bench::initBench(
+        argc, argv,
         "Ablation: reuse-cache design choices (RC-4/1)",
         "NRR tags and Clock data are the paper's picks; the reuse "
-        "predictor is the paper's suggested extension", opt);
+        "predictor is the paper's suggested extension");
 
     const auto mixes = makeMixes(opt.mixCount, 8, 7);
     const auto base =

@@ -17,11 +17,11 @@ int
 main(int argc, char **argv)
 {
     using namespace rc;
-    auto opt = bench::parseArgs(argc, argv);
-    bench::printHeader(
+    const auto opt = bench::initBench(
+        argc, argv,
         "Extension: SLLC energy (leakage + dynamic)",
         "the saved area cuts static power ~5x at RC-4/1; dynamic energy "
-        "shifts from the big data array to the tag array", opt);
+        "shifts from the big data array to the tag array");
 
     constexpr std::uint64_t MiB = 1ull << 20;
     const auto mixes = makeMixes(opt.mixCount, 8, 7);

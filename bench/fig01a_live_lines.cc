@@ -15,11 +15,10 @@ int
 main(int argc, char **argv)
 {
     using namespace rc;
-    auto opt = bench::parseArgs(argc, argv);
-    bench::printHeader(
+    const auto opt = bench::initBench(
+        argc, argv,
         "Figure 1a: live-line fraction over time (example workload)",
-        "LRU varies 5.7-29.8%, average 17.4%; DRRIP 34.8%, NRR 37.9%",
-        opt);
+        "LRU varies 5.7-29.8%, average 17.4%; DRRIP 34.8%, NRR 37.9%");
 
     const Mix mix = exampleMix();
 

@@ -13,11 +13,11 @@ int
 main(int argc, char **argv)
 {
     using namespace rc;
-    auto opt = bench::parseArgs(argc, argv);
-    bench::printHeader(
+    const auto opt = bench::initBench(
+        argc, argv,
         "Figure 1b: hits per line generation (example workload, 8MB LRU)",
         "0.5% of loaded lines receive 47% of hits (avg 11.5 hits/line); "
-        "only ~5% of loaded lines are ever hit", opt);
+        "only ~5% of loaded lines are ever hit");
 
     GenerationTracker tracker;
     bench::runMix(baselineSystem(opt.scale), exampleMix(), opt, &tracker);

@@ -14,12 +14,11 @@ int
 main(int argc, char **argv)
 {
     using namespace rc;
-    auto opt = bench::parseArgs(argc, argv);
-    bench::printHeader(
+    const auto opt = bench::initBench(
+        argc, argv,
         "Figure 4: data array size and associativity (8 MBeq tags)",
         "performance varies little with associativity (FA best by <=1%); "
-        "RC-8/2 beats baseline by ~2.4%, RC-8/1 slightly below (-0.5%)",
-        opt);
+        "RC-8/2 beats baseline by ~2.4%, RC-8/1 slightly below (-0.5%)");
 
     const auto mixes = makeMixes(opt.mixCount, 8, 7);
     const auto base =

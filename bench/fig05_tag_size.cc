@@ -14,12 +14,11 @@ int
 main(int argc, char **argv)
 {
     using namespace rc;
-    auto opt = bench::parseArgs(argc, argv);
-    bench::printHeader(
+    const auto opt = bench::initBench(
+        argc, argv,
         "Figure 5: tag array size per data array size",
         "optimum tag:data ratio is 4; RC-16/8 outperforms conv 16MB; "
-        "RC-4/0.5 matches conv 4MB; conv 4/16MB lines at ~0.95/1.094",
-        opt);
+        "RC-4/0.5 matches conv 4MB; conv 4/16MB lines at ~0.95/1.094");
 
     const auto mixes = makeMixes(opt.mixCount, 8, 7);
     const auto base =

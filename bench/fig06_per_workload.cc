@@ -14,11 +14,11 @@ int
 main(int argc, char **argv)
 {
     using namespace rc;
-    auto opt = bench::parseArgs(argc, argv);
-    bench::printHeader(
+    const auto opt = bench::initBench(
+        argc, argv,
         "Figure 6: per-workload speedups of the selected configurations",
         "RC-8/4 beats the baseline on 99/100 workloads; RC-4/1 wins on "
-        "64/100 with range 0.82..1.14", opt);
+        "64/100 with range 0.82..1.14");
 
     const auto mixes = makeMixes(opt.mixCount, 8, 7);
     const auto base =

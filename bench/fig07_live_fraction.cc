@@ -37,11 +37,11 @@ int
 main(int argc, char **argv)
 {
     using namespace rc;
-    auto opt = bench::parseArgs(argc, argv);
-    bench::printHeader(
+    const auto opt = bench::initBench(
+        argc, argv,
         "Figure 7: average live fraction of the data array",
         "LRU 16.1%, DRRIP 35.9%, NRR 40.0% (conv 8MB); RC-8/4 55.1%, "
-        "RC-8/2 57.3%, RC-4/1 48.7%, RC-4/0.5 41.5%", opt);
+        "RC-8/2 57.3%, RC-4/1 48.7%, RC-4/0.5 41.5%");
 
     const auto mixes = makeMixes(opt.mixCount, 8, 7);
 

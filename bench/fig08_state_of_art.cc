@@ -14,12 +14,12 @@ int
 main(int argc, char **argv)
 {
     using namespace rc;
-    auto opt = bench::parseArgs(argc, argv);
-    bench::printHeader(
+    const auto opt = bench::initBench(
+        argc, argv,
         "Figure 8: comparison with TA-DRRIP and NRR",
         "RC-8/4 (40448 Kbits) beats DRRIP-8MB (70016 Kbits) by ~2%; "
         "RC-16/8 edges DRRIP/NRR-16MB with 41% less storage; RC-4/0.5 "
-        "matches DRRIP-4MB at 80% less storage", opt);
+        "matches DRRIP-4MB at 80% less storage");
 
     constexpr std::uint64_t MiB = 1ull << 20;
     const auto mixes = makeMixes(opt.mixCount, 8, 7);

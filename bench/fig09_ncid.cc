@@ -16,11 +16,11 @@ int
 main(int argc, char **argv)
 {
     using namespace rc;
-    auto opt = bench::parseArgs(argc, argv);
-    bench::printHeader(
+    const auto opt = bench::initBench(
+        argc, argv,
         "Figure 9: reuse cache vs NCID (8 MBeq tags)",
         "RC beats NCID by 7.0 / 6.4 / 5.2 / 5.3% at 4 / 2 / 1 / 0.5 MB; "
-        "no NCID setting matches the 8 MB baseline", opt);
+        "no NCID setting matches the 8 MB baseline");
 
     const auto mixes = makeMixes(opt.mixCount, 8, 7);
     const auto base =

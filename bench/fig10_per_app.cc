@@ -16,15 +16,18 @@ int
 main(int argc, char **argv)
 {
     using namespace rc;
-    auto opt = bench::parseArgs(argc, argv);
-    // Per-application distributions need a fair number of occurrences.
-    if (opt.mixCount < 16)
-        opt.mixCount = 16;
-    bench::printHeader(
+    const auto opt = bench::initBench(
+        argc, argv,
         "Figure 10: per-application speedup quartiles",
         "RC-8/4 improves nearly every application (worst Q1 ~0.98); "
         "with RC-8/1 a handful of applications with long reuse "
-        "distances lose", opt);
+        "distances lose",
+        [](bench::RunOptions &o) {
+            // Per-application distributions need a fair number of
+            // occurrences.
+            if (o.mixCount < 16)
+                o.mixCount = 16;
+        });
 
     const auto mixes = makeMixes(opt.mixCount, 8, 7);
 

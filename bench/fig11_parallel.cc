@@ -15,15 +15,18 @@ int
 main(int argc, char **argv)
 {
     using namespace rc;
-    auto opt = bench::parseArgs(argc, argv);
-    // The parallel analogs' reuse detection converges over many sweep
-    // generations; give them longer windows than the mix benches.
-    opt.warmup = std::max<Cycle>(opt.warmup, 6'000'000);
-    opt.measure = std::max<Cycle>(opt.measure, 24'000'000);
-    bench::printHeader(
+    const auto opt = bench::initBench(
+        argc, argv,
         "Figure 11: parallel applications",
         "only ferret loses (-1% at RC-8/4 to -11% at RC-8/0.5); canneal "
-        "and ocean gain >10% even at RC-8/0.5", opt);
+        "and ocean gain >10% even at RC-8/0.5",
+        [](bench::RunOptions &o) {
+            // The parallel analogs' reuse detection converges over many
+            // sweep generations; give them longer windows than the mix
+            // benches.
+            o.warmup = std::max<Cycle>(o.warmup, 6'000'000);
+            o.measure = std::max<Cycle>(o.measure, 24'000'000);
+        });
 
     Table t("Speedup over conv-8MB-LRU per parallel application");
     t.header({"application", "RC-8/4", "RC-8/2", "RC-8/1", "RC-8/0.5"});

@@ -18,6 +18,7 @@
 #include "reuse/reuse_cache.hh"
 #include "snapshot/journal.hh"
 #include "snapshot/serializer.hh"
+#include "telemetry/telemetry.hh"
 #include "verify/fault_injector.hh"
 #include "verify/integrity.hh"
 
@@ -115,30 +116,8 @@ runFilePath(const std::string &dir, const char *stem, std::uint64_t batch,
     return dir + buf;
 }
 
-/** Escape a string for embedding in a JSON literal. */
-std::string
-jsonEscape(const std::string &in)
-{
-    std::string out;
-    out.reserve(in.size());
-    for (char c : in) {
-        switch (c) {
-          case '"': out += "\\\""; break;
-          case '\\': out += "\\\\"; break;
-          case '\n': out += "\\n"; break;
-          case '\t': out += "\\t"; break;
-          default:
-            if (static_cast<unsigned char>(c) < 0x20) {
-                char buf[8];
-                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
-                out += buf;
-            } else {
-                out += c;
-            }
-        }
-    }
-    return out;
-}
+// String escaping for the perf record comes from the shared JSON
+// helper in common/stats.hh (rc::jsonEscape).
 
 PerfTotals &
 perfTotals()
@@ -359,6 +338,15 @@ usageString()
            "  --hang-timeout=S  abort and quarantine runs making no "
            "forward progress for\n"
            "               S wall seconds (default 300; 0 = off)\n"
+           "  --telemetry-dir=DIR  write per-run telemetry artifacts "
+           "(traces, epoch CSVs,\n"
+           "               stats JSON) under DIR\n"
+           "  --trace-events  record event traces as Chrome trace_event "
+           "JSON\n"
+           "               (needs --telemetry-dir)\n"
+           "  --sample-interval=N  sample stat deltas every N simulated "
+           "cycles into an\n"
+           "               epoch CSV (needs --telemetry-dir)\n"
            "  --full       paper-strength settings (100 mixes, longer "
            "windows)\n"
            "  --help       print this text and exit\n";
@@ -414,6 +402,12 @@ parseArgs(int argc, char **argv)
             opt.resume = true;
         } else if (const char *v = value("--hang-timeout=")) {
             opt.hangTimeout = std::atof(v);
+        } else if (const char *v = value("--telemetry-dir=")) {
+            opt.telemetryDir = v;
+        } else if (std::strcmp(arg, "--trace-events") == 0) {
+            opt.traceEvents = true;
+        } else if (const char *v = value("--sample-interval=")) {
+            opt.sampleInterval = static_cast<Cycle>(std::atoll(v));
         } else if (const char *v = value("--inject=")) {
             std::string spec = v;
             if (const std::size_t at = spec.find('@');
@@ -450,6 +444,22 @@ parseArgs(int argc, char **argv)
               "--resume=DIR to know where to put the checkpoints");
     if (opt.hangTimeout < 0.0)
         fatal("--hang-timeout must be >= 0");
+    if ((opt.traceEvents || opt.sampleInterval != 0) &&
+        opt.telemetryDir.empty())
+        fatal("--trace-events and --sample-interval need "
+              "--telemetry-dir=DIR to know where to put the artifacts");
+    return opt;
+}
+
+RunOptions
+initBench(int argc, char **argv, const std::string &artifact,
+          const std::string &claim,
+          const std::function<void(RunOptions &)> &tweak)
+{
+    RunOptions opt = parseArgs(argc, argv);
+    if (tweak)
+        tweak(opt);
+    printHeader(artifact, claim, opt);
     return opt;
 }
 
@@ -775,14 +785,39 @@ applyInjectedFault(Cmp &cmp, const RunOptions &opt)
 }
 
 /**
+ * File tag of the calling worker's run, matching runFilePath(): the
+ * telemetry artifacts sit next to the checkpoints under the same
+ * naming scheme so a sweep's outputs line up run for run.
+ */
+std::string
+telemetryTag()
+{
+    if (currentRunIndex() == SIZE_MAX) {
+        // Benches call runMix outside forEachRun repeatedly (one call
+        // per configuration); number those so artifacts never silently
+        // overwrite each other.
+        static std::atomic<std::uint64_t> soloRuns{0};
+        const std::uint64_t n = soloRuns.fetch_add(1);
+        return n == 0 ? "solo" : "solo" + std::to_string(n + 1);
+    }
+    char buf[48];
+    std::snprintf(buf, sizeof(buf), "b%llu-r%zu",
+                  static_cast<unsigned long long>(currentBatchIndex()),
+                  currentRunIndex());
+    return buf;
+}
+
+/**
  * Persist one run's resumable state: a "harness" section carrying the
  * phase (0 = warmup, 1 = measurement) and a fingerprint of the options
- * that shape determinism, then the full Cmp image.  Checkpoints and
- * watchdog hang dumps share this layout.
+ * that shape determinism, then the full Cmp image, then the epoch
+ * sampler's accumulated rows and baselines (absent when sampling is
+ * off; the sampleInterval fingerprint keeps the two in agreement).
+ * Checkpoints and watchdog hang dumps share this layout.
  */
 void
 writeRunState(const Cmp &cmp, std::uint32_t phase, const RunOptions &opt,
-              const std::string &path)
+              const EpochSampler *sampler, const std::string &path)
 {
     Serializer s;
     s.beginSection("run");
@@ -792,10 +827,16 @@ writeRunState(const Cmp &cmp, std::uint32_t phase, const RunOptions &opt,
     s.putU64(opt.warmup);
     s.putU64(opt.measure);
     s.putU64(opt.scale);
+    s.putU64(opt.sampleInterval);
     s.endSection("harness");
     s.beginSection("cmp");
     cmp.save(s);
     s.endSection("cmp");
+    s.beginSection("telemetry");
+    s.putBool(sampler != nullptr);
+    if (sampler)
+        sampler->save(s);
+    s.endSection("telemetry");
     s.endSection("run");
     s.writeFile(path);
 }
@@ -833,6 +874,22 @@ executeRun(const SystemConfig &cfg,
                                currentRunIndex(), "ckpt");
     }
 
+    // The telemetry session precedes the restore attempt: a resumed run
+    // must restore its sampler baselines from the checkpoint before the
+    // sample hook is installed.
+    TelemetryConfig tcfg;
+    tcfg.dir = opt.telemetryDir;
+    tcfg.traceEvents = opt.traceEvents;
+    tcfg.sampleInterval = opt.sampleInterval;
+    std::unique_ptr<TelemetrySession> telemetry;
+    const std::string ttag = tcfg.enabled() ? telemetryTag() : "";
+    if (tcfg.enabled())
+        telemetry = std::make_unique<TelemetrySession>(tcfg, ttag);
+    EventTracer *tracer = telemetry ? telemetry->tracer() : nullptr;
+    EpochSampler *sampler = telemetry ? telemetry->sampler() : nullptr;
+    if (tracer)
+        tracer->recordHost("run.attempt", 0, 0, currentAttempt() + 1);
+
     // Resume: restore from the run's checkpoint when one exists; any
     // snapshot error falls back to a from-scratch execution.
     std::uint32_t phase = 0; // 0 = warmup, 1 = measurement
@@ -846,24 +903,37 @@ executeRun(const SystemConfig &cfg,
             const std::uint64_t warmup = d.getU64();
             const std::uint64_t measure = d.getU64();
             const std::uint64_t scale = d.getU64();
+            const std::uint64_t sampleEvery = d.getU64();
             if (savedPhase > 1)
                 throwSimError(SimError::Kind::Snapshot,
                               "checkpoint '%s' carries unknown phase %u",
                               ckptPath.c_str(), savedPhase);
             if (seed != opt.seed || warmup != opt.warmup ||
-                measure != opt.measure || scale != opt.scale)
+                measure != opt.measure || scale != opt.scale ||
+                sampleEvery != opt.sampleInterval)
                 throwSimError(SimError::Kind::Snapshot,
                               "checkpoint '%s' was taken under different "
                               "run options (seed %llu warmup %llu measure "
-                              "%llu scale %llu)", ckptPath.c_str(),
+                              "%llu scale %llu sample-interval %llu)",
+                              ckptPath.c_str(),
                               static_cast<unsigned long long>(seed),
                               static_cast<unsigned long long>(warmup),
                               static_cast<unsigned long long>(measure),
-                              static_cast<unsigned long long>(scale));
+                              static_cast<unsigned long long>(scale),
+                              static_cast<unsigned long long>(sampleEvery));
             d.endSection("harness");
             d.beginSection("cmp");
             sim->restore(d);
             d.endSection("cmp");
+            d.beginSection("telemetry");
+            const bool hasSampler = d.getBool();
+            if (hasSampler != (sampler != nullptr))
+                throwSimError(SimError::Kind::Snapshot,
+                              "checkpoint '%s' and this run disagree on "
+                              "epoch sampling", ckptPath.c_str());
+            if (sampler)
+                sampler->restore(d);
+            d.endSection("telemetry");
             d.endSection("run");
             // A checkpoint that restores into an inconsistent system is
             // as unusable as one that fails its CRC.
@@ -880,10 +950,23 @@ executeRun(const SystemConfig &cfg,
                  ckptPath.c_str(), err.what());
             sim = make_cmp();
             phase = 0;
+            if (telemetry) {
+                // A failed restore may have half-filled the sampler;
+                // rebuild the session so the run starts pristine.
+                telemetry.reset();
+                telemetry = std::make_unique<TelemetrySession>(tcfg, ttag);
+                tracer = telemetry->tracer();
+                sampler = telemetry->sampler();
+                if (tracer)
+                    tracer->recordHost("run.attempt", 0, 0,
+                                       currentAttempt() + 1);
+            }
         }
     }
 
     Cmp &cmp = *sim;
+    if (telemetry)
+        telemetry->attach(cmp);
     if (tracker)
         cmp.llc().setObserver(tracker);
     IntegrityChecker checker(cmp);
@@ -905,11 +988,11 @@ executeRun(const SystemConfig &cfg,
                                    "dump");
         }
         cmp.setAbortFlag(abort_flag,
-                         [&opt, &phase, dumpPath](const Cmp &c) {
+                         [&opt, &phase, sampler, dumpPath](const Cmp &c) {
             if (dumpPath.empty())
                 return;
             try {
-                writeRunState(c, phase, opt, dumpPath);
+                writeRunState(c, phase, opt, sampler, dumpPath);
                 warn("watchdog: diagnostic state dump written to '%s'",
                      dumpPath.c_str());
             } catch (const SimError &err) {
@@ -923,8 +1006,13 @@ executeRun(const SystemConfig &cfg,
     // dies right after a checkpoint landed, like a kill -9 would).
     if (!ckptPath.empty())
         cmp.setSnapshotHook(opt.checkpointInterval,
-                            [&opt, &phase, ckptPath](const Cmp &c, Cycle) {
-            writeRunState(c, phase, opt, ckptPath);
+                            [&opt, &phase, sampler, tracer,
+                             ckptPath](const Cmp &c, Cycle) {
+            const std::uint64_t t0 = tracer ? tracer->hostNowMicros() : 0;
+            writeRunState(c, phase, opt, sampler, ckptPath);
+            if (tracer)
+                tracer->recordHost("checkpoint.write", 0,
+                                   tracer->hostNowMicros() - t0);
             if (opt.crashAfterRefs != 0 &&
                 c.referencesProcessed() >= opt.crashAfterRefs)
                 throwSimError(SimError::Kind::Snapshot,
@@ -935,14 +1023,22 @@ executeRun(const SystemConfig &cfg,
         });
 
     if (phase == 0) {
+        const std::uint64_t warm0 = tracer ? tracer->hostNowMicros() : 0;
         cmp.run(opt.warmup);
+        if (tracer)
+            tracer->recordHost("run.warmup", 0,
+                               tracer->hostNowMicros() - warm0);
         if (isInjectTarget(opt))
             applyInjectedFault(cmp, opt);
         cmp.beginMeasurement();
         phase = 1;
         if (win_start)
             *win_start = cmp.now();
+        const std::uint64_t meas0 = tracer ? tracer->hostNowMicros() : 0;
         cmp.run(opt.measure);
+        if (tracer)
+            tracer->recordHost("run.measure", 0,
+                               tracer->hostNowMicros() - meas0);
     } else {
         // Mid-measurement restore: warmup, injection and the counter
         // snapshots already happened before the checkpoint; re-running
@@ -951,7 +1047,11 @@ executeRun(const SystemConfig &cfg,
         // horizon.
         if (win_start)
             *win_start = cmp.measurementStart();
+        const std::uint64_t meas0 = tracer ? tracer->hostNowMicros() : 0;
         cmp.run(opt.measure);
+        if (tracer)
+            tracer->recordHost("run.measure", 0,
+                               tracer->hostNowMicros() - meas0);
     }
     if (win_end)
         *win_end = cmp.now();
@@ -962,7 +1062,16 @@ executeRun(const SystemConfig &cfg,
         // otherwise every line looks dead near the window's end.
         cmp.run(opt.measure / 2);
         tracker->finalize(cmp.now());
+        if (sampler) {
+            // Emit the residual epoch now (finalize()'s own finish() is
+            // then a no-op) so the cooldown row gets a live fraction.
+            sampler->finish(cmp, cmp.now());
+            sampler->attachLiveFractions(tracker->records(),
+                                         cmp.llc().dataLinesTotal());
+        }
     }
+    if (telemetry)
+        telemetry->finalize(cmp, cmp.now());
     if (cadence != 0)
         checker.enforceQuiesce(cmp.now());
     if (!ckptPath.empty())

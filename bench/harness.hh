@@ -26,6 +26,11 @@
  *                 in-flight ones from their latest valid checkpoint
  *   --hang-timeout=S  abort + quarantine runs making no forward
  *                 progress for S wall seconds (default 300; 0 = off)
+ *   --telemetry-dir=DIR  write per-run telemetry artifacts under DIR
+ *   --trace-events  record event traces (Chrome trace_event JSON;
+ *                 needs --telemetry-dir)
+ *   --sample-interval=N  sample stat deltas every N simulated cycles
+ *                 into an epoch CSV (needs --telemetry-dir)
  *   --full        paper-strength settings (100 mixes, longer windows)
  *
  * Independent (SystemConfig × Mix) runs execute on a TaskPool; results
@@ -148,6 +153,28 @@ struct RunOptions
      * so the monitor must flag it.  SIZE_MAX disables.
      */
     std::size_t livelockRun = SIZE_MAX;
+
+    /**
+     * Telemetry output directory ("" = telemetry off).  Each run of
+     * each batch writes its artifacts (trace-, epochs-, stats- files)
+     * under it, suffixed with the run's (batch, run) tag so --jobs=N
+     * sweeps never collide.
+     */
+    std::string telemetryDir;
+
+    /**
+     * Record per-event traces (--trace-events): cache transactions,
+     * DRAM accesses and coherence traffic in simulated cycles, harness
+     * phases in host time, exported as Chrome trace_event JSON.
+     * Requires telemetryDir.
+     */
+    bool traceEvents = false;
+
+    /**
+     * Epoch length for stat-delta sampling in simulated cycles
+     * (--sample-interval=N; 0 = off).  Requires telemetryDir.
+     */
+    Cycle sampleInterval = 0;
 };
 
 /** How one run of a batch ended. */
@@ -232,6 +259,16 @@ std::string perfRecordJson();
 
 /** Parse the common flags; unknown flags abort with the usage string. */
 RunOptions parseArgs(int argc, char **argv);
+
+/**
+ * Standard bench preamble in one call: parse the common flags, apply
+ * the bench's option @p tweak (minimum windows, mix-count floors, ...)
+ * and print the header naming the reproduced @p artifact and its
+ * @p claim.  Every bench main() starts with this.
+ */
+RunOptions initBench(int argc, char **argv, const std::string &artifact,
+                     const std::string &claim,
+                     const std::function<void(RunOptions &)> &tweak = {});
 
 /** The full usage string printed by --help and on flag errors. */
 const char *usageString();

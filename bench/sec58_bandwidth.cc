@@ -14,11 +14,11 @@ int
 main(int argc, char **argv)
 {
     using namespace rc;
-    auto opt = bench::parseArgs(argc, argv);
-    bench::printHeader(
+    const auto opt = bench::initBench(
+        argc, argv,
         "Section 5.8: higher memory bandwidth",
         "with 2 and 4 memory channels, system performance varies by "
-        "less than 1% for both organizations", opt);
+        "less than 1% for both organizations");
 
     const auto mixes = makeMixes(opt.mixCount, 8, 7);
 

@@ -15,11 +15,11 @@ int
 main(int argc, char **argv)
 {
     using namespace rc;
-    const auto opt = bench::parseArgs(argc, argv);
-    bench::printHeader(
+    const auto opt = bench::initBench(
+        argc, argv,
         "Table 2: hardware cost",
         "conv 8MB = 69888 Kbits; RC-4/1 FA = 11680 (16.7%); "
-        "RC-4/1 16-way = 10880 (15.6%)", opt);
+        "RC-4/1 16-way = 10880 (15.6%)");
 
     constexpr std::uint64_t MiB = 1ull << 20;
     const CacheCost conv = conventionalCost(8 * MiB, 16, 8, ReplKind::NRU);

@@ -15,11 +15,11 @@ int
 main(int argc, char **argv)
 {
     using namespace rc;
-    const auto opt = bench::parseArgs(argc, argv);
-    bench::printHeader(
+    const auto opt = bench::initBench(
+        argc, argv,
         "Table 3: access latency",
         "RC-8/8: tag +36%, data same, total +10%; "
-        "RC-8/4: tag +36%, data -16%, total -3%", opt);
+        "RC-8/4: tag +36%, data -16%, total -3%");
 
     constexpr std::uint64_t MiB = 1ull << 20;
     const LatencyEstimate conv = conventionalLatency(8 * MiB, 16);

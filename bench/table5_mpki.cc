@@ -45,11 +45,11 @@ int
 main(int argc, char **argv)
 {
     using namespace rc;
-    auto opt = bench::parseArgs(argc, argv);
-    bench::printHeader(
+    const auto opt = bench::initBench(
+        argc, argv,
         "Table 5: baseline per-application MPKI (L1/L2/LLC)",
         "the synthetic analogs are calibrated to reproduce this "
-        "qualitative pattern; measured vs paper shown side by side", opt);
+        "qualitative pattern; measured vs paper shown side by side");
 
     Table t("Average MPKI on the 8 MB LRU baseline "
             "(measured | paper target)");

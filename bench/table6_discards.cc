@@ -15,11 +15,11 @@ int
 main(int argc, char **argv)
 {
     using namespace rc;
-    auto opt = bench::parseArgs(argc, argv);
-    bench::printHeader(
+    const auto opt = bench::initBench(
+        argc, argv,
         "Table 6: lines not entered in the data array",
         "RC-8/4 discards 93% on average, RC-4/1 95.4%; even the most "
-        "demanding workload discards >80% (conv: 0%)", opt);
+        "demanding workload discards >80% (conv: 0%)");
 
     const auto mixes = makeMixes(opt.mixCount, 8, 7);
 

@@ -4,6 +4,7 @@
 
 #include "common/log.hh"
 #include "snapshot/serializer.hh"
+#include "telemetry/trace_event.hh"
 
 namespace rc
 {
@@ -233,6 +234,15 @@ ConventionalLlc::request(const LlcRequest &req)
     }
 
     resp.doneAt = done;
+#if RC_TRACE_ENABLED
+    if (EventTracer *tr = EventTracer::current(); tr && tr->enabled()) {
+        tr->record(resp.dataHit ? "llc.hit" : "llc.miss",
+                   TraceDomain::Sim, req.core, req.now, done - req.now,
+                   line);
+        if (const char *coh = coherenceTraceLabel(res.actions))
+            tr->record(coh, TraceDomain::Sim, req.core, req.now, 0, line);
+    }
+#endif
     return resp;
 }
 
@@ -301,6 +311,17 @@ ConventionalLlc::forEachResident(
                 fn(geom.lineAddr(e.tag, s), e.state, e.dir);
         }
     }
+}
+
+std::uint64_t
+ConventionalLlc::dataLinesResident() const
+{
+    std::uint64_t n = 0;
+    for (const Entry &e : entries) {
+        if (e.state != LlcState::I)
+            ++n;
+    }
+    return n;
 }
 
 DirectoryEntry *

@@ -58,6 +58,8 @@ class ConventionalLlc : public Sllc
     Counter missesBy(CoreId core) const override;
     Counter accessesBy(CoreId core) const override;
     std::string describe() const override;
+    std::uint64_t dataLinesResident() const override;
+    std::uint64_t dataLinesTotal() const override { return geom.numLines(); }
     void save(Serializer &s) const override;
     void restore(Deserializer &d) override;
 

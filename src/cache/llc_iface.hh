@@ -135,6 +135,16 @@ class Sllc
     /** Organization name for reports (e.g. "conv-8MB", "RC-4/1"). */
     virtual std::string describe() const = 0;
 
+    /**
+     * Lines currently holding data (telemetry occupancy sampling).
+     * For decoupled organizations this counts the data array only —
+     * tag-only entries are excluded.
+     */
+    virtual std::uint64_t dataLinesResident() const = 0;
+
+    /** Data-array capacity in lines (denominator of occupancy). */
+    virtual std::uint64_t dataLinesTotal() const = 0;
+
     /** Checkpoint all mutable SLLC state (tags, data, directory,
      *  replacement metadata, dueling monitors, RNGs, counters). */
     virtual void save(Serializer &s) const = 0;

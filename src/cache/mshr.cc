@@ -4,6 +4,7 @@
 
 #include "common/log.hh"
 #include "snapshot/serializer.hh"
+#include "telemetry/trace_event.hh"
 
 namespace rc
 {
@@ -49,6 +50,7 @@ MshrFile::request(Addr line_addr, Cycle now, Cycle done_at)
     }
     if (!free_entry) {
         ++fullStalls;
+        RC_TEVENT("mshr.full", TraceDomain::Sim, 0, now, 0, live);
         return Outcome::Full;
     }
     free_entry->valid = true;

@@ -266,4 +266,16 @@ actionsToString(std::uint32_t actions)
     return out.empty() ? "none" : out;
 }
 
+const char *
+coherenceTraceLabel(std::uint32_t actions)
+{
+    if (actions & ActRecallSharers)
+        return "coh.recall";
+    if (actions & ActInvSharers)
+        return "coh.inval";
+    if (actions & ActFetchOwner)
+        return "coh.intervention";
+    return nullptr;
+}
+
 } // namespace rc

@@ -86,6 +86,14 @@ ProtoResult protocolTransition(const ProtoInput &in);
 /** Render a ProtoAction mask as "FetchMem|AllocData|...". */
 std::string actionsToString(std::uint32_t actions);
 
+/**
+ * Telemetry name of the coherence traffic a transition generates, or
+ * nullptr when it generates none.  Recalls outrank invalidations
+ * outrank interventions when a mask carries several, so each traced
+ * request yields at most one coherence event.
+ */
+const char *coherenceTraceLabel(std::uint32_t actions);
+
 } // namespace rc
 
 #endif // RC_COHERENCE_PROTOCOL_HH

@@ -116,6 +116,28 @@ inform(const char *fmt, ...)
 }
 
 void
+warnThrottled(WarnThrottle &throttle, const char *fmt, ...)
+{
+    // Claim the slot before formatting so concurrent callers cannot
+    // both believe they hold the last one.
+    const std::uint64_t slot =
+        throttle.claimSlot();
+    if (slot >= throttle.maxReports())
+        return;
+    char buf[1024];
+    std::va_list ap;
+    va_start(ap, fmt);
+    std::vsnprintf(buf, sizeof(buf), fmt, ap);
+    va_end(ap);
+    if (slot + 1 == throttle.maxReports())
+        warn("%s (budget of %llu reached; further warnings from this "
+             "site suppressed)", buf,
+             static_cast<unsigned long long>(throttle.maxReports()));
+    else
+        warn("%s", buf);
+}
+
+void
 setQuiet(bool quiet)
 {
     quietFlag.store(quiet, std::memory_order_relaxed);

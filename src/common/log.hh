@@ -11,6 +11,7 @@
 #ifndef RC_COMMON_LOG_HH
 #define RC_COMMON_LOG_HH
 
+#include <atomic>
 #include <cstdarg>
 #include <cstdint>
 #include <stdexcept>
@@ -72,6 +73,70 @@ const char *toString(SimError::Kind kind);
 
 /** Print a warning to stderr; execution continues. */
 void warn(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/**
+ * Emission budget for a warning site that can fire from a hot loop.
+ *
+ * The first maxReports calls to shouldReport() return true; everything
+ * after that is suppressed (and counted), so a sweep cannot drown its
+ * own output in thousands of copies of the same complaint.  Thread-safe:
+ * concurrent runs sharing one throttle never over-report.
+ */
+class WarnThrottle
+{
+  public:
+    explicit WarnThrottle(std::uint64_t max_reports = 5)
+        : budget(max_reports)
+    {}
+
+    /** Claim one emission slot; true for the first maxReports calls. */
+    bool shouldReport()
+    {
+        return claimSlot() < budget;
+    }
+
+    /** Claim and return the next slot index (0-based, unbounded). */
+    std::uint64_t claimSlot()
+    {
+        return fired.fetch_add(1, std::memory_order_relaxed);
+    }
+
+    /** Calls swallowed so far. */
+    std::uint64_t suppressed() const
+    {
+        const std::uint64_t n = fired.load(std::memory_order_relaxed);
+        return n > budget ? n - budget : 0;
+    }
+
+    /** Emission budget given at construction. */
+    std::uint64_t maxReports() const { return budget; }
+
+    /** Forget history (tests). */
+    void reset() { fired.store(0, std::memory_order_relaxed); }
+
+  private:
+    std::uint64_t budget;
+    std::atomic<std::uint64_t> fired{0};
+};
+
+/**
+ * warn() through a WarnThrottle: the first throttle.maxReports() calls
+ * print (the last one with a "further warnings suppressed" notice),
+ * later calls are silently counted.
+ */
+void warnThrottled(WarnThrottle &throttle, const char *fmt, ...)
+    __attribute__((format(printf, 2, 3)));
+
+/**
+ * warn() that fires at most once per call site for the process lifetime
+ * (a function-local throttle with a budget of 1).  Safe in hot loops.
+ */
+#define RC_WARN_ONCE(...)                                                     \
+    do {                                                                      \
+        static ::rc::WarnThrottle rc_warn_once_throttle_{1};                  \
+        if (rc_warn_once_throttle_.shouldReport())                            \
+            ::rc::warn(__VA_ARGS__);                                          \
+    } while (0)
 
 /** Print an informational message to stderr. */
 void inform(const char *fmt, ...) __attribute__((format(printf, 1, 2)));

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdio>
 #include <ostream>
 
 #include "common/log.hh"
@@ -91,6 +92,49 @@ StatSet::dump(std::ostream &os) const
         os << setName << '.' << e.name << " = " << e.value
            << "  # " << e.desc << '\n';
     }
+}
+
+std::string
+jsonEscape(const std::string &in)
+{
+    std::string out;
+    out.reserve(in.size());
+    for (char c : in) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\t': out += "\\t"; break;
+          case '\r': out += "\\r"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+void
+StatSet::dumpJson(std::ostream &os, int indent) const
+{
+    const std::string pad(static_cast<std::size_t>(indent), ' ');
+    os << pad << "{\n"
+       << pad << "  \"name\": \"" << jsonEscape(setName) << "\",\n"
+       << pad << "  \"counters\": {";
+    bool first = true;
+    for (const auto &e : stats) {
+        os << (first ? "" : ",") << "\n"
+           << pad << "    \"" << jsonEscape(e.name) << "\": " << e.value;
+        first = false;
+    }
+    if (!first)
+        os << "\n" << pad << "  ";
+    os << "}\n" << pad << "}";
 }
 
 void

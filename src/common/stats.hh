@@ -91,6 +91,14 @@ class StatSet
     /** Print "name.counter = value  # desc" lines. */
     void dump(std::ostream &os) const;
 
+    /**
+     * Machine-readable form: one JSON object
+     * `{"name": "<set>", "counters": {"<stat>": <value>, ...}}` in
+     * registration order, no trailing newline.  @p indent spaces prefix
+     * every line so the object nests cleanly inside a larger document.
+     */
+    void dumpJson(std::ostream &os, int indent = 0) const;
+
   private:
     std::string setName;
     std::deque<Entry> stats;
@@ -148,6 +156,14 @@ struct Quartiles
 
 /** Compute quartiles of @p samples (copied and sorted internally). */
 Quartiles computeQuartiles(std::vector<double> samples);
+
+/**
+ * Escape @p in for embedding inside a JSON string literal (quotes,
+ * backslashes and control characters).  Shared by every JSON emitter in
+ * the repository (stats export, telemetry traces, the bench perf
+ * record).
+ */
+std::string jsonEscape(const std::string &in);
 
 } // namespace rc
 

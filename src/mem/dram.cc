@@ -5,6 +5,7 @@
 #include "common/bitops.hh"
 #include "common/log.hh"
 #include "snapshot/serializer.hh"
+#include "telemetry/trace_event.hh"
 
 namespace rc
 {
@@ -76,6 +77,9 @@ DramChannel::access(Addr line_addr, Cycle now, bool is_write)
     bank.busyUntil = bank_ready + access_lat + cfg.bankOccupancy;
 
     res.doneAt = done;
+    RC_TEVENT(is_write ? "dram.write" : "dram.read", TraceDomain::Sim,
+              static_cast<std::uint32_t>(bank_idx), now, done - now,
+              res.rowHit ? 1 : 0);
     return res;
 }
 

@@ -4,6 +4,7 @@
 
 #include "common/log.hh"
 #include "snapshot/serializer.hh"
+#include "telemetry/trace_event.hh"
 
 namespace rc
 {
@@ -206,6 +207,16 @@ NcidCache::request(const LlcRequest &req)
             entry->dir.setOwner(req.core);
         tags.touchHit(set, way, req.core);
         resp.doneAt = done;
+#if RC_TRACE_ENABLED
+        if (EventTracer *tr = EventTracer::current(); tr && tr->enabled()) {
+            tr->record(resp.dataHit ? "ncid.dataHit" : "ncid.tagOnlyHit",
+                       TraceDomain::Sim, req.core, req.now,
+                       done - req.now, line);
+            if (const char *coh = coherenceTraceLabel(res.actions))
+                tr->record(coh, TraceDomain::Sim, req.core, req.now, 0,
+                           line);
+        }
+#endif
         return resp;
     }
 
@@ -252,6 +263,8 @@ NcidCache::request(const LlcRequest &req)
     ++tagMisses;
     ++coreMisses[req.core % coreMisses.size()];
     resp.doneAt = done;
+    RC_TEVENT("ncid.tagMiss", TraceDomain::Sim, req.core, req.now,
+              done - req.now, line);
     return resp;
 }
 

@@ -4,6 +4,7 @@
 
 #include "common/log.hh"
 #include "snapshot/serializer.hh"
+#include "telemetry/trace_event.hh"
 
 namespace rc
 {
@@ -323,6 +324,16 @@ ReuseCache::request(const LlcRequest &req)
     }
 
     resp.doneAt = done;
+#if RC_TRACE_ENABLED
+    if (EventTracer *tr = EventTracer::current(); tr && tr->enabled()) {
+        tr->record(resp.dataHit ? "rc.dataHit"
+                   : resp.tagHit ? "rc.tagOnlyHit" : "rc.tagMiss",
+                   TraceDomain::Sim, req.core, req.now, done - req.now,
+                   line);
+        if (const char *coh = coherenceTraceLabel(res.actions))
+            tr->record(coh, TraceDomain::Sim, req.core, req.now, 0, line);
+    }
+#endif
     return resp;
 }
 

@@ -102,6 +102,14 @@ class ReuseCache : public Sllc
     Counter missesBy(CoreId core) const override;
     Counter accessesBy(CoreId core) const override;
     std::string describe() const override;
+    std::uint64_t dataLinesResident() const override
+    {
+        return data.residentCount();
+    }
+    std::uint64_t dataLinesTotal() const override
+    {
+        return data.geometry().numLines();
+    }
     void save(Serializer &s) const override;
     void restore(Deserializer &d) override;
 

@@ -4,6 +4,7 @@
 
 #include "common/log.hh"
 #include "snapshot/serializer.hh"
+#include "telemetry/trace_event.hh"
 
 namespace rc
 {
@@ -82,6 +83,8 @@ Cmp::issuePrefetches(Core &core, Addr demand_line, Cycle when)
                                 resp.doneAt);
         }
         ++prefetchIssued;
+        RC_TEVENT("cmp.prefetch", TraceDomain::Sim, core.id(), start, 0,
+                  cand);
     }
 }
 
@@ -150,6 +153,16 @@ Cmp::run(Cycle cycles)
                           "(aborted after %llu references)",
                           static_cast<unsigned long long>(refsProcessed));
         }
+        // Fire every epoch boundary at or before the reference about to
+        // be processed, so samples observe the quiescent pre-reference
+        // state of their epoch even when a long stall skips several
+        // boundaries at once.
+        if (sampleEvery != 0) {
+            while (sampleNext <= next->readyAt()) {
+                sampleHook(*this, sampleNext);
+                sampleNext += sampleEvery;
+            }
+        }
         stepCore(*next);
         ++refsProcessed;
         if (progressPtr)
@@ -176,6 +189,23 @@ Cmp::setSnapshotHook(std::uint64_t every_n_refs,
 {
     snapEvery = hook ? every_n_refs : 0;
     snapHook = std::move(hook);
+}
+
+void
+Cmp::setSampleHook(Cycle every_cycles,
+                   std::function<void(const Cmp &, Cycle)> hook)
+{
+    sampleEvery = hook ? every_cycles : 0;
+    sampleHook = std::move(hook);
+    if (sampleEvery == 0) {
+        sampleNext = 0;
+        return;
+    }
+    // A restored checkpoint carries the next boundary; only a fresh
+    // system (or a cadence change that left the boundary behind the
+    // horizon) computes it from scratch.
+    if (sampleNext <= horizon)
+        sampleNext = (horizon / sampleEvery + 1) * sampleEvery;
 }
 
 void
@@ -212,6 +242,7 @@ Cmp::save(Serializer &s) const
     s.putU64(horizon);
     s.putU64(refsProcessed);
     s.putU64(prefetchIssued);
+    s.putU64(sampleNext);
     s.putU64(snapCycle);
     saveVec(s, snapInstr);
     saveVec(s, snapL1Miss);
@@ -286,6 +317,7 @@ Cmp::restore(Deserializer &d)
     horizon = d.getU64();
     refsProcessed = d.getU64();
     prefetchIssued = d.getU64();
+    sampleNext = d.getU64();
     snapCycle = d.getU64();
     restoreVec(d, snapInstr, "instruction snapshots");
     restoreVec(d, snapL1Miss, "L1-miss snapshots");

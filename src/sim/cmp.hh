@@ -86,6 +86,9 @@ class Cmp : public RecallHandler
     /** The memory controller. */
     MemCtrl &memory() { return mem; }
 
+    /** The memory controller, const (telemetry sampling). */
+    const MemCtrl &memory() const { return mem; }
+
     /** Core @p i. */
     Core &core(CoreId i) { return *cores[i]; }
 
@@ -132,6 +135,22 @@ class Cmp : public RecallHandler
      */
     void setSnapshotHook(std::uint64_t every_n_refs,
                          std::function<void(const Cmp &, Cycle)> hook);
+
+    /**
+     * Install a cycle-cadence sampling hook: the hook runs with
+     * (system, epoch boundary cycle) once per @p every_cycles of
+     * simulated time, at the quiescent point before the first reference
+     * at-or-after each boundary (the telemetry epoch sampler snapshots
+     * stat deltas here).  Unlike the check/snapshot hooks the cadence
+     * is cycles, not references, so epochs are comparable across SLLC
+     * organizations with different miss rates.  Pass 0 to disable.
+     *
+     * The next boundary survives checkpoint/restore: installing a hook
+     * after restore() resumes the restored cadence instead of
+     * restarting it.
+     */
+    void setSampleHook(Cycle every_cycles,
+                       std::function<void(const Cmp &, Cycle)> hook);
 
     /**
      * Watchdog heartbeat: when set, the run loop stores the completed
@@ -202,6 +221,11 @@ class Cmp : public RecallHandler
     // Periodic checkpoint hook (snapshot layer).
     std::uint64_t snapEvery = 0;
     std::function<void(const Cmp &, Cycle)> snapHook;
+
+    // Cycle-cadence sampling hook (telemetry epoch sampler).
+    Cycle sampleEvery = 0;
+    Cycle sampleNext = 0;
+    std::function<void(const Cmp &, Cycle)> sampleHook;
 
     // Watchdog wiring (heartbeat out, abort in).
     std::atomic<std::uint64_t> *progressPtr = nullptr;

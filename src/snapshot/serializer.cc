@@ -14,7 +14,9 @@ namespace
 {
 
 constexpr char snapMagic[8] = {'R', 'C', 'S', 'N', 'A', 'P', '0', '1'};
-constexpr std::uint32_t snapVersion = 1;
+// v2: Cmp's "clock" section gained the telemetry sampler's next epoch
+// boundary (sampleNext).
+constexpr std::uint32_t snapVersion = 2;
 constexpr std::size_t headerBytes = sizeof(snapMagic) + 4;
 constexpr std::size_t trailerBytes = 4;
 

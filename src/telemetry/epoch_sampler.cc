@@ -1,0 +1,359 @@
+#include "telemetry/epoch_sampler.hh"
+
+#include <ostream>
+
+#include "analysis/liveness.hh"
+#include "common/log.hh"
+#include "mem/dram.hh"
+#include "sim/cmp.hh"
+#include "snapshot/serializer.hh"
+
+namespace rc
+{
+
+namespace
+{
+
+/**
+ * Read a counter under whichever name the SLLC organization registered
+ * it ("tagHitsData" in the reuse cache is "dataHits" elsewhere); 0 when
+ * the organization has no such category at all.
+ */
+std::uint64_t
+statOr(const StatSet &set, std::initializer_list<const char *> names)
+{
+    for (const char *name : names) {
+        if (const Counter *c = set.tryRef(name))
+            return *c;
+    }
+    return 0;
+}
+
+std::uint64_t
+sub(std::uint64_t cur, std::uint64_t prev)
+{
+    RC_ASSERT(cur >= prev, "telemetry counter went backwards "
+              "(%llu -> %llu)", static_cast<unsigned long long>(prev),
+              static_cast<unsigned long long>(cur));
+    return cur - prev;
+}
+
+/** CSV cell for a ratio: "nan" when the denominator is empty. */
+void
+putRatio(std::ostream &os, double num, double den)
+{
+    if (den > 0.0)
+        os << num / den;
+    else
+        os << "nan";
+}
+
+void
+saveVecU64(Serializer &s, const std::vector<std::uint64_t> &v)
+{
+    s.putU64(v.size());
+    for (std::uint64_t x : v)
+        s.putU64(x);
+}
+
+void
+restoreVecU64(Deserializer &d, std::vector<std::uint64_t> &v)
+{
+    v.resize(d.getU64());
+    for (std::uint64_t &x : v)
+        x = d.getU64();
+}
+
+} // namespace
+
+EpochSampler::EpochSampler(Cycle interval_cycles) : every(interval_cycles)
+{
+    if (every == 0)
+        fatal("epoch sampler interval must be positive");
+}
+
+EpochSampler::Baseline
+EpochSampler::readCounters(const Cmp &cmp) const
+{
+    Baseline b;
+    b.refs = cmp.referencesProcessed();
+    const std::uint32_t n = cmp.numCores();
+    b.instr.resize(n);
+    b.l1Miss.resize(n);
+    b.l2Miss.resize(n);
+    b.llcMiss.resize(n);
+    for (std::uint32_t c = 0; c < n; ++c) {
+        b.instr[c] = cmp.core(c).instructions();
+        b.l1Miss[c] = cmp.core(c).priv().l1MissTotal();
+        b.l2Miss[c] = cmp.core(c).priv().l2MissTotal();
+        b.llcMiss[c] = cmp.llc().missesBy(c);
+    }
+    const StatSet &llc = cmp.llc().stats();
+    b.llcAccesses = statOr(llc, {"accesses"});
+    b.llcTagMisses = statOr(llc, {"tagMisses"});
+    b.llcDataHits = statOr(llc, {"dataHits", "tagHitsData"});
+    b.llcTagOnlyHits = statOr(llc, {"tagOnlyHits", "tagHitsTagOnly"});
+    for (const auto &ch : cmp.memory().channels()) {
+        b.dramReads += statOr(ch->stats(), {"reads"});
+        b.dramWrites += statOr(ch->stats(), {"writes"});
+        b.dramRowHits += statOr(ch->stats(), {"rowHits"});
+    }
+    return b;
+}
+
+void
+EpochSampler::attach(Cmp &cmp)
+{
+    if (!primed) {
+        base = readCounters(cmp);
+        windowStart = cmp.now();
+        primed = true;
+    } else if (base.instr.size() != cmp.numCores()) {
+        throwSimError(SimError::Kind::Snapshot,
+                      "sampler state carries %zu cores, this system has "
+                      "%u", base.instr.size(), cmp.numCores());
+    }
+    cmp.setSampleHook(every, [this](const Cmp &c, Cycle boundary) {
+        pushRow(c, boundary);
+    });
+}
+
+void
+EpochSampler::pushRow(const Cmp &cmp, Cycle boundary)
+{
+    const Baseline cur = readCounters(cmp);
+    EpochSample row;
+    row.epochEnd = boundary;
+    row.refs = sub(cur.refs, base.refs);
+    const std::size_t n = cur.instr.size();
+    row.instr.resize(n);
+    row.l1Miss.resize(n);
+    row.l2Miss.resize(n);
+    row.llcMiss.resize(n);
+    for (std::size_t c = 0; c < n; ++c) {
+        row.instr[c] = sub(cur.instr[c], base.instr[c]);
+        row.l1Miss[c] = sub(cur.l1Miss[c], base.l1Miss[c]);
+        row.l2Miss[c] = sub(cur.l2Miss[c], base.l2Miss[c]);
+        row.llcMiss[c] = sub(cur.llcMiss[c], base.llcMiss[c]);
+    }
+    row.llcAccesses = sub(cur.llcAccesses, base.llcAccesses);
+    row.llcTagMisses = sub(cur.llcTagMisses, base.llcTagMisses);
+    row.llcDataHits = sub(cur.llcDataHits, base.llcDataHits);
+    row.llcTagOnlyHits = sub(cur.llcTagOnlyHits, base.llcTagOnlyHits);
+    row.dramReads = sub(cur.dramReads, base.dramReads);
+    row.dramWrites = sub(cur.dramWrites, base.dramWrites);
+    row.dramRowHits = sub(cur.dramRowHits, base.dramRowHits);
+    row.dataResident = cmp.llc().dataLinesResident();
+    row.dataTotal = cmp.llc().dataLinesTotal();
+    for (const auto &mshr : cmp.crossbar().mshrs())
+        row.mshrInFlight += mshr->inFlightAt(boundary);
+    samples.push_back(std::move(row));
+    base = cur;
+}
+
+void
+EpochSampler::finish(const Cmp &cmp, Cycle now)
+{
+    const Cycle lastEnd =
+        samples.empty() ? windowStart : samples.back().epochEnd;
+    const bool moved = cmp.referencesProcessed() != base.refs;
+    if (now > lastEnd && moved)
+        pushRow(cmp, now);
+}
+
+void
+EpochSampler::attachLiveFractions(const std::vector<GenRecord> &records,
+                                  std::uint64_t capacity_lines)
+{
+    if (capacity_lines == 0)
+        return;
+    for (EpochSample &row : samples) {
+        std::uint64_t live = 0;
+        for (const GenRecord &g : records) {
+            if (g.fill <= row.epochEnd && row.epochEnd < g.lastHit)
+                ++live;
+        }
+        row.liveFraction =
+            static_cast<double>(live) / static_cast<double>(capacity_lines);
+    }
+}
+
+void
+EpochSampler::writeCsv(std::ostream &os) const
+{
+    const std::size_t n = samples.empty() ? 0 : samples[0].instr.size();
+    os << "epoch_end,epoch_cycles,refs,llc_accesses,llc_tag_misses,"
+          "llc_data_hits,llc_tag_only_hits,llc_tag_hit_rate,"
+          "llc_data_hit_rate,data_resident,data_total,data_occupancy,"
+          "live_fraction,dram_reads,dram_writes,dram_row_hits,"
+          "dram_row_hit_rate,dram_lines_per_kcycle,mshr_inflight";
+    for (std::size_t c = 0; c < n; ++c)
+        os << ",instr" << c << ",l1_miss" << c << ",l2_miss" << c
+           << ",llc_miss" << c << ",llc_mpki" << c;
+    os << "\n";
+
+    Cycle prevEnd = windowStart;
+    for (const EpochSample &row : samples) {
+        const double cycles =
+            static_cast<double>(row.epochEnd - prevEnd);
+        const double drams =
+            static_cast<double>(row.dramReads + row.dramWrites);
+        os << row.epochEnd << ',' << (row.epochEnd - prevEnd) << ','
+           << row.refs << ',' << row.llcAccesses << ','
+           << row.llcTagMisses << ',' << row.llcDataHits << ','
+           << row.llcTagOnlyHits << ',';
+        putRatio(os, static_cast<double>(row.llcAccesses -
+                                         row.llcTagMisses),
+                 static_cast<double>(row.llcAccesses));
+        os << ',';
+        putRatio(os, static_cast<double>(row.llcDataHits),
+                 static_cast<double>(row.llcAccesses));
+        os << ',' << row.dataResident << ',' << row.dataTotal << ',';
+        putRatio(os, static_cast<double>(row.dataResident),
+                 static_cast<double>(row.dataTotal));
+        os << ',';
+        if (row.liveFraction >= 0.0)
+            os << row.liveFraction;
+        else
+            os << "nan";
+        os << ',' << row.dramReads << ',' << row.dramWrites << ','
+           << row.dramRowHits << ',';
+        putRatio(os, static_cast<double>(row.dramRowHits), drams);
+        os << ',';
+        putRatio(os, drams * 1000.0, cycles);
+        os << ',' << row.mshrInFlight;
+        for (std::size_t c = 0; c < row.instr.size(); ++c) {
+            os << ',' << row.instr[c] << ',' << row.l1Miss[c] << ','
+               << row.l2Miss[c] << ',' << row.llcMiss[c] << ',';
+            putRatio(os, static_cast<double>(row.llcMiss[c]) * 1000.0,
+                     static_cast<double>(row.instr[c]));
+        }
+        os << "\n";
+        prevEnd = row.epochEnd;
+    }
+}
+
+void
+EpochSampler::writeJson(std::ostream &os) const
+{
+    os << "[";
+    bool firstRow = true;
+    for (const EpochSample &row : samples) {
+        os << (firstRow ? "" : ",") << "\n  {\"epochEnd\": "
+           << row.epochEnd << ", \"refs\": " << row.refs
+           << ", \"llcAccesses\": " << row.llcAccesses
+           << ", \"llcTagMisses\": " << row.llcTagMisses
+           << ", \"llcDataHits\": " << row.llcDataHits
+           << ", \"llcTagOnlyHits\": " << row.llcTagOnlyHits
+           << ", \"dataResident\": " << row.dataResident
+           << ", \"dataTotal\": " << row.dataTotal
+           << ", \"liveFraction\": ";
+        if (row.liveFraction >= 0.0)
+            os << row.liveFraction;
+        else
+            os << "null";
+        os << ", \"dramReads\": " << row.dramReads
+           << ", \"dramWrites\": " << row.dramWrites
+           << ", \"dramRowHits\": " << row.dramRowHits
+           << ", \"mshrInFlight\": " << row.mshrInFlight
+           << ", \"instr\": [";
+        for (std::size_t c = 0; c < row.instr.size(); ++c)
+            os << (c ? "," : "") << row.instr[c];
+        os << "], \"llcMiss\": [";
+        for (std::size_t c = 0; c < row.llcMiss.size(); ++c)
+            os << (c ? "," : "") << row.llcMiss[c];
+        os << "]}";
+        firstRow = false;
+    }
+    os << "\n]\n";
+}
+
+void
+EpochSampler::save(Serializer &s) const
+{
+    s.beginSection("sampler");
+    s.putU64(every);
+    s.putU64(windowStart);
+    s.putBool(primed);
+    s.putU64(base.refs);
+    saveVecU64(s, base.instr);
+    saveVecU64(s, base.l1Miss);
+    saveVecU64(s, base.l2Miss);
+    saveVecU64(s, base.llcMiss);
+    s.putU64(base.llcAccesses);
+    s.putU64(base.llcTagMisses);
+    s.putU64(base.llcDataHits);
+    s.putU64(base.llcTagOnlyHits);
+    s.putU64(base.dramReads);
+    s.putU64(base.dramWrites);
+    s.putU64(base.dramRowHits);
+    s.putU64(samples.size());
+    for (const EpochSample &row : samples) {
+        s.putU64(row.epochEnd);
+        s.putU64(row.refs);
+        saveVecU64(s, row.instr);
+        saveVecU64(s, row.l1Miss);
+        saveVecU64(s, row.l2Miss);
+        saveVecU64(s, row.llcMiss);
+        s.putU64(row.llcAccesses);
+        s.putU64(row.llcTagMisses);
+        s.putU64(row.llcDataHits);
+        s.putU64(row.llcTagOnlyHits);
+        s.putU64(row.dramReads);
+        s.putU64(row.dramWrites);
+        s.putU64(row.dramRowHits);
+        s.putU64(row.dataResident);
+        s.putU64(row.dataTotal);
+        s.putU64(row.mshrInFlight);
+    }
+    s.endSection();
+}
+
+void
+EpochSampler::restore(Deserializer &d)
+{
+    d.beginSection("sampler");
+    const std::uint64_t ckEvery = d.getU64();
+    if (ckEvery != every)
+        throwSimError(SimError::Kind::Snapshot,
+                      "sampler state was taken at a %llu-cycle interval, "
+                      "this run samples every %llu",
+                      static_cast<unsigned long long>(ckEvery),
+                      static_cast<unsigned long long>(every));
+    windowStart = d.getU64();
+    primed = d.getBool();
+    base.refs = d.getU64();
+    restoreVecU64(d, base.instr);
+    restoreVecU64(d, base.l1Miss);
+    restoreVecU64(d, base.l2Miss);
+    restoreVecU64(d, base.llcMiss);
+    base.llcAccesses = d.getU64();
+    base.llcTagMisses = d.getU64();
+    base.llcDataHits = d.getU64();
+    base.llcTagOnlyHits = d.getU64();
+    base.dramReads = d.getU64();
+    base.dramWrites = d.getU64();
+    base.dramRowHits = d.getU64();
+    samples.resize(d.getU64());
+    for (EpochSample &row : samples) {
+        row.epochEnd = d.getU64();
+        row.refs = d.getU64();
+        restoreVecU64(d, row.instr);
+        restoreVecU64(d, row.l1Miss);
+        restoreVecU64(d, row.l2Miss);
+        restoreVecU64(d, row.llcMiss);
+        row.llcAccesses = d.getU64();
+        row.llcTagMisses = d.getU64();
+        row.llcDataHits = d.getU64();
+        row.llcTagOnlyHits = d.getU64();
+        row.dramReads = d.getU64();
+        row.dramWrites = d.getU64();
+        row.dramRowHits = d.getU64();
+        row.dataResident = d.getU64();
+        row.dataTotal = d.getU64();
+        row.mshrInFlight = d.getU64();
+    }
+    d.endSection();
+}
+
+} // namespace rc

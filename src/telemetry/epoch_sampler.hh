@@ -1,0 +1,157 @@
+/**
+ * @file
+ * Cycle-cadence stat sampling (the telemetry time-series pillar).
+ *
+ * The sampler hooks Cmp::setSampleHook and, once per epoch of simulated
+ * cycles, snapshots the delta of every tracked counter since the
+ * previous epoch: per-core instructions and miss counts (MPKI), SLLC
+ * tag/data hit breakdown, DRAM traffic and row hits, plus two
+ * instantaneous gauges (data-array occupancy, MSHR in-flight count).
+ * finish() emits one residual partial epoch so that summing any delta
+ * column over all rows reproduces the end-of-run aggregate exactly.
+ *
+ * The row set and counter baselines serialize through the snapshot
+ * layer, so a run resumed from a checkpoint rewrites the complete CSV,
+ * including epochs sampled before the crash.
+ */
+
+#ifndef RC_TELEMETRY_EPOCH_SAMPLER_HH
+#define RC_TELEMETRY_EPOCH_SAMPLER_HH
+
+#include <cstdint>
+#include <iosfwd>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace rc
+{
+
+class Cmp;
+class Serializer;
+class Deserializer;
+struct GenRecord;
+
+/** Deltas over one epoch, plus instantaneous gauges at its boundary. */
+struct EpochSample
+{
+    Cycle epochEnd = 0;        //!< boundary cycle (row timestamp)
+    std::uint64_t refs = 0;    //!< references completed this epoch
+
+    // Per-core deltas, indexed by core id.
+    std::vector<std::uint64_t> instr;
+    std::vector<std::uint64_t> l1Miss;
+    std::vector<std::uint64_t> l2Miss;
+    std::vector<std::uint64_t> llcMiss;
+
+    // SLLC deltas (hit categories absent from an organization read 0).
+    std::uint64_t llcAccesses = 0;
+    std::uint64_t llcTagMisses = 0;
+    std::uint64_t llcDataHits = 0;
+    std::uint64_t llcTagOnlyHits = 0;
+
+    // DRAM deltas summed over channels.
+    std::uint64_t dramReads = 0;
+    std::uint64_t dramWrites = 0;
+    std::uint64_t dramRowHits = 0;
+
+    // Instantaneous gauges at the epoch boundary.
+    std::uint64_t dataResident = 0;
+    std::uint64_t dataTotal = 0;
+    std::uint64_t mshrInFlight = 0;
+
+    /**
+     * Live-line fraction at the boundary; negative until
+     * EpochSampler::attachLiveFractions() fills it (liveness is future
+     * knowledge, so it can only be computed after the run).
+     */
+    double liveFraction = -1.0;
+};
+
+/** Epoch-delta sampler; see the file comment. */
+class EpochSampler
+{
+  public:
+    /** @param interval_cycles epoch length in simulated cycles. */
+    explicit EpochSampler(Cycle interval_cycles);
+
+    /**
+     * Capture counter baselines from @p cmp's current state and install
+     * the sample hook.  Call after any checkpoint restore (restored
+     * counters then seed the baselines) and keep this sampler alive
+     * until the Cmp is done running.
+     */
+    void attach(Cmp &cmp);
+
+    /**
+     * Close the time series: emit the residual partial epoch covering
+     * (last boundary, now] when anything moved since.  Column sums over
+     * all rows then equal end-of-run aggregates minus the attach-time
+     * baselines.
+     */
+    void finish(const Cmp &cmp, Cycle now);
+
+    /** Epoch length in force. */
+    Cycle interval() const { return every; }
+
+    /** Rows sampled so far. */
+    const std::vector<EpochSample> &rows() const { return samples; }
+
+    /**
+     * Fill each row's liveFraction from a GenerationTracker's completed
+     * records: the fraction of @p capacity_lines lines whose live
+     * interval [fill, lastHit) covers the row boundary.  Optional —
+     * rows keep liveFraction < 0 (rendered as "nan") when no tracker
+     * observed the run.
+     */
+    void attachLiveFractions(const std::vector<GenRecord> &records,
+                             std::uint64_t capacity_lines);
+
+    /**
+     * Write the series as CSV: a header line, then one row per epoch.
+     * Ratio columns (hit rates, occupancy, MPKI) are derived from the
+     * delta columns at write time; empty denominators render as "nan".
+     */
+    void writeCsv(std::ostream &os) const;
+
+    /** Write the series as a JSON array of per-epoch objects. */
+    void writeJson(std::ostream &os) const;
+
+    /** Checkpoint baselines and sampled rows. */
+    void save(Serializer &s) const;
+
+    /** Restore a save()'d image; throws SimError(Snapshot) when the
+     *  checkpointed shape (interval, core count) disagrees. */
+    void restore(Deserializer &d);
+
+  private:
+    /** Absolute counter values a delta is computed against. */
+    struct Baseline
+    {
+        std::uint64_t refs = 0;
+        std::vector<std::uint64_t> instr;
+        std::vector<std::uint64_t> l1Miss;
+        std::vector<std::uint64_t> l2Miss;
+        std::vector<std::uint64_t> llcMiss;
+        std::uint64_t llcAccesses = 0;
+        std::uint64_t llcTagMisses = 0;
+        std::uint64_t llcDataHits = 0;
+        std::uint64_t llcTagOnlyHits = 0;
+        std::uint64_t dramReads = 0;
+        std::uint64_t dramWrites = 0;
+        std::uint64_t dramRowHits = 0;
+    };
+
+    Baseline readCounters(const Cmp &cmp) const;
+    void pushRow(const Cmp &cmp, Cycle boundary);
+
+    Cycle every;
+    Cycle windowStart = 0; //!< cycle of attach (first row's delta base)
+    bool primed = false;   //!< baselines captured (attach or restore)
+    Baseline base;
+    std::vector<EpochSample> samples;
+};
+
+} // namespace rc
+
+#endif // RC_TELEMETRY_EPOCH_SAMPLER_HH

@@ -1,0 +1,152 @@
+#include "telemetry/telemetry.hh"
+
+#include <sys/stat.h>
+#include <sys/types.h>
+
+#include <cerrno>
+#include <fstream>
+#include <ostream>
+
+#include "common/log.hh"
+#include "common/stats.hh"
+#include "mem/dram.hh"
+#include "sim/cmp.hh"
+
+namespace rc
+{
+
+namespace
+{
+
+void
+ensureTelemetryDir(const std::string &dir)
+{
+    if (::mkdir(dir.c_str(), 0755) != 0 && errno != EEXIST)
+        RC_WARN_ONCE("cannot create telemetry directory '%s'; artifact "
+                     "writes will likely fail", dir.c_str());
+}
+
+} // namespace
+
+void
+writeStatsJson(const Cmp &cmp, std::ostream &os)
+{
+    os << "{\n  \"organization\": \"" << jsonEscape(cmp.llc().describe())
+       << "\",\n  \"cycles\": " << cmp.now()
+       << ",\n  \"references\": " << cmp.referencesProcessed()
+       << ",\n  \"measuredCycles\": " << cmp.measuredCycles()
+       << ",\n  \"aggregateIpc\": " << cmp.aggregateIpc()
+       << ",\n  \"dataLinesResident\": " << cmp.llc().dataLinesResident()
+       << ",\n  \"dataLinesTotal\": " << cmp.llc().dataLinesTotal()
+       << ",\n  \"llc\":\n";
+    cmp.llc().stats().dumpJson(os, 2);
+    os << ",\n  \"cores\": [\n";
+    for (std::uint32_t c = 0; c < cmp.numCores(); ++c) {
+        const MpkiTriple mpki = cmp.measuredMpki(c);
+        os << (c ? ",\n" : "") << "    {\"id\": " << c
+           << ", \"workload\": \""
+           << jsonEscape(cmp.core(c).workloadLabel())
+           << "\", \"instructions\": " << cmp.core(c).instructions()
+           << ", \"ipc\": " << cmp.ipc(c)
+           << ", \"mpkiL1\": " << mpki.l1
+           << ", \"mpkiL2\": " << mpki.l2
+           << ", \"mpkiLlc\": " << mpki.llc
+           << ", \"stats\":\n";
+        cmp.core(c).priv().stats().dumpJson(os, 4);
+        os << "}";
+    }
+    os << "\n  ],\n  \"dram\": [\n";
+    const auto &channels = cmp.memory().channels();
+    for (std::size_t i = 0; i < channels.size(); ++i) {
+        if (i)
+            os << ",\n";
+        channels[i]->stats().dumpJson(os, 4);
+    }
+    os << "\n  ],\n  \"mshr\": [\n";
+    const auto &mshrs = cmp.crossbar().mshrs();
+    for (std::size_t i = 0; i < mshrs.size(); ++i) {
+        if (i)
+            os << ",\n";
+        mshrs[i]->stats().dumpJson(os, 4);
+    }
+    os << "\n  ]\n}\n";
+}
+
+TelemetrySession::TelemetrySession(const TelemetryConfig &cfg_,
+                                   const std::string &tag_)
+    : cfg(cfg_), tag(tag_)
+{
+    if (!cfg.enabled())
+        return;
+    ensureTelemetryDir(cfg.dir);
+    if (cfg.traceEvents) {
+        EventTracer::Config tcfg;
+        tcfg.ringCapacity = cfg.ringCapacity;
+        tcfg.spillPath = cfg.dir + "/trace-" + tag + ".spill";
+        eventTracer = std::make_unique<EventTracer>(tcfg);
+        prevTracer = EventTracer::setCurrent(eventTracer.get());
+    }
+    if (cfg.sampleInterval != 0)
+        epochSampler = std::make_unique<EpochSampler>(cfg.sampleInterval);
+}
+
+TelemetrySession::~TelemetrySession()
+{
+    if (eventTracer) {
+        EventTracer::setCurrent(prevTracer);
+        // A run that unwound on an exception never reached finalize();
+        // its partial trace is exactly what a post-mortem wants.
+        if (!traceWritten)
+            writeTrace();
+    }
+}
+
+void
+TelemetrySession::attach(Cmp &cmp)
+{
+    if (epochSampler)
+        epochSampler->attach(cmp);
+}
+
+void
+TelemetrySession::writeTrace()
+{
+    const std::string path = cfg.dir + "/trace-" + tag + ".json";
+    std::ofstream out(path);
+    if (!out) {
+        warn("cannot write trace '%s'", path.c_str());
+        return;
+    }
+    eventTracer->exportChromeJson(out);
+    traceWritten = true;
+    if (eventTracer->dropped() != 0)
+        warn("trace '%s' dropped %llu events (raise the ring capacity "
+             "or keep the spill file writable)", path.c_str(),
+             static_cast<unsigned long long>(eventTracer->dropped()));
+}
+
+void
+TelemetrySession::finalize(const Cmp &cmp, Cycle now)
+{
+    if (epochSampler) {
+        epochSampler->finish(cmp, now);
+        const std::string path = cfg.dir + "/epochs-" + tag + ".csv";
+        std::ofstream out(path);
+        if (out)
+            epochSampler->writeCsv(out);
+        else
+            warn("cannot write epoch series '%s'", path.c_str());
+    }
+    if (cfg.traceEvents || cfg.sampleInterval != 0) {
+        const std::string path = cfg.dir + "/stats-" + tag + ".json";
+        std::ofstream out(path);
+        if (out)
+            writeStatsJson(cmp, out);
+        else
+            warn("cannot write stats dump '%s'", path.c_str());
+    }
+    if (eventTracer)
+        writeTrace();
+}
+
+} // namespace rc

@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Per-run telemetry session: owns the event tracer and epoch sampler
+ * selected by the harness flags and writes their artifacts at run end.
+ *
+ * A session produces up to three files under its output directory, all
+ * suffixed with the run's tag so --jobs=N sweeps never collide:
+ *  - trace-<tag>.json   Chrome trace_event JSON (Perfetto-loadable)
+ *  - epochs-<tag>.csv   epoch-delta time series
+ *  - stats-<tag>.json   end-of-run counter dump (writeStatsJson)
+ *
+ * Construction installs the tracer on the calling thread; destruction
+ * uninstalls it and flushes the trace even when the run is unwinding on
+ * an exception, so a quarantined run still leaves its partial trace
+ * behind for diagnosis.
+ */
+
+#ifndef RC_TELEMETRY_TELEMETRY_HH
+#define RC_TELEMETRY_TELEMETRY_HH
+
+#include <cstdint>
+#include <iosfwd>
+#include <memory>
+#include <string>
+
+#include "common/types.hh"
+#include "telemetry/epoch_sampler.hh"
+#include "telemetry/trace_event.hh"
+
+namespace rc
+{
+
+class Cmp;
+
+/** Harness-level telemetry selection (parsed from the CLI flags). */
+struct TelemetryConfig
+{
+    std::string dir;            //!< output directory ("" = telemetry off)
+    bool traceEvents = false;   //!< --trace-events
+    Cycle sampleInterval = 0;   //!< --sample-interval=N (0 = off)
+    std::size_t ringCapacity = 1 << 16; //!< tracer ring size (tests)
+
+    /** Whether any telemetry pillar is active. */
+    bool enabled() const
+    {
+        return !dir.empty() && (traceEvents || sampleInterval != 0);
+    }
+};
+
+/**
+ * Dump every counter the system carries as one JSON document: the SLLC
+ * set, per-channel DRAM sets, per-bank MSHR sets, per-core private
+ * hierarchy sets, plus derived end-of-run metrics (IPC, MPKI, cycles).
+ */
+void writeStatsJson(const Cmp &cmp, std::ostream &os);
+
+/** One run's telemetry; see the file comment. */
+class TelemetrySession
+{
+  public:
+    /**
+     * @param cfg what to collect and where.
+     * @param tag run-unique file suffix ("b0-r3", "solo", ...).
+     */
+    TelemetrySession(const TelemetryConfig &cfg, const std::string &tag);
+
+    /** Uninstalls the tracer; writes the trace if finalize() never ran. */
+    ~TelemetrySession();
+
+    TelemetrySession(const TelemetrySession &) = delete;
+    TelemetrySession &operator=(const TelemetrySession &) = delete;
+
+    /** Install the epoch-sampling hook (after any checkpoint restore). */
+    void attach(Cmp &cmp);
+
+    /** The tracer, for host-phase events (nullptr when tracing is off). */
+    EventTracer *tracer() { return eventTracer.get(); }
+
+    /** The sampler (nullptr when sampling is off). */
+    EpochSampler *sampler() { return epochSampler.get(); }
+
+    /**
+     * Close the run: emit the sampler's residual epoch at @p now and
+     * write every artifact file.
+     */
+    void finalize(const Cmp &cmp, Cycle now);
+
+  private:
+    void writeTrace();
+
+    TelemetryConfig cfg;
+    std::string tag;
+    std::unique_ptr<EventTracer> eventTracer;
+    std::unique_ptr<EpochSampler> epochSampler;
+    EventTracer *prevTracer = nullptr;
+    bool traceWritten = false;
+};
+
+} // namespace rc
+
+#endif // RC_TELEMETRY_TELEMETRY_HH

@@ -1,0 +1,227 @@
+/**
+ * @file
+ * Low-overhead event tracer with Chrome trace_event JSON export.
+ *
+ * Events carry one of two clock domains, rendered as two Perfetto
+ * "processes" in the exported trace:
+ *  - TraceDomain::Sim  (pid 1): timestamps are simulated cycles
+ *    (cache/DRAM/coherence events);
+ *  - TraceDomain::Host (pid 2): timestamps are host microseconds since
+ *    tracer construction (harness phases: run start/finish, checkpoint
+ *    writes, quarantine retries).
+ *
+ * Recording is lock-free on the hot path: each thread owns a
+ * fixed-capacity ring buffer (claimed once through a mutex-guarded
+ * registry, then cached thread-locally).  When a ring fills it either
+ * spills to a binary scratch file (when a spill path is configured) or
+ * drops the newest events and counts them, so tracing can never grow
+ * memory without bound.  exportChromeJson() merges rings and spill,
+ * sorts each (pid, tid) track by timestamp and writes JSON loadable by
+ * Perfetto / chrome://tracing.
+ *
+ * Gating is two-level: the RC_TRACE_ENABLED compile-time macro removes
+ * the RC_TEVENT hook entirely (configure with -DRC_TRACE=OFF), and at
+ * runtime the hook is two loads and a branch unless a tracer is both
+ * installed on the calling thread and enabled (bench/micro_telemetry
+ * keeps both paths honest).
+ */
+
+#ifndef RC_TELEMETRY_TRACE_EVENT_HH
+#define RC_TELEMETRY_TRACE_EVENT_HH
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <iosfwd>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/types.hh"
+
+// Compile-time gate: -DRC_TRACE=OFF in CMake defines RC_TRACE_ENABLED=0
+// and every RC_TEVENT site compiles to nothing.
+#ifndef RC_TRACE_ENABLED
+#define RC_TRACE_ENABLED 1
+#endif
+
+namespace rc
+{
+
+/** Clock domain of a trace event (doubles as the exported pid). */
+enum class TraceDomain : std::uint8_t
+{
+    Sim = 1,  //!< timestamps in simulated cycles
+    Host = 2, //!< timestamps in host microseconds since tracer birth
+};
+
+/** One recorded event.  @c name must have static storage duration. */
+struct TraceEvent
+{
+    const char *name = nullptr; //!< static string ("rc.dataHit", ...)
+    std::uint64_t ts = 0;       //!< cycles (Sim) or microseconds (Host)
+    std::uint64_t dur = 0;      //!< 0 renders as an instant event
+    std::uint64_t arg = 0;      //!< one numeric payload ("v" in args)
+    std::uint32_t track = 0;    //!< exported tid (core id, bank id, ...)
+    TraceDomain domain = TraceDomain::Sim;
+};
+
+/** Tracer sizing and overflow policy. */
+struct TracerConfig
+{
+    /** Events per thread ring before spill/drop. */
+    std::size_t ringCapacity = 1 << 16;
+
+    /**
+     * Binary scratch file absorbing ring overflow ("" = drop newest on
+     * overflow instead).  The file is an implementation detail of the
+     * tracer (deleted by its destructor), not an archival format.
+     */
+    std::string spillPath;
+};
+
+/** Per-run event tracer; see the file comment. */
+class EventTracer
+{
+  public:
+    using Config = TracerConfig;
+
+    explicit EventTracer(Config cfg = Config());
+    ~EventTracer();
+
+    EventTracer(const EventTracer &) = delete;
+    EventTracer &operator=(const EventTracer &) = delete;
+
+    /** Runtime gate consulted by the RC_TEVENT hook. */
+    bool enabled() const { return on.load(std::memory_order_relaxed); }
+
+    /** Flip the runtime gate (construction leaves it on). */
+    void setEnabled(bool enable)
+    {
+        on.store(enable, std::memory_order_relaxed);
+    }
+
+    /** Record one event into the calling thread's ring. */
+    void record(const char *name, TraceDomain domain, std::uint32_t track,
+                std::uint64_t ts, std::uint64_t dur = 0,
+                std::uint64_t arg = 0);
+
+    /**
+     * Record a host-domain event timestamped now; @p dur_micros spans
+     * backwards-from-now when nonzero (callers time a phase and report
+     * it at its end).
+     */
+    void recordHost(const char *name, std::uint32_t track,
+                    std::uint64_t dur_micros = 0, std::uint64_t arg = 0);
+
+    /** Microseconds of host time since this tracer was constructed. */
+    std::uint64_t hostNowMicros() const;
+
+    /** Events accepted (rings + spill). */
+    std::uint64_t recorded() const
+    {
+        return accepted.load(std::memory_order_relaxed);
+    }
+
+    /** Events dropped because a ring overflowed with no spill file. */
+    std::uint64_t dropped() const
+    {
+        return lost.load(std::memory_order_relaxed);
+    }
+
+    /** Events currently spilled to the scratch file. */
+    std::uint64_t spilled() const
+    {
+        return spilledCount.load(std::memory_order_relaxed);
+    }
+
+    /**
+     * Write the complete trace as Chrome trace_event JSON: process-name
+     * metadata for both clock domains, then every event with each
+     * (pid, tid) track sorted by timestamp.  Call after the traced work
+     * finished (not concurrently with record()).
+     */
+    void exportChromeJson(std::ostream &os);
+
+    /** The tracer installed on the calling thread (nullptr = none). */
+    static EventTracer *current();
+
+    /**
+     * Install @p tracer as the calling thread's tracer and return the
+     * previous one.  Prefer ScopedTracer.
+     */
+    static EventTracer *setCurrent(EventTracer *tracer);
+
+  private:
+    struct Ring
+    {
+        std::vector<TraceEvent> events; //!< filled [0, count)
+        std::size_t count = 0;
+    };
+
+    Ring &ringForThisThread();
+    void spillRingLocked(Ring &ring);
+    void collectAll(std::vector<TraceEvent> &out);
+
+    Config cfg;
+    std::atomic<bool> on{true};
+    std::atomic<std::uint64_t> accepted{0};
+    std::atomic<std::uint64_t> lost{0};
+    std::atomic<std::uint64_t> spilledCount{0};
+    std::chrono::steady_clock::time_point birth;
+
+    std::mutex mu; //!< guards rings registry and the spill file
+    std::vector<std::unique_ptr<Ring>> rings;
+    std::FILE *spill = nullptr;
+
+    /**
+     * Process-unique id distinguishing this tracer from any other that
+     * may later be allocated at the same address (the thread-local ring
+     * cache keys on it, so a stale cache can never alias a new tracer).
+     */
+    std::uint64_t serial;
+
+    /** Name interning for the binary spill format (ids are per-tracer). */
+    std::vector<const char *> nameTable;
+};
+
+/** RAII installer for the calling thread's tracer. */
+class ScopedTracer
+{
+  public:
+    explicit ScopedTracer(EventTracer *tracer)
+        : prev(EventTracer::setCurrent(tracer))
+    {}
+
+    ~ScopedTracer() { EventTracer::setCurrent(prev); }
+
+    ScopedTracer(const ScopedTracer &) = delete;
+    ScopedTracer &operator=(const ScopedTracer &) = delete;
+
+  private:
+    EventTracer *prev;
+};
+
+/**
+ * The hot-path hook: record an event against the calling thread's
+ * tracer when one is installed and enabled.  Arguments after the name
+ * are (domain, track, ts[, dur[, arg]]).  With RC_TRACE_ENABLED=0 the
+ * site compiles away entirely.
+ */
+#if RC_TRACE_ENABLED
+#define RC_TEVENT(name_, ...)                                                 \
+    do {                                                                      \
+        ::rc::EventTracer *rc_tev_ = ::rc::EventTracer::current();            \
+        if (rc_tev_ && rc_tev_->enabled())                                    \
+            rc_tev_->record((name_), __VA_ARGS__);                            \
+    } while (0)
+#else
+#define RC_TEVENT(name_, ...) ((void)0)
+#endif
+
+} // namespace rc
+
+#endif // RC_TELEMETRY_TRACE_EVENT_HH

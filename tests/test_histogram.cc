@@ -71,6 +71,49 @@ TEST(Histogram, MergeMismatchedCapacityPanics)
     EXPECT_DEATH(a.merge(b), "capacity mismatch");
 }
 
+TEST(Histogram, EmptyHistogramIsAllZero)
+{
+    Histogram h(4);
+    EXPECT_EQ(h.count(), 0u);
+    EXPECT_EQ(h.total(), 0u);
+    EXPECT_EQ(h.overflow(), 0u);
+    EXPECT_DOUBLE_EQ(h.mean(), 0.0);
+    for (std::size_t b = 0; b < 4; ++b)
+        EXPECT_EQ(h.bucket(b), 0u);
+}
+
+TEST(Histogram, SingleSample)
+{
+    Histogram h(4);
+    h.record(2);
+    EXPECT_EQ(h.count(), 1u);
+    EXPECT_EQ(h.bucket(2), 1u);
+    EXPECT_EQ(h.overflow(), 0u);
+    EXPECT_DOUBLE_EQ(h.mean(), 2.0);
+}
+
+TEST(Histogram, AllEqualSamplesLandInOneBucket)
+{
+    Histogram h(8);
+    for (int i = 0; i < 100; ++i)
+        h.record(5);
+    EXPECT_EQ(h.count(), 100u);
+    EXPECT_EQ(h.bucket(5), 100u);
+    EXPECT_DOUBLE_EQ(h.mean(), 5.0);
+    for (std::size_t b = 0; b < 8; ++b) {
+        if (b != 5)
+            EXPECT_EQ(h.bucket(b), 0u) << "bucket " << b;
+    }
+}
+
+TEST(Log2Histogram, EmptyIsAllZero)
+{
+    Log2Histogram h(4);
+    EXPECT_EQ(h.count(), 0u);
+    for (std::size_t b = 0; b < 4; ++b)
+        EXPECT_EQ(h.bucket(b), 0u);
+}
+
 TEST(Log2Histogram, Buckets)
 {
     Log2Histogram h(10);

@@ -136,5 +136,59 @@ TEST(Quartiles, Interpolated)
     EXPECT_DOUBLE_EQ(q.q3, 3.25);
 }
 
+TEST(Quartiles, AllEqualCollapsesEveryCut)
+{
+    const Quartiles q =
+        computeQuartiles({3.5, 3.5, 3.5, 3.5, 3.5, 3.5, 3.5});
+    EXPECT_DOUBLE_EQ(q.min, 3.5);
+    EXPECT_DOUBLE_EQ(q.q1, 3.5);
+    EXPECT_DOUBLE_EQ(q.median, 3.5);
+    EXPECT_DOUBLE_EQ(q.q3, 3.5);
+    EXPECT_DOUBLE_EQ(q.max, 3.5);
+}
+
+TEST(Quartiles, TwoElements)
+{
+    const Quartiles q = computeQuartiles({1.0, 3.0});
+    EXPECT_DOUBLE_EQ(q.min, 1.0);
+    EXPECT_DOUBLE_EQ(q.median, 2.0);
+    EXPECT_DOUBLE_EQ(q.max, 3.0);
+}
+
+TEST(JsonEscape, PassesPlainTextThrough)
+{
+    EXPECT_EQ(jsonEscape("llc.hits_42"), "llc.hits_42");
+}
+
+TEST(JsonEscape, EscapesQuotesBackslashesAndControls)
+{
+    EXPECT_EQ(jsonEscape("a\"b"), "a\\\"b");
+    EXPECT_EQ(jsonEscape("a\\b"), "a\\\\b");
+    EXPECT_EQ(jsonEscape("a\nb\tc\rd"), "a\\nb\\tc\\rd");
+    EXPECT_EQ(jsonEscape(std::string(1, '\x01')), "\\u0001");
+}
+
+TEST(StatSet, DumpJsonShape)
+{
+    StatSet s("llc");
+    s.add("hits", "cache hits") = 3;
+    s.add("mis\"ses", "escaping") = 1;
+    std::ostringstream os;
+    s.dumpJson(os);
+    const std::string json = os.str();
+    EXPECT_NE(json.find("\"name\": \"llc\""), std::string::npos) << json;
+    EXPECT_NE(json.find("\"hits\": 3"), std::string::npos) << json;
+    EXPECT_NE(json.find("\"mis\\\"ses\": 1"), std::string::npos) << json;
+}
+
+TEST(StatSet, DumpJsonEmptySetHasEmptyCounters)
+{
+    StatSet s("empty");
+    std::ostringstream os;
+    s.dumpJson(os);
+    EXPECT_NE(os.str().find("\"counters\": {}"), std::string::npos)
+        << os.str();
+}
+
 } // namespace
 } // namespace rc
