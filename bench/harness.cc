@@ -459,6 +459,12 @@ initBench(int argc, char **argv, const std::string &artifact,
     RunOptions opt = parseArgs(argc, argv);
     if (tweak)
         tweak(opt);
+#ifndef __OPTIMIZE__
+    // Numbers from an -O0 build are not comparable to recorded
+    // baselines (BENCH_*.json); say so once per bench process.
+    warn("this bench binary was built without optimization; "
+         "performance figures will not match recorded baselines");
+#endif
     printHeader(artifact, claim, opt);
     return opt;
 }

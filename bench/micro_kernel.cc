@@ -1,0 +1,196 @@
+/**
+ * @file
+ * Kernel micro-benchmark: serial hot-loop throughput on a
+ * table5_mpki-shaped workload (homogeneous 8-core mixes on the 8 MB LRU
+ * baseline), bypassing the sweep machinery so the number isolates the
+ * simulation kernel itself: reference generation, private lookups, SLLC
+ * dispatch and the DRAM model.
+ *
+ * Writes BENCH_kernel.json:
+ *   serial_sims_per_sec   completed runs / simulated wall seconds
+ *   accesses_per_sec      completed core references / simulated seconds
+ *   phases                per-phase wall-second breakdown (build,
+ *                         warmup, measure), mirrored on the EventTracer
+ *                         host track ("kernel.build" / "kernel.warmup" /
+ *                         "kernel.measure")
+ *   stats_digest          FNV-1a over every run's full LLC stats JSON —
+ *                         identical across kernel refactors iff the
+ *                         stats are bit-identical
+ *
+ * Extra flags (on top of the common harness set):
+ *   --baseline=FILE   prior BENCH_kernel.json to gate against
+ *   --tolerance=F     allowed fractional drop vs baseline (default 0.20)
+ * With --baseline, exits 2 when serial sims/sec lands below
+ * baseline * (1 - tolerance); CI points this at the repo-recorded
+ * record so kernel regressions fail the perf-smoke job.
+ */
+
+#include <cinttypes>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/log.hh"
+#include "harness.hh"
+#include "sim/system_config.hh"
+#include "telemetry/trace_event.hh"
+#include "workloads/mixes.hh"
+
+namespace
+{
+
+using namespace rc;
+
+/** Homogeneous-mix applications; a spread of table5_mpki behaviors. */
+const char *const kApps[] = {
+    "mcf", "libquantum", "gcc", "lbm", "omnetpp", "namd", "sphinx3",
+    "hmmer",
+};
+
+/** FNV-1a 64-bit. */
+std::uint64_t
+fnv1a(const std::string &s, std::uint64_t h = 0xcbf29ce484222325ull)
+{
+    for (unsigned char c : s) {
+        h ^= c;
+        h *= 0x100000001b3ull;
+    }
+    return h;
+}
+
+/** serial_sims_per_sec recorded in a prior BENCH_kernel.json. */
+double
+readBaseline(const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in) {
+        rc::panic("cannot read baseline record '%s'", path.c_str());
+    }
+    std::stringstream ss;
+    ss << in.rdbuf();
+    const std::string text = ss.str();
+    const char *key = "\"serial_sims_per_sec\":";
+    const std::size_t pos = text.find(key);
+    if (pos == std::string::npos)
+        rc::panic("'%s' carries no serial_sims_per_sec field",
+                  path.c_str());
+    return std::strtod(text.c_str() + pos + std::strlen(key), nullptr);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    using namespace rc;
+
+    // Strip the bench-local flags before the common parser sees them.
+    std::string baselinePath;
+    double tolerance = 0.20;
+    std::vector<char *> rest;
+    for (int i = 0; i < argc; ++i) {
+        if (std::strncmp(argv[i], "--baseline=", 11) == 0)
+            baselinePath = argv[i] + 11;
+        else if (std::strncmp(argv[i], "--tolerance=", 12) == 0)
+            tolerance = std::strtod(argv[i] + 12, nullptr);
+        else
+            rest.push_back(argv[i]);
+    }
+
+    const auto opt = bench::initBench(
+        static_cast<int>(rest.size()), rest.data(),
+        "Kernel throughput: serial sims/sec on the table5 workload",
+        "hot-path changes keep stats bit-identical (stats_digest) while "
+        "serial sims/sec tracks the BENCH_kernel.json trajectory");
+
+    EventTracer tracer;
+    double buildSec = 0.0, warmupSec = 0.0, measureSec = 0.0;
+    std::uint64_t accesses = 0;
+    std::uint64_t digest = 0xcbf29ce484222325ull;
+    const std::size_t runs = std::size(kApps);
+
+    for (std::size_t i = 0; i < runs; ++i) {
+        Mix mix;
+        for (int c = 0; c < 8; ++c)
+            mix.apps.push_back(kApps[i]);
+        SystemConfig cfg = baselineSystem(opt.scale);
+        cfg.seed = opt.seed;
+
+        const std::uint64_t t0 = tracer.hostNowMicros();
+        Cmp sim(cfg, buildMixStreams(mix, opt.seed, opt.scale));
+        const std::uint64_t t1 = tracer.hostNowMicros();
+        tracer.recordHost("kernel.build", 0, t1 - t0);
+        sim.run(opt.warmup);
+        const std::uint64_t t2 = tracer.hostNowMicros();
+        tracer.recordHost("kernel.warmup", 0, t2 - t1);
+        sim.beginMeasurement();
+        sim.run(opt.measure);
+        const std::uint64_t t3 = tracer.hostNowMicros();
+        tracer.recordHost("kernel.measure", 0, t3 - t2);
+
+        buildSec += static_cast<double>(t1 - t0) * 1e-6;
+        warmupSec += static_cast<double>(t2 - t1) * 1e-6;
+        measureSec += static_cast<double>(t3 - t2) * 1e-6;
+        accesses += sim.referencesProcessed();
+
+        std::ostringstream os;
+        sim.llc().stats().dumpJson(os);
+        digest = fnv1a(os.str(), digest);
+    }
+
+    const double simSec = warmupSec + measureSec;
+    const double simsPerSec =
+        simSec > 0.0 ? static_cast<double>(runs) / simSec : 0.0;
+    const double accPerSec =
+        simSec > 0.0 ? static_cast<double>(accesses) / simSec : 0.0;
+
+    char buf[768];
+    std::snprintf(
+        buf, sizeof(buf),
+        "{\n"
+        "  \"bench\": \"micro_kernel\",\n"
+        "  \"runs\": %zu,\n"
+        "  \"warmup_cycles\": %" PRIu64 ",\n"
+        "  \"measure_cycles\": %" PRIu64 ",\n"
+        "  \"scale\": %u,\n"
+        "  \"accesses\": %" PRIu64 ",\n"
+        "  \"serial_sims_per_sec\": %.4f,\n"
+        "  \"accesses_per_sec\": %.1f,\n"
+        "  \"stats_digest\": \"%016" PRIx64 "\",\n"
+        "  \"phases\": {\n"
+        "    \"build_seconds\": %.3f,\n"
+        "    \"warmup_seconds\": %.3f,\n"
+        "    \"measure_seconds\": %.3f\n"
+        "  }\n"
+        "}\n",
+        runs, static_cast<std::uint64_t>(opt.warmup),
+        static_cast<std::uint64_t>(opt.measure), opt.scale, accesses,
+        simsPerSec, accPerSec, digest, buildSec, warmupSec, measureSec);
+
+    std::FILE *f = std::fopen("BENCH_kernel.json", "w");
+    if (!f)
+        rc::panic("cannot write BENCH_kernel.json");
+    std::fwrite(buf, 1, std::strlen(buf), f);
+    std::fclose(f);
+    std::fputs(buf, stdout);
+
+    if (!baselinePath.empty()) {
+        const double base = readBaseline(baselinePath);
+        const double floor = base * (1.0 - tolerance);
+        std::printf("gate: %.4f sims/sec vs baseline %.4f "
+                    "(floor %.4f, tolerance %.0f%%)\n",
+                    simsPerSec, base, floor, tolerance * 100.0);
+        if (simsPerSec < floor) {
+            std::fprintf(stderr,
+                         "FAIL: serial sims/sec regressed more than "
+                         "%.0f%% below the recorded baseline\n",
+                         tolerance * 100.0);
+            return 2;
+        }
+    }
+    return 0;
+}

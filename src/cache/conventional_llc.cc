@@ -12,9 +12,11 @@ namespace rc
 ConventionalLlc::ConventionalLlc(const ConvLlcConfig &cfg_, MemCtrl &mem_)
     : cfg(cfg_),
       geom(CacheGeometry::fromBytes(cfg_.capacityBytes, cfg_.ways)),
+      tagLane(geom.numLines(), 0),
       entries(geom.numLines()),
       repl(makeReplacement(cfg_.repl, geom.numSets(), geom.numWays(),
                            cfg_.numCores, cfg_.seed)),
+      fast(repl.get(), cfg_.repl),
       mem(mem_),
       statSet(cfg_.name),
       accesses(statSet.add("accesses", "demand requests received")),
@@ -37,17 +39,26 @@ ConventionalLlc::ConventionalLlc(const ConvLlcConfig &cfg_, MemCtrl &mem_)
 }
 
 ConventionalLlc::Entry *
-ConventionalLlc::find(Addr line_addr)
+ConventionalLlc::find(Addr line_addr, std::uint32_t &way_out)
 {
     const std::uint64_t set = geom.setIndex(line_addr);
     const std::uint64_t tag = geom.tagOf(line_addr);
     const std::uint64_t base = set * geom.numWays();
+    const std::uint64_t *tl = tagLane.data() + base;
     for (std::uint32_t w = 0; w < geom.numWays(); ++w) {
-        Entry &e = entries[base + w];
-        if (e.state != LlcState::I && e.tag == tag)
-            return &e;
+        if (tl[w] == tag && entries[base + w].state != LlcState::I) {
+            way_out = w;
+            return &entries[base + w];
+        }
     }
     return nullptr;
+}
+
+ConventionalLlc::Entry *
+ConventionalLlc::find(Addr line_addr)
+{
+    std::uint32_t way = 0;
+    return find(line_addr, way);
 }
 
 const ConventionalLlc::Entry *
@@ -62,7 +73,7 @@ ConventionalLlc::evictEntry(std::uint64_t set, std::uint32_t way, Cycle now)
     Entry &e = entries[set * geom.numWays() + way];
     RC_CHECK(e.state != LlcState::I, SimError::Kind::Integrity,
              "evicting an invalid entry");
-    const Addr line = geom.lineAddr(e.tag, set);
+    const Addr line = geom.lineAddr(tagLane[set * geom.numWays() + way], set);
 
     ProtoInput in{e.state, ProtoEvent::TagRepl, e.dir.hasOwner(), false};
     const ProtoResult res = protocolTransition(in);
@@ -90,7 +101,7 @@ ConventionalLlc::evictEntry(std::uint64_t set, std::uint32_t way, Cycle now)
 
     e.state = LlcState::I;
     e.dir.clear();
-    repl->onInvalidate(set, way);
+    fast.onInvalidate(set, way);
 }
 
 std::uint32_t
@@ -110,7 +121,7 @@ ConventionalLlc::allocateWay(Addr line_addr, const LlcRequest &req)
         if (!entries[base + w].dir.empty())
             q.avoidMask |= std::uint64_t{1} << w;
     }
-    const std::uint32_t w = repl->victim(set, q);
+    const std::uint32_t w = fast.victim(set, q);
     RC_CHECK(w < geom.numWays(), SimError::Kind::Integrity,
              "victim way out of range");
     evictEntry(set, w, req.now);
@@ -127,7 +138,8 @@ ConventionalLlc::request(const LlcRequest &req)
         ++upgradeReqs;
 
     const std::uint64_t set = geom.setIndex(line);
-    Entry *entry = find(line);
+    std::uint32_t hitWay = 0;
+    Entry *entry = find(line, hitWay);
 
     const bool owner_valid = entry && entry->dir.hasOwner();
     RC_CHECK(!owner_valid || entry->dir.owner() != req.core,
@@ -204,22 +216,14 @@ ConventionalLlc::request(const LlcRequest &req)
             entry->dir.addSharer(req.core);
         if (res.actions & ActSetOwner)
             entry->dir.setOwner(req.core);
-        std::uint32_t way = 0;
-        const std::uint64_t base = set * geom.numWays();
-        for (std::uint32_t w = 0; w < geom.numWays(); ++w) {
-            if (&entries[base + w] == entry) {
-                way = w;
-                break;
-            }
-        }
         if (!req.prefetch)
-            repl->onHit(set, way, ReplAccess{req.core, false, false});
+            fast.onHit(set, hitWay, ReplAccess{req.core, false, false});
     } else {
         RC_CHECK(res.actions & ActAllocTag, SimError::Kind::Protocol,
                  "miss without tag allocation");
         const std::uint32_t way = allocateWay(line, req);
         Entry &e = entries[set * geom.numWays() + way];
-        e.tag = geom.tagOf(line);
+        tagLane[set * geom.numWays() + way] = geom.tagOf(line);
         e.state = res.next;
         e.dir.clear();
         if (res.actions & ActFillPrivate)
@@ -228,7 +232,7 @@ ConventionalLlc::request(const LlcRequest &req)
             e.dir.setOwner(req.core);
         // Prefetched fills enter at the lowest priority [Srinath+07,
         // Wu+11]; with LRU that is the LRU position.
-        repl->onFill(set, way, ReplAccess{req.core, true, req.prefetch});
+        fast.onFill(set, way, ReplAccess{req.core, true, req.prefetch});
         if ((res.actions & ActAllocData) && watcher)
             watcher->onDataFill(line, req.now);
     }
@@ -308,7 +312,7 @@ ConventionalLlc::forEachResident(
         for (std::uint32_t w = 0; w < geom.numWays(); ++w) {
             const Entry &e = entries[base + w];
             if (e.state != LlcState::I)
-                fn(geom.lineAddr(e.tag, s), e.state, e.dir);
+                fn(geom.lineAddr(tagLane[base + w], s), e.state, e.dir);
         }
     }
 }
@@ -359,10 +363,10 @@ void
 ConventionalLlc::save(Serializer &s) const
 {
     s.putU64(entries.size());
-    for (const Entry &e : entries) {
-        s.putU64(e.tag);
-        s.putU8(static_cast<std::uint8_t>(e.state));
-        e.dir.save(s);
+    for (std::uint64_t i = 0; i < entries.size(); ++i) {
+        s.putU64(tagLane[i]);
+        s.putU8(static_cast<std::uint8_t>(entries[i].state));
+        entries[i].dir.save(s);
     }
     s.beginSection("repl");
     repl->save(s);
@@ -381,10 +385,10 @@ ConventionalLlc::restore(Deserializer &d)
                       "conventional LLC holds %zu entries but the "
                       "checkpoint carries %llu", entries.size(),
                       static_cast<unsigned long long>(count));
-    for (Entry &e : entries) {
-        e.tag = d.getU64();
-        e.state = static_cast<LlcState>(d.getU8());
-        e.dir.restore(d);
+    for (std::uint64_t i = 0; i < entries.size(); ++i) {
+        tagLane[i] = d.getU64();
+        entries[i].state = static_cast<LlcState>(d.getU8());
+        entries[i].dir.restore(d);
     }
     d.beginSection("repl");
     repl->restore(d);

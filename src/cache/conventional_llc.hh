@@ -18,6 +18,7 @@
 
 #include "cache/geometry.hh"
 #include "cache/llc_iface.hh"
+#include "cache/policy_dispatch.hh"
 #include "cache/replacement.hh"
 #include "coherence/directory.hh"
 #include "mem/memctrl.hh"
@@ -98,13 +99,19 @@ class ConventionalLlc : public Sllc
     bool corruptStateForTest(Addr line_addr, LlcState state);
 
   private:
+    /**
+     * Per-way payload; the tag lives in a separate contiguous lane
+     * (`tagLane`) so find() scans packed 64-bit tags instead of
+     * striding over directory state.
+     */
     struct Entry
     {
-        std::uint64_t tag = 0;
         LlcState state = LlcState::I;
         DirectoryEntry dir;
     };
 
+    /** Locate a resident line; on a hit @p way_out names its way. */
+    Entry *find(Addr line_addr, std::uint32_t &way_out);
     Entry *find(Addr line_addr);
     const Entry *find(Addr line_addr) const;
     std::uint32_t allocateWay(Addr line_addr, const LlcRequest &req);
@@ -112,8 +119,10 @@ class ConventionalLlc : public Sllc
 
     ConvLlcConfig cfg;
     CacheGeometry geom;
+    std::vector<std::uint64_t> tagLane; //!< SoA tag lane (the scan key)
     std::vector<Entry> entries;
     std::unique_ptr<ReplacementPolicy> repl;
+    PolicyRef fast; //!< devirtualized view of *repl for the hot path
     MemCtrl &mem;
     RecallHandler *recaller = nullptr;
     LlcObserver *watcher = nullptr;

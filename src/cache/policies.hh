@@ -4,6 +4,13 @@
  *
  * Exposed in a header (rather than hidden behind the factory) so unit
  * tests can exercise policy internals such as DRRIP's per-thread PSEL.
+ *
+ * The classes are `final` and their per-access methods (onFill / onHit /
+ * onInvalidate / victim) are defined inline below: the hot paths reach
+ * them through PolicyRef (cache/policy_dispatch.hh), whose enum-tag
+ * switch statically resolves the sealed type, so the compiler can
+ * devirtualize and inline the per-access work.  The virtual interface
+ * remains for construction, serialization and the verify layer.
  */
 
 #ifndef RC_CACHE_POLICIES_HH
@@ -20,7 +27,7 @@ namespace rc
 {
 
 /** Exact LRU via per-line timestamps. */
-class LruPolicy : public ReplacementPolicy
+class LruPolicy final : public ReplacementPolicy
 {
   public:
     LruPolicy(std::uint64_t num_sets, std::uint32_t num_ways);
@@ -47,7 +54,7 @@ class LruPolicy : public ReplacementPolicy
  * every other bit in the set (classic NRU aging).  Victim is the first
  * way whose bit is clear.
  */
-class NruPolicy : public ReplacementPolicy
+class NruPolicy final : public ReplacementPolicy
 {
   public:
     NruPolicy(std::uint64_t num_sets, std::uint32_t num_ways);
@@ -80,7 +87,7 @@ class NruPolicy : public ReplacementPolicy
  * caches (the VictimQuery avoid mask); falls back to any non-present way,
  * then to a fully random pick.
  */
-class NrrPolicy : public ReplacementPolicy
+class NrrPolicy final : public ReplacementPolicy
 {
   public:
     NrrPolicy(std::uint64_t num_sets, std::uint32_t num_ways,
@@ -107,7 +114,7 @@ class NrrPolicy : public ReplacementPolicy
 };
 
 /** Uniform random victim selection. */
-class RandomPolicy : public ReplacementPolicy
+class RandomPolicy final : public ReplacementPolicy
 {
   public:
     RandomPolicy(std::uint64_t num_sets, std::uint32_t num_ways,
@@ -130,7 +137,7 @@ class RandomPolicy : public ReplacementPolicy
  * Clock (second chance), the paper's pick for the fully-associative data
  * array (cost: one bit per line plus one hand per set).
  */
-class ClockPolicy : public ReplacementPolicy
+class ClockPolicy final : public ReplacementPolicy
 {
   public:
     ClockPolicy(std::uint64_t num_sets, std::uint32_t num_ways);
@@ -163,7 +170,7 @@ class ClockPolicy : public ReplacementPolicy
  * - BRRIP: insert at max, with low probability at max-1.
  * - DRRIP (thread-aware): per-core set dueling between the two.
  */
-class RripPolicy : public ReplacementPolicy
+class RripPolicy final : public ReplacementPolicy
 {
   public:
     /** Insertion flavour. */
@@ -202,6 +209,280 @@ class RripPolicy : public ReplacementPolicy
     Rng rng;
     static constexpr std::uint32_t brripEpsilonInv = 32;
 };
+
+// ---------------------------------------------------------------------
+// Inline per-access methods.  These run once per simulated cache access;
+// keeping the definitions here lets PolicyRef's sealed dispatch inline
+// them into the cache models.
+// ---------------------------------------------------------------------
+
+inline void
+LruPolicy::onFill(std::uint64_t set, std::uint32_t way, const ReplAccess &ctx)
+{
+    // insertLru places the line at the bottom of the recency stack: it
+    // will be the next victim unless it is referenced first.
+    stamp[set * ways + way] = ctx.insertLru ? 0 : ++tick;
+}
+
+inline void
+LruPolicy::onHit(std::uint64_t set, std::uint32_t way, const ReplAccess &ctx)
+{
+    (void)ctx;
+    stamp[set * ways + way] = ++tick;
+}
+
+inline std::uint32_t
+LruPolicy::victim(std::uint64_t set, const VictimQuery &q)
+{
+    (void)q;
+    const std::uint64_t base = set * ways;
+    std::uint32_t best = 0;
+    std::uint64_t best_stamp = stamp[base];
+    for (std::uint32_t w = 1; w < ways; ++w) {
+        if (stamp[base + w] < best_stamp) {
+            best_stamp = stamp[base + w];
+            best = w;
+        }
+    }
+    return best;
+}
+
+inline void
+NruPolicy::markUsed(std::uint64_t set, std::uint32_t way)
+{
+    const std::uint64_t base = set * ways;
+    used[base + way] = 1;
+    // Classic NRU aging: once every bit in the set would be 1, clear all
+    // the others so a victim candidate always exists.
+    for (std::uint32_t w = 0; w < ways; ++w) {
+        if (!used[base + w])
+            return;
+    }
+    for (std::uint32_t w = 0; w < ways; ++w)
+        used[base + w] = w == way ? 1 : 0;
+}
+
+inline void
+NruPolicy::onFill(std::uint64_t set, std::uint32_t way, const ReplAccess &ctx)
+{
+    (void)ctx;
+    markUsed(set, way);
+}
+
+inline void
+NruPolicy::onHit(std::uint64_t set, std::uint32_t way, const ReplAccess &ctx)
+{
+    (void)ctx;
+    markUsed(set, way);
+}
+
+inline std::uint32_t
+NruPolicy::victim(std::uint64_t set, const VictimQuery &q)
+{
+    (void)q;
+    const std::uint64_t base = set * ways;
+    for (std::uint32_t w = 0; w < ways; ++w) {
+        if (!used[base + w])
+            return w;
+    }
+    // Unreachable if markUsed maintained its invariant, but stay safe for
+    // sets that never saw a fill.
+    return 0;
+}
+
+inline void
+NrrPolicy::onFill(std::uint64_t set, std::uint32_t way, const ReplAccess &ctx)
+{
+    (void)ctx;
+    // Freshly loaded lines have not been reused yet.
+    nrr[set * ways + way] = 1;
+}
+
+inline void
+NrrPolicy::onHit(std::uint64_t set, std::uint32_t way, const ReplAccess &ctx)
+{
+    (void)ctx;
+    // A hit at this level is a reuse.
+    nrr[set * ways + way] = 0;
+}
+
+inline std::uint32_t
+NrrPolicy::victim(std::uint64_t set, const VictimQuery &q)
+{
+    const std::uint64_t base = set * ways;
+
+    auto pick_random = [this](std::uint64_t mask) -> std::int32_t {
+        const auto count = static_cast<std::uint32_t>(
+            __builtin_popcountll(mask));
+        if (count == 0)
+            return -1;
+        std::uint32_t skip = static_cast<std::uint32_t>(rng.below(count));
+        for (std::uint32_t w = 0; w < ways; ++w) {
+            if (mask & (std::uint64_t{1} << w)) {
+                if (skip == 0)
+                    return static_cast<std::int32_t>(w);
+                --skip;
+            }
+        }
+        return -1;
+    };
+
+    auto nrr_mask = [this, base]() {
+        std::uint64_t m = 0;
+        for (std::uint32_t w = 0; w < ways; ++w) {
+            if (nrr[base + w])
+                m |= std::uint64_t{1} << w;
+        }
+        return m;
+    };
+
+    const std::uint64_t all =
+        ways >= 64 ? ~std::uint64_t{0} : (std::uint64_t{1} << ways) - 1;
+    const std::uint64_t not_present = all & ~q.avoidMask;
+
+    std::uint64_t candidates = nrr_mask();
+    if (candidates == 0) {
+        // Every line was recently reused: age the whole set (NRU-style)
+        // so the "not recently" distinction regains meaning.
+        for (std::uint32_t w = 0; w < ways; ++w)
+            nrr[base + w] = 1;
+        candidates = all;
+    }
+
+    // Preference order: (1) not recently reused and absent from the
+    // private caches, (2) any line absent from the private caches,
+    // (3) fully random.  (2) protects inclusion victims over reuse bits.
+    if (auto v = pick_random(candidates & not_present); v >= 0)
+        return static_cast<std::uint32_t>(v);
+    if (auto v = pick_random(not_present); v >= 0)
+        return static_cast<std::uint32_t>(v);
+    if (auto v = pick_random(candidates); v >= 0)
+        return static_cast<std::uint32_t>(v);
+    return static_cast<std::uint32_t>(rng.below(ways));
+}
+
+inline void
+RandomPolicy::onFill(std::uint64_t set, std::uint32_t way,
+                     const ReplAccess &ctx)
+{
+    (void)set;
+    (void)way;
+    (void)ctx;
+}
+
+inline void
+RandomPolicy::onHit(std::uint64_t set, std::uint32_t way,
+                    const ReplAccess &ctx)
+{
+    (void)set;
+    (void)way;
+    (void)ctx;
+}
+
+inline std::uint32_t
+RandomPolicy::victim(std::uint64_t set, const VictimQuery &q)
+{
+    (void)set;
+    (void)q;
+    return static_cast<std::uint32_t>(rng.below(ways));
+}
+
+inline void
+ClockPolicy::onFill(std::uint64_t set, std::uint32_t way,
+                    const ReplAccess &ctx)
+{
+    (void)ctx;
+    ref[set * ways + way] = 1;
+}
+
+inline void
+ClockPolicy::onHit(std::uint64_t set, std::uint32_t way,
+                   const ReplAccess &ctx)
+{
+    (void)ctx;
+    ref[set * ways + way] = 1;
+}
+
+inline std::uint32_t
+ClockPolicy::victim(std::uint64_t set, const VictimQuery &q)
+{
+    (void)q;
+    const std::uint64_t base = set * ways;
+    std::uint32_t &hand = hands[set];
+    // Second chance: sweep forward clearing reference bits; the first
+    // line found with a clear bit is the victim.  Bounded by 2*ways.
+    for (std::uint32_t step = 0; step < 2 * ways; ++step) {
+        const std::uint32_t w = hand;
+        hand = (hand + 1) % ways;
+        if (!ref[base + w])
+            return w;
+        ref[base + w] = 0;
+    }
+    return hand;
+}
+
+inline bool
+RripPolicy::useBrrip(std::uint64_t set, CoreId core)
+{
+    switch (mode) {
+      case Mode::SRRIP:
+        return false;
+      case Mode::BRRIP:
+        return true;
+      case Mode::DRRIP:
+        return duel.chooseB(set, core);
+    }
+    return false;
+}
+
+inline void
+RripPolicy::onFill(std::uint64_t set, std::uint32_t way,
+                   const ReplAccess &ctx)
+{
+    if (mode == Mode::DRRIP && ctx.isMiss)
+        duel.onMiss(set, ctx.core);
+
+    std::uint8_t insert;
+    if (useBrrip(set, ctx.core)) {
+        // BRRIP: distant re-reference, occasionally long.
+        insert = rng.below(brripEpsilonInv) == 0
+            ? static_cast<std::uint8_t>(maxRrpv - 1)
+            : static_cast<std::uint8_t>(maxRrpv);
+    } else {
+        // SRRIP-HP: long re-reference interval.
+        insert = static_cast<std::uint8_t>(maxRrpv - 1);
+    }
+    rrpvs[set * ways + way] = insert;
+}
+
+inline void
+RripPolicy::onHit(std::uint64_t set, std::uint32_t way, const ReplAccess &ctx)
+{
+    (void)ctx;
+    // Hit promotion: near-immediate re-reference expected.
+    rrpvs[set * ways + way] = 0;
+}
+
+inline void
+RripPolicy::onInvalidate(std::uint64_t set, std::uint32_t way)
+{
+    rrpvs[set * ways + way] = static_cast<std::uint8_t>(maxRrpv);
+}
+
+inline std::uint32_t
+RripPolicy::victim(std::uint64_t set, const VictimQuery &q)
+{
+    (void)q;
+    const std::uint64_t base = set * ways;
+    for (;;) {
+        for (std::uint32_t w = 0; w < ways; ++w) {
+            if (rrpvs[base + w] >= maxRrpv)
+                return w;
+        }
+        for (std::uint32_t w = 0; w < ways; ++w)
+            ++rrpvs[base + w];
+    }
+}
 
 } // namespace rc
 

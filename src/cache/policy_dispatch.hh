@@ -1,0 +1,185 @@
+/**
+ * @file
+ * Devirtualized replacement-policy dispatch for the per-access hot path.
+ *
+ * The policy set is sealed: every ReplKind maps onto one of six concrete
+ * `final` classes (SRRIP/BRRIP/DRRIP share RripPolicy).  PolicyRef pairs
+ * the base pointer with an enum tag resolved at construction, so the
+ * per-access notifications (onFill / onHit / onInvalidate / victim)
+ * compile to a predictable switch over sealed types whose bodies
+ * (inline in cache/policies.hh) the compiler can inline — no vtable
+ * load, no indirect call, per cache access.
+ *
+ * The virtual ReplacementPolicy interface remains the boundary for
+ * construction (makeReplacement), serialization (save/restore) and the
+ * verify layer (metadataSane/corruptMetadata); PolicyRef is only a view
+ * over a policy owned elsewhere and holds no state of its own, so a
+ * restore() that mutates the policy in place never invalidates it.
+ *
+ * setForceVirtualReplDispatch(true) — tests only — routes every call
+ * through the virtual interface instead, letting the kernel-identity
+ * suite compare both dispatch paths inside one process.
+ */
+
+#ifndef RC_CACHE_POLICY_DISPATCH_HH
+#define RC_CACHE_POLICY_DISPATCH_HH
+
+#include "cache/policies.hh"
+
+namespace rc
+{
+
+namespace detail
+{
+/** Dispatch escape hatch; write only via setForceVirtualReplDispatch. */
+extern bool forceVirtualReplDispatch;
+} // namespace detail
+
+/**
+ * Test-only toggle: when enabled, PolicyRef forwards through the
+ * virtual ReplacementPolicy interface, bypassing the sealed switch.
+ * Global (not per-instance) so it costs one predictable branch.
+ */
+void setForceVirtualReplDispatch(bool enable);
+
+/** Non-owning devirtualized view of a ReplacementPolicy. */
+class PolicyRef
+{
+  public:
+    PolicyRef() = default;
+
+    /**
+     * @param p the policy instance (owned by the cache; must outlive
+     *        this view).
+     * @param kind the ReplKind @p p was built from (names the sealed
+     *        concrete type).
+     */
+    PolicyRef(ReplacementPolicy *p, ReplKind kind) : base(p)
+    {
+        switch (kind) {
+          case ReplKind::LRU: tag = Tag::Lru; break;
+          case ReplKind::NRU: tag = Tag::Nru; break;
+          case ReplKind::NRR: tag = Tag::Nrr; break;
+          case ReplKind::Random: tag = Tag::Random; break;
+          case ReplKind::Clock: tag = Tag::Clock; break;
+          case ReplKind::SRRIP:
+          case ReplKind::BRRIP:
+          case ReplKind::DRRIP: tag = Tag::Rrip; break;
+        }
+    }
+
+    void
+    onFill(std::uint64_t set, std::uint32_t way,
+           const ReplAccess &ctx) const
+    {
+        if (detail::forceVirtualReplDispatch) {
+            base->onFill(set, way, ctx);
+            return;
+        }
+        switch (tag) {
+          case Tag::Lru:
+            static_cast<LruPolicy *>(base)->onFill(set, way, ctx);
+            break;
+          case Tag::Nru:
+            static_cast<NruPolicy *>(base)->onFill(set, way, ctx);
+            break;
+          case Tag::Nrr:
+            static_cast<NrrPolicy *>(base)->onFill(set, way, ctx);
+            break;
+          case Tag::Random:
+            static_cast<RandomPolicy *>(base)->onFill(set, way, ctx);
+            break;
+          case Tag::Clock:
+            static_cast<ClockPolicy *>(base)->onFill(set, way, ctx);
+            break;
+          case Tag::Rrip:
+            static_cast<RripPolicy *>(base)->onFill(set, way, ctx);
+            break;
+        }
+    }
+
+    void
+    onHit(std::uint64_t set, std::uint32_t way, const ReplAccess &ctx) const
+    {
+        if (detail::forceVirtualReplDispatch) {
+            base->onHit(set, way, ctx);
+            return;
+        }
+        switch (tag) {
+          case Tag::Lru:
+            static_cast<LruPolicy *>(base)->onHit(set, way, ctx);
+            break;
+          case Tag::Nru:
+            static_cast<NruPolicy *>(base)->onHit(set, way, ctx);
+            break;
+          case Tag::Nrr:
+            static_cast<NrrPolicy *>(base)->onHit(set, way, ctx);
+            break;
+          case Tag::Random:
+            static_cast<RandomPolicy *>(base)->onHit(set, way, ctx);
+            break;
+          case Tag::Clock:
+            static_cast<ClockPolicy *>(base)->onHit(set, way, ctx);
+            break;
+          case Tag::Rrip:
+            static_cast<RripPolicy *>(base)->onHit(set, way, ctx);
+            break;
+        }
+    }
+
+    void
+    onInvalidate(std::uint64_t set, std::uint32_t way) const
+    {
+        if (detail::forceVirtualReplDispatch) {
+            base->onInvalidate(set, way);
+            return;
+        }
+        switch (tag) {
+          // Only RRIP overrides onInvalidate; the base no-op covers the
+          // rest (sealed set, so this is by inspection, and the identity
+          // suite would catch a policy growing an override).
+          case Tag::Rrip:
+            static_cast<RripPolicy *>(base)->onInvalidate(set, way);
+            break;
+          case Tag::Lru:
+          case Tag::Nru:
+          case Tag::Nrr:
+          case Tag::Random:
+          case Tag::Clock:
+            break;
+        }
+    }
+
+    std::uint32_t
+    victim(std::uint64_t set, const VictimQuery &q) const
+    {
+        if (detail::forceVirtualReplDispatch)
+            return base->victim(set, q);
+        switch (tag) {
+          case Tag::Lru:
+            return static_cast<LruPolicy *>(base)->victim(set, q);
+          case Tag::Nru:
+            return static_cast<NruPolicy *>(base)->victim(set, q);
+          case Tag::Nrr:
+            return static_cast<NrrPolicy *>(base)->victim(set, q);
+          case Tag::Random:
+            return static_cast<RandomPolicy *>(base)->victim(set, q);
+          case Tag::Clock:
+            return static_cast<ClockPolicy *>(base)->victim(set, q);
+          case Tag::Rrip:
+            return static_cast<RripPolicy *>(base)->victim(set, q);
+        }
+        return base->victim(set, q);
+    }
+
+  private:
+    /** Sealed concrete types (three RRIP kinds share one class). */
+    enum class Tag : std::uint8_t { Lru, Nru, Nrr, Random, Clock, Rrip };
+
+    ReplacementPolicy *base = nullptr;
+    Tag tag = Tag::Lru;
+};
+
+} // namespace rc
+
+#endif // RC_CACHE_POLICY_DISPATCH_HH

@@ -6,14 +6,69 @@
 namespace rc
 {
 
+namespace
+{
+
+/**
+ * Way-scan over a fixed-width tag lane.  At most one way can match: a
+ * set never holds duplicate tags (fill asserts non-residency) and
+ * invalid ways carry a sentinel no real tag equals, so scanning every
+ * way branch-free is equivalent to first-match — and the constant trip
+ * count lets the compiler unroll and vectorize the compares.
+ */
+template <std::uint32_t W>
+inline std::int32_t
+scanWays(const std::uint64_t *tl, std::uint64_t tag)
+{
+    std::int32_t hit = -1;
+    for (std::uint32_t w = 0; w < W; ++w) {
+        if (tl[w] == tag)
+            hit = static_cast<std::int32_t>(w);
+    }
+    return hit;
+}
+
+inline std::int32_t
+findWay(const std::uint64_t *tl, std::uint64_t tag, std::uint32_t ways)
+{
+    switch (ways) {
+      case 4: return scanWays<4>(tl, tag);
+      case 8: return scanWays<8>(tl, tag);
+      case 16: return scanWays<16>(tl, tag);
+      default:
+        for (std::uint32_t w = 0; w < ways; ++w) {
+            if (tl[w] == tag)
+                return static_cast<std::int32_t>(w);
+        }
+        return -1;
+    }
+}
+
+} // namespace
+
 TagStore::TagStore(const CacheGeometry &geometry, const std::string &name)
     : geom(geometry),
-      ways(geometry.numLines()),
+      tags(geometry.numLines(), invalidTag),
       valid(geometry.numLines(), 0),
-      repl(makeReplacement(ReplKind::LRU, geometry.numSets(),
-                           geometry.numWays()))
+      payload(geometry.numLines()),
+      stamp(geometry.numLines(), 0)
 {
     (void)name;
+}
+
+std::uint32_t
+TagStore::lruVictim(std::uint64_t set) const
+{
+    const std::uint64_t base = set * geom.numWays();
+    std::uint32_t best = 0;
+    std::uint64_t best_stamp = stamp[base];
+    for (std::uint32_t w = 1; w < geom.numWays(); ++w) {
+        if (stamp[base + w] < best_stamp) {
+            best_stamp = stamp[base + w];
+            best = w;
+        }
+    }
+    return best;
 }
 
 TagStore::Way *
@@ -22,13 +77,11 @@ TagStore::lookup(Addr line_addr)
     const std::uint64_t set = geom.setIndex(line_addr);
     const std::uint64_t tag = geom.tagOf(line_addr);
     const std::uint64_t base = set * geom.numWays();
-    for (std::uint32_t w = 0; w < geom.numWays(); ++w) {
-        if (valid[base + w] && ways[base + w].tag == tag) {
-            repl->onHit(set, w, ReplAccess{});
-            return &ways[base + w];
-        }
-    }
-    return nullptr;
+    const std::int32_t w = findWay(tags.data() + base, tag, geom.numWays());
+    if (w < 0)
+        return nullptr;
+    stamp[base + w] = ++tick;
+    return &payload[base + w];
 }
 
 const TagStore::Way *
@@ -37,11 +90,8 @@ TagStore::peek(Addr line_addr) const
     const std::uint64_t set = geom.setIndex(line_addr);
     const std::uint64_t tag = geom.tagOf(line_addr);
     const std::uint64_t base = set * geom.numWays();
-    for (std::uint32_t w = 0; w < geom.numWays(); ++w) {
-        if (valid[base + w] && ways[base + w].tag == tag)
-            return &ways[base + w];
-    }
-    return nullptr;
+    const std::int32_t w = findWay(tags.data() + base, tag, geom.numWays());
+    return w < 0 ? nullptr : &payload[base + w];
 }
 
 TagStore::Eviction
@@ -63,17 +113,17 @@ TagStore::fill(Addr line_addr, PrivState state)
 
     Eviction ev;
     if (way == geom.numWays()) {
-        way = repl->victim(set, VictimQuery{});
-        const Way &victim = ways[base + way];
+        way = lruVictim(set);
         ev.valid = true;
-        ev.lineAddr = geom.lineAddr(victim.tag, set);
-        ev.state = victim.state;
-        ev.dirty = victim.dirty;
+        ev.lineAddr = geom.lineAddr(tags[base + way], set);
+        ev.state = payload[base + way].state;
+        ev.dirty = payload[base + way].dirty;
     }
 
-    ways[base + way] = Way{geom.tagOf(line_addr), state, false};
+    tags[base + way] = geom.tagOf(line_addr);
+    payload[base + way] = Way{state, false};
     valid[base + way] = 1;
-    repl->onFill(set, way, ReplAccess{});
+    stamp[base + way] = ++tick;
     return ev;
 }
 
@@ -84,15 +134,15 @@ TagStore::invalidate(Addr line_addr)
     const std::uint64_t tag = geom.tagOf(line_addr);
     const std::uint64_t base = set * geom.numWays();
     for (std::uint32_t w = 0; w < geom.numWays(); ++w) {
-        if (valid[base + w] && ways[base + w].tag == tag) {
+        if (tags[base + w] == tag) {
             Eviction ev;
             ev.valid = true;
             ev.lineAddr = line_addr;
-            ev.state = ways[base + w].state;
-            ev.dirty = ways[base + w].dirty;
+            ev.state = payload[base + w].state;
+            ev.dirty = payload[base + w].dirty;
             valid[base + w] = 0;
-            ways[base + w] = Way{};
-            repl->onInvalidate(set, w);
+            tags[base + w] = invalidTag;
+            payload[base + w] = Way{};
             return ev;
         }
     }
@@ -116,7 +166,7 @@ TagStore::forEachResident(
         const std::uint64_t base = s * geom.numWays();
         for (std::uint32_t w = 0; w < geom.numWays(); ++w) {
             if (valid[base + w])
-                fn(geom.lineAddr(ways[base + w].tag, s), ways[base + w]);
+                fn(geom.lineAddr(tags[base + w], s), payload[base + w]);
         }
     }
 }
@@ -336,15 +386,21 @@ PrivateHierarchy::state(Addr line_addr) const
 void
 TagStore::save(Serializer &s) const
 {
-    s.putU64(ways.size());
-    for (const Way &w : ways) {
-        s.putU64(w.tag);
-        s.putU8(static_cast<std::uint8_t>(w.state));
-        s.putBool(w.dirty);
+    // Same image as the original AoS layout: interleaved per-way
+    // (tag, state, dirty) records, then the valid lane, then the LRU
+    // state in the "repl" section exactly as LruPolicy::save framed it.
+    s.putU64(payload.size());
+    for (std::uint64_t i = 0; i < payload.size(); ++i) {
+        // Invalid ways serialize a zero tag, exactly the bytes the AoS
+        // layout wrote (the in-memory sentinel is a scan-time detail).
+        s.putU64(valid[i] ? tags[i] : 0);
+        s.putU8(static_cast<std::uint8_t>(payload[i].state));
+        s.putBool(payload[i].dirty);
     }
     saveVec(s, valid);
     s.beginSection("repl");
-    repl->save(s);
+    s.putU64(tick);
+    saveVec(s, stamp);
     s.endSection();
 }
 
@@ -352,19 +408,24 @@ void
 TagStore::restore(Deserializer &d)
 {
     const std::uint64_t count = d.getU64();
-    if (count != ways.size())
+    if (count != payload.size())
         throwSimError(SimError::Kind::Snapshot,
                       "tag store holds %zu ways but the checkpoint "
-                      "carries %llu", ways.size(),
+                      "carries %llu", payload.size(),
                       static_cast<unsigned long long>(count));
-    for (Way &w : ways) {
-        w.tag = d.getU64();
-        w.state = static_cast<PrivState>(d.getU8());
-        w.dirty = d.getBool();
+    for (std::uint64_t i = 0; i < payload.size(); ++i) {
+        tags[i] = d.getU64();
+        payload[i].state = static_cast<PrivState>(d.getU8());
+        payload[i].dirty = d.getBool();
     }
     restoreVec(d, valid, "tag-store valid bits");
+    for (std::uint64_t i = 0; i < payload.size(); ++i) {
+        if (!valid[i])
+            tags[i] = invalidTag;
+    }
     d.beginSection("repl");
-    repl->restore(d);
+    tick = d.getU64();
+    restoreVec(d, stamp, "LRU stamps");
     d.endSection();
 }
 

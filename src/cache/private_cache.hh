@@ -19,7 +19,6 @@
 
 #include "cache/geometry.hh"
 #include "cache/line.hh"
-#include "cache/replacement.hh"
 #include "coherence/protocol.hh"
 #include "common/stats.hh"
 #include "common/types.hh"
@@ -41,14 +40,23 @@ struct PrivateConfig
 /**
  * Simple set-associative tag store with LRU replacement; payload is the
  * MSI state plus a dirty bit (only used by the L2 instance).
+ *
+ * Storage is structure-of-arrays: the way-scan in lookup()/peek()
+ * compares a contiguous tag lane and only touches the payload on a hit.
+ * Invalid ways hold a sentinel tag no 40-bit address can produce, so
+ * the scan is a single compare per way with no validity load; the
+ * validity lane still exists for fills, counting and serialization
+ * (snapshots store 0 for invalid slots, exactly as the AoS layout did).
+ * The LRU stamps live inline as another lane rather than behind a
+ * ReplacementPolicy — the policy is fixed, and the serialized image
+ * keeps the exact framing the old LruPolicy member produced.
  */
 class TagStore
 {
   public:
-    /** One resident line. */
+    /** Payload of one resident line (the tag lives in the tag lane). */
     struct Way
     {
-        std::uint64_t tag = 0;
         PrivState state = PrivState::I;
         bool dirty = false;
     };
@@ -101,10 +109,18 @@ class TagStore
     void restore(Deserializer &d);
 
   private:
+    /** Tag-lane value of an invalid way (beyond any 40-bit address). */
+    static constexpr std::uint64_t invalidTag = ~std::uint64_t{0};
+
+    /** LRU victim: first way carrying the strictly smallest stamp. */
+    std::uint32_t lruVictim(std::uint64_t set) const;
+
     CacheGeometry geom;
-    std::vector<Way> ways;
-    std::vector<std::uint8_t> valid;
-    std::unique_ptr<ReplacementPolicy> repl;
+    std::vector<std::uint64_t> tags;    //!< tag lane (the scan key)
+    std::vector<std::uint8_t> valid;    //!< validity lane
+    std::vector<Way> payload;           //!< state + dirty per way
+    std::vector<std::uint64_t> stamp;   //!< LRU stamp lane
+    std::uint64_t tick = 0;             //!< monotonic LRU clock
 };
 
 /** What the private hierarchy needs from the outside world for a miss. */

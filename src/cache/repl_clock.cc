@@ -12,39 +12,8 @@ ClockPolicy::ClockPolicy(std::uint64_t num_sets, std::uint32_t num_ways)
 {
 }
 
-void
-ClockPolicy::onFill(std::uint64_t set, std::uint32_t way,
-                    const ReplAccess &ctx)
-{
-    (void)ctx;
-    ref[set * ways + way] = 1;
-}
 
-void
-ClockPolicy::onHit(std::uint64_t set, std::uint32_t way,
-                   const ReplAccess &ctx)
-{
-    (void)ctx;
-    ref[set * ways + way] = 1;
-}
 
-std::uint32_t
-ClockPolicy::victim(std::uint64_t set, const VictimQuery &q)
-{
-    (void)q;
-    const std::uint64_t base = set * ways;
-    std::uint32_t &hand = hands[set];
-    // Second chance: sweep forward clearing reference bits; the first
-    // line found with a clear bit is the victim.  Bounded by 2*ways.
-    for (std::uint32_t step = 0; step < 2 * ways; ++step) {
-        const std::uint32_t w = hand;
-        hand = (hand + 1) % ways;
-        if (!ref[base + w])
-            return w;
-        ref[base + w] = 0;
-    }
-    return hand;
-}
 
 std::uint32_t
 ClockPolicy::hand(std::uint64_t set) const

@@ -13,36 +13,8 @@ LruPolicy::LruPolicy(std::uint64_t num_sets, std::uint32_t num_ways)
 {
 }
 
-void
-LruPolicy::onFill(std::uint64_t set, std::uint32_t way, const ReplAccess &ctx)
-{
-    // insertLru places the line at the bottom of the recency stack: it
-    // will be the next victim unless it is referenced first.
-    stamp[set * ways + way] = ctx.insertLru ? 0 : ++tick;
-}
 
-void
-LruPolicy::onHit(std::uint64_t set, std::uint32_t way, const ReplAccess &ctx)
-{
-    (void)ctx;
-    stamp[set * ways + way] = ++tick;
-}
 
-std::uint32_t
-LruPolicy::victim(std::uint64_t set, const VictimQuery &q)
-{
-    (void)q;
-    const std::uint64_t base = set * ways;
-    std::uint32_t best = 0;
-    std::uint64_t best_stamp = stamp[base];
-    for (std::uint32_t w = 1; w < ways; ++w) {
-        if (stamp[base + w] < best_stamp) {
-            best_stamp = stamp[base + w];
-            best = w;
-        }
-    }
-    return best;
-}
 
 bool
 LruPolicy::metadataSane(std::string *why) const

@@ -16,76 +16,8 @@ NrrPolicy::NrrPolicy(std::uint64_t num_sets, std::uint32_t num_ways,
     RC_ASSERT(num_ways <= 64, "NRR avoid mask supports at most 64 ways");
 }
 
-void
-NrrPolicy::onFill(std::uint64_t set, std::uint32_t way, const ReplAccess &ctx)
-{
-    (void)ctx;
-    // Freshly loaded lines have not been reused yet.
-    nrr[set * ways + way] = 1;
-}
 
-void
-NrrPolicy::onHit(std::uint64_t set, std::uint32_t way, const ReplAccess &ctx)
-{
-    (void)ctx;
-    // A hit at this level is a reuse.
-    nrr[set * ways + way] = 0;
-}
 
-std::uint32_t
-NrrPolicy::victim(std::uint64_t set, const VictimQuery &q)
-{
-    const std::uint64_t base = set * ways;
-
-    auto pick_random = [this](std::uint64_t mask) -> std::int32_t {
-        const auto count = static_cast<std::uint32_t>(
-            __builtin_popcountll(mask));
-        if (count == 0)
-            return -1;
-        std::uint32_t skip = static_cast<std::uint32_t>(rng.below(count));
-        for (std::uint32_t w = 0; w < ways; ++w) {
-            if (mask & (std::uint64_t{1} << w)) {
-                if (skip == 0)
-                    return static_cast<std::int32_t>(w);
-                --skip;
-            }
-        }
-        return -1;
-    };
-
-    auto nrr_mask = [this, base]() {
-        std::uint64_t m = 0;
-        for (std::uint32_t w = 0; w < ways; ++w) {
-            if (nrr[base + w])
-                m |= std::uint64_t{1} << w;
-        }
-        return m;
-    };
-
-    const std::uint64_t all =
-        ways >= 64 ? ~std::uint64_t{0} : (std::uint64_t{1} << ways) - 1;
-    const std::uint64_t not_present = all & ~q.avoidMask;
-
-    std::uint64_t candidates = nrr_mask();
-    if (candidates == 0) {
-        // Every line was recently reused: age the whole set (NRU-style)
-        // so the "not recently" distinction regains meaning.
-        for (std::uint32_t w = 0; w < ways; ++w)
-            nrr[base + w] = 1;
-        candidates = all;
-    }
-
-    // Preference order: (1) not recently reused and absent from the
-    // private caches, (2) any line absent from the private caches,
-    // (3) fully random.  (2) protects inclusion victims over reuse bits.
-    if (auto v = pick_random(candidates & not_present); v >= 0)
-        return static_cast<std::uint32_t>(v);
-    if (auto v = pick_random(not_present); v >= 0)
-        return static_cast<std::uint32_t>(v);
-    if (auto v = pick_random(candidates); v >= 0)
-        return static_cast<std::uint32_t>(v);
-    return static_cast<std::uint32_t>(rng.below(ways));
-}
 
 bool
 NrrPolicy::metadataSane(std::string *why) const

@@ -13,48 +13,9 @@ NruPolicy::NruPolicy(std::uint64_t num_sets, std::uint32_t num_ways)
 {
 }
 
-void
-NruPolicy::markUsed(std::uint64_t set, std::uint32_t way)
-{
-    const std::uint64_t base = set * ways;
-    used[base + way] = 1;
-    // Classic NRU aging: once every bit in the set would be 1, clear all
-    // the others so a victim candidate always exists.
-    for (std::uint32_t w = 0; w < ways; ++w) {
-        if (!used[base + w])
-            return;
-    }
-    for (std::uint32_t w = 0; w < ways; ++w)
-        used[base + w] = w == way ? 1 : 0;
-}
 
-void
-NruPolicy::onFill(std::uint64_t set, std::uint32_t way, const ReplAccess &ctx)
-{
-    (void)ctx;
-    markUsed(set, way);
-}
 
-void
-NruPolicy::onHit(std::uint64_t set, std::uint32_t way, const ReplAccess &ctx)
-{
-    (void)ctx;
-    markUsed(set, way);
-}
 
-std::uint32_t
-NruPolicy::victim(std::uint64_t set, const VictimQuery &q)
-{
-    (void)q;
-    const std::uint64_t base = set * ways;
-    for (std::uint32_t w = 0; w < ways; ++w) {
-        if (!used[base + w])
-            return w;
-    }
-    // Unreachable if markUsed maintained its invariant, but stay safe for
-    // sets that never saw a fill.
-    return 0;
-}
 
 bool
 NruPolicy::usedBit(std::uint64_t set, std::uint32_t way) const

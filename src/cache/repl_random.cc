@@ -12,31 +12,8 @@ RandomPolicy::RandomPolicy(std::uint64_t num_sets, std::uint32_t num_ways,
 {
 }
 
-void
-RandomPolicy::onFill(std::uint64_t set, std::uint32_t way,
-                     const ReplAccess &ctx)
-{
-    (void)set;
-    (void)way;
-    (void)ctx;
-}
 
-void
-RandomPolicy::onHit(std::uint64_t set, std::uint32_t way,
-                    const ReplAccess &ctx)
-{
-    (void)set;
-    (void)way;
-    (void)ctx;
-}
 
-std::uint32_t
-RandomPolicy::victim(std::uint64_t set, const VictimQuery &q)
-{
-    (void)set;
-    (void)q;
-    return static_cast<std::uint32_t>(rng.below(ways));
-}
 
 void
 RandomPolicy::save(Serializer &s) const

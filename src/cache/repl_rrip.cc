@@ -20,68 +20,10 @@ RripPolicy::RripPolicy(std::uint64_t num_sets, std::uint32_t num_ways,
     RC_ASSERT(rrpv_bits >= 1 && rrpv_bits <= 8, "unreasonable RRPV width");
 }
 
-bool
-RripPolicy::useBrrip(std::uint64_t set, CoreId core)
-{
-    switch (mode) {
-      case Mode::SRRIP:
-        return false;
-      case Mode::BRRIP:
-        return true;
-      case Mode::DRRIP:
-        return duel.chooseB(set, core);
-    }
-    return false;
-}
 
-void
-RripPolicy::onFill(std::uint64_t set, std::uint32_t way,
-                   const ReplAccess &ctx)
-{
-    if (mode == Mode::DRRIP && ctx.isMiss)
-        duel.onMiss(set, ctx.core);
 
-    std::uint8_t insert;
-    if (useBrrip(set, ctx.core)) {
-        // BRRIP: distant re-reference, occasionally long.
-        insert = rng.below(brripEpsilonInv) == 0
-            ? static_cast<std::uint8_t>(maxRrpv - 1)
-            : static_cast<std::uint8_t>(maxRrpv);
-    } else {
-        // SRRIP-HP: long re-reference interval.
-        insert = static_cast<std::uint8_t>(maxRrpv - 1);
-    }
-    rrpvs[set * ways + way] = insert;
-}
 
-void
-RripPolicy::onHit(std::uint64_t set, std::uint32_t way, const ReplAccess &ctx)
-{
-    (void)ctx;
-    // Hit promotion: near-immediate re-reference expected.
-    rrpvs[set * ways + way] = 0;
-}
 
-void
-RripPolicy::onInvalidate(std::uint64_t set, std::uint32_t way)
-{
-    rrpvs[set * ways + way] = static_cast<std::uint8_t>(maxRrpv);
-}
-
-std::uint32_t
-RripPolicy::victim(std::uint64_t set, const VictimQuery &q)
-{
-    (void)q;
-    const std::uint64_t base = set * ways;
-    for (;;) {
-        for (std::uint32_t w = 0; w < ways; ++w) {
-            if (rrpvs[base + w] >= maxRrpv)
-                return w;
-        }
-        for (std::uint32_t w = 0; w < ways; ++w)
-            ++rrpvs[base + w];
-    }
-}
 
 std::uint32_t
 RripPolicy::rrpv(std::uint64_t set, std::uint32_t way) const

@@ -1,11 +1,23 @@
 #include "cache/replacement.hh"
 
 #include "cache/policies.hh"
+#include "cache/policy_dispatch.hh"
 #include "common/log.hh"
 #include "snapshot/serializer.hh"
 
 namespace rc
 {
+
+namespace detail
+{
+bool forceVirtualReplDispatch = false;
+} // namespace detail
+
+void
+setForceVirtualReplDispatch(bool enable)
+{
+    detail::forceVirtualReplDispatch = enable;
+}
 
 void
 ReplacementPolicy::save(Serializer &s) const

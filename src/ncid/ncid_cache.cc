@@ -242,7 +242,7 @@ NcidCache::request(const LlcRequest &req)
         evictTag(set, way, req.now);
 
     ReuseTagArray::Entry &e = tags.at(set, way);
-    e.tag = tags.geometry().tagOf(line);
+    tags.setTag(set, way, line);
     e.state = res.next;
     e.dir.clear();
     e.enteredData = false;

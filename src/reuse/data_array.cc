@@ -9,9 +9,11 @@ namespace rc
 ReuseDataArray::ReuseDataArray(const CacheGeometry &geometry, ReplKind kind,
                                std::uint64_t seed)
     : geom(geometry),
+      validLane(geometry.numLines(), 0),
       entries(geometry.numLines()),
       repl(makeReplacement(kind, geometry.numSets(), geometry.numWays(),
-                           1, seed))
+                           1, seed)),
+      fast(repl.get(), kind)
 {
 }
 
@@ -19,14 +21,15 @@ std::uint32_t
 ReuseDataArray::allocateWay(std::uint64_t set, bool &needs_eviction)
 {
     const std::uint64_t base = set * geom.numWays();
+    const std::uint8_t *vl = validLane.data() + base;
     for (std::uint32_t w = 0; w < geom.numWays(); ++w) {
-        if (!entries[base + w].valid) {
+        if (!vl[w]) {
             needs_eviction = false;
             return w;
         }
     }
     needs_eviction = true;
-    const std::uint32_t w = repl->victim(set, VictimQuery{});
+    const std::uint32_t w = fast.victim(set, VictimQuery{});
     RC_ASSERT(w < geom.numWays(), "victim way out of range");
     return w;
 }
@@ -35,27 +38,28 @@ void
 ReuseDataArray::fill(std::uint64_t set, std::uint32_t way,
                      std::uint64_t tag_set, std::uint32_t tag_way)
 {
-    Entry &e = entries[set * geom.numWays() + way];
-    RC_ASSERT(!e.valid, "filling an occupied data entry");
-    e.valid = true;
-    e.tagSet = tag_set;
-    e.tagWay = tag_way;
-    repl->onFill(set, way, ReplAccess{});
+    const std::uint64_t idx = set * geom.numWays() + way;
+    RC_ASSERT(!validLane[idx], "filling an occupied data entry");
+    validLane[idx] = 1;
+    entries[idx].tagSet = tag_set;
+    entries[idx].tagWay = tag_way;
+    fast.onFill(set, way, ReplAccess{});
 }
 
 void
 ReuseDataArray::touchHit(std::uint64_t set, std::uint32_t way)
 {
-    repl->onHit(set, way, ReplAccess{});
+    fast.onHit(set, way, ReplAccess{});
 }
 
 void
 ReuseDataArray::invalidate(std::uint64_t set, std::uint32_t way)
 {
-    Entry &e = entries[set * geom.numWays() + way];
-    RC_ASSERT(e.valid, "invalidating an empty data entry");
-    e = Entry{};
-    repl->onInvalidate(set, way);
+    const std::uint64_t idx = set * geom.numWays() + way;
+    RC_ASSERT(validLane[idx], "invalidating an empty data entry");
+    validLane[idx] = 0;
+    entries[idx] = Entry{};
+    fast.onInvalidate(set, way);
 }
 
 const ReuseDataArray::Entry &
@@ -64,18 +68,18 @@ ReuseDataArray::at(std::uint64_t set, std::uint32_t way) const
     return entries[set * geom.numWays() + way];
 }
 
-ReuseDataArray::Entry &
-ReuseDataArray::atMut(std::uint64_t set, std::uint32_t way)
+bool
+ReuseDataArray::validAt(std::uint64_t set, std::uint32_t way) const
 {
-    return entries[set * geom.numWays() + way];
+    return validLane[set * geom.numWays() + way] != 0;
 }
 
 std::uint64_t
 ReuseDataArray::residentCount() const
 {
     std::uint64_t n = 0;
-    for (const auto &e : entries)
-        n += e.valid;
+    for (auto v : validLane)
+        n += v;
     return n;
 }
 
@@ -83,10 +87,10 @@ void
 ReuseDataArray::save(Serializer &s) const
 {
     s.putU64(entries.size());
-    for (const Entry &e : entries) {
-        s.putBool(e.valid);
-        s.putU64(e.tagSet);
-        s.putU32(e.tagWay);
+    for (std::uint64_t i = 0; i < entries.size(); ++i) {
+        s.putBool(validLane[i] != 0);
+        s.putU64(entries[i].tagSet);
+        s.putU32(entries[i].tagWay);
     }
     s.beginSection("repl");
     repl->save(s);
@@ -102,10 +106,10 @@ ReuseDataArray::restore(Deserializer &d)
                       "reuse data array holds %zu entries but the checkpoint "
                       "carries %llu",
                       entries.size(), (unsigned long long)n);
-    for (Entry &e : entries) {
-        e.valid = d.getBool();
-        e.tagSet = d.getU64();
-        e.tagWay = d.getU32();
+    for (std::uint64_t i = 0; i < entries.size(); ++i) {
+        validLane[i] = d.getBool() ? 1 : 0;
+        entries[i].tagSet = d.getU64();
+        entries[i].tagWay = d.getU32();
     }
     d.beginSection("repl");
     repl->restore(d);

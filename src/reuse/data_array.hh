@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "cache/geometry.hh"
+#include "cache/policy_dispatch.hh"
 #include "cache/replacement.hh"
 #include "common/types.hh"
 
@@ -31,10 +32,12 @@ namespace rc
 class ReuseDataArray
 {
   public:
-    /** One data entry: occupancy plus the reverse pointer. */
+    /**
+     * Reverse pointer of one data entry; occupancy lives in a separate
+     * validity lane (SoA) scanned by allocateWay(), read via validAt().
+     */
     struct Entry
     {
-        bool valid = false;
         std::uint64_t tagSet = 0;   //!< reverse pointer: tag-array set
         std::uint32_t tagWay = 0;   //!< reverse pointer: tag-array way
     };
@@ -74,8 +77,8 @@ class ReuseDataArray
     /** Entry at (set, way). */
     const Entry &at(std::uint64_t set, std::uint32_t way) const;
 
-    /** Fault-injection hook: mutable entry at (set, way). */
-    Entry &atMut(std::uint64_t set, std::uint32_t way);
+    /** Occupancy of (set, way). */
+    bool validAt(std::uint64_t set, std::uint32_t way) const;
 
     /** Number of valid entries (tests). */
     std::uint64_t residentCount() const;
@@ -97,8 +100,10 @@ class ReuseDataArray
 
   private:
     CacheGeometry geom;
+    std::vector<std::uint8_t> validLane; //!< occupancy lane (scan key)
     std::vector<Entry> entries;
     std::unique_ptr<ReplacementPolicy> repl;
+    PolicyRef fast; //!< devirtualized view of *repl for the hot path
 };
 
 } // namespace rc

@@ -296,7 +296,7 @@ ReuseCache::request(const LlcRequest &req)
             evictTag(set, way, req.now);
 
         ReuseTagArray::Entry &e = tags.at(set, way);
-        e.tag = tags.geometry().tagOf(line);
+        tags.setTag(set, way, line);
         e.state = res.next; // TO (S with a predicted fill)
         e.dir.clear();
         e.enteredData = false;
@@ -431,7 +431,7 @@ ReuseCache::checkInvariants() const
                      SimError::Kind::Integrity,
                      "forward pointer out of range");
             const ReuseDataArray::Entry &d = data.at(ds, e.fwdWay);
-            RC_CHECK(d.valid, SimError::Kind::Integrity,
+            RC_CHECK(data.validAt(ds, e.fwdWay), SimError::Kind::Integrity,
                      "forward pointer to an empty data entry");
             RC_CHECK(d.tagSet == s && d.tagWay == w,
                      SimError::Kind::Integrity,
@@ -443,7 +443,7 @@ ReuseCache::checkInvariants() const
     for (std::uint64_t s = 0; s < dg.numSets(); ++s) {
         for (std::uint32_t w = 0; w < dg.numWays(); ++w) {
             const ReuseDataArray::Entry &d = data.at(s, w);
-            if (!d.valid)
+            if (!data.validAt(s, w))
                 continue;
             ++valid_data;
             const ReuseTagArray::Entry &e = tags.at(d.tagSet, d.tagWay);

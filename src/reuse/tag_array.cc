@@ -9,9 +9,11 @@ namespace rc
 ReuseTagArray::ReuseTagArray(const CacheGeometry &geometry, ReplKind kind,
                              std::uint32_t num_cores, std::uint64_t seed)
     : geom(geometry),
+      tagLane(geometry.numLines(), 0),
       entries(geometry.numLines()),
       repl(makeReplacement(kind, geometry.numSets(), geometry.numWays(),
-                           num_cores, seed))
+                           num_cores, seed)),
+      fast(repl.get(), kind)
 {
 }
 
@@ -21,14 +23,20 @@ ReuseTagArray::find(Addr line_addr, std::uint32_t &way_out)
     const std::uint64_t set = geom.setIndex(line_addr);
     const std::uint64_t tag = geom.tagOf(line_addr);
     const std::uint64_t base = set * geom.numWays();
+    const std::uint64_t *tl = tagLane.data() + base;
     for (std::uint32_t w = 0; w < geom.numWays(); ++w) {
-        Entry &e = entries[base + w];
-        if (e.state != LlcState::I && e.tag == tag) {
+        if (tl[w] == tag && entries[base + w].state != LlcState::I) {
             way_out = w;
-            return &e;
+            return &entries[base + w];
         }
     }
     return nullptr;
+}
+
+void
+ReuseTagArray::setTag(std::uint64_t set, std::uint32_t way, Addr line_addr)
+{
+    tagLane[set * geom.numWays() + way] = geom.tagOf(line_addr);
 }
 
 ReuseTagArray::Entry &
@@ -46,14 +54,14 @@ ReuseTagArray::at(std::uint64_t set, std::uint32_t way) const
 void
 ReuseTagArray::touchHit(std::uint64_t set, std::uint32_t way, CoreId core)
 {
-    repl->onHit(set, way, ReplAccess{core, false});
+    fast.onHit(set, way, ReplAccess{core, false});
 }
 
 void
 ReuseTagArray::touchFill(std::uint64_t set, std::uint32_t way, CoreId core,
                          bool insert_lru)
 {
-    repl->onFill(set, way, ReplAccess{core, true, insert_lru});
+    fast.onFill(set, way, ReplAccess{core, true, insert_lru});
 }
 
 void
@@ -65,7 +73,7 @@ ReuseTagArray::invalidate(std::uint64_t set, std::uint32_t way)
     e.enteredData = false;
     e.reused = false;
     e.predicted = false;
-    repl->onInvalidate(set, way);
+    fast.onInvalidate(set, way);
 }
 
 std::uint32_t
@@ -86,7 +94,7 @@ ReuseTagArray::allocateWay(std::uint64_t set, CoreId core,
             q.avoidMask |= std::uint64_t{1} << w;
     }
     needs_eviction = true;
-    const std::uint32_t w = repl->victim(set, q);
+    const std::uint32_t w = fast.victim(set, q);
     RC_ASSERT(w < geom.numWays(), "victim way out of range");
     return w;
 }
@@ -96,7 +104,7 @@ ReuseTagArray::lineAddrOf(std::uint64_t set, std::uint32_t way) const
 {
     const Entry &e = entries[set * geom.numWays() + way];
     RC_ASSERT(e.state != LlcState::I, "address of an invalid entry");
-    return geom.lineAddr(e.tag, set);
+    return geom.lineAddr(tagLane[set * geom.numWays() + way], set);
 }
 
 std::uint64_t
@@ -112,8 +120,9 @@ void
 ReuseTagArray::save(Serializer &s) const
 {
     s.putU64(entries.size());
-    for (const Entry &e : entries) {
-        s.putU64(e.tag);
+    for (std::uint64_t i = 0; i < entries.size(); ++i) {
+        const Entry &e = entries[i];
+        s.putU64(tagLane[i]);
         s.putU8(static_cast<std::uint8_t>(e.state));
         e.dir.save(s);
         s.putU32(e.fwdWay);
@@ -135,8 +144,9 @@ ReuseTagArray::restore(Deserializer &d)
                       "reuse tag array holds %zu entries but the checkpoint "
                       "carries %llu",
                       entries.size(), (unsigned long long)n);
-    for (Entry &e : entries) {
-        e.tag = d.getU64();
+    for (std::uint64_t i = 0; i < entries.size(); ++i) {
+        Entry &e = entries[i];
+        tagLane[i] = d.getU64();
         e.state = static_cast<LlcState>(d.getU8());
         e.dir.restore(d);
         e.fwdWay = d.getU32();

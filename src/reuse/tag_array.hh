@@ -18,6 +18,7 @@
 
 #include "cache/geometry.hh"
 #include "cache/line.hh"
+#include "cache/policy_dispatch.hh"
 #include "cache/replacement.hh"
 #include "coherence/directory.hh"
 #include "common/types.hh"
@@ -29,10 +30,13 @@ namespace rc
 class ReuseTagArray
 {
   public:
-    /** One tag entry. */
+    /**
+     * Payload of one tag entry.  The tag itself lives in a separate
+     * contiguous lane (SoA) so find() scans packed 64-bit tags; write
+     * it through setTag().
+     */
     struct Entry
     {
-        std::uint64_t tag = 0;
         LlcState state = LlcState::I;   //!< I, TO, S or M
         DirectoryEntry dir;             //!< presence + ownership
         std::uint32_t fwdWay = 0;       //!< data-array way (S/M only)
@@ -64,6 +68,9 @@ class ReuseTagArray
 
     /** Const entry at (set, way). */
     const Entry &at(std::uint64_t set, std::uint32_t way) const;
+
+    /** Stamp (set, way)'s tag from @p line_addr (fill path). */
+    void setTag(std::uint64_t set, std::uint32_t way, Addr line_addr);
 
     /** Record a reuse (tag hit) for replacement purposes. */
     void touchHit(std::uint64_t set, std::uint32_t way, CoreId core);
@@ -111,8 +118,10 @@ class ReuseTagArray
 
   private:
     CacheGeometry geom;
+    std::vector<std::uint64_t> tagLane; //!< SoA tag lane (the scan key)
     std::vector<Entry> entries;
     std::unique_ptr<ReplacementPolicy> repl;
+    PolicyRef fast; //!< devirtualized view of *repl for the hot path
 };
 
 } // namespace rc

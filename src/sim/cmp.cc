@@ -137,13 +137,56 @@ void
 Cmp::run(Cycle cycles)
 {
     const Cycle end = horizon + cycles;
-    for (;;) {
-        Core *next = nullptr;
-        for (auto &c : cores) {
-            if (!next || c->readyAt() < next->readyAt())
-                next = c.get();
+    if (cores.empty()) {
+        horizon = end;
+        return;
+    }
+
+    // Flat mirror of each core's ready time: the per-reference min-scan
+    // walks one contiguous array instead of chasing a unique_ptr per
+    // core.  Rebuilt on entry (restore() may have moved the cores) and
+    // maintained after every step; stepCore only ever changes the
+    // stepped core's ready time.
+    const std::uint32_t n = static_cast<std::uint32_t>(cores.size());
+    readyCache.resize(n);
+    for (std::uint32_t i = 0; i < n; ++i)
+        readyCache[i] = cores[i]->readyAt();
+
+    // Hook-free fast path: identical scheduling (first core carrying
+    // the strictly smallest ready time wins), none of the per-reference
+    // hook/abort/progress checks.
+    if (sampleEvery == 0 && checkEvery == 0 && snapEvery == 0 &&
+        !abortPtr && !progressPtr) {
+        const Cycle *rc_begin = readyCache.data();
+        for (;;) {
+            std::uint32_t idx = 0;
+            Cycle best = rc_begin[0];
+            for (std::uint32_t i = 1; i < n; ++i) {
+                if (rc_begin[i] < best) {
+                    best = rc_begin[i];
+                    idx = i;
+                }
+            }
+            if (best >= end)
+                break;
+            stepCore(*cores[idx]);
+            ++refsProcessed;
+            readyCache[idx] = cores[idx]->readyAt();
         }
-        if (!next || next->readyAt() >= end)
+        horizon = end;
+        return;
+    }
+
+    for (;;) {
+        std::uint32_t idx = 0;
+        Cycle best = readyCache[0];
+        for (std::uint32_t i = 1; i < n; ++i) {
+            if (readyCache[i] < best) {
+                best = readyCache[i];
+                idx = i;
+            }
+        }
+        if (best >= end)
             break;
         if (abortPtr && abortPtr->load(std::memory_order_relaxed)) {
             if (onAbort)
@@ -158,19 +201,21 @@ Cmp::run(Cycle cycles)
         // state of their epoch even when a long stall skips several
         // boundaries at once.
         if (sampleEvery != 0) {
-            while (sampleNext <= next->readyAt()) {
+            while (sampleNext <= best) {
                 sampleHook(*this, sampleNext);
                 sampleNext += sampleEvery;
             }
         }
-        stepCore(*next);
+        Core &next = *cores[idx];
+        stepCore(next);
         ++refsProcessed;
+        readyCache[idx] = next.readyAt();
         if (progressPtr)
             progressPtr->store(refsProcessed, std::memory_order_relaxed);
         if (checkEvery != 0 && refsProcessed % checkEvery == 0)
-            checkHook(*this, next->readyAt());
+            checkHook(*this, next.readyAt());
         if (snapEvery != 0 && refsProcessed % snapEvery == 0)
-            snapHook(*this, next->readyAt());
+            snapHook(*this, next.readyAt());
     }
     horizon = end;
 }

@@ -207,6 +207,7 @@ class Cmp : public RecallHandler
     Crossbar xbar;
     std::unique_ptr<Sllc> llcPtr;
     std::vector<std::unique_ptr<Core>> cores;
+    std::vector<Cycle> readyCache; //!< per-core ready mirror; run() only
     std::vector<std::unique_ptr<StridePrefetcher>> prefetchers;
     std::vector<Addr> prefetchScratch;
     Counter prefetchIssued = 0;

@@ -8,6 +8,7 @@ namespace rc
 Core::Core(CoreId id, const PrivateConfig &cfg, RefStream &stream)
     : coreId(id),
       streamRef(stream),
+      synth(dynamic_cast<SyntheticStream *>(&stream)),
       hierarchy(cfg, id, "core" + std::to_string(id))
 {
 }

@@ -19,6 +19,7 @@
 #include "cache/private_cache.hh"
 #include "common/stats.hh"
 #include "sim/trace.hh"
+#include "workloads/generator.hh"
 
 namespace rc
 {
@@ -43,8 +44,16 @@ class Core
     /** Advance the ready time (set by the CMP after each reference). */
     void setReadyAt(Cycle c) { ready = c; }
 
-    /** Fetch the next reference from the stream. */
-    MemRef nextRef() { return streamRef.next(); }
+    /** Fetch the next reference from the stream.  The dominant stream
+     *  type is dispatched through its concrete (final) class so the
+     *  per-reference call devirtualizes; anything else falls back to
+     *  the virtual interface. */
+    MemRef nextRef()
+    {
+        if (synth)
+            return synth->next();
+        return streamRef.next();
+    }
 
     /** Account @p n retired instructions. */
     void retire(std::uint64_t n) { instrRetired += n; }
@@ -71,6 +80,7 @@ class Core
   private:
     CoreId coreId;
     RefStream &streamRef;
+    SyntheticStream *synth = nullptr; //!< devirtualized fast path
     PrivateHierarchy hierarchy;
     Cycle ready = 0;
     std::uint64_t instrRetired = 0;

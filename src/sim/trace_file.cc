@@ -14,6 +14,9 @@ namespace
 constexpr char traceMagic[8] = {'R', 'C', 'T', 'R', 'A', 'C', 'E', '1'};
 constexpr std::size_t recordBytes = 12;
 
+/** Block-buffer capacity: the largest whole-record count under 64 KiB. */
+constexpr std::size_t bufferBytes = (64 * 1024 / recordBytes) * recordBytes;
+
 void
 encode(const MemRef &ref, unsigned char out[recordBytes])
 {
@@ -52,6 +55,7 @@ TraceWriter::TraceWriter(const std::string &path)
     std::memcpy(header, traceMagic, sizeof(traceMagic));
     if (std::fwrite(header, 1, sizeof(header), file) != sizeof(header))
         fatal("cannot write trace header to '%s'", path.c_str());
+    buf.reserve(bufferBytes);
 }
 
 TraceWriter::~TraceWriter()
@@ -63,17 +67,29 @@ void
 TraceWriter::write(const MemRef &ref)
 {
     RC_ASSERT(file, "write on a closed trace");
-    unsigned char buf[recordBytes];
-    encode(ref, buf);
-    if (std::fwrite(buf, 1, recordBytes, file) != recordBytes)
-        fatal("trace write failed");
+    unsigned char rec[recordBytes];
+    encode(ref, rec);
+    buf.insert(buf.end(), rec, rec + recordBytes);
+    if (buf.size() >= bufferBytes)
+        flushBuffer();
     ++written;
+}
+
+void
+TraceWriter::flushBuffer()
+{
+    if (buf.empty())
+        return;
+    if (std::fwrite(buf.data(), 1, buf.size(), file) != buf.size())
+        fatal("trace write failed");
+    buf.clear();
 }
 
 void
 TraceWriter::close()
 {
     if (file) {
+        flushBuffer();
         std::fclose(file);
         file = nullptr;
     }
@@ -135,21 +151,36 @@ TraceReader::~TraceReader()
         std::fclose(file);
 }
 
-MemRef
-TraceReader::next()
+void
+TraceReader::refill()
 {
-    unsigned char buf[recordBytes];
-    if (std::fread(buf, 1, recordBytes, file) != recordBytes)
+    if (rbuf.empty())
+        rbuf.resize(bufferBytes);
+    const std::size_t got = std::fread(rbuf.data(), 1, bufferBytes, file);
+    // Framing was validated at open, so a refill that yields no whole
+    // record means the file shrank or tore underneath the replay.
+    if (got < recordBytes || got % recordBytes != 0)
         throwSimError(SimError::Kind::Trace,
                       "'%s' ends mid-record: short read at record %llu "
                       "(file changed during replay?)", name.c_str(),
                       static_cast<unsigned long long>(pos));
-    const MemRef ref = decode(buf);
+    bufPos = 0;
+    bufLen = got;
+}
+
+MemRef
+TraceReader::next()
+{
+    if (bufPos == bufLen)
+        refill();
+    const MemRef ref = decode(rbuf.data() + bufPos);
+    bufPos += recordBytes;
     ++pos;
     if (pos == recordCount) {
         pos = 0;
         ++wrapCount;
         std::fseek(file, 16, SEEK_SET);
+        bufPos = bufLen = 0;
     }
     return ref;
 }
@@ -159,6 +190,7 @@ TraceReader::seekToRecord(std::uint64_t n)
 {
     pos = n % recordCount;
     wrapCount = n / recordCount;
+    bufPos = bufLen = 0;
     if (std::fseek(file, static_cast<long>(16 + pos * recordBytes),
                    SEEK_SET) != 0)
         throwSimError(SimError::Kind::Trace,

@@ -38,27 +38,35 @@ class TraceWriter
     TraceWriter(const TraceWriter &) = delete;
     TraceWriter &operator=(const TraceWriter &) = delete;
 
-    /** Append one reference. */
+    /**
+     * Append one reference.  Records accumulate in a 64 KiB buffer and
+     * reach the file in blocks; the on-disk bytes are identical to
+     * per-record writes.  close() (or the destructor) flushes the tail.
+     */
     void write(const MemRef &ref);
 
-    /** References written so far. */
+    /** References written so far (buffered ones included). */
     std::uint64_t count() const { return written; }
 
     /** Flush and close; further writes are invalid. */
     void close();
 
   private:
+    void flushBuffer();
+
     std::FILE *file = nullptr;
     std::uint64_t written = 0;
+    std::vector<unsigned char> buf; //!< pending encoded records
 };
 
 /**
  * Replays a trace file as a RefStream.  The stream loops at EOF (the
  * simulator needs an infinite stream), counting wraps.
  *
- * Records are streamed from disk one at a time rather than preloaded,
- * so a restored run can seekToRecord() straight to its checkpointed
- * cursor without re-decoding the records it already consumed.
+ * Records are streamed from disk through a 64 KiB block buffer rather
+ * than preloaded, so a restored run can seekToRecord() straight to its
+ * checkpointed cursor without re-decoding the records it already
+ * consumed; any seek (explicit or the wrap at EOF) discards the buffer.
  */
 class TraceReader : public RefStream
 {
@@ -106,11 +114,17 @@ class TraceReader : public RefStream
     void restore(Deserializer &d) override;
 
   private:
+    /** Refill the block buffer from the file; throws on a short read. */
+    void refill();
+
     std::string name;
     std::FILE *file = nullptr;
     std::uint64_t recordCount = 0;
     std::uint64_t pos = 0;        //!< next record index within the file
     std::uint64_t wrapCount = 0;
+    std::vector<unsigned char> rbuf; //!< block buffer (whole records)
+    std::size_t bufPos = 0;          //!< consumed bytes within rbuf
+    std::size_t bufLen = 0;          //!< valid bytes within rbuf
 };
 
 /** Record @p count references of @p source into @p path. */

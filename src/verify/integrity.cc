@@ -115,7 +115,7 @@ IntegrityChecker::checkLlc(IntegrityReport &r) const
                 }
                 const ReuseDataArray::Entry &d =
                     data.at(data.setFor(s), e.fwdWay);
-                if (!d.valid)
+                if (!data.validAt(data.setFor(s), e.fwdWay))
                     add(r, Invariant::TagDataPointers,
                         "tag (" + std::to_string(s) + "," +
                             std::to_string(w) +
@@ -134,7 +134,7 @@ IntegrityChecker::checkLlc(IntegrityReport &r) const
         for (std::uint64_t s = 0; s < dg.numSets(); ++s) {
             for (std::uint32_t w = 0; w < dg.numWays(); ++w) {
                 const ReuseDataArray::Entry &d = data.at(s, w);
-                if (!d.valid)
+                if (!data.validAt(s, w))
                     continue;
                 ++r.dataWalked;
                 ++valid_data;

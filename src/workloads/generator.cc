@@ -105,6 +105,7 @@ SyntheticStream::SyntheticStream(const AppProfile &app, CoreId core,
             // Scatter hot ranks across the region so they spread over
             // cache sets; an odd multiplier keeps power-of-two coverage.
             st.scatter = 0x9E3779B9u | 1u;
+            buildZipfGuide(st);
         }
         comps.push_back(std::move(st));
         cumulative += c.weight;
@@ -134,6 +135,7 @@ SyntheticStream::SyntheticStream(const AppProfile &app, CoreId core,
         code_sum += 1.0 / std::pow(static_cast<double>(i + 1), 1.3);
         code.zipfCdf[i] = code_sum;
     }
+    buildZipfGuide(code);
 
     // Phase behaviour: every refsPerPhase data references the hot sets
     // relocate and the popularity rankings reshuffle.  Cores start at
@@ -177,6 +179,61 @@ SyntheticStream::advancePhase()
     reseedComponent(code, 0xc0de);
 }
 
+// The Zipf CDF inversion is the hottest per-reference operation: a
+// binary search over a region-sized array of doubles whose probes miss
+// cache.  The guide table maps equal-probability slices of [0, total)
+// to the CDF range containing them, shrinking the search to a handful
+// of adjacent elements.  It accelerates lower_bound without replacing
+// it: for any u the returned rank is exactly the rank the full-array
+// lower_bound would return, so the generated stream is bit-identical.
+// The table depends only on zipfCdf (ctor-built, never reseeded), so it
+// needs no serialization.
+void
+SyntheticStream::buildZipfGuide(CompState &comp)
+{
+    const auto &cdf = comp.zipfCdf;
+    const std::uint64_t n = cdf.size();
+    comp.zipfGuide.assign(n + 1, 0);
+    const double total = cdf.back();
+    comp.zipfGuideScale = static_cast<double>(n) / total;
+    std::uint64_t i = 0;
+    for (std::uint64_t g = 0; g <= n; ++g) {
+        const double bound =
+            total * (static_cast<double>(g) / static_cast<double>(n));
+        while (i < n && cdf[i] < bound)
+            ++i;
+        comp.zipfGuide[g] = static_cast<std::uint32_t>(i);
+    }
+}
+
+std::uint64_t
+SyntheticStream::zipfRank(const CompState &comp, double u)
+{
+    const auto &cdf = comp.zipfCdf;
+    const std::uint64_t n = cdf.size();
+    // Reciprocal multiply instead of dividing by the total: the bucket
+    // index is only a starting hint, so its rounding is non-semantic —
+    // the widening loops below restore exactness.
+    std::uint64_t g = static_cast<std::uint64_t>(u * comp.zipfGuideScale);
+    if (g >= n)
+        g = n - 1;
+    std::uint64_t lo = comp.zipfGuide[g];
+    std::uint64_t hi = comp.zipfGuide[g + 1];
+    if (hi == 0)
+        hi = 1; // the bracket must cover at least cdf[0]
+    // The bucket index suffers float rounding the guide construction
+    // does not; widen until [lo, hi) provably brackets the global
+    // lower_bound answer (first index with cdf[i] >= u).
+    while (lo > 0 && cdf[lo - 1] >= u)
+        --lo;
+    while (hi < n && cdf[hi - 1] < u)
+        ++hi;
+    const auto it = std::lower_bound(cdf.begin() + static_cast<std::ptrdiff_t>(lo),
+                                     cdf.begin() + static_cast<std::ptrdiff_t>(hi),
+                                     u);
+    return static_cast<std::uint64_t>(it - cdf.begin());
+}
+
 Addr
 SyntheticStream::genLine(CompState &comp)
 {
@@ -195,10 +252,7 @@ SyntheticStream::genLine(CompState &comp)
         break;
       case AccessPattern::Zipf: {
         const double u = rng.uniform() * comp.zipfCdf.back();
-        const auto it = std::lower_bound(comp.zipfCdf.begin(),
-                                         comp.zipfCdf.end(), u);
-        const std::uint64_t rank = static_cast<std::uint64_t>(
-            it - comp.zipfCdf.begin());
+        const std::uint64_t rank = zipfRank(comp, u);
         line = (rank * comp.scatter + comp.salt) % comp.lines;
         break;
       }

@@ -31,7 +31,7 @@ namespace rc
  * One instruction fetch is emitted per 16 retired instructions, walking
  * the profile's code region sequentially.
  */
-class SyntheticStream : public RefStream
+class SyntheticStream final : public RefStream
 {
   public:
     /**
@@ -66,10 +66,14 @@ class SyntheticStream : public RefStream
         std::uint64_t scatter = 1;        //!< rank->line multiplier (Zipf)
         std::uint64_t salt = 0;           //!< rank->line offset (Zipf)
         std::vector<double> zipfCdf;      //!< cumulative Zipf weights
+        std::vector<std::uint32_t> zipfGuide; //!< CDF search accelerator
+        double zipfGuideScale = 0.0;      //!< buckets per unit weight
         std::uint64_t universeLines = 1;  //!< Loop: relocation universe
         std::uint64_t window = 0;         //!< Loop: current window start
     };
 
+    static void buildZipfGuide(CompState &comp);
+    static std::uint64_t zipfRank(const CompState &comp, double u);
     Addr genLine(CompState &comp);
     MemRef makeDataRef();
     void advancePhase();
