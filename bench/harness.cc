@@ -8,6 +8,7 @@
 #include <cstdlib>
 #include <cerrno>
 #include <cstring>
+#include <map>
 #include <mutex>
 #include <thread>
 
@@ -16,6 +17,7 @@
 #include "common/log.hh"
 #include "common/task_pool.hh"
 #include "reuse/reuse_cache.hh"
+#include "sim/fanout.hh"
 #include "snapshot/journal.hh"
 #include "snapshot/serializer.hh"
 #include "telemetry/telemetry.hh"
@@ -1086,6 +1088,85 @@ executeRun(const SystemConfig &cfg,
     return res;
 }
 
+/**
+ * One fan-out job: simulate @p mix on every config through one shared
+ * front end.  Telemetry, integrity checking and watchdog wiring are
+ * installed per member, so each back end's artifacts and checks match
+ * an independent run's.  The heavier robustness kit (checkpoint files,
+ * resume, fault injection) is handled by the caller falling back to
+ * independent executeRun jobs — see runConfigsOverMixes().
+ */
+std::vector<RunResult>
+executeFanout(const std::vector<SystemConfig> &sys_cfgs, const Mix &mix,
+              const RunOptions &opt)
+{
+    std::vector<SystemConfig> cfgs = sys_cfgs;
+    for (SystemConfig &c : cfgs)
+        c.seed = opt.seed;
+    FanoutCmp fan(cfgs, [&mix, &opt] {
+        return buildMixStreams(mix, opt.seed, opt.scale);
+    });
+    const std::size_t n = fan.size();
+
+    // Per-member telemetry: one session per back end, tagged
+    // <runtag>-m<member> so a fan-out sweep's artifacts line up with
+    // the member order.
+    TelemetryConfig tcfg;
+    tcfg.dir = opt.telemetryDir;
+    tcfg.traceEvents = opt.traceEvents;
+    tcfg.sampleInterval = opt.sampleInterval;
+    std::vector<std::unique_ptr<TelemetrySession>> telemetry;
+    if (tcfg.enabled()) {
+        const std::string base = telemetryTag();
+        for (std::size_t j = 0; j < n; ++j) {
+            telemetry.push_back(std::make_unique<TelemetrySession>(
+                tcfg, base + "-m" + std::to_string(j)));
+            telemetry.back()->attach(fan.member(j));
+            if (EventTracer *tracer = telemetry.back()->tracer())
+                tracer->recordHost("run.attempt", 0, 0,
+                                   currentAttempt() + 1);
+        }
+    }
+
+    // Per-member integrity cadence (fan-out never injects faults, so
+    // only the explicit --check-interval applies).
+    std::vector<std::unique_ptr<IntegrityChecker>> checkers;
+    if (opt.checkInterval != 0) {
+        for (std::size_t j = 0; j < n; ++j) {
+            checkers.push_back(
+                std::make_unique<IntegrityChecker>(fan.member(j)));
+            IntegrityChecker *ck = checkers.back().get();
+            fan.member(j).setCheckHook(
+                opt.checkInterval,
+                [ck](const Cmp &, Cycle now) { ck->enforce(now); });
+        }
+    }
+
+    // Watchdog wiring: every member publishes into the run's shared
+    // heartbeat (members advance in lockstep on one thread, so any
+    // member's progress is the job's progress) and honors the abort.
+    if (const std::atomic<bool> *abort_flag = currentRunAbortFlag()) {
+        for (std::size_t j = 0; j < n; ++j) {
+            fan.member(j).setProgressCounter(currentRunHeartbeat());
+            fan.member(j).setAbortFlag(abort_flag);
+        }
+    }
+
+    fan.run(opt.warmup);
+    fan.beginMeasurement();
+    fan.run(opt.measure);
+
+    std::vector<RunResult> res;
+    res.reserve(n);
+    for (std::size_t j = 0; j < n; ++j)
+        res.push_back(collect(fan.member(j)));
+    for (std::size_t j = 0; j < telemetry.size(); ++j)
+        telemetry[j]->finalize(fan.member(j), fan.member(j).now());
+    for (std::size_t j = 0; j < checkers.size(); ++j)
+        checkers[j]->enforceQuiesce(fan.member(j).now());
+    return res;
+}
+
 } // namespace
 
 RunResult
@@ -1122,90 +1203,157 @@ runParallel(const SystemConfig &sys, const AppProfile &app,
 namespace
 {
 
+/** Field-level RunResult serialization shared by the sweep codecs. */
+void
+saveRunResult(Serializer &s, const RunResult &r)
+{
+    s.putDouble(r.aggregateIpc);
+    s.putU64(r.coreIpc.size());
+    for (double v : r.coreIpc)
+        s.putDouble(v);
+    s.putU64(r.mpki.size());
+    for (const MpkiTriple &m : r.mpki) {
+        s.putDouble(m.l1);
+        s.putDouble(m.l2);
+        s.putDouble(m.llc);
+    }
+    s.putDouble(r.fracNeverEnteredData);
+    s.putU64(r.llcAccesses);
+    s.putU64(r.llcMemFetches);
+    s.putU64(r.dramReads);
+}
+
+RunResult
+loadRunResult(Deserializer &d)
+{
+    RunResult r;
+    r.aggregateIpc = d.getDouble();
+    r.coreIpc.resize(d.getU64());
+    for (double &v : r.coreIpc)
+        v = d.getDouble();
+    r.mpki.resize(d.getU64());
+    for (MpkiTriple &m : r.mpki) {
+        m.l1 = d.getDouble();
+        m.l2 = d.getDouble();
+        m.llc = d.getDouble();
+    }
+    r.fracNeverEnteredData = d.getDouble();
+    r.llcAccesses = d.getU64();
+    r.llcMemFetches = d.getU64();
+    r.dramReads = d.getU64();
+    return r;
+}
+
 /**
- * Codec persisting finished RunResults so --resume can skip completed
- * runs without re-simulating them (the journal's digest guards the
- * blob against mixing results from different sweeps).
+ * In-process memo of finished RunResults keyed by (config, mix,
+ * deterministic run options): benches re-running the same baseline for
+ * several comparisons reuse the simulated results.  Keys are explicit
+ * field enumerations — equal keys imply equal simulations, and a
+ * spurious mismatch only costs a re-run, never a wrong reuse.
  */
-ResultCodec
-runResultCodec(std::vector<RunResult> &results)
+struct RunMemo
 {
-    ResultCodec codec;
-    codec.save = [&results](std::size_t i, Serializer &s) {
-        const RunResult &r = results[i];
-        s.putDouble(r.aggregateIpc);
-        s.putU64(r.coreIpc.size());
-        for (double v : r.coreIpc)
-            s.putDouble(v);
-        s.putU64(r.mpki.size());
-        for (const MpkiTriple &m : r.mpki) {
-            s.putDouble(m.l1);
-            s.putDouble(m.l2);
-            s.putDouble(m.llc);
-        }
-        s.putDouble(r.fracNeverEnteredData);
-        s.putU64(r.llcAccesses);
-        s.putU64(r.llcMemFetches);
-        s.putU64(r.dramReads);
-    };
-    codec.load = [&results](std::size_t i, Deserializer &d) {
-        RunResult r;
-        r.aggregateIpc = d.getDouble();
-        r.coreIpc.resize(d.getU64());
-        for (double &v : r.coreIpc)
-            v = d.getDouble();
-        r.mpki.resize(d.getU64());
-        for (MpkiTriple &m : r.mpki) {
-            m.l1 = d.getDouble();
-            m.l2 = d.getDouble();
-            m.llc = d.getDouble();
-        }
-        r.fracNeverEnteredData = d.getDouble();
-        r.llcAccesses = d.getU64();
-        r.llcMemFetches = d.getU64();
-        r.dramReads = d.getU64();
-        results[i] = r;
-    };
-    return codec;
+    std::mutex mu;
+    std::map<std::string, RunResult> map;
+};
+
+RunMemo &
+runMemo()
+{
+    static RunMemo m;
+    return m;
 }
 
-} // namespace
-
-std::vector<RunResult>
-runBaselineOverMixes(const SystemConfig &baseline,
-                     const std::vector<Mix> &mixes, const RunOptions &opt)
+/** Memoization is sound only for plain in-memory sweeps: journaling,
+ *  resume and the failure-injection hooks all change what a "result"
+ *  means for a given key. */
+bool
+memoizable(const RunOptions &opt)
 {
-    std::vector<RunResult> results(mixes.size());
-    const ResultCodec codec = runResultCodec(results);
-    forEachRun(mixes.size(), opt, [&](std::size_t i) {
-        results[i] = runMix(baseline, mixes[i], opt);
-    }, &codec);
-    return results;
+    return opt.sweepDir.empty() && !opt.resume &&
+           opt.injectFault.empty() && opt.crashAfterRefs == 0 &&
+           opt.livelockRun == SIZE_MAX;
 }
 
+/**
+ * The options that shape a run's numbers.  The job count is included
+ * deliberately even though results are jobs-invariant: the determinism
+ * tests re-run sweeps across job counts to PROVE that invariance, and a
+ * memo hit would short-circuit exactly the property under test.
+ */
+std::string
+optMemoKey(const RunOptions &opt)
+{
+    char buf[160];
+    std::snprintf(buf, sizeof(buf), "seed=%llu;scale=%u;w=%llu;m=%llu;j=%u",
+                  static_cast<unsigned long long>(opt.seed), opt.scale,
+                  static_cast<unsigned long long>(opt.warmup),
+                  static_cast<unsigned long long>(opt.measure),
+                  effectiveJobs(opt));
+    return buf;
+}
+
+/** Every SystemConfig field, including the inactive SLLC sub-configs
+ *  (spurious misses are safe; omissions are not). */
+std::string
+configMemoKey(const SystemConfig &c)
+{
+    char buf[768];
+    std::snprintf(
+        buf, sizeof(buf),
+        "cores=%u;priv=%llu,%u,%llu,%llu,%u,%llu;"
+        "pf=%d,%u,%u,%u,%u;xbar=%u,%llu,%llu,%u;"
+        "mem=%u,%u,%u,%llu,%llu,%llu,%llu,%llu;"
+        "kind=%u;conv=%llu,%u,%u,%u,%llu,%llu,%llu;"
+        "reuse=%llu,%u,%llu,%u,%u,%u,%u,%llu,%llu,%llu;"
+        "ncid=%llu,%u,%llu,%u,%llu,%llu,%llu,%.17g;"
+        "seed=%llu;cap=%u",
+        c.numCores, static_cast<unsigned long long>(c.priv.l1Bytes),
+        c.priv.l1Ways, static_cast<unsigned long long>(c.priv.l1Latency),
+        static_cast<unsigned long long>(c.priv.l2Bytes), c.priv.l2Ways,
+        static_cast<unsigned long long>(c.priv.l2Latency),
+        c.prefetch.enable ? 1 : 0, c.prefetch.degree,
+        c.prefetch.tableEntries, c.prefetch.regionShift,
+        c.prefetch.minConfidence, c.xbar.numBanks,
+        static_cast<unsigned long long>(c.xbar.linkLatency),
+        static_cast<unsigned long long>(c.xbar.bankOccupancy),
+        c.xbar.mshrPerBank, c.memory.numChannels, c.memory.dram.numBanks,
+        c.memory.dram.pageBytes,
+        static_cast<unsigned long long>(c.memory.dram.rowMissLatency),
+        static_cast<unsigned long long>(c.memory.dram.rowHitLatency),
+        static_cast<unsigned long long>(c.memory.dram.rowConflictExtra),
+        static_cast<unsigned long long>(c.memory.dram.busCyclesPerLine),
+        static_cast<unsigned long long>(c.memory.dram.bankOccupancy),
+        static_cast<unsigned>(c.llcKind),
+        static_cast<unsigned long long>(c.conv.capacityBytes), c.conv.ways,
+        static_cast<unsigned>(c.conv.repl), c.conv.numCores,
+        static_cast<unsigned long long>(c.conv.tagLatency),
+        static_cast<unsigned long long>(c.conv.dataLatency),
+        static_cast<unsigned long long>(c.conv.interventionLatency),
+        static_cast<unsigned long long>(c.reuse.tagEquivBytes),
+        c.reuse.tagWays, static_cast<unsigned long long>(c.reuse.dataBytes),
+        c.reuse.dataWays, static_cast<unsigned>(c.reuse.tagRepl),
+        static_cast<unsigned>(c.reuse.dataRepl), c.reuse.numCores,
+        static_cast<unsigned long long>(c.reuse.tagLatency),
+        static_cast<unsigned long long>(c.reuse.dataLatency),
+        static_cast<unsigned long long>(c.reuse.interventionLatency),
+        static_cast<unsigned long long>(c.ncid.tagEquivBytes),
+        c.ncid.tagWays, static_cast<unsigned long long>(c.ncid.dataBytes),
+        c.ncid.numCores,
+        static_cast<unsigned long long>(c.ncid.tagLatency),
+        static_cast<unsigned long long>(c.ncid.dataLatency),
+        static_cast<unsigned long long>(c.ncid.interventionLatency),
+        c.ncid.selectiveFillRate,
+        static_cast<unsigned long long>(c.seed), c.capacityScale);
+    return buf;
+}
+
+/** Summary statistics over the filled per-mix ratio vector. */
 SpeedupSummary
-compareAgainst(const SystemConfig &sys, const std::vector<Mix> &mixes,
-               const std::vector<RunResult> &baseline,
-               const RunOptions &opt)
+summarize(std::vector<double> per_mix)
 {
-    RC_ASSERT(mixes.size() == baseline.size(),
-              "baseline results do not match the mix list");
     SpeedupSummary s;
-    s.perMix.assign(mixes.size(), 0.0);
-    ResultCodec codec;
-    codec.save = [&s](std::size_t i, Serializer &ser) {
-        ser.putDouble(s.perMix[i]);
-    };
-    codec.load = [&s](std::size_t i, Deserializer &d) {
-        s.perMix[i] = d.getDouble();
-    };
-    forEachRun(mixes.size(), opt, [&](std::size_t i) {
-        const RunResult r = runMix(sys, mixes[i], opt);
-        s.perMix[i] = speedupRatio(r.aggregateIpc,
-                                   baseline[i].aggregateIpc);
-    }, &codec);
-    // One pass over the filled vector: seed min/max from the first
-    // element instead of pre-initializing them ahead of the loop.
+    s.perMix = std::move(per_mix);
     double sum = 0.0;
     for (std::size_t i = 0; i < s.perMix.size(); ++i) {
         const double v = s.perMix[i];
@@ -1222,12 +1370,206 @@ compareAgainst(const SystemConfig &sys, const std::vector<Mix> &mixes,
     return s;
 }
 
+} // namespace
+
+std::vector<RunResult>
+runMixFanout(const std::vector<SystemConfig> &cfgs, const Mix &mix,
+             const RunOptions &opt)
+{
+    RC_ASSERT(!cfgs.empty(), "runMixFanout needs at least one config");
+    return executeFanout(cfgs, mix, opt);
+}
+
+std::vector<std::vector<RunResult>>
+runConfigsOverMixes(const std::vector<SystemConfig> &cfgs,
+                    const std::vector<Mix> &mixes, const RunOptions &opt)
+{
+    std::vector<std::vector<RunResult>> results(
+        cfgs.size(), std::vector<RunResult>(mixes.size()));
+    if (cfgs.empty() || mixes.empty())
+        return results;
+
+    // Memo lookup: cells simulated earlier in this process (same
+    // config, mix and deterministic options) are filled directly and
+    // excluded from the job list.
+    const bool memo = memoizable(opt);
+    std::vector<std::string> cellKeys;
+    std::vector<std::vector<char>> have(
+        cfgs.size(), std::vector<char>(mixes.size(), 0));
+    if (memo) {
+        cellKeys.resize(cfgs.size() * mixes.size());
+        const std::string optKey = optMemoKey(opt);
+        std::vector<std::string> mixKeys(mixes.size());
+        for (std::size_t m = 0; m < mixes.size(); ++m)
+            mixKeys[m] = mixes[m].label();
+        RunMemo &cache = runMemo();
+        std::lock_guard<std::mutex> lock(cache.mu);
+        for (std::size_t i = 0; i < cfgs.size(); ++i) {
+            const std::string cfgKey = configMemoKey(cfgs[i]);
+            for (std::size_t m = 0; m < mixes.size(); ++m) {
+                std::string &key = cellKeys[i * mixes.size() + m];
+                key = cfgKey + "|" + mixKeys[m] + "|" + optKey;
+                const auto it = cache.map.find(key);
+                if (it != cache.map.end()) {
+                    results[i][m] = it->second;
+                    have[i][m] = 1;
+                }
+            }
+        }
+    }
+
+    // Group configs by the front-end-invariant prefix, preserving
+    // first-appearance order so job numbering is stable across
+    // relaunches of the same bench.
+    std::vector<std::vector<std::size_t>> groups;
+    for (std::size_t i = 0; i < cfgs.size(); ++i) {
+        bool placed = false;
+        for (std::vector<std::size_t> &g : groups) {
+            if (FanoutCmp::samePrivatePrefix(cfgs[g.front()], cfgs[i])) {
+                g.push_back(i);
+                placed = true;
+                break;
+            }
+        }
+        if (!placed)
+            groups.push_back({i});
+    }
+
+    // Fan-out needs the plain execution kit: checkpoint files, resume
+    // and fault injection address individual runs, so those sweeps keep
+    // one job per (config, mix).  Prefetching state lives in front of
+    // the split and disqualifies the group entirely.
+    const bool fanoutOk = opt.sweepDir.empty() && !opt.resume &&
+                          opt.injectFault.empty() &&
+                          opt.crashAfterRefs == 0 &&
+                          opt.livelockRun == SIZE_MAX;
+
+    struct Job
+    {
+        std::vector<std::size_t> members; //!< config indices
+        std::size_t mix = 0;
+    };
+    std::vector<Job> jobs;
+    for (const std::vector<std::size_t> &g : groups) {
+        for (std::size_t m = 0; m < mixes.size(); ++m) {
+            std::vector<std::size_t> need;
+            for (std::size_t i : g) {
+                if (!have[i][m])
+                    need.push_back(i);
+            }
+            if (need.empty())
+                continue;
+            if (fanoutOk && need.size() >= 2 &&
+                !cfgs[need.front()].prefetch.enable) {
+                jobs.push_back(Job{std::move(need), m});
+            } else {
+                for (std::size_t i : need)
+                    jobs.push_back(Job{{i}, m});
+            }
+        }
+    }
+    if (jobs.empty())
+        return results;
+
+    ResultCodec codec;
+    codec.save = [&](std::size_t j, Serializer &s) {
+        const Job &job = jobs[j];
+        s.putU64(job.members.size());
+        for (std::size_t i : job.members)
+            saveRunResult(s, results[i][job.mix]);
+    };
+    codec.load = [&](std::size_t j, Deserializer &d) {
+        const Job &job = jobs[j];
+        const std::uint64_t n = d.getU64();
+        if (n != job.members.size())
+            throwSimError(SimError::Kind::Snapshot,
+                          "persisted fan-out job carries %llu results "
+                          "for a %zu-member job",
+                          static_cast<unsigned long long>(n),
+                          job.members.size());
+        for (std::size_t i : job.members)
+            results[i][job.mix] = loadRunResult(d);
+    };
+
+    const std::vector<RunOutcome> outcomes =
+        forEachRun(jobs.size(), opt, [&](std::size_t j) {
+            const Job &job = jobs[j];
+            if (job.members.size() == 1) {
+                results[job.members.front()][job.mix] =
+                    runMix(cfgs[job.members.front()], mixes[job.mix], opt);
+            } else {
+                std::vector<SystemConfig> group;
+                group.reserve(job.members.size());
+                for (std::size_t i : job.members)
+                    group.push_back(cfgs[i]);
+                const std::vector<RunResult> r =
+                    executeFanout(group, mixes[job.mix], opt);
+                for (std::size_t k = 0; k < job.members.size(); ++k)
+                    results[job.members[k]][job.mix] = r[k];
+            }
+        }, &codec);
+
+    if (memo) {
+        RunMemo &cache = runMemo();
+        std::lock_guard<std::mutex> lock(cache.mu);
+        for (std::size_t j = 0; j < jobs.size(); ++j) {
+            if (outcomes[j].status == RunStatus::Quarantined)
+                continue;
+            for (std::size_t i : jobs[j].members)
+                cache.map[cellKeys[i * mixes.size() + jobs[j].mix]] =
+                    results[i][jobs[j].mix];
+        }
+    }
+    return results;
+}
+
+std::vector<RunResult>
+runBaselineOverMixes(const SystemConfig &baseline,
+                     const std::vector<Mix> &mixes, const RunOptions &opt)
+{
+    std::vector<std::vector<RunResult>> res =
+        runConfigsOverMixes({baseline}, mixes, opt);
+    return std::move(res.front());
+}
+
+void
+clearBaselineMemoForTest()
+{
+    RunMemo &cache = runMemo();
+    std::lock_guard<std::mutex> lock(cache.mu);
+    cache.map.clear();
+}
+
+SpeedupSummary
+compareAgainst(const SystemConfig &sys, const std::vector<Mix> &mixes,
+               const std::vector<RunResult> &baseline,
+               const RunOptions &opt)
+{
+    RC_ASSERT(mixes.size() == baseline.size(),
+              "baseline results do not match the mix list");
+    const std::vector<std::vector<RunResult>> res =
+        runConfigsOverMixes({sys}, mixes, opt);
+    std::vector<double> per_mix(mixes.size(), 0.0);
+    for (std::size_t i = 0; i < mixes.size(); ++i)
+        per_mix[i] = speedupRatio(res.front()[i].aggregateIpc,
+                                  baseline[i].aggregateIpc);
+    return summarize(std::move(per_mix));
+}
+
 SpeedupSummary
 compareOverMixes(const SystemConfig &sys, const SystemConfig &baseline,
                  const std::vector<Mix> &mixes, const RunOptions &opt)
 {
-    return compareAgainst(sys, mixes,
-                          runBaselineOverMixes(baseline, mixes, opt), opt);
+    // One pass, two back ends per mix when the systems share a front
+    // end; runConfigsOverMixes degrades to the two-batch layout itself
+    // when they do not.
+    const std::vector<std::vector<RunResult>> res =
+        runConfigsOverMixes({baseline, sys}, mixes, opt);
+    std::vector<double> per_mix(mixes.size(), 0.0);
+    for (std::size_t i = 0; i < mixes.size(); ++i)
+        per_mix[i] = speedupRatio(res[1][i].aggregateIpc,
+                                  res[0][i].aggregateIpc);
+    return summarize(std::move(per_mix));
 }
 
 void

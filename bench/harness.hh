@@ -348,7 +348,38 @@ struct SpeedupSummary
     std::vector<double> perMix; //!< one ratio per mix
 };
 
-/** Run both systems over every mix and summarize the ratios. */
+/**
+ * Simulate one mix on several configurations through ONE front-end
+ * pass: the configs must share the private-hierarchy prefix
+ * (FanoutCmp::samePrivatePrefix) and the fan-out machinery's
+ * preconditions (no prefetching).  Results are bit-identical to
+ * per-config runMix calls; the front end (stream generation + private
+ * L1/L2 classification) is paid once instead of N times.
+ * @return one RunResult per config, in order.
+ */
+std::vector<RunResult> runMixFanout(const std::vector<SystemConfig> &cfgs,
+                                    const Mix &mix, const RunOptions &opt);
+
+/**
+ * Sweep @p cfgs x @p mixes, grouping runs by (mix, front-end prefix of
+ * the SystemConfig) and dispatching one fan-out job per group instead
+ * of one job per run.  Groups ineligible for fan-out (single config,
+ * prefetching enabled, fault injection, journaled/resumable sweeps or
+ * the crash/livelock test hooks) fall back to independent runMix jobs,
+ * so the aggregated results are bit-identical either way — and at any
+ * --jobs=N, since each job stays deterministic and independent.
+ * @return results[config][mix].
+ */
+std::vector<std::vector<RunResult>>
+runConfigsOverMixes(const std::vector<SystemConfig> &cfgs,
+                    const std::vector<Mix> &mixes, const RunOptions &opt);
+
+/**
+ * Run both systems over every mix and summarize the ratios.  The two
+ * systems share their front end whenever they agree on the private
+ * prefix, so the common case (same cores/L1/L2, different SLLC) costs
+ * one reference stream instead of two.
+ */
 SpeedupSummary compareOverMixes(const SystemConfig &sys,
                                 const SystemConfig &baseline,
                                 const std::vector<Mix> &mixes,
@@ -356,11 +387,19 @@ SpeedupSummary compareOverMixes(const SystemConfig &sys,
 
 /**
  * Baseline results cache: benches comparing many configurations against
- * the same baseline reuse one result set.
+ * the same baseline reuse one result set.  Results are additionally
+ * memoized per (config, mix, deterministic options) within the process,
+ * so repeated calls — e.g. several compareOverMixes() against the same
+ * baseline — reuse the simulated results instead of re-running them.
+ * Memoization is skipped for journaled sweeps and for runs with fault
+ * injection or the crash/livelock test hooks.
  */
 std::vector<RunResult> runBaselineOverMixes(const SystemConfig &baseline,
                                             const std::vector<Mix> &mixes,
                                             const RunOptions &opt);
+
+/** Drop every memoized baseline result (test isolation). */
+void clearBaselineMemoForTest();
 
 /** Speedups of @p sys against precomputed baseline results. */
 SpeedupSummary compareAgainst(const SystemConfig &sys,

@@ -17,12 +17,22 @@
  *                         identical across kernel refactors iff the
  *                         stats are bit-identical
  *
+ * A second measurement covers the single-pass fan-out path: the
+ * paper's headline reuse-cache sweep (six sizing/policy variants that
+ * share the private hierarchy) runs once as six independent Cmp runs
+ * and once as one FanoutCmp, hard-asserting per-config LLC stats
+ * digests match before reporting:
+ *   independent_sims_per_sec  six configs, one Cmp each
+ *   fanout_sims_per_sec       six configs, one shared front end
+ *   fanout_speedup            ratio of the two
+ *
  * Extra flags (on top of the common harness set):
  *   --baseline=FILE   prior BENCH_kernel.json to gate against
  *   --tolerance=F     allowed fractional drop vs baseline (default 0.20)
- * With --baseline, exits 2 when serial sims/sec lands below
- * baseline * (1 - tolerance); CI points this at the repo-recorded
- * record so kernel regressions fail the perf-smoke job.
+ * With --baseline, exits 2 when serial OR fan-out sims/sec lands below
+ * its baseline * (1 - tolerance); CI points this at the repo-recorded
+ * record so kernel regressions fail the perf-smoke job.  A baseline
+ * file without fan-out fields gates the serial number only.
  */
 
 #include <cinttypes>
@@ -34,8 +44,11 @@
 #include <string>
 #include <vector>
 
+#include "cache/replacement.hh"
 #include "common/log.hh"
 #include "harness.hh"
+#include "sim/cmp.hh"
+#include "sim/fanout.hh"
 #include "sim/system_config.hh"
 #include "telemetry/trace_event.hh"
 #include "workloads/mixes.hh"
@@ -62,8 +75,13 @@ fnv1a(const std::string &s, std::uint64_t h = 0xcbf29ce484222325ull)
     return h;
 }
 
-/** serial_sims_per_sec recorded in a prior BENCH_kernel.json. */
-double
+/** Throughput numbers recorded in a prior BENCH_kernel.json. */
+struct BaselineRecord {
+    double serialSimsPerSec = 0.0;
+    double fanoutSimsPerSec = 0.0; ///< 0 when the record predates fan-out
+};
+
+BaselineRecord
 readBaseline(const std::string &path)
 {
     std::ifstream in(path);
@@ -73,12 +91,47 @@ readBaseline(const std::string &path)
     std::stringstream ss;
     ss << in.rdbuf();
     const std::string text = ss.str();
-    const char *key = "\"serial_sims_per_sec\":";
-    const std::size_t pos = text.find(key);
-    if (pos == std::string::npos)
-        rc::panic("'%s' carries no serial_sims_per_sec field",
-                  path.c_str());
-    return std::strtod(text.c_str() + pos + std::strlen(key), nullptr);
+    const auto field = [&](const char *key, bool required) {
+        const std::size_t pos = text.find(key);
+        if (pos == std::string::npos) {
+            if (required)
+                rc::panic("'%s' carries no %s field", path.c_str(), key);
+            return 0.0;
+        }
+        return std::strtod(text.c_str() + pos + std::strlen(key),
+                           nullptr);
+    };
+    BaselineRecord rec;
+    rec.serialSimsPerSec = field("\"serial_sims_per_sec\":", true);
+    rec.fanoutSimsPerSec = field("\"fanout_sims_per_sec\":", false);
+    return rec;
+}
+
+/**
+ * The paper's headline sweep as fan-out members: six reuse-cache
+ * sizing/policy variants over one private hierarchy.  Every entry
+ * shares the front-end prefix (cores, L1/L2 geometry, seed, scale) so
+ * one FanoutCmp can drive all six from a single classified stream.
+ */
+std::vector<rc::SystemConfig>
+fanoutSweep(std::uint32_t scale, std::uint64_t seed)
+{
+    using namespace rc;
+    // The paper's headline experiment (Fig. 4): hold the tag array at
+    // full coverage and sweep the data array down from conventional
+    // size, showing how little data capacity the reuse cache needs.
+    // All six members share the identical private prefix, so one
+    // front-end pass feeds the whole sweep.
+    std::vector<SystemConfig> cfgs;
+    cfgs.push_back(reuseSystem(8.0, 8.0, 16, scale));  // full-size data
+    cfgs.push_back(reuseSystem(8.0, 4.0, 16, scale));  // 1/2 data
+    cfgs.push_back(reuseSystem(8.0, 2.0, 16, scale));  // 1/4 data
+    cfgs.push_back(reuseSystem(8.0, 1.0, 16, scale));  // 1/8 data
+    cfgs.push_back(reuseSystem(8.0, 0.5, 16, scale));  // 1/16 data
+    cfgs.push_back(reuseSystem(8.0, 0.25, 16, scale)); // 1/32 data
+    for (SystemConfig &c : cfgs)
+        c.seed = seed;
+    return cfgs;
 }
 
 } // namespace
@@ -148,7 +201,61 @@ main(int argc, char **argv)
     const double accPerSec =
         simSec > 0.0 ? static_cast<double>(accesses) / simSec : 0.0;
 
-    char buf[768];
+    // --- Fan-out measurement: the six-config reuse sweep, first as six
+    // independent Cmp runs, then as one FanoutCmp.  The fan-out pass
+    // must be a pure speedup: per-config LLC stats are digested and
+    // hard-checked against the independent pass before any number is
+    // reported.
+    Mix fanMix;
+    for (int c = 0; c < 8; ++c)
+        fanMix.apps.push_back(kApps[c]);
+    const auto sweep = fanoutSweep(opt.scale, opt.seed);
+    const std::size_t fanRuns = sweep.size();
+
+    std::vector<std::uint64_t> indepDigests;
+    double indepSec = 0.0;
+    for (const SystemConfig &cfg : sweep) {
+        Cmp sim(cfg, buildMixStreams(fanMix, opt.seed, opt.scale));
+        const std::uint64_t t0 = tracer.hostNowMicros();
+        sim.run(opt.warmup);
+        sim.beginMeasurement();
+        sim.run(opt.measure);
+        const std::uint64_t t1 = tracer.hostNowMicros();
+        tracer.recordHost("kernel.fanout.independent", 0, t1 - t0);
+        indepSec += static_cast<double>(t1 - t0) * 1e-6;
+        std::ostringstream os;
+        sim.llc().stats().dumpJson(os);
+        indepDigests.push_back(fnv1a(os.str()));
+    }
+
+    FanoutCmp fan(sweep, [&fanMix, &opt] {
+        return buildMixStreams(fanMix, opt.seed, opt.scale);
+    });
+    const std::uint64_t f0 = tracer.hostNowMicros();
+    fan.run(opt.warmup);
+    fan.beginMeasurement();
+    fan.run(opt.measure);
+    const std::uint64_t f1 = tracer.hostNowMicros();
+    tracer.recordHost("kernel.fanout.lockstep", 0, f1 - f0);
+    const double fanSec = static_cast<double>(f1 - f0) * 1e-6;
+
+    for (std::size_t j = 0; j < fanRuns; ++j) {
+        std::ostringstream os;
+        fan.member(j).llc().stats().dumpJson(os);
+        if (fnv1a(os.str()) != indepDigests[j])
+            rc::panic("fan-out member %zu diverged from its independent "
+                      "run; the speedup would be meaningless",
+                      j);
+    }
+
+    const double indepSimsPerSec =
+        indepSec > 0.0 ? static_cast<double>(fanRuns) / indepSec : 0.0;
+    const double fanSimsPerSec =
+        fanSec > 0.0 ? static_cast<double>(fanRuns) / fanSec : 0.0;
+    const double fanSpeedup =
+        fanSec > 0.0 ? indepSec / fanSec : 0.0;
+
+    char buf[1280];
     std::snprintf(
         buf, sizeof(buf),
         "{\n"
@@ -161,15 +268,23 @@ main(int argc, char **argv)
         "  \"serial_sims_per_sec\": %.4f,\n"
         "  \"accesses_per_sec\": %.1f,\n"
         "  \"stats_digest\": \"%016" PRIx64 "\",\n"
+        "  \"fanout_runs\": %zu,\n"
+        "  \"independent_sims_per_sec\": %.4f,\n"
+        "  \"fanout_sims_per_sec\": %.4f,\n"
+        "  \"fanout_speedup\": %.3f,\n"
         "  \"phases\": {\n"
         "    \"build_seconds\": %.3f,\n"
         "    \"warmup_seconds\": %.3f,\n"
-        "    \"measure_seconds\": %.3f\n"
+        "    \"measure_seconds\": %.3f,\n"
+        "    \"independent_seconds\": %.3f,\n"
+        "    \"fanout_seconds\": %.3f\n"
         "  }\n"
         "}\n",
         runs, static_cast<std::uint64_t>(opt.warmup),
         static_cast<std::uint64_t>(opt.measure), opt.scale, accesses,
-        simsPerSec, accPerSec, digest, buildSec, warmupSec, measureSec);
+        simsPerSec, accPerSec, digest, fanRuns, indepSimsPerSec,
+        fanSimsPerSec, fanSpeedup, buildSec, warmupSec, measureSec,
+        indepSec, fanSec);
 
     std::FILE *f = std::fopen("BENCH_kernel.json", "w");
     if (!f)
@@ -179,18 +294,29 @@ main(int argc, char **argv)
     std::fputs(buf, stdout);
 
     if (!baselinePath.empty()) {
-        const double base = readBaseline(baselinePath);
-        const double floor = base * (1.0 - tolerance);
-        std::printf("gate: %.4f sims/sec vs baseline %.4f "
-                    "(floor %.4f, tolerance %.0f%%)\n",
-                    simsPerSec, base, floor, tolerance * 100.0);
-        if (simsPerSec < floor) {
-            std::fprintf(stderr,
-                         "FAIL: serial sims/sec regressed more than "
-                         "%.0f%% below the recorded baseline\n",
-                         tolerance * 100.0);
+        const BaselineRecord base = readBaseline(baselinePath);
+        bool failed = false;
+        const auto gate = [&](const char *what, double measured,
+                              double recorded) {
+            if (recorded <= 0.0)
+                return; // baseline predates this metric
+            const double floor = recorded * (1.0 - tolerance);
+            std::printf("gate: %s %.4f sims/sec vs baseline %.4f "
+                        "(floor %.4f, tolerance %.0f%%)\n",
+                        what, measured, recorded, floor,
+                        tolerance * 100.0);
+            if (measured < floor) {
+                std::fprintf(stderr,
+                             "FAIL: %s sims/sec regressed more than "
+                             "%.0f%% below the recorded baseline\n",
+                             what, tolerance * 100.0);
+                failed = true;
+            }
+        };
+        gate("serial", simsPerSec, base.serialSimsPerSec);
+        gate("fanout", fanSimsPerSec, base.fanoutSimsPerSec);
+        if (failed)
             return 2;
-        }
     }
     return 0;
 }

@@ -3,6 +3,7 @@
 #include <cstdio>
 
 #include "common/log.hh"
+#include "common/wayscan.hh"
 #include "snapshot/serializer.hh"
 #include "telemetry/trace_event.hh"
 
@@ -12,7 +13,7 @@ namespace rc
 ConventionalLlc::ConventionalLlc(const ConvLlcConfig &cfg_, MemCtrl &mem_)
     : cfg(cfg_),
       geom(CacheGeometry::fromBytes(cfg_.capacityBytes, cfg_.ways)),
-      tagLane(geom.numLines(), 0),
+      tagLane(geom.numLines(), kInvalidTagLane),
       entries(geom.numLines()),
       repl(makeReplacement(cfg_.repl, geom.numSets(), geom.numWays(),
                            cfg_.numCores, cfg_.seed)),
@@ -45,11 +46,18 @@ ConventionalLlc::find(Addr line_addr, std::uint32_t &way_out)
     const std::uint64_t tag = geom.tagOf(line_addr);
     const std::uint64_t base = set * geom.numWays();
     const std::uint64_t *tl = tagLane.data() + base;
-    for (std::uint32_t w = 0; w < geom.numWays(); ++w) {
-        if (tl[w] == tag && entries[base + w].state != LlcState::I) {
-            way_out = w;
+    // Invalid ways hold a sentinel, so one vector scan finds the line.
+    // A tag can only match an invalid way after fault injection forced
+    // its state to I without a protocol transition; resume the scan
+    // past such a candidate instead of reporting a false miss.
+    std::int32_t w = scanWays(tl, geom.numWays(), tag);
+    while (w >= 0) {
+        if (entries[base + w].state != LlcState::I) {
+            way_out = static_cast<std::uint32_t>(w);
             return &entries[base + w];
         }
+        w = scanWaysFrom(tl, geom.numWays(), tag,
+                         static_cast<std::uint32_t>(w) + 1);
     }
     return nullptr;
 }
@@ -101,6 +109,7 @@ ConventionalLlc::evictEntry(std::uint64_t set, std::uint32_t way, Cycle now)
 
     e.state = LlcState::I;
     e.dir.clear();
+    tagLane[set * geom.numWays() + way] = kInvalidTagLane;
     fast.onInvalidate(set, way);
 }
 
@@ -364,7 +373,9 @@ ConventionalLlc::save(Serializer &s) const
 {
     s.putU64(entries.size());
     for (std::uint64_t i = 0; i < entries.size(); ++i) {
-        s.putU64(tagLane[i]);
+        // Invalid ways serialize a zero tag: the canonical image stays
+        // independent of the in-memory scan sentinel.
+        s.putU64(entries[i].state != LlcState::I ? tagLane[i] : 0);
         s.putU8(static_cast<std::uint8_t>(entries[i].state));
         entries[i].dir.save(s);
     }
@@ -389,6 +400,8 @@ ConventionalLlc::restore(Deserializer &d)
         tagLane[i] = d.getU64();
         entries[i].state = static_cast<LlcState>(d.getU8());
         entries[i].dir.restore(d);
+        if (entries[i].state == LlcState::I)
+            tagLane[i] = kInvalidTagLane;
     }
     d.beginSection("repl");
     repl->restore(d);

@@ -1,6 +1,7 @@
 #include "cache/private_cache.hh"
 
 #include "common/log.hh"
+#include "common/wayscan.hh"
 #include "snapshot/serializer.hh"
 
 namespace rc
@@ -10,38 +11,15 @@ namespace
 {
 
 /**
- * Way-scan over a fixed-width tag lane.  At most one way can match: a
- * set never holds duplicate tags (fill asserts non-residency) and
- * invalid ways carry a sentinel no real tag equals, so scanning every
- * way branch-free is equivalent to first-match — and the constant trip
- * count lets the compiler unroll and vectorize the compares.
+ * Way-scan over a fixed-width tag lane (see common/wayscan.hh).  At
+ * most one way can match: a set never holds duplicate tags (fill
+ * asserts non-residency) and invalid ways carry a sentinel no real tag
+ * equals, so a single first-match scan is exact.
  */
-template <std::uint32_t W>
-inline std::int32_t
-scanWays(const std::uint64_t *tl, std::uint64_t tag)
-{
-    std::int32_t hit = -1;
-    for (std::uint32_t w = 0; w < W; ++w) {
-        if (tl[w] == tag)
-            hit = static_cast<std::int32_t>(w);
-    }
-    return hit;
-}
-
 inline std::int32_t
 findWay(const std::uint64_t *tl, std::uint64_t tag, std::uint32_t ways)
 {
-    switch (ways) {
-      case 4: return scanWays<4>(tl, tag);
-      case 8: return scanWays<8>(tl, tag);
-      case 16: return scanWays<16>(tl, tag);
-      default:
-        for (std::uint32_t w = 0; w < ways; ++w) {
-            if (tl[w] == tag)
-                return static_cast<std::int32_t>(w);
-        }
-        return -1;
-    }
+    return scanWays(tl, ways, tag);
 }
 
 } // namespace
@@ -84,6 +62,18 @@ TagStore::lookup(Addr line_addr)
     return &payload[base + w];
 }
 
+std::int32_t
+TagStore::lookupWay(Addr line_addr)
+{
+    const std::uint64_t set = geom.setIndex(line_addr);
+    const std::uint64_t tag = geom.tagOf(line_addr);
+    const std::uint64_t base = set * geom.numWays();
+    const std::int32_t w = findWay(tags.data() + base, tag, geom.numWays());
+    if (w >= 0)
+        stamp[base + w] = ++tick;
+    return w;
+}
+
 const TagStore::Way *
 TagStore::peek(Addr line_addr) const
 {
@@ -95,7 +85,7 @@ TagStore::peek(Addr line_addr) const
 }
 
 TagStore::Eviction
-TagStore::fill(Addr line_addr, PrivState state)
+TagStore::fill(Addr line_addr, PrivState state, std::uint32_t *way_out)
 {
     RC_ASSERT(peek(line_addr) == nullptr,
               "fill of already-resident line %llx",
@@ -124,7 +114,35 @@ TagStore::fill(Addr line_addr, PrivState state)
     payload[base + way] = Way{state, false};
     valid[base + way] = 1;
     stamp[base + way] = ++tick;
+    if (way_out)
+        *way_out = way;
     return ev;
+}
+
+TagStore::Eviction
+TagStore::occupantAt(Addr line_addr, std::uint32_t way) const
+{
+    const std::uint64_t set = geom.setIndex(line_addr);
+    const std::uint64_t idx = set * geom.numWays() + way;
+    Eviction ev;
+    if (!valid[idx])
+        return ev;
+    ev.valid = true;
+    ev.lineAddr = geom.lineAddr(tags[idx], set);
+    ev.state = payload[idx].state;
+    ev.dirty = payload[idx].dirty;
+    return ev;
+}
+
+void
+TagStore::installAt(Addr line_addr, std::uint32_t way, PrivState state)
+{
+    const std::uint64_t set = geom.setIndex(line_addr);
+    const std::uint64_t idx = set * geom.numWays() + way;
+    tags[idx] = geom.tagOf(line_addr);
+    payload[idx] = Way{state, false};
+    valid[idx] = 1;
+    stamp[idx] = ++tick;
 }
 
 TagStore::Eviction
@@ -193,41 +211,67 @@ PrivateHierarchy::PrivateHierarchy(const PrivateConfig &cfg_, CoreId core,
     (void)coreId;
 }
 
+template <bool Rec>
 PrivateMissAction
-PrivateHierarchy::classify(Addr line_addr, MemOp op, bool is_instr)
+PrivateHierarchy::classifyImpl(Addr line_addr, MemOp op, bool is_instr,
+                               StepRecord *rec)
 {
     PrivateMissAction act;
     act.latency = cfg.l1Latency;
 
     if (is_instr) {
         RC_ASSERT(op == MemOp::Read, "instruction fetches are reads");
-        if (l1i.lookup(line_addr)) {
+        const std::int32_t w1 = l1i.lookupWay(line_addr);
+        if (w1 >= 0) {
             ++l1iHits;
+            if constexpr (Rec) {
+                rec->kind = StepKind::L1IHit;
+                rec->l1Way = static_cast<std::int8_t>(w1);
+            }
             return act;
         }
         ++l1iMisses;
         act.latency += cfg.l2Latency;
-        if (TagStore::Way *w = l2.lookup(line_addr)) {
-            (void)w;
+        const std::int32_t w2 = l2.lookupWay(line_addr);
+        if (w2 >= 0) {
             ++l2Hits;
-            l1i.fill(line_addr, PrivState::S);
+            std::uint32_t fw = 0;
+            l1i.fill(line_addr, PrivState::S, Rec ? &fw : nullptr);
+            if constexpr (Rec) {
+                rec->kind = StepKind::L1IL2Hit;
+                rec->l1Way = static_cast<std::int8_t>(fw);
+                rec->l2Way = static_cast<std::int8_t>(w2);
+            }
             return act;
         }
         ++l2Misses;
         act.needLlc = true;
         act.event = ProtoEvent::GETS;
+        if constexpr (Rec)
+            rec->kind = StepKind::InstrMiss;
         return act;
     }
 
-    TagStore::Way *in_l1 = l1d.lookup(line_addr);
-    if (in_l1) {
+    const std::int32_t w1 = l1d.lookupWay(line_addr);
+    if (w1 >= 0) {
         ++l1dHits;
-        if (op == MemOp::Read)
+        if (op == MemOp::Read) {
+            if constexpr (Rec) {
+                rec->kind = StepKind::L1DReadHit;
+                rec->l1Way = static_cast<std::int8_t>(w1);
+            }
             return act;
-        TagStore::Way *in_l2 = l2.lookup(line_addr);
-        RC_ASSERT(in_l2, "L1D copy without an L2 copy breaks inclusion");
-        if (in_l2->state == PrivState::M) {
-            in_l2->dirty = true;
+        }
+        const std::int32_t w2 = l2.lookupWay(line_addr);
+        RC_ASSERT(w2 >= 0, "L1D copy without an L2 copy breaks inclusion");
+        TagStore::Way &in_l2 = l2.wayAt(line_addr, w2);
+        if (in_l2.state == PrivState::M) {
+            in_l2.dirty = true;
+            if constexpr (Rec) {
+                rec->kind = StepKind::L1DWriteHitM;
+                rec->l1Way = static_cast<std::int8_t>(w1);
+                rec->l2Way = static_cast<std::int8_t>(w2);
+            }
             return act;
         }
         // Write permission missing: upgrade at the SLLC.
@@ -235,41 +279,87 @@ PrivateHierarchy::classify(Addr line_addr, MemOp op, bool is_instr)
         act.latency += cfg.l2Latency;
         act.needLlc = true;
         act.event = ProtoEvent::UPG;
+        if constexpr (Rec) {
+            rec->kind = StepKind::L1DWriteHitUpg;
+            rec->l1Way = static_cast<std::int8_t>(w1);
+            rec->l2Way = static_cast<std::int8_t>(w2);
+        }
         return act;
     }
     ++l1dMisses;
     act.latency += cfg.l2Latency;
 
-    if (TagStore::Way *in_l2 = l2.lookup(line_addr)) {
+    const std::int32_t w2 = l2.lookupWay(line_addr);
+    if (w2 >= 0) {
+        TagStore::Way &in_l2 = l2.wayAt(line_addr, w2);
         if (op == MemOp::Read) {
             ++l2Hits;
-            l1d.fill(line_addr, in_l2->state);
+            const PrivState st = in_l2.state;
+            std::uint32_t fw = 0;
+            l1d.fill(line_addr, st, Rec ? &fw : nullptr);
+            if constexpr (Rec) {
+                rec->kind = StepKind::L2ReadHit;
+                rec->l1Way = static_cast<std::int8_t>(fw);
+                rec->l2Way = static_cast<std::int8_t>(w2);
+                rec->flags = static_cast<std::uint8_t>(
+                    rec->flags | (static_cast<std::uint8_t>(st)
+                                  << StepRecord::kFillStateShift));
+            }
             return act;
         }
-        if (in_l2->state == PrivState::M) {
+        if (in_l2.state == PrivState::M) {
             ++l2Hits;
-            in_l2->dirty = true;
-            l1d.fill(line_addr, PrivState::M);
+            in_l2.dirty = true;
+            std::uint32_t fw = 0;
+            l1d.fill(line_addr, PrivState::M, Rec ? &fw : nullptr);
+            if constexpr (Rec) {
+                rec->kind = StepKind::L2WriteHitM;
+                rec->l1Way = static_cast<std::int8_t>(fw);
+                rec->l2Way = static_cast<std::int8_t>(w2);
+            }
             return act;
         }
         ++l2Hits;
         ++upgrades;
         act.needLlc = true;
         act.event = ProtoEvent::UPG;
+        if constexpr (Rec) {
+            rec->kind = StepKind::L2HitUpg;
+            rec->l2Way = static_cast<std::int8_t>(w2);
+        }
         return act;
     }
     ++l2Misses;
     act.needLlc = true;
     act.event = op == MemOp::Write ? ProtoEvent::GETX : ProtoEvent::GETS;
+    if constexpr (Rec)
+        rec->kind = op == MemOp::Write ? StepKind::DataMissWrite
+                                       : StepKind::DataMissRead;
     return act;
 }
 
+PrivateMissAction
+PrivateHierarchy::classify(Addr line_addr, MemOp op, bool is_instr)
+{
+    return classifyImpl<false>(line_addr, op, is_instr, nullptr);
+}
+
+PrivateMissAction
+PrivateHierarchy::classifyRecord(Addr line_addr, MemOp op, bool is_instr,
+                                 StepRecord &rec)
+{
+    return classifyImpl<true>(line_addr, op, is_instr, &rec);
+}
+
+template <bool Rec>
 bool
-PrivateHierarchy::fill(Addr line_addr, bool is_instr, bool writable,
-                       Addr &evict_line, bool &evict_dirty)
+PrivateHierarchy::fillImpl(Addr line_addr, bool is_instr, bool writable,
+                           Addr &evict_line, bool &evict_dirty,
+                           StepRecord *rec)
 {
     const PrivState st = writable ? PrivState::M : PrivState::S;
-    TagStore::Eviction ev = l2.fill(line_addr, st);
+    std::uint32_t l2w = 0;
+    TagStore::Eviction ev = l2.fill(line_addr, st, Rec ? &l2w : nullptr);
     if (writable) {
         // The pending write completes right after the fill.
         TagStore::Way *w = l2.lookup(line_addr);
@@ -284,14 +374,43 @@ PrivateHierarchy::fill(Addr line_addr, bool is_instr, bool writable,
         l1d.invalidate(ev.lineAddr);
     }
 
+    std::uint32_t l1w = 0;
     if (is_instr)
-        l1i.fill(line_addr, PrivState::S);
+        l1i.fill(line_addr, PrivState::S, Rec ? &l1w : nullptr);
     else
-        l1d.fill(line_addr, st);
+        l1d.fill(line_addr, st, Rec ? &l1w : nullptr);
+
+    if constexpr (Rec) {
+        rec->l1Way = static_cast<std::int8_t>(l1w);
+        rec->l2Way = static_cast<std::int8_t>(l2w);
+        if (ev.valid) {
+            rec->victimLine = ev.lineAddr;
+            rec->flags |= StepRecord::kVictim;
+            if (ev.dirty)
+                rec->flags |= StepRecord::kVictimDirty;
+        }
+    }
 
     evict_line = ev.lineAddr;
     evict_dirty = ev.dirty;
     return ev.valid;
+}
+
+bool
+PrivateHierarchy::fill(Addr line_addr, bool is_instr, bool writable,
+                       Addr &evict_line, bool &evict_dirty)
+{
+    return fillImpl<false>(line_addr, is_instr, writable, evict_line,
+                           evict_dirty, nullptr);
+}
+
+bool
+PrivateHierarchy::fillRecord(Addr line_addr, bool is_instr, bool writable,
+                             Addr &evict_line, bool &evict_dirty,
+                             StepRecord &rec)
+{
+    return fillImpl<true>(line_addr, is_instr, writable, evict_line,
+                          evict_dirty, &rec);
 }
 
 bool
@@ -310,17 +429,220 @@ PrivateHierarchy::fillPrefetch(Addr line_addr, Addr &evict_line,
     return ev.valid;
 }
 
+template <bool Rec>
+void
+PrivateHierarchy::upgradedImpl(Addr line_addr, StepRecord *rec)
+{
+    const std::int32_t w2 = l2.lookupWay(line_addr);
+    RC_ASSERT(w2 >= 0, "upgrade completion for a non-resident line");
+    TagStore::Way &w = l2.wayAt(line_addr, w2);
+    w.state = PrivState::M;
+    w.dirty = true;
+    const std::int32_t w1 = l1d.lookupWay(line_addr);
+    if (w1 >= 0) {
+        l1d.wayAt(line_addr, w1).state = PrivState::M;
+        if constexpr (Rec) {
+            rec->l1Way = static_cast<std::int8_t>(w1);
+            rec->flags |= StepRecord::kUpgL1Hit;
+        }
+    } else {
+        std::uint32_t fw = 0;
+        l1d.fill(line_addr, PrivState::M, Rec ? &fw : nullptr);
+        if constexpr (Rec)
+            rec->l1Way = static_cast<std::int8_t>(fw);
+    }
+    if constexpr (Rec)
+        rec->l2Way = static_cast<std::int8_t>(w2);
+}
+
 void
 PrivateHierarchy::upgraded(Addr line_addr)
 {
-    TagStore::Way *w = l2.lookup(line_addr);
-    RC_ASSERT(w, "upgrade completion for a non-resident line");
-    w->state = PrivState::M;
-    w->dirty = true;
-    if (TagStore::Way *l1w = l1d.lookup(line_addr))
-        l1w->state = PrivState::M;
+    upgradedImpl<false>(line_addr, nullptr);
+}
+
+void
+PrivateHierarchy::upgradedRecord(Addr line_addr, StepRecord &rec)
+{
+    upgradedImpl<true>(line_addr, &rec);
+}
+
+PrivateMissAction
+PrivateHierarchy::actionOf(const StepRecord &rec) const
+{
+    PrivateMissAction act;
+    act.latency = cfg.l1Latency;
+    switch (rec.kind) {
+    case StepKind::L1IHit:
+    case StepKind::L1DReadHit:
+    case StepKind::L1DWriteHitM:
+        break;
+    case StepKind::L1IL2Hit:
+    case StepKind::L2ReadHit:
+    case StepKind::L2WriteHitM:
+        act.latency += cfg.l2Latency;
+        break;
+    case StepKind::L1DWriteHitUpg:
+    case StepKind::L2HitUpg:
+        act.latency += cfg.l2Latency;
+        act.needLlc = true;
+        act.event = ProtoEvent::UPG;
+        break;
+    case StepKind::InstrMiss:
+    case StepKind::DataMissRead:
+        act.latency += cfg.l2Latency;
+        act.needLlc = true;
+        act.event = ProtoEvent::GETS;
+        break;
+    case StepKind::DataMissWrite:
+        act.latency += cfg.l2Latency;
+        act.needLlc = true;
+        act.event = ProtoEvent::GETX;
+        break;
+    }
+    return act;
+}
+
+PrivateMissAction
+PrivateHierarchy::applyClassify(const StepRecord &rec)
+{
+    // Mutations, counter bumps and LRU-clock (++tick) sequences below
+    // replicate classifyImpl()'s per-kind paths exactly; touchAt/
+    // installAt each advance the store's tick once, just as the
+    // lookup/fill they stand in for did.  The miss action is built in
+    // the same switch (one dispatch on the record kind, not two) and
+    // matches actionOf() case for case.
+    const Addr line = rec.line;
+    PrivateMissAction act;
+    act.latency = cfg.l1Latency;
+    switch (rec.kind) {
+    case StepKind::L1IHit:
+        ++l1iHits;
+        l1i.touchAt(line, rec.l1Way);
+        break;
+    case StepKind::L1IL2Hit:
+        ++l1iMisses;
+        ++l2Hits;
+        l2.touchAt(line, rec.l2Way);
+        l1i.installAt(line, rec.l1Way, PrivState::S);
+        act.latency += cfg.l2Latency;
+        break;
+    case StepKind::InstrMiss:
+        ++l1iMisses;
+        ++l2Misses;
+        act.latency += cfg.l2Latency;
+        act.needLlc = true;
+        act.event = ProtoEvent::GETS;
+        break;
+    case StepKind::L1DReadHit:
+        ++l1dHits;
+        l1d.touchAt(line, rec.l1Way);
+        break;
+    case StepKind::L1DWriteHitM:
+        ++l1dHits;
+        l1d.touchAt(line, rec.l1Way);
+        l2.touchAt(line, rec.l2Way);
+        l2.wayAt(line, rec.l2Way).dirty = true;
+        break;
+    case StepKind::L1DWriteHitUpg:
+        ++l1dHits;
+        l1d.touchAt(line, rec.l1Way);
+        l2.touchAt(line, rec.l2Way);
+        ++upgrades;
+        act.latency += cfg.l2Latency;
+        act.needLlc = true;
+        act.event = ProtoEvent::UPG;
+        break;
+    case StepKind::L2ReadHit:
+        ++l1dMisses;
+        ++l2Hits;
+        l2.touchAt(line, rec.l2Way);
+        l1d.installAt(line, rec.l1Way, rec.fillState());
+        act.latency += cfg.l2Latency;
+        break;
+    case StepKind::L2WriteHitM:
+        ++l1dMisses;
+        ++l2Hits;
+        l2.touchAt(line, rec.l2Way);
+        l2.wayAt(line, rec.l2Way).dirty = true;
+        l1d.installAt(line, rec.l1Way, PrivState::M);
+        act.latency += cfg.l2Latency;
+        break;
+    case StepKind::L2HitUpg:
+        ++l1dMisses;
+        ++l2Hits;
+        ++upgrades;
+        l2.touchAt(line, rec.l2Way);
+        act.latency += cfg.l2Latency;
+        act.needLlc = true;
+        act.event = ProtoEvent::UPG;
+        break;
+    case StepKind::DataMissRead:
+        ++l1dMisses;
+        ++l2Misses;
+        act.latency += cfg.l2Latency;
+        act.needLlc = true;
+        act.event = ProtoEvent::GETS;
+        break;
+    case StepKind::DataMissWrite:
+        ++l1dMisses;
+        ++l2Misses;
+        act.latency += cfg.l2Latency;
+        act.needLlc = true;
+        act.event = ProtoEvent::GETX;
+        break;
+    }
+    return act;
+}
+
+bool
+PrivateHierarchy::applyFill(const StepRecord &rec, Addr &evict_line,
+                            bool &evict_dirty)
+{
+    const Addr line = rec.line;
+    const bool is_instr = rec.kind == StepKind::InstrMiss;
+    const bool writable = rec.kind == StepKind::DataMissWrite;
+    const PrivState st = writable ? PrivState::M : PrivState::S;
+
+    // The victim is whatever occupies the recorded way; under the
+    // replay-validity contract it must equal the recorded victim.
+    TagStore::Eviction ev = l2.occupantAt(line, rec.l2Way);
+    RC_ASSERT(ev.valid == rec.hasVictim() &&
+                  (!ev.valid || ev.lineAddr == rec.victimLine),
+              "fan-out fill victim diverged from the recorded victim");
+    l2.installAt(line, rec.l2Way, st);
+    if (writable) {
+        l2.touchAt(line, rec.l2Way);
+        l2.wayAt(line, rec.l2Way).dirty = true;
+    }
+    if (ev.valid) {
+        l1i.invalidate(ev.lineAddr);
+        l1d.invalidate(ev.lineAddr);
+    }
+    if (is_instr)
+        l1i.installAt(line, rec.l1Way, PrivState::S);
     else
-        l1d.fill(line_addr, PrivState::M);
+        l1d.installAt(line, rec.l1Way, st);
+
+    evict_line = ev.lineAddr;
+    evict_dirty = ev.dirty;
+    return ev.valid;
+}
+
+void
+PrivateHierarchy::applyUpgraded(const StepRecord &rec)
+{
+    const Addr line = rec.line;
+    l2.touchAt(line, rec.l2Way);
+    TagStore::Way &w2 = l2.wayAt(line, rec.l2Way);
+    w2.state = PrivState::M;
+    w2.dirty = true;
+    if ((rec.flags & StepRecord::kUpgL1Hit) != 0) {
+        l1d.touchAt(line, rec.l1Way);
+        l1d.wayAt(line, rec.l1Way).state = PrivState::M;
+    } else {
+        l1d.installAt(line, rec.l1Way, PrivState::M);
+    }
 }
 
 bool

@@ -76,14 +76,43 @@ class TagStore
      *  Hits update LRU. */
     Way *lookup(Addr line_addr);
 
+    /** lookup() returning the way index instead (-1 on a miss); hits
+     *  update LRU exactly like lookup(). */
+    std::int32_t lookupWay(Addr line_addr);
+
     /** Peek without touching LRU state. */
     const Way *peek(Addr line_addr) const;
 
     /**
      * Install @p line_addr with @p state, evicting the LRU way of the
      * target set if it is full.
+     * @param way_out optional: the way the line landed in.
      */
-    Eviction fill(Addr line_addr, PrivState state);
+    Eviction fill(Addr line_addr, PrivState state,
+                  std::uint32_t *way_out = nullptr);
+
+    /** Payload of (set-of(line_addr), way). */
+    Way &wayAt(Addr line_addr, std::uint32_t way)
+    {
+        return payload[geom.setIndex(line_addr) * geom.numWays() + way];
+    }
+
+    /** Record a hit at a known way: stamp = ++tick.  Fan-out replay
+     *  uses it to repeat a recorded lookup without the scan. */
+    void touchAt(Addr line_addr, std::uint32_t way)
+    {
+        stamp[geom.setIndex(line_addr) * geom.numWays() + way] = ++tick;
+    }
+
+    /** Occupant of (set-of(line_addr), way) as an Eviction record
+     *  (invalid when the way is free); fan-out replay derives the fill
+     *  victim from it before overwriting the way. */
+    Eviction occupantAt(Addr line_addr, std::uint32_t way) const;
+
+    /** Install at a known way, silently displacing any occupant:
+     *  replays the exact mutation fill() performs once the way is
+     *  chosen (tag, payload, valid, stamp = ++tick). */
+    void installAt(Addr line_addr, std::uint32_t way, PrivState state);
 
     /** Drop @p line_addr if present. @return the displaced way info. */
     Eviction invalidate(Addr line_addr);
@@ -131,6 +160,66 @@ struct PrivateMissAction
     Cycle latency = 0;          //!< private-level latency accumulated
 };
 
+/** Outcome class of one private-hierarchy access, as recorded by the
+ *  fan-out front end (see sim/fanout.hh). */
+enum class StepKind : std::uint8_t
+{
+    L1IHit,          //!< instruction fetch hit in the L1I
+    L1IL2Hit,        //!< L1I miss, L2 hit (fills the L1I shared)
+    InstrMiss,       //!< L2 miss on a fetch: GETS to the SLLC
+    L1DReadHit,      //!< data read hit in the L1D
+    L1DWriteHitM,    //!< write hit, L2 already M (silent dirtying)
+    L1DWriteHitUpg,  //!< write hit on an S copy: UPG to the SLLC
+    L2ReadHit,       //!< L1D miss, L2 read hit (fills the L1D)
+    L2WriteHitM,     //!< L1D miss, L2 write hit in M
+    L2HitUpg,        //!< L1D miss, L2 holds S on a write: UPG
+    DataMissRead,    //!< L2 miss on a read: GETS
+    DataMissWrite,   //!< L2 miss on a write: GETX
+};
+
+/**
+ * One reference's private-hierarchy outcome, recorded once by the
+ * fan-out front end and replayed into every back-end replica whose
+ * affected sets have not diverged (sim/fanout.hh).  The record pins the
+ * ways the front end chose so replay skips every tag scan and LRU
+ * victim search; `victimLine` carries the L2 fill victim so back-ends
+ * that cannot replay the step can still mark the sets it disturbed.
+ */
+struct StepRecord
+{
+    static constexpr std::uint8_t kInstr = 1;       //!< instruction fetch
+    static constexpr std::uint8_t kWrite = 2;       //!< MemOp::Write
+    static constexpr std::uint8_t kVictim = 4;      //!< victimLine valid
+    static constexpr std::uint8_t kUpgL1Hit = 8;    //!< upgrade hit in L1D
+    /** The L2 fill victim was dirty.  Shares bit 3 with kUpgL1Hit:
+     *  upgrades never displace an L2 victim and fills never hit-upgrade
+     *  an L1D copy, so the two kinds cannot both claim the bit. */
+    static constexpr std::uint8_t kVictimDirty = 8;
+    static constexpr std::uint8_t kFillStateShift = 4; //!< L1 fill state bits
+
+    Addr line = 0;          //!< line-aligned reference address
+    Addr victimLine = 0;    //!< L2 victim displaced by the fill, if any
+    std::uint32_t think = 0; //!< think time carried from the MemRef
+    StepKind kind = StepKind::L1IHit;
+    std::uint8_t flags = 0;
+    std::int8_t l1Way = -1; //!< L1 way touched or filled
+    std::int8_t l2Way = -1; //!< L2 way touched or filled
+
+    bool isInstr() const { return (flags & kInstr) != 0; }
+    MemOp op() const
+    {
+        return (flags & kWrite) != 0 ? MemOp::Write : MemOp::Read;
+    }
+    bool hasVictim() const { return (flags & kVictim) != 0; }
+    /** Dirtiness of the L2 fill victim (only meaningful with kVictim). */
+    bool victimDirty() const { return (flags & kVictimDirty) != 0; }
+    /** L1D fill state for L2ReadHit (the L2 copy's state). */
+    PrivState fillState() const
+    {
+        return static_cast<PrivState>(flags >> kFillStateShift);
+    }
+};
+
 /**
  * One core's L1I + L1D + L2.  The CMP simulator calls classify() to learn
  * whether an access completes privately, then (on a miss or upgrade)
@@ -169,6 +258,40 @@ class PrivateHierarchy
 
     /** Complete an upgrade (UPG): the resident line becomes M and dirty. */
     void upgraded(Addr line_addr);
+
+    /**
+     * classify() that additionally fills @p rec with the outcome kind
+     * and the ways it touched, for fan-out replay.  State mutations and
+     * counters are exactly those of classify().
+     */
+    PrivateMissAction classifyRecord(Addr line_addr, MemOp op, bool is_instr,
+                                     StepRecord &rec);
+
+    /** fill() that records the chosen ways and the L2 victim in @p rec. */
+    bool fillRecord(Addr line_addr, bool is_instr, bool writable,
+                    Addr &evict_line, bool &evict_dirty, StepRecord &rec);
+
+    /** upgraded() that records the L1D way (hit or fill) in @p rec. */
+    void upgradedRecord(Addr line_addr, StepRecord &rec);
+
+    /** The PrivateMissAction a recorded step implies (pure function of
+     *  the kind and this hierarchy's latencies). */
+    PrivateMissAction actionOf(const StepRecord &rec) const;
+
+    /**
+     * Replay a recorded classify() against this hierarchy.  Valid only
+     * while the sets the record touches are bit-identical to the
+     * recording hierarchy's (the caller tracks divergence); mutations,
+     * counters and LRU-clock bumps are exactly classify()'s.
+     */
+    PrivateMissAction applyClassify(const StepRecord &rec);
+
+    /** Replay a recorded fill(); same validity contract. */
+    bool applyFill(const StepRecord &rec, Addr &evict_line,
+                   bool &evict_dirty);
+
+    /** Replay a recorded upgraded(); same validity contract. */
+    void applyUpgraded(const StepRecord &rec);
 
     /**
      * Install a prefetched line into the L2 only (no L1 fill, shared
@@ -229,6 +352,12 @@ class PrivateHierarchy
     /** Config in force. */
     const PrivateConfig &config() const { return cfg; }
 
+    /** L1 geometry (shared by the I and D stores). */
+    const CacheGeometry &l1Geometry() const { return l1i.geometry(); }
+
+    /** L2 geometry. */
+    const CacheGeometry &l2Geometry() const { return l2.geometry(); }
+
     /** Checkpoint L1I/L1D/L2 contents and counters. */
     void save(Serializer &s) const;
 
@@ -236,6 +365,15 @@ class PrivateHierarchy
     void restore(Deserializer &d);
 
   private:
+    template <bool Rec>
+    PrivateMissAction classifyImpl(Addr line_addr, MemOp op, bool is_instr,
+                                   StepRecord *rec);
+    template <bool Rec>
+    bool fillImpl(Addr line_addr, bool is_instr, bool writable,
+                  Addr &evict_line, bool &evict_dirty, StepRecord *rec);
+    template <bool Rec>
+    void upgradedImpl(Addr line_addr, StepRecord *rec);
+
     PrivateConfig cfg;
     CoreId coreId;
 

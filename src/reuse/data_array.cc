@@ -1,6 +1,7 @@
 #include "reuse/data_array.hh"
 
 #include "common/log.hh"
+#include "common/wayscan.hh"
 #include "snapshot/serializer.hh"
 
 namespace rc
@@ -22,11 +23,13 @@ ReuseDataArray::allocateWay(std::uint64_t set, bool &needs_eviction)
 {
     const std::uint64_t base = set * geom.numWays();
     const std::uint8_t *vl = validLane.data() + base;
-    for (std::uint32_t w = 0; w < geom.numWays(); ++w) {
-        if (!vl[w]) {
-            needs_eviction = false;
-            return w;
-        }
+    // Vectorized first-free-byte scan: the preferred configuration is
+    // fully associative, so this walks thousands of ways when the array
+    // still has room.
+    const std::int32_t free_way = scanFirstFree(vl, geom.numWays());
+    if (free_way >= 0) {
+        needs_eviction = false;
+        return static_cast<std::uint32_t>(free_way);
     }
     needs_eviction = true;
     const std::uint32_t w = fast.victim(set, VictimQuery{});

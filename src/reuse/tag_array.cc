@@ -1,6 +1,7 @@
 #include "reuse/tag_array.hh"
 
 #include "common/log.hh"
+#include "common/wayscan.hh"
 #include "snapshot/serializer.hh"
 
 namespace rc
@@ -9,7 +10,7 @@ namespace rc
 ReuseTagArray::ReuseTagArray(const CacheGeometry &geometry, ReplKind kind,
                              std::uint32_t num_cores, std::uint64_t seed)
     : geom(geometry),
-      tagLane(geometry.numLines(), 0),
+      tagLane(geometry.numLines(), kInvalidTagLane),
       entries(geometry.numLines()),
       repl(makeReplacement(kind, geometry.numSets(), geometry.numWays(),
                            num_cores, seed)),
@@ -24,11 +25,17 @@ ReuseTagArray::find(Addr line_addr, std::uint32_t &way_out)
     const std::uint64_t tag = geom.tagOf(line_addr);
     const std::uint64_t base = set * geom.numWays();
     const std::uint64_t *tl = tagLane.data() + base;
-    for (std::uint32_t w = 0; w < geom.numWays(); ++w) {
-        if (tl[w] == tag && entries[base + w].state != LlcState::I) {
-            way_out = w;
+    // Invalid ways hold a sentinel (invalidate() writes it), so one
+    // vector scan finds the line; the state re-check and continuation
+    // only matter if an external mutation ever bypasses invalidate().
+    std::int32_t w = scanWays(tl, geom.numWays(), tag);
+    while (w >= 0) {
+        if (entries[base + w].state != LlcState::I) {
+            way_out = static_cast<std::uint32_t>(w);
             return &entries[base + w];
         }
+        w = scanWaysFrom(tl, geom.numWays(), tag,
+                         static_cast<std::uint32_t>(w) + 1);
     }
     return nullptr;
 }
@@ -73,6 +80,7 @@ ReuseTagArray::invalidate(std::uint64_t set, std::uint32_t way)
     e.enteredData = false;
     e.reused = false;
     e.predicted = false;
+    tagLane[set * geom.numWays() + way] = kInvalidTagLane;
     fast.onInvalidate(set, way);
 }
 
@@ -122,7 +130,9 @@ ReuseTagArray::save(Serializer &s) const
     s.putU64(entries.size());
     for (std::uint64_t i = 0; i < entries.size(); ++i) {
         const Entry &e = entries[i];
-        s.putU64(tagLane[i]);
+        // Canonical image: invalid ways serialize a zero tag (the scan
+        // sentinel is an in-memory detail).
+        s.putU64(e.state != LlcState::I ? tagLane[i] : 0);
         s.putU8(static_cast<std::uint8_t>(e.state));
         e.dir.save(s);
         s.putU32(e.fwdWay);
@@ -153,6 +163,8 @@ ReuseTagArray::restore(Deserializer &d)
         e.enteredData = d.getBool();
         e.reused = d.getBool();
         e.predicted = d.getBool();
+        if (e.state == LlcState::I)
+            tagLane[i] = kInvalidTagLane;
     }
     d.beginSection("repl");
     repl->restore(d);

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/log.hh"
+#include "sim/fanout.hh"
 #include "snapshot/serializer.hh"
 #include "telemetry/trace_event.hh"
 
@@ -89,8 +90,320 @@ Cmp::issuePrefetches(Core &core, Addr demand_line, Cycle when)
 }
 
 void
+Cmp::attachFeed(FanoutFeed *f)
+{
+    RC_ASSERT(f, "null feed");
+    RC_ASSERT(!feed, "feed already attached");
+    RC_ASSERT(!cfg.prefetch.enable,
+              "fan-out members must not prefetch (the prefetcher feeds "
+              "back into the private hierarchy)");
+    RC_ASSERT(horizon == 0 && refsProcessed == 0,
+              "attachFeed() must precede the first run()");
+    feed = f;
+    privL1Geom = CacheGeometry::fromBytes(cfg.priv.l1Bytes, cfg.priv.l1Ways);
+    privL2Geom = CacheGeometry::fromBytes(cfg.priv.l2Bytes, cfg.priv.l2Ways);
+    replays.resize(cores.size());
+    diverged.resize(cores.size());
+    for (std::uint32_t i = 0; i < cores.size(); ++i) {
+        auto *rs = dynamic_cast<ReplayStream *>(ownedStreams[i].get());
+        RC_ASSERT(rs, "fan-out member cores must read ReplayStreams");
+        RC_ASSERT(rs->core() == i, "ReplayStream bound to the wrong core");
+        replays[i] = rs;
+        diverged[i].l1i.assign(privL1Geom.numSets(), 0);
+        diverged[i].l1d.assign(privL1Geom.numSets(), 0);
+        diverged[i].l2.assign(privL2Geom.numSets(), 0);
+    }
+    express.assign(cores.size(), ExpressCore{});
+    // Express jumps bound their record generation by the quantum end,
+    // which needs every record to cost at least one cycle.
+    expressEligible = cfg.priv.l1Latency >= 1;
+}
+
+bool
+Cmp::feedSetsClean(CoreId c, Addr line, bool is_instr) const
+{
+    const DivergedSets &d = diverged[c];
+    if (!d.any)
+        return true;
+    const std::uint8_t l1 = is_instr ? d.l1i[privL1Geom.setIndex(line)]
+                                     : d.l1d[privL1Geom.setIndex(line)];
+    return (l1 | d.l2[privL2Geom.setIndex(line)]) == 0;
+}
+
+void
+Cmp::feedMarkL1(CoreId c, Addr line)
+{
+    DivergedSets &d = diverged[c];
+    const std::uint64_t s1 = privL1Geom.setIndex(line);
+    d.any = true;
+    d.l1i[s1] = 1;
+    d.l1d[s1] = 1;
+}
+
+void
+Cmp::feedMarkLine(CoreId c, Addr line)
+{
+    feedMarkL1(c, line);
+    diverged[c].l2[privL2Geom.setIndex(line)] = 1;
+}
+
+/** Post-response completion of a fan-out LLC step: replay the recorded
+ *  fill/upgrade when the touched sets are still clean (the SLLC
+ *  transaction may have recalled lines out of this very core, so the
+ *  caller's @p replayed verdict is re-checked), otherwise complete for
+ *  real and mark everything the record disturbed. */
+void
+Cmp::completeFanoutLlc(Core &core, const StepRecord &rec,
+                       const PrivateMissAction &act, bool replayed,
+                       Cycle returned)
+{
+    const CoreId cid = core.id();
+    const Addr line = rec.line;
+    const bool is_instr = rec.isInstr();
+    if (act.event == ProtoEvent::UPG) {
+        if (replayed && feedSetsClean(cid, line, is_instr)) {
+            core.priv().applyUpgraded(rec);
+        } else {
+            core.priv().upgraded(line);
+            feedMarkLine(cid, line);
+            if (rec.hasVictim())
+                feedMarkL1(cid, rec.victimLine);
+        }
+    } else {
+        Addr evict_line = 0;
+        bool evict_dirty = false;
+        bool evicted;
+        if (replayed && feedSetsClean(cid, line, is_instr)) {
+            evicted = core.priv().applyFill(rec, evict_line, evict_dirty);
+        } else {
+            const bool writable = act.event == ProtoEvent::GETX;
+            evicted = core.priv().fill(line, is_instr, writable,
+                                       evict_line, evict_dirty);
+            feedMarkLine(cid, line);
+            if (rec.hasVictim())
+                feedMarkL1(cid, rec.victimLine);
+            if (evicted)
+                feedMarkL1(cid, evict_line);
+        }
+        if (evicted)
+            llcPtr->evictNotify(evict_line, cid, evict_dirty, returned);
+    }
+}
+
+void
+Cmp::stepCoreFanout(Core &core)
+{
+    const CoreId cid = core.id();
+    ReplayStream &rs = *replays[cid];
+    // Safe to hold by reference: the feed only generates (and may remap
+    // its ring) inside record(), and nothing below fetches records.
+    const StepRecord &rec = feed->record(cid, rs.cursor);
+    ++rs.cursor;
+
+    const Addr line = rec.line;
+    const bool is_instr = rec.isInstr();
+    const Cycle issue = core.readyAt() + rec.think;
+
+    // Replay the recorded private-hierarchy outcome when every set the
+    // record touches is still bit-identical to the recording
+    // hierarchy's; otherwise classify for real and mark everything the
+    // recording hierarchy disturbed that this replica did not.
+    bool replayed = feedSetsClean(cid, line, is_instr);
+    PrivateMissAction act;
+    if (replayed) {
+        ++feedReplayed;
+        act = core.priv().applyClassify(rec);
+    } else {
+        ++feedFellBack;
+        act = core.priv().classify(line, rec.op(), is_instr);
+        feedMarkLine(cid, line);
+        if (rec.hasVictim())
+            feedMarkL1(cid, rec.victimLine);
+    }
+
+    Cycle done;
+    if (!act.needLlc) {
+        done = issue + act.latency;
+    } else {
+        // Publish this step's scheduling key so a recall out of the
+        // SLLC transaction can pin the canonical position of any
+        // express core it must materialize.
+        curKeyReady = core.readyAt();
+        curKeyIdx = cid;
+        curKeyValid = true;
+        const Cycle llc_issue = issue + act.latency;
+        const Cycle bank_start = xbar.requestSlot(line, llc_issue);
+        const LlcResponse resp = llcPtr->request(
+            LlcRequest{line, cid, act.event, bank_start});
+        if (resp.memFetched)
+            xbar.noteMiss(line, bank_start, resp.doneAt);
+        const Cycle returned = resp.doneAt + xbar.responseLatency();
+        completeFanoutLlc(core, rec, act, replayed, returned);
+        curKeyValid = false;
+        done = returned;
+    }
+
+    core.retire(rec.think + (is_instr ? 0 : 1));
+    core.setReadyAt(done);
+}
+
+void
+Cmp::refreshExpressEvent(std::uint32_t c, Cycle end)
+{
+    ExpressCore &ex = express[c];
+    const FanoutFeed::NextEvent e = feed->nextLlcBounded(
+        c, ex.cursor, ex.baseCumA, ex.baseReady, end);
+    ex.hasEvent = e.hasEvent;
+    if (e.hasEvent) {
+        ex.eventIdx = e.idx;
+        ex.eventPreReady = e.preReady;
+        readyCache[c] = e.preReady;
+    } else {
+        // Nothing SLLC-visible before the quantum boundary; park the
+        // core there (the commit pass will advance its cursor).
+        readyCache[c] = end;
+    }
+}
+
+void
+Cmp::expressEvent(std::uint32_t c, Cycle end)
+{
+    ExpressCore &ex = express[c];
+    Core &core = *cores[c];
+    const std::uint64_t k = ex.eventIdx;
+    // By value: a recall below can force other cores' rings to grow.
+    const StepRecord rec = feed->record(c, k);
+    const PrivateMissAction act = core.priv().actionOf(rec);
+
+    // Bulk-account the jumped-over private hits plus this record from
+    // the feed's prefix sums.
+    refsProcessed += (k + 1) - ex.cursor;
+    feedReplayed += (k + 1) - ex.cursor;
+    core.retire(feed->cumIIncl(c, k) - ex.baseCumI);
+
+    curKeyReady = ex.eventPreReady;
+    curKeyIdx = c;
+    curKeyValid = true;
+    const Cycle llc_issue = ex.eventPreReady + rec.think + act.latency;
+    const Cycle bank_start = xbar.requestSlot(rec.line, llc_issue);
+    const LlcResponse resp = llcPtr->request(
+        LlcRequest{rec.line, c, act.event, bank_start});
+    if (resp.memFetched)
+        xbar.noteMiss(rec.line, bank_start, resp.doneAt);
+    const Cycle returned = resp.doneAt + xbar.responseLatency();
+
+    if (!ex.active) {
+        // The transaction recalled lines out of this very core:
+        // materializeExpress() rebuilt exact private state through this
+        // record's classify phase; finish on the ordinary path.
+        completeFanoutLlc(core, rec, act, true, returned);
+    } else {
+        // Still clean: the private-side completion is deferred to the
+        // next materialization; only the SLLC-visible eviction happens
+        // now, straight from the record (bit-identical to what this
+        // replica would have evicted, since its sets match the feed's).
+        curKeyCompletion = true;
+        if (act.event != ProtoEvent::UPG && rec.hasVictim())
+            llcPtr->evictNotify(rec.victimLine, c, rec.victimDirty(),
+                                returned);
+        // A recall out of that eviction may have deactivated this core;
+        // materializeExpress() then rebuilt the full record's state.
+    }
+    curKeyValid = false;
+    curKeyCompletion = false;
+
+    core.setReadyAt(returned);
+    ex.baseCumA = feed->cumAIncl(c, k);
+    ex.baseCumI = feed->cumIIncl(c, k);
+    ex.baseReady = returned;
+    ex.cursor = k + 1;
+    replays[c]->cursor = k + 1;
+    if (ex.active) {
+        refreshExpressEvent(c, end);
+    } else {
+        ex.exactCursor = k + 1;
+        readyCache[c] = returned;
+    }
+}
+
+void
+Cmp::materializeExpress(CoreId c, bool self_step)
+{
+    ExpressCore &ex = express[c];
+    Core &core = *cores[c];
+    if (self_step) {
+        // Recall out of this core's own in-flight LLC step.  Before the
+        // response, everything earlier plus the step's classify phase
+        // is canonical; once the completion has begun, the whole record
+        // is.  expressEvent()'s epilogue finishes the bookkeeping.
+        const std::uint64_t j = ex.eventIdx + (curKeyCompletion ? 1 : 0);
+        feed->materializeHier(c, j, core.priv());
+        if (!curKeyCompletion)
+            (void)core.priv().applyClassify(feed->record(c, ex.eventIdx));
+        ex.exactCursor = j;
+        ex.active = false;
+        expressDemoted = true;
+        return;
+    }
+
+    // Pin the canonical position of this core relative to the step in
+    // flight: records scheduled before the step's (ready, index) key
+    // have executed, everything else has not.
+    RC_ASSERT(curKeyValid, "fan-out recall outside any step");
+    const std::uint64_t j =
+        feed->cursorAtKey(c, ex.cursor, ex.baseCumA, ex.baseReady,
+                          curKeyReady, /*strict=*/c < curKeyIdx);
+    if (j > ex.cursor) {
+        refsProcessed += j - ex.cursor;
+        feedReplayed += j - ex.cursor;
+        core.retire(feed->cumIIncl(c, j - 1) - ex.baseCumI);
+        ex.baseReady += feed->cumAIncl(c, j - 1) - ex.baseCumA;
+        ex.baseCumA = feed->cumAIncl(c, j - 1);
+        ex.baseCumI = feed->cumIIncl(c, j - 1);
+        ex.cursor = j;
+        replays[c]->cursor = j;
+    }
+    feed->materializeHier(c, j, core.priv());
+    ex.exactCursor = j;
+    core.setReadyAt(ex.baseReady);
+    readyCache[c] = ex.baseReady;
+    ex.active = false;
+    expressDemoted = true;
+}
+
+void
+Cmp::finalizeExpress(std::uint32_t c, Cycle end)
+{
+    ExpressCore &ex = express[c];
+    if (!ex.active)
+        return;
+    const std::uint64_t j = feed->cursorAtCycle(c, ex.cursor, ex.baseCumA,
+                                                ex.baseReady, end);
+    if (j > ex.cursor) {
+        refsProcessed += j - ex.cursor;
+        feedReplayed += j - ex.cursor;
+        cores[c]->retire(feed->cumIIncl(c, j - 1) - ex.baseCumI);
+        ex.baseReady += feed->cumAIncl(c, j - 1) - ex.baseCumA;
+        ex.baseCumA = feed->cumAIncl(c, j - 1);
+        ex.baseCumI = feed->cumIIncl(c, j - 1);
+        ex.cursor = j;
+        replays[c]->cursor = j;
+        cores[c]->setReadyAt(ex.baseReady);
+    }
+    if (ex.exactCursor != ex.cursor) {
+        feed->materializeHier(c, ex.cursor, cores[c]->priv());
+        ex.exactCursor = ex.cursor;
+    }
+    ex.active = false;
+}
+
+void
 Cmp::stepCore(Core &core)
 {
+    if (feed) {
+        stepCoreFanout(core);
+        return;
+    }
     const MemRef ref = core.nextRef();
     const Cycle issue = core.readyAt() + ref.think;
     const Addr line = lineAlign(ref.addr);
@@ -136,9 +449,15 @@ Cmp::stepCore(Core &core)
 void
 Cmp::run(Cycle cycles)
 {
-    const Cycle end = horizon + cycles;
+    runSlice(horizon + cycles, true);
+}
+
+void
+Cmp::runSlice(Cycle end, bool commit)
+{
     if (cores.empty()) {
-        horizon = end;
+        if (commit)
+            horizon = end;
         return;
     }
 
@@ -149,33 +468,99 @@ Cmp::run(Cycle cycles)
     // stepped core's ready time.
     const std::uint32_t n = static_cast<std::uint32_t>(cores.size());
     readyCache.resize(n);
-    for (std::uint32_t i = 0; i < n; ++i)
-        readyCache[i] = cores[i]->readyAt();
 
     // Hook-free fast path: identical scheduling (first core carrying
     // the strictly smallest ready time wins), none of the per-reference
-    // hook/abort/progress checks.
+    // hook/abort/progress checks.  The winning core is stepped in a
+    // burst for as long as the scan would keep picking it — its ready
+    // time stays strictly below every other core's, or ties one with a
+    // higher index — so the per-reference min-scan amortizes over the
+    // burst and the core's stream/private state stays hot.
     if (sampleEvery == 0 && checkEvery == 0 && snapEvery == 0 &&
         !abortPtr && !progressPtr) {
+        // Arm express replay: a never-diverged fan-out core is
+        // scheduled by the pre-step ready time of its next LLC-bound
+        // record and jumps over everything in between (the skipped
+        // records have no effect outside the core's own private state,
+        // which nothing can observe before the commit at the end of
+        // this run() call).
+        const bool express_on = feed && expressEligible;
+        for (std::uint32_t i = 0; i < n; ++i) {
+            if (express_on && !diverged[i].any) {
+                express[i].active = true;
+                refreshExpressEvent(i, end);
+            } else {
+                if (feed)
+                    express[i].active = false;
+                readyCache[i] = cores[i]->readyAt();
+            }
+        }
         const Cycle *rc_begin = readyCache.data();
         for (;;) {
+            // One pass finds the winner AND the runner-up (first index
+            // carrying the smallest ready time among the other cores):
+            // the winner keeps winning the scan while its ready time
+            // stays below the runner-up's, or ties it from a lower
+            // index, so it can burst without rescanning.
             std::uint32_t idx = 0;
             Cycle best = rc_begin[0];
+            Cycle second = ~Cycle{0};
+            std::uint32_t second_idx = 0;
             for (std::uint32_t i = 1; i < n; ++i) {
-                if (rc_begin[i] < best) {
-                    best = rc_begin[i];
+                const Cycle v = rc_begin[i];
+                if (v < best) {
+                    second = best;
+                    second_idx = idx;
+                    best = v;
                     idx = i;
+                } else if (v < second) {
+                    second = v;
+                    second_idx = i;
                 }
             }
             if (best >= end)
                 break;
-            stepCore(*cores[idx]);
-            ++refsProcessed;
-            readyCache[idx] = cores[idx]->readyAt();
+            if (express_on && express[idx].active) {
+                expressEvent(idx, end);
+                continue;
+            }
+            Core &burst = *cores[idx];
+            expressDemoted = false;
+            Cycle r;
+            // A recall out of this burst may deactivate an express core
+            // whose next step then lands before the cached runner-up
+            // time; expressDemoted forces a rescan when that happens.
+            do {
+                stepCore(burst);
+                ++refsProcessed;
+                r = burst.readyAt();
+            } while (r < end &&
+                     (r < second || (r == second && idx < second_idx)) &&
+                     !expressDemoted);
+            readyCache[idx] = r;
         }
-        horizon = end;
+        if (feed && commit) {
+            for (std::uint32_t i = 0; i < n; ++i)
+                finalizeExpress(i, end);
+        }
+        if (commit)
+            horizon = end;
         return;
     }
+
+    if (feed) {
+        // Hooked slices run the per-reference path; express laziness
+        // never spans a hook installation (hooks are installed between
+        // run() calls and the final slice of a run materializes).
+        for (std::uint32_t i = 0; i < n; ++i) {
+            RC_ASSERT(!express[i].active ||
+                          express[i].exactCursor == express[i].cursor,
+                      "hooked slice entered with lazy express state");
+            express[i].active = false;
+        }
+    }
+    for (std::uint32_t i = 0; i < n; ++i)
+        readyCache[i] = cores[i]->readyAt();
 
     for (;;) {
         std::uint32_t idx = 0;
@@ -217,7 +602,8 @@ Cmp::run(Cycle cycles)
         if (snapEvery != 0 && refsProcessed % snapEvery == 0)
             snapHook(*this, next.readyAt());
     }
-    horizon = end;
+    if (commit)
+        horizon = end;
 }
 
 void
@@ -270,6 +656,12 @@ Cmp::setAbortFlag(const std::atomic<bool> *flag,
 void
 Cmp::save(Serializer &s) const
 {
+    for (const ExpressCore &ex : express) {
+        RC_ASSERT(!ex.active || ex.exactCursor == ex.cursor,
+                  "checkpoint of a fan-out member with lazy express "
+                  "state (save() is only quiescent at run boundaries "
+                  "and hook points)");
+    }
     s.beginSection("cmp");
 
     // Construction parameters: restore() validates these against its
@@ -482,8 +874,17 @@ Cmp::recall(Addr line_addr, std::uint32_t core_mask)
 {
     bool dirty = false;
     for (CoreId c = 0; c < cores.size(); ++c) {
-        if (core_mask & (1u << c))
+        if (core_mask & (1u << c)) {
+            // An express core's private state is stale; rebuild it at
+            // its canonical position before consulting it.
+            if (feed && express[c].active)
+                materializeExpress(c, curKeyValid && curKeyIdx == c);
             dirty |= cores[c]->priv().invalidate(line_addr);
+            // Recalls never reach the feed's recording hierarchies, so
+            // the touched sets have diverged from them for good.
+            if (feed)
+                feedMarkLine(c, line_addr);
+        }
     }
     return dirty;
 }
@@ -493,8 +894,13 @@ Cmp::downgrade(Addr line_addr, std::uint32_t core_mask)
 {
     bool dirty = false;
     for (CoreId c = 0; c < cores.size(); ++c) {
-        if (core_mask & (1u << c))
+        if (core_mask & (1u << c)) {
+            if (feed && express[c].active)
+                materializeExpress(c, curKeyValid && curKeyIdx == c);
             dirty |= cores[c]->priv().downgrade(line_addr);
+            if (feed)
+                feedMarkLine(c, line_addr);
+        }
     }
     return dirty;
 }

@@ -18,6 +18,7 @@
 #include <memory>
 #include <vector>
 
+#include "cache/geometry.hh"
 #include "cache/llc_iface.hh"
 #include "cache/prefetcher.hh"
 #include "mem/memctrl.hh"
@@ -31,6 +32,8 @@ namespace rc
 
 class Serializer;
 class Deserializer;
+class FanoutFeed;
+class ReplayStream;
 
 /** Per-core/per-level miss rates in misses per kilo-instruction. */
 struct MpkiTriple
@@ -55,6 +58,26 @@ class Cmp : public RecallHandler
 
     /** Advance simulated time by @p cycles. */
     void run(Cycle cycles);
+
+    /**
+     * Advance to absolute cycle @p end without necessarily committing
+     * the horizon: run(c) is runSlice(now() + c, true).  FanoutCmp
+     * interleaves its members in bounded quanta and commits only the
+     * final slice of each run() call, so mid-run hooks observe the same
+     * entry-horizon value they would in an unsliced run.
+     */
+    void runSlice(Cycle end, bool commit);
+
+    /**
+     * Fan-out client mode: references come as StepRecords from @p feed
+     * (the cores' streams must be the feed's ReplayStreams, matched by
+     * core id).  Recorded steps replay into the private hierarchies
+     * while the sets they touch are bit-identical to the feed's
+     * recording hierarchies; SLLC recalls/downgrades mark sets diverged
+     * and those references fall back to the ordinary classify path.
+     * Call once, immediately after construction.
+     */
+    void attachFeed(FanoutFeed *feed);
 
     /** Snapshot all counters; subsequent measured*() report deltas. */
     void beginMeasurement();
@@ -126,6 +149,12 @@ class Cmp : public RecallHandler
 
     /** References completed since construction (check-hook cadence). */
     std::uint64_t referencesProcessed() const { return refsProcessed; }
+
+    /** Fan-out references replayed from records (diagnostics). */
+    std::uint64_t feedReplays() const { return feedReplayed; }
+
+    /** Fan-out references that fell back to real classify. */
+    std::uint64_t feedFallbacks() const { return feedFellBack; }
 
     /**
      * Install a periodic checkpoint hook, symmetric to setCheckHook():
@@ -199,7 +228,26 @@ class Cmp : public RecallHandler
 
   private:
     void stepCore(Core &core);
+    void stepCoreFanout(Core &core);
     void issuePrefetches(Core &core, Addr demand_line, Cycle when);
+
+    // Fan-out divergence tracking (client mode only).
+    bool feedSetsClean(CoreId c, Addr line, bool is_instr) const;
+    void feedMarkLine(CoreId c, Addr line);
+    void feedMarkL1(CoreId c, Addr line);
+
+    // Express-lane fan-out replay (hook-free fast path only): jump a
+    // never-diverged core straight from one LLC-bound record to the
+    // next using the feed's prefix sums, leaving its private state
+    // stale in between and materializing it only when something must
+    // observe it (a recall/downgrade, or the end of a run() call).
+    void completeFanoutLlc(Core &core, const StepRecord &rec,
+                           const PrivateMissAction &act, bool replayed,
+                           Cycle returned);
+    void refreshExpressEvent(std::uint32_t c, Cycle end);
+    void expressEvent(std::uint32_t c, Cycle end);
+    void materializeExpress(CoreId c, bool self_step);
+    void finalizeExpress(std::uint32_t c, Cycle end);
 
     SystemConfig cfg;
     std::vector<std::unique_ptr<RefStream>> ownedStreams;
@@ -213,6 +261,58 @@ class Cmp : public RecallHandler
     Counter prefetchIssued = 0;
 
     Cycle horizon = 0;
+
+    // Fan-out client mode: record source, per-core cursor views into
+    // the ReplayStreams, and per-core set-divergence flags (one byte
+    // per set per store; a reference replays only when the L1 and L2
+    // sets it touches are all clean).
+    FanoutFeed *feed = nullptr;
+    std::vector<ReplayStream *> replays;
+    struct DivergedSets
+    {
+        bool any = false; //!< fast path: nothing marked for this core
+        std::vector<std::uint8_t> l1i;
+        std::vector<std::uint8_t> l1d;
+        std::vector<std::uint8_t> l2;
+    };
+    std::vector<DivergedSets> diverged;
+    std::uint64_t feedReplayed = 0; //!< replayed refs (diagnostics only)
+    std::uint64_t feedFellBack = 0; //!< real-classify refs in feed mode
+
+    /**
+     * Express-lane state of one fan-out core.  While active, the core's
+     * canonical position is (cursor, baseReady) with the feed's
+     * cumulative totals through cursor-1 cached in baseCumA/baseCumI;
+     * its Core object and private hierarchy are only exact through
+     * exactCursor and at the ready times of executed LLC events.  The
+     * scheduler sees the core at the pre-step ready time of its next
+     * LLC-bound record (eventIdx/eventPreReady).
+     */
+    struct ExpressCore
+    {
+        bool active = false;
+        bool hasEvent = false;
+        std::uint64_t cursor = 0;      //!< next unconsumed record
+        std::uint64_t exactCursor = 0; //!< private state exact through
+        Cycle baseReady = 0;           //!< canonical pre-ready of cursor
+        std::uint64_t baseCumA = 0;    //!< feed cumAIncl(cursor-1)
+        std::uint64_t baseCumI = 0;    //!< feed cumIIncl(cursor-1)
+        std::uint64_t eventIdx = 0;
+        Cycle eventPreReady = 0;
+    };
+    std::vector<ExpressCore> express;
+    bool expressEligible = false; //!< config allows express replay
+    bool expressDemoted = false;  //!< a recall deactivated a core mid-burst
+    // Scheduling key of the step in flight, so a recall can pin the
+    // canonical position of an express core it must materialize.
+    bool curKeyValid = false;
+    //! The in-flight express step has passed its SLLC response (its
+    //! whole record is canonical, not just the classify phase).
+    bool curKeyCompletion = false;
+    std::uint32_t curKeyIdx = 0;
+    Cycle curKeyReady = 0;
+    CacheGeometry privL1Geom;
+    CacheGeometry privL2Geom;
 
     // Periodic integrity hook (verify layer).
     std::uint64_t refsProcessed = 0;

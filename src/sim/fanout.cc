@@ -1,0 +1,406 @@
+#include "sim/fanout.hh"
+
+#include <algorithm>
+
+#include "common/log.hh"
+#include "snapshot/serializer.hh"
+
+namespace rc
+{
+
+FanoutFeed::FanoutFeed(const PrivateConfig &priv, StreamFactory factory_)
+    : privCfg(priv), factory(std::move(factory_))
+{
+    RC_ASSERT(factory, "fan-out feed needs a stream factory");
+    streams = factory();
+    RC_ASSERT(!streams.empty(), "stream factory produced no streams");
+    virgin.reserve(streams.size());
+    labels.reserve(streams.size());
+    per.resize(streams.size());
+    for (std::uint32_t c = 0; c < streams.size(); ++c) {
+        RC_ASSERT(streams[c], "stream factory produced a null stream");
+        virgin.push_back(std::make_unique<PrivateHierarchy>(
+            privCfg, c, "virgin" + std::to_string(c)));
+        labels.emplace_back(streams[c]->label());
+        per[c].ring.resize(kInitialRing);
+        per[c].cumA.resize(kInitialRing);
+        per[c].cumI.resize(kInitialRing);
+    }
+}
+
+FanoutFeed::~FanoutFeed() = default;
+
+void
+FanoutFeed::growRing(PerCore &pc)
+{
+    std::vector<StepRecord> bigger(pc.ring.size() * 2);
+    std::vector<std::uint64_t> bigger_a(bigger.size());
+    std::vector<std::uint64_t> bigger_i(bigger.size());
+    const std::size_t old_mask = pc.ring.size() - 1;
+    const std::size_t new_mask = bigger.size() - 1;
+    for (std::uint64_t i = pc.base; i < pc.generated; ++i) {
+        bigger[i & new_mask] = pc.ring[i & old_mask];
+        bigger_a[i & new_mask] = pc.cumA[i & old_mask];
+        bigger_i[i & new_mask] = pc.cumI[i & old_mask];
+    }
+    pc.ring.swap(bigger);
+    pc.cumA.swap(bigger_a);
+    pc.cumI.swap(bigger_i);
+}
+
+void
+FanoutFeed::extend(CoreId core, std::uint64_t idx)
+{
+    PerCore &pc = per[core];
+    RefStream &stream = *streams[core];
+    PrivateHierarchy &hier = *virgin[core];
+    while (pc.generated <= idx) {
+        // The live window [base, generated + kChunk) must fit the ring.
+        while (pc.generated + kChunk - pc.base > pc.ring.size())
+            growRing(pc);
+        // Chunk boundary: image the stream state before generating the
+        // chunk, so any record index inside it can be reconstructed,
+        // and the virgin hierarchy so express-lane members can
+        // materialize exact private state at any index inside it.
+        {
+            Serializer ser;
+            ser.beginSection("stream");
+            stream.save(ser);
+            ser.endSection();
+            pc.snaps.push_back(StreamSnap{pc.generated, ser.image()});
+        }
+        {
+            Serializer ser;
+            ser.beginSection("hier");
+            hier.save(ser);
+            ser.endSection();
+            pc.hsnaps.push_back(HierSnap{pc.generated, ser.image()});
+        }
+        const std::size_t mask = pc.ring.size() - 1;
+        for (std::uint64_t i = 0; i < kChunk; ++i) {
+            StepRecord &rec = pc.ring[pc.generated & mask];
+            const MemRef r = stream.next();
+            rec = StepRecord{};
+            rec.line = lineAlign(r.addr);
+            rec.think = r.think;
+            if (r.isInstr)
+                rec.flags |= StepRecord::kInstr;
+            if (r.op == MemOp::Write)
+                rec.flags |= StepRecord::kWrite;
+            const PrivateMissAction act =
+                hier.classifyRecord(rec.line, r.op, r.isInstr, rec);
+            if (act.needLlc) {
+                // The virgin hierarchy completes misses immediately:
+                // with no SLLC behind it, fills and upgrades always
+                // succeed and nothing ever recalls its lines.
+                if (act.event == ProtoEvent::UPG) {
+                    hier.upgradedRecord(rec.line, rec);
+                } else {
+                    Addr evict_line = 0;
+                    bool evict_dirty = false;
+                    hier.fillRecord(rec.line, r.isInstr,
+                                    act.event == ProtoEvent::GETX,
+                                    evict_line, evict_dirty, rec);
+                }
+                pc.llcIdx.push_back(pc.generated);
+            }
+            pc.aTotal += rec.think + act.latency;
+            pc.iTotal += rec.think + (r.isInstr ? 0 : 1);
+            pc.cumA[pc.generated & mask] = pc.aTotal;
+            pc.cumI[pc.generated & mask] = pc.iTotal;
+            ++pc.generated;
+        }
+    }
+}
+
+void
+FanoutFeed::trim(CoreId core, std::uint64_t min_idx)
+{
+    PerCore &pc = per[core];
+    // Trim to the chunk boundary below min_idx, not min_idx itself:
+    // materializeHier() replays records from the newest hierarchy
+    // snapshot at or before a member's cursor, so the records between
+    // that boundary and the cursor must stay live.
+    const std::uint64_t floor_idx = min_idx & ~(kChunk - 1);
+    if (floor_idx > pc.base)
+        pc.base = std::min(floor_idx, pc.generated);
+    while (!pc.llcIdx.empty() && pc.llcIdx.front() < pc.base)
+        pc.llcIdx.pop_front();
+    // Keep the newest snapshot at or before the floor: it anchors
+    // stream/hierarchy reconstruction for every index a member can
+    // still reach.
+    while (pc.snaps.size() >= 2 && pc.snaps[1].idx <= floor_idx)
+        pc.snaps.pop_front();
+    while (pc.hsnaps.size() >= 2 && pc.hsnaps[1].idx <= floor_idx)
+        pc.hsnaps.pop_front();
+}
+
+/** Canonical pre-step ready time of record @p j for a core whose state
+ *  is (@p cursor, @p base_ready, @p base_cum_a); j must be >= cursor
+ *  and the records [cursor, j) must all be private-complete. */
+static inline Cycle
+preReadyOf(const std::vector<std::uint64_t> &cum_a, std::size_t mask,
+           std::uint64_t cursor, std::uint64_t base_cum_a,
+           Cycle base_ready, std::uint64_t j)
+{
+    return j == cursor
+               ? base_ready
+               : base_ready + (cum_a[(j - 1) & mask] - base_cum_a);
+}
+
+FanoutFeed::NextEvent
+FanoutFeed::nextLlcBounded(CoreId core, std::uint64_t cursor,
+                           std::uint64_t base_cum_a, Cycle base_ready,
+                           Cycle end)
+{
+    PerCore &pc = per[core];
+    for (;;) {
+        const std::size_t mask = pc.ring.size() - 1;
+        const auto it = std::lower_bound(pc.llcIdx.begin(),
+                                         pc.llcIdx.end(), cursor);
+        if (it != pc.llcIdx.end()) {
+            const std::uint64_t k = *it;
+            const Cycle pre = preReadyOf(pc.cumA, mask, cursor,
+                                         base_cum_a, base_ready, k);
+            if (pre >= end)
+                return NextEvent{};
+            return NextEvent{true, k, pre};
+        }
+        // No LLC-bound record generated yet: if the core provably
+        // reaches the quantum boundary first, stop; otherwise generate
+        // another chunk and look again.
+        if (preReadyOf(pc.cumA, mask, cursor, base_cum_a, base_ready,
+                       pc.generated) >= end) {
+            return NextEvent{};
+        }
+        extend(core, pc.generated);
+    }
+}
+
+/** Shared binary search: first index in [cursor, limit] whose pre-step
+ *  ready time satisfies `pre > bound` (strict) or `pre >= bound`. */
+static std::uint64_t
+firstAtOrPast(const std::vector<std::uint64_t> &cum_a, std::size_t mask,
+              std::uint64_t cursor, std::uint64_t base_cum_a,
+              Cycle base_ready, std::uint64_t limit, Cycle bound,
+              bool strict)
+{
+    std::uint64_t lo = cursor;
+    std::uint64_t hi = limit;
+    while (lo < hi) {
+        const std::uint64_t mid = lo + (hi - lo) / 2;
+        const Cycle pre = preReadyOf(cum_a, mask, cursor, base_cum_a,
+                                     base_ready, mid);
+        const bool past = strict ? pre > bound : pre >= bound;
+        if (past)
+            hi = mid;
+        else
+            lo = mid + 1;
+    }
+    return lo;
+}
+
+std::uint64_t
+FanoutFeed::cursorAtCycle(CoreId core, std::uint64_t cursor,
+                          std::uint64_t base_cum_a, Cycle base_ready,
+                          Cycle end)
+{
+    PerCore &pc = per[core];
+    while (pc.generated <= cursor ||
+           preReadyOf(pc.cumA, pc.ring.size() - 1, cursor, base_cum_a,
+                      base_ready, pc.generated) < end) {
+        extend(core, pc.generated);
+    }
+    return firstAtOrPast(pc.cumA, pc.ring.size() - 1, cursor, base_cum_a,
+                         base_ready, pc.generated, end, false);
+}
+
+std::uint64_t
+FanoutFeed::cursorAtKey(CoreId core, std::uint64_t cursor,
+                        std::uint64_t base_cum_a, Cycle base_ready,
+                        Cycle key_ready, bool strict)
+{
+    PerCore &pc = per[core];
+    while (pc.generated <= cursor ||
+           preReadyOf(pc.cumA, pc.ring.size() - 1, cursor, base_cum_a,
+                      base_ready, pc.generated) <= key_ready) {
+        extend(core, pc.generated);
+    }
+    return firstAtOrPast(pc.cumA, pc.ring.size() - 1, cursor, base_cum_a,
+                         base_ready, pc.generated, key_ready, strict);
+}
+
+void
+FanoutFeed::materializeHier(CoreId core, std::uint64_t idx,
+                            PrivateHierarchy &hier) const
+{
+    const PerCore &pc = per[core];
+    RC_ASSERT(idx <= pc.generated,
+              "materializeHier(%llu) beyond generated %llu",
+              static_cast<unsigned long long>(idx),
+              static_cast<unsigned long long>(pc.generated));
+    const HierSnap *anchor = nullptr;
+    for (const HierSnap &snap : pc.hsnaps) {
+        if (snap.idx > idx)
+            break;
+        anchor = &snap;
+    }
+    RC_ASSERT(anchor,
+              "no hierarchy snapshot at or before record %llu of core %u",
+              static_cast<unsigned long long>(idx), core);
+    {
+        Deserializer d(anchor->image);
+        d.beginSection("hier");
+        hier.restore(d);
+        d.endSection();
+    }
+    // Replay the intervening records: a never-diverged member replica
+    // is bit-identical to the virgin hierarchy at every index, so the
+    // apply path reproduces its exact state (and counters) at idx.
+    const std::size_t mask = pc.ring.size() - 1;
+    for (std::uint64_t i = anchor->idx; i < idx; ++i) {
+        const StepRecord &rec = pc.ring[i & mask];
+        const PrivateMissAction act = hier.applyClassify(rec);
+        if (act.needLlc) {
+            if (act.event == ProtoEvent::UPG) {
+                hier.applyUpgraded(rec);
+            } else {
+                Addr evict_line = 0;
+                bool evict_dirty = false;
+                (void)hier.applyFill(rec, evict_line, evict_dirty);
+            }
+        }
+    }
+}
+
+void
+FanoutFeed::saveStreamAt(CoreId core, std::uint64_t idx,
+                         Serializer &s) const
+{
+    const PerCore &pc = per[core];
+    const StreamSnap *anchor = nullptr;
+    for (const StreamSnap &snap : pc.snaps) {
+        if (snap.idx > idx)
+            break;
+        anchor = &snap;
+    }
+    RC_ASSERT(anchor,
+              "no stream snapshot at or before record %llu of core %u",
+              static_cast<unsigned long long>(idx), core);
+
+    std::vector<std::unique_ptr<RefStream>> fresh = factory();
+    RC_ASSERT(core < fresh.size(), "stream factory shrank");
+    RefStream &stream = *fresh[core];
+    {
+        Deserializer d(anchor->image);
+        d.beginSection("stream");
+        stream.restore(d);
+        d.endSection();
+    }
+    for (std::uint64_t i = anchor->idx; i < idx; ++i)
+        (void)stream.next();
+    stream.save(s);
+}
+
+MemRef
+ReplayStream::next()
+{
+    panic("ReplayStream::next: fan-out members consume StepRecords, "
+          "never raw references");
+}
+
+void
+ReplayStream::restore(Deserializer &d)
+{
+    (void)d;
+    throwSimError(SimError::Kind::Snapshot,
+                  "fan-out member systems cannot be restored into; "
+                  "resumed runs execute independently");
+}
+
+FanoutCmp::FanoutCmp(const std::vector<SystemConfig> &configs,
+                     StreamFactory factory_)
+{
+    RC_ASSERT(!configs.empty(), "fan-out needs at least one config");
+    const SystemConfig &head = configs.front();
+    RC_ASSERT(!head.prefetch.enable,
+              "fan-out requires prefetching disabled");
+    for (const SystemConfig &c : configs) {
+        RC_ASSERT(samePrivatePrefix(head, c),
+                  "fan-out members must share the private prefix");
+    }
+
+    feed = std::make_unique<FanoutFeed>(head.priv, std::move(factory_));
+    RC_ASSERT(feed->numCores() == head.numCores,
+              "stream factory produced %u streams for %u cores",
+              feed->numCores(), head.numCores);
+
+    members.reserve(configs.size());
+    cursors.reserve(configs.size());
+    for (const SystemConfig &c : configs) {
+        std::vector<std::unique_ptr<RefStream>> streams;
+        std::vector<ReplayStream *> views;
+        streams.reserve(c.numCores);
+        views.reserve(c.numCores);
+        for (CoreId i = 0; i < c.numCores; ++i) {
+            auto rs = std::make_unique<ReplayStream>(*feed, i);
+            views.push_back(rs.get());
+            streams.push_back(std::move(rs));
+        }
+        auto m = std::make_unique<Cmp>(c, std::move(streams));
+        m->attachFeed(feed.get());
+        members.push_back(std::move(m));
+        cursors.push_back(std::move(views));
+    }
+}
+
+bool
+FanoutCmp::samePrivatePrefix(const SystemConfig &a, const SystemConfig &b)
+{
+    return a.numCores == b.numCores &&
+           a.priv.l1Bytes == b.priv.l1Bytes &&
+           a.priv.l1Ways == b.priv.l1Ways &&
+           a.priv.l1Latency == b.priv.l1Latency &&
+           a.priv.l2Bytes == b.priv.l2Bytes &&
+           a.priv.l2Ways == b.priv.l2Ways &&
+           a.priv.l2Latency == b.priv.l2Latency &&
+           a.prefetch.enable == b.prefetch.enable &&
+           a.prefetch.degree == b.prefetch.degree &&
+           a.prefetch.tableEntries == b.prefetch.tableEntries &&
+           a.prefetch.regionShift == b.prefetch.regionShift &&
+           a.prefetch.minConfidence == b.prefetch.minConfidence &&
+           a.seed == b.seed && a.capacityScale == b.capacityScale;
+}
+
+void
+FanoutCmp::run(Cycle cycles)
+{
+    const Cycle start = now();
+    for (const auto &m : members) {
+        RC_ASSERT(m->now() == start, "fan-out members out of lockstep");
+    }
+    const Cycle end = start + cycles;
+    Cycle target = start;
+    while (target < end) {
+        target = std::min(target + kQuantum, end);
+        for (auto &m : members)
+            m->runSlice(target, target == end);
+
+        // Everything every member has consumed can be dropped.
+        for (CoreId c = 0; c < feed->numCores(); ++c) {
+            std::uint64_t min_idx = cursors.front()[c]->cursor;
+            for (const auto &views : cursors)
+                min_idx = std::min(min_idx, views[c]->cursor);
+            feed->trim(c, min_idx);
+        }
+    }
+}
+
+void
+FanoutCmp::beginMeasurement()
+{
+    for (auto &m : members)
+        m->beginMeasurement();
+}
+
+} // namespace rc
