@@ -12,7 +12,9 @@
 #include <mutex>
 #include <thread>
 
+#include <dirent.h>
 #include <sys/stat.h>
+#include <unistd.h>
 
 #include "common/log.hh"
 #include "common/task_pool.hh"
@@ -275,10 +277,55 @@ currentRunAbortFlag()
     return tlsAbortFlag;
 }
 
+ScopedRunWatch::ScopedRunWatch(const std::atomic<bool> *abort,
+                               std::atomic<std::uint64_t> *heartbeat)
+    : prevAbort(tlsAbortFlag), prevHeartbeat(tlsHeartbeat)
+{
+    tlsAbortFlag = abort;
+    tlsHeartbeat = heartbeat;
+}
+
+ScopedRunWatch::~ScopedRunWatch()
+{
+    tlsAbortFlag = prevAbort;
+    tlsHeartbeat = prevHeartbeat;
+}
+
 std::uint64_t
 currentBatchIndex()
 {
     return activeBatch.load(std::memory_order_relaxed);
+}
+
+void
+pruneHangDumps(const std::string &dir, std::size_t keep)
+{
+    if (keep == 0 || dir.empty())
+        return;
+    DIR *d = ::opendir(dir.c_str());
+    if (!d)
+        return;
+    // (mtime, name) so same-second dumps still order deterministically.
+    std::vector<std::pair<std::pair<std::int64_t, std::string>,
+                          std::string>> dumps;
+    while (struct dirent *ent = ::readdir(d)) {
+        const std::string name = ent->d_name;
+        if (name.rfind("hang-", 0) != 0 || name.size() < 5 + 5 ||
+            name.substr(name.size() - 5) != ".dump")
+            continue;
+        const std::string path = dir + "/" + name;
+        struct stat st;
+        if (::stat(path.c_str(), &st) != 0)
+            continue;
+        dumps.push_back({{static_cast<std::int64_t>(st.st_mtime), name},
+                         path});
+    }
+    ::closedir(d);
+    if (dumps.size() <= keep)
+        return;
+    std::sort(dumps.begin(), dumps.end());
+    for (std::size_t i = 0; i + keep < dumps.size(); ++i)
+        ::unlink(dumps[i].second.c_str());
 }
 
 void
@@ -1003,6 +1050,9 @@ executeRun(const SystemConfig &cfg,
                 writeRunState(c, phase, opt, sampler, dumpPath);
                 warn("watchdog: diagnostic state dump written to '%s'",
                      dumpPath.c_str());
+                // A sweep that keeps tripping its watchdog across
+                // relaunches must not fill the disk with diagnostics.
+                pruneHangDumps(opt.sweepDir, opt.hangDumpKeep);
             } catch (const SimError &err) {
                 warn("watchdog: cannot write the state dump: %s",
                      err.what());
@@ -1200,49 +1250,12 @@ runParallel(const SystemConfig &sys, const AppProfile &app,
                       opt, nullptr, nullptr, nullptr);
 }
 
+// RunResult's field-level serialization moved to src/sim/run_result.cc
+// (rc::saveRunResult / rc::loadRunResult, found here via ADL) when the
+// sweep daemon started persisting the same values.
+
 namespace
 {
-
-/** Field-level RunResult serialization shared by the sweep codecs. */
-void
-saveRunResult(Serializer &s, const RunResult &r)
-{
-    s.putDouble(r.aggregateIpc);
-    s.putU64(r.coreIpc.size());
-    for (double v : r.coreIpc)
-        s.putDouble(v);
-    s.putU64(r.mpki.size());
-    for (const MpkiTriple &m : r.mpki) {
-        s.putDouble(m.l1);
-        s.putDouble(m.l2);
-        s.putDouble(m.llc);
-    }
-    s.putDouble(r.fracNeverEnteredData);
-    s.putU64(r.llcAccesses);
-    s.putU64(r.llcMemFetches);
-    s.putU64(r.dramReads);
-}
-
-RunResult
-loadRunResult(Deserializer &d)
-{
-    RunResult r;
-    r.aggregateIpc = d.getDouble();
-    r.coreIpc.resize(d.getU64());
-    for (double &v : r.coreIpc)
-        v = d.getDouble();
-    r.mpki.resize(d.getU64());
-    for (MpkiTriple &m : r.mpki) {
-        m.l1 = d.getDouble();
-        m.l2 = d.getDouble();
-        m.llc = d.getDouble();
-    }
-    r.fracNeverEnteredData = d.getDouble();
-    r.llcAccesses = d.getU64();
-    r.llcMemFetches = d.getU64();
-    r.dramReads = d.getU64();
-    return r;
-}
 
 /**
  * In-process memo of finished RunResults keyed by (config, mix,
@@ -1586,6 +1599,23 @@ printHeader(const std::string &artifact, const std::string &claim,
                 static_cast<unsigned long long>(opt.seed),
                 effectiveJobs(opt));
     std::fflush(stdout);
+}
+
+::rc::RunResult
+simulateRequest(const svc::RunRequest &req, const std::atomic<bool> *abort,
+                std::atomic<std::uint64_t> *heartbeat)
+{
+    RunOptions opt;
+    opt.scale = req.scale;
+    opt.warmup = req.warmup;
+    opt.measure = req.measure;
+    opt.seed = req.seed;
+    opt.jobs = 1; // one request = one run; concurrency is the daemon's
+    // Adopt the caller's watchdog (the daemon's per-job abort flag and
+    // heartbeat); with both null this is a plain deterministic run —
+    // the client's in-process fallback path — and bit-identical.
+    ScopedRunWatch watch(abort, heartbeat);
+    return runMix(req.config, req.mix, opt);
 }
 
 } // namespace rc::bench

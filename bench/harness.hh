@@ -58,7 +58,9 @@
 #include <vector>
 
 #include "analysis/liveness.hh"
+#include "service/run_request.hh"
 #include "sim/cmp.hh"
+#include "sim/run_result.hh"
 #include "workloads/mixes.hh"
 #include "workloads/parallel.hh"
 
@@ -139,6 +141,15 @@ struct RunOptions
      * for the bench CLIs.
      */
     double hangTimeout = 0.0;
+
+    /**
+     * How many hang-*.dump diagnostics to keep under sweepDir: after a
+     * new dump lands, only the newest hangDumpKeep survive (oldest by
+     * modification time are deleted).  A sweep that keeps hitting its
+     * watchdog across relaunches would otherwise accumulate dumps
+     * without bound.  0 keeps everything.
+     */
+    std::size_t hangDumpKeep = 8;
 
     /**
      * Test hook simulating a kill -9: the run throws SimError(Snapshot)
@@ -245,6 +256,49 @@ std::uint64_t currentBatchIndex();
 /** Reset the process-global batch counter (tests only). */
 void resetSweepBatchesForTest();
 
+/**
+ * RAII adoption of an external watchdog: while alive, runs executed on
+ * the calling thread publish forward progress into @p heartbeat and
+ * honour @p abort, through exactly the wiring forEachRun's own monitor
+ * uses.  The sweep daemon arms one per job so its watchdog can abort a
+ * hung or deadline-expired simulation; restores the previous wiring on
+ * destruction.
+ */
+/**
+ * Delete all but the newest @p keep `hang-*.dump` diagnostics under
+ * @p dir (newest by modification time, file name breaking ties).
+ * Invoked automatically after every watchdog dump; 0 keeps everything.
+ */
+void pruneHangDumps(const std::string &dir, std::size_t keep);
+
+class ScopedRunWatch
+{
+  public:
+    ScopedRunWatch(const std::atomic<bool> *abort,
+                   std::atomic<std::uint64_t> *heartbeat);
+    ~ScopedRunWatch();
+
+    ScopedRunWatch(const ScopedRunWatch &) = delete;
+    ScopedRunWatch &operator=(const ScopedRunWatch &) = delete;
+
+  private:
+    const std::atomic<bool> *prevAbort;
+    std::atomic<std::uint64_t> *prevHeartbeat;
+};
+
+/**
+ * Execute one service-layer RunRequest with runMix, wiring the daemon's
+ * abort flag and heartbeat into the run (ScopedRunWatch).  This is the
+ * SimulateFn the rc-daemon/rc-client CLIs and tests hand to the service
+ * layer; calling it directly (the client's in-process fallback) yields
+ * bit-identical results because runMix is deterministic in
+ * (config, mix, seed, scale, windows).
+ */
+::rc::RunResult simulateRequest(const svc::RunRequest &req,
+                                const std::atomic<bool> *abort = nullptr,
+                                std::atomic<std::uint64_t> *heartbeat =
+                                    nullptr);
+
 /** Quarantined runs across every batch in this process. */
 std::uint64_t quarantinedRunsTotal();
 
@@ -309,17 +363,13 @@ std::vector<RunOutcome> forEachRun(
  */
 double speedupRatio(double sys_ipc, double baseline_ipc);
 
-/** Results of one simulation run. */
-struct RunResult
-{
-    double aggregateIpc = 0.0;
-    std::vector<double> coreIpc;
-    std::vector<MpkiTriple> mpki;
-    double fracNeverEnteredData = -1.0; //!< reuse cache only
-    Counter llcAccesses = 0;
-    Counter llcMemFetches = 0;
-    Counter dramReads = 0;
-};
+/**
+ * Results of one simulation run.  The struct itself lives in the core
+ * library (sim/run_result.hh) so the sweep daemon's result cache and
+ * wire protocol exchange exactly the value the harness computes; the
+ * alias keeps every bench spelling it rc::bench::RunResult.
+ */
+using RunResult = ::rc::RunResult;
 
 /**
  * Simulate one multiprogrammed mix on one system configuration.

@@ -1,0 +1,486 @@
+/**
+ * @file
+ * Stress and fault-matrix exercise of the simulation service.
+ *
+ * Phases (each verified against an in-process oracle with exact bitwise
+ * result comparison — the daemon must never return a wrong answer, only
+ * a slow or an error one):
+ *
+ *  1. oracle     simulate the request set directly (the ground truth)
+ *  2. cold       every request through the daemon once (all misses)
+ *  3. hot        --requests total requests from --threads concurrent
+ *                clients, all served from the result cache; the mean
+ *                hit must be >= --min-hit-speedup faster than cold
+ *  4. overload   a burst against a 1-worker/depth-1 daemon: Busy sheds
+ *                observed, every result still correct (retry/fallback)
+ *  5. torn-reply truncated SimResult frames mid-stream: detected as
+ *                SimError(Protocol), recovered by reconnect-and-retry
+ *  6. bad-blob   corrupted cache blobs: demoted to re-simulation
+ *  7. hung-run   a stalling job: watchdog abort, Error to the client
+ *  8. no-daemon  unreachable socket: in-process fallback, bit-identical
+ *  9. restart    kill -9 emulation: torn blob + stale tmp left behind,
+ *                new daemon on the same cache dir recovers the intact
+ *                entries and re-simulates the torn one
+ *
+ * Writes BENCH_daemon.json with latencies, counters and a pass flag per
+ * phase.  Exits nonzero if any phase fails.
+ */
+
+#include <atomic>
+#include <cerrno>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include "common/log.hh"
+#include "harness.hh"
+#include "service/client.hh"
+#include "service/daemon.hh"
+
+using namespace rc;
+using namespace rc::svc;
+
+namespace
+{
+
+using Clock = std::chrono::steady_clock;
+
+double
+secondsSince(Clock::time_point t0)
+{
+    return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+/** The deterministic request set the whole stress run revolves around. */
+std::vector<RunRequest>
+makeRequests(std::uint32_t count)
+{
+    const SystemConfig base = baselineSystem(8);
+    const SystemConfig reuse = reuseSystem(1.0, 1.0, 0, 8);
+    const std::vector<Mix> mixes =
+        makeMixes((count + 1) / 2, base.numCores, 7);
+    std::vector<RunRequest> reqs;
+    for (std::uint32_t i = 0; i < count; ++i) {
+        RunRequest r;
+        r.config = (i % 2 == 0) ? base : reuse;
+        r.mix = mixes[i / 2];
+        r.seed = 42;
+        r.scale = 8;
+        r.warmup = 60'000;
+        r.measure = 300'000;
+        reqs.push_back(r);
+    }
+    return reqs;
+}
+
+SimulateFn
+directSim()
+{
+    return [](const RunRequest &req, const std::atomic<bool> *abort,
+              std::atomic<std::uint64_t> *heartbeat) {
+        return bench::simulateRequest(req, abort, heartbeat);
+    };
+}
+
+struct PhaseRecord
+{
+    std::string name;
+    bool pass = false;
+    double seconds = 0.0;
+    std::string note;
+};
+
+bool
+verifyAll(const std::vector<RunRequest> &reqs,
+          const std::vector<RunResult> &oracle, RcClient &client,
+          std::uint64_t &wrong)
+{
+    for (std::size_t i = 0; i < reqs.size(); ++i) {
+        const RunResult got = client.simulate(reqs[i]);
+        if (!runResultsEqual(got, oracle[i]))
+            ++wrong;
+    }
+    return wrong == 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::uint64_t totalRequests = 2'000;
+    std::uint32_t threads = 8;
+    std::uint32_t distinct = 8;
+    double minHitSpeedup = 100.0;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto value = [&arg](const char *prefix) -> const char * {
+            return arg.rfind(prefix, 0) == 0 ? arg.c_str() +
+                                                   std::strlen(prefix)
+                                             : nullptr;
+        };
+        if (const char *v = value("--requests="))
+            totalRequests = static_cast<std::uint64_t>(std::atoll(v));
+        else if (const char *v = value("--threads="))
+            threads = static_cast<std::uint32_t>(std::atoi(v));
+        else if (const char *v = value("--distinct="))
+            distinct = static_cast<std::uint32_t>(std::atoi(v));
+        else if (const char *v = value("--min-hit-speedup="))
+            minHitSpeedup = std::atof(v);
+        else {
+            std::fprintf(stderr, "unknown flag '%s'\n", arg.c_str());
+            return 2;
+        }
+    }
+
+    setQuiet(true); // keep the phase table clean of harness chatter
+    const std::string dir =
+        "stress-daemon-" + std::to_string(::getpid());
+    if (::mkdir(dir.c_str(), 0777) != 0 && errno != EEXIST) {
+        std::perror("mkdir");
+        return 1;
+    }
+    const std::string sock = "/tmp/rc-stress-" +
+                             std::to_string(::getpid()) + ".sock";
+    const std::vector<RunRequest> reqs = makeRequests(distinct);
+    std::vector<PhaseRecord> phases;
+    std::uint64_t wrongTotal = 0;
+    double coldPerReq = 0.0, hotPerReq = 0.0, hitSpeedup = 0.0;
+
+    auto phase = [&phases](const std::string &name) {
+        phases.push_back({name, false, 0.0, ""});
+        return Clock::now();
+    };
+    auto endPhase = [&phases](Clock::time_point t0, bool pass,
+                              std::string note) {
+        phases.back().seconds = secondsSince(t0);
+        phases.back().pass = pass;
+        phases.back().note = std::move(note);
+        std::printf("%-10s %s  (%.3fs)  %s\n", phases.back().name.c_str(),
+                    pass ? "pass" : "FAIL", phases.back().seconds,
+                    phases.back().note.c_str());
+        std::fflush(stdout);
+    };
+
+    // 1. oracle ------------------------------------------------------
+    auto t0 = phase("oracle");
+    std::vector<RunResult> oracle;
+    for (const RunRequest &r : reqs)
+        oracle.push_back(bench::simulateRequest(r));
+    endPhase(t0, true,
+             std::to_string(reqs.size()) + " direct simulations");
+
+    ClientConfig ccfg;
+    ccfg.socketPath = sock;
+    ccfg.fallback = directSim();
+
+    // 2 + 3. cold then hot against one daemon ------------------------
+    {
+        DaemonConfig dcfg;
+        dcfg.socketPath = sock;
+        dcfg.cacheDir = dir + "/cache";
+        dcfg.workers = threads;
+        dcfg.queueDepth = 256;
+        Daemon daemon(dcfg, directSim());
+        daemon.start();
+
+        t0 = phase("cold");
+        std::uint64_t wrong = 0;
+        RcClient coldClient(ccfg);
+        const bool coldOk = verifyAll(reqs, oracle, coldClient, wrong);
+        coldPerReq = secondsSince(t0) / static_cast<double>(reqs.size());
+        endPhase(t0, coldOk && coldClient.counters().fallbacks == 0,
+                 std::to_string(wrong) + " wrong results");
+        wrongTotal += wrong;
+
+        t0 = phase("hot");
+        std::atomic<std::uint64_t> hotWrong{0};
+        std::vector<std::thread> pool;
+        const std::uint64_t perThread =
+            (totalRequests + threads - 1) / threads;
+        for (std::uint32_t t = 0; t < threads; ++t)
+            pool.emplace_back([&, t] {
+                ClientConfig tc = ccfg;
+                tc.seed = t + 1;
+                RcClient client(tc);
+                for (std::uint64_t i = 0; i < perThread; ++i) {
+                    const std::size_t at = (t + i) % reqs.size();
+                    const RunResult got = client.simulate(reqs[at]);
+                    if (!runResultsEqual(got, oracle[at]))
+                        hotWrong.fetch_add(1);
+                }
+            });
+        for (std::thread &th : pool)
+            th.join();
+        const std::uint64_t issued = perThread * threads;
+        const double hotWall = secondsSince(t0);
+
+        // Per-hit latency is a single-client measure; the concurrent
+        // pass above mixes in queueing delay, which is throughput, not
+        // latency.
+        std::uint64_t latWrong = 0;
+        RcClient latClient(ccfg);
+        const Clock::time_point l0 = Clock::now();
+        constexpr std::uint64_t latProbes = 400;
+        for (std::uint64_t i = 0; i < latProbes; ++i) {
+            const std::size_t at = i % reqs.size();
+            if (!runResultsEqual(latClient.simulate(reqs[at]),
+                                 oracle[at]))
+                ++latWrong;
+        }
+        hotPerReq = secondsSince(l0) / static_cast<double>(latProbes);
+        hitSpeedup = hotPerReq > 0 ? coldPerReq / hotPerReq : 0.0;
+        const bool hotOk = hotWrong.load() == 0 && latWrong == 0 &&
+                           hitSpeedup >= minHitSpeedup;
+        char note[200];
+        std::snprintf(
+            note, sizeof(note),
+            "%llu concurrent (%.0f/s) + %llu serial, %llu wrong, hit "
+            "%.0fus vs cold %.0fus = %.0fx (need >= %.0fx)",
+            static_cast<unsigned long long>(issued),
+            static_cast<double>(issued) / hotWall,
+            static_cast<unsigned long long>(latProbes),
+            static_cast<unsigned long long>(hotWrong.load() + latWrong),
+            hotPerReq * 1e6, coldPerReq * 1e6, hitSpeedup, minHitSpeedup);
+        endPhase(t0, hotOk, note);
+        wrongTotal += hotWrong.load() + latWrong;
+
+        daemon.requestStop();
+        daemon.stop();
+    }
+
+    // 4. overload: tiny queue, slow worker, concurrent burst ---------
+    {
+        DaemonConfig dcfg;
+        dcfg.socketPath = sock;
+        dcfg.cacheDir = dir + "/cache-overload";
+        dcfg.workers = 1;
+        dcfg.queueDepth = 1;
+        dcfg.retryAfterMs = 10;
+        Daemon daemon(dcfg, directSim());
+        daemon.start();
+
+        t0 = phase("overload");
+        std::atomic<std::uint64_t> wrong{0};
+        std::vector<std::thread> pool;
+        for (std::uint32_t t = 0; t < threads; ++t)
+            pool.emplace_back([&, t] {
+                ClientConfig tc = ccfg;
+                tc.seed = 100 + t;
+                tc.maxAttempts = 4;
+                tc.backoffBaseMs = 5;
+                RcClient client(tc);
+                for (std::size_t i = 0; i < reqs.size(); ++i) {
+                    const std::size_t at = (i + t) % reqs.size();
+                    const RunResult got = client.simulate(reqs[at]);
+                    if (!runResultsEqual(got, oracle[at]))
+                        wrong.fetch_add(1);
+                }
+            });
+        for (std::thread &th : pool)
+            th.join();
+        const DaemonCounters c = daemon.counters();
+        endPhase(t0, wrong.load() == 0 && c.sheds > 0,
+                 std::to_string(c.sheds) + " sheds, " +
+                     std::to_string(wrong.load()) + " wrong");
+        wrongTotal += wrong.load();
+        daemon.requestStop();
+        daemon.stop();
+    }
+
+    // 5. torn replies ------------------------------------------------
+    {
+        DaemonConfig dcfg;
+        dcfg.socketPath = sock;
+        dcfg.cacheDir = dir + "/cache-torn";
+        dcfg.workers = 2;
+        dcfg.faultTruncateReplies = 3;
+        Daemon daemon(dcfg, directSim());
+        daemon.start();
+
+        t0 = phase("torn-reply");
+        std::uint64_t wrong = 0;
+        RcClient client(ccfg);
+        const bool ok = verifyAll(reqs, oracle, client, wrong);
+        const ClientCounters cc = client.counters();
+        endPhase(t0, ok && cc.reconnects >= 3,
+                 std::to_string(cc.reconnects) + " reconnects, " +
+                     std::to_string(wrong) + " wrong");
+        wrongTotal += wrong;
+        daemon.requestStop();
+        daemon.stop();
+    }
+
+    // 6. corrupted blobs ---------------------------------------------
+    {
+        DaemonConfig dcfg;
+        dcfg.socketPath = sock;
+        dcfg.cacheDir = dir + "/cache-corrupt";
+        dcfg.workers = 2;
+        dcfg.faultCorruptBlobs = 2; // first two stores are mangled
+        Daemon daemon(dcfg, directSim());
+        daemon.start();
+
+        t0 = phase("bad-blob");
+        std::uint64_t wrong = 0;
+        RcClient client(ccfg);
+        bool ok = verifyAll(reqs, oracle, client, wrong); // misses+stores
+        ok = verifyAll(reqs, oracle, client, wrong) && ok; // hits probe
+        const ResultCacheStats cs = daemon.cache().stats();
+        endPhase(t0, ok && cs.corruptDropped >= 2,
+                 std::to_string(cs.corruptDropped) +
+                     " corrupt blobs dropped, " + std::to_string(wrong) +
+                     " wrong");
+        wrongTotal += wrong;
+        daemon.requestStop();
+        daemon.stop();
+    }
+
+    // 7. hung run: the watchdog must abort it ------------------------
+    {
+        DaemonConfig dcfg;
+        dcfg.socketPath = sock;
+        dcfg.cacheDir = dir + "/cache-hang";
+        dcfg.workers = 1;
+        dcfg.hangTimeout = 0.2;
+        // A request with this marker seed stalls without heartbeat
+        // until the watchdog aborts it — the livelock test hook of the
+        // service layer.
+        const std::uint64_t hangSeed = 0xdeadbeef;
+        Daemon daemon(dcfg, [hangSeed](const RunRequest &req,
+                                       const std::atomic<bool> *abort,
+                                       std::atomic<std::uint64_t> *beat) {
+            if (req.seed == hangSeed) {
+                while (abort == nullptr || !abort->load())
+                    std::this_thread::sleep_for(
+                        std::chrono::milliseconds(5));
+                throwSimError(SimError::Kind::Hang,
+                              "run aborted by the service watchdog");
+            }
+            return bench::simulateRequest(req, abort, beat);
+        });
+        daemon.start();
+
+        t0 = phase("hung-run");
+        RunRequest hung = reqs[0];
+        hung.seed = hangSeed;
+        ClientConfig hc = ccfg;
+        hc.fallback = nullptr; // the error must surface, not be hidden
+        RcClient client(hc);
+        bool sawHang = false;
+        try {
+            client.simulate(hung);
+        } catch (const SimError &err) {
+            sawHang = err.kind() == SimError::Kind::Hang;
+        }
+        const DaemonCounters c = daemon.counters();
+        endPhase(t0, sawHang && c.hangAborts == 1 && c.quarantines == 1,
+                 std::string("watchdog abort ") +
+                     (sawHang ? "surfaced" : "LOST"));
+        daemon.requestStop();
+        daemon.stop();
+    }
+
+    // 8. daemon unreachable: in-process fallback ---------------------
+    {
+        t0 = phase("no-daemon");
+        ClientConfig fc = ccfg;
+        fc.socketPath = "/tmp/rc-stress-nobody-home.sock";
+        RcClient client(fc);
+        std::uint64_t wrong = 0;
+        const bool ok = verifyAll(reqs, oracle, client, wrong);
+        endPhase(t0,
+                 ok && client.counters().fallbacks == reqs.size(),
+                 std::to_string(client.counters().fallbacks) +
+                     " fallbacks, " + std::to_string(wrong) + " wrong");
+        wrongTotal += wrong;
+    }
+
+    // 9. kill -9 emulation and restart recovery ----------------------
+    {
+        t0 = phase("restart");
+        const std::string cacheDir = dir + "/cache"; // phase-2 blobs
+        // Tear one blob mid-write and leave a stale tmp file behind, as
+        // a kill -9 between fwrite and rename would.
+        const std::uint64_t victim = requestDigest(reqs[0]);
+        std::string victimPath;
+        {
+            ResultCache probe(cacheDir);
+            victimPath = probe.blobPath(victim);
+        }
+        if (std::FILE *f = std::fopen(victimPath.c_str(), "r+b")) {
+            std::fclose(f);
+            (void)::truncate(victimPath.c_str(), 10);
+        }
+        if (std::FILE *tmp = std::fopen(
+                (cacheDir + "/memo-dead.bin.tmp").c_str(), "wb"))
+            std::fclose(tmp);
+
+        DaemonConfig dcfg;
+        dcfg.socketPath = sock;
+        dcfg.cacheDir = cacheDir;
+        dcfg.workers = 2;
+        Daemon daemon(dcfg, directSim());
+        daemon.start();
+        std::uint64_t wrong = 0;
+        RcClient client(ccfg);
+        const bool ok = verifyAll(reqs, oracle, client, wrong);
+        const DaemonCounters c = daemon.counters();
+        const ResultCacheStats cs = daemon.cache().stats();
+        // Every intact entry must come from the cache; only the torn
+        // one re-simulates.
+        endPhase(t0,
+                 ok && c.simulated == 1 &&
+                     c.cacheHits == reqs.size() - 1 &&
+                     cs.corruptDropped == 1,
+                 std::to_string(c.cacheHits) + " recovered hits, " +
+                     std::to_string(c.simulated) + " re-simulated, " +
+                     std::to_string(wrong) + " wrong");
+        wrongTotal += wrong;
+        daemon.requestStop();
+        daemon.stop();
+    }
+
+    // BENCH_daemon.json ----------------------------------------------
+    bool allPass = true;
+    for (const PhaseRecord &p : phases)
+        allPass = allPass && p.pass;
+    if (std::FILE *f = std::fopen("BENCH_daemon.json", "w")) {
+        std::fprintf(f, "{\n  \"bench\": \"stress_daemon\",\n");
+        std::fprintf(f, "  \"requests\": %llu,\n",
+                     static_cast<unsigned long long>(totalRequests));
+        std::fprintf(f, "  \"threads\": %u,\n", threads);
+        std::fprintf(f, "  \"distinct\": %u,\n", distinct);
+        std::fprintf(f, "  \"cold_us_per_request\": %.1f,\n",
+                     coldPerReq * 1e6);
+        std::fprintf(f, "  \"hit_us_per_request\": %.1f,\n",
+                     hotPerReq * 1e6);
+        std::fprintf(f, "  \"hit_speedup\": %.1f,\n", hitSpeedup);
+        std::fprintf(f, "  \"wrong_results\": %llu,\n",
+                     static_cast<unsigned long long>(wrongTotal));
+        std::fprintf(f, "  \"phases\": [\n");
+        for (std::size_t i = 0; i < phases.size(); ++i)
+            std::fprintf(f,
+                         "    {\"name\": \"%s\", \"pass\": %s, "
+                         "\"seconds\": %.3f, \"note\": \"%s\"}%s\n",
+                         phases[i].name.c_str(),
+                         phases[i].pass ? "true" : "false",
+                         phases[i].seconds, phases[i].note.c_str(),
+                         i + 1 < phases.size() ? "," : "");
+        std::fprintf(f, "  ],\n  \"pass\": %s\n}\n",
+                     allPass ? "true" : "false");
+        std::fclose(f);
+    }
+
+    std::printf("stress_daemon: %s (%llu wrong results; "
+                "BENCH_daemon.json written)\n",
+                allPass ? "PASS" : "FAIL",
+                static_cast<unsigned long long>(wrongTotal));
+    return allPass ? 0 : 1;
+}

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Advisory whole-file lock (flock) with RAII scoping.
+ *
+ * The sweep journal and the daemon's cache index are append-only files
+ * that several PROCESSES may legitimately share (two sweeps resumed
+ * into one directory, a daemon restarted while its predecessor drains).
+ * An in-process mutex cannot order those appends; flock(LOCK_EX) can,
+ * and because the lock is attached to the open file description it is
+ * released automatically when the process dies — a crashed writer can
+ * never wedge the file for its successors.
+ */
+
+#ifndef RC_COMMON_FILELOCK_HH
+#define RC_COMMON_FILELOCK_HH
+
+#include <cerrno>
+#include <cstring>
+
+#include <sys/file.h>
+
+#include "common/log.hh"
+
+namespace rc
+{
+
+/**
+ * Holds flock(LOCK_EX) on @p fd for the enclosing scope.  Construction
+ * blocks until the lock is granted (retrying through signal
+ * interruptions); destruction releases it.  Throws SimError(Io) when
+ * the descriptor cannot be locked at all.
+ */
+class ScopedFileLock
+{
+  public:
+    explicit ScopedFileLock(int fd) : fd(fd)
+    {
+        int rc;
+        do {
+            rc = ::flock(fd, LOCK_EX);
+        } while (rc != 0 && errno == EINTR);
+        if (rc != 0)
+            throwSimError(SimError::Kind::Io,
+                          "cannot take the advisory lock on fd %d: %s",
+                          fd, std::strerror(errno));
+    }
+
+    ~ScopedFileLock() { ::flock(fd, LOCK_UN); }
+
+    ScopedFileLock(const ScopedFileLock &) = delete;
+    ScopedFileLock &operator=(const ScopedFileLock &) = delete;
+
+  private:
+    int fd;
+};
+
+} // namespace rc
+
+#endif // RC_COMMON_FILELOCK_HH

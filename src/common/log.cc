@@ -77,6 +77,7 @@ toString(SimError::Kind kind)
       case SimError::Kind::Config: return "config";
       case SimError::Kind::Snapshot: return "snapshot";
       case SimError::Kind::Hang: return "hang";
+      case SimError::Kind::Io: return "io";
     }
     return "unknown";
 }

@@ -36,11 +36,13 @@ class SimError : public std::runtime_error
     enum class Kind : std::uint8_t
     {
         Integrity, //!< simulated state failed a structural invariant
-        Protocol,  //!< illegal coherence/state transition was attempted
+        Protocol,  //!< illegal coherence transition, or a malformed /
+                   //!< mismatched service-protocol frame
         Trace,     //!< trace file truncated, corrupt or empty
         Config,    //!< a run asked for an unsupported combination
         Snapshot,  //!< checkpoint/journal truncated, corrupt or mismatched
         Hang,      //!< watchdog aborted a run with no forward progress
+        Io,        //!< socket/file I/O failed or timed out (service layer)
     };
 
     SimError(Kind kind, const std::string &what)

@@ -1,0 +1,262 @@
+#include "service/client.hh"
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <thread>
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include "common/log.hh"
+#include "service/frame.hh"
+#include "snapshot/serializer.hh"
+
+namespace rc::svc
+{
+
+namespace
+{
+
+std::vector<std::uint8_t>
+requestPayload(const RunRequest &req)
+{
+    Serializer s;
+    encodeRequest(s, req);
+    return s.image();
+}
+
+/** Decode a Busy frame's retry-after hint (0 on a malformed payload). */
+std::uint32_t
+busyHintMs(const std::vector<std::uint8_t> &payload)
+{
+    try {
+        Deserializer d(payload);
+        d.beginSection("busy");
+        const std::uint64_t ms = d.getU64();
+        d.endSection("busy");
+        return static_cast<std::uint32_t>(ms);
+    } catch (const SimError &) {
+        return 0;
+    }
+}
+
+/** Re-throw the failure carried by an Error frame. */
+[[noreturn]] void
+throwErrorFrame(const std::vector<std::uint8_t> &payload)
+{
+    SimError::Kind kind = SimError::Kind::Io;
+    std::string msg = "daemon reported an undecodable error";
+    try {
+        Deserializer d(payload);
+        d.beginSection("err");
+        const std::uint8_t raw = d.getU8();
+        if (raw <= static_cast<std::uint8_t>(SimError::Kind::Io))
+            kind = static_cast<SimError::Kind>(raw);
+        msg = d.getString();
+        d.endSection("err");
+    } catch (const SimError &) {
+        // keep the defaults
+    }
+    throw SimError(kind, "daemon: " + msg);
+}
+
+RunResult
+decodeResult(const std::vector<std::uint8_t> &payload,
+             const RunRequest &req)
+{
+    Deserializer d(payload);
+    d.beginSection("simres");
+    const std::uint64_t digest = d.getU64();
+    if (digest != requestDigest(req))
+        throwSimError(SimError::Kind::Protocol,
+                      "result digest %s does not match request %s",
+                      digestHex(digest).c_str(),
+                      digestHex(requestDigest(req)).c_str());
+    d.beginSection("result");
+    RunResult res = loadRunResult(d);
+    d.endSection("result");
+    d.endSection("simres");
+    return res;
+}
+
+} // namespace
+
+RcClient::RcClient(const ClientConfig &cfg) : cfg(cfg), jitter(cfg.seed)
+{
+    RC_ASSERT(this->cfg.maxAttempts >= 1, "client needs >= 1 attempt");
+}
+
+RcClient::~RcClient()
+{
+    closeConnection();
+}
+
+int
+RcClient::ensureConnected()
+{
+    if (sock < 0)
+        sock = connectToDaemon();
+    return sock;
+}
+
+void
+RcClient::closeConnection()
+{
+    if (sock >= 0) {
+        ::close(sock);
+        sock = -1;
+    }
+}
+
+int
+RcClient::connectToDaemon()
+{
+    const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd < 0)
+        return -1;
+    struct sockaddr_un addr;
+    std::memset(&addr, 0, sizeof(addr));
+    addr.sun_family = AF_UNIX;
+    if (cfg.socketPath.size() >= sizeof(addr.sun_path)) {
+        ::close(fd);
+        return -1;
+    }
+    std::strncpy(addr.sun_path, cfg.socketPath.c_str(),
+                 sizeof(addr.sun_path) - 1);
+    if (::connect(fd, reinterpret_cast<struct sockaddr *>(&addr),
+                  sizeof(addr)) != 0) {
+        ::close(fd);
+        return -1;
+    }
+    return fd;
+}
+
+std::uint32_t
+RcClient::backoffDelayMs(std::uint32_t attempt, std::uint32_t server_hint)
+{
+    // Exponential base doubling per attempt, capped, plus up to 50%
+    // deterministic jitter so a fleet of clients never thunders back in
+    // lockstep; never sleep less than the server's own hint.
+    std::uint64_t base = cfg.backoffBaseMs;
+    for (std::uint32_t i = 0; i < attempt && base < cfg.backoffCapMs; ++i)
+        base *= 2;
+    base = std::min<std::uint64_t>(base, cfg.backoffCapMs);
+    const std::uint64_t jittered = base + jitter.below(base / 2 + 1);
+    return static_cast<std::uint32_t>(
+        std::max<std::uint64_t>(jittered, server_hint));
+}
+
+RunResult
+RcClient::simulate(const RunRequest &req)
+{
+    ++stats.requests;
+    const std::vector<std::uint8_t> payload = requestPayload(req);
+
+    for (std::uint32_t attempt = 0; attempt < cfg.maxAttempts; ++attempt) {
+        const int fd = ensureConnected();
+        if (fd < 0)
+            break; // unreachable: straight to the fallback
+
+        std::uint32_t hint = 0;
+        try {
+            writeFrame(fd, MsgType::SimRequest, payload, cfg.ioTimeoutMs);
+            Frame reply;
+            if (!readFrame(fd, reply, cfg.resultTimeoutMs))
+                throwSimError(SimError::Kind::Protocol,
+                              "daemon closed before replying");
+            switch (reply.type) {
+              case MsgType::SimResult:
+                ++stats.results;
+                return decodeResult(reply.payload, req);
+              case MsgType::Busy:
+                hint = busyHintMs(reply.payload);
+                ++stats.busyRetries;
+                break;
+              case MsgType::Error:
+                // The daemon ran (or refused) the simulation and
+                // reported a definite failure; retrying is pointless.
+                throwErrorFrame(reply.payload);
+              default:
+                throwSimError(SimError::Kind::Protocol,
+                              "unexpected reply type: %s",
+                              toString(reply.type));
+            }
+        } catch (const SimError &err) {
+            if (err.kind() != SimError::Kind::Protocol &&
+                err.kind() != SimError::Kind::Io)
+                throw; // a daemon-reported simulation failure
+            // Torn reply, timeout, version mismatch: the stream can no
+            // longer be trusted to be framed — drop the connection and
+            // retry on a fresh one (the request is idempotent, it is
+            // content-addressed).
+            closeConnection();
+            ++stats.reconnects;
+        }
+
+        if (attempt + 1 < cfg.maxAttempts) {
+            const std::uint32_t delay = backoffDelayMs(attempt, hint);
+            stats.backoffMsTotal += delay;
+            std::this_thread::sleep_for(std::chrono::milliseconds(delay));
+        }
+    }
+
+    if (cfg.fallback) {
+        ++stats.fallbacks;
+        return cfg.fallback(req, nullptr, nullptr);
+    }
+    throwSimError(SimError::Kind::Io,
+                  "daemon on '%s' unreachable or shedding after %u "
+                  "attempts, and no fallback is configured",
+                  cfg.socketPath.c_str(), cfg.maxAttempts);
+}
+
+bool
+RcClient::ping()
+{
+    return !daemonStatsJson().empty();
+}
+
+std::string
+RcClient::daemonStatsJson()
+{
+    const int fd = ensureConnected();
+    if (fd < 0)
+        return "";
+    try {
+        writeFrame(fd, MsgType::StatsRequest, {}, cfg.ioTimeoutMs);
+        Frame reply;
+        if (!readFrame(fd, reply, cfg.ioTimeoutMs) ||
+            reply.type != MsgType::StatsReply) {
+            closeConnection();
+            return "";
+        }
+        return std::string(reply.payload.begin(), reply.payload.end());
+    } catch (const SimError &) {
+        closeConnection();
+        return "";
+    }
+}
+
+bool
+RcClient::shutdownDaemon()
+{
+    const int fd = ensureConnected();
+    if (fd < 0)
+        return false;
+    bool acked = false;
+    try {
+        writeFrame(fd, MsgType::Shutdown, {}, cfg.ioTimeoutMs);
+        Frame reply;
+        acked = readFrame(fd, reply, cfg.ioTimeoutMs) &&
+                reply.type == MsgType::Ack;
+    } catch (const SimError &) {
+        acked = false;
+    }
+    closeConnection(); // the daemon is draining; nothing left to reuse
+    return acked;
+}
+
+} // namespace rc::svc

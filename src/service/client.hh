@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Client side of the sweep-daemon protocol: a persistent Unix-socket
+ * connection (re-established only after an error — cache hits must not
+ * pay a connect per request), RunRequest submission, and the full
+ * resilience policy — jittered exponential backoff on Busy (honouring
+ * the server's retry-after hint), reconnect-and-retry on torn replies,
+ * and a bit-identical in-process fallback when the daemon is
+ * unreachable or keeps shedding.
+ *
+ * The retry schedule is deterministic: the jitter draws from a seeded
+ * Rng, so a test (or a bug report) replays the exact same backoff
+ * sequence.  simulate() throws only when the daemon reports a
+ * simulation failure (quarantine — retrying would fail identically) or
+ * when every recovery avenue, including the fallback, is exhausted.
+ */
+
+#ifndef RC_SERVICE_CLIENT_HH
+#define RC_SERVICE_CLIENT_HH
+
+#include <cstdint>
+#include <string>
+
+#include "common/rng.hh"
+#include "service/daemon.hh" // SimulateFn
+#include "service/run_request.hh"
+#include "sim/run_result.hh"
+
+namespace rc::svc
+{
+
+/** Client tuning. */
+struct ClientConfig
+{
+    std::string socketPath;
+
+    /** Attempts before giving up on the daemon (>= 1). */
+    std::uint32_t maxAttempts = 6;
+
+    /** First backoff delay; doubles per retry up to backoffCapMs. */
+    std::uint32_t backoffBaseMs = 20;
+    std::uint32_t backoffCapMs = 2'000;
+
+    /** Seed for the deterministic backoff jitter. */
+    std::uint64_t seed = 1;
+
+    /** Socket I/O timeout for connect and frame writes/short reads. */
+    int ioTimeoutMs = 10'000;
+
+    /**
+     * How long to wait for a SimResult after the request was accepted
+     * (a cold simulation takes real time; -1 = wait forever).
+     */
+    int resultTimeoutMs = -1;
+
+    /**
+     * In-process fallback invoked when the daemon is unreachable or
+     * exhausts maxAttempts; the same deterministic machinery the daemon
+     * runs, so results are bit-identical either way.  Null = no
+     * fallback: those situations throw SimError(Io) instead.
+     */
+    SimulateFn fallback;
+};
+
+/** What the client had to do to get answers (test assertions). */
+struct ClientCounters
+{
+    std::uint64_t requests = 0;
+    std::uint64_t results = 0;       //!< SimResult frames consumed
+    std::uint64_t busyRetries = 0;   //!< Busy replies slept through
+    std::uint64_t reconnects = 0;    //!< torn replies / dead connections
+    std::uint64_t fallbacks = 0;     //!< answered in-process
+    std::uint64_t backoffMsTotal = 0;
+};
+
+/** One client; not thread-safe (use one per thread). */
+class RcClient
+{
+  public:
+    explicit RcClient(const ClientConfig &cfg);
+    ~RcClient();
+
+    RcClient(const RcClient &) = delete;
+    RcClient &operator=(const RcClient &) = delete;
+
+    /**
+     * Obtain the result for @p req, applying the full policy described
+     * in the file comment.  Throws SimError(Kind as reported) when the
+     * daemon answers Error, SimError(Io) when everything failed and no
+     * fallback is configured.
+     */
+    RunResult simulate(const RunRequest &req);
+
+    /** Whether a daemon currently answers on the socket. */
+    bool ping();
+
+    /** The daemon's statsJson() ("" when unreachable). */
+    std::string daemonStatsJson();
+
+    /** Ask the daemon to drain (SIGTERM equivalent over the wire).
+     *  @return true when the daemon acknowledged. */
+    bool shutdownDaemon();
+
+    ClientCounters counters() const { return stats; }
+
+  private:
+    /** @return connected fd or -1 when the daemon is unreachable. */
+    int connectToDaemon();
+    /** Reuse the open connection or dial a fresh one (-1 on failure). */
+    int ensureConnected();
+    /** Drop the persistent connection (after any I/O error). */
+    void closeConnection();
+    std::uint32_t backoffDelayMs(std::uint32_t attempt,
+                                 std::uint32_t server_hint_ms);
+
+    ClientConfig cfg;
+    Rng jitter;
+    ClientCounters stats;
+    int sock = -1; //!< persistent daemon connection (-1 = not connected)
+};
+
+} // namespace rc::svc
+
+#endif // RC_SERVICE_CLIENT_HH

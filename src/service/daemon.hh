@@ -1,0 +1,203 @@
+/**
+ * @file
+ * The resident sweep daemon: a Unix-domain-socket server that accepts
+ * RunRequest frames, serves completed results from the persistent
+ * ResultCache, and feeds misses through a bounded job queue into a
+ * caller-supplied simulation callback.
+ *
+ * Robustness contract (exercised end to end by bench/stress_daemon and
+ * tests/test_daemon):
+ *  - Backpressure: a full queue (or a draining daemon) answers Busy
+ *    with a retry-after hint instead of queueing unboundedly; nothing
+ *    is silently dropped — the client retries or falls back.
+ *  - Isolation: a malformed, truncated, oversized or version-mismatched
+ *    frame poisons only its own connection (the stream is no longer
+ *    framed, so it is closed after an Error reply); every other
+ *    connection and every queued job proceeds untouched.
+ *  - Watchdog: a job whose heartbeat stalls past hangTimeout, or whose
+ *    request deadline expires, is cooperatively aborted through the
+ *    same Cmp abort-flag wiring the sweep harness uses; the waiting
+ *    client gets an Error frame, not a hung connection.
+ *  - Drain: requestStop() (the SIGTERM path) refuses new work, lets
+ *    in-flight jobs finish, persists the cache index and only then lets
+ *    stop() tear the threads down.  kill -9 instead is recovered by
+ *    ResultCache's startup scan.
+ *
+ * The daemon never simulates anything itself: SimulateFn keeps src/
+ * free of a dependency on the bench harness — the CLIs and tests pass
+ * in bench::simulateRequest.
+ */
+
+#ifndef RC_SERVICE_DAEMON_HH
+#define RC_SERVICE_DAEMON_HH
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "service/result_cache.hh"
+#include "service/run_request.hh"
+#include "sim/run_result.hh"
+
+namespace rc
+{
+class EventTracer;
+}
+
+namespace rc::svc
+{
+
+/**
+ * The simulation callback: run @p req to completion, advancing
+ * @p heartbeat (completed references) and honouring @p abort (set by
+ * the daemon's watchdog; the simulator raises SimError(Hang) at its
+ * next quiescent point).  Both pointers outlive the call.
+ */
+using SimulateFn = std::function<RunResult(
+    const RunRequest &req, const std::atomic<bool> *abort,
+    std::atomic<std::uint64_t> *heartbeat)>;
+
+/** Daemon tuning; defaults suit the tests and the stress bench. */
+struct DaemonConfig
+{
+    std::string socketPath;           //!< UDS path (unlinked on bind)
+    std::string cacheDir;             //!< ResultCache directory
+    std::uint32_t workers = 2;        //!< simulation worker threads
+    std::size_t queueDepth = 64;      //!< bounded job queue capacity
+    std::uint32_t retryAfterMs = 50;  //!< hint carried in Busy replies
+    double hangTimeout = 0.0;         //!< stall watchdog seconds (0=off)
+    int ioTimeoutMs = 30'000;         //!< per-frame socket I/O timeout
+
+    /**
+     * Host-clock span telemetry for the request lifecycle (accept,
+     * cache probe, queue wait, simulate, reply); nullptr = off.
+     */
+    EventTracer *tracer = nullptr;
+
+    /**
+     * Fault injection (tests/stress only): truncate this many SimResult
+     * replies mid-frame — the client must detect SimError(Protocol) and
+     * recover by retrying.  Decremented as replies are mangled.
+     */
+    std::uint32_t faultTruncateReplies = 0;
+
+    /**
+     * Fault injection (tests/stress only): corrupt this many freshly
+     * stored cache blobs on disk — the next lookup must demote them to
+     * a re-simulation, never serve garbage.
+     */
+    std::uint32_t faultCorruptBlobs = 0;
+};
+
+/** Monotonic daemon counters, exported via statsJson(). */
+struct DaemonCounters
+{
+    std::uint64_t connections = 0;
+    std::uint64_t requests = 0;
+    std::uint64_t cacheHits = 0;
+    std::uint64_t cacheMisses = 0;
+    std::uint64_t simulated = 0;      //!< jobs run to completion
+    std::uint64_t coalesced = 0;      //!< requests piggybacked on a
+                                      //!< duplicate in-flight job
+    std::uint64_t sheds = 0;          //!< Busy replies (queue full/drain)
+    std::uint64_t quarantines = 0;    //!< jobs that ended in SimError
+    std::uint64_t hangAborts = 0;     //!< watchdog stall aborts
+    std::uint64_t deadlineAborts = 0; //!< request-deadline aborts
+    std::uint64_t protocolErrors = 0; //!< malformed frames seen
+    std::uint64_t ioErrors = 0;       //!< socket I/O failures/timeouts
+};
+
+/** The server; construct, start(), eventually requestStop()+stop(). */
+class Daemon
+{
+  public:
+    Daemon(const DaemonConfig &cfg, SimulateFn simulate);
+    ~Daemon();
+
+    Daemon(const Daemon &) = delete;
+    Daemon &operator=(const Daemon &) = delete;
+
+    /**
+     * Bind the socket and launch the accept, worker and watchdog
+     * threads.  Throws SimError(Io) when the socket cannot be set up.
+     */
+    void start();
+
+    /**
+     * Begin draining: refuse new work (Busy), finish in-flight jobs,
+     * persist the cache index.  Returns immediately; idempotent.
+     * This is the SIGTERM handler's job.
+     */
+    void requestStop();
+
+    /** Block until drained, then join every thread and close the
+     *  socket.  Safe to call twice. */
+    void stop();
+
+    /** Whether start() ran and stop() has not. */
+    bool running() const { return accepting.load(); }
+
+    /** Whether a drain was requested (signal or Shutdown frame). */
+    bool isDraining() const { return draining.load(); }
+
+    /** Counter snapshot. */
+    DaemonCounters counters() const;
+
+    /** Counters + cache stats as a JSON document (StatsReply payload). */
+    std::string statsJson() const;
+
+    /** The underlying cache (tests poke blobs through it). */
+    ResultCache &cache() { return store; }
+
+  private:
+    struct Job;
+
+    void acceptLoop();
+    void serveConnection(int fd, std::uint32_t connId);
+    /** @return false when the connection must close (mangled reply). */
+    bool handleRequest(int fd, std::uint32_t connId,
+                       const std::vector<std::uint8_t> &payload);
+    void workerLoop();
+    void watchdogLoop();
+    /** @return false when fault injection truncated the reply. */
+    bool sendResult(int fd, const RunRequest &req, const RunResult &res);
+
+    DaemonConfig cfg;
+    SimulateFn simulate;
+    ResultCache store;
+
+    int listenFd = -1;
+    int wakePipe[2] = {-1, -1}; //!< self-pipe unblocking the accept poll
+
+    std::atomic<bool> accepting{false};    //!< accept loop live
+    std::atomic<bool> draining{false};     //!< refuse new work
+    std::atomic<bool> watchdogStop{false};
+    std::atomic<std::int32_t> truncateBudget{0};
+    std::atomic<std::int32_t> corruptBudget{0};
+
+    std::thread acceptThread;
+    std::vector<std::thread> workerThreads;
+    std::thread watchdogThread;
+
+    mutable std::mutex connMu;
+    std::vector<std::thread> connThreads;
+    std::vector<int> openFds; //!< live connection sockets (for drain)
+
+    mutable std::mutex mu;           //!< queue + inflight + counters
+    std::condition_variable workCv;  //!< workers wait here
+    std::deque<std::shared_ptr<Job>> queue;
+    std::unordered_map<std::uint64_t, std::shared_ptr<Job>> inflight;
+    DaemonCounters stats;
+};
+
+} // namespace rc::svc
+
+#endif // RC_SERVICE_DAEMON_HH

@@ -1,0 +1,255 @@
+#include "service/frame.hh"
+
+#include <cerrno>
+#include <cstring>
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "common/log.hh"
+#include "snapshot/serializer.hh" // crc32
+
+namespace rc::svc
+{
+
+namespace
+{
+
+void
+putLe16(std::vector<std::uint8_t> &buf, std::uint16_t v)
+{
+    buf.push_back(static_cast<std::uint8_t>(v));
+    buf.push_back(static_cast<std::uint8_t>(v >> 8));
+}
+
+void
+putLe32(std::vector<std::uint8_t> &buf, std::uint32_t v)
+{
+    for (int i = 0; i < 4; ++i)
+        buf.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+void
+putLe64(std::vector<std::uint8_t> &buf, std::uint64_t v)
+{
+    for (int i = 0; i < 8; ++i)
+        buf.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+std::uint16_t
+getLe16(const std::uint8_t *p)
+{
+    return static_cast<std::uint16_t>(p[0] | (p[1] << 8));
+}
+
+std::uint32_t
+getLe32(const std::uint8_t *p)
+{
+    return static_cast<std::uint32_t>(p[0]) |
+           (static_cast<std::uint32_t>(p[1]) << 8) |
+           (static_cast<std::uint32_t>(p[2]) << 16) |
+           (static_cast<std::uint32_t>(p[3]) << 24);
+}
+
+std::uint64_t
+getLe64(const std::uint8_t *p)
+{
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i)
+        v |= static_cast<std::uint64_t>(p[i]) << (8 * i);
+    return v;
+}
+
+/** Block until @p fd is ready for @p events or the timeout expires. */
+void
+waitReady(int fd, short events, int timeout_ms, const char *what)
+{
+    struct pollfd pfd = {fd, events, 0};
+    int rc;
+    do {
+        rc = ::poll(&pfd, 1, timeout_ms);
+    } while (rc < 0 && errno == EINTR);
+    if (rc < 0)
+        throwSimError(SimError::Kind::Io, "poll failed while %s: %s",
+                      what, std::strerror(errno));
+    if (rc == 0)
+        throwSimError(SimError::Kind::Io, "timed out while %s", what);
+}
+
+/**
+ * Read exactly @p len bytes.
+ * @return bytes read before a clean EOF; only ever less than @p len
+ *         when @p eof_ok and the stream ended on a frame boundary.
+ */
+std::size_t
+readExact(int fd, void *buf, std::size_t len, int timeout_ms, bool eof_ok,
+          const char *what)
+{
+    std::size_t got = 0;
+    auto *p = static_cast<std::uint8_t *>(buf);
+    while (got < len) {
+        waitReady(fd, POLLIN, timeout_ms, what);
+        const ssize_t n = ::recv(fd, p + got, len - got, 0);
+        if (n < 0) {
+            if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK)
+                continue;
+            throwSimError(SimError::Kind::Io, "read failed while %s: %s",
+                          what, std::strerror(errno));
+        }
+        if (n == 0) {
+            if (eof_ok && got == 0)
+                return 0;
+            throwSimError(SimError::Kind::Protocol,
+                          "truncated frame: peer closed after %zu of %zu "
+                          "bytes while %s", got, len, what);
+        }
+        got += static_cast<std::size_t>(n);
+    }
+    return got;
+}
+
+void
+validateHeader(const std::uint8_t *hdr, MsgType &type, std::uint64_t &len,
+               std::uint32_t &crc)
+{
+    const std::uint32_t magic = getLe32(hdr);
+    if (magic != frameMagic)
+        throwSimError(SimError::Kind::Protocol,
+                      "bad frame magic 0x%08x (expected 0x%08x)", magic,
+                      frameMagic);
+    const std::uint16_t version = getLe16(hdr + 4);
+    if (version != protocolVersion)
+        throwSimError(SimError::Kind::Protocol,
+                      "protocol version mismatch: peer speaks v%u, this "
+                      "build speaks v%u", version, protocolVersion);
+    type = static_cast<MsgType>(getLe16(hdr + 6));
+    len = getLe64(hdr + 8);
+    if (len > maxFramePayload)
+        throwSimError(SimError::Kind::Protocol,
+                      "oversized frame: %llu payload bytes exceed the "
+                      "%llu-byte limit",
+                      static_cast<unsigned long long>(len),
+                      static_cast<unsigned long long>(maxFramePayload));
+    crc = getLe32(hdr + 16);
+}
+
+void
+checkPayloadCrc(const std::vector<std::uint8_t> &payload,
+                std::uint32_t expect)
+{
+    const std::uint32_t got =
+        payload.empty() ? crc32(nullptr, 0)
+                        : crc32(payload.data(), payload.size());
+    if (got != expect)
+        throwSimError(SimError::Kind::Protocol,
+                      "frame payload CRC mismatch: computed 0x%08x, "
+                      "header says 0x%08x", got, expect);
+}
+
+} // namespace
+
+const char *
+toString(MsgType type)
+{
+    switch (type) {
+      case MsgType::SimRequest: return "sim-request";
+      case MsgType::SimResult: return "sim-result";
+      case MsgType::Busy: return "busy";
+      case MsgType::Error: return "error";
+      case MsgType::StatsRequest: return "stats-request";
+      case MsgType::StatsReply: return "stats-reply";
+      case MsgType::Shutdown: return "shutdown";
+      case MsgType::Ack: return "ack";
+    }
+    return "unknown";
+}
+
+std::vector<std::uint8_t>
+encodeFrame(MsgType type, const std::vector<std::uint8_t> &payload)
+{
+    std::vector<std::uint8_t> out;
+    out.reserve(frameHeaderBytes + payload.size());
+    putLe32(out, frameMagic);
+    putLe16(out, protocolVersion);
+    putLe16(out, static_cast<std::uint16_t>(type));
+    putLe64(out, payload.size());
+    putLe32(out, payload.empty()
+                     ? crc32(nullptr, 0)
+                     : crc32(payload.data(), payload.size()));
+    out.insert(out.end(), payload.begin(), payload.end());
+    return out;
+}
+
+void
+writeRaw(int fd, const std::uint8_t *data, std::size_t len, int timeout_ms)
+{
+    std::size_t sent = 0;
+    while (sent < len) {
+        waitReady(fd, POLLOUT, timeout_ms, "writing a frame");
+        // MSG_NOSIGNAL: a vanished peer must surface as EPIPE, not as a
+        // process-killing SIGPIPE.
+        const ssize_t n =
+            ::send(fd, data + sent, len - sent, MSG_NOSIGNAL);
+        if (n < 0) {
+            if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK)
+                continue;
+            throwSimError(SimError::Kind::Io,
+                          "write failed after %zu of %zu frame bytes: %s",
+                          sent, len, std::strerror(errno));
+        }
+        sent += static_cast<std::size_t>(n);
+    }
+}
+
+void
+writeFrame(int fd, MsgType type, const std::vector<std::uint8_t> &payload,
+           int timeout_ms)
+{
+    const std::vector<std::uint8_t> bytes = encodeFrame(type, payload);
+    writeRaw(fd, bytes.data(), bytes.size(), timeout_ms);
+}
+
+bool
+readFrame(int fd, Frame &out, int timeout_ms)
+{
+    std::uint8_t hdr[frameHeaderBytes];
+    if (readExact(fd, hdr, sizeof(hdr), timeout_ms, /*eof_ok=*/true,
+                  "reading a frame header") == 0)
+        return false;
+    std::uint64_t len = 0;
+    std::uint32_t crc = 0;
+    validateHeader(hdr, out.type, len, crc);
+    out.payload.assign(static_cast<std::size_t>(len), 0);
+    if (len != 0)
+        readExact(fd, out.payload.data(), out.payload.size(), timeout_ms,
+                  /*eof_ok=*/false, "reading a frame payload");
+    checkPayloadCrc(out.payload, crc);
+    return true;
+}
+
+Frame
+decodeFrame(const std::vector<std::uint8_t> &bytes)
+{
+    if (bytes.size() < frameHeaderBytes)
+        throwSimError(SimError::Kind::Protocol,
+                      "truncated frame: %zu bytes is shorter than the "
+                      "%zu-byte header", bytes.size(), frameHeaderBytes);
+    Frame out;
+    std::uint64_t len = 0;
+    std::uint32_t crc = 0;
+    validateHeader(bytes.data(), out.type, len, crc);
+    if (bytes.size() - frameHeaderBytes < len)
+        throwSimError(SimError::Kind::Protocol,
+                      "truncated frame: header promises %llu payload "
+                      "bytes, buffer holds %zu",
+                      static_cast<unsigned long long>(len),
+                      bytes.size() - frameHeaderBytes);
+    out.payload.assign(bytes.begin() + frameHeaderBytes,
+                       bytes.begin() + frameHeaderBytes +
+                           static_cast<std::size_t>(len));
+    checkPayloadCrc(out.payload, crc);
+    return out;
+}
+
+} // namespace rc::svc

@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Length-framed, versioned, CRC-guarded message transport for the sweep
+ * daemon's Unix-domain-socket protocol.
+ *
+ * Every message on the wire is one frame:
+ *
+ *   [0..3]   magic "RCF1" (u32 LE)
+ *   [4..5]   protocol version (u16 LE)
+ *   [6..7]   message type (u16 LE, MsgType)
+ *   [8..15]  payload length (u64 LE)
+ *   [16..19] CRC32 of the payload
+ *   [20..)   payload bytes
+ *
+ * The reader validates magic, version, length bound and CRC before the
+ * payload reaches any decoder, and classifies every defect as a
+ * recoverable error:
+ *
+ *  - bad magic, version mismatch, oversized length, truncated payload,
+ *    CRC mismatch           -> SimError(Protocol)
+ *  - syscall failure, read/write timeout, peer gone mid-frame
+ *                           -> SimError(Io)
+ *
+ * Both unwound one connection at most: the daemon's per-connection
+ * loop catches them, answers with an Error frame when the socket is
+ * still writable, and keeps every other connection running.
+ */
+
+#ifndef RC_SERVICE_FRAME_HH
+#define RC_SERVICE_FRAME_HH
+
+#include <cstdint>
+#include <vector>
+
+namespace rc::svc
+{
+
+/** Frame magic ("RCF1" little-endian). */
+inline constexpr std::uint32_t frameMagic = 0x31464352;
+
+/** Wire-protocol version carried in every frame header. */
+inline constexpr std::uint16_t protocolVersion = 1;
+
+/** Frame header size in bytes. */
+inline constexpr std::size_t frameHeaderBytes = 20;
+
+/**
+ * Upper bound on a frame payload.  A SimRequest or SimResult is a few
+ * KB; anything claiming more is a corrupt or hostile length field and
+ * is rejected before a single payload byte is read, so a bad client
+ * cannot make the daemon allocate unbounded memory.
+ */
+inline constexpr std::uint64_t maxFramePayload = 4u << 20;
+
+/** Message types of the rc-daemon protocol. */
+enum class MsgType : std::uint16_t
+{
+    SimRequest = 1,   //!< client -> daemon: run (config x mix), or serve
+                      //!< it from the result cache
+    SimResult = 2,    //!< daemon -> client: the RunResult payload
+    Busy = 3,         //!< daemon -> client: queue full or draining;
+                      //!< carries a retry-after hint
+    Error = 4,        //!< daemon -> client: recoverable failure (kind +
+                      //!< message)
+    StatsRequest = 5, //!< client -> daemon: report service counters
+    StatsReply = 6,   //!< daemon -> client: counters as a JSON string
+    Shutdown = 7,     //!< client -> daemon: begin a graceful drain
+    Ack = 8,          //!< daemon -> client: command accepted
+};
+
+/** Spelling for logs ("sim-request", "busy", ...). */
+const char *toString(MsgType type);
+
+/** One decoded frame. */
+struct Frame
+{
+    MsgType type = MsgType::Error;
+    std::vector<std::uint8_t> payload;
+};
+
+/** Encode a complete frame (header + payload) into one byte vector. */
+std::vector<std::uint8_t> encodeFrame(MsgType type,
+                                      const std::vector<std::uint8_t> &payload);
+
+/**
+ * Write one frame to @p fd, handling short writes; throws SimError(Io)
+ * when the peer is gone or @p timeout_ms expires (-1 = no timeout).
+ */
+void writeFrame(int fd, MsgType type,
+                const std::vector<std::uint8_t> &payload,
+                int timeout_ms = -1);
+
+/** Write pre-encoded frame bytes (fault-injection tests truncate them). */
+void writeRaw(int fd, const std::uint8_t *data, std::size_t len,
+              int timeout_ms = -1);
+
+/**
+ * Read one frame from @p fd.
+ * @return false on a clean end-of-stream (the peer closed before any
+ *         header byte); every other defect throws (see file comment).
+ */
+bool readFrame(int fd, Frame &out, int timeout_ms = -1);
+
+/**
+ * Decode one frame from an in-memory byte buffer (tests, and the fault
+ * injector's truncation checks).  Same validation and errors as
+ * readFrame; a buffer shorter than the framed length is a truncated
+ * frame (SimError(Protocol)).
+ */
+Frame decodeFrame(const std::vector<std::uint8_t> &bytes);
+
+} // namespace rc::svc
+
+#endif // RC_SERVICE_FRAME_HH

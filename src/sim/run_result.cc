@@ -1,0 +1,67 @@
+#include "sim/run_result.hh"
+
+#include "snapshot/serializer.hh"
+
+namespace rc
+{
+
+void
+saveRunResult(Serializer &s, const RunResult &r)
+{
+    s.putDouble(r.aggregateIpc);
+    s.putU64(r.coreIpc.size());
+    for (double v : r.coreIpc)
+        s.putDouble(v);
+    s.putU64(r.mpki.size());
+    for (const MpkiTriple &m : r.mpki) {
+        s.putDouble(m.l1);
+        s.putDouble(m.l2);
+        s.putDouble(m.llc);
+    }
+    s.putDouble(r.fracNeverEnteredData);
+    s.putU64(r.llcAccesses);
+    s.putU64(r.llcMemFetches);
+    s.putU64(r.dramReads);
+}
+
+RunResult
+loadRunResult(Deserializer &d)
+{
+    RunResult r;
+    r.aggregateIpc = d.getDouble();
+    r.coreIpc.resize(d.getU64());
+    for (double &v : r.coreIpc)
+        v = d.getDouble();
+    r.mpki.resize(d.getU64());
+    for (MpkiTriple &m : r.mpki) {
+        m.l1 = d.getDouble();
+        m.l2 = d.getDouble();
+        m.llc = d.getDouble();
+    }
+    r.fracNeverEnteredData = d.getDouble();
+    r.llcAccesses = d.getU64();
+    r.llcMemFetches = d.getU64();
+    r.dramReads = d.getU64();
+    return r;
+}
+
+bool
+runResultsEqual(const RunResult &a, const RunResult &b)
+{
+    if (a.aggregateIpc != b.aggregateIpc ||
+        a.coreIpc != b.coreIpc ||
+        a.fracNeverEnteredData != b.fracNeverEnteredData ||
+        a.llcAccesses != b.llcAccesses ||
+        a.llcMemFetches != b.llcMemFetches ||
+        a.dramReads != b.dramReads ||
+        a.mpki.size() != b.mpki.size())
+        return false;
+    for (std::size_t i = 0; i < a.mpki.size(); ++i) {
+        if (a.mpki[i].l1 != b.mpki[i].l1 || a.mpki[i].l2 != b.mpki[i].l2 ||
+            a.mpki[i].llc != b.mpki[i].llc)
+            return false;
+    }
+    return true;
+}
+
+} // namespace rc

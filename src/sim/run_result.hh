@@ -1,0 +1,51 @@
+/**
+ * @file
+ * The result of one (SystemConfig x Mix) simulation run, plus its
+ * snapshot-codec encoding.
+ *
+ * This used to live in the bench harness; the sweep daemon moved it
+ * into the core library so the service protocol, the persistent result
+ * cache and the harness all exchange the same value with one canonical
+ * byte encoding (the cache digests and the stress test's correctness
+ * oracle both depend on that encoding being unique).
+ */
+
+#ifndef RC_SIM_RUN_RESULT_HH
+#define RC_SIM_RUN_RESULT_HH
+
+#include <vector>
+
+#include "sim/cmp.hh"
+
+namespace rc
+{
+
+class Serializer;
+class Deserializer;
+
+/** Results of one simulation run. */
+struct RunResult
+{
+    double aggregateIpc = 0.0;
+    std::vector<double> coreIpc;
+    std::vector<MpkiTriple> mpki;
+    double fracNeverEnteredData = -1.0; //!< reuse cache only
+    Counter llcAccesses = 0;
+    Counter llcMemFetches = 0;
+    Counter dramReads = 0;
+};
+
+/** Field-level RunResult serialization (sweep blobs, service replies). */
+void saveRunResult(Serializer &s, const RunResult &r);
+RunResult loadRunResult(Deserializer &d);
+
+/**
+ * Bitwise equality (doubles compared exactly): the daemon's replies and
+ * the client's in-process fallback must be indistinguishable, so the
+ * comparison is exact, not epsilon-based.
+ */
+bool runResultsEqual(const RunResult &a, const RunResult &b);
+
+} // namespace rc
+
+#endif // RC_SIM_RUN_RESULT_HH

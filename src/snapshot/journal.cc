@@ -8,6 +8,7 @@
 #include <sys/stat.h>
 #include <unistd.h>
 
+#include "common/filelock.hh"
 #include "common/log.hh"
 
 namespace rc
@@ -70,6 +71,11 @@ SweepJournal::append(const JournalRecord &rec)
                   rec.status.c_str(), rec.attempts, rec.digest,
                   rec.wallSeconds, oneLine(rec.error).c_str());
     std::lock_guard<std::mutex> lock(mtx);
+    // The mutex orders appends within this process; the advisory file
+    // lock orders them against OTHER processes sharing the journal (a
+    // resumed sweep overlapping its dying predecessor), so records from
+    // two writers can never interleave into a torn line.
+    ScopedFileLock flock(::fileno(file));
     if (std::fputs(line, file) == EOF || std::fflush(file) != 0 ||
         ::fsync(::fileno(file)) != 0)
         throwSimError(SimError::Kind::Snapshot,

@@ -80,6 +80,8 @@ toString(FaultClass cls)
       case FaultClass::OrphanDataBlock: return "orphan-data";
       case FaultClass::LeakedMshr: return "mshr-leak";
       case FaultClass::ReplMetadata: return "repl-meta";
+      case FaultClass::TruncatedFrame: return "truncated-frame";
+      case FaultClass::CorruptBlob: return "corrupt-blob";
     }
     return "unknown";
 }
@@ -115,6 +117,10 @@ detectedBy(FaultClass cls, LlcKind kind)
         return Invariant::MshrLeak;
       case FaultClass::ReplMetadata:
         return Invariant::ReplMetadata;
+      case FaultClass::TruncatedFrame:
+        return Invariant::FrameIntegrity;
+      case FaultClass::CorruptBlob:
+        return Invariant::BlobIntegrity;
     }
     return Invariant::TagDataPointers;
 }
@@ -366,11 +372,58 @@ FaultInjector::inject(Cmp &cmp, FaultClass cls)
             return res;
         break;
       }
+
+      case FaultClass::TruncatedFrame:
+      case FaultClass::CorruptBlob:
+        // Service-layer classes corrupt bytes in flight or at rest, not
+        // simulated state; see truncateFrame()/corruptBlobFile().  The
+        // checker-vs-injector matrix skips them like any other
+        // inapplicable (class, organization) pair.
+        break;
     }
 
     res.applied = false;
     res.detail = std::string("no viable target for ") + toString(cls);
     return res;
+}
+
+std::vector<std::uint8_t>
+FaultInjector::truncateFrame(const std::vector<std::uint8_t> &frame_bytes)
+{
+    if (frame_bytes.empty())
+        return frame_bytes;
+    // Keep at least one byte and lose at least one: a frame cut inside
+    // its header and one cut inside its payload are both defects the
+    // reader must flag, so any split point in [1, size) is a valid
+    // injection.
+    const std::size_t keep =
+        1 + static_cast<std::size_t>(rng.below(frame_bytes.size() - 1));
+    return std::vector<std::uint8_t>(frame_bytes.begin(),
+                                     frame_bytes.begin() +
+                                         static_cast<std::ptrdiff_t>(keep));
+}
+
+bool
+FaultInjector::corruptBlobFile(const std::string &path)
+{
+    std::FILE *f = std::fopen(path.c_str(), "r+b");
+    if (!f)
+        return false;
+    std::fseek(f, 0, SEEK_END);
+    const long size = std::ftell(f);
+    if (size <= 0) {
+        std::fclose(f);
+        return false;
+    }
+    const long at = static_cast<long>(
+        rng.below(static_cast<std::uint64_t>(size)));
+    std::fseek(f, at, SEEK_SET);
+    const int c = std::fgetc(f);
+    std::fseek(f, at, SEEK_SET);
+    // XOR with a non-zero mask guarantees the byte actually changes.
+    std::fputc((c == EOF ? 0 : c) ^ 0x5a, f);
+    std::fclose(f);
+    return true;
 }
 
 } // namespace rc

@@ -38,10 +38,14 @@ enum class FaultClass : std::uint8_t
                       //!< data entry behind (reuse cache only)
     LeakedMshr,       //!< allocate an MSHR entry that can never retire
     ReplMetadata,     //!< force replacement metadata out of range
+    TruncatedFrame,   //!< cut a service-protocol frame short mid-stream
+                      //!< (service layer; inject(Cmp&) has no target)
+    CorruptBlob,      //!< flip bits in a persisted result-cache blob
+                      //!< (service layer; inject(Cmp&) has no target)
 };
 
 /** Number of FaultClass values (matrix tests iterate over all). */
-inline constexpr std::size_t numFaultClasses = 7;
+inline constexpr std::size_t numFaultClasses = 9;
 
 /** Short name, e.g. "dir-drop" (also the --inject= spelling). */
 const char *toString(FaultClass cls);
@@ -82,10 +86,30 @@ class FaultInjector
     /**
      * Corrupt @p cmp with one fault of class @p cls.
      * @return applied = false when the organization has no viable
-     *         target (e.g. orphan-data on a conventional cache, or an
-     *         empty cache before warmup).
+     *         target (e.g. orphan-data on a conventional cache, an
+     *         empty cache before warmup, or a service-layer class that
+     *         corrupts bytes rather than simulated state).
      */
     InjectionResult inject(Cmp &cmp, FaultClass cls);
+
+    /**
+     * TruncatedFrame: deterministically cut encoded frame bytes short —
+     * somewhere past the header (when it fits) so the defect is a torn
+     * payload, not a missing header.  The contract partner is
+     * Invariant::FrameIntegrity: svc::decodeFrame / readFrame must
+     * reject the result with SimError(Protocol).
+     */
+    std::vector<std::uint8_t>
+    truncateFrame(const std::vector<std::uint8_t> &frame_bytes);
+
+    /**
+     * CorruptBlob: flip one payload byte of the file at @p path (a
+     * result-cache blob or any snapshot-container file).  The contract
+     * partner is Invariant::BlobIntegrity: the next
+     * svc::ResultCache::lookup must demote the entry to a miss.
+     * @return false when the file cannot be opened or is empty.
+     */
+    bool corruptBlobFile(const std::string &path);
 
   private:
     Rng rng;

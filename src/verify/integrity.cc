@@ -42,6 +42,8 @@ toString(Invariant inv)
       case Invariant::StateEncoding: return "StateEncoding";
       case Invariant::ReplMetadata: return "ReplMetadata";
       case Invariant::MshrLeak: return "MshrLeak";
+      case Invariant::FrameIntegrity: return "FrameIntegrity";
+      case Invariant::BlobIntegrity: return "BlobIntegrity";
     }
     return "unknown";
 }

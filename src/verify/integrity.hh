@@ -49,6 +49,11 @@ enum class Invariant : std::uint8_t
     StateEncoding,      //!< illegal stable state for the organization
     ReplMetadata,       //!< replacement metadata out of range
     MshrLeak,           //!< MSHR entry that can never retire
+    FrameIntegrity,     //!< service-protocol frame failed validation
+                        //!< (enforced by svc::readFrame/decodeFrame,
+                        //!< not by the state walker)
+    BlobIntegrity,      //!< result-cache blob failed CRC/key checks
+                        //!< (enforced by svc::ResultCache::lookup)
 };
 
 /** Short name, e.g. "TagDataPointers". */

@@ -13,6 +13,8 @@
 #include <string>
 #include <vector>
 
+#include <sys/stat.h>
+#include <sys/time.h>
 #include <unistd.h>
 
 #include <gtest/gtest.h>
@@ -373,6 +375,68 @@ TEST(HarnessResume, WatchdogQuarantinesLivelockedRunWhileSiblingsComplete)
     // The dump is a valid snapshot image (CRC verifies on open).
     Deserializer d(dump);
     d.beginSection("run");
+}
+
+TEST(HarnessResume, HangDumpRetentionKeepsOnlyTheNewest)
+{
+    const std::string dir = sweepDir("resume-retention");
+    scrubDir(dir);
+    ::mkdir(dir.c_str(), 0777);
+
+    // Twelve dumps with strictly increasing, explicitly set mtimes (the
+    // clock's granularity is too coarse to rely on), plus bystanders
+    // that must never be touched.
+    auto makeFile = [&dir](const std::string &name, long mtime) {
+        const std::string path = dir + "/" + name;
+        std::FILE *f = std::fopen(path.c_str(), "wb");
+        ASSERT_NE(f, nullptr) << path;
+        std::fputs("dump", f);
+        std::fclose(f);
+        struct timeval times[2] = {{mtime, 0}, {mtime, 0}};
+        ASSERT_EQ(::utimes(path.c_str(), times), 0);
+    };
+    for (int i = 0; i < 12; ++i)
+        makeFile("hang-b0-r" + std::to_string(i) + ".dump",
+                 1'000'000 + i);
+    makeFile("result-b0-r0.bin", 999);     // not a dump: untouched
+    makeFile("hang-unrelated.notdump", 998); // wrong suffix: untouched
+
+    bench::pruneHangDumps(dir, 8); // the RunOptions default
+    int dumps = 0;
+    for (int i = 0; i < 12; ++i)
+        if (fileExists(dir + "/hang-b0-r" + std::to_string(i) + ".dump"))
+            ++dumps;
+    EXPECT_EQ(dumps, 8);
+    // Specifically the newest eight: 0..3 pruned, 4..11 kept.
+    for (int i = 0; i < 4; ++i)
+        EXPECT_FALSE(
+            fileExists(dir + "/hang-b0-r" + std::to_string(i) + ".dump"))
+            << "oldest dump " << i << " not pruned";
+    for (int i = 4; i < 12; ++i)
+        EXPECT_TRUE(
+            fileExists(dir + "/hang-b0-r" + std::to_string(i) + ".dump"))
+            << "newest dump " << i << " wrongly pruned";
+    EXPECT_TRUE(fileExists(dir + "/result-b0-r0.bin"));
+    EXPECT_TRUE(fileExists(dir + "/hang-unrelated.notdump"));
+
+    // keep == 0 disables retention entirely.
+    bench::pruneHangDumps(dir, 0);
+    EXPECT_TRUE(fileExists(dir + "/hang-b0-r11.dump"));
+
+    // Tighter cap prunes further; idempotent at the cap.
+    bench::pruneHangDumps(dir, 2);
+    bench::pruneHangDumps(dir, 2);
+    dumps = 0;
+    for (int i = 0; i < 12; ++i)
+        if (fileExists(dir + "/hang-b0-r" + std::to_string(i) + ".dump"))
+            ++dumps;
+    EXPECT_EQ(dumps, 2);
+    EXPECT_TRUE(fileExists(dir + "/hang-b0-r11.dump"));
+    EXPECT_TRUE(fileExists(dir + "/hang-b0-r10.dump"));
+
+    std::remove((dir + "/hang-unrelated.notdump").c_str());
+    std::remove((dir + "/hang-b0-r10.dump").c_str());
+    std::remove((dir + "/hang-b0-r11.dump").c_str());
 }
 
 TEST(HarnessResume, TrackerRetryAfterTransientFaultIsBitIdentical)

@@ -334,6 +334,14 @@ TEST(FaultMatrix, EveryFaultClassIsCaughtByItsAdvertisedInvariant)
 
             FaultInjector inj(99 + i);
             const InjectionResult res = inj.inject(cmp, cls);
+            if (cls == FaultClass::TruncatedFrame ||
+                cls == FaultClass::CorruptBlob) {
+                // Service-layer faults have no Cmp target; their
+                // detection contract (FrameIntegrity/BlobIntegrity) is
+                // exercised byte-level in test_service.cc.
+                EXPECT_FALSE(res.applied);
+                continue;
+            }
             if (kind == LlcKind::Conventional &&
                 cls == FaultClass::OrphanDataBlock) {
                 // Coupled tag/data caches cannot orphan a data block.

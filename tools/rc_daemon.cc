@@ -1,0 +1,122 @@
+/**
+ * @file
+ * rc-daemon: the resident sweep-simulation service.
+ *
+ * Listens on a Unix-domain socket, serves (SystemConfig x Mix) runs
+ * from the persistent result cache, and simulates misses through a
+ * bounded worker pool.  SIGTERM/SIGINT (or a client Shutdown frame)
+ * drains gracefully: in-flight runs finish, the cache index is
+ * persisted, new work is refused with Busy.  After a kill -9, simply
+ * restart on the same --cache-dir: completed entries are recovered from
+ * their blobs, torn ones are re-simulated.
+ *
+ * Usage:
+ *   rc-daemon --socket=/tmp/rc.sock --cache-dir=rc-cache \
+ *             [--workers=N] [--queue-depth=N] [--hang-timeout=S]
+ *             [--retry-after-ms=N]
+ */
+
+#include <atomic>
+#include <chrono>
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <thread>
+
+#include "common/log.hh"
+#include "harness.hh"
+#include "service/daemon.hh"
+
+namespace
+{
+
+std::atomic<bool> stopRequested{false};
+
+void
+onSignal(int)
+{
+    stopRequested.store(true);
+}
+
+const char *usage =
+    "usage: rc-daemon [options]\n"
+    "  --socket=PATH        Unix socket to listen on "
+    "(default /tmp/rc-daemon.sock)\n"
+    "  --cache-dir=DIR      persistent result cache (default rc-cache)\n"
+    "  --workers=N          simulation worker threads (default 2)\n"
+    "  --queue-depth=N      bounded job queue capacity (default 64)\n"
+    "  --hang-timeout=S     abort runs with no forward progress for S "
+    "seconds (default 300, 0 = off)\n"
+    "  --retry-after-ms=N   backpressure hint in Busy replies "
+    "(default 50)\n";
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    rc::svc::DaemonConfig cfg;
+    cfg.socketPath = "/tmp/rc-daemon.sock";
+    cfg.cacheDir = "rc-cache";
+    cfg.hangTimeout = 300.0;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto value = [&arg](const char *prefix) -> const char * {
+            return arg.rfind(prefix, 0) == 0 ? arg.c_str() +
+                                                   std::strlen(prefix)
+                                             : nullptr;
+        };
+        if (const char *v = value("--socket=")) {
+            cfg.socketPath = v;
+        } else if (const char *v = value("--cache-dir=")) {
+            cfg.cacheDir = v;
+        } else if (const char *v = value("--workers=")) {
+            cfg.workers = static_cast<std::uint32_t>(std::atoi(v));
+        } else if (const char *v = value("--queue-depth=")) {
+            cfg.queueDepth = static_cast<std::size_t>(std::atoll(v));
+        } else if (const char *v = value("--hang-timeout=")) {
+            cfg.hangTimeout = std::atof(v);
+        } else if (const char *v = value("--retry-after-ms=")) {
+            cfg.retryAfterMs = static_cast<std::uint32_t>(std::atoi(v));
+        } else if (arg == "--help") {
+            std::fputs(usage, stdout);
+            return 0;
+        } else {
+            std::fprintf(stderr, "unknown flag '%s'\n%s", arg.c_str(),
+                         usage);
+            return 2;
+        }
+    }
+
+    std::signal(SIGTERM, onSignal);
+    std::signal(SIGINT, onSignal);
+
+    rc::svc::Daemon daemon(
+        cfg, [](const rc::svc::RunRequest &req,
+                const std::atomic<bool> *abort,
+                std::atomic<std::uint64_t> *heartbeat) {
+            return rc::bench::simulateRequest(req, abort, heartbeat);
+        });
+    try {
+        daemon.start();
+    } catch (const rc::SimError &err) {
+        std::fprintf(stderr, "rc-daemon: %s\n", err.what());
+        return 1;
+    }
+    rc::inform("rc-daemon: serving on '%s', cache '%s' (%zu entries)",
+               cfg.socketPath.c_str(), cfg.cacheDir.c_str(),
+               daemon.cache().size());
+
+    while (!stopRequested.load() && !daemon.isDraining())
+        std::this_thread::sleep_for(std::chrono::milliseconds(100));
+
+    rc::inform("rc-daemon: draining (in-flight runs finish, new work is "
+               "refused)");
+    daemon.requestStop();
+    daemon.stop();
+    std::fputs(daemon.statsJson().c_str(), stdout);
+    return 0;
+}
