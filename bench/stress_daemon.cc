@@ -22,10 +22,28 @@
  *                new daemon on the same cache dir recovers the intact
  *                entries and re-simulates the torn one
  *
+ * Chaos phases (process-isolated daemon; --chaos-fraction > 0):
+ *
+ * 10. chaos      a concurrent mix where a budgeted fraction of requests
+ *                detonates inside its sandboxed worker (abort, alloc
+ *                bomb, abort-ignoring hang).  The daemon must survive
+ *                it all: every healthy reply bitwise-identical to the
+ *                oracle, every doomed request answered with a typed
+ *                SimError (Crash, or Hang for the forced kill), workers
+ *                restarted behind the scenes.
+ * 11. poison     one marked request is sent repeatedly: it kills K
+ *                distinct workers, crosses the quarantine threshold and
+ *                is refused with a typed error from then on — without
+ *                consuming another worker.
+ * 12. poison-restart  a NEW daemon on the same cache dir refuses the
+ *                quarantined request immediately: the verdict came off
+ *                the persistent poison index, no worker died for it.
+ *
  * Writes BENCH_daemon.json with latencies, counters and a pass flag per
  * phase.  Exits nonzero if any phase fails.
  */
 
+#include <algorithm>
 #include <atomic>
 #include <cerrno>
 #include <chrono>
@@ -42,6 +60,8 @@
 #include "harness.hh"
 #include "service/client.hh"
 #include "service/daemon.hh"
+#include "service/supervisor.hh"
+#include "verify/fault_injector.hh"
 
 using namespace rc;
 using namespace rc::svc;
@@ -88,6 +108,24 @@ directSim()
     };
 }
 
+/**
+ * directSim plus chaos: a request whose seed carries a chaos marker
+ * detonates (abort / alloc bomb / hang) instead of simulating.  Only
+ * ever run under an --isolate daemon — detonating in-process would
+ * take the harness down, which is exactly what isolation prevents.
+ */
+SimulateFn
+chaosSim()
+{
+    return [](const RunRequest &req, const std::atomic<bool> *abort,
+              std::atomic<std::uint64_t> *heartbeat) {
+        FaultClass cls;
+        if (chaosFromSeed(req.seed, cls))
+            detonateChaos(cls, heartbeat);
+        return bench::simulateRequest(req, abort, heartbeat);
+    };
+}
+
 struct PhaseRecord
 {
     std::string name;
@@ -118,6 +156,9 @@ main(int argc, char **argv)
     std::uint32_t threads = 8;
     std::uint32_t distinct = 8;
     double minHitSpeedup = 100.0;
+    double chaosFraction = 0.15; // share of chaos-phase requests doomed
+    bool chaosOnly = false;      // skip phases 2-9 (CI chaos job)
+    bool isolate = false;        // run phases 2-9 with --isolate daemons
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
         auto value = [&arg](const char *prefix) -> const char * {
@@ -133,6 +174,12 @@ main(int argc, char **argv)
             distinct = static_cast<std::uint32_t>(std::atoi(v));
         else if (const char *v = value("--min-hit-speedup="))
             minHitSpeedup = std::atof(v);
+        else if (const char *v = value("--chaos-fraction="))
+            chaosFraction = std::atof(v);
+        else if (arg == "--chaos-only")
+            chaosOnly = true;
+        else if (arg == "--isolate")
+            isolate = true;
         else {
             std::fprintf(stderr, "unknown flag '%s'\n", arg.c_str());
             return 2;
@@ -181,12 +228,13 @@ main(int argc, char **argv)
     ccfg.fallback = directSim();
 
     // 2 + 3. cold then hot against one daemon ------------------------
-    {
+    if (!chaosOnly) {
         DaemonConfig dcfg;
         dcfg.socketPath = sock;
         dcfg.cacheDir = dir + "/cache";
         dcfg.workers = threads;
         dcfg.queueDepth = 256;
+        dcfg.isolateWorkers = isolate;
         Daemon daemon(dcfg, directSim());
         daemon.start();
 
@@ -256,13 +304,14 @@ main(int argc, char **argv)
     }
 
     // 4. overload: tiny queue, slow worker, concurrent burst ---------
-    {
+    if (!chaosOnly) {
         DaemonConfig dcfg;
         dcfg.socketPath = sock;
         dcfg.cacheDir = dir + "/cache-overload";
         dcfg.workers = 1;
         dcfg.queueDepth = 1;
         dcfg.retryAfterMs = 10;
+        dcfg.isolateWorkers = isolate;
         Daemon daemon(dcfg, directSim());
         daemon.start();
 
@@ -295,12 +344,13 @@ main(int argc, char **argv)
     }
 
     // 5. torn replies ------------------------------------------------
-    {
+    if (!chaosOnly) {
         DaemonConfig dcfg;
         dcfg.socketPath = sock;
         dcfg.cacheDir = dir + "/cache-torn";
         dcfg.workers = 2;
         dcfg.faultTruncateReplies = 3;
+        dcfg.isolateWorkers = isolate;
         Daemon daemon(dcfg, directSim());
         daemon.start();
 
@@ -318,12 +368,13 @@ main(int argc, char **argv)
     }
 
     // 6. corrupted blobs ---------------------------------------------
-    {
+    if (!chaosOnly) {
         DaemonConfig dcfg;
         dcfg.socketPath = sock;
         dcfg.cacheDir = dir + "/cache-corrupt";
         dcfg.workers = 2;
         dcfg.faultCorruptBlobs = 2; // first two stores are mangled
+        dcfg.isolateWorkers = isolate;
         Daemon daemon(dcfg, directSim());
         daemon.start();
 
@@ -343,12 +394,13 @@ main(int argc, char **argv)
     }
 
     // 7. hung run: the watchdog must abort it ------------------------
-    {
+    if (!chaosOnly) {
         DaemonConfig dcfg;
         dcfg.socketPath = sock;
         dcfg.cacheDir = dir + "/cache-hang";
         dcfg.workers = 1;
         dcfg.hangTimeout = 0.2;
+        dcfg.isolateWorkers = isolate;
         // A request with this marker seed stalls without heartbeat
         // until the watchdog aborts it — the livelock test hook of the
         // service layer.
@@ -388,7 +440,7 @@ main(int argc, char **argv)
     }
 
     // 8. daemon unreachable: in-process fallback ---------------------
-    {
+    if (!chaosOnly) {
         t0 = phase("no-daemon");
         ClientConfig fc = ccfg;
         fc.socketPath = "/tmp/rc-stress-nobody-home.sock";
@@ -403,7 +455,7 @@ main(int argc, char **argv)
     }
 
     // 9. kill -9 emulation and restart recovery ----------------------
-    {
+    if (!chaosOnly) {
         t0 = phase("restart");
         const std::string cacheDir = dir + "/cache"; // phase-2 blobs
         // Tear one blob mid-write and leave a stale tmp file behind, as
@@ -426,6 +478,7 @@ main(int argc, char **argv)
         dcfg.socketPath = sock;
         dcfg.cacheDir = cacheDir;
         dcfg.workers = 2;
+        dcfg.isolateWorkers = isolate;
         Daemon daemon(dcfg, directSim());
         daemon.start();
         std::uint64_t wrong = 0;
@@ -447,6 +500,218 @@ main(int argc, char **argv)
         daemon.stop();
     }
 
+    // 10. chaos: sandboxed workers under deliberate fire -------------
+    std::uint64_t chaosIssued = 0, chaosInjected = 0;
+    SupervisorCounters chaosFleet{};
+    std::uint64_t poisonQuarantines = 0, poisonRefusals = 0;
+    if (chaosFraction > 0.0) {
+        DaemonConfig dcfg;
+        dcfg.socketPath = sock;
+        dcfg.cacheDir = dir + "/cache-chaos";
+        dcfg.workers = 4;
+        dcfg.queueDepth = 256;
+        dcfg.isolateWorkers = true;
+        dcfg.hangTimeout = 0.25; // hang chaos must die by watchdog
+        dcfg.workerAbortGraceMs = 150;
+        dcfg.workerAddressSpaceBytes = 1ull << 30; // cap alloc bombs
+        // The matrix kills workers far faster than any organic flap;
+        // shedding here would mask the typed-error contract this phase
+        // exists to prove.  Flap shedding has its own unit coverage.
+        dcfg.flapDeaths = 0x7fffffff;
+        // Likewise keep respawns snappy: the default backoff is tuned
+        // for production fork bombs, not a harness killing ~15% of all
+        // jobs on purpose.
+        dcfg.workerRestartBackoffMs = 2;
+        dcfg.workerRestartBackoffCapMs = 50;
+        Daemon daemon(dcfg, chaosSim());
+        daemon.start();
+
+        t0 = phase("chaos");
+        const std::uint64_t period = std::max<std::uint64_t>(
+            2, static_cast<std::uint64_t>(1.0 / chaosFraction + 0.5));
+        const std::uint64_t perThread =
+            (totalRequests + threads - 1) / threads;
+        chaosIssued = perThread * threads;
+        std::atomic<std::uint64_t> healthyWrong{0}, healthyErrors{0};
+        std::atomic<std::uint64_t> typedOk{0}, typedBad{0};
+        std::atomic<std::uint32_t> salt{0};
+        std::vector<std::thread> pool;
+        for (std::uint32_t t = 0; t < threads; ++t)
+            pool.emplace_back([&, t] {
+                ClientConfig tc = ccfg;
+                tc.seed = 9'000 + t;
+                tc.fallback = nullptr; // a detonation must never run
+                                       // inside this process
+                RcClient client(tc);
+                for (std::uint64_t i = 0; i < perThread; ++i) {
+                    const std::uint64_t n = t * perThread + i;
+                    const std::size_t at = n % reqs.size();
+                    if (n % period != 0) {
+                        try {
+                            if (!runResultsEqual(client.simulate(reqs[at]),
+                                                 oracle[at]))
+                                healthyWrong.fetch_add(1);
+                        } catch (const SimError &) {
+                            healthyErrors.fetch_add(1);
+                        }
+                        continue;
+                    }
+                    // Doomed request: a chaos marker rides the seed (and
+                    // therefore the digest); salts keep digests distinct
+                    // so phase 11 owns the quarantine path.
+                    static const FaultClass mix[4] = {
+                        FaultClass::WorkerCrash, FaultClass::WorkerOom,
+                        FaultClass::WorkerCrash, FaultClass::WorkerHang};
+                    const std::uint32_t s = salt.fetch_add(1);
+                    const FaultClass cls = mix[s % 4];
+                    RunRequest doomed = reqs[at];
+                    doomed.seed = chaosSeed(cls, s);
+                    const SimError::Kind want =
+                        cls == FaultClass::WorkerHang
+                            ? SimError::Kind::Hang
+                            : SimError::Kind::Crash;
+                    try {
+                        client.simulate(doomed);
+                        typedBad.fetch_add(1); // must never succeed
+                    } catch (const SimError &err) {
+                        (err.kind() == want ? typedOk : typedBad)
+                            .fetch_add(1);
+                    }
+                }
+            });
+        for (std::thread &th : pool)
+            th.join();
+        chaosInjected = typedOk.load() + typedBad.load();
+
+        // The daemon must shrug the carnage off: a fresh client gets
+        // every healthy answer, bitwise-identical, from live workers.
+        std::uint64_t afterWrong = 0;
+        ClientConfig ac = ccfg;
+        ac.fallback = nullptr;
+        RcClient after(ac);
+        bool aliveOk = true;
+        try {
+            aliveOk = verifyAll(reqs, oracle, after, afterWrong);
+        } catch (const SimError &) {
+            aliveOk = false;
+        }
+        chaosFleet = daemon.fleetCounters();
+        const bool ok = healthyWrong.load() == 0 &&
+                        healthyErrors.load() == 0 &&
+                        typedBad.load() == 0 &&
+                        typedOk.load() == chaosInjected &&
+                        chaosInjected * 10 >= chaosIssued && aliveOk &&
+                        chaosFleet.crashes > 0 &&
+                        chaosFleet.restarts > 0 &&
+                        chaosFleet.hangKills > 0 &&
+                        chaosFleet.containedErrors > 0;
+        char note[220];
+        std::snprintf(
+            note, sizeof(note),
+            "%llu/%llu doomed, %llu typed, %llu mistyped, %llu healthy "
+            "wrong/err, %llu worker deaths (%llu hang kills), %llu "
+            "restarts, %llu contained",
+            static_cast<unsigned long long>(chaosInjected),
+            static_cast<unsigned long long>(chaosIssued),
+            static_cast<unsigned long long>(typedOk.load()),
+            static_cast<unsigned long long>(typedBad.load()),
+            static_cast<unsigned long long>(healthyWrong.load() +
+                                            healthyErrors.load() +
+                                            afterWrong),
+            static_cast<unsigned long long>(chaosFleet.crashes),
+            static_cast<unsigned long long>(chaosFleet.hangKills),
+            static_cast<unsigned long long>(chaosFleet.restarts),
+            static_cast<unsigned long long>(chaosFleet.containedErrors));
+        endPhase(t0, ok, note);
+        wrongTotal += healthyWrong.load() + afterWrong;
+        daemon.requestStop();
+        daemon.stop();
+    }
+
+    // 11 + 12. poison quarantine, then its persistence ---------------
+    if (chaosFraction > 0.0) {
+        DaemonConfig pcfg;
+        pcfg.socketPath = sock;
+        pcfg.cacheDir = dir + "/cache-poison";
+        pcfg.workers = 2;
+        pcfg.isolateWorkers = true;
+        pcfg.poisonThreshold = 3;
+        RunRequest doomed = reqs[0];
+        doomed.seed = chaosSeed(FaultClass::WorkerCrash, 0xf00d);
+        ClientConfig pc = ccfg;
+        pc.fallback = nullptr; // refusal must surface, not be hidden
+
+        {
+            Daemon daemon(pcfg, chaosSim());
+            daemon.start();
+            t0 = phase("poison");
+            RcClient client(pc);
+            std::uint32_t workerKills = 0, refusals = 0, other = 0;
+            for (int i = 0; i < 6; ++i) {
+                try {
+                    client.simulate(doomed);
+                    ++other; // a doomed request must never succeed
+                } catch (const SimError &err) {
+                    if (err.kind() != SimError::Kind::Crash)
+                        ++other;
+                    else if (std::strstr(err.what(), "quarantined"))
+                        ++refusals;
+                    else
+                        ++workerKills;
+                }
+            }
+            const DaemonCounters c = daemon.counters();
+            const SupervisorCounters fc = daemon.fleetCounters();
+            const PoisonStats ps = daemon.poisonStats();
+            poisonQuarantines += fc.poisonQuarantines;
+            poisonRefusals += c.poisonRefused;
+            const bool ok = workerKills == 3 && refusals == 3 &&
+                            other == 0 && c.poisonRefused == 3 &&
+                            fc.poisonQuarantines == 1 &&
+                            fc.crashes == 3 && ps.quarantined == 1;
+            char note[200];
+            std::snprintf(note, sizeof(note),
+                          "%u kills then quarantined, %u refusals "
+                          "(daemon refused %llu, workers died %llu)",
+                          workerKills, refusals,
+                          static_cast<unsigned long long>(c.poisonRefused),
+                          static_cast<unsigned long long>(fc.crashes));
+            endPhase(t0, ok, note);
+            daemon.requestStop();
+            daemon.stop();
+        }
+
+        // 12. a NEW daemon on the same cache dir must refuse the
+        // quarantined digest off the persistent index — before any
+        // worker gets a chance to die for it.
+        {
+            Daemon daemon(pcfg, chaosSim());
+            daemon.start();
+            t0 = phase("poison-restart");
+            RcClient client(pc);
+            bool refused = false;
+            try {
+                client.simulate(doomed);
+            } catch (const SimError &err) {
+                refused = err.kind() == SimError::Kind::Crash &&
+                          std::strstr(err.what(), "quarantined");
+            }
+            const DaemonCounters c = daemon.counters();
+            const SupervisorCounters fc = daemon.fleetCounters();
+            const PoisonStats ps = daemon.poisonStats();
+            poisonRefusals += c.poisonRefused;
+            const bool ok = refused && fc.crashes == 0 &&
+                            c.poisonRefused == 1 && ps.recovered >= 1 &&
+                            ps.quarantined >= 1;
+            endPhase(t0, ok,
+                     refused ? "verdict recovered from poison.index, "
+                               "no worker died"
+                             : "quarantine NOT recovered after restart");
+            daemon.requestStop();
+            daemon.stop();
+        }
+    }
+
     // BENCH_daemon.json ----------------------------------------------
     bool allPass = true;
     for (const PhaseRecord &p : phases)
@@ -464,6 +729,28 @@ main(int argc, char **argv)
         std::fprintf(f, "  \"hit_speedup\": %.1f,\n", hitSpeedup);
         std::fprintf(f, "  \"wrong_results\": %llu,\n",
                      static_cast<unsigned long long>(wrongTotal));
+        std::fprintf(f, "  \"isolate\": %s,\n",
+                     isolate ? "true" : "false");
+        std::fprintf(f, "  \"chaos_requests\": %llu,\n",
+                     static_cast<unsigned long long>(chaosIssued));
+        std::fprintf(f, "  \"chaos_injected\": %llu,\n",
+                     static_cast<unsigned long long>(chaosInjected));
+        std::fprintf(f, "  \"worker_crashes\": %llu,\n",
+                     static_cast<unsigned long long>(chaosFleet.crashes));
+        std::fprintf(f, "  \"worker_restarts\": %llu,\n",
+                     static_cast<unsigned long long>(chaosFleet.restarts));
+        std::fprintf(f, "  \"hang_kills\": %llu,\n",
+                     static_cast<unsigned long long>(chaosFleet.hangKills));
+        std::fprintf(f, "  \"rlimit_cpu_kills\": %llu,\n",
+                     static_cast<unsigned long long>(
+                         chaosFleet.rlimitCpuKills));
+        std::fprintf(f, "  \"contained_errors\": %llu,\n",
+                     static_cast<unsigned long long>(
+                         chaosFleet.containedErrors));
+        std::fprintf(f, "  \"poison_quarantines\": %llu,\n",
+                     static_cast<unsigned long long>(poisonQuarantines));
+        std::fprintf(f, "  \"poison_refusals\": %llu,\n",
+                     static_cast<unsigned long long>(poisonRefusals));
         std::fprintf(f, "  \"phases\": [\n");
         for (std::size_t i = 0; i < phases.size(); ++i)
             std::fprintf(f,

@@ -1,10 +1,14 @@
 #include "common/log.hh"
 
+#include <algorithm>
 #include <atomic>
 #include <cstdarg>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <mutex>
+
+#include <unistd.h>
 
 #include "common/task_pool.hh"
 
@@ -18,6 +22,10 @@ std::atomic<bool> quietFlag{false};
 
 thread_local std::string threadTag;
 
+/** Forked-child mode: bypass the mutex-guarded stdio sink entirely. */
+std::atomic<bool> childMode{false};
+char childTag[64] = {0};
+
 std::mutex &
 sinkMutex()
 {
@@ -25,9 +33,32 @@ sinkMutex()
     return m;
 }
 
+/** Single-write(2) report for forked workers (no locks, no stdio). */
+void
+vreportChildSafe(const char *tag, const char *fmt, std::va_list ap)
+{
+    char buf[1024];
+    int at = std::snprintf(buf, sizeof(buf), "[%s] %s: ", childTag, tag);
+    if (at < 0)
+        return;
+    if (static_cast<std::size_t>(at) < sizeof(buf) - 2) {
+        const int n = std::vsnprintf(buf + at, sizeof(buf) - 1 - at, fmt,
+                                     ap);
+        if (n > 0)
+            at = std::min(at + n,
+                          static_cast<int>(sizeof(buf)) - 2);
+    }
+    buf[at++] = '\n';
+    (void)!::write(2, buf, static_cast<std::size_t>(at));
+}
+
 void
 vreport(const char *tag, const char *fmt, std::va_list ap)
 {
+    if (childMode.load(std::memory_order_relaxed)) {
+        vreportChildSafe(tag, fmt, ap);
+        return;
+    }
     std::lock_guard<std::mutex> lock(sinkMutex());
     if (!threadTag.empty())
         std::fprintf(stderr, "[%s] ", threadTag.c_str());
@@ -62,7 +93,10 @@ fatal(const char *fmt, ...)
     // exit() from a pool worker would run atexit handlers and static
     // destructors underneath threads that are still simulating; _Exit
     // keeps the abort clean.  The main thread keeps the normal exit.
-    if (TaskPool::workerId() >= 0)
+    // A forked worker child must _Exit too: exit() would run the
+    // parent's atexit handlers a second time in the child.
+    if (TaskPool::workerId() >= 0 ||
+        childMode.load(std::memory_order_relaxed))
         std::_Exit(1);
     std::exit(1);
 }
@@ -78,6 +112,7 @@ toString(SimError::Kind kind)
       case SimError::Kind::Snapshot: return "snapshot";
       case SimError::Kind::Hang: return "hang";
       case SimError::Kind::Io: return "io";
+      case SimError::Kind::Crash: return "crash";
     }
     return "unknown";
 }
@@ -154,6 +189,20 @@ void
 setThreadLogTag(const std::string &tag)
 {
     threadTag = tag;
+}
+
+void
+enterChildProcessLogMode(const std::string &tag)
+{
+    std::strncpy(childTag, tag.c_str(), sizeof(childTag) - 1);
+    childTag[sizeof(childTag) - 1] = '\0';
+    childMode.store(true, std::memory_order_relaxed);
+}
+
+bool
+childProcessLogMode()
+{
+    return childMode.load(std::memory_order_relaxed);
 }
 
 } // namespace rc

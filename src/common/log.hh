@@ -43,6 +43,8 @@ class SimError : public std::runtime_error
         Snapshot,  //!< checkpoint/journal truncated, corrupt or mismatched
         Hang,      //!< watchdog aborted a run with no forward progress
         Io,        //!< socket/file I/O failed or timed out (service layer)
+        Crash,     //!< a sandboxed worker process died (signal, rlimit
+                   //!< kill, OOM) or its request is poison-quarantined
     };
 
     SimError(Kind kind, const std::string &what)
@@ -156,6 +158,23 @@ bool quiet();
  * An empty tag restores untagged output.
  */
 void setThreadLogTag(const std::string &tag);
+
+/**
+ * Switch the log sink into forked-child mode: every report is formatted
+ * into a fixed stack buffer and emitted with a single write(2), never
+ * touching the mutex-guarded stdio sink.  A worker forked from a
+ * multithreaded daemon MUST call this first thing after fork() — the
+ * parent's sink mutex (or stdio's own locks) may have been held by
+ * another thread at fork time, in which case the child's copy is locked
+ * forever and the first warn() would deadlock the worker.
+ *
+ * @p tag prefixes every line ("[tag] ..."); the mode is process-wide
+ * and irreversible by design (the child never goes back).
+ */
+void enterChildProcessLogMode(const std::string &tag);
+
+/** Whether enterChildProcessLogMode() ran in this process. */
+bool childProcessLogMode();
 
 /**
  * Assert-like check that stays enabled in release builds (no NDEBUG

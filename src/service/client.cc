@@ -48,18 +48,8 @@ busyHintMs(const std::vector<std::uint8_t> &payload)
 throwErrorFrame(const std::vector<std::uint8_t> &payload)
 {
     SimError::Kind kind = SimError::Kind::Io;
-    std::string msg = "daemon reported an undecodable error";
-    try {
-        Deserializer d(payload);
-        d.beginSection("err");
-        const std::uint8_t raw = d.getU8();
-        if (raw <= static_cast<std::uint8_t>(SimError::Kind::Io))
-            kind = static_cast<SimError::Kind>(raw);
-        msg = d.getString();
-        d.endSection("err");
-    } catch (const SimError &) {
-        // keep the defaults
-    }
+    std::string msg;
+    decodeErrorPayload(payload, kind, msg);
     throw SimError(kind, "daemon: " + msg);
 }
 
@@ -152,8 +142,14 @@ RcClient::backoffDelayMs(std::uint32_t attempt, std::uint32_t server_hint)
 RunResult
 RcClient::simulate(const RunRequest &req)
 {
+    using Clock = std::chrono::steady_clock;
     ++stats.requests;
     const std::vector<std::uint8_t> payload = requestPayload(req);
+    // The deadline bounds the whole retry schedule from the moment the
+    // caller asked, not per attempt.
+    const bool hasDeadline = req.deadlineMs > 0;
+    const Clock::time_point deadline =
+        Clock::now() + std::chrono::milliseconds(req.deadlineMs);
 
     for (std::uint32_t attempt = 0; attempt < cfg.maxAttempts; ++attempt) {
         const int fd = ensureConnected();
@@ -197,7 +193,28 @@ RcClient::simulate(const RunRequest &req)
         }
 
         if (attempt + 1 < cfg.maxAttempts) {
-            const std::uint32_t delay = backoffDelayMs(attempt, hint);
+            std::uint64_t delay = backoffDelayMs(attempt, hint);
+            if (hasDeadline) {
+                const std::int64_t left =
+                    std::chrono::duration_cast<std::chrono::milliseconds>(
+                        deadline - Clock::now())
+                        .count();
+                if (left <= 0) {
+                    // Budget gone: sleeping (or dialing again) can only
+                    // overshoot.  Fail fast instead of arriving late.
+                    ++stats.deadlineRespected;
+                    throwSimError(SimError::Kind::Io,
+                                  "deadline of %llu ms exhausted after "
+                                  "%u attempts on '%s'",
+                                  static_cast<unsigned long long>(
+                                      req.deadlineMs),
+                                  attempt + 1, cfg.socketPath.c_str());
+                }
+                if (delay > static_cast<std::uint64_t>(left)) {
+                    delay = static_cast<std::uint64_t>(left);
+                    ++stats.deadlineRespected;
+                }
+            }
             stats.backoffMsTotal += delay;
             std::this_thread::sleep_for(std::chrono::milliseconds(delay));
         }

@@ -13,6 +13,12 @@
  * sequence.  simulate() throws only when the daemon reports a
  * simulation failure (quarantine — retrying would fail identically) or
  * when every recovery avenue, including the fallback, is exhausted.
+ *
+ * A request carrying a deadline (RunRequest::deadlineMs > 0) bounds the
+ * whole retry schedule, not just the server's execution: backoff sleeps
+ * are clamped to the remaining budget and an exhausted budget fails
+ * fast with SimError(Io) instead of sleeping past the deadline the
+ * caller asked the SERVICE to honour.
  */
 
 #ifndef RC_SERVICE_CLIENT_HH
@@ -22,8 +28,8 @@
 #include <string>
 
 #include "common/rng.hh"
-#include "service/daemon.hh" // SimulateFn
 #include "service/run_request.hh"
+#include "service/simulate_fn.hh"
 #include "sim/run_result.hh"
 
 namespace rc::svc
@@ -71,6 +77,9 @@ struct ClientCounters
     std::uint64_t reconnects = 0;    //!< torn replies / dead connections
     std::uint64_t fallbacks = 0;     //!< answered in-process
     std::uint64_t backoffMsTotal = 0;
+    //! times the request deadline clamped a backoff sleep or cut the
+    //! retry schedule short (the client never overshot the deadline)
+    std::uint64_t deadlineRespected = 0;
 };
 
 /** One client; not thread-safe (use one per thread). */

@@ -14,6 +14,8 @@
 
 #include "common/log.hh"
 #include "service/frame.hh"
+#include "service/poison.hh"
+#include "service/supervisor.hh"
 #include "snapshot/serializer.hh"
 #include "telemetry/trace_event.hh"
 
@@ -62,24 +64,13 @@ busyPayload(std::uint32_t retry_after_ms)
     return s.image();
 }
 
-std::vector<std::uint8_t>
-errorPayload(SimError::Kind kind, const std::string &msg)
-{
-    Serializer s;
-    s.beginSection("err");
-    s.putU8(static_cast<std::uint8_t>(kind));
-    s.putString(msg);
-    s.endSection("err");
-    return s.image();
-}
-
 /** Best-effort reply on an already-compromised connection. */
 void
 trySendError(int fd, SimError::Kind kind, const std::string &msg,
              int timeout_ms)
 {
     try {
-        writeFrame(fd, MsgType::Error, errorPayload(kind, msg),
+        writeFrame(fd, MsgType::Error, encodeErrorPayload(kind, msg),
                    timeout_ms);
     } catch (const SimError &) {
         // The peer is gone or wedged; nothing more to say to it.
@@ -113,6 +104,19 @@ Daemon::Daemon(const DaemonConfig &cfg, SimulateFn simulate)
     RC_ASSERT(this->simulate != nullptr, "daemon needs a SimulateFn");
     truncateBudget.store(static_cast<std::int32_t>(cfg.faultTruncateReplies));
     corruptBudget.store(static_cast<std::int32_t>(cfg.faultCorruptBlobs));
+    if (cfg.isolateWorkers) {
+        poison = std::make_unique<PoisonIndex>(cfg.cacheDir);
+        SupervisorConfig sup;
+        sup.workers = std::max<std::uint32_t>(cfg.workers, 1);
+        sup.limits.cpuSeconds = cfg.workerCpuLimitSeconds;
+        sup.limits.addressSpaceBytes = cfg.workerAddressSpaceBytes;
+        sup.poisonThreshold = cfg.poisonThreshold;
+        sup.abortGraceMs = cfg.workerAbortGraceMs;
+        sup.flapDeaths = cfg.flapDeaths;
+        sup.restartBackoffBaseMs = cfg.workerRestartBackoffMs;
+        sup.restartBackoffCapMs = cfg.workerRestartBackoffCapMs;
+        fleet = std::make_unique<Supervisor>(sup, this->simulate, *poison);
+    }
 }
 
 Daemon::~Daemon()
@@ -198,6 +202,10 @@ Daemon::stop()
         if (t.joinable())
             t.join();
     workerThreads.clear();
+    // Simulation threads are gone, so no job is mid-flight in a child:
+    // retire the fleet now rather than leaving orphans to the dtor.
+    if (fleet)
+        fleet->shutdown();
 
     // Every job has completed and replied (or is about to); stop reads
     // only, so a reply still in flight drains to its client before the
@@ -376,6 +384,45 @@ Daemon::handleRequest(int fd, std::uint32_t connId,
     }
 
     const std::uint64_t digest = requestDigest(req);
+
+    if (poison && poison->quarantined(digest)) {
+        // The digest has killed enough distinct workers; it will never
+        // touch a worker again.  Typed refusal, not Busy: retrying is
+        // pointless and the client must not fall back either (the same
+        // request would crash an unsandboxed process).
+        {
+            std::lock_guard<std::mutex> lock(mu);
+            ++stats.poisonRefused;
+        }
+        if (tracer)
+            tracer->recordHost("svc.poisonRefused", connId, 0,
+                               digest & 0xffffffffu);
+        trySendError(fd, SimError::Kind::Crash,
+                     "request " + digestHex(digest) +
+                         " is quarantined: it crashed " +
+                         std::to_string(cfg.poisonThreshold) +
+                         " isolated workers",
+                     cfg.ioTimeoutMs);
+        return true;
+    }
+
+    if (fleet && fleet->flapping()) {
+        // The fleet is dying faster than it can restart; queueing more
+        // work would just line victims up behind the fault.  Shed with
+        // a retry-after so clients back off while backoff heals it.
+        {
+            std::lock_guard<std::mutex> lock(mu);
+            ++stats.sheds;
+            ++stats.flapSheds;
+        }
+        if (tracer)
+            tracer->recordHost("svc.flapShed", connId, 0,
+                               cfg.retryAfterMs);
+        writeFrame(fd, MsgType::Busy, busyPayload(cfg.retryAfterMs),
+                   cfg.ioTimeoutMs);
+        return true;
+    }
+
     std::shared_ptr<Job> job;
     {
         std::lock_guard<std::mutex> lock(mu);
@@ -414,7 +461,7 @@ Daemon::handleRequest(int fd, std::uint32_t connId,
                            digest & 0xffffffffu);
     if (job->failed) {
         writeFrame(fd, MsgType::Error,
-                   errorPayload(job->errKind, job->errMsg),
+                   encodeErrorPayload(job->errKind, job->errMsg),
                    cfg.ioTimeoutMs);
         return true;
     }
@@ -473,7 +520,14 @@ Daemon::workerLoop()
         std::string msg;
         RunResult res;
         try {
-            res = simulate(job->req, &job->abort, &job->heartbeat);
+            // Isolation routes the job through the supervisor into a
+            // forked, rlimit-capped child; the abort/heartbeat wiring
+            // is identical either way (the worker bridges it across
+            // the process boundary via a shared page).
+            res = fleet ? fleet->run(job->req, &job->abort,
+                                     &job->heartbeat)
+                        : simulate(job->req, &job->abort,
+                                   &job->heartbeat);
         } catch (const SimError &err) {
             failed = true;
             kind = err.kind();
@@ -505,10 +559,15 @@ Daemon::workerLoop()
                 ++stats.simulated;
             }
         }
-        if (tracer)
+        if (tracer) {
             tracer->recordHost("svc.simulate", 0,
                                tracer->hostNowMicros() - t0,
                                job->digest & 0xffffffffu);
+            if (failed && kind == SimError::Kind::Crash)
+                tracer->recordHost("svc.crash", 0,
+                                   tracer->hostNowMicros() - t0,
+                                   job->digest & 0xffffffffu);
+        }
 
         {
             std::lock_guard<std::mutex> jlock(job->jmu);
@@ -568,11 +627,25 @@ Daemon::counters() const
     return stats;
 }
 
+SupervisorCounters
+Daemon::fleetCounters() const
+{
+    return fleet ? fleet->counters() : SupervisorCounters{};
+}
+
+PoisonStats
+Daemon::poisonStats() const
+{
+    return poison ? poison->stats() : PoisonStats{};
+}
+
 std::string
 Daemon::statsJson() const
 {
     const DaemonCounters c = counters();
     const ResultCacheStats cs = store.stats();
+    const SupervisorCounters fc = fleetCounters();
+    const PoisonStats ps = poisonStats();
     std::ostringstream os;
     os << "{\n"
        << "  \"daemon\": {\n"
@@ -587,7 +660,22 @@ Daemon::statsJson() const
        << "    \"hang_aborts\": " << c.hangAborts << ",\n"
        << "    \"deadline_aborts\": " << c.deadlineAborts << ",\n"
        << "    \"protocol_errors\": " << c.protocolErrors << ",\n"
-       << "    \"io_errors\": " << c.ioErrors << "\n"
+       << "    \"io_errors\": " << c.ioErrors << ",\n"
+       << "    \"poison_refused\": " << c.poisonRefused << ",\n"
+       << "    \"flap_sheds\": " << c.flapSheds << "\n"
+       << "  },\n"
+       << "  \"isolation\": {\n"
+       << "    \"enabled\": " << (fleet ? "true" : "false") << ",\n"
+       << "    \"jobs\": " << fc.jobs << ",\n"
+       << "    \"worker_crashes\": " << fc.crashes << ",\n"
+       << "    \"hang_kills\": " << fc.hangKills << ",\n"
+       << "    \"rlimit_cpu_kills\": " << fc.rlimitCpuKills << ",\n"
+       << "    \"contained_errors\": " << fc.containedErrors << ",\n"
+       << "    \"worker_restarts\": " << fc.restarts << ",\n"
+       << "    \"poison_quarantines\": " << fc.poisonQuarantines << ",\n"
+       << "    \"poison_tracked\": " << ps.tracked << ",\n"
+       << "    \"poison_blacklisted\": " << ps.quarantined << ",\n"
+       << "    \"poison_recovered\": " << ps.recovered << "\n"
        << "  },\n"
        << "  \"cache\": {\n"
        << "    \"entries\": " << store.size() << ",\n"

@@ -45,6 +45,7 @@
 
 #include "service/result_cache.hh"
 #include "service/run_request.hh"
+#include "service/simulate_fn.hh"
 #include "sim/run_result.hh"
 
 namespace rc
@@ -55,15 +56,10 @@ class EventTracer;
 namespace rc::svc
 {
 
-/**
- * The simulation callback: run @p req to completion, advancing
- * @p heartbeat (completed references) and honouring @p abort (set by
- * the daemon's watchdog; the simulator raises SimError(Hang) at its
- * next quiescent point).  Both pointers outlive the call.
- */
-using SimulateFn = std::function<RunResult(
-    const RunRequest &req, const std::atomic<bool> *abort,
-    std::atomic<std::uint64_t> *heartbeat)>;
+class Supervisor;
+class PoisonIndex;
+struct SupervisorCounters;
+struct PoisonStats;
 
 /** Daemon tuning; defaults suit the tests and the stress bench. */
 struct DaemonConfig
@@ -95,6 +91,40 @@ struct DaemonConfig
      * a re-simulation, never serve garbage.
      */
     std::uint32_t faultCorruptBlobs = 0;
+
+    /**
+     * Process isolation: run every simulation in a forked, rlimit-capped
+     * worker process supervised for crash containment (see
+     * supervisor.hh).  A crashing job then costs one child process and
+     * one typed Error reply, never the daemon.
+     */
+    bool isolateWorkers = false;
+
+    //! RLIMIT_CPU seconds per worker child (0 = uncapped; isolation only)
+    std::uint64_t workerCpuLimitSeconds = 0;
+
+    //! RLIMIT_AS bytes per worker child (0 = uncapped; skipped under
+    //! ASan; isolation only)
+    std::uint64_t workerAddressSpaceBytes = 0;
+
+    /**
+     * Distinct worker deaths attributed to one request digest before it
+     * is blacklisted in the persistent poison index (isolation only).
+     */
+    std::uint32_t poisonThreshold = 3;
+
+    //! ms between forwarding a watchdog abort to a child and SIGKILLing
+    //! a child that ignores it (isolation only)
+    std::uint32_t workerAbortGraceMs = 300;
+
+    //! fleet deaths within a 10 s window before the daemon sheds new
+    //! work with Busy instead of queueing onto a flapping pool
+    std::uint32_t flapDeaths = 8;
+
+    //! base/cap of the exponential per-slot respawn backoff after a
+    //! worker death (isolation only)
+    std::uint32_t workerRestartBackoffMs = 50;
+    std::uint32_t workerRestartBackoffCapMs = 2000;
 };
 
 /** Monotonic daemon counters, exported via statsJson(). */
@@ -113,6 +143,8 @@ struct DaemonCounters
     std::uint64_t deadlineAborts = 0; //!< request-deadline aborts
     std::uint64_t protocolErrors = 0; //!< malformed frames seen
     std::uint64_t ioErrors = 0;       //!< socket I/O failures/timeouts
+    std::uint64_t poisonRefused = 0;  //!< requests refused as quarantined
+    std::uint64_t flapSheds = 0;      //!< Busy replies due to worker flap
 };
 
 /** The server; construct, start(), eventually requestStop()+stop(). */
@@ -157,6 +189,18 @@ class Daemon
     /** The underlying cache (tests poke blobs through it). */
     ResultCache &cache() { return store; }
 
+    /** Whether jobs run in forked, sandboxed worker processes. */
+    bool isolated() const { return fleet != nullptr; }
+
+    /**
+     * Fleet counters (zeroes when isolation is off); declared in
+     * supervisor.hh.
+     */
+    SupervisorCounters fleetCounters() const;
+
+    /** Poison-quarantine counters (declared in poison.hh). */
+    PoisonStats poisonStats() const;
+
   private:
     struct Job;
 
@@ -173,6 +217,11 @@ class Daemon
     DaemonConfig cfg;
     SimulateFn simulate;
     ResultCache store;
+
+    //! isolation mode only: persistent quarantine + worker fleet (the
+    //! fleet holds a reference into the index, so order matters)
+    std::unique_ptr<PoisonIndex> poison;
+    std::unique_ptr<Supervisor> fleet;
 
     int listenFd = -1;
     int wakePipe[2] = {-1, -1}; //!< self-pipe unblocking the accept poll

@@ -228,6 +228,39 @@ readFrame(int fd, Frame &out, int timeout_ms)
     return true;
 }
 
+std::vector<std::uint8_t>
+encodeErrorPayload(SimError::Kind kind, const std::string &msg)
+{
+    Serializer s;
+    s.beginSection("err");
+    s.putU8(static_cast<std::uint8_t>(kind));
+    s.putString(msg);
+    s.endSection("err");
+    return s.image();
+}
+
+bool
+decodeErrorPayload(const std::vector<std::uint8_t> &payload,
+                   SimError::Kind &kind, std::string &msg)
+{
+    kind = SimError::Kind::Io;
+    msg = "peer reported an undecodable error";
+    try {
+        Deserializer d(payload);
+        d.beginSection("err");
+        const std::uint8_t raw = d.getU8();
+        // An unknown kind from a newer peer degrades to Io rather than
+        // aliasing onto a random enumerator.
+        if (raw <= static_cast<std::uint8_t>(SimError::Kind::Crash))
+            kind = static_cast<SimError::Kind>(raw);
+        msg = d.getString();
+        d.endSection("err");
+        return true;
+    } catch (const SimError &) {
+        return false;
+    }
+}
+
 Frame
 decodeFrame(const std::vector<std::uint8_t> &bytes)
 {

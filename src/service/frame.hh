@@ -30,7 +30,10 @@
 #define RC_SERVICE_FRAME_HH
 
 #include <cstdint>
+#include <string>
 #include <vector>
+
+#include "common/log.hh" // SimError::Kind
 
 namespace rc::svc
 {
@@ -108,6 +111,22 @@ bool readFrame(int fd, Frame &out, int timeout_ms = -1);
  * frame (SimError(Protocol)).
  */
 Frame decodeFrame(const std::vector<std::uint8_t> &bytes);
+
+/**
+ * Payload of an Error frame: the carried SimError kind + message.
+ * Shared by the daemon (client-facing replies), the client (typed
+ * rethrow) and the sandboxed worker transport (child-side failures).
+ */
+std::vector<std::uint8_t> encodeErrorPayload(SimError::Kind kind,
+                                             const std::string &msg);
+
+/**
+ * Decode an Error payload.
+ * @return false on a malformed payload; @p kind and @p msg then hold
+ *         safe defaults (Kind::Io, a generic message).
+ */
+bool decodeErrorPayload(const std::vector<std::uint8_t> &payload,
+                        SimError::Kind &kind, std::string &msg);
 
 } // namespace rc::svc
 

@@ -1,0 +1,112 @@
+#include "service/poison.hh"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include "common/filelock.hh"
+#include "common/log.hh"
+#include "service/run_request.hh" // digestHex
+
+namespace rc::svc
+{
+
+namespace
+{
+
+constexpr const char *poisonName = "poison.index";
+constexpr const char *poisonHeader = "# rc poison index v1\n";
+
+} // namespace
+
+PoisonIndex::PoisonIndex(const std::string &dir) : dir(dir)
+{
+    if (::mkdir(dir.c_str(), 0777) != 0 && errno != EEXIST)
+        throwSimError(SimError::Kind::Io,
+                      "cannot create poison directory '%s': %s",
+                      dir.c_str(), std::strerror(errno));
+    std::FILE *f = std::fopen((dir + "/" + poisonName).c_str(), "rb");
+    if (!f)
+        return;
+    char line[128];
+    while (std::fgets(line, sizeof(line), f)) {
+        unsigned long long digest = 0;
+        if (std::sscanf(line, "poison digest=%llx", &digest) == 1)
+            blacklist.insert(digest);
+    }
+    std::fclose(f);
+    recoveredCount = blacklist.size();
+}
+
+bool
+PoisonIndex::quarantined(std::uint64_t digest) const
+{
+    std::lock_guard<std::mutex> lock(mu);
+    return blacklist.count(digest) != 0;
+}
+
+bool
+PoisonIndex::recordCrash(std::uint64_t digest, std::uint64_t worker_uid,
+                         std::uint32_t threshold)
+{
+    {
+        std::lock_guard<std::mutex> lock(mu);
+        if (blacklist.count(digest))
+            return false; // already condemned
+        auto &uids = crashes[digest];
+        uids.insert(worker_uid);
+        if (uids.size() < threshold)
+            return false;
+        blacklist.insert(digest);
+        crashes.erase(digest);
+    }
+    // Persist outside the lock: a slow fsync must not stall the
+    // supervisor's crash handling for other digests.
+    appendQuarantine(digest);
+    return true;
+}
+
+PoisonStats
+PoisonIndex::stats() const
+{
+    std::lock_guard<std::mutex> lock(mu);
+    PoisonStats out;
+    out.tracked = crashes.size();
+    out.quarantined = blacklist.size();
+    out.recovered = recoveredCount;
+    return out;
+}
+
+void
+PoisonIndex::appendQuarantine(std::uint64_t digest)
+{
+    const std::string path = dir + "/" + poisonName;
+    const bool fresh = ::access(path.c_str(), F_OK) != 0;
+    std::FILE *f = std::fopen(path.c_str(), "ab");
+    if (!f) {
+        warn("poison index: cannot open '%s': %s", path.c_str(),
+             std::strerror(errno));
+        return;
+    }
+    char line[64];
+    std::snprintf(line, sizeof(line), "poison digest=%s\n",
+                  digestHex(digest).c_str());
+    try {
+        // flock orders appends against other daemons sharing the
+        // directory; load tolerates a torn tail line regardless.
+        ScopedFileLock flock(::fileno(f));
+        if (fresh)
+            std::fputs(poisonHeader, f);
+        std::fputs(line, f);
+        std::fflush(f);
+        ::fsync(::fileno(f));
+    } catch (const SimError &err) {
+        warn("poison index: append skipped: %s", err.what());
+    }
+    std::fclose(f);
+}
+
+} // namespace rc::svc

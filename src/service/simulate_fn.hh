@@ -1,0 +1,34 @@
+/**
+ * @file
+ * The service layer's simulation callback type, in its own header so
+ * the daemon (which dispatches jobs) and the sandboxed worker (which
+ * executes them in a forked child) can share it without the worker
+ * depending on the whole daemon interface.
+ */
+
+#ifndef RC_SERVICE_SIMULATE_FN_HH
+#define RC_SERVICE_SIMULATE_FN_HH
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+
+#include "service/run_request.hh"
+#include "sim/run_result.hh"
+
+namespace rc::svc
+{
+
+/**
+ * The simulation callback: run @p req to completion, advancing
+ * @p heartbeat (completed references) and honouring @p abort (set by
+ * the daemon's watchdog; the simulator raises SimError(Hang) at its
+ * next quiescent point).  Both pointers outlive the call.
+ */
+using SimulateFn = std::function<RunResult(
+    const RunRequest &req, const std::atomic<bool> *abort,
+    std::atomic<std::uint64_t> *heartbeat)>;
+
+} // namespace rc::svc
+
+#endif // RC_SERVICE_SIMULATE_FN_HH

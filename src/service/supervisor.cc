@@ -1,0 +1,187 @@
+#include "service/supervisor.hh"
+
+#include <algorithm>
+
+#include "common/log.hh"
+#include "service/run_request.hh"
+
+namespace rc::svc
+{
+
+Supervisor::Supervisor(const SupervisorConfig &cfg, SimulateFn simulate,
+                       PoisonIndex &poison)
+    : cfg(cfg), simulate(std::move(simulate)), poison(poison)
+{
+    RC_ASSERT(this->simulate != nullptr, "supervisor needs a SimulateFn");
+    RC_ASSERT(this->cfg.workers >= 1, "supervisor needs >= 1 worker");
+    RC_ASSERT(this->cfg.poisonThreshold >= 1,
+              "poison threshold must be >= 1");
+    slots.resize(this->cfg.workers);
+    for (std::uint32_t i = 0; i < this->cfg.workers; ++i)
+        slots[i].worker = std::make_unique<WorkerProcess>(
+            this->simulate, this->cfg.limits, i);
+}
+
+Supervisor::~Supervisor()
+{
+    shutdown();
+}
+
+Supervisor::Slot *
+Supervisor::acquire(const std::atomic<bool> *abort,
+                    std::atomic<std::uint64_t> *heartbeat)
+{
+    std::unique_lock<std::mutex> lock(mu);
+    for (;;) {
+        if (stopping)
+            throwSimError(SimError::Kind::Io,
+                          "supervisor is shutting down");
+        const Clock::time_point now = Clock::now();
+        for (Slot &slot : slots) {
+            if (slot.busy)
+                continue;
+            if (slot.worker->alive()) {
+                slot.busy = true;
+                ++stats.jobs;
+                return &slot;
+            }
+            if (now < slot.spawnAfter)
+                continue; // still backing off
+            const bool respawn = slot.worker->incarnation() > 0;
+            try {
+                slot.worker->spawn();
+            } catch (const SimError &err) {
+                // fork/socketpair failure: treat like a death so the
+                // slot backs off instead of hot-looping the syscall.
+                warn("supervisor: %s", err.what());
+                ++slot.consecutiveDeaths;
+                const std::uint32_t shift =
+                    std::min<std::uint32_t>(slot.consecutiveDeaths - 1,
+                                            16);
+                slot.spawnAfter =
+                    now + std::chrono::milliseconds(std::min<std::uint64_t>(
+                              static_cast<std::uint64_t>(
+                                  cfg.restartBackoffBaseMs)
+                                  << shift,
+                              cfg.restartBackoffCapMs));
+                continue;
+            }
+            if (respawn)
+                ++stats.restarts;
+            slot.busy = true;
+            ++stats.jobs;
+            return &slot;
+        }
+        if (abort && abort->load(std::memory_order_relaxed))
+            throwSimError(SimError::Kind::Hang,
+                          "job aborted while waiting for a sandboxed "
+                          "worker (fleet dead or backing off)");
+        // Queueing for a slot is progress, not a stall: keep beating so
+        // the daemon's hang watchdog only ever fires on a job that went
+        // silent INSIDE a worker.
+        if (heartbeat)
+            heartbeat->fetch_add(1, std::memory_order_relaxed);
+        idleCv.wait_for(lock, std::chrono::milliseconds(20));
+    }
+}
+
+void
+Supervisor::release(Slot *slot, bool died)
+{
+    std::lock_guard<std::mutex> lock(mu);
+    slot->busy = false;
+    if (died) {
+        ++slot->consecutiveDeaths;
+        const std::uint32_t shift =
+            std::min<std::uint32_t>(slot->consecutiveDeaths - 1, 16);
+        slot->spawnAfter =
+            Clock::now() +
+            std::chrono::milliseconds(std::min<std::uint64_t>(
+                static_cast<std::uint64_t>(cfg.restartBackoffBaseMs)
+                    << shift,
+                cfg.restartBackoffCapMs));
+        deathTimes.push_back(Clock::now());
+        pruneDeaths(Clock::now());
+    } else {
+        slot->consecutiveDeaths = 0;
+    }
+    idleCv.notify_one();
+}
+
+RunResult
+Supervisor::run(const RunRequest &req, const std::atomic<bool> *abort,
+                std::atomic<std::uint64_t> *heartbeat)
+{
+    Slot *slot = acquire(abort, heartbeat);
+    WorkerProcess &w = *slot->worker;
+    // Capture before the job: after a death releaseChild() clears the
+    // pid but uid() still names the incarnation that just died.
+    const std::uint64_t digest = requestDigest(req);
+    try {
+        RunResult res = w.run(req, abort, heartbeat, cfg.abortGraceMs);
+        release(slot, /*died=*/false);
+        return res;
+    } catch (const SimError &err) {
+        const bool died = w.childPid() < 0;
+        {
+            std::lock_guard<std::mutex> lock(mu);
+            if (died) {
+                ++stats.crashes;
+                if (w.lastDeath().forcedKill)
+                    ++stats.hangKills;
+                if (w.lastDeath().rlimitCpu)
+                    ++stats.rlimitCpuKills;
+            } else if (err.kind() == SimError::Kind::Crash) {
+                ++stats.containedErrors;
+            }
+        }
+        if (err.kind() == SimError::Kind::Crash &&
+            poison.recordCrash(digest, w.uid(), cfg.poisonThreshold)) {
+            {
+                std::lock_guard<std::mutex> lock(mu);
+                ++stats.poisonQuarantines;
+            }
+            warn("supervisor: request %s quarantined after killing %u "
+                 "distinct workers",
+                 digestHex(digest).c_str(), cfg.poisonThreshold);
+        }
+        release(slot, died);
+        throw;
+    }
+}
+
+bool
+Supervisor::flapping() const
+{
+    std::lock_guard<std::mutex> lock(mu);
+    pruneDeaths(Clock::now());
+    return deathTimes.size() >= cfg.flapDeaths;
+}
+
+void
+Supervisor::pruneDeaths(Clock::time_point now) const
+{
+    const Clock::time_point cutoff =
+        now - std::chrono::milliseconds(cfg.flapWindowMs);
+    while (!deathTimes.empty() && deathTimes.front() < cutoff)
+        deathTimes.pop_front();
+}
+
+SupervisorCounters
+Supervisor::counters() const
+{
+    std::lock_guard<std::mutex> lock(mu);
+    return stats;
+}
+
+void
+Supervisor::shutdown()
+{
+    std::lock_guard<std::mutex> lock(mu);
+    stopping = true;
+    for (Slot &slot : slots)
+        slot.worker->shutdown();
+    idleCv.notify_all();
+}
+
+} // namespace rc::svc

@@ -1,0 +1,144 @@
+/**
+ * @file
+ * Supervisor for the sandboxed worker fleet.
+ *
+ * The daemon's simulation threads hand jobs to the supervisor; the
+ * supervisor owns every WorkerProcess and the crash-handling policy
+ * around them:
+ *
+ *  - Placement: a job waits for an idle, live worker (respawning dead
+ *    ones lazily when their backoff expires) and runs on it.
+ *  - Classification: a worker death is counted by cause — crash,
+ *    forced kill after an ignored abort, RLIMIT_CPU — and surfaces to
+ *    the caller as the typed SimError thrown by WorkerProcess::run.
+ *  - Restart with backoff: a slot that keeps dying waits exponentially
+ *    longer before its next fork (base * 2^(deaths-1), capped), so a
+ *    persistent fault cannot turn the daemon into a fork bomb.  A
+ *    clean job resets the slot's backoff.
+ *  - Flap detection: when the whole fleet accumulates too many deaths
+ *    inside a sliding window, flapping() turns true and the daemon
+ *    sheds new work with Busy + retry-after instead of queueing it
+ *    onto a pool that cannot hold a worker up.
+ *  - Poison attribution: every crash-class failure is charged to the
+ *    request's digest in the PoisonIndex; a digest that kills enough
+ *    DISTINCT workers is blacklisted persistently (see poison.hh).
+ */
+
+#ifndef RC_SERVICE_SUPERVISOR_HH
+#define RC_SERVICE_SUPERVISOR_HH
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "service/poison.hh"
+#include "service/worker.hh"
+
+namespace rc::svc
+{
+
+/** Fleet policy knobs (defaults are sane for tests and production). */
+struct SupervisorConfig
+{
+    std::uint32_t workers = 2;    //!< fleet size (>= 1)
+    WorkerLimits limits;          //!< per-child rlimit caps
+    std::uint32_t poisonThreshold = 3; //!< distinct kills to quarantine
+    //! grace between forwarding an abort and SIGKILLing a child that
+    //! ignores it
+    std::uint32_t abortGraceMs = 300;
+    std::uint32_t restartBackoffBaseMs = 50;
+    std::uint32_t restartBackoffCapMs = 2000;
+    std::uint32_t flapWindowMs = 10000; //!< sliding window for flap detection
+    std::uint32_t flapDeaths = 8;       //!< deaths in window => flapping
+};
+
+/** Monotonic fleet counters (exported into the daemon stats JSON). */
+struct SupervisorCounters
+{
+    std::uint64_t jobs = 0;        //!< jobs dispatched to workers
+    std::uint64_t crashes = 0;     //!< worker deaths mid-job (all causes)
+    std::uint64_t hangKills = 0;   //!< forced SIGKILL: abort was ignored
+    std::uint64_t rlimitCpuKills = 0; //!< SIGXCPU: RLIMIT_CPU cap fired
+    //! child survived but reported a crash-class error (e.g. the
+    //! address-space cap turned an allocation bomb into bad_alloc)
+    std::uint64_t containedErrors = 0;
+    std::uint64_t restarts = 0;    //!< respawns after a death
+    std::uint64_t poisonQuarantines = 0; //!< digests newly blacklisted
+};
+
+/**
+ * Thread-safe: any number of daemon simulation threads may call run()
+ * concurrently; each job is placed on its own worker.
+ */
+class Supervisor
+{
+  public:
+    Supervisor(const SupervisorConfig &cfg, SimulateFn simulate,
+               PoisonIndex &poison);
+    ~Supervisor();
+
+    Supervisor(const Supervisor &) = delete;
+    Supervisor &operator=(const Supervisor &) = delete;
+
+    /**
+     * Run one job on some worker (blocking until one is available).
+     * Crash-class outcomes are attributed to the request in the poison
+     * index before the typed SimError propagates to the caller.
+     * Throws SimError(Hang) without consuming a worker when @p abort
+     * turns true while still waiting for one.
+     */
+    RunResult run(const RunRequest &req, const std::atomic<bool> *abort,
+                  std::atomic<std::uint64_t> *heartbeat);
+
+    /** Whether the fleet is dying faster than the flap threshold. */
+    bool flapping() const;
+
+    SupervisorCounters counters() const;
+
+    /** SIGKILL + reap the whole fleet (idempotent; dtor calls it). */
+    void shutdown();
+
+  private:
+    using Clock = std::chrono::steady_clock;
+
+    struct Slot
+    {
+        std::unique_ptr<WorkerProcess> worker;
+        bool busy = false;
+        //! earliest time the next respawn of this slot may happen
+        Clock::time_point spawnAfter{};
+        std::uint32_t consecutiveDeaths = 0;
+    };
+
+    /**
+     * Pick (respawning as needed) an idle live worker; marks it busy.
+     * Bumps @p heartbeat while waiting: a queued job is making
+     * progress, and charging fleet backoff to the hang watchdog would
+     * mistype an ordinary crash as a hang.
+     */
+    Slot *acquire(const std::atomic<bool> *abort,
+                  std::atomic<std::uint64_t> *heartbeat);
+    void release(Slot *slot, bool died);
+    void pruneDeaths(Clock::time_point now) const;
+
+    SupervisorConfig cfg;
+    SimulateFn simulate;
+    PoisonIndex &poison;
+
+    mutable std::mutex mu;
+    std::condition_variable idleCv;
+    std::vector<Slot> slots;
+    //! death timestamps inside the flap window (pruned lazily)
+    mutable std::deque<Clock::time_point> deathTimes;
+    SupervisorCounters stats;
+    bool stopping = false;
+};
+
+} // namespace rc::svc
+
+#endif // RC_SERVICE_SUPERVISOR_HH

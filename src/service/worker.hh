@@ -1,0 +1,169 @@
+/**
+ * @file
+ * One sandboxed simulation worker: a forked child process that executes
+ * jobs shipped to it over a socketpair using the daemon's own frame
+ * codec (magic/version/length/CRC validation on both directions, so a
+ * torn or bit-flipped result can never be consumed as an answer).
+ *
+ * Containment contract:
+ *  - The child applies setrlimit caps (CPU seconds, address space)
+ *    before touching any job, closes every inherited descriptor except
+ *    its job pipe, and switches the log sink into the fork-safe raw
+ *    write(2) mode — a worker can segfault, OOM, busy-loop or abort
+ *    without taking the daemon, another worker, or any client with it.
+ *  - Heartbeat and abort ride a MAP_SHARED page, not the pipe: the
+ *    parent forwards the daemon watchdog's abort flag into the page and
+ *    mirrors the child's heartbeat out of it, so the existing
+ *    hang/deadline watchdog works unchanged across the process
+ *    boundary, with no extra threads in the child (sanitizer-safe).
+ *  - A child that dies mid-job (signal, rlimit kill, OOM-kill, nonzero
+ *    exit) is reaped and classified; the job surfaces as a typed
+ *    SimError — Kind::Crash, or Kind::Hang when the parent had to
+ *    SIGKILL it for ignoring an abort — never as a torn connection.
+ */
+
+#ifndef RC_SERVICE_WORKER_HH
+#define RC_SERVICE_WORKER_HH
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+#include <sys/types.h>
+
+#include "service/run_request.hh"
+#include "service/simulate_fn.hh"
+#include "sim/run_result.hh"
+
+namespace rc::svc
+{
+
+/** Per-worker resource caps applied in the child via setrlimit. */
+struct WorkerLimits
+{
+    /**
+     * RLIMIT_CPU in seconds (0 = unlimited).  A runaway busy loop is
+     * killed by the kernel with SIGXCPU even when the cooperative
+     * watchdog is off.
+     */
+    std::uint64_t cpuSeconds = 0;
+
+    /**
+     * RLIMIT_AS in bytes (0 = unlimited).  An allocation bomb sees
+     * std::bad_alloc (reported as a typed Crash error) instead of
+     * driving the host into the OOM killer.  Skipped automatically
+     * under AddressSanitizer, whose shadow reservation would trip any
+     * realistic cap at startup.
+     */
+    std::uint64_t addressSpaceBytes = 0;
+};
+
+/** How a worker child died (parent-side classification). */
+struct WorkerDeath
+{
+    std::string detail;      //!< human-readable cause with pid/signal
+    bool rlimitCpu = false;  //!< SIGXCPU: the RLIMIT_CPU cap fired
+    bool forcedKill = false; //!< parent SIGKILLed it (ignored abort)
+};
+
+/**
+ * One forked worker process.  Not thread-safe: the supervisor
+ * serializes access per worker (one job in flight per child).
+ */
+class WorkerProcess
+{
+  public:
+    /**
+     * @param simulate runs in the CHILD after fork (the closure is
+     *        inherited by the fork, so it needs no serialization).
+     * @param limits   rlimit caps applied in the child.
+     * @param index    stable worker slot number (logs, uid()).
+     */
+    WorkerProcess(SimulateFn simulate, WorkerLimits limits,
+                  std::uint32_t index);
+    ~WorkerProcess();
+
+    WorkerProcess(const WorkerProcess &) = delete;
+    WorkerProcess &operator=(const WorkerProcess &) = delete;
+
+    /**
+     * Fork the child and set up its pipe + shared page.  Throws
+     * SimError(Io) when socketpair/mmap/fork fail.  Idempotent once
+     * live; respawning after a death bumps incarnation().
+     */
+    void spawn();
+
+    /**
+     * Non-blocking liveness probe: reaps the child (waitpid WNOHANG)
+     * when it has exited between jobs.
+     */
+    bool alive();
+
+    /**
+     * Run one job in the child.  Forwards @p abort into the shared page
+     * (and SIGKILLs the child when the abort is ignored longer than
+     * @p abort_grace_ms) and mirrors the child's heartbeat into
+     * @p heartbeat while waiting.
+     *
+     * Throws the child's own typed SimError when the job failed
+     * in-process (quarantine, integrity, hang...), SimError(Crash) when
+     * the child died under the job, SimError(Hang) when it died to the
+     * parent's ignored-abort kill.  After a throw, check alive(): a
+     * dead worker must be respawned before its next job.
+     */
+    RunResult run(const RunRequest &req, const std::atomic<bool> *abort,
+                  std::atomic<std::uint64_t> *heartbeat,
+                  std::uint32_t abort_grace_ms);
+
+    /** SIGKILL + reap + release the pipe and shared page (idempotent). */
+    void shutdown();
+
+    /** How the child of the last failed run() died. */
+    const WorkerDeath &lastDeath() const { return death; }
+
+    /** Stable slot number given at construction. */
+    std::uint32_t index() const { return slot; }
+
+    /** Times spawn() completed (1 = original child). */
+    std::uint32_t incarnation() const { return spawns; }
+
+    /**
+     * Unique id of the CURRENT child process: (index << 32) |
+     * incarnation.  The poison index counts distinct uids so K crashes
+     * of one request are provably K dead processes, not one death
+     * observed K times.
+     */
+    std::uint64_t uid() const
+    {
+        return (static_cast<std::uint64_t>(slot) << 32) | spawns;
+    }
+
+    pid_t childPid() const { return pid; }
+
+    /**
+     * Heartbeat + abort atomics on a MAP_SHARED page (defined in
+     * worker.cc; public only so the child's job loop can touch it).
+     */
+    struct SharedPage;
+
+  private:
+    /** Blocking reap + classification of a dead child. */
+    void reapAndClassify(bool killed_for_abort);
+
+    /** Close the pipe, unmap the page, forget the pid (idempotent). */
+    void releaseChild();
+
+    SimulateFn simulate;
+    WorkerLimits limits;
+    std::uint32_t slot;
+    std::uint32_t spawns = 0;
+
+    pid_t pid = -1;
+    int jobFd = -1;          //!< parent end of the socketpair
+    SharedPage *shared = nullptr;
+    WorkerDeath death;
+};
+
+} // namespace rc::svc
+
+#endif // RC_SERVICE_WORKER_HH

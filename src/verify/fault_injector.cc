@@ -1,6 +1,11 @@
 #include "verify/fault_injector.hh"
 
+#include <chrono>
 #include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <new>
+#include <thread>
 #include <utility>
 
 #include "cache/conventional_llc.hh"
@@ -82,6 +87,9 @@ toString(FaultClass cls)
       case FaultClass::ReplMetadata: return "repl-meta";
       case FaultClass::TruncatedFrame: return "truncated-frame";
       case FaultClass::CorruptBlob: return "corrupt-blob";
+      case FaultClass::WorkerCrash: return "worker-crash";
+      case FaultClass::WorkerOom: return "worker-oom";
+      case FaultClass::WorkerHang: return "worker-hang";
     }
     return "unknown";
 }
@@ -121,6 +129,10 @@ detectedBy(FaultClass cls, LlcKind kind)
         return Invariant::FrameIntegrity;
       case FaultClass::CorruptBlob:
         return Invariant::BlobIntegrity;
+      case FaultClass::WorkerCrash:
+      case FaultClass::WorkerOom:
+      case FaultClass::WorkerHang:
+        return Invariant::CrashContainment;
     }
     return Invariant::TagDataPointers;
 }
@@ -375,8 +387,12 @@ FaultInjector::inject(Cmp &cmp, FaultClass cls)
 
       case FaultClass::TruncatedFrame:
       case FaultClass::CorruptBlob:
-        // Service-layer classes corrupt bytes in flight or at rest, not
-        // simulated state; see truncateFrame()/corruptBlobFile().  The
+      case FaultClass::WorkerCrash:
+      case FaultClass::WorkerOom:
+      case FaultClass::WorkerHang:
+        // Service-layer classes corrupt bytes in flight/at rest or a
+        // worker process, not simulated state; see truncateFrame(),
+        // corruptBlobFile() and detonateChaos().  The
         // checker-vs-injector matrix skips them like any other
         // inapplicable (class, organization) pair.
         break;
@@ -401,6 +417,82 @@ FaultInjector::truncateFrame(const std::vector<std::uint8_t> &frame_bytes)
     return std::vector<std::uint8_t>(frame_bytes.begin(),
                                      frame_bytes.begin() +
                                          static_cast<std::ptrdiff_t>(keep));
+}
+
+namespace
+{
+
+/** High bits marking a chaos seed ("CA05" ~ chaos, never a real seed). */
+constexpr std::uint64_t chaosMagic = 0xCA05;
+
+} // namespace
+
+std::uint64_t
+chaosSeed(FaultClass cls, std::uint32_t salt)
+{
+    RC_ASSERT(isServiceFault(cls) && cls != FaultClass::TruncatedFrame &&
+                  cls != FaultClass::CorruptBlob,
+              "chaos seeds encode worker fault classes only");
+    return (chaosMagic << 48) |
+           (static_cast<std::uint64_t>(cls) << 40) | salt;
+}
+
+bool
+chaosFromSeed(std::uint64_t seed, FaultClass &out)
+{
+    if ((seed >> 48) != chaosMagic)
+        return false;
+    const auto raw = static_cast<std::uint8_t>((seed >> 40) & 0xff);
+    if (raw < static_cast<std::uint8_t>(FaultClass::WorkerCrash) ||
+        raw >= numFaultClasses)
+        return false;
+    out = static_cast<FaultClass>(raw);
+    return true;
+}
+
+void
+detonateChaos(FaultClass cls, std::atomic<std::uint64_t> *heartbeat)
+{
+    switch (cls) {
+      case FaultClass::WorkerCrash:
+        // abort(), not a raw segfault: identical containment coverage
+        // (fatal signal mid-job), without tripping sanitizer
+        // crash-report machinery in sanitizer CI legs.
+        std::abort();
+
+      case FaultClass::WorkerOom: {
+        // Allocate AND touch (a reservation alone never fails under
+        // overcommit).  The budget bounds the damage on an uncapped
+        // host: with RLIMIT_AS the operator new below throws early,
+        // without it the loop throws at the budget — same observable
+        // behaviour either way.
+        std::vector<std::unique_ptr<char[]>> hoard;
+        constexpr std::size_t chunkBytes = 32u << 20;
+        constexpr std::size_t budgetChunks = 64; // 2 GiB ceiling
+        for (std::size_t i = 0; i < budgetChunks; ++i) {
+            auto chunk = std::make_unique<char[]>(chunkBytes);
+            for (std::size_t off = 0; off < chunkBytes; off += 4096)
+                chunk[off] = static_cast<char>(off);
+            hoard.push_back(std::move(chunk));
+            // A runaway sim still beats; without this the hang watchdog
+            // would kill the bomb before the allocator fails and the
+            // death would be mistyped as a hang.
+            if (heartbeat)
+                heartbeat->fetch_add(1, std::memory_order_relaxed);
+        }
+        throw std::bad_alloc();
+      }
+
+      case FaultClass::WorkerHang:
+        // Spin forever WITHOUT consulting the abort flag: only the
+        // supervisor's grace-period SIGKILL (or RLIMIT_CPU) ends this.
+        for (;;)
+            std::this_thread::sleep_for(std::chrono::milliseconds(50));
+
+      default:
+        panic("detonateChaos called with non-chaos class %s",
+              toString(cls));
+    }
 }
 
 bool

@@ -13,6 +13,7 @@
 #ifndef RC_VERIFY_FAULT_INJECTOR_HH
 #define RC_VERIFY_FAULT_INJECTOR_HH
 
+#include <atomic>
 #include <cstdint>
 #include <string>
 #include <vector>
@@ -42,10 +43,30 @@ enum class FaultClass : std::uint8_t
                       //!< (service layer; inject(Cmp&) has no target)
     CorruptBlob,      //!< flip bits in a persisted result-cache blob
                       //!< (service layer; inject(Cmp&) has no target)
+    WorkerCrash,      //!< abort() inside a sandboxed worker process
+                      //!< (chaos; detonated via detonateChaos)
+    WorkerOom,        //!< allocation bomb inside a sandboxed worker
+                      //!< (chaos; detonated via detonateChaos)
+    WorkerHang,       //!< abort-ignoring busy wait inside a sandboxed
+                      //!< worker (chaos; detonated via detonateChaos)
 };
 
 /** Number of FaultClass values (matrix tests iterate over all). */
-inline constexpr std::size_t numFaultClasses = 9;
+inline constexpr std::size_t numFaultClasses = 12;
+
+/**
+ * Classes that corrupt the service layer (bytes in flight/at rest, or a
+ * worker process) rather than simulated cache state; inject(Cmp&) has
+ * no target for them and the checker-vs-injector matrix skips them.
+ */
+constexpr bool
+isServiceFault(FaultClass cls)
+{
+    return cls == FaultClass::TruncatedFrame ||
+           cls == FaultClass::CorruptBlob ||
+           cls == FaultClass::WorkerCrash ||
+           cls == FaultClass::WorkerOom || cls == FaultClass::WorkerHang;
+}
 
 /** Short name, e.g. "dir-drop" (also the --inject= spelling). */
 const char *toString(FaultClass cls);
@@ -114,6 +135,39 @@ class FaultInjector
   private:
     Rng rng;
 };
+
+/**
+ * Chaos-mode plumbing for the process-isolated worker pool.  A chaos
+ * harness (bench/stress_daemon, tests) marks a doomed request by
+ * encoding the worker fault class into the request SEED — the seed
+ * rides the canonical digest, so retries of the marked request detonate
+ * identically in whichever worker picks them up, with zero cooperation
+ * from the daemon.  The contract partners are
+ * Invariant::CrashContainment and Invariant::PoisonQuarantine.
+ */
+
+/** Build a marked seed (cls must be a Worker* chaos class). */
+std::uint64_t chaosSeed(FaultClass cls, std::uint32_t salt);
+
+/** @return true (and the class) when @p seed carries a chaos marker. */
+bool chaosFromSeed(std::uint64_t seed, FaultClass &out);
+
+/**
+ * Execute the failure a marked request asked for.  Call from the
+ * simulation callback INSIDE a sandboxed worker: WorkerCrash aborts,
+ * WorkerOom allocates-and-touches until bad_alloc (bounded, so an
+ * uncapped host survives a missing rlimit), WorkerHang spins without
+ * ever checking the abort flag.  Never returns normally.
+ *
+ * WorkerOom keeps bumping @p heartbeat (when given) while the bomb
+ * grows, like a real runaway simulation still making progress — so the
+ * hang watchdog doesn't force-kill it before the allocator fails and
+ * the death is typed as the OOM it is.  WorkerHang ignores the
+ * heartbeat: going silent is its entire point.
+ */
+[[noreturn]] void
+detonateChaos(FaultClass cls,
+              std::atomic<std::uint64_t> *heartbeat = nullptr);
 
 } // namespace rc
 

@@ -44,6 +44,8 @@ toString(Invariant inv)
       case Invariant::MshrLeak: return "MshrLeak";
       case Invariant::FrameIntegrity: return "FrameIntegrity";
       case Invariant::BlobIntegrity: return "BlobIntegrity";
+      case Invariant::CrashContainment: return "CrashContainment";
+      case Invariant::PoisonQuarantine: return "PoisonQuarantine";
     }
     return "unknown";
 }

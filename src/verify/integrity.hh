@@ -54,6 +54,13 @@ enum class Invariant : std::uint8_t
                         //!< not by the state walker)
     BlobIntegrity,      //!< result-cache blob failed CRC/key checks
                         //!< (enforced by svc::ResultCache::lookup)
+    CrashContainment,   //!< a crashing sandboxed worker must surface as
+                        //!< a typed SimError(Crash) reply, never kill
+                        //!< the daemon or corrupt another request
+                        //!< (enforced by svc::Supervisor)
+    PoisonQuarantine,   //!< a request that kills K distinct workers must
+                        //!< be refused persistently from then on
+                        //!< (enforced by svc::PoisonIndex + Daemon)
 };
 
 /** Short name, e.g. "TagDataPointers". */

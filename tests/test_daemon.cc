@@ -30,6 +30,8 @@
 #include "service/client.hh"
 #include "service/daemon.hh"
 #include "service/frame.hh"
+#include "service/poison.hh"
+#include "service/supervisor.hh"
 #include "telemetry/trace_event.hh"
 #include "verify/fault_injector.hh"
 
@@ -505,6 +507,309 @@ TEST(DaemonService, CoalescesConcurrentDuplicateRequests)
     const auto c = daemon.counters();
     EXPECT_EQ(c.simulated, 1u) << "duplicates must not re-simulate";
     EXPECT_GE(c.coalesced + c.cacheHits, 3u);
+
+    daemon.requestStop();
+    daemon.stop();
+}
+
+// ---------------------------------------------------------------------
+// Process-isolated workers: the DaemonIsolated suite runs every job in
+// a forked, rlimit-capped child supervised for crash containment.
+// Chaos markers (verify/fault_injector.hh) ride the request seed.
+// ---------------------------------------------------------------------
+
+/** directSim plus chaos detonation for marked seeds (worker-side). */
+svc::SimulateFn
+chaosSim()
+{
+    return [](const RunRequest &req, const std::atomic<bool> *abort,
+              std::atomic<std::uint64_t> *heartbeat) {
+        FaultClass cls;
+        if (chaosFromSeed(req.seed, cls))
+            detonateChaos(cls, heartbeat);
+        return bench::simulateRequest(req, abort, heartbeat);
+    };
+}
+
+DaemonConfig
+isolatedConfig(const Scratch &s)
+{
+    DaemonConfig cfg = daemonConfig(s);
+    cfg.isolateWorkers = true;
+    // Tests kill workers on purpose; production backoff would just
+    // slow them down.
+    cfg.workerRestartBackoffMs = 2;
+    cfg.workerRestartBackoffCapMs = 20;
+    return cfg;
+}
+
+TEST(DaemonIsolated, ServesBitIdenticalResultsAcrossTheProcessBoundary)
+{
+    Scratch s("isolated-identity");
+    Daemon daemon(isolatedConfig(s), directSim());
+    EXPECT_TRUE(daemon.isolated());
+    daemon.start();
+
+    const RunRequest r1 = tinyRequest(1), r2 = tinyRequest(2);
+    RcClient client(clientConfig(s));
+    EXPECT_TRUE(runResultsEqual(client.simulate(r1),
+                                bench::simulateRequest(r1)));
+    EXPECT_TRUE(runResultsEqual(client.simulate(r2),
+                                bench::simulateRequest(r2)));
+    // Repeat: served from the cache, no third job.
+    EXPECT_TRUE(runResultsEqual(client.simulate(r1),
+                                bench::simulateRequest(r1)));
+
+    const svc::SupervisorCounters fc = daemon.fleetCounters();
+    EXPECT_EQ(fc.jobs, 2u);
+    EXPECT_EQ(fc.crashes, 0u);
+    const std::string json = daemon.statsJson();
+    EXPECT_NE(json.find("\"enabled\": true"), std::string::npos) << json;
+
+    daemon.requestStop();
+    daemon.stop();
+}
+
+TEST(DaemonIsolated, WorkerCrashIsTypedRestartedAndTraced)
+{
+    Scratch s("isolated-crash");
+    EventTracer tracer;
+    DaemonConfig dcfg = isolatedConfig(s);
+    dcfg.tracer = &tracer;
+    Daemon daemon(dcfg, chaosSim());
+    daemon.start();
+
+    RunRequest doomed = tinyRequest();
+    doomed.seed = chaosSeed(FaultClass::WorkerCrash, 1);
+    ClientConfig ccfg = clientConfig(s); // no fallback: surface it
+    RcClient client(ccfg);
+    bool threw = false;
+    try {
+        client.simulate(doomed);
+    } catch (const SimError &err) {
+        threw = true;
+        EXPECT_EQ(err.kind(), SimError::Kind::Crash) << err.what();
+    }
+    EXPECT_TRUE(threw);
+
+    // The daemon survived, a fresh worker serves the next job.
+    const RunRequest healthy = tinyRequest(3);
+    EXPECT_TRUE(runResultsEqual(client.simulate(healthy),
+                                bench::simulateRequest(healthy)));
+    const svc::SupervisorCounters fc = daemon.fleetCounters();
+    EXPECT_EQ(fc.crashes, 1u);
+    EXPECT_GE(fc.restarts, 1u);
+
+    daemon.requestStop();
+    daemon.stop();
+
+    std::ostringstream os;
+    tracer.exportChromeJson(os);
+    EXPECT_NE(os.str().find("svc.crash"), std::string::npos)
+        << "crash span missing from the exported trace";
+}
+
+TEST(DaemonIsolated, AllocationBombIsContainedWithoutAWorkerDeath)
+{
+    Scratch s("isolated-oom");
+    DaemonConfig dcfg = isolatedConfig(s);
+    // Cap the child's address space so the bomb dies at the allocator,
+    // quickly.  (Compiled out under ASan, where the bomb's own 2 GiB
+    // budget produces the same bad_alloc.)
+    dcfg.workerAddressSpaceBytes = 512ull << 20;
+    Daemon daemon(dcfg, chaosSim());
+    daemon.start();
+
+    RunRequest doomed = tinyRequest();
+    doomed.seed = chaosSeed(FaultClass::WorkerOom, 2);
+    RcClient client(clientConfig(s));
+    bool threw = false;
+    try {
+        client.simulate(doomed);
+    } catch (const SimError &err) {
+        threw = true;
+        EXPECT_EQ(err.kind(), SimError::Kind::Crash) << err.what();
+    }
+    EXPECT_TRUE(threw);
+
+    // bad_alloc was caught INSIDE the child: a typed reply, no death,
+    // and the same worker (same incarnation) serves the next job.
+    const svc::SupervisorCounters fc = daemon.fleetCounters();
+    EXPECT_EQ(fc.containedErrors, 1u);
+    EXPECT_EQ(fc.crashes, 0u);
+    EXPECT_EQ(fc.restarts, 0u);
+    const RunRequest healthy = tinyRequest(4);
+    EXPECT_TRUE(runResultsEqual(client.simulate(healthy),
+                                bench::simulateRequest(healthy)));
+
+    daemon.requestStop();
+    daemon.stop();
+}
+
+TEST(DaemonIsolated, AbortIgnoringHangIsForceKilledAndTypedHang)
+{
+    Scratch s("isolated-hang");
+    DaemonConfig dcfg = isolatedConfig(s);
+    dcfg.workers = 1;
+    dcfg.hangTimeout = 0.15;       // silence budget before abort
+    dcfg.workerAbortGraceMs = 100; // grace before SIGKILL
+    Daemon daemon(dcfg, chaosSim());
+    daemon.start();
+
+    RunRequest doomed = tinyRequest();
+    doomed.seed = chaosSeed(FaultClass::WorkerHang, 3);
+    RcClient client(clientConfig(s));
+    bool threw = false;
+    try {
+        client.simulate(doomed);
+    } catch (const SimError &err) {
+        threw = true;
+        EXPECT_EQ(err.kind(), SimError::Kind::Hang) << err.what();
+    }
+    EXPECT_TRUE(threw);
+
+    const svc::SupervisorCounters fc = daemon.fleetCounters();
+    EXPECT_EQ(fc.hangKills, 1u);
+    EXPECT_EQ(fc.crashes, 1u); // the forced kill is a death too
+    const RunRequest healthy = tinyRequest(5);
+    EXPECT_TRUE(runResultsEqual(client.simulate(healthy),
+                                bench::simulateRequest(healthy)));
+
+    daemon.requestStop();
+    daemon.stop();
+}
+
+TEST(DaemonIsolated, RlimitCpuKillsARunawaySpinTyped)
+{
+    Scratch s("isolated-rlimit");
+    DaemonConfig dcfg = isolatedConfig(s);
+    dcfg.workers = 1;
+    dcfg.workerCpuLimitSeconds = 1;
+    // A spin that heartbeats (so no watchdog involvement) but burns CPU
+    // forever: only RLIMIT_CPU can end it.
+    const std::uint64_t spinSeed = 0xb41f;
+    Daemon daemon(dcfg, [spinSeed](const RunRequest &req,
+                                   const std::atomic<bool> *abort,
+                                   std::atomic<std::uint64_t> *beat) {
+        if (req.seed == spinSeed) {
+            for (volatile std::uint64_t i = 0;; ++i)
+                if (beat != nullptr && i % 65536 == 0)
+                    beat->fetch_add(1);
+        }
+        return bench::simulateRequest(req, abort, beat);
+    });
+    daemon.start();
+
+    RunRequest doomed = tinyRequest();
+    doomed.seed = spinSeed;
+    ClientConfig ccfg = clientConfig(s);
+    ccfg.ioTimeoutMs = 20'000; // SIGXCPU needs a real CPU-second
+    RcClient client(ccfg);
+    bool threw = false;
+    try {
+        client.simulate(doomed);
+    } catch (const SimError &err) {
+        threw = true;
+        EXPECT_EQ(err.kind(), SimError::Kind::Crash) << err.what();
+        EXPECT_NE(std::string(err.what()).find("RLIMIT_CPU"),
+                  std::string::npos)
+            << err.what();
+    }
+    EXPECT_TRUE(threw);
+    EXPECT_EQ(daemon.fleetCounters().rlimitCpuKills, 1u);
+
+    daemon.requestStop();
+    daemon.stop();
+}
+
+TEST(DaemonIsolated, PoisonQuarantineFiresAtKAndSurvivesRestart)
+{
+    Scratch s("isolated-poison");
+    DaemonConfig dcfg = isolatedConfig(s);
+    dcfg.poisonThreshold = 3;
+    RunRequest doomed = tinyRequest();
+    doomed.seed = chaosSeed(FaultClass::WorkerCrash, 0xbeef);
+    ClientConfig ccfg = clientConfig(s);
+
+    {
+        Daemon daemon(dcfg, chaosSim());
+        daemon.start();
+        RcClient client(ccfg);
+        int kills = 0, refusals = 0;
+        for (int i = 0; i < 5; ++i) {
+            try {
+                client.simulate(doomed);
+                FAIL() << "a doomed request must never succeed";
+            } catch (const SimError &err) {
+                ASSERT_EQ(err.kind(), SimError::Kind::Crash)
+                    << err.what();
+                if (std::string(err.what()).find("quarantined") !=
+                    std::string::npos)
+                    ++refusals;
+                else
+                    ++kills;
+            }
+        }
+        EXPECT_EQ(kills, 3);    // K distinct workers died
+        EXPECT_EQ(refusals, 2); // then the index refused, worker-free
+        EXPECT_EQ(daemon.counters().poisonRefused, 2u);
+        EXPECT_EQ(daemon.fleetCounters().poisonQuarantines, 1u);
+        EXPECT_EQ(daemon.poisonStats().quarantined, 1u);
+        daemon.requestStop();
+        daemon.stop();
+    }
+
+    // The verdict is in poison.index, not in memory: a NEW daemon on
+    // the same cache dir refuses immediately, no worker dies for it.
+    {
+        Daemon daemon(dcfg, chaosSim());
+        daemon.start();
+        RcClient client(ccfg);
+        bool refused = false;
+        try {
+            client.simulate(doomed);
+        } catch (const SimError &err) {
+            refused = err.kind() == SimError::Kind::Crash &&
+                      std::string(err.what()).find("quarantined") !=
+                          std::string::npos;
+        }
+        EXPECT_TRUE(refused);
+        EXPECT_EQ(daemon.fleetCounters().crashes, 0u);
+        EXPECT_GE(daemon.poisonStats().recovered, 1u);
+        daemon.requestStop();
+        daemon.stop();
+    }
+}
+
+TEST(DaemonIsolated, ClientDeadlineClampsBackoffAndFailsFast)
+{
+    Scratch s("client-deadline");
+    DaemonConfig dcfg = daemonConfig(s);
+    dcfg.queueDepth = 0; // every miss sheds Busy, deterministically
+    Daemon daemon(dcfg, directSim());
+    daemon.start();
+
+    ClientConfig ccfg = clientConfig(s);
+    ccfg.maxAttempts = 10;
+    ccfg.backoffBaseMs = 50; // un-clamped sum would be seconds
+    RcClient client(ccfg);
+    RunRequest req = tinyRequest();
+    req.deadlineMs = 80;
+    const auto t0 = std::chrono::steady_clock::now();
+    bool threw = false;
+    try {
+        client.simulate(req);
+    } catch (const SimError &err) {
+        threw = true;
+        EXPECT_EQ(err.kind(), SimError::Kind::Io) << err.what();
+    }
+    const double elapsed =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      t0)
+            .count();
+    EXPECT_TRUE(threw);
+    EXPECT_LT(elapsed, 1.5) << "deadline did not clamp the backoff";
+    EXPECT_GE(client.counters().deadlineRespected, 1u);
 
     daemon.requestStop();
     daemon.stop();

@@ -7,12 +7,18 @@
  * appenders, and the two service-layer fault-injection classes.
  */
 
+#include <atomic>
+#include <chrono>
+#include <csignal>
 #include <cstdint>
 #include <cstdio>
 #include <cstring>
 #include <string>
+#include <thread>
 #include <vector>
 
+#include <fcntl.h>
+#include <pthread.h>
 #include <sys/socket.h>
 #include <sys/stat.h>
 #include <sys/wait.h>
@@ -517,6 +523,129 @@ TEST(ServiceFaults, ClassSpellingsAndContracts)
     EXPECT_EQ(out, FaultClass::TruncatedFrame);
     EXPECT_TRUE(faultClassFromName("corrupt-blob", out));
     EXPECT_EQ(out, FaultClass::CorruptBlob);
+}
+
+TEST(ServiceLock, AcquisitionRetriesThroughSignalInterruptions)
+{
+    const std::string dir = scratchDir("svc-lock-eintr");
+    removeTree(dir);
+    ASSERT_EQ(::mkdir(dir.c_str(), 0777), 0);
+    const std::string path = dir + "/locked.bin";
+    // Two separate open file descriptions: flock held on one must block
+    // (not no-op) acquisition through the other.
+    const int holder = ::open(path.c_str(), O_CREAT | O_RDWR, 0666);
+    const int waiter = ::open(path.c_str(), O_RDWR);
+    ASSERT_GE(holder, 0);
+    ASSERT_GE(waiter, 0);
+    ASSERT_EQ(::flock(holder, LOCK_EX), 0);
+
+    // A handler installed WITHOUT SA_RESTART: each SIGUSR1 makes the
+    // blocked flock(2) in ScopedFileLock return EINTR, which the
+    // constructor must absorb by retrying instead of throwing.
+    struct sigaction sa;
+    std::memset(&sa, 0, sizeof(sa));
+    sa.sa_handler = [](int) {};
+    sa.sa_flags = 0;
+    struct sigaction old;
+    ASSERT_EQ(::sigaction(SIGUSR1, &sa, &old), 0);
+
+    std::atomic<bool> entered{false}, acquired{false};
+    std::thread blocked([&] {
+        entered.store(true);
+        ScopedFileLock lock(waiter);
+        acquired.store(true);
+    });
+    while (!entered.load())
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    // Pepper the blocked thread with signals; it must neither throw nor
+    // acquire while the holder still owns the lock.
+    for (int i = 0; i < 20; ++i) {
+        ::pthread_kill(blocked.native_handle(), SIGUSR1);
+        std::this_thread::sleep_for(std::chrono::milliseconds(5));
+        ASSERT_FALSE(acquired.load())
+            << "lock acquired while still held elsewhere";
+    }
+    ASSERT_EQ(::flock(holder, LOCK_UN), 0);
+    blocked.join();
+    EXPECT_TRUE(acquired.load());
+
+    ::sigaction(SIGUSR1, &old, nullptr);
+    ::close(waiter);
+    ::close(holder);
+    removeTree(dir);
+}
+
+TEST(ServiceFrame, PartialWritesAreCompletedOverATinySendBuffer)
+{
+    int fds[2];
+    ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+    // Shrink both buffers so a ~1 MiB frame cannot possibly fit: the
+    // writeRaw loop must survive many short send()s, and readExact on
+    // the other side must stitch the frame back from many short reads.
+    const int tiny = 4096;
+    ASSERT_EQ(::setsockopt(fds[0], SOL_SOCKET, SO_SNDBUF, &tiny,
+                           sizeof(tiny)),
+              0);
+    ASSERT_EQ(::setsockopt(fds[1], SOL_SOCKET, SO_RCVBUF, &tiny,
+                           sizeof(tiny)),
+              0);
+
+    std::vector<std::uint8_t> payload(1u << 20);
+    for (std::size_t i = 0; i < payload.size(); ++i)
+        payload[i] = static_cast<std::uint8_t>(i * 2654435761u >> 24);
+
+    std::thread writer([&] {
+        svc::writeFrame(fds[0], MsgType::SimResult, payload, 10'000);
+        ::close(fds[0]);
+    });
+    // Let the send buffer fill first so the writer really blocks.
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    Frame got;
+    ASSERT_TRUE(svc::readFrame(fds[1], got, 10'000));
+    writer.join();
+    EXPECT_EQ(got.type, MsgType::SimResult);
+    EXPECT_EQ(got.payload, payload); // bitwise, CRC already verified
+    ::close(fds[1]);
+}
+
+TEST(ServiceFrame, ErrorPayloadCodecRoundTripsEveryKind)
+{
+    for (const SimError::Kind kind :
+         {SimError::Kind::Config, SimError::Kind::Protocol,
+          SimError::Kind::Integrity, SimError::Kind::Hang,
+          SimError::Kind::Io, SimError::Kind::Crash}) {
+        const auto payload =
+            svc::encodeErrorPayload(kind, "message for the peer");
+        SimError::Kind outKind = SimError::Kind::Io;
+        std::string msg;
+        ASSERT_TRUE(svc::decodeErrorPayload(payload, outKind, msg));
+        EXPECT_EQ(outKind, kind);
+        EXPECT_EQ(msg, "message for the peer");
+    }
+    // Malformed payloads decode to a safe fallback, never a throw.
+    SimError::Kind k = SimError::Kind::Io;
+    std::string msg;
+    EXPECT_FALSE(svc::decodeErrorPayload({0x01, 0x02, 0x03}, k, msg));
+}
+
+TEST(ServiceFaults, ChaosSeedsRoundTripAndNeverCollideWithRealSeeds)
+{
+    for (const FaultClass cls :
+         {FaultClass::WorkerCrash, FaultClass::WorkerOom,
+          FaultClass::WorkerHang}) {
+        const std::uint64_t seed = chaosSeed(cls, 0x1234);
+        FaultClass out;
+        ASSERT_TRUE(chaosFromSeed(seed, out)) << toString(cls);
+        EXPECT_EQ(out, cls);
+        EXPECT_EQ(detectedBy(cls, LlcKind::Reuse),
+                  Invariant::CrashContainment);
+    }
+    FaultClass out;
+    EXPECT_FALSE(chaosFromSeed(42, out));
+    EXPECT_FALSE(chaosFromSeed(0xdeadbeef, out));
+    // The magic alone is not enough: the class byte must be a worker
+    // class, so non-chaos classes can never detonate.
+    EXPECT_FALSE(chaosFromSeed(0xCA05ull << 48, out));
 }
 
 TEST(ServiceFaults, CorruptBlobFileRefusesMissingOrEmptyFiles)

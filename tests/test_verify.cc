@@ -334,11 +334,11 @@ TEST(FaultMatrix, EveryFaultClassIsCaughtByItsAdvertisedInvariant)
 
             FaultInjector inj(99 + i);
             const InjectionResult res = inj.inject(cmp, cls);
-            if (cls == FaultClass::TruncatedFrame ||
-                cls == FaultClass::CorruptBlob) {
+            if (isServiceFault(cls)) {
                 // Service-layer faults have no Cmp target; their
-                // detection contract (FrameIntegrity/BlobIntegrity) is
-                // exercised byte-level in test_service.cc.
+                // detection contracts (FrameIntegrity/BlobIntegrity,
+                // CrashContainment/PoisonQuarantine) are exercised in
+                // test_service.cc and test_daemon.cc.
                 EXPECT_FALSE(res.applied);
                 continue;
             }

@@ -6,14 +6,22 @@
  * from the persistent result cache, and simulates misses through a
  * bounded worker pool.  SIGTERM/SIGINT (or a client Shutdown frame)
  * drains gracefully: in-flight runs finish, the cache index is
- * persisted, new work is refused with Busy.  After a kill -9, simply
- * restart on the same --cache-dir: completed entries are recovered from
- * their blobs, torn ones are re-simulated.
+ * persisted, new work is refused with Busy.  A SECOND SIGTERM/SIGINT
+ * during the drain gives up on it and exits nonzero immediately (an
+ * operator mashing ^C means "now", not "eventually").  After a kill -9,
+ * simply restart on the same --cache-dir: completed entries are
+ * recovered from their blobs, torn ones are re-simulated.
+ *
+ * With --isolate every simulation runs in a forked, rlimit-capped
+ * worker process: a crashing or runaway run costs one child and one
+ * typed Error reply, and a request that keeps killing workers is
+ * quarantined persistently (see src/service/supervisor.hh).
  *
  * Usage:
  *   rc-daemon --socket=/tmp/rc.sock --cache-dir=rc-cache \
  *             [--workers=N] [--queue-depth=N] [--hang-timeout=S]
- *             [--retry-after-ms=N]
+ *             [--retry-after-ms=N] [--isolate] [--rlimit-cpu=S]
+ *             [--rlimit-as-mb=N] [--poison-threshold=K]
  */
 
 #include <atomic>
@@ -25,6 +33,8 @@
 #include <string>
 #include <thread>
 
+#include <sys/wait.h>
+
 #include "common/log.hh"
 #include "harness.hh"
 #include "service/daemon.hh"
@@ -32,12 +42,38 @@
 namespace
 {
 
-std::atomic<bool> stopRequested{false};
+std::atomic<int> stopSignals{0};
 
 void
-onSignal(int)
+onStopSignal(int)
 {
-    stopRequested.store(true);
+    stopSignals.fetch_add(1);
+    // The second signal is handled in the main loop: _Exit from a
+    // handler would skip the cache-index persist that is still safe to
+    // attempt, and fprintf here is not async-signal-safe.
+}
+
+void
+onChild(int)
+{
+    // Worker children are reaped synchronously by their WorkerProcess
+    // (waitpid on the specific pid); this handler exists only so
+    // SIGCHLD interrupts blocking syscalls instead of being ignored
+    // outright — an ignored SIGCHLD (SIG_IGN) would make the kernel
+    // auto-reap and break those targeted waitpids.
+}
+
+/** sigaction without SA_RESTART: a stop signal must interrupt, not be
+ *  transparently retried around. */
+void
+installHandler(int sig, void (*fn)(int))
+{
+    struct sigaction sa;
+    std::memset(&sa, 0, sizeof(sa));
+    sa.sa_handler = fn;
+    sigemptyset(&sa.sa_mask);
+    sa.sa_flags = 0;
+    ::sigaction(sig, &sa, nullptr);
 }
 
 const char *usage =
@@ -45,12 +81,20 @@ const char *usage =
     "  --socket=PATH        Unix socket to listen on "
     "(default /tmp/rc-daemon.sock)\n"
     "  --cache-dir=DIR      persistent result cache (default rc-cache)\n"
-    "  --workers=N          simulation worker threads (default 2)\n"
+    "  --workers=N          simulation workers (default 2)\n"
     "  --queue-depth=N      bounded job queue capacity (default 64)\n"
     "  --hang-timeout=S     abort runs with no forward progress for S "
     "seconds (default 300, 0 = off)\n"
     "  --retry-after-ms=N   backpressure hint in Busy replies "
-    "(default 50)\n";
+    "(default 50)\n"
+    "  --isolate            run every simulation in a forked, sandboxed "
+    "worker process\n"
+    "  --rlimit-cpu=S       RLIMIT_CPU seconds per worker child "
+    "(default 0 = uncapped; needs --isolate)\n"
+    "  --rlimit-as-mb=N     RLIMIT_AS megabytes per worker child "
+    "(default 0 = uncapped; needs --isolate)\n"
+    "  --poison-threshold=K distinct worker kills before a request is "
+    "quarantined (default 3; needs --isolate)\n";
 
 } // namespace
 
@@ -81,6 +125,17 @@ main(int argc, char **argv)
             cfg.hangTimeout = std::atof(v);
         } else if (const char *v = value("--retry-after-ms=")) {
             cfg.retryAfterMs = static_cast<std::uint32_t>(std::atoi(v));
+        } else if (arg == "--isolate") {
+            cfg.isolateWorkers = true;
+        } else if (const char *v = value("--rlimit-cpu=")) {
+            cfg.workerCpuLimitSeconds =
+                static_cast<std::uint64_t>(std::atoll(v));
+        } else if (const char *v = value("--rlimit-as-mb=")) {
+            cfg.workerAddressSpaceBytes =
+                static_cast<std::uint64_t>(std::atoll(v)) * 1024 * 1024;
+        } else if (const char *v = value("--poison-threshold=")) {
+            cfg.poisonThreshold =
+                static_cast<std::uint32_t>(std::atoi(v));
         } else if (arg == "--help") {
             std::fputs(usage, stdout);
             return 0;
@@ -90,9 +145,19 @@ main(int argc, char **argv)
             return 2;
         }
     }
+    if (!cfg.isolateWorkers &&
+        (cfg.workerCpuLimitSeconds != 0 ||
+         cfg.workerAddressSpaceBytes != 0)) {
+        std::fprintf(stderr,
+                     "rc-daemon: --rlimit-cpu/--rlimit-as-mb need "
+                     "--isolate\n");
+        return 2;
+    }
 
-    std::signal(SIGTERM, onSignal);
-    std::signal(SIGINT, onSignal);
+    installHandler(SIGTERM, onStopSignal);
+    installHandler(SIGINT, onStopSignal);
+    if (cfg.isolateWorkers)
+        installHandler(SIGCHLD, onChild);
 
     rc::svc::Daemon daemon(
         cfg, [](const rc::svc::RunRequest &req,
@@ -106,17 +171,45 @@ main(int argc, char **argv)
         std::fprintf(stderr, "rc-daemon: %s\n", err.what());
         return 1;
     }
-    rc::inform("rc-daemon: serving on '%s', cache '%s' (%zu entries)",
+    rc::inform("rc-daemon: serving on '%s', cache '%s' (%zu entries)%s",
                cfg.socketPath.c_str(), cfg.cacheDir.c_str(),
-               daemon.cache().size());
+               daemon.cache().size(),
+               cfg.isolateWorkers ? ", process-isolated workers" : "");
 
-    while (!stopRequested.load() && !daemon.isDraining())
+    while (stopSignals.load() == 0 && !daemon.isDraining())
         std::this_thread::sleep_for(std::chrono::milliseconds(100));
 
     rc::inform("rc-daemon: draining (in-flight runs finish, new work is "
-               "refused)");
+               "refused; signal again to abort the drain)");
     daemon.requestStop();
-    daemon.stop();
+
+    // Drain in a helper so the main thread can keep watching for the
+    // impatient second signal.
+    std::atomic<bool> drained{false};
+    std::thread drainThread([&daemon, &drained] {
+        daemon.stop();
+        drained.store(true);
+    });
+    const int signalsAtDrain = stopSignals.load();
+    bool forced = false;
+    while (!drained.load()) {
+        if (stopSignals.load() > signalsAtDrain) {
+            // Second signal mid-drain: the operator wants out NOW.  The
+            // index was already persisted by requestStop(); anything
+            // in-flight is recoverable from blobs on restart.
+            std::fprintf(stderr,
+                         "rc-daemon: second signal during drain, "
+                         "aborting\n");
+            forced = true;
+            break;
+        }
+        std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    }
+    if (forced) {
+        drainThread.detach();
+        std::_Exit(130);
+    }
+    drainThread.join();
     std::fputs(daemon.statsJson().c_str(), stdout);
     return 0;
 }
