@@ -30,7 +30,7 @@ main(int argc, char **argv)
 
     const auto mixes = makeMixes(opt.mixCount, 8, 7);
     const auto base =
-        bench::runBaselineOverMixes(baselineSystem(opt.scale), mixes, opt);
+        bench::runBaselineOverMixes(bench::baselineFor(opt), mixes, opt);
 
     Table t("RC-4/1 variants, speedup over conv-8MB-LRU");
     t.header({"variant", "mean", "min", "max"});
@@ -76,7 +76,7 @@ main(int argc, char **argv)
         eval("tags=NRR data=Clock + stride prefetcher", sys);
     }
     {
-        SystemConfig sys = baselineSystem(opt.scale);
+        SystemConfig sys = bench::baselineFor(opt);
         sys.prefetch.enable = true;
         eval("conv-8MB-LRU + stride prefetcher (reference)", sys);
     }

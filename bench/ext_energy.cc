@@ -41,7 +41,7 @@ main(int argc, char **argv)
     const EnergyEstimate conv_e = conventionalEnergy(8 * MiB, 16);
     double conv_energy = 0.0;
     for (const Mix &mix : mixes) {
-        const auto r = bench::runMix(baselineSystem(opt.scale), mix, opt);
+        const auto r = bench::runMix(bench::baselineFor(opt), mix, opt);
         conv_energy += windowEnergy(conv_e, activity(r, opt.measure));
     }
     std::cout << "  baseline done\n" << std::flush;

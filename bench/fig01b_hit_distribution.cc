@@ -20,7 +20,7 @@ main(int argc, char **argv)
         "only ~5% of loaded lines are ever hit");
 
     GenerationTracker tracker;
-    bench::runMix(baselineSystem(opt.scale), exampleMix(), opt, &tracker);
+    bench::runMix(bench::baselineFor(opt), exampleMix(), opt, &tracker);
     const HitDistribution d = hitDistribution(tracker.records(), 200);
 
     std::printf("\nline generations: %llu, total hits: %llu\n",

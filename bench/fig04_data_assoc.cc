@@ -22,7 +22,7 @@ main(int argc, char **argv)
 
     const auto mixes = makeMixes(opt.mixCount, 8, 7);
     const auto base =
-        bench::runBaselineOverMixes(baselineSystem(opt.scale), mixes, opt);
+        bench::runBaselineOverMixes(bench::baselineFor(opt), mixes, opt);
 
     Table t("Average speedup over conv-8MB-LRU");
     t.header({"config", "16-way", "32-way", "64-way", "128-way", "FA"});

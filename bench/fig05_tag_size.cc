@@ -22,7 +22,7 @@ main(int argc, char **argv)
 
     const auto mixes = makeMixes(opt.mixCount, 8, 7);
     const auto base =
-        bench::runBaselineOverMixes(baselineSystem(opt.scale), mixes, opt);
+        bench::runBaselineOverMixes(bench::baselineFor(opt), mixes, opt);
 
     // Conventional reference lines.
     Table refs("Conventional LRU references (lines in the figure)");

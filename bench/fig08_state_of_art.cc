@@ -24,7 +24,7 @@ main(int argc, char **argv)
     constexpr std::uint64_t MiB = 1ull << 20;
     const auto mixes = makeMixes(opt.mixCount, 8, 7);
     const auto base =
-        bench::runBaselineOverMixes(baselineSystem(opt.scale), mixes, opt);
+        bench::runBaselineOverMixes(bench::baselineFor(opt), mixes, opt);
 
     Table t("Speedup over conv-8MB-LRU and hardware storage");
     t.header({"config", "speedup", "storage (Kbits)", "paper speedup"});

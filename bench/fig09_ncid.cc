@@ -24,7 +24,7 @@ main(int argc, char **argv)
 
     const auto mixes = makeMixes(opt.mixCount, 8, 7);
     const auto base =
-        bench::runBaselineOverMixes(baselineSystem(opt.scale), mixes, opt);
+        bench::runBaselineOverMixes(bench::baselineFor(opt), mixes, opt);
 
     Table t("Average speedup over conv-8MB-LRU");
     t.header({"data size", "RC", "NCID", "RC gain", "paper RC gain"});

@@ -33,7 +33,7 @@ main(int argc, char **argv)
 
     // Baseline per-core IPCs per mix (runs concurrently under --jobs).
     const auto base =
-        bench::runBaselineOverMixes(baselineSystem(opt.scale), mixes, opt);
+        bench::runBaselineOverMixes(bench::baselineFor(opt), mixes, opt);
     std::cout << "  baseline done\n" << std::flush;
 
     struct Cfg { const char *name; double tag, data; };

@@ -33,7 +33,7 @@ main(int argc, char **argv)
 
     for (const AppProfile &app : parallelProfiles()) {
         const auto base =
-            bench::runParallel(baselineSystem(opt.scale), app, opt);
+            bench::runParallel(bench::baselineFor(opt), app, opt);
         std::vector<std::string> row{app.name};
         for (double data_mb : {4.0, 2.0, 1.0, 0.5}) {
             const auto res = bench::runParallel(

@@ -16,6 +16,7 @@
 #include <sys/stat.h>
 #include <unistd.h>
 
+#include "arena/arena_registry.hh"
 #include "common/log.hh"
 #include "common/task_pool.hh"
 #include "reuse/reuse_cache.hh"
@@ -367,6 +368,10 @@ usageString()
            "  --warmup=N   warmup cycles (default 3000000)\n"
            "  --measure=N  measured cycles (default 12000000)\n"
            "  --seed=N     base RNG seed (default 42)\n"
+           "  --policy=NAME  restrict/override the replacement policy "
+           "under test\n"
+           "               (see arena registry; misspellings get a 'did "
+           "you mean' hint)\n"
            "  --jobs=N     concurrent simulations (default: hardware "
            "threads; 1 = serial)\n"
            "  --check-interval=N  walk the integrity checker every N "
@@ -433,6 +438,11 @@ parseArgs(int argc, char **argv)
             opt.measure = static_cast<Cycle>(std::atoll(v));
         } else if (const char *v = value("--seed=")) {
             opt.seed = static_cast<std::uint64_t>(std::atoll(v));
+        } else if (const char *v = value("--policy=")) {
+            // Resolves through the arena registry: unknown names fatal
+            // with a did-you-mean hint and the full spelling list.
+            opt.policyKind = arena::parsePolicyName(v);
+            opt.policy = arena::policyInfo(opt.policyKind).name;
         } else if (const char *v = value("--jobs=")) {
             const int jobs = std::atoi(v);
             if (jobs < 1)
@@ -778,6 +788,15 @@ double
 speedupRatio(double sys_ipc, double baseline_ipc)
 {
     return baseline_ipc > 0.0 ? sys_ipc / baseline_ipc : 0.0;
+}
+
+SystemConfig
+baselineFor(const RunOptions &opt)
+{
+    SystemConfig sys = baselineSystem(opt.scale);
+    if (!opt.policy.empty())
+        sys.conv.repl = opt.policyKind;
+    return sys;
 }
 
 namespace
@@ -1592,12 +1611,14 @@ printHeader(const std::string &artifact, const std::string &claim,
     std::printf("== %s ==\n", artifact.c_str());
     std::printf("paper: %s\n", claim.c_str());
     std::printf("settings: %u mixes, scale 1/%u, warmup %llu, "
-                "measure %llu cycles, seed %llu, %u jobs\n",
+                "measure %llu cycles, seed %llu, %u jobs%s%s\n",
                 opt.mixCount, opt.scale,
                 static_cast<unsigned long long>(opt.warmup),
                 static_cast<unsigned long long>(opt.measure),
                 static_cast<unsigned long long>(opt.seed),
-                effectiveJobs(opt));
+                effectiveJobs(opt),
+                opt.policy.empty() ? "" : ", policy ",
+                opt.policy.c_str());
     std::fflush(stdout);
 }
 

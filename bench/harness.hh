@@ -10,6 +10,9 @@
  *   --measure=N   measured cycles (default 12M; the data arrays need
  *                 several fill times to reach steady state)
  *   --seed=N      base RNG seed (default 42)
+ *   --policy=NAME restrict/override the replacement policy under test
+ *                 (any name in the arena registry; unknown names list
+ *                 the spellings with a "did you mean" hint)
  *   --jobs=N      concurrent simulations (default: hardware threads;
  *                 1 forces the legacy serial path)
  *   --check-interval=N  run the integrity checker every N references
@@ -75,6 +78,21 @@ struct RunOptions
     Cycle measure = 12'000'000;
     std::uint32_t mixCount = 5;
     std::uint64_t seed = 42;
+
+    /**
+     * Replacement-policy selection (--policy=NAME; "" = the bench's
+     * default).  parseArgs resolves the name through the arena registry
+     * (arena/arena_registry.hh) and stores the canonical spelling, so a
+     * non-empty value is always a valid registry name.  Benches whose
+     * conventional baseline is a free parameter take it from
+     * baselineFor(opt); arena_tournament restricts its field to it;
+     * the fixed-matrix figure benches (fig01a/fig07, which sweep
+     * policies themselves) ignore it.
+     */
+    std::string policy;
+
+    /** The ReplKind `policy` resolved to (valid iff policy != ""). */
+    ReplKind policyKind = ReplKind::LRU;
 
     /** Sampling period for liveness series (cycles). */
     Cycle samplePeriod = 20'000;
@@ -370,6 +388,14 @@ double speedupRatio(double sys_ipc, double baseline_ipc);
  * alias keeps every bench spelling it rc::bench::RunResult.
  */
 using RunResult = ::rc::RunResult;
+
+/**
+ * The conventional 8 MB baseline with --policy applied: LRU (the
+ * paper's baseline) unless the user picked another registry policy.
+ * Benches whose conventional anchor is a free parameter build it from
+ * here so --policy=NAME means the same thing everywhere.
+ */
+SystemConfig baselineFor(const RunOptions &opt);
 
 /**
  * Simulate one multiprogrammed mix on one system configuration.

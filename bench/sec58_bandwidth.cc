@@ -6,6 +6,7 @@
  */
 
 #include <iostream>
+#include <string>
 
 #include "common/table.hh"
 #include "harness.hh"
@@ -28,11 +29,12 @@ main(int argc, char **argv)
 
     struct Org
     {
-        const char *name;
+        std::string name;
         SystemConfig sys;
     };
+    const SystemConfig conv = bench::baselineFor(opt);
     Org orgs[] = {
-        {"conv-8MB-LRU", baselineSystem(opt.scale)},
+        {std::string("conv-8MB-") + toString(conv.conv.repl), conv},
         {"RC-4/1", reuseSystem(4, 1, 0, opt.scale)},
     };
     for (Org &org : orgs) {

@@ -11,31 +11,36 @@
  *  3. hot        --requests total requests from --threads concurrent
  *                clients, all served from the result cache; the mean
  *                hit must be >= --min-hit-speedup faster than cold
- *  4. overload   a burst against a 1-worker/depth-1 daemon: Busy sheds
+ *  4. arena      tournament-style requests (one per arena replacement
+ *                policy on one mix): every digest distinct — the policy
+ *                id is part of the canonical request encoding — cold
+ *                pass all simulated, repeat pass all content-addressed
+ *                cache hits, every result bitwise-identical
+ *  5. overload   a burst against a 1-worker/depth-1 daemon: Busy sheds
  *                observed, every result still correct (retry/fallback)
- *  5. torn-reply truncated SimResult frames mid-stream: detected as
+ *  6. torn-reply truncated SimResult frames mid-stream: detected as
  *                SimError(Protocol), recovered by reconnect-and-retry
- *  6. bad-blob   corrupted cache blobs: demoted to re-simulation
- *  7. hung-run   a stalling job: watchdog abort, Error to the client
- *  8. no-daemon  unreachable socket: in-process fallback, bit-identical
- *  9. restart    kill -9 emulation: torn blob + stale tmp left behind,
+ *  7. bad-blob   corrupted cache blobs: demoted to re-simulation
+ *  8. hung-run   a stalling job: watchdog abort, Error to the client
+ *  9. no-daemon  unreachable socket: in-process fallback, bit-identical
+ * 10. restart    kill -9 emulation: torn blob + stale tmp left behind,
  *                new daemon on the same cache dir recovers the intact
  *                entries and re-simulates the torn one
  *
  * Chaos phases (process-isolated daemon; --chaos-fraction > 0):
  *
- * 10. chaos      a concurrent mix where a budgeted fraction of requests
+ * 11. chaos      a concurrent mix where a budgeted fraction of requests
  *                detonates inside its sandboxed worker (abort, alloc
  *                bomb, abort-ignoring hang).  The daemon must survive
  *                it all: every healthy reply bitwise-identical to the
  *                oracle, every doomed request answered with a typed
  *                SimError (Crash, or Hang for the forced kill), workers
  *                restarted behind the scenes.
- * 11. poison     one marked request is sent repeatedly: it kills K
+ * 12. poison     one marked request is sent repeatedly: it kills K
  *                distinct workers, crosses the quarantine threshold and
  *                is refused with a typed error from then on — without
  *                consuming another worker.
- * 12. poison-restart  a NEW daemon on the same cache dir refuses the
+ * 13. poison-restart  a NEW daemon on the same cache dir refuses the
  *                quarantined request immediately: the verdict came off
  *                the persistent poison index, no worker died for it.
  *
@@ -56,9 +61,11 @@
 #include <sys/stat.h>
 #include <unistd.h>
 
+#include "arena/arena_registry.hh"
 #include "common/log.hh"
 #include "harness.hh"
 #include "service/client.hh"
+#include "service/run_request.hh"
 #include "service/daemon.hh"
 #include "service/supervisor.hh"
 #include "verify/fault_injector.hh"
@@ -303,7 +310,73 @@ main(int argc, char **argv)
         daemon.stop();
     }
 
-    // 4. overload: tiny queue, slow worker, concurrent burst ---------
+    // 4. arena: one request per tournament policy --------------------
+    if (!chaosOnly) {
+        // Same system everywhere except the replacement policy, so the
+        // only thing separating the digests is the policy id inside the
+        // canonical request encoding.
+        std::vector<RunRequest> areqs;
+        std::vector<std::uint64_t> digests;
+        const Mix amix = makeMixes(1, 8, 7)[0];
+        for (const arena::PolicyInfo &info : arena::policyRegistry()) {
+            if (!info.inTournament)
+                continue;
+            RunRequest r;
+            r.config = conventionalSystem(8.0, info.kind, 8);
+            r.mix = amix;
+            r.seed = 42;
+            r.scale = 8;
+            r.warmup = 60'000;
+            r.measure = 300'000;
+            areqs.push_back(r);
+            digests.push_back(requestDigest(r));
+        }
+        std::uint64_t collisions = 0;
+        for (std::size_t i = 0; i < digests.size(); ++i)
+            for (std::size_t j = i + 1; j < digests.size(); ++j)
+                if (digests[i] == digests[j])
+                    ++collisions;
+
+        t0 = phase("arena");
+        std::vector<RunResult> aoracle;
+        for (const RunRequest &r : areqs)
+            aoracle.push_back(bench::simulateRequest(r));
+
+        DaemonConfig dcfg;
+        dcfg.socketPath = sock;
+        dcfg.cacheDir = dir + "/cache-arena";
+        dcfg.workers = threads;
+        dcfg.queueDepth = 256;
+        dcfg.isolateWorkers = isolate;
+        Daemon daemon(dcfg, directSim());
+        daemon.start();
+
+        std::uint64_t wrong = 0;
+        RcClient client(ccfg);
+        verifyAll(areqs, aoracle, client, wrong);
+        const std::uint64_t coldSim = daemon.counters().simulated;
+        verifyAll(areqs, aoracle, client, wrong);
+        const DaemonCounters c = daemon.counters();
+        const bool ok = collisions == 0 && wrong == 0 &&
+                        coldSim == areqs.size() &&
+                        c.cacheHits >= areqs.size() &&
+                        c.simulated == coldSim;
+        char note[200];
+        std::snprintf(note, sizeof(note),
+                      "%zu policies, %llu digest collisions, cold %llu "
+                      "simulated, repeat %llu cache hits, %llu wrong",
+                      areqs.size(),
+                      static_cast<unsigned long long>(collisions),
+                      static_cast<unsigned long long>(coldSim),
+                      static_cast<unsigned long long>(c.cacheHits),
+                      static_cast<unsigned long long>(wrong));
+        endPhase(t0, ok, note);
+        wrongTotal += wrong;
+        daemon.requestStop();
+        daemon.stop();
+    }
+
+    // 5. overload: tiny queue, slow worker, concurrent burst ---------
     if (!chaosOnly) {
         DaemonConfig dcfg;
         dcfg.socketPath = sock;
@@ -343,7 +416,7 @@ main(int argc, char **argv)
         daemon.stop();
     }
 
-    // 5. torn replies ------------------------------------------------
+    // 6. torn replies ------------------------------------------------
     if (!chaosOnly) {
         DaemonConfig dcfg;
         dcfg.socketPath = sock;
@@ -367,7 +440,7 @@ main(int argc, char **argv)
         daemon.stop();
     }
 
-    // 6. corrupted blobs ---------------------------------------------
+    // 7. corrupted blobs ---------------------------------------------
     if (!chaosOnly) {
         DaemonConfig dcfg;
         dcfg.socketPath = sock;
@@ -393,7 +466,7 @@ main(int argc, char **argv)
         daemon.stop();
     }
 
-    // 7. hung run: the watchdog must abort it ------------------------
+    // 8. hung run: the watchdog must abort it ------------------------
     if (!chaosOnly) {
         DaemonConfig dcfg;
         dcfg.socketPath = sock;
@@ -439,7 +512,7 @@ main(int argc, char **argv)
         daemon.stop();
     }
 
-    // 8. daemon unreachable: in-process fallback ---------------------
+    // 9. daemon unreachable: in-process fallback ---------------------
     if (!chaosOnly) {
         t0 = phase("no-daemon");
         ClientConfig fc = ccfg;
@@ -454,7 +527,7 @@ main(int argc, char **argv)
         wrongTotal += wrong;
     }
 
-    // 9. kill -9 emulation and restart recovery ----------------------
+    // 10. kill -9 emulation and restart recovery ----------------------
     if (!chaosOnly) {
         t0 = phase("restart");
         const std::string cacheDir = dir + "/cache"; // phase-2 blobs
@@ -500,7 +573,7 @@ main(int argc, char **argv)
         daemon.stop();
     }
 
-    // 10. chaos: sandboxed workers under deliberate fire -------------
+    // 11. chaos: sandboxed workers under deliberate fire -------------
     std::uint64_t chaosIssued = 0, chaosInjected = 0;
     SupervisorCounters chaosFleet{};
     std::uint64_t poisonQuarantines = 0, poisonRefusals = 0;
@@ -628,7 +701,7 @@ main(int argc, char **argv)
         daemon.stop();
     }
 
-    // 11 + 12. poison quarantine, then its persistence ---------------
+    // 12 + 13. poison quarantine, then its persistence ---------------
     if (chaosFraction > 0.0) {
         DaemonConfig pcfg;
         pcfg.socketPath = sock;
@@ -681,7 +754,7 @@ main(int argc, char **argv)
             daemon.stop();
         }
 
-        // 12. a NEW daemon on the same cache dir must refuse the
+        // 13. a NEW daemon on the same cache dir must refuse the
         // quarantined digest off the persistent index — before any
         // worker gets a chance to die for it.
         {

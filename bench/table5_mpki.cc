@@ -65,7 +65,7 @@ main(int argc, char **argv)
         Mix mix;
         for (int c = 0; c < 8; ++c)
             mix.apps.push_back(paperRows[i].name);
-        results[i] = bench::runMix(baselineSystem(opt.scale), mix, opt);
+        results[i] = bench::runMix(bench::baselineFor(opt), mix, opt);
     });
 
     for (std::size_t i = 0; i < numRows; ++i) {

@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Insertion-depth arena policies (LIP/BIP/DIP, reuse-distance-aware):
+ * construction, verify hooks, serialization.
+ */
+
+#include "arena/arena_policies.hh"
+
+#include "common/log.hh"
+#include "snapshot/serializer.hh"
+
+namespace rc
+{
+
+InsertionPolicy::InsertionPolicy(std::uint64_t num_sets,
+                                 std::uint32_t num_ways, Mode mode_,
+                                 std::uint32_t num_cores)
+    : ReplacementPolicy(num_sets, num_ways),
+      mode(mode_),
+      stamp(num_sets * num_ways, 0),
+      duel(num_sets, num_cores)
+{
+}
+
+bool
+InsertionPolicy::metadataSane(std::string *why) const
+{
+    for (std::uint64_t i = 0; i < stamp.size(); ++i) {
+        if (stamp[i] > tick) {
+            if (why)
+                *why = "insertion stamp of (" + std::to_string(i / ways) +
+                       "," + std::to_string(i % ways) +
+                       ") is ahead of the tick";
+            return false;
+        }
+    }
+    return true;
+}
+
+bool
+InsertionPolicy::corruptMetadata(std::uint64_t set, std::uint32_t way)
+{
+    stamp[set * ways + way] = tick + 1'000'000;
+    return true;
+}
+
+void
+InsertionPolicy::save(Serializer &s) const
+{
+    s.putU64(tick);
+    s.putU64(fills);
+    saveVec(s, stamp);
+    duel.save(s);
+}
+
+void
+InsertionPolicy::restore(Deserializer &d)
+{
+    tick = d.getU64();
+    fills = d.getU64();
+    restoreVec(d, stamp, "insertion stamps");
+    duel.restore(d);
+}
+
+RdAwarePolicy::RdAwarePolicy(std::uint64_t num_sets, std::uint32_t num_ways)
+    : ReplacementPolicy(num_sets, num_ways),
+      setTick(num_sets, 0),
+      touch(num_sets * num_ways, 0)
+{
+}
+
+bool
+RdAwarePolicy::metadataSane(std::string *why) const
+{
+    for (std::uint64_t i = 0; i < touch.size(); ++i) {
+        if (touch[i] > setTick[i / ways]) {
+            if (why)
+                *why = "RD-aware touch of (" + std::to_string(i / ways) +
+                       "," + std::to_string(i % ways) +
+                       ") is ahead of its set clock";
+            return false;
+        }
+    }
+    return true;
+}
+
+bool
+RdAwarePolicy::corruptMetadata(std::uint64_t set, std::uint32_t way)
+{
+    touch[set * ways + way] = setTick[set] + 1'000'000;
+    return true;
+}
+
+void
+RdAwarePolicy::save(Serializer &s) const
+{
+    s.putU64(avg16);
+    saveVec(s, setTick);
+    saveVec(s, touch);
+}
+
+void
+RdAwarePolicy::restore(Deserializer &d)
+{
+    avg16 = d.getU64();
+    restoreVec(d, setTick, "RD-aware set clocks");
+    restoreVec(d, touch, "RD-aware touch clocks");
+}
+
+} // namespace rc

@@ -1,0 +1,209 @@
+/**
+ * @file
+ * PC-trained arena policies (REDRE, dead-block, streaming-bypass):
+ * construction, verify hooks, serialization.
+ */
+
+#include "arena/arena_policies.hh"
+
+#include "common/log.hh"
+#include "snapshot/serializer.hh"
+
+namespace rc
+{
+
+RedrePolicy::RedrePolicy(std::uint64_t num_sets, std::uint32_t num_ways)
+    : ReplacementPolicy(num_sets, num_ways),
+      prio(num_sets * num_ways, 0),
+      stamp(num_sets * num_ways, 0),
+      pcIdx(num_sets * num_ways, 0),
+      lflags(num_sets * num_ways, 0),
+      table(kTableSize, kReuseInit)
+{
+}
+
+bool
+RedrePolicy::metadataSane(std::string *why) const
+{
+    for (std::uint64_t i = 0; i < prio.size(); ++i) {
+        if (prio[i] > 2) {
+            if (why)
+                *why = "REDRE priority (" + std::to_string(i / ways) + "," +
+                       std::to_string(i % ways) + ") = " +
+                       std::to_string(prio[i]) + " exceeds max 2";
+            return false;
+        }
+        if (stamp[i] > tick) {
+            if (why)
+                *why = "REDRE stamp of (" + std::to_string(i / ways) + "," +
+                       std::to_string(i % ways) + ") is ahead of the tick";
+            return false;
+        }
+    }
+    for (std::uint32_t i = 0; i < kTableSize; ++i) {
+        if (table[i] > kReuseMax) {
+            if (why)
+                *why = "REDRE reuse counter " + std::to_string(i) + " = " +
+                       std::to_string(table[i]) + " exceeds max " +
+                       std::to_string(kReuseMax);
+            return false;
+        }
+    }
+    return true;
+}
+
+bool
+RedrePolicy::corruptMetadata(std::uint64_t set, std::uint32_t way)
+{
+    prio[set * ways + way] = 0xff;
+    return true;
+}
+
+void
+RedrePolicy::save(Serializer &s) const
+{
+    s.putU64(tick);
+    saveVec(s, prio);
+    saveVec(s, stamp);
+    saveVec(s, pcIdx);
+    saveVec(s, lflags);
+    saveVec(s, table);
+}
+
+void
+RedrePolicy::restore(Deserializer &d)
+{
+    tick = d.getU64();
+    restoreVec(d, prio, "REDRE priorities");
+    restoreVec(d, stamp, "REDRE stamps");
+    restoreVec(d, pcIdx, "REDRE line table indices");
+    restoreVec(d, lflags, "REDRE line flags");
+    restoreVec(d, table, "REDRE reuse table");
+}
+
+DeadBlockPolicy::DeadBlockPolicy(std::uint64_t num_sets,
+                                 std::uint32_t num_ways)
+    : ReplacementPolicy(num_sets, num_ways),
+      stamp(num_sets * num_ways, 0),
+      sigs(num_sets * num_ways, 0),
+      lflags(num_sets * num_ways, 0),
+      pred(kTableSize, 0)
+{
+}
+
+bool
+DeadBlockPolicy::metadataSane(std::string *why) const
+{
+    for (std::uint64_t i = 0; i < stamp.size(); ++i) {
+        if (stamp[i] > tick) {
+            if (why)
+                *why = "dead-block stamp of (" + std::to_string(i / ways) +
+                       "," + std::to_string(i % ways) +
+                       ") is ahead of the tick";
+            return false;
+        }
+    }
+    for (std::uint32_t i = 0; i < kTableSize; ++i) {
+        if (pred[i] > kPredMax) {
+            if (why)
+                *why = "dead-block predictor " + std::to_string(i) + " = " +
+                       std::to_string(pred[i]) + " exceeds max " +
+                       std::to_string(kPredMax);
+            return false;
+        }
+    }
+    return true;
+}
+
+bool
+DeadBlockPolicy::corruptMetadata(std::uint64_t set, std::uint32_t way)
+{
+    stamp[set * ways + way] = tick + 1'000'000;
+    return true;
+}
+
+void
+DeadBlockPolicy::save(Serializer &s) const
+{
+    s.putU64(tick);
+    saveVec(s, stamp);
+    saveVec(s, sigs);
+    saveVec(s, lflags);
+    saveVec(s, pred);
+}
+
+void
+DeadBlockPolicy::restore(Deserializer &d)
+{
+    tick = d.getU64();
+    restoreVec(d, stamp, "dead-block stamps");
+    restoreVec(d, sigs, "dead-block line signatures");
+    restoreVec(d, lflags, "dead-block line flags");
+    restoreVec(d, pred, "dead-block predictor table");
+}
+
+StreamPolicy::StreamPolicy(std::uint64_t num_sets, std::uint32_t num_ways)
+    : ReplacementPolicy(num_sets, num_ways),
+      stamp(num_sets * num_ways, 0),
+      lflags(num_sets * num_ways, 0),
+      lastLine(kTableSize, 0),
+      stride(kTableSize, 0),
+      conf(kTableSize, 0)
+{
+}
+
+bool
+StreamPolicy::metadataSane(std::string *why) const
+{
+    for (std::uint64_t i = 0; i < stamp.size(); ++i) {
+        if (stamp[i] > tick) {
+            if (why)
+                *why = "stream stamp of (" + std::to_string(i / ways) + "," +
+                       std::to_string(i % ways) + ") is ahead of the tick";
+            return false;
+        }
+    }
+    for (std::uint32_t i = 0; i < kTableSize; ++i) {
+        if (conf[i] > kConfMax) {
+            if (why)
+                *why = "stream confidence " + std::to_string(i) + " = " +
+                       std::to_string(conf[i]) + " exceeds max " +
+                       std::to_string(kConfMax);
+            return false;
+        }
+    }
+    return true;
+}
+
+bool
+StreamPolicy::corruptMetadata(std::uint64_t set, std::uint32_t way)
+{
+    stamp[set * ways + way] = tick + 1'000'000;
+    return true;
+}
+
+void
+StreamPolicy::save(Serializer &s) const
+{
+    s.putU64(tick);
+    saveVec(s, stamp);
+    saveVec(s, lflags);
+    saveVec(s, lastLine);
+    for (std::int64_t v : stride)
+        s.putI64(v);
+    saveVec(s, conf);
+}
+
+void
+StreamPolicy::restore(Deserializer &d)
+{
+    tick = d.getU64();
+    restoreVec(d, stamp, "stream stamps");
+    restoreVec(d, lflags, "stream line flags");
+    restoreVec(d, lastLine, "stream last-line table");
+    for (std::int64_t &v : stride)
+        v = d.getI64();
+    restoreVec(d, conf, "stream confidence table");
+}
+
+} // namespace rc

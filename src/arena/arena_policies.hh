@@ -1,0 +1,790 @@
+/**
+ * @file
+ * Policy arena: ChampSim CRC2-family replacement policies.
+ *
+ * Each class below is a port of a published SLLC replacement scheme onto
+ * the repository's ReplacementPolicy ABI.  The ABI is deliberately
+ * ChampSim-shaped: policies see the requesting PC and the accessed line
+ * (ReplAccess/VictimQuery), the (set, way) coordinates, and three
+ * lifecycle notifications — fill, hit, and invalidate (the eviction leg:
+ * the owning caches call onInvalidate for every line that leaves, so
+ * outcome-trained predictors close their feedback loop there).
+ *
+ * Like cache/policies.hh, the classes are `final` with their per-access
+ * methods inline so PolicyRef (cache/policy_dispatch.hh) statically
+ * resolves and inlines them; the virtual interface remains for
+ * construction, serialization and the verify layer.  Three classes host
+ * several registered kinds through a Mode enum, mirroring how
+ * RripPolicy hosts SRRIP/BRRIP/DRRIP:
+ *
+ *   ShipPolicy      — Ship (PC sigs), ShipMem (region sigs),
+ *                     DuelShip (SRRIP vs SHiP insertion dueling)
+ *   InsertionPolicy — Lip, Bip, Dip (LRU/BIP set dueling)
+ *
+ * plus RedrePolicy, DeadBlockPolicy, RdAwarePolicy, StreamPolicy,
+ * PlruPolicy and MruPolicy, one kind each.
+ */
+
+#ifndef RC_ARENA_ARENA_POLICIES_HH
+#define RC_ARENA_ARENA_POLICIES_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "cache/replacement.hh"
+#include "cache/set_dueling.hh"
+#include "common/types.hh"
+
+namespace rc
+{
+
+namespace arena
+{
+
+/** Fold a 64-bit key (PC or region id) into a table index. */
+inline std::uint32_t
+foldKey(Addr key, std::uint32_t table_size)
+{
+    const std::uint64_t h = key * 0x9e3779b97f4a7c15ULL;
+    return static_cast<std::uint32_t>(h >> 40) & (table_size - 1);
+}
+
+} // namespace arena
+
+/**
+ * SHiP (Wu et al., MICRO 2011): a signature history counter table
+ * remembers whether fills inserted by a signature were re-referenced;
+ * fills whose signature never sees reuse insert at distant RRPV.
+ *
+ * - Mode::PC   signatures hash the requesting PC (SHiP-PC).
+ * - Mode::Mem  signatures hash the 16 KiB memory region (SHiP-Mem).
+ * - Mode::Duel thread-aware set dueling between plain SRRIP insertion
+ *   and SHiP-predicted insertion (both PC-signature trained).
+ */
+class ShipPolicy final : public ReplacementPolicy
+{
+  public:
+    /** Signature source / insertion-selection flavour. */
+    enum class Mode : std::uint8_t { PC, Mem, Duel };
+
+    ShipPolicy(std::uint64_t num_sets, std::uint32_t num_ways, Mode mode,
+               std::uint32_t num_cores);
+
+    void onFill(std::uint64_t set, std::uint32_t way,
+                const ReplAccess &ctx) override;
+    void onHit(std::uint64_t set, std::uint32_t way,
+               const ReplAccess &ctx) override;
+    void onInvalidate(std::uint64_t set, std::uint32_t way) override;
+    std::uint32_t victim(std::uint64_t set, const VictimQuery &q) override;
+
+    /** Test hook: a signature's outcome counter. */
+    std::uint8_t counterOf(std::uint32_t sig) const { return shct[sig]; }
+
+    /** Test hook: a line's current RRPV. */
+    std::uint32_t rrpv(std::uint64_t set, std::uint32_t way) const
+    {
+        return rrpvs[set * ways + way];
+    }
+
+    bool metadataSane(std::string *why = nullptr) const override;
+    bool corruptMetadata(std::uint64_t set, std::uint32_t way) override;
+
+    void save(Serializer &s) const override;
+    void restore(Deserializer &d) override;
+
+  private:
+    static constexpr std::uint32_t kTableSize = 16384;
+    static constexpr std::uint8_t kCtrMax = 7;
+    static constexpr std::uint8_t kCtrInit = 1;
+    static constexpr std::uint8_t kMaxRrpv = 3;
+    static constexpr std::uint8_t kValid = 1;
+    static constexpr std::uint8_t kReused = 2;
+
+    std::uint32_t sigOf(const ReplAccess &ctx) const;
+
+    Mode mode;
+    std::vector<std::uint8_t> rrpvs;
+    std::vector<std::uint32_t> sigs;  //!< per-line fill signature
+    std::vector<std::uint8_t> lflags; //!< per-line kValid | kReused
+    std::vector<std::uint8_t> shct;   //!< signature history counters
+    SetDueling duel;                  //!< Mode::Duel only
+};
+
+/**
+ * REDRE (PAPERS.md 2402.00533, SNIPPETS.md Snippet 1): a PC-indexed
+ * reuse counter table steers three insertion priorities; victims are
+ * the lowest-priority, least-recently-touched lines.
+ */
+class RedrePolicy final : public ReplacementPolicy
+{
+  public:
+    RedrePolicy(std::uint64_t num_sets, std::uint32_t num_ways);
+
+    void onFill(std::uint64_t set, std::uint32_t way,
+                const ReplAccess &ctx) override;
+    void onHit(std::uint64_t set, std::uint32_t way,
+               const ReplAccess &ctx) override;
+    void onInvalidate(std::uint64_t set, std::uint32_t way) override;
+    std::uint32_t victim(std::uint64_t set, const VictimQuery &q) override;
+
+    /** Test hook: a line's insertion priority (0 low .. 2 high). */
+    std::uint8_t priorityOf(std::uint64_t set, std::uint32_t way) const
+    {
+        return prio[set * ways + way];
+    }
+
+    bool metadataSane(std::string *why = nullptr) const override;
+    bool corruptMetadata(std::uint64_t set, std::uint32_t way) override;
+
+    void save(Serializer &s) const override;
+    void restore(Deserializer &d) override;
+
+  private:
+    static constexpr std::uint32_t kTableSize = 4096;
+    static constexpr std::uint8_t kReuseMax = 31;
+    static constexpr std::uint8_t kReuseInit = 15;
+    static constexpr std::uint8_t kHigh = 20;
+    static constexpr std::uint8_t kLow = 10;
+    static constexpr std::uint8_t kValid = 1;
+    static constexpr std::uint8_t kReused = 2;
+
+    std::vector<std::uint8_t> prio;     //!< 0 low, 1 mid, 2 high
+    std::vector<std::uint64_t> stamp;   //!< recency within a priority
+    std::vector<std::uint32_t> pcIdx;   //!< per-line table index
+    std::vector<std::uint8_t> lflags;
+    std::vector<std::uint8_t> table;    //!< PC reuse counters (0..31)
+    std::uint64_t tick = 0;
+};
+
+/**
+ * PC-trained dead-block prediction (after Lai/Falsafi and the CRC2
+ * sampler predictors): blocks filled by a PC whose fills historically
+ * die unreferenced are marked dead on arrival and evicted first; the
+ * LRU stamp lane breaks ties.
+ */
+class DeadBlockPolicy final : public ReplacementPolicy
+{
+  public:
+    DeadBlockPolicy(std::uint64_t num_sets, std::uint32_t num_ways);
+
+    void onFill(std::uint64_t set, std::uint32_t way,
+                const ReplAccess &ctx) override;
+    void onHit(std::uint64_t set, std::uint32_t way,
+               const ReplAccess &ctx) override;
+    void onInvalidate(std::uint64_t set, std::uint32_t way) override;
+    std::uint32_t victim(std::uint64_t set, const VictimQuery &q) override;
+
+    /** Test hook: is the line currently predicted dead? */
+    bool deadFlag(std::uint64_t set, std::uint32_t way) const
+    {
+        return (lflags[set * ways + way] & kDead) != 0;
+    }
+
+    bool metadataSane(std::string *why = nullptr) const override;
+    bool corruptMetadata(std::uint64_t set, std::uint32_t way) override;
+
+    void save(Serializer &s) const override;
+    void restore(Deserializer &d) override;
+
+  private:
+    static constexpr std::uint32_t kTableSize = 4096;
+    static constexpr std::uint8_t kPredMax = 3;
+    static constexpr std::uint8_t kDeadThreshold = 2;
+    static constexpr std::uint8_t kValid = 1;
+    static constexpr std::uint8_t kReused = 2;
+    static constexpr std::uint8_t kDead = 4;
+
+    std::vector<std::uint64_t> stamp;
+    std::vector<std::uint32_t> sigs;
+    std::vector<std::uint8_t> lflags;
+    std::vector<std::uint8_t> pred;   //!< 2-bit deadness counters
+    std::uint64_t tick = 0;
+};
+
+/**
+ * Reuse-distance-aware insertion: per-set access clocks measure the
+ * observed hit reuse distance (EMA); while the average exceeds the
+ * associativity, new fills insert near-LRU so the thrashing working set
+ * cannot flush the fraction that does fit (cf. Duong et al., PDP).
+ */
+class RdAwarePolicy final : public ReplacementPolicy
+{
+  public:
+    RdAwarePolicy(std::uint64_t num_sets, std::uint32_t num_ways);
+
+    void onFill(std::uint64_t set, std::uint32_t way,
+                const ReplAccess &ctx) override;
+    void onHit(std::uint64_t set, std::uint32_t way,
+               const ReplAccess &ctx) override;
+    std::uint32_t victim(std::uint64_t set, const VictimQuery &q) override;
+
+    /** Test hook: current reuse-distance estimate (EMA). */
+    std::uint64_t avgReuseDistance() const { return avg16 / 16; }
+
+    bool metadataSane(std::string *why = nullptr) const override;
+    bool corruptMetadata(std::uint64_t set, std::uint32_t way) override;
+
+    void save(Serializer &s) const override;
+    void restore(Deserializer &d) override;
+
+  private:
+    std::vector<std::uint64_t> setTick; //!< per-set access clock
+    std::vector<std::uint64_t> touch;   //!< per-line last-touch clock
+    std::uint64_t avg16 = 0;            //!< 16x EMA of hit reuse distance
+};
+
+/**
+ * Static/dynamic insertion policies (Qureshi et al., ISCA 2007):
+ *
+ * - Mode::LIP  every fill inserts at LRU; hits promote to MRU.
+ * - Mode::BIP  LIP with a deterministic 1/32 of fills at MRU.
+ * - Mode::DIP  thread-aware set dueling between LRU and BIP.
+ */
+class InsertionPolicy final : public ReplacementPolicy
+{
+  public:
+    /** Insertion flavour. */
+    enum class Mode : std::uint8_t { LIP, BIP, DIP };
+
+    InsertionPolicy(std::uint64_t num_sets, std::uint32_t num_ways,
+                    Mode mode, std::uint32_t num_cores);
+
+    void onFill(std::uint64_t set, std::uint32_t way,
+                const ReplAccess &ctx) override;
+    void onHit(std::uint64_t set, std::uint32_t way,
+               const ReplAccess &ctx) override;
+    std::uint32_t victim(std::uint64_t set, const VictimQuery &q) override;
+
+    /** Test hook: the dueling monitor (DIP mode only). */
+    const SetDueling &dueling() const { return duel; }
+
+    bool metadataSane(std::string *why = nullptr) const override;
+    bool corruptMetadata(std::uint64_t set, std::uint32_t way) override;
+
+    void save(Serializer &s) const override;
+    void restore(Deserializer &d) override;
+
+  private:
+    static constexpr std::uint64_t kBipEpsilonInv = 32;
+
+    Mode mode;
+    std::vector<std::uint64_t> stamp;
+    std::uint64_t tick = 0;
+    std::uint64_t fills = 0; //!< BIP throttle counter
+    SetDueling duel;         //!< Mode::DIP only
+};
+
+/**
+ * Streaming-bypass baseline: a PC-indexed stride detector marks fills
+ * from confirmed streaming instructions dead on arrival — the closest
+ * legal approximation of bypass under an inclusive full-map directory,
+ * where the tag must be allocated for coherence.
+ */
+class StreamPolicy final : public ReplacementPolicy
+{
+  public:
+    StreamPolicy(std::uint64_t num_sets, std::uint32_t num_ways);
+
+    void onFill(std::uint64_t set, std::uint32_t way,
+                const ReplAccess &ctx) override;
+    void onHit(std::uint64_t set, std::uint32_t way,
+               const ReplAccess &ctx) override;
+    std::uint32_t victim(std::uint64_t set, const VictimQuery &q) override;
+
+    /** Test hook: is the line marked dead on arrival? */
+    bool deadFlag(std::uint64_t set, std::uint32_t way) const
+    {
+        return lflags[set * ways + way] != 0;
+    }
+
+    bool metadataSane(std::string *why = nullptr) const override;
+    bool corruptMetadata(std::uint64_t set, std::uint32_t way) override;
+
+    void save(Serializer &s) const override;
+    void restore(Deserializer &d) override;
+
+  private:
+    static constexpr std::uint32_t kTableSize = 1024;
+    static constexpr std::uint8_t kConfMax = 3;
+    static constexpr std::uint8_t kConfThreshold = 2;
+
+    std::vector<std::uint64_t> stamp;
+    std::vector<std::uint8_t> lflags;    //!< 1 = dead on arrival
+    std::vector<std::uint64_t> lastLine; //!< per-PC last line index
+    std::vector<std::int64_t> stride;    //!< per-PC last stride
+    std::vector<std::uint8_t> conf;      //!< per-PC stride confidence
+    std::uint64_t tick = 0;
+};
+
+/** Tree pseudo-LRU (the hardware-practical LRU approximation). */
+class PlruPolicy final : public ReplacementPolicy
+{
+  public:
+    PlruPolicy(std::uint64_t num_sets, std::uint32_t num_ways);
+
+    void onFill(std::uint64_t set, std::uint32_t way,
+                const ReplAccess &ctx) override;
+    void onHit(std::uint64_t set, std::uint32_t way,
+               const ReplAccess &ctx) override;
+    std::uint32_t victim(std::uint64_t set, const VictimQuery &q) override;
+
+    bool metadataSane(std::string *why = nullptr) const override;
+    bool corruptMetadata(std::uint64_t set, std::uint32_t way) override;
+
+    void save(Serializer &s) const override;
+    void restore(Deserializer &d) override;
+
+  private:
+    void touch(std::uint64_t set, std::uint32_t way, bool toward);
+
+    std::uint32_t leaves;            //!< ways rounded up to a power of 2
+    std::vector<std::uint8_t> bits;  //!< (leaves-1) tree bits per set
+};
+
+/**
+ * Evict-MRU (anti-thrash baseline, cf. Belady-adverse cyclic sweeps):
+ * keeps old residents by sacrificing the newest line, the optimal
+ * strategy for cyclic working sets just above the cache size.
+ */
+class MruPolicy final : public ReplacementPolicy
+{
+  public:
+    MruPolicy(std::uint64_t num_sets, std::uint32_t num_ways);
+
+    void onFill(std::uint64_t set, std::uint32_t way,
+                const ReplAccess &ctx) override;
+    void onHit(std::uint64_t set, std::uint32_t way,
+               const ReplAccess &ctx) override;
+    std::uint32_t victim(std::uint64_t set, const VictimQuery &q) override;
+
+    bool metadataSane(std::string *why = nullptr) const override;
+    bool corruptMetadata(std::uint64_t set, std::uint32_t way) override;
+
+    void save(Serializer &s) const override;
+    void restore(Deserializer &d) override;
+
+  private:
+    std::vector<std::uint64_t> stamp;
+    std::uint64_t tick = 0;
+};
+
+// ---------------------------------------------------------------------
+// Inline per-access methods (see the header comment in
+// cache/policies.hh: PolicyRef's sealed dispatch inlines these).
+// ---------------------------------------------------------------------
+
+inline std::uint32_t
+ShipPolicy::sigOf(const ReplAccess &ctx) const
+{
+    // SHiP-Mem signatures name 16 KiB regions; the PC modes name the
+    // filling instruction.
+    const Addr key = mode == Mode::Mem ? (ctx.lineAddr >> 14) : ctx.pc;
+    return arena::foldKey(key, kTableSize);
+}
+
+inline void
+ShipPolicy::onFill(std::uint64_t set, std::uint32_t way,
+                   const ReplAccess &ctx)
+{
+    const std::uint64_t idx = set * ways + way;
+    if (mode == Mode::Duel && ctx.isMiss)
+        duel.onMiss(set, ctx.core);
+    const std::uint32_t sig = sigOf(ctx);
+    sigs[idx] = sig;
+    lflags[idx] = kValid;
+    bool distant = shct[sig] == 0;
+    if (mode == Mode::Duel && !duel.chooseB(set, ctx.core))
+        distant = false; // policy A: plain SRRIP insertion
+    if (ctx.insertLru)
+        distant = true;  // prefetches keep the lowest priority
+    rrpvs[idx] = distant ? kMaxRrpv : kMaxRrpv - 1;
+}
+
+inline void
+ShipPolicy::onHit(std::uint64_t set, std::uint32_t way, const ReplAccess &ctx)
+{
+    (void)ctx;
+    const std::uint64_t idx = set * ways + way;
+    rrpvs[idx] = 0;
+    lflags[idx] |= kReused;
+    if (shct[sigs[idx]] < kCtrMax)
+        ++shct[sigs[idx]];
+}
+
+inline void
+ShipPolicy::onInvalidate(std::uint64_t set, std::uint32_t way)
+{
+    const std::uint64_t idx = set * ways + way;
+    // Eviction training: a generation that died unreferenced votes its
+    // signature towards dead-on-arrival.
+    if ((lflags[idx] & kValid) && !(lflags[idx] & kReused) &&
+        shct[sigs[idx]] > 0) {
+        --shct[sigs[idx]];
+    }
+    lflags[idx] = 0;
+    rrpvs[idx] = kMaxRrpv;
+}
+
+inline std::uint32_t
+ShipPolicy::victim(std::uint64_t set, const VictimQuery &q)
+{
+    (void)q;
+    const std::uint64_t base = set * ways;
+    for (;;) {
+        for (std::uint32_t w = 0; w < ways; ++w) {
+            if (rrpvs[base + w] >= kMaxRrpv)
+                return w;
+        }
+        for (std::uint32_t w = 0; w < ways; ++w)
+            ++rrpvs[base + w];
+    }
+}
+
+inline void
+RedrePolicy::onFill(std::uint64_t set, std::uint32_t way,
+                    const ReplAccess &ctx)
+{
+    const std::uint64_t idx = set * ways + way;
+    const std::uint32_t i = arena::foldKey(ctx.pc, kTableSize);
+    pcIdx[idx] = i;
+    lflags[idx] = kValid;
+    const std::uint8_t c = table[i];
+    prio[idx] = ctx.insertLru ? 0 : (c >= kHigh ? 2 : c >= kLow ? 1 : 0);
+    stamp[idx] = ++tick;
+}
+
+inline void
+RedrePolicy::onHit(std::uint64_t set, std::uint32_t way, const ReplAccess &ctx)
+{
+    (void)ctx;
+    const std::uint64_t idx = set * ways + way;
+    prio[idx] = 2;
+    stamp[idx] = ++tick;
+    if ((lflags[idx] & kValid) && !(lflags[idx] & kReused)) {
+        lflags[idx] |= kReused;
+        if (table[pcIdx[idx]] < kReuseMax)
+            ++table[pcIdx[idx]];
+    }
+}
+
+inline void
+RedrePolicy::onInvalidate(std::uint64_t set, std::uint32_t way)
+{
+    const std::uint64_t idx = set * ways + way;
+    if ((lflags[idx] & kValid) && !(lflags[idx] & kReused) &&
+        table[pcIdx[idx]] > 0) {
+        --table[pcIdx[idx]];
+    }
+    lflags[idx] = 0;
+    prio[idx] = 0;
+    stamp[idx] = 0;
+}
+
+inline std::uint32_t
+RedrePolicy::victim(std::uint64_t set, const VictimQuery &q)
+{
+    (void)q;
+    const std::uint64_t base = set * ways;
+    std::uint32_t best = 0;
+    for (std::uint32_t w = 1; w < ways; ++w) {
+        if (prio[base + w] < prio[base + best] ||
+            (prio[base + w] == prio[base + best] &&
+             stamp[base + w] < stamp[base + best])) {
+            best = w;
+        }
+    }
+    return best;
+}
+
+inline void
+DeadBlockPolicy::onFill(std::uint64_t set, std::uint32_t way,
+                        const ReplAccess &ctx)
+{
+    const std::uint64_t idx = set * ways + way;
+    const std::uint32_t sig = arena::foldKey(ctx.pc, kTableSize);
+    sigs[idx] = sig;
+    const bool dead = pred[sig] >= kDeadThreshold || ctx.insertLru;
+    lflags[idx] = static_cast<std::uint8_t>(kValid | (dead ? kDead : 0));
+    stamp[idx] = ++tick;
+}
+
+inline void
+DeadBlockPolicy::onHit(std::uint64_t set, std::uint32_t way,
+                       const ReplAccess &ctx)
+{
+    (void)ctx;
+    const std::uint64_t idx = set * ways + way;
+    stamp[idx] = ++tick;
+    if ((lflags[idx] & kValid) && !(lflags[idx] & kReused)) {
+        lflags[idx] |= kReused;
+        if (pred[sigs[idx]] > 0)
+            --pred[sigs[idx]]; // the signature's fills do get reused
+    }
+    lflags[idx] &= static_cast<std::uint8_t>(~kDead); // proven alive
+}
+
+inline void
+DeadBlockPolicy::onInvalidate(std::uint64_t set, std::uint32_t way)
+{
+    const std::uint64_t idx = set * ways + way;
+    if ((lflags[idx] & kValid) && !(lflags[idx] & kReused) &&
+        pred[sigs[idx]] < kPredMax) {
+        ++pred[sigs[idx]]; // died unreferenced: vote dead
+    }
+    lflags[idx] = 0;
+    stamp[idx] = 0;
+}
+
+inline std::uint32_t
+DeadBlockPolicy::victim(std::uint64_t set, const VictimQuery &q)
+{
+    (void)q;
+    const std::uint64_t base = set * ways;
+    std::int32_t dead_best = -1;
+    std::uint32_t lru_best = 0;
+    for (std::uint32_t w = 0; w < ways; ++w) {
+        if ((lflags[base + w] & kDead) &&
+            (dead_best < 0 ||
+             stamp[base + w] < stamp[base +
+                                     static_cast<std::uint32_t>(dead_best)]))
+            dead_best = static_cast<std::int32_t>(w);
+        if (stamp[base + w] < stamp[base + lru_best])
+            lru_best = w;
+    }
+    return dead_best >= 0 ? static_cast<std::uint32_t>(dead_best) : lru_best;
+}
+
+inline void
+RdAwarePolicy::onFill(std::uint64_t set, std::uint32_t way,
+                      const ReplAccess &ctx)
+{
+    const std::uint64_t idx = set * ways + way;
+    const std::uint64_t t = ++setTick[set];
+    // While the observed reuse distance exceeds the associativity, the
+    // set is thrashing: insert deep so part of the loop stays resident.
+    const bool deep = ctx.insertLru || avg16 / 16 > ways;
+    touch[idx] = deep ? (t > ways ? t - ways : 0) : t;
+}
+
+inline void
+RdAwarePolicy::onHit(std::uint64_t set, std::uint32_t way,
+                     const ReplAccess &ctx)
+{
+    (void)ctx;
+    const std::uint64_t idx = set * ways + way;
+    const std::uint64_t t = ++setTick[set];
+    const std::uint64_t rd = t - 1 - touch[idx];
+    avg16 += rd;
+    avg16 -= avg16 / 16;
+    touch[idx] = t;
+}
+
+inline std::uint32_t
+RdAwarePolicy::victim(std::uint64_t set, const VictimQuery &q)
+{
+    (void)q;
+    const std::uint64_t base = set * ways;
+    std::uint32_t best = 0;
+    for (std::uint32_t w = 1; w < ways; ++w) {
+        if (touch[base + w] < touch[base + best])
+            best = w;
+    }
+    return best;
+}
+
+inline void
+InsertionPolicy::onFill(std::uint64_t set, std::uint32_t way,
+                        const ReplAccess &ctx)
+{
+    const std::uint64_t idx = set * ways + way;
+    bool lru_insert;
+    switch (mode) {
+      case Mode::LIP:
+        lru_insert = true;
+        break;
+      case Mode::BIP:
+        lru_insert = fills++ % kBipEpsilonInv != 0;
+        break;
+      case Mode::DIP:
+      default:
+        if (ctx.isMiss)
+            duel.onMiss(set, ctx.core);
+        // Policy A = LRU (MRU insertion), policy B = BIP.
+        lru_insert = duel.chooseB(set, ctx.core) &&
+                     fills++ % kBipEpsilonInv != 0;
+        break;
+    }
+    if (ctx.insertLru)
+        lru_insert = true;
+    stamp[idx] = lru_insert ? 0 : ++tick;
+}
+
+inline void
+InsertionPolicy::onHit(std::uint64_t set, std::uint32_t way,
+                       const ReplAccess &ctx)
+{
+    (void)ctx;
+    stamp[set * ways + way] = ++tick;
+}
+
+inline std::uint32_t
+InsertionPolicy::victim(std::uint64_t set, const VictimQuery &q)
+{
+    (void)q;
+    const std::uint64_t base = set * ways;
+    std::uint32_t best = 0;
+    for (std::uint32_t w = 1; w < ways; ++w) {
+        if (stamp[base + w] < stamp[base + best])
+            best = w;
+    }
+    return best;
+}
+
+inline void
+StreamPolicy::onFill(std::uint64_t set, std::uint32_t way,
+                     const ReplAccess &ctx)
+{
+    const std::uint64_t idx = set * ways + way;
+    const std::uint32_t i = arena::foldKey(ctx.pc, kTableSize);
+    const std::uint64_t line = ctx.lineAddr >> lineShift;
+    const std::int64_t delta =
+        static_cast<std::int64_t>(line) -
+        static_cast<std::int64_t>(lastLine[i]);
+    if (delta == stride[i] && delta != 0) {
+        if (conf[i] < kConfMax)
+            ++conf[i];
+    } else {
+        stride[i] = delta;
+        conf[i] = 0;
+    }
+    lastLine[i] = line;
+    const bool dead = conf[i] >= kConfThreshold || ctx.insertLru;
+    lflags[idx] = dead ? 1 : 0;
+    stamp[idx] = ++tick;
+}
+
+inline void
+StreamPolicy::onHit(std::uint64_t set, std::uint32_t way,
+                    const ReplAccess &ctx)
+{
+    (void)ctx;
+    const std::uint64_t idx = set * ways + way;
+    lflags[idx] = 0; // it was reused after all
+    stamp[idx] = ++tick;
+}
+
+inline std::uint32_t
+StreamPolicy::victim(std::uint64_t set, const VictimQuery &q)
+{
+    (void)q;
+    const std::uint64_t base = set * ways;
+    std::int32_t dead_best = -1;
+    std::uint32_t lru_best = 0;
+    for (std::uint32_t w = 0; w < ways; ++w) {
+        if (lflags[base + w] &&
+            (dead_best < 0 ||
+             stamp[base + w] < stamp[base +
+                                     static_cast<std::uint32_t>(dead_best)]))
+            dead_best = static_cast<std::int32_t>(w);
+        if (stamp[base + w] < stamp[base + lru_best])
+            lru_best = w;
+    }
+    return dead_best >= 0 ? static_cast<std::uint32_t>(dead_best) : lru_best;
+}
+
+inline void
+PlruPolicy::touch(std::uint64_t set, std::uint32_t way, bool toward)
+{
+    // Heap-ordered tree: node 1 is the root; bit 1 sends the victim
+    // walk right.  Touching a way points every bit on its root path
+    // away from it (or towards it for LRU-position inserts).
+    std::uint8_t *tree = bits.data() + set * (leaves - 1);
+    std::uint32_t node = 1;
+    std::uint32_t lo = 0;
+    std::uint32_t span = leaves;
+    while (span > 1) {
+        const std::uint32_t half = span / 2;
+        const bool in_left = way < lo + half;
+        tree[node - 1] = (in_left != toward) ? 1 : 0;
+        if (in_left) {
+            node = 2 * node;
+        } else {
+            lo += half;
+            node = 2 * node + 1;
+        }
+        span = half;
+    }
+}
+
+inline void
+PlruPolicy::onFill(std::uint64_t set, std::uint32_t way,
+                   const ReplAccess &ctx)
+{
+    touch(set, way, ctx.insertLru);
+}
+
+inline void
+PlruPolicy::onHit(std::uint64_t set, std::uint32_t way, const ReplAccess &ctx)
+{
+    (void)ctx;
+    touch(set, way, false);
+}
+
+inline std::uint32_t
+PlruPolicy::victim(std::uint64_t set, const VictimQuery &q)
+{
+    (void)q;
+    const std::uint8_t *tree = bits.data() + set * (leaves - 1);
+    std::uint32_t node = 1;
+    std::uint32_t lo = 0;
+    std::uint32_t span = leaves;
+    while (span > 1) {
+        const std::uint32_t half = span / 2;
+        bool go_right = tree[node - 1] != 0;
+        // When the associativity is not a power of two the right
+        // subtree may hold no real ways; force left.
+        if (lo + half >= ways)
+            go_right = false;
+        if (go_right) {
+            lo += half;
+            node = 2 * node + 1;
+        } else {
+            node = 2 * node;
+        }
+        span = half;
+    }
+    return lo;
+}
+
+inline void
+MruPolicy::onFill(std::uint64_t set, std::uint32_t way, const ReplAccess &ctx)
+{
+    // Deep inserts (prefetches) are the next victim either way: MRU
+    // evicts the newest stamp first.
+    (void)ctx;
+    stamp[set * ways + way] = ++tick;
+}
+
+inline void
+MruPolicy::onHit(std::uint64_t set, std::uint32_t way, const ReplAccess &ctx)
+{
+    (void)ctx;
+    stamp[set * ways + way] = ++tick;
+}
+
+inline std::uint32_t
+MruPolicy::victim(std::uint64_t set, const VictimQuery &q)
+{
+    (void)q;
+    const std::uint64_t base = set * ways;
+    std::uint32_t best = 0;
+    for (std::uint32_t w = 1; w < ways; ++w) {
+        if (stamp[base + w] > stamp[base + best])
+            best = w;
+    }
+    return best;
+}
+
+} // namespace rc
+
+#endif // RC_ARENA_ARENA_POLICIES_HH

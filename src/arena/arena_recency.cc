@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Recency-order arena policies (tree PLRU, evict-MRU): construction,
+ * verify hooks, serialization.
+ */
+
+#include "arena/arena_policies.hh"
+
+#include <bit>
+
+#include "common/log.hh"
+#include "snapshot/serializer.hh"
+
+namespace rc
+{
+
+PlruPolicy::PlruPolicy(std::uint64_t num_sets, std::uint32_t num_ways)
+    : ReplacementPolicy(num_sets, num_ways),
+      leaves(std::bit_ceil(num_ways)),
+      bits(num_sets * (leaves - 1), 0)
+{
+    RC_ASSERT(num_ways >= 2, "PLRU needs at least two ways");
+}
+
+bool
+PlruPolicy::metadataSane(std::string *why) const
+{
+    for (std::uint64_t i = 0; i < bits.size(); ++i) {
+        if (bits[i] > 1) {
+            if (why)
+                *why = "PLRU tree bit " + std::to_string(i) + " = " +
+                       std::to_string(bits[i]) + " is not 0/1";
+            return false;
+        }
+    }
+    return true;
+}
+
+bool
+PlruPolicy::corruptMetadata(std::uint64_t set, std::uint32_t way)
+{
+    bits[set * (leaves - 1) + way % (leaves - 1)] = 0xff;
+    return true;
+}
+
+void
+PlruPolicy::save(Serializer &s) const
+{
+    saveVec(s, bits);
+}
+
+void
+PlruPolicy::restore(Deserializer &d)
+{
+    restoreVec(d, bits, "PLRU tree bits");
+}
+
+MruPolicy::MruPolicy(std::uint64_t num_sets, std::uint32_t num_ways)
+    : ReplacementPolicy(num_sets, num_ways),
+      stamp(num_sets * num_ways, 0)
+{
+}
+
+bool
+MruPolicy::metadataSane(std::string *why) const
+{
+    for (std::uint64_t i = 0; i < stamp.size(); ++i) {
+        if (stamp[i] > tick) {
+            if (why)
+                *why = "MRU stamp of (" + std::to_string(i / ways) + "," +
+                       std::to_string(i % ways) + ") is ahead of the tick";
+            return false;
+        }
+    }
+    return true;
+}
+
+bool
+MruPolicy::corruptMetadata(std::uint64_t set, std::uint32_t way)
+{
+    stamp[set * ways + way] = tick + 1'000'000;
+    return true;
+}
+
+void
+MruPolicy::save(Serializer &s) const
+{
+    s.putU64(tick);
+    saveVec(s, stamp);
+}
+
+void
+MruPolicy::restore(Deserializer &d)
+{
+    tick = d.getU64();
+    restoreVec(d, stamp, "MRU stamps");
+}
+
+} // namespace rc

@@ -1,0 +1,167 @@
+#include "arena/arena_registry.hh"
+
+#include <algorithm>
+#include <cctype>
+
+#include "common/log.hh"
+
+namespace rc::arena
+{
+
+namespace
+{
+
+/** Lower-case @p name with the -/_ separators removed. */
+std::string
+canonKey(std::string_view name)
+{
+    std::string key;
+    key.reserve(name.size());
+    for (char ch : name) {
+        if (ch == '-' || ch == '_')
+            continue;
+        key.push_back(static_cast<char>(
+            std::tolower(static_cast<unsigned char>(ch))));
+    }
+    return key;
+}
+
+/** Levenshtein distance (names are short, quadratic is fine). */
+std::size_t
+editDistance(const std::string &a, const std::string &b)
+{
+    std::vector<std::size_t> row(b.size() + 1);
+    for (std::size_t j = 0; j <= b.size(); ++j)
+        row[j] = j;
+    for (std::size_t i = 1; i <= a.size(); ++i) {
+        std::size_t diag = row[0];
+        row[0] = i;
+        for (std::size_t j = 1; j <= b.size(); ++j) {
+            const std::size_t up = row[j];
+            row[j] = std::min({row[j] + 1, row[j - 1] + 1,
+                               diag + (a[i - 1] == b[j - 1] ? 0 : 1)});
+            diag = up;
+        }
+    }
+    return row[b.size()];
+}
+
+} // namespace
+
+const std::vector<PolicyInfo> &
+policyRegistry()
+{
+    static const std::vector<PolicyInfo> registry = {
+        {"lru", ReplKind::LRU, "least recently used (paper baseline)",
+         true},
+        {"nru", ReplKind::NRU, "not recently used", true},
+        {"nrr", ReplKind::NRR, "not recently reused (reuse-cache tags)",
+         true},
+        {"random", ReplKind::Random, "uniform random victim", true},
+        {"clock", ReplKind::Clock, "CLOCK second-chance sweep", true},
+        {"srrip", ReplKind::SRRIP, "static RRIP", true},
+        {"brrip", ReplKind::BRRIP, "bimodal RRIP", true},
+        {"drrip", ReplKind::DRRIP, "thread-aware dynamic RRIP", true},
+        {"ship", ReplKind::Ship,
+         "SHiP: PC-signature outcome history over SRRIP", true},
+        {"ship-mem", ReplKind::ShipMem,
+         "SHiP-Mem: memory-region signatures", true},
+        {"redre", ReplKind::Redre,
+         "REDRE: PC reuse-table priority insertion", true},
+        {"deadblock", ReplKind::DeadBlock,
+         "PC-trained dead-block prediction", true},
+        {"rdaware", ReplKind::RdAware,
+         "reuse-distance-aware insertion depth", true},
+        {"lip", ReplKind::Lip, "LRU-insertion policy", true},
+        {"bip", ReplKind::Bip, "bimodal insertion (1/32 MRU)", true},
+        {"dip", ReplKind::Dip, "dynamic insertion: LRU vs BIP dueling",
+         true},
+        {"duel-ship", ReplKind::DuelShip,
+         "SRRIP vs SHiP insertion dueling", true},
+        {"stream", ReplKind::Stream,
+         "PC-stride streaming detector, dead-on-arrival fills", true},
+        {"plru", ReplKind::Plru, "tree pseudo-LRU", true},
+        {"mru", ReplKind::Mru, "evict-MRU anti-thrash baseline", true},
+    };
+    return registry;
+}
+
+const PolicyInfo *
+findPolicy(std::string_view name)
+{
+    const std::string key = canonKey(name);
+    if (key.empty())
+        return nullptr;
+    for (const PolicyInfo &info : policyRegistry()) {
+        if (canonKey(info.name) == key)
+            return &info;
+    }
+    return nullptr;
+}
+
+const PolicyInfo &
+policyInfo(ReplKind kind)
+{
+    for (const PolicyInfo &info : policyRegistry()) {
+        if (info.kind == kind)
+            return info;
+    }
+    panic("ReplKind %d is not registered", static_cast<int>(kind));
+}
+
+std::string
+policyNameList()
+{
+    std::string out;
+    for (const PolicyInfo &info : policyRegistry()) {
+        if (!out.empty())
+            out += ", ";
+        out += info.name;
+    }
+    return out;
+}
+
+std::vector<std::string>
+suggestPolicies(std::string_view name, std::size_t max)
+{
+    const std::string key = canonKey(name);
+    std::vector<std::pair<std::size_t, std::string>> scored;
+    for (const PolicyInfo &info : policyRegistry()) {
+        const std::string cand = canonKey(info.name);
+        const std::size_t dist = editDistance(key, cand);
+        // Plausible typo: within a third of the name (at least 2 edits),
+        // or a prefix of the candidate ("dead" -> "deadblock").
+        const std::size_t budget =
+            std::max<std::size_t>(2, std::max(key.size(), cand.size()) / 3);
+        const bool prefix = !key.empty() && cand.size() > key.size() &&
+                            cand.compare(0, key.size(), key) == 0;
+        if (dist <= budget || prefix)
+            scored.emplace_back(prefix ? 0 : dist, info.name);
+    }
+    std::sort(scored.begin(), scored.end());
+    std::vector<std::string> out;
+    for (const auto &[dist, cand] : scored) {
+        if (out.size() >= max)
+            break;
+        out.push_back(cand);
+    }
+    return out;
+}
+
+ReplKind
+parsePolicyName(const std::string &name)
+{
+    if (const PolicyInfo *info = findPolicy(name))
+        return info->kind;
+    std::string hint;
+    for (const std::string &cand : suggestPolicies(name)) {
+        hint += hint.empty() ? "did you mean " : " or ";
+        hint += "'" + cand + "'";
+    }
+    if (!hint.empty())
+        hint += "? ";
+    fatal("unknown policy '%s': %s(known: %s)", name.c_str(), hint.c_str(),
+          policyNameList().c_str());
+}
+
+} // namespace rc::arena

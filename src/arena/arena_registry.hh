@@ -1,0 +1,66 @@
+/**
+ * @file
+ * String-keyed replacement-policy registry.
+ *
+ * The arena's tournament — and every CLI that accepts --policy=NAME —
+ * needs a stable mapping from human-typed names to ReplKind.  The
+ * registry covers all twenty policies (the six paper built-ins, the
+ * RRIP variants, and the arena's CRC2-family ports), with forgiving
+ * lookup (case and -/_ separators ignored) and edit-distance
+ * suggestions for typos ("did you mean ...?").
+ */
+
+#ifndef RC_ARENA_ARENA_REGISTRY_HH
+#define RC_ARENA_ARENA_REGISTRY_HH
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "cache/replacement.hh"
+
+namespace rc::arena
+{
+
+/** One registered policy. */
+struct PolicyInfo
+{
+    const char *name;    //!< canonical CLI spelling, e.g. "ship-mem"
+    ReplKind kind;       //!< the factory selector
+    const char *summary; //!< one-line description for listings
+    bool inTournament;   //!< ranked by bench/arena_tournament by default
+};
+
+/** Every registered policy, in ReplKind order. */
+const std::vector<PolicyInfo> &policyRegistry();
+
+/**
+ * Look up a policy by name; case and the -/_ separators are ignored, so
+ * "SHiP-Mem", "ship_mem" and "shipmem" all match.
+ * @return the entry, or nullptr when nothing matches.
+ */
+const PolicyInfo *findPolicy(std::string_view name);
+
+/** The registry entry of @p kind (every ReplKind is registered). */
+const PolicyInfo &policyInfo(ReplKind kind);
+
+/** Canonical names, comma-joined, for usage strings. */
+std::string policyNameList();
+
+/**
+ * Closest canonical names to a misspelt @p name by edit distance —
+ * the "did you mean" list.  At most @p max entries, best first; empty
+ * when nothing is plausibly close.
+ */
+std::vector<std::string> suggestPolicies(std::string_view name,
+                                         std::size_t max = 3);
+
+/**
+ * findPolicy or die: unknown names fatal() with the did-you-mean list
+ * and the full spelling list.  The shared --policy=NAME parser.
+ */
+ReplKind parsePolicyName(const std::string &name);
+
+} // namespace rc::arena
+
+#endif // RC_ARENA_ARENA_REGISTRY_HH

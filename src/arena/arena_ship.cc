@@ -1,0 +1,75 @@
+/** @file SHiP family: construction, verify hooks, serialization. */
+
+#include "arena/arena_policies.hh"
+
+#include "common/log.hh"
+#include "snapshot/serializer.hh"
+
+namespace rc
+{
+
+ShipPolicy::ShipPolicy(std::uint64_t num_sets, std::uint32_t num_ways,
+                       Mode mode_, std::uint32_t num_cores)
+    : ReplacementPolicy(num_sets, num_ways),
+      mode(mode_),
+      rrpvs(num_sets * num_ways, kMaxRrpv),
+      sigs(num_sets * num_ways, 0),
+      lflags(num_sets * num_ways, 0),
+      shct(kTableSize, kCtrInit),
+      duel(num_sets, num_cores)
+{
+}
+
+bool
+ShipPolicy::metadataSane(std::string *why) const
+{
+    for (std::uint64_t i = 0; i < rrpvs.size(); ++i) {
+        if (rrpvs[i] > kMaxRrpv) {
+            if (why)
+                *why = "SHiP RRPV (" + std::to_string(i / ways) + "," +
+                       std::to_string(i % ways) + ") = " +
+                       std::to_string(rrpvs[i]) + " exceeds max " +
+                       std::to_string(kMaxRrpv);
+            return false;
+        }
+    }
+    for (std::uint32_t i = 0; i < kTableSize; ++i) {
+        if (shct[i] > kCtrMax) {
+            if (why)
+                *why = "SHiP counter " + std::to_string(i) + " = " +
+                       std::to_string(shct[i]) + " exceeds max " +
+                       std::to_string(kCtrMax);
+            return false;
+        }
+    }
+    return true;
+}
+
+bool
+ShipPolicy::corruptMetadata(std::uint64_t set, std::uint32_t way)
+{
+    rrpvs[set * ways + way] = 0xff;
+    return true;
+}
+
+void
+ShipPolicy::save(Serializer &s) const
+{
+    saveVec(s, rrpvs);
+    saveVec(s, sigs);
+    saveVec(s, lflags);
+    saveVec(s, shct);
+    duel.save(s);
+}
+
+void
+ShipPolicy::restore(Deserializer &d)
+{
+    restoreVec(d, rrpvs, "SHiP RRPVs");
+    restoreVec(d, sigs, "SHiP line signatures");
+    restoreVec(d, lflags, "SHiP line flags");
+    restoreVec(d, shct, "SHiP counter table");
+    duel.restore(d);
+}
+
+} // namespace rc

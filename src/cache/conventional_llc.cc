@@ -126,6 +126,8 @@ ConventionalLlc::allocateWay(Addr line_addr, const LlcRequest &req)
 
     VictimQuery q;
     q.core = req.core;
+    q.pc = req.pc;
+    q.lineAddr = line_addr;
     for (std::uint32_t w = 0; w < geom.numWays() && w < 64; ++w) {
         if (!entries[base + w].dir.empty())
             q.avoidMask |= std::uint64_t{1} << w;
@@ -226,7 +228,8 @@ ConventionalLlc::request(const LlcRequest &req)
         if (res.actions & ActSetOwner)
             entry->dir.setOwner(req.core);
         if (!req.prefetch)
-            fast.onHit(set, hitWay, ReplAccess{req.core, false, false});
+            fast.onHit(set, hitWay,
+                       ReplAccess{req.core, false, false, req.pc, line});
     } else {
         RC_CHECK(res.actions & ActAllocTag, SimError::Kind::Protocol,
                  "miss without tag allocation");
@@ -241,7 +244,8 @@ ConventionalLlc::request(const LlcRequest &req)
             e.dir.setOwner(req.core);
         // Prefetched fills enter at the lowest priority [Srinath+07,
         // Wu+11]; with LRU that is the LRU position.
-        fast.onFill(set, way, ReplAccess{req.core, true, req.prefetch});
+        fast.onFill(set, way,
+                    ReplAccess{req.core, true, req.prefetch, req.pc, line});
         if ((res.actions & ActAllocData) && watcher)
             watcher->onDataFill(line, req.now);
     }

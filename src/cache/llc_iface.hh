@@ -35,6 +35,8 @@ struct LlcRequest
     bool prefetch = false; //!< speculative (prefetcher-issued) GETS:
                            //!< treated as low priority by the SLLC
                            //!< policies (paper Section 6)
+    Addr pc = 0;           //!< requesting instruction (PC-indexed arena
+                           //!< policies; 0 for prefetches / v1 traces)
 };
 
 /** Completion information for a demand request. */

@@ -2,8 +2,10 @@
  * @file
  * Devirtualized replacement-policy dispatch for the per-access hot path.
  *
- * The policy set is sealed: every ReplKind maps onto one of six concrete
- * `final` classes (SRRIP/BRRIP/DRRIP share RripPolicy).  PolicyRef pairs
+ * The policy set is sealed: every ReplKind maps onto one of fourteen
+ * concrete `final` classes (SRRIP/BRRIP/DRRIP share RripPolicy, the
+ * SHiP and LIP/BIP/DIP families likewise share one class each — see
+ * arena/arena_policies.hh for the arena's eight).  PolicyRef pairs
  * the base pointer with an enum tag resolved at construction, so the
  * per-access notifications (onFill / onHit / onInvalidate / victim)
  * compile to a predictable switch over sealed types whose bodies
@@ -24,6 +26,7 @@
 #ifndef RC_CACHE_POLICY_DISPATCH_HH
 #define RC_CACHE_POLICY_DISPATCH_HH
 
+#include "arena/arena_policies.hh"
 #include "cache/policies.hh"
 
 namespace rc
@@ -65,6 +68,18 @@ class PolicyRef
           case ReplKind::SRRIP:
           case ReplKind::BRRIP:
           case ReplKind::DRRIP: tag = Tag::Rrip; break;
+          case ReplKind::Ship:
+          case ReplKind::ShipMem:
+          case ReplKind::DuelShip: tag = Tag::Ship; break;
+          case ReplKind::Redre: tag = Tag::Redre; break;
+          case ReplKind::DeadBlock: tag = Tag::DeadBlock; break;
+          case ReplKind::RdAware: tag = Tag::RdAware; break;
+          case ReplKind::Lip:
+          case ReplKind::Bip:
+          case ReplKind::Dip: tag = Tag::Insertion; break;
+          case ReplKind::Stream: tag = Tag::Stream; break;
+          case ReplKind::Plru: tag = Tag::Plru; break;
+          case ReplKind::Mru: tag = Tag::Mru; break;
         }
     }
 
@@ -95,6 +110,30 @@ class PolicyRef
           case Tag::Rrip:
             static_cast<RripPolicy *>(base)->onFill(set, way, ctx);
             break;
+          case Tag::Ship:
+            static_cast<ShipPolicy *>(base)->onFill(set, way, ctx);
+            break;
+          case Tag::Redre:
+            static_cast<RedrePolicy *>(base)->onFill(set, way, ctx);
+            break;
+          case Tag::DeadBlock:
+            static_cast<DeadBlockPolicy *>(base)->onFill(set, way, ctx);
+            break;
+          case Tag::RdAware:
+            static_cast<RdAwarePolicy *>(base)->onFill(set, way, ctx);
+            break;
+          case Tag::Insertion:
+            static_cast<InsertionPolicy *>(base)->onFill(set, way, ctx);
+            break;
+          case Tag::Stream:
+            static_cast<StreamPolicy *>(base)->onFill(set, way, ctx);
+            break;
+          case Tag::Plru:
+            static_cast<PlruPolicy *>(base)->onFill(set, way, ctx);
+            break;
+          case Tag::Mru:
+            static_cast<MruPolicy *>(base)->onFill(set, way, ctx);
+            break;
         }
     }
 
@@ -124,6 +163,30 @@ class PolicyRef
           case Tag::Rrip:
             static_cast<RripPolicy *>(base)->onHit(set, way, ctx);
             break;
+          case Tag::Ship:
+            static_cast<ShipPolicy *>(base)->onHit(set, way, ctx);
+            break;
+          case Tag::Redre:
+            static_cast<RedrePolicy *>(base)->onHit(set, way, ctx);
+            break;
+          case Tag::DeadBlock:
+            static_cast<DeadBlockPolicy *>(base)->onHit(set, way, ctx);
+            break;
+          case Tag::RdAware:
+            static_cast<RdAwarePolicy *>(base)->onHit(set, way, ctx);
+            break;
+          case Tag::Insertion:
+            static_cast<InsertionPolicy *>(base)->onHit(set, way, ctx);
+            break;
+          case Tag::Stream:
+            static_cast<StreamPolicy *>(base)->onHit(set, way, ctx);
+            break;
+          case Tag::Plru:
+            static_cast<PlruPolicy *>(base)->onHit(set, way, ctx);
+            break;
+          case Tag::Mru:
+            static_cast<MruPolicy *>(base)->onHit(set, way, ctx);
+            break;
         }
     }
 
@@ -135,17 +198,32 @@ class PolicyRef
             return;
         }
         switch (tag) {
-          // Only RRIP overrides onInvalidate; the base no-op covers the
-          // rest (sealed set, so this is by inspection, and the identity
-          // suite would catch a policy growing an override).
+          // Only RRIP and the eviction-trained arena predictors override
+          // onInvalidate; the base no-op covers the rest (sealed set, so
+          // this is by inspection, and the identity suite would catch a
+          // policy growing an override).
           case Tag::Rrip:
             static_cast<RripPolicy *>(base)->onInvalidate(set, way);
+            break;
+          case Tag::Ship:
+            static_cast<ShipPolicy *>(base)->onInvalidate(set, way);
+            break;
+          case Tag::Redre:
+            static_cast<RedrePolicy *>(base)->onInvalidate(set, way);
+            break;
+          case Tag::DeadBlock:
+            static_cast<DeadBlockPolicy *>(base)->onInvalidate(set, way);
             break;
           case Tag::Lru:
           case Tag::Nru:
           case Tag::Nrr:
           case Tag::Random:
           case Tag::Clock:
+          case Tag::RdAware:
+          case Tag::Insertion:
+          case Tag::Stream:
+          case Tag::Plru:
+          case Tag::Mru:
             break;
         }
     }
@@ -168,13 +246,32 @@ class PolicyRef
             return static_cast<ClockPolicy *>(base)->victim(set, q);
           case Tag::Rrip:
             return static_cast<RripPolicy *>(base)->victim(set, q);
+          case Tag::Ship:
+            return static_cast<ShipPolicy *>(base)->victim(set, q);
+          case Tag::Redre:
+            return static_cast<RedrePolicy *>(base)->victim(set, q);
+          case Tag::DeadBlock:
+            return static_cast<DeadBlockPolicy *>(base)->victim(set, q);
+          case Tag::RdAware:
+            return static_cast<RdAwarePolicy *>(base)->victim(set, q);
+          case Tag::Insertion:
+            return static_cast<InsertionPolicy *>(base)->victim(set, q);
+          case Tag::Stream:
+            return static_cast<StreamPolicy *>(base)->victim(set, q);
+          case Tag::Plru:
+            return static_cast<PlruPolicy *>(base)->victim(set, q);
+          case Tag::Mru:
+            return static_cast<MruPolicy *>(base)->victim(set, q);
         }
         return base->victim(set, q);
     }
 
   private:
-    /** Sealed concrete types (three RRIP kinds share one class). */
-    enum class Tag : std::uint8_t { Lru, Nru, Nrr, Random, Clock, Rrip };
+    /** Sealed concrete types (mode families share one class each). */
+    enum class Tag : std::uint8_t {
+        Lru, Nru, Nrr, Random, Clock, Rrip,
+        Ship, Redre, DeadBlock, RdAware, Insertion, Stream, Plru, Mru,
+    };
 
     ReplacementPolicy *base = nullptr;
     Tag tag = Tag::Lru;

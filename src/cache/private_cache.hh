@@ -199,6 +199,7 @@ struct StepRecord
 
     Addr line = 0;          //!< line-aligned reference address
     Addr victimLine = 0;    //!< L2 victim displaced by the fill, if any
+    Addr pc = 0;            //!< issuing instruction carried from the MemRef
     std::uint32_t think = 0; //!< think time carried from the MemRef
     StepKind kind = StepKind::L1IHit;
     std::uint8_t flags = 0;

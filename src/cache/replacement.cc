@@ -1,5 +1,6 @@
 #include "cache/replacement.hh"
 
+#include "arena/arena_policies.hh"
 #include "cache/policies.hh"
 #include "cache/policy_dispatch.hh"
 #include "common/log.hh"
@@ -43,6 +44,18 @@ toString(ReplKind kind)
       case ReplKind::SRRIP: return "SRRIP";
       case ReplKind::BRRIP: return "BRRIP";
       case ReplKind::DRRIP: return "DRRIP";
+      case ReplKind::Ship: return "SHiP";
+      case ReplKind::ShipMem: return "SHiP-Mem";
+      case ReplKind::Redre: return "REDRE";
+      case ReplKind::DeadBlock: return "DeadBlock";
+      case ReplKind::RdAware: return "RDAware";
+      case ReplKind::Lip: return "LIP";
+      case ReplKind::Bip: return "BIP";
+      case ReplKind::Dip: return "DIP";
+      case ReplKind::DuelShip: return "DuelSHiP";
+      case ReplKind::Stream: return "Stream";
+      case ReplKind::Plru: return "PLRU";
+      case ReplKind::Mru: return "MRU";
     }
     return "?";
 }
@@ -83,6 +96,40 @@ makeReplacement(ReplKind kind, std::uint64_t num_sets, std::uint32_t num_ways,
         return std::make_unique<RripPolicy>(num_sets, num_ways,
                                             RripPolicy::Mode::DRRIP,
                                             num_cores, seed);
+      case ReplKind::Ship:
+        return std::make_unique<ShipPolicy>(num_sets, num_ways,
+                                            ShipPolicy::Mode::PC, num_cores);
+      case ReplKind::ShipMem:
+        return std::make_unique<ShipPolicy>(num_sets, num_ways,
+                                            ShipPolicy::Mode::Mem, num_cores);
+      case ReplKind::DuelShip:
+        return std::make_unique<ShipPolicy>(num_sets, num_ways,
+                                            ShipPolicy::Mode::Duel,
+                                            num_cores);
+      case ReplKind::Redre:
+        return std::make_unique<RedrePolicy>(num_sets, num_ways);
+      case ReplKind::DeadBlock:
+        return std::make_unique<DeadBlockPolicy>(num_sets, num_ways);
+      case ReplKind::RdAware:
+        return std::make_unique<RdAwarePolicy>(num_sets, num_ways);
+      case ReplKind::Lip:
+        return std::make_unique<InsertionPolicy>(num_sets, num_ways,
+                                                 InsertionPolicy::Mode::LIP,
+                                                 num_cores);
+      case ReplKind::Bip:
+        return std::make_unique<InsertionPolicy>(num_sets, num_ways,
+                                                 InsertionPolicy::Mode::BIP,
+                                                 num_cores);
+      case ReplKind::Dip:
+        return std::make_unique<InsertionPolicy>(num_sets, num_ways,
+                                                 InsertionPolicy::Mode::DIP,
+                                                 num_cores);
+      case ReplKind::Stream:
+        return std::make_unique<StreamPolicy>(num_sets, num_ways);
+      case ReplKind::Plru:
+        return std::make_unique<PlruPolicy>(num_sets, num_ways);
+      case ReplKind::Mru:
+        return std::make_unique<MruPolicy>(num_sets, num_ways);
     }
     panic("unknown replacement kind %d", static_cast<int>(kind));
 }

@@ -32,6 +32,10 @@ struct ReplAccess
     bool isMiss = false; //!< the access that caused this fill was a miss
     bool insertLru = false; //!< demote the fill to the LRU position
                             //!< (honoured by LRU; NCID selective mode)
+    Addr pc = 0;         //!< requesting instruction (PC-indexed arena
+                         //!< policies; 0 = unknown, e.g. prefetches)
+    Addr lineAddr = 0;   //!< the accessed line (signature hashing; 0 =
+                         //!< unknown, e.g. the reuse data array)
 };
 
 /** Context for victim selection. */
@@ -41,6 +45,8 @@ struct VictimQuery
     std::uint64_t avoidMask = 0; //!< ways the policy should prefer NOT to
                                  //!< evict (e.g. present in private caches;
                                  //!< honoured by NRR, ignored by others)
+    Addr pc = 0;              //!< instruction causing the fill (0 = unknown)
+    Addr lineAddr = 0;        //!< incoming line (0 = unknown)
 };
 
 /** Identifiers for every implemented policy. */
@@ -53,6 +59,21 @@ enum class ReplKind : std::uint8_t {
     SRRIP,
     BRRIP,
     DRRIP,   //!< thread-aware DRRIP (set dueling per core)
+    // ChampSim CRC2-family ports (src/arena/).  Appended so the values
+    // of the six built-ins above stay stable in snapshots and in the
+    // service layer's canonical request encoding.
+    Ship,     //!< SHiP: PC-signature outcome history, SRRIP backbone
+    ShipMem,  //!< SHiP-Mem: memory-region signatures instead of PCs
+    Redre,    //!< REDRE: PC reuse-table priority insertion (Snippet 1)
+    DeadBlock, //!< PC-trained dead-block prediction over LRU
+    RdAware,  //!< reuse-distance-aware insertion depth over LRU
+    Lip,      //!< LRU insertion policy (insert at LRU, promote on hit)
+    Bip,      //!< bimodal insertion (LIP with 1/32 MRU fills)
+    Dip,      //!< dynamic insertion: LRU vs BIP set dueling
+    DuelShip, //!< SRRIP vs SHiP insertion set dueling
+    Stream,   //!< PC-stride streaming detector, dead-on-arrival fills
+    Plru,     //!< tree pseudo-LRU
+    Mru,      //!< evict-MRU (anti-thrash baseline)
 };
 
 /** @return short name, e.g. "DRRIP". */

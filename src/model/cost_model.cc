@@ -25,6 +25,27 @@ replacementBitsPerLine(ReplKind kind)
       case ReplKind::BRRIP:
       case ReplKind::DRRIP:
         return 2;
+      // Arena ports (src/arena/): per-line state only — the shared
+      // predictor tables amortize to well under a bit per line at SLLC
+      // sizes, matching how CRC2 entries budget their hardware.
+      case ReplKind::Ship:
+      case ReplKind::ShipMem:
+      case ReplKind::DuelShip:
+        return 2 + 14 + 1; // RRPV + signature + outcome bit
+      case ReplKind::Redre:
+        return 2 + 12 + 1; // priority + PC index + reuse bit
+      case ReplKind::DeadBlock:
+        return 12 + 2;     // signature + dead/reused bits
+      case ReplKind::RdAware:
+      case ReplKind::Lip:
+      case ReplKind::Bip:
+      case ReplKind::Dip:
+      case ReplKind::Mru:
+        return 4;          // recency stamp (hardware uses a few bits)
+      case ReplKind::Stream:
+        return 4 + 1;      // recency stamp + dead-on-arrival bit
+      case ReplKind::Plru:
+        return 1;          // one tree bit per line (ways-1 per set)
     }
     return 1;
 }

@@ -205,7 +205,7 @@ NcidCache::request(const LlcRequest &req)
             entry->dir.addSharer(req.core);
         if (res.actions & ActSetOwner)
             entry->dir.setOwner(req.core);
-        tags.touchHit(set, way, req.core);
+        tags.touchHit(set, way, req.core, req.pc, line);
         resp.doneAt = done;
 #if RC_TRACE_ENABLED
         if (EventTracer *tr = EventTracer::current(); tr && tr->enabled()) {
@@ -237,7 +237,7 @@ NcidCache::request(const LlcRequest &req)
     RC_ASSERT(res.legal, "%s illegal in state I", toString(req.event));
 
     bool needs_eviction = false;
-    way = tags.allocateWay(set, req.core, needs_eviction);
+    way = tags.allocateWay(set, req.core, needs_eviction, req.pc, line);
     if (needs_eviction)
         evictTag(set, way, req.now);
 
@@ -251,7 +251,8 @@ NcidCache::request(const LlcRequest &req)
     if (res.actions & ActSetOwner)
         e.dir.setOwner(req.core);
     // Selective-mode tag-only fills go to the LRU position.
-    tags.touchFill(set, way, req.core, selective && !with_data);
+    tags.touchFill(set, way, req.core, selective && !with_data, req.pc,
+                   line);
 
     if (res.actions & ActAllocData)
         allocData(set, way, req.now);

@@ -285,13 +285,13 @@ ReuseCache::request(const LlcRequest &req)
             // Prefetch hits are not reuses and earn no promotion
             // (Section 6: prefetched lines keep the lowest priority).
             entry->reused = true;
-            tags.touchHit(set, way, req.core);
+            tags.touchHit(set, way, req.core, req.pc, line);
         }
     } else {
         RC_CHECK(res.actions & ActAllocTag, SimError::Kind::Protocol,
                  "miss without tag allocation");
         bool needs_eviction = false;
-        way = tags.allocateWay(set, req.core, needs_eviction);
+        way = tags.allocateWay(set, req.core, needs_eviction, req.pc, line);
         if (needs_eviction)
             evictTag(set, way, req.now);
 
@@ -306,7 +306,8 @@ ReuseCache::request(const LlcRequest &req)
             e.dir.addSharer(req.core);
         if (res.actions & ActSetOwner)
             e.dir.setOwner(req.core);
-        tags.touchFill(set, way, req.core); // NRR bit set: not reused yet
+        // NRR bit set: not reused yet.
+        tags.touchFill(set, way, req.core, false, req.pc, line);
         ++tagAllocs;
 
         if (res.actions & ActAllocData) {

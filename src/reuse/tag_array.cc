@@ -59,16 +59,17 @@ ReuseTagArray::at(std::uint64_t set, std::uint32_t way) const
 }
 
 void
-ReuseTagArray::touchHit(std::uint64_t set, std::uint32_t way, CoreId core)
+ReuseTagArray::touchHit(std::uint64_t set, std::uint32_t way, CoreId core,
+                        Addr pc, Addr line_addr)
 {
-    fast.onHit(set, way, ReplAccess{core, false});
+    fast.onHit(set, way, ReplAccess{core, false, false, pc, line_addr});
 }
 
 void
 ReuseTagArray::touchFill(std::uint64_t set, std::uint32_t way, CoreId core,
-                         bool insert_lru)
+                         bool insert_lru, Addr pc, Addr line_addr)
 {
-    fast.onFill(set, way, ReplAccess{core, true, insert_lru});
+    fast.onFill(set, way, ReplAccess{core, true, insert_lru, pc, line_addr});
 }
 
 void
@@ -86,7 +87,7 @@ ReuseTagArray::invalidate(std::uint64_t set, std::uint32_t way)
 
 std::uint32_t
 ReuseTagArray::allocateWay(std::uint64_t set, CoreId core,
-                           bool &needs_eviction)
+                           bool &needs_eviction, Addr pc, Addr line_addr)
 {
     const std::uint64_t base = set * geom.numWays();
     for (std::uint32_t w = 0; w < geom.numWays(); ++w) {
@@ -97,6 +98,8 @@ ReuseTagArray::allocateWay(std::uint64_t set, CoreId core,
     }
     VictimQuery q;
     q.core = core;
+    q.pc = pc;
+    q.lineAddr = line_addr;
     for (std::uint32_t w = 0; w < geom.numWays() && w < 64; ++w) {
         if (!entries[base + w].dir.empty())
             q.avoidMask |= std::uint64_t{1} << w;

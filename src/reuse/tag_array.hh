@@ -72,16 +72,24 @@ class ReuseTagArray
     /** Stamp (set, way)'s tag from @p line_addr (fill path). */
     void setTag(std::uint64_t set, std::uint32_t way, Addr line_addr);
 
-    /** Record a reuse (tag hit) for replacement purposes. */
-    void touchHit(std::uint64_t set, std::uint32_t way, CoreId core);
+    /**
+     * Record a reuse (tag hit) for replacement purposes.
+     * @param pc requesting instruction (PC-indexed arena policies).
+     * @param line_addr the hit line (signature hashing).
+     */
+    void touchHit(std::uint64_t set, std::uint32_t way, CoreId core,
+                  Addr pc = 0, Addr line_addr = 0);
 
     /**
      * Record a fill (new generation) for replacement purposes.
      * @param insert_lru demote the fill to the LRU position (NCID
      *        selective mode; only meaningful with an LRU policy).
+     * @param pc requesting instruction (PC-indexed arena policies).
+     * @param line_addr the filled line (signature hashing).
      */
     void touchFill(std::uint64_t set, std::uint32_t way, CoreId core,
-                   bool insert_lru = false);
+                   bool insert_lru = false, Addr pc = 0,
+                   Addr line_addr = 0);
 
     /** Invalidate (set, way) after a TagRepl. */
     void invalidate(std::uint64_t set, std::uint32_t way);
@@ -91,9 +99,12 @@ class ReuseTagArray
      * otherwise the policy victim (NRR avoids ways whose directory shows
      * private-cache presence).
      * @param needs_eviction out: true when the returned way is occupied.
+     * @param pc instruction causing the fill.
+     * @param line_addr the incoming line.
      */
     std::uint32_t allocateWay(std::uint64_t set, CoreId core,
-                              bool &needs_eviction);
+                              bool &needs_eviction, Addr pc = 0,
+                              Addr line_addr = 0);
 
     /** Reconstruct the line address stored at (set, way). */
     Addr lineAddrOf(std::uint64_t set, std::uint32_t way) const;

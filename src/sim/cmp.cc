@@ -233,8 +233,9 @@ Cmp::stepCoreFanout(Core &core)
         curKeyValid = true;
         const Cycle llc_issue = issue + act.latency;
         const Cycle bank_start = xbar.requestSlot(line, llc_issue);
-        const LlcResponse resp = llcPtr->request(
-            LlcRequest{line, cid, act.event, bank_start});
+        LlcRequest lreq{line, cid, act.event, bank_start};
+        lreq.pc = rec.pc;
+        const LlcResponse resp = llcPtr->request(lreq);
         if (resp.memFetched)
             xbar.noteMiss(line, bank_start, resp.doneAt);
         const Cycle returned = resp.doneAt + xbar.responseLatency();
@@ -286,8 +287,9 @@ Cmp::expressEvent(std::uint32_t c, Cycle end)
     curKeyValid = true;
     const Cycle llc_issue = ex.eventPreReady + rec.think + act.latency;
     const Cycle bank_start = xbar.requestSlot(rec.line, llc_issue);
-    const LlcResponse resp = llcPtr->request(
-        LlcRequest{rec.line, c, act.event, bank_start});
+    LlcRequest lreq{rec.line, c, act.event, bank_start};
+    lreq.pc = rec.pc;
+    const LlcResponse resp = llcPtr->request(lreq);
     if (resp.memFetched)
         xbar.noteMiss(rec.line, bank_start, resp.doneAt);
     const Cycle returned = resp.doneAt + xbar.responseLatency();
@@ -417,8 +419,9 @@ Cmp::stepCore(Core &core)
     } else {
         const Cycle llc_issue = issue + act.latency;
         const Cycle bank_start = xbar.requestSlot(line, llc_issue);
-        const LlcResponse resp = llcPtr->request(
-            LlcRequest{line, core.id(), act.event, bank_start});
+        LlcRequest lreq{line, core.id(), act.event, bank_start};
+        lreq.pc = ref.pc;
+        const LlcResponse resp = llcPtr->request(lreq);
         if (resp.memFetched)
             xbar.noteMiss(line, bank_start, resp.doneAt);
         const Cycle returned = resp.doneAt + xbar.responseLatency();

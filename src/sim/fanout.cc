@@ -82,6 +82,7 @@ FanoutFeed::extend(CoreId core, std::uint64_t idx)
             const MemRef r = stream.next();
             rec = StepRecord{};
             rec.line = lineAlign(r.addr);
+            rec.pc = r.pc;
             rec.think = r.think;
             if (r.isInstr)
                 rec.flags |= StepRecord::kInstr;

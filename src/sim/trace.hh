@@ -22,6 +22,9 @@ struct MemRef
     std::uint32_t think = 0; //!< non-memory instructions executed before
                              //!< this reference (1 cycle each)
     bool isInstr = false;    //!< instruction fetch (L1I path, always read)
+    Addr pc = 0;             //!< address of the issuing instruction
+                             //!< (PC-indexed arena policies; 0 = unknown,
+                             //!< e.g. a v1 trace replay)
 };
 
 /**

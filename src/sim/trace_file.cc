@@ -11,36 +11,51 @@ namespace rc
 namespace
 {
 
-constexpr char traceMagic[8] = {'R', 'C', 'T', 'R', 'A', 'C', 'E', '1'};
-constexpr std::size_t recordBytes = 12;
+constexpr char traceMagicPrefix[7] = {'R', 'C', 'T', 'R', 'A', 'C', 'E'};
+constexpr std::size_t recordBytesV1 = 12;
+constexpr std::size_t recordBytesV2 = 20;
 
 /** Block-buffer capacity: the largest whole-record count under 64 KiB. */
-constexpr std::size_t bufferBytes = (64 * 1024 / recordBytes) * recordBytes;
+constexpr std::size_t
+bufferBytesFor(std::size_t record_bytes)
+{
+    return (64 * 1024 / record_bytes) * record_bytes;
+}
 
 void
-encode(const MemRef &ref, unsigned char out[recordBytes])
+encodeV2(const MemRef &ref, unsigned char out[recordBytesV2])
 {
     for (int i = 0; i < 8; ++i)
         out[i] = static_cast<unsigned char>(ref.addr >> (8 * i));
+    for (int i = 0; i < 8; ++i)
+        out[8 + i] = static_cast<unsigned char>(ref.pc >> (8 * i));
     RC_ASSERT(ref.think < (1u << 24), "think count exceeds 24 bits");
-    out[8] = static_cast<unsigned char>(ref.think);
-    out[9] = static_cast<unsigned char>(ref.think >> 8);
-    out[10] = static_cast<unsigned char>(ref.think >> 16);
-    out[11] = static_cast<unsigned char>(
+    out[16] = static_cast<unsigned char>(ref.think);
+    out[17] = static_cast<unsigned char>(ref.think >> 8);
+    out[18] = static_cast<unsigned char>(ref.think >> 16);
+    out[19] = static_cast<unsigned char>(
         (ref.op == MemOp::Write ? 1 : 0) | (ref.isInstr ? 2 : 0));
 }
 
+/** Decode one record; @p think_off is 16 for v2 (a PC sits at [8..15])
+ *  and 8 for v1 (no PC field, pc = 0). */
 MemRef
-decode(const unsigned char in[recordBytes])
+decode(const unsigned char *in, int think_off)
 {
     MemRef ref;
     ref.addr = 0;
     for (int i = 0; i < 8; ++i)
         ref.addr |= static_cast<Addr>(in[i]) << (8 * i);
-    ref.think = in[8] | (std::uint32_t{in[9]} << 8) |
-                (std::uint32_t{in[10]} << 16);
-    ref.op = (in[11] & 1) ? MemOp::Write : MemOp::Read;
-    ref.isInstr = (in[11] & 2) != 0;
+    if (think_off > 8) { // room for a PC between address and think
+        ref.pc = 0;
+        for (int i = 0; i < 8; ++i)
+            ref.pc |= static_cast<Addr>(in[8 + i]) << (8 * i);
+    }
+    const unsigned char *t = in + think_off;
+    ref.think = t[0] | (std::uint32_t{t[1]} << 8) |
+                (std::uint32_t{t[2]} << 16);
+    ref.op = (t[3] & 1) ? MemOp::Write : MemOp::Read;
+    ref.isInstr = (t[3] & 2) != 0;
     return ref;
 }
 
@@ -52,10 +67,11 @@ TraceWriter::TraceWriter(const std::string &path)
     if (!file)
         fatal("cannot open trace file '%s' for writing", path.c_str());
     unsigned char header[16] = {};
-    std::memcpy(header, traceMagic, sizeof(traceMagic));
+    std::memcpy(header, traceMagicPrefix, sizeof(traceMagicPrefix));
+    header[7] = '2';
     if (std::fwrite(header, 1, sizeof(header), file) != sizeof(header))
         fatal("cannot write trace header to '%s'", path.c_str());
-    buf.reserve(bufferBytes);
+    buf.reserve(bufferBytesFor(recordBytesV2));
 }
 
 TraceWriter::~TraceWriter()
@@ -67,10 +83,10 @@ void
 TraceWriter::write(const MemRef &ref)
 {
     RC_ASSERT(file, "write on a closed trace");
-    unsigned char rec[recordBytes];
-    encode(ref, rec);
-    buf.insert(buf.end(), rec, rec + recordBytes);
-    if (buf.size() >= bufferBytes)
+    unsigned char rec[recordBytesV2];
+    encodeV2(ref, rec);
+    buf.insert(buf.end(), rec, rec + recordBytesV2);
+    if (buf.size() >= bufferBytesFor(recordBytesV2))
         flushBuffer();
     ++written;
 }
@@ -112,12 +128,32 @@ TraceReader::TraceReader(const std::string &path) : name(path)
                       "'%s' is truncated: %zu header byte(s), expected "
                       "%zu", path.c_str(), got, sizeof(header));
     }
-    if (std::memcmp(header, traceMagic, sizeof(traceMagic)) != 0) {
+    if (std::memcmp(header, traceMagicPrefix,
+                    sizeof(traceMagicPrefix)) != 0) {
         std::fclose(file);
         file = nullptr;
         throwSimError(SimError::Kind::Trace,
                       "'%s' is not a reuse-cache trace file (bad magic)",
                       path.c_str());
+    }
+    // The version byte selects the record layout; garbage here is as
+    // fatal to the replay as a bad magic.
+    switch (header[7]) {
+      case '1':
+        version = 1;
+        recBytes = recordBytesV1;
+        break;
+      case '2':
+        version = 2;
+        recBytes = recordBytesV2;
+        break;
+      default:
+        std::fclose(file);
+        file = nullptr;
+        throwSimError(SimError::Kind::Trace,
+                      "'%s' has unsupported trace version byte 0x%02x "
+                      "(expected '1' or '2')", path.c_str(),
+                      static_cast<unsigned>(header[7]));
     }
     // Validate the whole-file framing up front: once the byte count is
     // known to be header + N whole records, next() and seekToRecord()
@@ -126,8 +162,8 @@ TraceReader::TraceReader(const std::string &path) : name(path)
     const long fileSize = std::ftell(file);
     const std::size_t body = static_cast<std::size_t>(fileSize) -
                              sizeof(header);
-    const std::size_t tail = body % recordBytes;
-    recordCount = body / recordBytes;
+    const std::size_t tail = body % recBytes;
+    recordCount = body / recBytes;
     if (tail != 0) {
         std::fclose(file);
         file = nullptr;
@@ -154,12 +190,13 @@ TraceReader::~TraceReader()
 void
 TraceReader::refill()
 {
-    if (rbuf.empty())
-        rbuf.resize(bufferBytes);
-    const std::size_t got = std::fread(rbuf.data(), 1, bufferBytes, file);
+    const std::size_t cap = bufferBytesFor(recBytes);
+    if (rbuf.size() != cap)
+        rbuf.resize(cap);
+    const std::size_t got = std::fread(rbuf.data(), 1, cap, file);
     // Framing was validated at open, so a refill that yields no whole
     // record means the file shrank or tore underneath the replay.
-    if (got < recordBytes || got % recordBytes != 0)
+    if (got < recBytes || got % recBytes != 0)
         throwSimError(SimError::Kind::Trace,
                       "'%s' ends mid-record: short read at record %llu "
                       "(file changed during replay?)", name.c_str(),
@@ -173,8 +210,9 @@ TraceReader::next()
 {
     if (bufPos == bufLen)
         refill();
-    const MemRef ref = decode(rbuf.data() + bufPos);
-    bufPos += recordBytes;
+    const MemRef ref = decode(rbuf.data() + bufPos,
+                              version == 2 ? 16 : 8);
+    bufPos += recBytes;
     ++pos;
     if (pos == recordCount) {
         pos = 0;
@@ -191,7 +229,7 @@ TraceReader::seekToRecord(std::uint64_t n)
     pos = n % recordCount;
     wrapCount = n / recordCount;
     bufPos = bufLen = 0;
-    if (std::fseek(file, static_cast<long>(16 + pos * recordBytes),
+    if (std::fseek(file, static_cast<long>(16 + pos * recBytes),
                    SEEK_SET) != 0)
         throwSimError(SimError::Kind::Trace,
                       "'%s': cannot seek to record %llu", name.c_str(),

@@ -5,12 +5,19 @@
  * The simulator is trace-driven; synthetic generators are the default
  * source, but downstream users often want to replay captured reference
  * streams (or archive a synthetic stream for exact cross-machine
- * reproduction).  The format is a fixed 16-byte header followed by
- * 12-byte little-endian records:
+ * reproduction).  The format is a fixed 16-byte header (magic
+ * "RCTRACE<version>") followed by fixed-size little-endian records.
  *
- *   [0..7]  address (64-bit)
- *   [8..10] think (24-bit non-memory instruction count)
- *   [11]    flags: bit0 = write, bit1 = instruction fetch
+ * Version 2 (written by TraceWriter) uses 20-byte records:
+ *
+ *   [0..7]   address (64-bit)
+ *   [8..15]  program counter (64-bit; 0 = unknown)
+ *   [16..18] think (24-bit non-memory instruction count)
+ *   [19]     flags: bit0 = write, bit1 = instruction fetch
+ *
+ * Version 1 (12-byte records: address, think, flags — no PC) is still
+ * read; its references replay with pc = 0.  An unrecognized version
+ * byte, like any other framing defect, raises SimError(Trace).
  */
 
 #ifndef RC_SIM_TRACE_FILE_HH
@@ -107,6 +114,9 @@ class TraceReader : public RefStream
     /** Absolute records consumed since construction (wraps included). */
     std::uint64_t consumed() const { return wrapCount * recordCount + pos; }
 
+    /** Record layout version of the file (1 = no PC, 2 = with PC). */
+    std::uint32_t formatVersion() const { return version; }
+
     /** Checkpoint the replay cursor (consumed-record count). */
     void save(Serializer &s) const override;
 
@@ -119,6 +129,8 @@ class TraceReader : public RefStream
 
     std::string name;
     std::FILE *file = nullptr;
+    std::uint32_t version = 0;    //!< record layout (1 or 2)
+    std::size_t recBytes = 0;     //!< record size for `version`
     std::uint64_t recordCount = 0;
     std::uint64_t pos = 0;        //!< next record index within the file
     std::uint64_t wrapCount = 0;

@@ -55,6 +55,25 @@ scatterOffset(Addr base, std::uint64_t region_lines)
     return (h.next() % room) * lineBytes;
 }
 
+/**
+ * Synthetic PC of a component's access site.  Derived from the app name
+ * (FNV-1a) and the component slot — not the core — so two cores running
+ * the same binary issue the same PCs, and PC-indexed predictors share
+ * their training the way they would for a real multiprogrammed mix.
+ * Never drawn from the stream RNG: adding PCs must not perturb the
+ * generated address/think sequence.
+ */
+Addr
+synthPcBase(const std::string &name, std::uint32_t slot)
+{
+    std::uint64_t h = 0xcbf29ce484222325ULL;
+    for (char ch : name)
+        h = (h ^ static_cast<unsigned char>(ch)) * 0x100000001b3ULL;
+    SplitMix64 mix(h ^ (std::uint64_t{slot} * 0x9e3779b97f4a7c15ULL));
+    // A 40-bit, 4-byte-aligned "text segment" address.
+    return static_cast<Addr>(mix.next()) & ((Addr{1} << 40) - 4);
+}
+
 } // namespace
 
 SyntheticStream::SyntheticStream(const AppProfile &app, CoreId core,
@@ -89,6 +108,7 @@ SyntheticStream::SyntheticStream(const AppProfile &app, CoreId core,
         st.base = c.shared ? sharedBase(c.sharedId)
                            : privateBase(core, slot);
         st.base += scatterOffset(st.base, st.universeLines);
+        st.pcBase = synthPcBase(app.name, slot);
         if (c.pattern == AccessPattern::Stream) {
             // Parallel sweeps start staggered (domain decomposition).
             st.cursor = c.shared && num_cores
@@ -120,6 +140,7 @@ SyntheticStream::SyntheticStream(const AppProfile &app, CoreId core,
     hot.universeLines = hot.lines * 8;
     hot.base = privateBase(core, 62);
     hot.base += scatterOffset(hot.base, hot.universeLines);
+    hot.pcBase = synthPcBase(app.name, 62);
 
     // Instruction fetches follow a skewed popularity distribution over
     // the code region (hot basic blocks dominate); a cyclic walk would
@@ -290,6 +311,9 @@ SyntheticStream::makeDataRef()
     ref.op = rng.chance(writeRatio) ? MemOp::Write : MemOp::Read;
     ref.think = thinkLo + (rng.chance(thinkFrac) ? 1 : 0);
     ref.isInstr = false;
+    // Loads and stores of one component come from two distinct
+    // instructions of its loop body.
+    ref.pc = comp->pcBase + (ref.op == MemOp::Write ? 4 : 0);
     return ref;
 }
 
@@ -303,6 +327,7 @@ SyntheticStream::next()
         ref.op = MemOp::Read;
         ref.think = 0;
         ref.isInstr = true;
+        ref.pc = ref.addr; // a fetch's PC is the fetched address
         return ref;
     }
     MemRef ref = makeDataRef();

@@ -70,6 +70,10 @@ class SyntheticStream final : public RefStream
         double zipfGuideScale = 0.0;      //!< buckets per unit weight
         std::uint64_t universeLines = 1;  //!< Loop: relocation universe
         std::uint64_t window = 0;         //!< Loop: current window start
+        Addr pcBase = 0;                  //!< synthetic PC of this
+                                          //!< component's access site
+                                          //!< (ctor-derived, never
+                                          //!< serialized)
     };
 
     static void buildZipfGuide(CompState &comp);

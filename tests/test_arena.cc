@@ -1,0 +1,434 @@
+/**
+ * @file
+ * Policy-arena coverage: the string-keyed registry (lookup rules,
+ * did-you-mean suggestions), unit behavior of every CRC2-family port
+ * (victim legality, metadata sanity + fault injection, byte-stable
+ * snapshot round trips), fast-vs-virtual dispatch equivalence, the
+ * canonical-request-encoding sensitivity to the policy id, Cmp-level
+ * save -> restore -> run bit-identity, and a golden stat fingerprint
+ * per arena policy mirroring the kernel-identity matrix.
+ *
+ * Regenerate the golden (only when arena behavior changes on purpose):
+ *   RC_REGEN_ARENA_GOLDEN=1 ./rc_tests --gtest_filter=ArenaGolden.*
+ */
+
+#include <cstdlib>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "arena/arena_registry.hh"
+#include "cache/policy_dispatch.hh"
+#include "cache/replacement.hh"
+#include "common/log.hh"
+#include "service/run_request.hh"
+#include "sim/cmp.hh"
+#include "sim/system_config.hh"
+#include "snapshot/serializer.hh"
+#include "workloads/mixes.hh"
+
+#ifndef RC_TEST_DATA_DIR
+#define RC_TEST_DATA_DIR "."
+#endif
+
+namespace
+{
+
+using namespace rc;
+
+/** The twelve kinds the arena adds on top of the paper's built-ins. */
+const ReplKind kArenaKinds[] = {
+    ReplKind::Ship, ReplKind::ShipMem,  ReplKind::Redre,
+    ReplKind::DeadBlock, ReplKind::RdAware, ReplKind::Lip,
+    ReplKind::Bip,  ReplKind::Dip,      ReplKind::DuelShip,
+    ReplKind::Stream, ReplKind::Plru,   ReplKind::Mru,
+};
+
+// ---------------------------------------------------------------------------
+// Registry
+// ---------------------------------------------------------------------------
+
+TEST(ArenaRegistry, EveryKindRegisteredWithRoundTrippingName)
+{
+    const auto &reg = arena::policyRegistry();
+    ASSERT_EQ(reg.size(), 20u);
+    std::set<std::string> names;
+    for (const arena::PolicyInfo &info : reg) {
+        EXPECT_TRUE(names.insert(info.name).second)
+            << "duplicate name " << info.name;
+        const arena::PolicyInfo *found = arena::findPolicy(info.name);
+        ASSERT_NE(found, nullptr) << info.name;
+        EXPECT_EQ(found->kind, info.kind) << info.name;
+        EXPECT_EQ(&arena::policyInfo(info.kind), &info);
+        EXPECT_NE(std::string(arena::policyNameList()).find(info.name),
+                  std::string::npos)
+            << info.name << " missing from the usage name list";
+    }
+}
+
+TEST(ArenaRegistry, LookupIgnoresCaseAndSeparators)
+{
+    for (const char *spelling :
+         {"ship-mem", "ship_mem", "shipmem", "SHiP-Mem", "SHIP_MEM"}) {
+        const arena::PolicyInfo *info = arena::findPolicy(spelling);
+        ASSERT_NE(info, nullptr) << spelling;
+        EXPECT_EQ(info->kind, ReplKind::ShipMem) << spelling;
+    }
+    ASSERT_NE(arena::findPolicy("DRRIP"), nullptr);
+    EXPECT_EQ(arena::findPolicy("DRRIP")->kind, ReplKind::DRRIP);
+    ASSERT_NE(arena::findPolicy("Duel_Ship"), nullptr);
+    EXPECT_EQ(arena::findPolicy("Duel_Ship")->kind, ReplKind::DuelShip);
+    EXPECT_EQ(arena::findPolicy("no-such-policy"), nullptr);
+    EXPECT_EQ(arena::findPolicy(""), nullptr);
+}
+
+TEST(ArenaRegistry, TyposEarnSuggestions)
+{
+    const auto shp = arena::suggestPolicies("shp");
+    ASSERT_FALSE(shp.empty());
+    EXPECT_EQ(shp.front(), "ship");
+
+    const auto dead = arena::suggestPolicies("deadblok");
+    ASSERT_FALSE(dead.empty());
+    EXPECT_EQ(dead.front(), "deadblock");
+
+    // A prefix of a canonical name always suggests it.
+    const auto rd = arena::suggestPolicies("rd");
+    ASSERT_FALSE(rd.empty());
+    EXPECT_EQ(rd.front(), "rdaware");
+
+    // Garbage far from every name suggests nothing.
+    EXPECT_TRUE(arena::suggestPolicies("qqqqzzzzweirdxx").empty());
+}
+
+TEST(ArenaRegistry, ParseResolvesEveryCanonicalName)
+{
+    for (const arena::PolicyInfo &info : arena::policyRegistry())
+        EXPECT_EQ(arena::parsePolicyName(info.name), info.kind)
+            << info.name;
+}
+
+// ---------------------------------------------------------------------------
+// Per-policy unit behavior
+// ---------------------------------------------------------------------------
+
+/** Deterministic exercise of @p p: fills, hits and victims over every
+ *  set, with synthetic PCs and line addresses. */
+void
+drive(ReplacementPolicy &p, std::uint64_t rounds)
+{
+    const std::uint64_t sets = p.numSets();
+    const std::uint32_t ways = p.numWays();
+    for (std::uint64_t r = 0; r < rounds; ++r) {
+        for (std::uint64_t set = 0; set < sets; ++set) {
+            ReplAccess a;
+            a.core = static_cast<CoreId>((set + r) % 8);
+            a.pc = 0x400000 + ((set * 7 + r * 13) % 97) * 4;
+            a.lineAddr = (set + r * sets) << 6;
+            a.isMiss = (r + set) % 3 != 0;
+            const std::uint32_t way =
+                static_cast<std::uint32_t>((set + r) % ways);
+            if (r == 0 || (r + set) % 4 == 0)
+                p.onFill(set, way, a);
+            else if ((r + set) % 4 == 1)
+                p.onHit(set, way, a);
+            else if ((r + set) % 4 == 2)
+                p.onInvalidate(set, way);
+            else {
+                VictimQuery q;
+                q.core = a.core;
+                q.pc = a.pc;
+                q.lineAddr = a.lineAddr;
+                const std::uint32_t v = p.victim(set, q);
+                ASSERT_LT(v, ways);
+                p.onFill(set, v, a); // evict-and-refill like a cache
+            }
+        }
+    }
+}
+
+TEST(ArenaPolicy, VictimLegalMetadataSaneAndCorruptible)
+{
+    for (const ReplKind kind : kArenaKinds) {
+        SCOPED_TRACE(toString(kind));
+        auto p = makeReplacement(kind, 64, 16, 8, 1);
+        ASSERT_NE(p, nullptr);
+        drive(*p, 12);
+        std::string why;
+        EXPECT_TRUE(p->metadataSane(&why)) << why;
+        ASSERT_TRUE(p->corruptMetadata(3, 5));
+        EXPECT_FALSE(p->metadataSane(&why))
+            << "corruption not detected for " << toString(kind);
+        EXPECT_FALSE(why.empty());
+    }
+}
+
+TEST(ArenaPolicy, NonPowerOfTwoAssociativityVictimsStayLegal)
+{
+    // PLRU pads its tree to the next power of two; the padding leaves
+    // must never be chosen.  The others must simply stay in range.
+    for (const ReplKind kind : kArenaKinds) {
+        SCOPED_TRACE(toString(kind));
+        auto p = makeReplacement(kind, 16, 12, 8, 1);
+        drive(*p, 8);
+        std::string why;
+        EXPECT_TRUE(p->metadataSane(&why)) << why;
+    }
+}
+
+TEST(ArenaPolicy, SnapshotRoundTripIsByteStable)
+{
+    for (const ReplKind kind : kArenaKinds) {
+        SCOPED_TRACE(toString(kind));
+        auto a = makeReplacement(kind, 64, 16, 8, 1);
+        drive(*a, 10);
+
+        Serializer s1;
+        s1.beginSection("repl");
+        a->save(s1);
+        s1.endSection("repl");
+
+        auto b = makeReplacement(kind, 64, 16, 8, 1);
+        Deserializer d(s1.image());
+        d.beginSection("repl");
+        b->restore(d);
+        d.endSection("repl");
+
+        Serializer s2;
+        s2.beginSection("repl");
+        b->save(s2);
+        s2.endSection("repl");
+        EXPECT_EQ(s1.image(), s2.image())
+            << toString(kind)
+            << " snapshot is not byte-stable across a round trip";
+
+        // The restored copy must behave identically, not just encode
+        // identically: same victims under the same queries.
+        for (std::uint64_t set = 0; set < a->numSets(); ++set) {
+            VictimQuery q;
+            q.core = static_cast<CoreId>(set % 8);
+            q.pc = 0x400000 + set * 4;
+            q.lineAddr = set << 6;
+            EXPECT_EQ(a->victim(set, q), b->victim(set, q))
+                << toString(kind) << " set " << set;
+        }
+    }
+}
+
+TEST(ArenaPolicy, RestoreRejectsForeignGeometry)
+{
+    auto a = makeReplacement(ReplKind::Ship, 64, 16, 8, 1);
+    drive(*a, 4);
+    Serializer s;
+    s.beginSection("repl");
+    a->save(s);
+    s.endSection("repl");
+
+    auto b = makeReplacement(ReplKind::Ship, 32, 16, 8, 1);
+    Deserializer d(s.image());
+    d.beginSection("repl");
+    try {
+        b->restore(d);
+        FAIL() << "expected SimError(Snapshot) on geometry mismatch";
+    } catch (const SimError &err) {
+        EXPECT_EQ(err.kind(), SimError::Kind::Snapshot) << err.what();
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Cmp-level: golden fingerprints, dispatch equivalence, resume identity
+// ---------------------------------------------------------------------------
+
+constexpr Cycle kWarmup = 30'000;
+constexpr Cycle kMeasure = 120'000;
+constexpr std::uint32_t kScale = 8;
+
+/** Full-stats fingerprint of one short run (kernel-identity idiom). */
+std::string
+fingerprint(const SystemConfig &cfg)
+{
+    Mix mix;
+    for (std::uint32_t c = 0; c < cfg.numCores; ++c)
+        mix.apps.push_back(c % 2 == 0 ? "mcf" : "libquantum");
+    Cmp sim(cfg, buildMixStreams(mix, 42, kScale));
+    sim.run(kWarmup);
+    sim.beginMeasurement();
+    sim.run(kMeasure);
+
+    std::ostringstream os;
+    sim.llc().stats().dumpJson(os);
+    os << "\n";
+    for (std::uint32_t i = 0; i < sim.numCores(); ++i) {
+        sim.core(i).priv().stats().dumpJson(os);
+        os << "\n";
+    }
+    os << "refs=" << sim.referencesProcessed() << " cycles=" << sim.now()
+       << "\n";
+    return os.str();
+}
+
+std::string
+goldenPath()
+{
+    return std::string(RC_TEST_DATA_DIR) + "/arena_golden.txt";
+}
+
+bool
+loadGolden(std::vector<std::pair<std::string, std::string>> &out)
+{
+    std::ifstream in(goldenPath());
+    if (!in)
+        return false;
+    std::string line, name, body;
+    auto flush = [&] {
+        if (!name.empty())
+            out.emplace_back(name, body);
+        name.clear();
+        body.clear();
+    };
+    while (std::getline(in, line)) {
+        if (line.rfind("=== ", 0) == 0 && line.size() > 8 &&
+            line.substr(line.size() - 4) == " ===") {
+            flush();
+            name = line.substr(4, line.size() - 8);
+        } else if (!name.empty()) {
+            body += line;
+            body += '\n';
+        }
+    }
+    flush();
+    return true;
+}
+
+TEST(ArenaGolden, MatchesGolden)
+{
+    std::vector<std::pair<std::string, SystemConfig>> cells;
+    for (const ReplKind kind : kArenaKinds)
+        cells.emplace_back(std::string("conv-") +
+                               arena::policyInfo(kind).name,
+                           conventionalSystem(8.0, kind, kScale));
+
+    if (std::getenv("RC_REGEN_ARENA_GOLDEN")) {
+        std::ofstream out(goldenPath());
+        ASSERT_TRUE(out) << "cannot write " << goldenPath();
+        out << "# Generated by RC_REGEN_ARENA_GOLDEN=1 rc_tests\n"
+            << "# --gtest_filter=ArenaGolden.*  -- see the file comment\n"
+            << "# of tests/test_arena.cc before regenerating.\n";
+        for (const auto &c : cells)
+            out << "=== " << c.first << " ===\n" << fingerprint(c.second);
+        GTEST_SKIP() << "golden regenerated at " << goldenPath();
+    }
+
+    std::vector<std::pair<std::string, std::string>> golden;
+    ASSERT_TRUE(loadGolden(golden))
+        << "missing golden file " << goldenPath()
+        << " -- run RC_REGEN_ARENA_GOLDEN=1 rc_tests "
+           "--gtest_filter=ArenaGolden.*";
+    ASSERT_EQ(golden.size(), cells.size())
+        << "golden cell count drifted from the arena kind list";
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+        EXPECT_EQ(golden[i].first, cells[i].first);
+        EXPECT_EQ(golden[i].second, fingerprint(cells[i].second))
+            << "stat fingerprint drifted for " << cells[i].first;
+    }
+}
+
+TEST(ArenaDispatch, FastMatchesVirtual)
+{
+    for (const ReplKind kind : kArenaKinds) {
+        SCOPED_TRACE(toString(kind));
+        const SystemConfig cfg = conventionalSystem(8.0, kind, kScale);
+        setForceVirtualReplDispatch(false);
+        const std::string fast = fingerprint(cfg);
+        setForceVirtualReplDispatch(true);
+        const std::string slow = fingerprint(cfg);
+        setForceVirtualReplDispatch(false);
+        EXPECT_EQ(fast, slow)
+            << "devirtualized dispatch diverges from the virtual "
+               "interface for " << toString(kind);
+    }
+}
+
+TEST(ArenaSnapshotCmp, EveryArenaPolicyResumesBitIdentically)
+{
+    const Mix mix = makeMixes(1, 8, 41)[0];
+    for (const ReplKind kind : kArenaKinds) {
+        SCOPED_TRACE(toString(kind));
+        const SystemConfig sys = conventionalSystem(8.0, kind, kScale);
+
+        std::vector<std::uint8_t> image;
+        int capturedPhase = -1;
+        int phase = 0;
+        Cmp a(sys, buildMixStreams(mix, sys.seed, sys.capacityScale));
+        a.setSnapshotHook(2'000, [&](const Cmp &c, Cycle) {
+            Serializer s;
+            c.save(s);
+            image = s.image();
+            capturedPhase = phase;
+        });
+        a.run(kWarmup);
+        a.beginMeasurement();
+        phase = 1;
+        a.run(kMeasure);
+        std::ostringstream ref;
+        a.llc().stats().dumpJson(ref);
+        ref << " refs=" << a.referencesProcessed()
+            << " cycles=" << a.now();
+
+        ASSERT_EQ(capturedPhase, 1)
+            << "no snapshot fired during measurement";
+
+        Cmp b(sys, buildMixStreams(mix, sys.seed, sys.capacityScale));
+        Deserializer d(image);
+        b.restore(d);
+        b.run(kMeasure);
+        std::ostringstream got;
+        b.llc().stats().dumpJson(got);
+        got << " refs=" << b.referencesProcessed()
+            << " cycles=" << b.now();
+        EXPECT_EQ(ref.str(), got.str())
+            << toString(kind) << " resume diverged";
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Canonical request encoding
+// ---------------------------------------------------------------------------
+
+TEST(ArenaCanonical, PolicyIdSeparatesRequestDigests)
+{
+    // Identical requests except for conv.repl: every digest must be
+    // distinct (the policy id is part of the canonical bytes), and the
+    // encoding must stay deterministic for equal requests.
+    const Mix mix = makeMixes(1, 8, 7)[0];
+    std::vector<std::uint64_t> digests;
+    for (const arena::PolicyInfo &info : arena::policyRegistry()) {
+        svc::RunRequest r;
+        r.config = conventionalSystem(8.0, info.kind, 8);
+        r.mix = mix;
+        r.seed = 42;
+        r.scale = 8;
+        r.warmup = 60'000;
+        r.measure = 300'000;
+        EXPECT_EQ(svc::requestDigest(r), svc::requestDigest(r));
+        digests.push_back(svc::requestDigest(r));
+    }
+    std::set<std::uint64_t> uniq(digests.begin(), digests.end());
+    EXPECT_EQ(uniq.size(), digests.size())
+        << "two policies share a canonical request digest";
+
+    // The deadline must NOT separate digests (it is not canonical).
+    svc::RunRequest r;
+    r.config = conventionalSystem(8.0, ReplKind::Ship, 8);
+    r.mix = mix;
+    const std::uint64_t before = svc::requestDigest(r);
+    r.deadlineMs = 5'000;
+    EXPECT_EQ(svc::requestDigest(r), before);
+}
+
+} // namespace

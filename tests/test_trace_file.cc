@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <cstring>
 #include <string>
 
 #include <unistd.h>
@@ -39,10 +40,10 @@ TEST(TraceFile, RoundTrip)
 {
     const std::string path = tempPath("roundtrip.rct");
     std::vector<MemRef> refs{
-        {0x123456789a, MemOp::Read, 3, false},
-        {0xdeadbeefc0, MemOp::Write, 0, false},
-        {0x0, MemOp::Read, 0xffffff, false},
-        {0x40, MemOp::Read, 7, true},
+        {0x123456789a, MemOp::Read, 3, false, 0x400123},
+        {0xdeadbeefc0, MemOp::Write, 0, false, 0xfffffffffff0},
+        {0x0, MemOp::Read, 0xffffff, false, 0},
+        {0x40, MemOp::Read, 7, true, 0x40},
     };
     {
         TraceWriter w(path);
@@ -52,12 +53,14 @@ TEST(TraceFile, RoundTrip)
     }
     TraceReader r(path);
     EXPECT_EQ(r.size(), refs.size());
+    EXPECT_EQ(r.formatVersion(), 2u);
     for (const MemRef &want : refs) {
         const MemRef got = r.next();
         EXPECT_EQ(got.addr, want.addr);
         EXPECT_EQ(got.op, want.op);
         EXPECT_EQ(got.think, want.think);
         EXPECT_EQ(got.isInstr, want.isInstr);
+        EXPECT_EQ(got.pc, want.pc);
     }
     std::remove(path.c_str());
 }
@@ -97,6 +100,7 @@ TEST(TraceFile, RecordHelperCapturesSyntheticStream)
         EXPECT_EQ(a.op, b.op);
         EXPECT_EQ(a.think, b.think);
         EXPECT_EQ(a.isInstr, b.isInstr);
+        EXPECT_EQ(a.pc, b.pc);
     }
     std::remove(path.c_str());
 }
@@ -159,7 +163,7 @@ TEST(TraceFile, RejectsShortReadMidRecord)
         w.write({0x40, MemOp::Read, 1, false});
         w.write({0x80, MemOp::Read, 2, false});
     }
-    // Chop 5 bytes off the last 12-byte record.
+    // Chop 5 bytes off the last 20-byte record.
     std::FILE *f = std::fopen(path.c_str(), "rb");
     ASSERT_NE(f, nullptr);
     ASSERT_EQ(std::fseek(f, 0, SEEK_END), 0);
@@ -170,9 +174,78 @@ TEST(TraceFile, RejectsShortReadMidRecord)
     EXPECT_EQ(err.kind(), SimError::Kind::Trace);
     EXPECT_NE(std::string(err.what()).find("ends mid-record"),
               std::string::npos);
-    EXPECT_NE(std::string(err.what()).find("7 trailing byte(s)"),
+    EXPECT_NE(std::string(err.what()).find("15 trailing byte(s)"),
               std::string::npos);
     EXPECT_NE(std::string(err.what()).find("1 full record(s)"),
+              std::string::npos);
+    std::remove(path.c_str());
+}
+
+// Version-1 traces (12-byte records, no PC field) predate the arena's
+// PC plumbing; they must keep replaying, with pc = 0.
+TEST(TraceFile, ReadsVersion1WithZeroPc)
+{
+    const std::string path = tempPath("v1.rct");
+    std::FILE *f = std::fopen(path.c_str(), "wb");
+    ASSERT_NE(f, nullptr);
+    unsigned char header[16] = {};
+    std::memcpy(header, "RCTRACE1", 8);
+    ASSERT_EQ(std::fwrite(header, 1, sizeof(header), f), sizeof(header));
+    // Two hand-encoded v1 records: addr, 24-bit think, flags.
+    const unsigned char recs[24] = {
+        0x40, 0x01, 0, 0, 0, 0, 0, 0, /* think */ 3, 0, 0, /* read */ 0,
+        0x80, 0x02, 0, 0, 0, 0, 0, 0, /* think */ 0, 0, 0, /* write */ 1,
+    };
+    ASSERT_EQ(std::fwrite(recs, 1, sizeof(recs), f), sizeof(recs));
+    std::fclose(f);
+
+    TraceReader r(path);
+    EXPECT_EQ(r.formatVersion(), 1u);
+    EXPECT_EQ(r.size(), 2u);
+    const MemRef a = r.next();
+    EXPECT_EQ(a.addr, 0x140u);
+    EXPECT_EQ(a.think, 3u);
+    EXPECT_EQ(a.op, MemOp::Read);
+    EXPECT_EQ(a.pc, 0u);
+    const MemRef b = r.next();
+    EXPECT_EQ(b.addr, 0x280u);
+    EXPECT_EQ(b.op, MemOp::Write);
+    EXPECT_EQ(b.pc, 0u);
+    std::remove(path.c_str());
+}
+
+// An unknown version byte after a valid "RCTRACE" prefix is a distinct,
+// actionable defect (not just "bad magic").
+TEST(TraceFile, RejectsGarbageVersionByte)
+{
+    const std::string path = tempPath("badversion.rct");
+    std::FILE *f = std::fopen(path.c_str(), "wb");
+    ASSERT_NE(f, nullptr);
+    unsigned char header[16] = {};
+    std::memcpy(header, "RCTRACE9", 8);
+    ASSERT_EQ(std::fwrite(header, 1, sizeof(header), f), sizeof(header));
+    const unsigned char zeros[20] = {};
+    ASSERT_EQ(std::fwrite(zeros, 1, sizeof(zeros), f), sizeof(zeros));
+    std::fclose(f);
+    const SimError err = readerError(path);
+    EXPECT_EQ(err.kind(), SimError::Kind::Trace);
+    EXPECT_NE(std::string(err.what()).find("unsupported trace version"),
+              std::string::npos);
+    std::remove(path.c_str());
+}
+
+// A truncated version byte (file shorter than the header) stays a
+// truncation error, version-independent.
+TEST(TraceFile, RejectsTruncatedVersionByte)
+{
+    const std::string path = tempPath("shortversion.rct");
+    std::FILE *f = std::fopen(path.c_str(), "wb");
+    ASSERT_NE(f, nullptr);
+    ASSERT_EQ(std::fwrite("RCTRACE", 1, 7, f), 7u); // magic cut mid-way
+    std::fclose(f);
+    const SimError err = readerError(path);
+    EXPECT_EQ(err.kind(), SimError::Kind::Trace);
+    EXPECT_NE(std::string(err.what()).find("truncated"),
               std::string::npos);
     std::remove(path.c_str());
 }
