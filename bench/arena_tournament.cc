@@ -148,6 +148,13 @@ main(int argc, char **argv)
         [](bench::RunOptions &o) {
             // A rank from fewer than 8 workloads is noise.
             o.mixCount = std::max<std::uint32_t>(o.mixCount, 8);
+            // The tournament is the feed cache's home game — the whole
+            // field shares 8 front-end streams per launch, and reruns
+            // (policy tweaks, --jobs comparisons) share them across
+            // processes — so it defaults on.  --no-feed-cache (or an
+            // explicit --feed-cache=DIR) overrides.
+            if (o.feedCacheDir.empty() && !o.feedCacheDisabled)
+                o.feedCacheDir = "feedcache";
         });
 
     // The contenders: the whole registry, or one chosen by --policy.

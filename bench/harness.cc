@@ -401,6 +401,12 @@ usageString()
            "  --sample-interval=N  sample stat deltas every N simulated "
            "cycles into an\n"
            "               epoch CSV (needs --telemetry-dir)\n"
+           "  --feed-cache=DIR  persist/replay fan-out front-end record "
+           "streams under DIR\n"
+           "               (warm hits skip stream generation and private-"
+           "hierarchy simulation)\n"
+           "  --no-feed-cache  force the feed cache off (overrides a "
+           "bench's default dir)\n"
            "  --full       paper-strength settings (100 mixes, longer "
            "windows)\n"
            "  --help       print this text and exit\n";
@@ -467,6 +473,15 @@ parseArgs(int argc, char **argv)
             opt.traceEvents = true;
         } else if (const char *v = value("--sample-interval=")) {
             opt.sampleInterval = static_cast<Cycle>(std::atoll(v));
+        } else if (const char *v = value("--feed-cache=")) {
+            opt.feedCacheDir = v;
+            opt.feedCacheDisabled = false;
+        } else if (std::strcmp(arg, "--no-feed-cache") == 0) {
+            // Spelled as its own flag (not --feed-cache=) so benches
+            // that default the cache on (arena_tournament) can be
+            // overridden explicitly; last flag wins.
+            opt.feedCacheDir.clear();
+            opt.feedCacheDisabled = true;
         } else if (const char *v = value("--inject=")) {
             std::string spec = v;
             if (const std::size_t at = spec.find('@');
@@ -1172,9 +1187,44 @@ executeFanout(const std::vector<SystemConfig> &sys_cfgs, const Mix &mix,
     std::vector<SystemConfig> cfgs = sys_cfgs;
     for (SystemConfig &c : cfgs)
         c.seed = opt.seed;
-    FanoutCmp fan(cfgs, [&mix, &opt] {
-        return buildMixStreams(mix, opt.seed, opt.scale);
-    });
+
+    // Feed-cache protocol (--feed-cache=DIR): the front end's record
+    // streams depend only on (front-end prefix, mix, seed, scale,
+    // windows), which every member shares, so one lookup covers the
+    // whole job.  Warm hit: replay zero-copy from the blob.  Miss:
+    // take the key's flock lease so concurrent processes racing the
+    // same cold key serialize (the loser wakes to a warm re-lookup),
+    // capture the front end while simulating, and store it after the
+    // run.  Either way the results are bit-identical to an uncached
+    // pass; any cache failure demotes to exactly that.
+    std::shared_ptr<FeedCache> fc;
+    if (!opt.feedCacheDir.empty()) {
+        try {
+            fc = FeedCache::open(opt.feedCacheDir);
+        } catch (const SimError &e) {
+            warn("feed cache disabled for this run: %s", e.what());
+        }
+    }
+    FeedKey key;
+    std::shared_ptr<const FeedBlob> blob;
+    std::unique_ptr<FeedKeyLease> lease;
+    if (fc) {
+        key = feedKeyOf(cfgs.front(), mix, opt.seed, opt.scale,
+                        opt.warmup, opt.measure);
+        blob = fc->lookup(key);
+        if (!blob) {
+            lease = fc->lockKey(key.digest);
+            if (lease)
+                blob = fc->lookup(key); // did the lease holder store it?
+        }
+    }
+    const bool capture = fc != nullptr && blob == nullptr;
+
+    FanoutCmp fan(cfgs,
+                  [&mix, &opt] {
+                      return buildMixStreams(mix, opt.seed, opt.scale);
+                  },
+                  blob, capture);
     const std::size_t n = fan.size();
 
     // Per-member telemetry: one session per back end, tagged
@@ -1233,6 +1283,18 @@ executeFanout(const std::vector<SystemConfig> &sys_cfgs, const Mix &mix,
         telemetry[j]->finalize(fan.member(j), fan.member(j).now());
     for (std::size_t j = 0; j < checkers.size(); ++j)
         checkers[j]->enforceQuiesce(fan.member(j).now());
+
+    if (capture) {
+        // Persist after the results are in hand: a store failure (disk
+        // full, torn directory) costs the next run its warm hit, never
+        // this run its answer.
+        try {
+            fc->store(key, fan.sharedFeed());
+        } catch (const SimError &e) {
+            warn("feed cache store failed (run unaffected): %s",
+                 e.what());
+        }
+    }
     return res;
 }
 
@@ -1491,7 +1553,14 @@ runConfigsOverMixes(const std::vector<SystemConfig> &cfgs,
             }
             if (need.empty())
                 continue;
-            if (fanoutOk && need.size() >= 2 &&
+            // Single-member jobs normally take the plain runMix path
+            // (fan-out buys nothing), but with a feed cache attached
+            // the fan-out path is where replay lives — route them
+            // through it so single-config sweeps (fig06, fig07-style
+            // baselines) go SLLC-only on warm keys too.
+            const bool wantFanout =
+                need.size() >= 2 || !opt.feedCacheDir.empty();
+            if (fanoutOk && wantFanout &&
                 !cfgs[need.front()].prefetch.enable) {
                 jobs.push_back(Job{std::move(need), m});
             } else {
@@ -1526,7 +1595,7 @@ runConfigsOverMixes(const std::vector<SystemConfig> &cfgs,
     const std::vector<RunOutcome> outcomes =
         forEachRun(jobs.size(), opt, [&](std::size_t j) {
             const Job &job = jobs[j];
-            if (job.members.size() == 1) {
+            if (job.members.size() == 1 && opt.feedCacheDir.empty()) {
                 results[job.members.front()][job.mix] =
                     runMix(cfgs[job.members.front()], mixes[job.mix], opt);
             } else {
@@ -1624,7 +1693,8 @@ printHeader(const std::string &artifact, const std::string &claim,
 
 ::rc::RunResult
 simulateRequest(const svc::RunRequest &req, const std::atomic<bool> *abort,
-                std::atomic<std::uint64_t> *heartbeat)
+                std::atomic<std::uint64_t> *heartbeat,
+                const std::string &feed_cache_dir)
 {
     RunOptions opt;
     opt.scale = req.scale;
@@ -1632,10 +1702,18 @@ simulateRequest(const svc::RunRequest &req, const std::atomic<bool> *abort,
     opt.measure = req.measure;
     opt.seed = req.seed;
     opt.jobs = 1; // one request = one run; concurrency is the daemon's
+    opt.feedCacheDir = feed_cache_dir;
     // Adopt the caller's watchdog (the daemon's per-job abort flag and
     // heartbeat); with both null this is a plain deterministic run —
     // the client's in-process fallback path — and bit-identical.
     ScopedRunWatch watch(abort, heartbeat);
+    // With a feed cache, route through a single-member fan-out job so
+    // the request's front end can replay from (or populate) the shared
+    // blob; runMixFanout is bit-identical to runMix for one member.
+    // Prefetching keeps state in front of the classify split and stays
+    // on the plain path.
+    if (!opt.feedCacheDir.empty() && !req.config.prefetch.enable)
+        return runMixFanout({req.config}, req.mix, opt).front();
     return runMix(req.config, req.mix, opt);
 }
 

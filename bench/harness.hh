@@ -34,6 +34,10 @@
  *                 needs --telemetry-dir)
  *   --sample-interval=N  sample stat deltas every N simulated cycles
  *                 into an epoch CSV (needs --telemetry-dir)
+ *   --feed-cache=DIR  persist/replay fan-out front-end record streams
+ *                 under DIR (warm hits skip the front end entirely)
+ *   --no-feed-cache  force the feed cache off (overrides a bench's
+ *                 default-on directory, e.g. arena_tournament's)
  *   --full        paper-strength settings (100 mixes, longer windows)
  *
  * Independent (SystemConfig × Mix) runs execute on a TaskPool; results
@@ -204,6 +208,26 @@ struct RunOptions
      * (--sample-interval=N; 0 = off).  Requires telemetryDir.
      */
     Cycle sampleInterval = 0;
+
+    /**
+     * Persistent feed-cache directory for fan-out front ends
+     * (--feed-cache=DIR; "" = off).  Fan-out jobs look their
+     * (front-end config, mix, seed, scale, windows) key up before
+     * simulating: a warm hit replays the classified StepRecord streams
+     * zero-copy from the mapped blob — no stream generation, no
+     * private-hierarchy simulation — and a miss captures the streams
+     * and stores them crash-safely for every later run.  Results are
+     * bit-identical warm or cold.  An unusable directory warns and
+     * falls back to uncached fan-out.
+     */
+    std::string feedCacheDir;
+
+    /**
+     * --no-feed-cache seen: benches that default feedCacheDir on via
+     * their initBench tweak (arena_tournament) must leave it off.
+     * parseArgs keeps the last of --feed-cache=/--no-feed-cache.
+     */
+    bool feedCacheDisabled = false;
 };
 
 /** How one run of a batch ended. */
@@ -315,7 +339,8 @@ class ScopedRunWatch
 ::rc::RunResult simulateRequest(const svc::RunRequest &req,
                                 const std::atomic<bool> *abort = nullptr,
                                 std::atomic<std::uint64_t> *heartbeat =
-                                    nullptr);
+                                    nullptr,
+                                const std::string &feed_cache_dir = {});
 
 /** Quarantined runs across every batch in this process. */
 std::uint64_t quarantinedRunsTotal();

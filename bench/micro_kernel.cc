@@ -26,6 +26,14 @@
  *   fanout_sims_per_sec       six configs, one shared front end
  *   fanout_speedup            ratio of the two
  *
+ * A third measurement covers the persistent feed cache: the same sweep
+ * runs once cold (front end simulated in capture mode, blob stored)
+ * and once warm (front end replayed zero-copy from the mapped blob),
+ * both digest-checked against the independent pass:
+ *   feedcache_cold_sims_per_sec  simulate + capture + store
+ *   feedcache_warm_sims_per_sec  lookup + replay (SLLC-only)
+ *   feedcache_speedup            cold wall / warm wall
+ *
  * Extra flags (on top of the common harness set):
  *   --baseline=FILE   prior BENCH_kernel.json to gate against
  *   --tolerance=F     allowed fractional drop vs baseline (default 0.20)
@@ -43,6 +51,9 @@
 #include <sstream>
 #include <string>
 #include <vector>
+
+#include <dirent.h>
+#include <unistd.h>
 
 #include "cache/replacement.hh"
 #include "common/log.hh"
@@ -79,6 +90,9 @@ fnv1a(const std::string &s, std::uint64_t h = 0xcbf29ce484222325ull)
 struct BaselineRecord {
     double serialSimsPerSec = 0.0;
     double fanoutSimsPerSec = 0.0; ///< 0 when the record predates fan-out
+    //! 0 when the record predates the feed cache
+    double feedWarmSimsPerSec = 0.0;
+    double feedSpeedup = 0.0;
 };
 
 BaselineRecord
@@ -104,7 +118,27 @@ readBaseline(const std::string &path)
     BaselineRecord rec;
     rec.serialSimsPerSec = field("\"serial_sims_per_sec\":", true);
     rec.fanoutSimsPerSec = field("\"fanout_sims_per_sec\":", false);
+    rec.feedWarmSimsPerSec =
+        field("\"feedcache_warm_sims_per_sec\":", false);
+    rec.feedSpeedup = field("\"feedcache_speedup\":", false);
     return rec;
+}
+
+/** Remove the scratch feed-cache directory (known names only). */
+void
+removeFeedDir(const std::string &dir)
+{
+    DIR *d = ::opendir(dir.c_str());
+    if (!d)
+        return;
+    while (struct dirent *e = ::readdir(d)) {
+        const std::string name = e->d_name;
+        if (name == "." || name == "..")
+            continue;
+        std::remove((dir + "/" + name).c_str());
+    }
+    ::closedir(d);
+    ::rmdir(dir.c_str());
 }
 
 /**
@@ -255,7 +289,81 @@ main(int argc, char **argv)
     const double fanSpeedup =
         fanSec > 0.0 ? indepSec / fanSec : 0.0;
 
-    char buf[1280];
+    // --- Feed-cache measurement: the identical sweep once more through
+    // the persistent feed cache.  Cold pays the miss path in full
+    // (front-end simulation in capture mode, blob serialization, fsync,
+    // rename); warm pays the hit path (mmap + validation + SLLC-only
+    // replay).  Both passes are digest-checked against the independent
+    // runs, so the speedup is over bit-identical results.
+    const std::string feedDir = "feedcache-kernel.tmp";
+    removeFeedDir(feedDir); // stale leftovers of a killed run
+    const auto sweepDigests = [&](FanoutCmp &f, const char *pass) {
+        for (std::size_t j = 0; j < fanRuns; ++j) {
+            std::ostringstream os;
+            f.member(j).llc().stats().dumpJson(os);
+            if (fnv1a(os.str()) != indepDigests[j])
+                rc::panic("feed-cache %s member %zu diverged from its "
+                          "independent run; the speedup would be "
+                          "meaningless", pass, j);
+        }
+    };
+    const FeedKey feedKey = feedKeyOf(sweep.front(), fanMix, opt.seed,
+                                      opt.scale, opt.warmup, opt.measure);
+    double feedColdSec = 0.0, feedWarmSec = 0.0;
+    {
+        const std::uint64_t c0 = tracer.hostNowMicros();
+        auto fc = FeedCache::open(feedDir);
+        if (fc->lookup(feedKey))
+            rc::panic("feed-cache scratch dir '%s' was already warm",
+                      feedDir.c_str());
+        FanoutCmp cold(sweep,
+                       [&fanMix, &opt] {
+                           return buildMixStreams(fanMix, opt.seed,
+                                                  opt.scale);
+                       },
+                       nullptr, /*capture=*/true);
+        cold.run(opt.warmup);
+        cold.beginMeasurement();
+        cold.run(opt.measure);
+        fc->store(feedKey, cold.sharedFeed());
+        const std::uint64_t c1 = tracer.hostNowMicros();
+        tracer.recordHost("kernel.feedcache.cold", 0, c1 - c0);
+        feedColdSec = static_cast<double>(c1 - c0) * 1e-6;
+        sweepDigests(cold, "cold");
+    }
+    {
+        const std::uint64_t w0 = tracer.hostNowMicros();
+        auto fc = FeedCache::open(feedDir);
+        const std::shared_ptr<const FeedBlob> blob = fc->lookup(feedKey);
+        if (!blob)
+            rc::panic("feed-cache warm lookup missed the blob the cold "
+                      "pass just stored");
+        FanoutCmp warm(sweep,
+                       [&fanMix, &opt] {
+                           return buildMixStreams(fanMix, opt.seed,
+                                                  opt.scale);
+                       },
+                       blob);
+        warm.run(opt.warmup);
+        warm.beginMeasurement();
+        warm.run(opt.measure);
+        const std::uint64_t w1 = tracer.hostNowMicros();
+        tracer.recordHost("kernel.feedcache.warm", 0, w1 - w0);
+        feedWarmSec = static_cast<double>(w1 - w0) * 1e-6;
+        sweepDigests(warm, "warm");
+    }
+    removeFeedDir(feedDir);
+
+    const double feedColdSimsPerSec =
+        feedColdSec > 0.0 ? static_cast<double>(fanRuns) / feedColdSec
+                          : 0.0;
+    const double feedWarmSimsPerSec =
+        feedWarmSec > 0.0 ? static_cast<double>(fanRuns) / feedWarmSec
+                          : 0.0;
+    const double feedSpeedup =
+        feedWarmSec > 0.0 ? feedColdSec / feedWarmSec : 0.0;
+
+    char buf[2048];
     std::snprintf(
         buf, sizeof(buf),
         "{\n"
@@ -272,19 +380,25 @@ main(int argc, char **argv)
         "  \"independent_sims_per_sec\": %.4f,\n"
         "  \"fanout_sims_per_sec\": %.4f,\n"
         "  \"fanout_speedup\": %.3f,\n"
+        "  \"feedcache_cold_sims_per_sec\": %.4f,\n"
+        "  \"feedcache_warm_sims_per_sec\": %.4f,\n"
+        "  \"feedcache_speedup\": %.3f,\n"
         "  \"phases\": {\n"
         "    \"build_seconds\": %.3f,\n"
         "    \"warmup_seconds\": %.3f,\n"
         "    \"measure_seconds\": %.3f,\n"
         "    \"independent_seconds\": %.3f,\n"
-        "    \"fanout_seconds\": %.3f\n"
+        "    \"fanout_seconds\": %.3f,\n"
+        "    \"feedcache_cold_seconds\": %.3f,\n"
+        "    \"feedcache_warm_seconds\": %.3f\n"
         "  }\n"
         "}\n",
         runs, static_cast<std::uint64_t>(opt.warmup),
         static_cast<std::uint64_t>(opt.measure), opt.scale, accesses,
         simsPerSec, accPerSec, digest, fanRuns, indepSimsPerSec,
-        fanSimsPerSec, fanSpeedup, buildSec, warmupSec, measureSec,
-        indepSec, fanSec);
+        fanSimsPerSec, fanSpeedup, feedColdSimsPerSec,
+        feedWarmSimsPerSec, feedSpeedup, buildSec, warmupSec, measureSec,
+        indepSec, fanSec, feedColdSec, feedWarmSec);
 
     std::FILE *f = std::fopen("BENCH_kernel.json", "w");
     if (!f)
@@ -315,6 +429,25 @@ main(int argc, char **argv)
         };
         gate("serial", simsPerSec, base.serialSimsPerSec);
         gate("fanout", fanSimsPerSec, base.fanoutSimsPerSec);
+        gate("feedcache warm", feedWarmSimsPerSec,
+             base.feedWarmSimsPerSec);
+        // The speedup ratio gates too: warm replay regressing toward
+        // cold cost is a feed-cache regression even if absolute sims/sec
+        // kept up with a faster machine.
+        if (base.feedSpeedup > 0.0) {
+            const double floor = base.feedSpeedup * (1.0 - tolerance);
+            std::printf("gate: feedcache speedup %.3fx vs baseline "
+                        "%.3fx (floor %.3fx, tolerance %.0f%%)\n",
+                        feedSpeedup, base.feedSpeedup, floor,
+                        tolerance * 100.0);
+            if (feedSpeedup < floor) {
+                std::fprintf(stderr,
+                             "FAIL: feedcache_speedup regressed more "
+                             "than %.0f%% below the recorded baseline\n",
+                             tolerance * 100.0);
+                failed = true;
+            }
+        }
         if (failed)
             return 2;
     }

@@ -15,32 +15,40 @@
  *                policy on one mix): every digest distinct — the policy
  *                id is part of the canonical request encoding — cold
  *                pass all simulated, repeat pass all content-addressed
- *                cache hits, every result bitwise-identical
- *  5. overload   a burst against a 1-worker/depth-1 daemon: Busy sheds
+ *                cache hits, every result bitwise-identical.  The
+ *                daemon runs with a feed cache, so this pass also
+ *                populates the shared front-end feed blob.
+ *  5. warm-feed  the arena request set again, against a daemon with a
+ *                FRESH result cache but the warm feed dir: every
+ *                request re-simulates SLLC-only off the feed blob, all
+ *                replies bitwise-identical, feed hits grow by exactly
+ *                the request count, and the wall clock beats the
+ *                no-feed oracle pass
+ *  6. overload   a burst against a 1-worker/depth-1 daemon: Busy sheds
  *                observed, every result still correct (retry/fallback)
- *  6. torn-reply truncated SimResult frames mid-stream: detected as
+ *  7. torn-reply truncated SimResult frames mid-stream: detected as
  *                SimError(Protocol), recovered by reconnect-and-retry
- *  7. bad-blob   corrupted cache blobs: demoted to re-simulation
- *  8. hung-run   a stalling job: watchdog abort, Error to the client
- *  9. no-daemon  unreachable socket: in-process fallback, bit-identical
- * 10. restart    kill -9 emulation: torn blob + stale tmp left behind,
+ *  8. bad-blob   corrupted cache blobs: demoted to re-simulation
+ *  9. hung-run   a stalling job: watchdog abort, Error to the client
+ * 10. no-daemon  unreachable socket: in-process fallback, bit-identical
+ * 11. restart    kill -9 emulation: torn blob + stale tmp left behind,
  *                new daemon on the same cache dir recovers the intact
  *                entries and re-simulates the torn one
  *
  * Chaos phases (process-isolated daemon; --chaos-fraction > 0):
  *
- * 11. chaos      a concurrent mix where a budgeted fraction of requests
+ * 12. chaos      a concurrent mix where a budgeted fraction of requests
  *                detonates inside its sandboxed worker (abort, alloc
  *                bomb, abort-ignoring hang).  The daemon must survive
  *                it all: every healthy reply bitwise-identical to the
  *                oracle, every doomed request answered with a typed
  *                SimError (Crash, or Hang for the forced kill), workers
  *                restarted behind the scenes.
- * 12. poison     one marked request is sent repeatedly: it kills K
+ * 13. poison     one marked request is sent repeatedly: it kills K
  *                distinct workers, crosses the quarantine threshold and
  *                is refused with a typed error from then on — without
  *                consuming another worker.
- * 13. poison-restart  a NEW daemon on the same cache dir refuses the
+ * 14. poison-restart  a NEW daemon on the same cache dir refuses the
  *                quarantined request immediately: the verdict came off
  *                the persistent poison index, no worker died for it.
  *
@@ -68,6 +76,7 @@
 #include "service/run_request.hh"
 #include "service/daemon.hh"
 #include "service/supervisor.hh"
+#include "sim/feed_cache.hh"
 #include "verify/fault_injector.hh"
 
 using namespace rc;
@@ -206,6 +215,8 @@ main(int argc, char **argv)
     std::vector<PhaseRecord> phases;
     std::uint64_t wrongTotal = 0;
     double coldPerReq = 0.0, hotPerReq = 0.0, hitSpeedup = 0.0;
+    double arenaColdSeconds = 0.0, warmFeedSeconds = 0.0;
+    std::uint64_t warmFeedHits = 0;
 
     auto phase = [&phases](const std::string &name) {
         phases.push_back({name, false, 0.0, ""});
@@ -338,42 +349,105 @@ main(int argc, char **argv)
                     ++collisions;
 
         t0 = phase("arena");
+        // The oracle pass runs feed-free: its wall clock is the honest
+        // "every request pays its own front end" cost the warm-feed
+        // phase is measured against.
+        const auto oracleT0 = Clock::now();
         std::vector<RunResult> aoracle;
         for (const RunRequest &r : areqs)
             aoracle.push_back(bench::simulateRequest(r));
+        arenaColdSeconds = secondsSince(oracleT0);
+
+        // All 20+ requests share one private config prefix + mix, so
+        // they share ONE feed key: the first simulation captures the
+        // blob, the rest of the field replays it.
+        const std::string feedDir = dir + "/feedcache";
+        const SimulateFn feedSim =
+            [feedDir](const RunRequest &req, const std::atomic<bool> *abort,
+                      std::atomic<std::uint64_t> *heartbeat) {
+                return bench::simulateRequest(req, abort, heartbeat,
+                                              feedDir);
+            };
 
         DaemonConfig dcfg;
         dcfg.socketPath = sock;
         dcfg.cacheDir = dir + "/cache-arena";
+        dcfg.feedCacheDir = feedDir;
         dcfg.workers = threads;
         dcfg.queueDepth = 256;
         dcfg.isolateWorkers = isolate;
-        Daemon daemon(dcfg, directSim());
-        daemon.start();
+        {
+            Daemon daemon(dcfg, feedSim);
+            daemon.start();
 
-        std::uint64_t wrong = 0;
-        RcClient client(ccfg);
-        verifyAll(areqs, aoracle, client, wrong);
-        const std::uint64_t coldSim = daemon.counters().simulated;
-        verifyAll(areqs, aoracle, client, wrong);
-        const DaemonCounters c = daemon.counters();
-        const bool ok = collisions == 0 && wrong == 0 &&
-                        coldSim == areqs.size() &&
-                        c.cacheHits >= areqs.size() &&
-                        c.simulated == coldSim;
-        char note[200];
-        std::snprintf(note, sizeof(note),
-                      "%zu policies, %llu digest collisions, cold %llu "
-                      "simulated, repeat %llu cache hits, %llu wrong",
-                      areqs.size(),
-                      static_cast<unsigned long long>(collisions),
-                      static_cast<unsigned long long>(coldSim),
-                      static_cast<unsigned long long>(c.cacheHits),
-                      static_cast<unsigned long long>(wrong));
-        endPhase(t0, ok, note);
-        wrongTotal += wrong;
-        daemon.requestStop();
-        daemon.stop();
+            std::uint64_t wrong = 0;
+            RcClient client(ccfg);
+            verifyAll(areqs, aoracle, client, wrong);
+            const std::uint64_t coldSim = daemon.counters().simulated;
+            verifyAll(areqs, aoracle, client, wrong);
+            const DaemonCounters c = daemon.counters();
+            const bool ok = collisions == 0 && wrong == 0 &&
+                            coldSim == areqs.size() &&
+                            c.cacheHits >= areqs.size() &&
+                            c.simulated == coldSim;
+            char note[200];
+            std::snprintf(note, sizeof(note),
+                          "%zu policies, %llu digest collisions, cold %llu "
+                          "simulated, repeat %llu cache hits, %llu wrong",
+                          areqs.size(),
+                          static_cast<unsigned long long>(collisions),
+                          static_cast<unsigned long long>(coldSim),
+                          static_cast<unsigned long long>(c.cacheHits),
+                          static_cast<unsigned long long>(wrong));
+            endPhase(t0, ok, note);
+            wrongTotal += wrong;
+            daemon.requestStop();
+            daemon.stop();
+        }
+
+        // 5. warm-feed: fresh result cache, warm feed blobs ----------
+        {
+            DaemonConfig wcfg;
+            wcfg.socketPath = sock;
+            // A result cache the daemon has never seen: every request
+            // must re-simulate — but off the feed blob the arena pass
+            // just stored, so the front end is never re-run.
+            wcfg.cacheDir = dir + "/cache-warmfeed";
+            wcfg.feedCacheDir = feedDir;
+            wcfg.workers = threads;
+            wcfg.queueDepth = 256;
+            // In-process workers regardless of --isolate: the asserted
+            // feed counters live in this process's FeedCache registry,
+            // and a forked child's hits never reach it.
+            wcfg.isolateWorkers = false;
+            Daemon daemon(wcfg, feedSim);
+            daemon.start();
+
+            t0 = phase("warm-feed");
+            const FeedCacheStats feed0 = FeedCache::open(feedDir)->stats();
+            std::uint64_t wrong = 0;
+            RcClient client(ccfg);
+            verifyAll(areqs, aoracle, client, wrong);
+            warmFeedSeconds = secondsSince(t0);
+            const FeedCacheStats feed1 = FeedCache::open(feedDir)->stats();
+            warmFeedHits = feed1.hits - feed0.hits;
+            const DaemonCounters c = daemon.counters();
+            const bool ok = wrong == 0 && c.simulated == areqs.size() &&
+                            warmFeedHits == areqs.size();
+            char note[200];
+            std::snprintf(
+                note, sizeof(note),
+                "%zu re-simulated on a fresh result cache, %llu warm "
+                "feed hits, %.3fs vs %.3fs feed-free (%.2fx)",
+                areqs.size(),
+                static_cast<unsigned long long>(warmFeedHits),
+                warmFeedSeconds, arenaColdSeconds,
+                arenaColdSeconds / std::max(warmFeedSeconds, 1e-9));
+            endPhase(t0, ok, note);
+            wrongTotal += wrong;
+            daemon.requestStop();
+            daemon.stop();
+        }
     }
 
     // 5. overload: tiny queue, slow worker, concurrent burst ---------
@@ -800,6 +874,12 @@ main(int argc, char **argv)
         std::fprintf(f, "  \"hit_us_per_request\": %.1f,\n",
                      hotPerReq * 1e6);
         std::fprintf(f, "  \"hit_speedup\": %.1f,\n", hitSpeedup);
+        std::fprintf(f, "  \"arena_cold_seconds\": %.3f,\n",
+                     arenaColdSeconds);
+        std::fprintf(f, "  \"warm_feed_seconds\": %.3f,\n",
+                     warmFeedSeconds);
+        std::fprintf(f, "  \"warm_feed_hits\": %llu,\n",
+                     static_cast<unsigned long long>(warmFeedHits));
         std::fprintf(f, "  \"wrong_results\": %llu,\n",
                      static_cast<unsigned long long>(wrongTotal));
         std::fprintf(f, "  \"isolate\": %s,\n",

@@ -91,25 +91,35 @@ class PolicyRef
             base->onFill(set, way, ctx);
             return;
         }
+        // The paper's six built-ins occupy the front of the Tag enum:
+        // one predictable range compare keeps their dispatch a compact
+        // six-way switch (what the kernel number was recorded against
+        // before the arena ports widened the tag space), and the arena
+        // tail pays the wider switch only when one is actually racing.
+        if (tag <= Tag::Rrip) [[likely]] {
+            switch (tag) {
+              case Tag::Lru:
+                static_cast<LruPolicy *>(base)->onFill(set, way, ctx);
+                break;
+              case Tag::Nru:
+                static_cast<NruPolicy *>(base)->onFill(set, way, ctx);
+                break;
+              case Tag::Nrr:
+                static_cast<NrrPolicy *>(base)->onFill(set, way, ctx);
+                break;
+              case Tag::Random:
+                static_cast<RandomPolicy *>(base)->onFill(set, way, ctx);
+                break;
+              case Tag::Clock:
+                static_cast<ClockPolicy *>(base)->onFill(set, way, ctx);
+                break;
+              default:
+                static_cast<RripPolicy *>(base)->onFill(set, way, ctx);
+                break;
+            }
+            return;
+        }
         switch (tag) {
-          case Tag::Lru:
-            static_cast<LruPolicy *>(base)->onFill(set, way, ctx);
-            break;
-          case Tag::Nru:
-            static_cast<NruPolicy *>(base)->onFill(set, way, ctx);
-            break;
-          case Tag::Nrr:
-            static_cast<NrrPolicy *>(base)->onFill(set, way, ctx);
-            break;
-          case Tag::Random:
-            static_cast<RandomPolicy *>(base)->onFill(set, way, ctx);
-            break;
-          case Tag::Clock:
-            static_cast<ClockPolicy *>(base)->onFill(set, way, ctx);
-            break;
-          case Tag::Rrip:
-            static_cast<RripPolicy *>(base)->onFill(set, way, ctx);
-            break;
           case Tag::Ship:
             static_cast<ShipPolicy *>(base)->onFill(set, way, ctx);
             break;
@@ -131,7 +141,7 @@ class PolicyRef
           case Tag::Plru:
             static_cast<PlruPolicy *>(base)->onFill(set, way, ctx);
             break;
-          case Tag::Mru:
+          default:
             static_cast<MruPolicy *>(base)->onFill(set, way, ctx);
             break;
         }
@@ -144,25 +154,31 @@ class PolicyRef
             base->onHit(set, way, ctx);
             return;
         }
+        // Built-ins-first split; see onFill().
+        if (tag <= Tag::Rrip) [[likely]] {
+            switch (tag) {
+              case Tag::Lru:
+                static_cast<LruPolicy *>(base)->onHit(set, way, ctx);
+                break;
+              case Tag::Nru:
+                static_cast<NruPolicy *>(base)->onHit(set, way, ctx);
+                break;
+              case Tag::Nrr:
+                static_cast<NrrPolicy *>(base)->onHit(set, way, ctx);
+                break;
+              case Tag::Random:
+                static_cast<RandomPolicy *>(base)->onHit(set, way, ctx);
+                break;
+              case Tag::Clock:
+                static_cast<ClockPolicy *>(base)->onHit(set, way, ctx);
+                break;
+              default:
+                static_cast<RripPolicy *>(base)->onHit(set, way, ctx);
+                break;
+            }
+            return;
+        }
         switch (tag) {
-          case Tag::Lru:
-            static_cast<LruPolicy *>(base)->onHit(set, way, ctx);
-            break;
-          case Tag::Nru:
-            static_cast<NruPolicy *>(base)->onHit(set, way, ctx);
-            break;
-          case Tag::Nrr:
-            static_cast<NrrPolicy *>(base)->onHit(set, way, ctx);
-            break;
-          case Tag::Random:
-            static_cast<RandomPolicy *>(base)->onHit(set, way, ctx);
-            break;
-          case Tag::Clock:
-            static_cast<ClockPolicy *>(base)->onHit(set, way, ctx);
-            break;
-          case Tag::Rrip:
-            static_cast<RripPolicy *>(base)->onHit(set, way, ctx);
-            break;
           case Tag::Ship:
             static_cast<ShipPolicy *>(base)->onHit(set, way, ctx);
             break;
@@ -184,7 +200,7 @@ class PolicyRef
           case Tag::Plru:
             static_cast<PlruPolicy *>(base)->onHit(set, way, ctx);
             break;
-          case Tag::Mru:
+          default:
             static_cast<MruPolicy *>(base)->onHit(set, way, ctx);
             break;
         }
@@ -197,14 +213,18 @@ class PolicyRef
             base->onInvalidate(set, way);
             return;
         }
+        // Only RRIP and the eviction-trained arena predictors override
+        // onInvalidate; the base no-op covers the rest (sealed set, so
+        // this is by inspection, and the identity suite would catch a
+        // policy growing an override).  Built-ins-first: five of the
+        // six front tags are that no-op, so the common case is two
+        // predictable compares and out.
+        if (tag <= Tag::Rrip) [[likely]] {
+            if (tag == Tag::Rrip)
+                static_cast<RripPolicy *>(base)->onInvalidate(set, way);
+            return;
+        }
         switch (tag) {
-          // Only RRIP and the eviction-trained arena predictors override
-          // onInvalidate; the base no-op covers the rest (sealed set, so
-          // this is by inspection, and the identity suite would catch a
-          // policy growing an override).
-          case Tag::Rrip:
-            static_cast<RripPolicy *>(base)->onInvalidate(set, way);
-            break;
           case Tag::Ship:
             static_cast<ShipPolicy *>(base)->onInvalidate(set, way);
             break;
@@ -214,16 +234,7 @@ class PolicyRef
           case Tag::DeadBlock:
             static_cast<DeadBlockPolicy *>(base)->onInvalidate(set, way);
             break;
-          case Tag::Lru:
-          case Tag::Nru:
-          case Tag::Nrr:
-          case Tag::Random:
-          case Tag::Clock:
-          case Tag::RdAware:
-          case Tag::Insertion:
-          case Tag::Stream:
-          case Tag::Plru:
-          case Tag::Mru:
+          default:
             break;
         }
     }
@@ -233,19 +244,24 @@ class PolicyRef
     {
         if (detail::forceVirtualReplDispatch)
             return base->victim(set, q);
+        // Built-ins-first split; see onFill().
+        if (tag <= Tag::Rrip) [[likely]] {
+            switch (tag) {
+              case Tag::Lru:
+                return static_cast<LruPolicy *>(base)->victim(set, q);
+              case Tag::Nru:
+                return static_cast<NruPolicy *>(base)->victim(set, q);
+              case Tag::Nrr:
+                return static_cast<NrrPolicy *>(base)->victim(set, q);
+              case Tag::Random:
+                return static_cast<RandomPolicy *>(base)->victim(set, q);
+              case Tag::Clock:
+                return static_cast<ClockPolicy *>(base)->victim(set, q);
+              default:
+                return static_cast<RripPolicy *>(base)->victim(set, q);
+            }
+        }
         switch (tag) {
-          case Tag::Lru:
-            return static_cast<LruPolicy *>(base)->victim(set, q);
-          case Tag::Nru:
-            return static_cast<NruPolicy *>(base)->victim(set, q);
-          case Tag::Nrr:
-            return static_cast<NrrPolicy *>(base)->victim(set, q);
-          case Tag::Random:
-            return static_cast<RandomPolicy *>(base)->victim(set, q);
-          case Tag::Clock:
-            return static_cast<ClockPolicy *>(base)->victim(set, q);
-          case Tag::Rrip:
-            return static_cast<RripPolicy *>(base)->victim(set, q);
           case Tag::Ship:
             return static_cast<ShipPolicy *>(base)->victim(set, q);
           case Tag::Redre:
@@ -260,14 +276,16 @@ class PolicyRef
             return static_cast<StreamPolicy *>(base)->victim(set, q);
           case Tag::Plru:
             return static_cast<PlruPolicy *>(base)->victim(set, q);
-          case Tag::Mru:
+          default:
             return static_cast<MruPolicy *>(base)->victim(set, q);
         }
-        return base->victim(set, q);
     }
 
   private:
-    /** Sealed concrete types (mode families share one class each). */
+    /** Sealed concrete types (mode families share one class each).
+     *  Order matters: the paper's six built-ins come first so the
+     *  dispatch methods can route them with one `tag <= Tag::Rrip`
+     *  range compare (see onFill()). */
     enum class Tag : std::uint8_t {
         Lru, Nru, Nrr, Random, Clock, Rrip,
         Ship, Redre, DeadBlock, RdAware, Insertion, Stream, Plru, Mru,

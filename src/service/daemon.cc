@@ -16,6 +16,7 @@
 #include "service/frame.hh"
 #include "service/poison.hh"
 #include "service/supervisor.hh"
+#include "sim/feed_cache.hh"
 #include "snapshot/serializer.hh"
 #include "telemetry/trace_event.hh"
 
@@ -104,6 +105,15 @@ Daemon::Daemon(const DaemonConfig &cfg, SimulateFn simulate)
     RC_ASSERT(this->simulate != nullptr, "daemon needs a SimulateFn");
     truncateBudget.store(static_cast<std::int32_t>(cfg.faultTruncateReplies));
     corruptBudget.store(static_cast<std::int32_t>(cfg.faultCorruptBlobs));
+    if (!cfg.feedCacheDir.empty()) {
+        try {
+            // Same process-wide instance the SimulateFn uses, so the
+            // counters exported below reflect its hits and misses.
+            feedCache = FeedCache::open(cfg.feedCacheDir);
+        } catch (const SimError &err) {
+            warn("daemon: feed-cache stats unavailable: %s", err.what());
+        }
+    }
     if (cfg.isolateWorkers) {
         poison = std::make_unique<PoisonIndex>(cfg.cacheDir);
         SupervisorConfig sup;
@@ -515,6 +525,12 @@ Daemon::workerLoop()
 
         EventTracer *tracer = cfg.tracer;
         const std::uint64_t t0 = tracer ? tracer->hostNowMicros() : 0;
+        // Feed-cache attribution: the simulate callback replays or
+        // captures front-end blobs internally, so the only observable
+        // is the shared counter delta around the call.  In-process
+        // workers only — a forked child's counters die with it.
+        const FeedCacheStats feed0 =
+            feedCache && !fleet ? feedCache->stats() : FeedCacheStats{};
         bool failed = false;
         SimError::Kind kind = SimError::Kind::Io;
         std::string msg;
@@ -567,6 +583,17 @@ Daemon::workerLoop()
                 tracer->recordHost("svc.crash", 0,
                                    tracer->hostNowMicros() - t0,
                                    job->digest & 0xffffffffu);
+            if (feedCache && !fleet) {
+                const FeedCacheStats feed1 = feedCache->stats();
+                if (feed1.hits > feed0.hits)
+                    tracer->recordHost("svc.feedHit", 0,
+                                       tracer->hostNowMicros() - t0,
+                                       job->digest & 0xffffffffu);
+                else if (feed1.misses > feed0.misses)
+                    tracer->recordHost("svc.feedMiss", 0,
+                                       tracer->hostNowMicros() - t0,
+                                       job->digest & 0xffffffffu);
+            }
         }
 
         {
@@ -646,6 +673,8 @@ Daemon::statsJson() const
     const ResultCacheStats cs = store.stats();
     const SupervisorCounters fc = fleetCounters();
     const PoisonStats ps = poisonStats();
+    const FeedCacheStats fs =
+        feedCache ? feedCache->stats() : FeedCacheStats{};
     std::ostringstream os;
     os << "{\n"
        << "  \"daemon\": {\n"
@@ -685,6 +714,14 @@ Daemon::statsJson() const
        << "    \"stores\": " << cs.stores << ",\n"
        << "    \"corrupt_dropped\": " << cs.corruptDropped << ",\n"
        << "    \"recovered\": " << cs.recovered << "\n"
+       << "  },\n"
+       << "  \"feed\": {\n"
+       << "    \"enabled\": " << (feedCache ? "true" : "false") << ",\n"
+       << "    \"feed_hits\": " << fs.hits << ",\n"
+       << "    \"feed_misses\": " << fs.misses << ",\n"
+       << "    \"stores\": " << fs.stores << ",\n"
+       << "    \"corrupt_dropped\": " << fs.corruptDropped << ",\n"
+       << "    \"recovered\": " << fs.recovered << "\n"
        << "  }\n"
        << "}\n";
     return os.str();

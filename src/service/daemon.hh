@@ -51,6 +51,7 @@
 namespace rc
 {
 class EventTracer;
+class FeedCache;
 }
 
 namespace rc::svc
@@ -66,6 +67,15 @@ struct DaemonConfig
 {
     std::string socketPath;           //!< UDS path (unlinked on bind)
     std::string cacheDir;             //!< ResultCache directory
+
+    /**
+     * Feed-cache directory the daemon's SimulateFn was configured with
+     * ("" = no feed cache).  The daemon never opens blobs itself — the
+     * harness-side simulate callback does — but knowing the directory
+     * lets statsJson() export the shared FeedCache counters and the
+     * worker loop attribute svc.feedHit/svc.feedMiss telemetry spans.
+     */
+    std::string feedCacheDir;
     std::uint32_t workers = 2;        //!< simulation worker threads
     std::size_t queueDepth = 64;      //!< bounded job queue capacity
     std::uint32_t retryAfterMs = 50;  //!< hint carried in Busy replies
@@ -217,6 +227,10 @@ class Daemon
     DaemonConfig cfg;
     SimulateFn simulate;
     ResultCache store;
+
+    //! Shared feed-cache handle (counters for statsJson / telemetry);
+    //! null when cfg.feedCacheDir is empty or the directory is unusable.
+    std::shared_ptr<FeedCache> feedCache;
 
     //! isolation mode only: persistent quarantine + worker fleet (the
     //! fleet holds a reference into the index, so order matters)

@@ -3,6 +3,7 @@
 #include <cstdio>
 
 #include "common/log.hh"
+#include "sim/feed_cache.hh"
 #include "snapshot/serializer.hh"
 
 namespace rc::svc
@@ -22,18 +23,11 @@ void
 putConfig(Serializer &s, const SystemConfig &c)
 {
     s.beginSection("cfg");
-    s.putU32(c.numCores);
-    s.putU64(c.priv.l1Bytes);
-    s.putU32(c.priv.l1Ways);
-    s.putU64(c.priv.l1Latency);
-    s.putU64(c.priv.l2Bytes);
-    s.putU32(c.priv.l2Ways);
-    s.putU64(c.priv.l2Latency);
-    s.putBool(c.prefetch.enable);
-    s.putU32(c.prefetch.degree);
-    s.putU32(c.prefetch.tableEntries);
-    s.putU32(c.prefetch.regionShift);
-    s.putU32(c.prefetch.minConfidence);
+    // The front-end prefix (cores, private hierarchy, prefetcher) is
+    // factored out so the feed cache's key derivation and this
+    // canonical encoding can never drift; it writes the exact same
+    // head bytes this walk always has.
+    putFrontEndConfig(s, c);
     s.putU32(c.xbar.numBanks);
     s.putU64(c.xbar.linkLatency);
     s.putU64(c.xbar.bankOccupancy);

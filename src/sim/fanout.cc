@@ -8,10 +8,41 @@
 namespace rc
 {
 
-FanoutFeed::FanoutFeed(const PrivateConfig &priv, StreamFactory factory_)
-    : privCfg(priv), factory(std::move(factory_))
+FanoutFeed::FanoutFeed(const PrivateConfig &priv, StreamFactory factory_,
+                       std::shared_ptr<const FeedBlob> blob_,
+                       bool capture_)
+    : privCfg(priv), factory(std::move(factory_)), blob(std::move(blob_)),
+      capture(capture_)
 {
     RC_ASSERT(factory, "fan-out feed needs a stream factory");
+    RC_ASSERT(!(blob && capture),
+              "a warm feed replays; there is nothing new to capture");
+    if (blob) {
+        // Replay mode: the blob IS the front end.  No streams, no
+        // virgin hierarchies, no record generation — unless a member
+        // later consumes past the blob's horizon (goLive()).
+        per.resize(blob->numCores());
+        labels.reserve(blob->numCores());
+        for (std::uint32_t c = 0; c < blob->numCores(); ++c) {
+            const FeedBlob::CoreView &view = blob->core(c);
+            RC_ASSERT(view.count % kChunk == 0,
+                      "feed blob record count %llu is not chunk-aligned",
+                      static_cast<unsigned long long>(view.count));
+            PerCore &pc = per[c];
+            pc.flat = view.recs;
+            pc.flatA = view.cumA;
+            pc.flatI = view.cumI;
+            pc.flatLlc = view.llc;
+            pc.flatCount = view.count;
+            pc.flatLlcCount = view.llcCount;
+            pc.base = view.count;
+            pc.generated = view.count;
+            pc.aTotal = view.count ? view.cumA[view.count - 1] : 0;
+            pc.iTotal = view.count ? view.cumI[view.count - 1] : 0;
+            labels.push_back(view.label);
+        }
+        return;
+    }
     streams = factory();
     RC_ASSERT(!streams.empty(), "stream factory produced no streams");
     virgin.reserve(streams.size());
@@ -49,9 +80,55 @@ FanoutFeed::growRing(PerCore &pc)
 }
 
 void
+FanoutFeed::goLive(CoreId core)
+{
+    // A member outran the blob.  Rebuild exactly the live state a cold
+    // run would have at the blob's horizon: fresh streams restored from
+    // the newest stream snapshot and advanced, and the virgin hierarchy
+    // re-materialized by replaying the flat records past the newest
+    // hierarchy snapshot.  Everything generated from here on is
+    // bit-identical to a cold run's continuation.
+    PerCore &pc = per[core];
+    if (streams.empty()) {
+        streams = factory();
+        RC_ASSERT(streams.size() == per.size(),
+                  "stream factory produced %zu streams for %zu cores",
+                  streams.size(), per.size());
+        virgin.resize(per.size());
+    }
+    if (virgin[core])
+        return;
+    const FeedBlob::CoreView &view = blob->core(core);
+    {
+        RC_ASSERT(!view.streamSnaps.empty(),
+                  "feed blob carries no stream snapshots for core %u",
+                  core);
+        const FeedBlob::Snap &anchor = view.streamSnaps.back();
+        RC_ASSERT(anchor.idx <= pc.flatCount,
+                  "feed blob stream snapshot beyond its records");
+        Deserializer d(anchor.image);
+        d.beginSection("stream");
+        streams[core]->restore(d);
+        d.endSection();
+        for (std::uint64_t i = anchor.idx; i < pc.flatCount; ++i)
+            (void)streams[core]->next();
+    }
+    virgin[core] = std::make_unique<PrivateHierarchy>(
+        privCfg, core, "virgin" + std::to_string(core));
+    materializeHier(core, pc.flatCount, *virgin[core]);
+    if (pc.ring.empty()) {
+        pc.ring.resize(kInitialRing);
+        pc.cumA.resize(kInitialRing);
+        pc.cumI.resize(kInitialRing);
+    }
+}
+
+void
 FanoutFeed::extend(CoreId core, std::uint64_t idx)
 {
     PerCore &pc = per[core];
+    if (blob && (virgin.size() <= core || !virgin[core]))
+        goLive(core);
     RefStream &stream = *streams[core];
     PrivateHierarchy &hier = *virgin[core];
     while (pc.generated <= idx) {
@@ -117,6 +194,12 @@ FanoutFeed::extend(CoreId core, std::uint64_t idx)
 void
 FanoutFeed::trim(CoreId core, std::uint64_t min_idx)
 {
+    // Capture mode keeps the whole window alive: FeedCache::store()
+    // serializes it after the run.  Blob-backed records are never
+    // trimmed either — they are a read-only mapping, and base already
+    // starts at the blob's horizon.
+    if (capture)
+        return;
     PerCore &pc = per[core];
     // Trim to the chunk boundary below min_idx, not min_idx itself:
     // materializeHier() replays records from the newest hierarchy
@@ -136,33 +219,34 @@ FanoutFeed::trim(CoreId core, std::uint64_t min_idx)
         pc.hsnaps.pop_front();
 }
 
-/** Canonical pre-step ready time of record @p j for a core whose state
- *  is (@p cursor, @p base_ready, @p base_cum_a); j must be >= cursor
- *  and the records [cursor, j) must all be private-complete. */
-static inline Cycle
-preReadyOf(const std::vector<std::uint64_t> &cum_a, std::size_t mask,
-           std::uint64_t cursor, std::uint64_t base_cum_a,
-           Cycle base_ready, std::uint64_t j)
-{
-    return j == cursor
-               ? base_ready
-               : base_ready + (cum_a[(j - 1) & mask] - base_cum_a);
-}
-
 FanoutFeed::NextEvent
 FanoutFeed::nextLlcBounded(CoreId core, std::uint64_t cursor,
                            std::uint64_t base_cum_a, Cycle base_ready,
                            Cycle end)
 {
     PerCore &pc = per[core];
+    // Replay fast path: binary-search the blob's flat LLC-bound index.
+    // Falls through to the live window only once the flat index is
+    // exhausted (the live llcIdx holds indices >= flatCount only).
+    if (cursor < pc.flatCount && pc.flatLlcCount != 0) {
+        const std::uint64_t *it = std::lower_bound(
+            pc.flatLlc, pc.flatLlc + pc.flatLlcCount, cursor);
+        if (it != pc.flatLlc + pc.flatLlcCount) {
+            const std::uint64_t k = *it;
+            const Cycle pre =
+                preReadyOf(pc, cursor, base_cum_a, base_ready, k);
+            if (pre >= end)
+                return NextEvent{};
+            return NextEvent{true, k, pre};
+        }
+    }
     for (;;) {
-        const std::size_t mask = pc.ring.size() - 1;
         const auto it = std::lower_bound(pc.llcIdx.begin(),
                                          pc.llcIdx.end(), cursor);
         if (it != pc.llcIdx.end()) {
             const std::uint64_t k = *it;
-            const Cycle pre = preReadyOf(pc.cumA, mask, cursor,
-                                         base_cum_a, base_ready, k);
+            const Cycle pre =
+                preReadyOf(pc, cursor, base_cum_a, base_ready, k);
             if (pre >= end)
                 return NextEvent{};
             return NextEvent{true, k, pre};
@@ -170,7 +254,7 @@ FanoutFeed::nextLlcBounded(CoreId core, std::uint64_t cursor,
         // No LLC-bound record generated yet: if the core provably
         // reaches the quantum boundary first, stop; otherwise generate
         // another chunk and look again.
-        if (preReadyOf(pc.cumA, mask, cursor, base_cum_a, base_ready,
+        if (preReadyOf(pc, cursor, base_cum_a, base_ready,
                        pc.generated) >= end) {
             return NextEvent{};
         }
@@ -178,20 +262,18 @@ FanoutFeed::nextLlcBounded(CoreId core, std::uint64_t cursor,
     }
 }
 
-/** Shared binary search: first index in [cursor, limit] whose pre-step
- *  ready time satisfies `pre > bound` (strict) or `pre >= bound`. */
-static std::uint64_t
-firstAtOrPast(const std::vector<std::uint64_t> &cum_a, std::size_t mask,
-              std::uint64_t cursor, std::uint64_t base_cum_a,
-              Cycle base_ready, std::uint64_t limit, Cycle bound,
-              bool strict)
+std::uint64_t
+FanoutFeed::firstAtOrPast(const PerCore &pc, std::uint64_t cursor,
+                          std::uint64_t base_cum_a, Cycle base_ready,
+                          std::uint64_t limit, Cycle bound,
+                          bool strict) const
 {
     std::uint64_t lo = cursor;
     std::uint64_t hi = limit;
     while (lo < hi) {
         const std::uint64_t mid = lo + (hi - lo) / 2;
-        const Cycle pre = preReadyOf(cum_a, mask, cursor, base_cum_a,
-                                     base_ready, mid);
+        const Cycle pre =
+            preReadyOf(pc, cursor, base_cum_a, base_ready, mid);
         const bool past = strict ? pre > bound : pre >= bound;
         if (past)
             hi = mid;
@@ -208,12 +290,12 @@ FanoutFeed::cursorAtCycle(CoreId core, std::uint64_t cursor,
 {
     PerCore &pc = per[core];
     while (pc.generated <= cursor ||
-           preReadyOf(pc.cumA, pc.ring.size() - 1, cursor, base_cum_a,
-                      base_ready, pc.generated) < end) {
+           preReadyOf(pc, cursor, base_cum_a, base_ready,
+                      pc.generated) < end) {
         extend(core, pc.generated);
     }
-    return firstAtOrPast(pc.cumA, pc.ring.size() - 1, cursor, base_cum_a,
-                         base_ready, pc.generated, end, false);
+    return firstAtOrPast(pc, cursor, base_cum_a, base_ready,
+                         pc.generated, end, false);
 }
 
 std::uint64_t
@@ -223,13 +305,51 @@ FanoutFeed::cursorAtKey(CoreId core, std::uint64_t cursor,
 {
     PerCore &pc = per[core];
     while (pc.generated <= cursor ||
-           preReadyOf(pc.cumA, pc.ring.size() - 1, cursor, base_cum_a,
-                      base_ready, pc.generated) <= key_ready) {
+           preReadyOf(pc, cursor, base_cum_a, base_ready,
+                      pc.generated) <= key_ready) {
         extend(core, pc.generated);
     }
-    return firstAtOrPast(pc.cumA, pc.ring.size() - 1, cursor, base_cum_a,
-                         base_ready, pc.generated, key_ready, strict);
+    return firstAtOrPast(pc, cursor, base_cum_a, base_ready,
+                         pc.generated, key_ready, strict);
 }
+
+namespace
+{
+
+/** Newest snapshot at or before @p idx: the live deque wins when it
+ *  has one (its entries all follow the blob's), else the blob's
+ *  vector is binary-searched.  Returns {snapIdx, image}; the image
+ *  pointer is null when neither side has an anchor. */
+template <typename LiveSnap>
+std::pair<std::uint64_t, const std::vector<std::uint8_t> *>
+newestSnapAtOrBefore(const std::deque<LiveSnap> &live,
+                     const std::vector<FeedBlob::Snap> *flat,
+                     std::uint64_t idx)
+{
+    const LiveSnap *anchor = nullptr;
+    for (const LiveSnap &snap : live) {
+        if (snap.idx > idx)
+            break;
+        anchor = &snap;
+    }
+    if (anchor)
+        return {anchor->idx, &anchor->image};
+    if (flat && !flat->empty()) {
+        // First blob snap past idx, then step back one.
+        auto it = std::upper_bound(
+            flat->begin(), flat->end(), idx,
+            [](std::uint64_t v, const FeedBlob::Snap &s) {
+                return v < s.idx;
+            });
+        if (it != flat->begin()) {
+            --it;
+            return {it->idx, &it->image};
+        }
+    }
+    return {0, nullptr};
+}
+
+} // namespace
 
 void
 FanoutFeed::materializeHier(CoreId core, std::uint64_t idx,
@@ -240,17 +360,13 @@ FanoutFeed::materializeHier(CoreId core, std::uint64_t idx,
               "materializeHier(%llu) beyond generated %llu",
               static_cast<unsigned long long>(idx),
               static_cast<unsigned long long>(pc.generated));
-    const HierSnap *anchor = nullptr;
-    for (const HierSnap &snap : pc.hsnaps) {
-        if (snap.idx > idx)
-            break;
-        anchor = &snap;
-    }
-    RC_ASSERT(anchor,
+    const auto [anchorIdx, image] = newestSnapAtOrBefore(
+        pc.hsnaps, blob ? &blob->core(core).hierSnaps : nullptr, idx);
+    RC_ASSERT(image,
               "no hierarchy snapshot at or before record %llu of core %u",
               static_cast<unsigned long long>(idx), core);
     {
-        Deserializer d(anchor->image);
+        Deserializer d(*image);
         d.beginSection("hier");
         hier.restore(d);
         d.endSection();
@@ -258,9 +374,8 @@ FanoutFeed::materializeHier(CoreId core, std::uint64_t idx,
     // Replay the intervening records: a never-diverged member replica
     // is bit-identical to the virgin hierarchy at every index, so the
     // apply path reproduces its exact state (and counters) at idx.
-    const std::size_t mask = pc.ring.size() - 1;
-    for (std::uint64_t i = anchor->idx; i < idx; ++i) {
-        const StepRecord &rec = pc.ring[i & mask];
+    for (std::uint64_t i = anchorIdx; i < idx; ++i) {
+        const StepRecord &rec = recAt(pc, i);
         const PrivateMissAction act = hier.applyClassify(rec);
         if (act.needLlc) {
             if (act.event == ProtoEvent::UPG) {
@@ -279,13 +394,9 @@ FanoutFeed::saveStreamAt(CoreId core, std::uint64_t idx,
                          Serializer &s) const
 {
     const PerCore &pc = per[core];
-    const StreamSnap *anchor = nullptr;
-    for (const StreamSnap &snap : pc.snaps) {
-        if (snap.idx > idx)
-            break;
-        anchor = &snap;
-    }
-    RC_ASSERT(anchor,
+    const auto [anchorIdx, image] = newestSnapAtOrBefore(
+        pc.snaps, blob ? &blob->core(core).streamSnaps : nullptr, idx);
+    RC_ASSERT(image,
               "no stream snapshot at or before record %llu of core %u",
               static_cast<unsigned long long>(idx), core);
 
@@ -293,12 +404,12 @@ FanoutFeed::saveStreamAt(CoreId core, std::uint64_t idx,
     RC_ASSERT(core < fresh.size(), "stream factory shrank");
     RefStream &stream = *fresh[core];
     {
-        Deserializer d(anchor->image);
+        Deserializer d(*image);
         d.beginSection("stream");
         stream.restore(d);
         d.endSection();
     }
-    for (std::uint64_t i = anchor->idx; i < idx; ++i)
+    for (std::uint64_t i = anchorIdx; i < idx; ++i)
         (void)stream.next();
     stream.save(s);
 }
@@ -320,7 +431,9 @@ ReplayStream::restore(Deserializer &d)
 }
 
 FanoutCmp::FanoutCmp(const std::vector<SystemConfig> &configs,
-                     StreamFactory factory_)
+                     StreamFactory factory_,
+                     std::shared_ptr<const FeedBlob> blob,
+                     bool capture)
 {
     RC_ASSERT(!configs.empty(), "fan-out needs at least one config");
     const SystemConfig &head = configs.front();
@@ -331,7 +444,8 @@ FanoutCmp::FanoutCmp(const std::vector<SystemConfig> &configs,
                   "fan-out members must share the private prefix");
     }
 
-    feed = std::make_unique<FanoutFeed>(head.priv, std::move(factory_));
+    feed = std::make_unique<FanoutFeed>(head.priv, std::move(factory_),
+                                        std::move(blob), capture);
     RC_ASSERT(feed->numCores() == head.numCores,
               "stream factory produced %u streams for %u cores",
               feed->numCores(), head.numCores);
@@ -381,9 +495,18 @@ FanoutCmp::run(Cycle cycles)
         RC_ASSERT(m->now() == start, "fan-out members out of lockstep");
     }
     const Cycle end = start + cycles;
+    // The lockstep quantum exists solely to bound the feed's live
+    // record window.  Replaying from a blob, the window is the blob —
+    // already materialized, never trimmed — so each member can run its
+    // whole horizon in one slice, keeping its SLLC and private
+    // metadata hot instead of round-robining every 256K cycles.
+    // Results are quantum-invariant either way (members only commit at
+    // the end of run()).
+    const Cycle quantum =
+        feed->warm() && !feed->capturing() ? cycles : kQuantum;
     Cycle target = start;
     while (target < end) {
-        target = std::min(target + kQuantum, end);
+        target = std::min(target + quantum, end);
         for (auto &m : members)
             m->runSlice(target, target == end);
 

@@ -49,6 +49,7 @@
 #include "cache/private_cache.hh"
 #include "common/log.hh"
 #include "sim/cmp.hh"
+#include "sim/feed_cache.hh"
 #include "sim/system_config.hh"
 #include "sim/trace.hh"
 
@@ -77,10 +78,21 @@ class FanoutFeed
   public:
     /**
      * @param priv private-hierarchy sizing shared by every member.
-     * @param factory stream builder; invoked once immediately, and
-     *        again per checkpointed stream image.
+     * @param factory stream builder; invoked once immediately (unless
+     *        replaying from @p blob), and again per checkpointed stream
+     *        image.
+     * @param blob a validated feed-cache blob to replay from: records,
+     *        prefix sums, the LLC-bound index and all chunk-boundary
+     *        snapshots come zero-copy out of the mapping, and no
+     *        stream or virgin-hierarchy simulation happens unless a
+     *        member consumes past the blob's horizon (goLive()).
+     * @param capture retain every record, prefix sum and snapshot for
+     *        a later FeedCache::store() instead of trimming; mutually
+     *        exclusive with @p blob.
      */
-    FanoutFeed(const PrivateConfig &priv, StreamFactory factory);
+    FanoutFeed(const PrivateConfig &priv, StreamFactory factory,
+               std::shared_ptr<const FeedBlob> blob = nullptr,
+               bool capture = false);
 
     ~FanoutFeed();
 
@@ -88,6 +100,8 @@ class FanoutFeed
     const StepRecord &record(CoreId core, std::uint64_t idx)
     {
         PerCore &pc = per[core];
+        if (idx < pc.flatCount)
+            return pc.flat[idx];
         if (idx >= pc.generated)
             extend(core, idx);
         return pc.ring[idx & (pc.ring.size() - 1)];
@@ -107,6 +121,8 @@ class FanoutFeed
     std::uint64_t cumAIncl(CoreId core, std::uint64_t idx) const
     {
         const PerCore &pc = per[core];
+        if (idx < pc.flatCount)
+            return pc.flatA[idx];
         RC_ASSERT(idx >= pc.base && idx < pc.generated,
                   "cumAIncl(%llu) outside live window [%llu, %llu)",
                   static_cast<unsigned long long>(idx),
@@ -119,6 +135,8 @@ class FanoutFeed
     std::uint64_t cumIIncl(CoreId core, std::uint64_t idx) const
     {
         const PerCore &pc = per[core];
+        if (idx < pc.flatCount)
+            return pc.flatI[idx];
         RC_ASSERT(idx >= pc.base && idx < pc.generated,
                   "cumIIncl(%llu) outside live window",
                   static_cast<unsigned long long>(idx));
@@ -198,13 +216,27 @@ class FanoutFeed
      */
     void saveStreamAt(CoreId core, std::uint64_t idx, Serializer &s) const;
 
-    /** Records generated so far for @p core (tests/diagnostics). */
+    /** Records generated so far for @p core (tests/diagnostics).  In
+     *  replay mode this starts at the blob's record count. */
     std::uint64_t generatedCount(CoreId core) const
     {
         return per[core].generated;
     }
 
+    /** Replaying from a feed-cache blob? */
+    bool warm() const { return blob != nullptr; }
+
+    /** Retaining everything for a FeedCache::store()? */
+    bool capturing() const { return capture; }
+
+    /** Blob records available to @p core without any simulation. */
+    std::uint64_t warmCount(CoreId core) const
+    {
+        return per[core].flatCount;
+    }
+
   private:
+    friend class FeedCache; // store() serializes the captured window
     /** Stream-state image taken at a chunk boundary. */
     struct StreamSnap
     {
@@ -222,8 +254,18 @@ class FanoutFeed
 
     struct PerCore
     {
-        std::uint64_t base = 0;      //!< oldest index any member needs
+        std::uint64_t base = 0;      //!< oldest ring-resident index
         std::uint64_t generated = 0; //!< next index to generate
+        /** Replay mode: zero-copy views into the mapped blob's arrays.
+         *  Records [0, flatCount) live here permanently (never
+         *  trimmed); the ring only ever holds indices >= flatCount,
+         *  generated live past the blob's horizon. */
+        const StepRecord *flat = nullptr;
+        const std::uint64_t *flatA = nullptr;
+        const std::uint64_t *flatI = nullptr;
+        const std::uint64_t *flatLlc = nullptr;
+        std::uint64_t flatCount = 0;
+        std::uint64_t flatLlcCount = 0;
         /** Live record window as a power-of-2 ring: record @c i lives at
          *  slot <tt>i & (ring.size()-1)</tt>, so the members' hot-path
          *  fetch is one masked load with no deque block chasing.  Grown
@@ -244,6 +286,50 @@ class FanoutFeed
     /** Generate whole chunks until @p idx exists. */
     void extend(CoreId core, std::uint64_t idx);
 
+    /**
+     * Replay mode only: a member consumed past the blob's horizon, so
+     * rebuild live front-end state for @p core — fresh streams from the
+     * factory, the stream restored from the blob's newest snapshot and
+     * advanced, and the virgin hierarchy re-materialized by record
+     * replay — then generation continues exactly as a cold run would.
+     */
+    void goLive(CoreId core);
+
+    /** Prefix sum through @p idx, flat or ring. */
+    std::uint64_t cumAt(const PerCore &pc, std::uint64_t idx) const
+    {
+        return idx < pc.flatCount
+                   ? pc.flatA[idx]
+                   : pc.cumA[idx & (pc.ring.size() - 1)];
+    }
+
+    /** Record @p idx, flat or ring (must already exist). */
+    const StepRecord &recAt(const PerCore &pc, std::uint64_t idx) const
+    {
+        return idx < pc.flatCount
+                   ? pc.flat[idx]
+                   : pc.ring[idx & (pc.ring.size() - 1)];
+    }
+
+    /** Canonical pre-step ready time of record @p j for a core at
+     *  (@p cursor, @p base_ready, @p base_cum_a); j >= cursor and
+     *  [cursor, j) all private-complete. */
+    Cycle preReadyOf(const PerCore &pc, std::uint64_t cursor,
+                     std::uint64_t base_cum_a, Cycle base_ready,
+                     std::uint64_t j) const
+    {
+        return j == cursor
+                   ? base_ready
+                   : base_ready + (cumAt(pc, j - 1) - base_cum_a);
+    }
+
+    /** First index in [cursor, limit] whose pre-step ready time passes
+     *  @p bound (`>` when strict, else `>=`). */
+    std::uint64_t firstAtOrPast(const PerCore &pc, std::uint64_t cursor,
+                                std::uint64_t base_cum_a,
+                                Cycle base_ready, std::uint64_t limit,
+                                Cycle bound, bool strict) const;
+
     /** Double @p pc's ring and remap the live window into it. */
     static void growRing(PerCore &pc);
 
@@ -259,6 +345,10 @@ class FanoutFeed
     std::vector<std::unique_ptr<PrivateHierarchy>> virgin;
     std::vector<std::string> labels;
     std::vector<PerCore> per;
+    //! Replay source; owning it keeps the mapping alive for the flat
+    //! pointers above.
+    std::shared_ptr<const FeedBlob> blob;
+    bool capture = false;
 };
 
 /**
@@ -319,9 +409,15 @@ class FanoutCmp
      *        front-end prefix (samePrivatePrefix()) and have
      *        prefetching disabled.
      * @param factory builds the shared per-core streams.
+     * @param blob feed-cache blob to replay the front end from (warm
+     *        hit); nullptr simulates the front end as usual.
+     * @param capture retain the front end's full record window so the
+     *        caller can FeedCache::store() it after the run.
      */
     FanoutCmp(const std::vector<SystemConfig> &configs,
-              StreamFactory factory);
+              StreamFactory factory,
+              std::shared_ptr<const FeedBlob> blob = nullptr,
+              bool capture = false);
 
     /**
      * Do @p a and @p b share the front-end-invariant config prefix

@@ -1,0 +1,270 @@
+/**
+ * @file
+ * Persistent content-addressed feed cache: the fan-out front end's
+ * classified per-core StepRecord streams, serialized once and replayed
+ * forever.
+ *
+ * PAPER.md's configurations differ only at the SLLC, so the private
+ * hierarchy's classification of a (mix, seed, scale, window,
+ * private-prefix) tuple is identical across every sweep, tournament
+ * rerun and daemon request that shares those inputs.  The fan-out front
+ * end (FanoutFeed) already computes that classification exactly once
+ * per sweep; this module makes it durable, so even a never-before-seen
+ * SLLC config skips the front end entirely.
+ *
+ * Blob format `RCFEED1` (one file per key, `feed-<digest16>.bin`):
+ *
+ *   [0..71]    72-byte fixed header: magic "RCFEED1\0", format version,
+ *              sizeof(StepRecord), total file bytes, arrays region
+ *              offset/length/hash, meta region offset/length, an
+ *              endianness tag, and a CRC32 over the preceding header
+ *              bytes.
+ *   arrays     per-core flat arrays, each 64-byte aligned: StepRecords,
+ *              inclusive cumA/cumI prefix sums, and the LLC-bound
+ *              record index.  Guarded by a 64-bit word-stride hash
+ *              (feedHash64) rather than byte-wise CRC32 so a warm open
+ *              validates at memory bandwidth.
+ *   meta       a complete snapshot-container image (RCSNAP01, its own
+ *              CRC32): the full canonical key bytes, per-core labels,
+ *              counts, array offsets, and every chunk-boundary stream +
+ *              virgin-hierarchy snapshot the express lane needs.
+ *
+ * The arrays region is consumed zero-copy: a warm FanoutFeed reads
+ * StepRecords straight out of the mmap.  Lookups verify the header CRC,
+ * the arrays hash, the meta container CRC, AND compare the stored key
+ * bytes against the probe — a corrupt blob or digest collision demotes
+ * to a miss (corruption additionally unlinks the blob), never a wrong
+ * answer.  Writes follow the ResultCache crash-safety discipline:
+ * tmp + fsync + rename, a flock-guarded append-only `feed.index`, and
+ * startup recovery that adopts unindexed blobs and sweeps stale tmps.
+ */
+
+#ifndef RC_SIM_FEED_CACHE_HH
+#define RC_SIM_FEED_CACHE_HH
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "cache/private_cache.hh"
+#include "sim/system_config.hh"
+#include "workloads/mixes.hh"
+
+namespace rc
+{
+
+class Serializer;
+class FanoutFeed;
+
+/**
+ * Serialize the front-end-invariant SystemConfig prefix: the fields
+ * that shape reference generation and private-hierarchy classification
+ * (cores, L1/L2 geometry and latencies, prefetcher) and nothing else.
+ * This is the exact head of the service's canonical config walk —
+ * run_request.cc calls it so the two encodings can never drift — and
+ * the first section of the feed-cache key, which is what makes the key
+ * insensitive to SLLC-only config changes.
+ */
+void putFrontEndConfig(Serializer &s, const SystemConfig &c);
+
+/** Canonical feed-cache key: bytes + their FNV-1a 64 digest. */
+struct FeedKey
+{
+    std::vector<std::uint8_t> bytes;
+    std::uint64_t digest = 0;
+};
+
+/**
+ * Build the key for one front-end pass: front-end config prefix +
+ * config seed/capacityScale + mix applications + the deterministic run
+ * window (seed, scale, warmup, measure).  Two runs share a key iff
+ * their fan-out front ends generate bit-identical record streams.
+ */
+FeedKey feedKeyOf(const SystemConfig &cfg, const Mix &mix,
+                  std::uint64_t seed, std::uint32_t scale,
+                  std::uint64_t warmup, std::uint64_t measure);
+
+/** 16-hex-digit spelling of a key digest (blob names, logs). */
+std::string feedDigestHex(std::uint64_t digest);
+
+/** Word-stride 64-bit hash of the arrays region; memory-bandwidth
+ *  integrity check where byte-wise CRC32 would dominate a warm open. */
+std::uint64_t feedHash64(const void *data, std::size_t len);
+
+/**
+ * One mapped blob.  Owns the mmap; CoreView pointers alias it, so a
+ * FanoutFeed replaying from the blob keeps the shared_ptr alive.
+ * Open() validates header CRC, arrays hash and the meta container
+ * before any pointer is handed out; every defect throws
+ * SimError(Kind::Snapshot).
+ */
+class FeedBlob
+{
+  public:
+    /** A chunk-boundary stream or virgin-hierarchy snapshot. */
+    struct Snap
+    {
+        std::uint64_t idx = 0;           //!< first record it precedes
+        std::vector<std::uint8_t> image; //!< Serializer::image() bytes
+    };
+
+    /** Zero-copy view of one core's arrays inside the mapping. */
+    struct CoreView
+    {
+        std::string label;
+        const StepRecord *recs = nullptr;
+        const std::uint64_t *cumA = nullptr;
+        const std::uint64_t *cumI = nullptr;
+        const std::uint64_t *llc = nullptr;
+        std::uint64_t count = 0;    //!< records (chunk-aligned)
+        std::uint64_t llcCount = 0; //!< LLC-bound records
+        std::vector<Snap> streamSnaps;
+        std::vector<Snap> hierSnaps;
+    };
+
+    /** Map and validate @p path; throws SimError(Kind::Snapshot). */
+    static std::shared_ptr<const FeedBlob> open(const std::string &path);
+
+    ~FeedBlob();
+
+    FeedBlob(const FeedBlob &) = delete;
+    FeedBlob &operator=(const FeedBlob &) = delete;
+
+    const std::vector<std::uint8_t> &keyBytes() const { return key; }
+    std::uint64_t digest() const { return keyDigest; }
+    std::uint32_t numCores() const
+    {
+        return static_cast<std::uint32_t>(cores.size());
+    }
+    const CoreView &core(std::uint32_t c) const { return cores[c]; }
+    const std::string &path() const { return origin; }
+
+  private:
+    FeedBlob() = default;
+
+    std::string origin;
+    const std::uint8_t *base = nullptr; //!< mmap base
+    std::size_t mapLen = 0;
+    std::vector<std::uint8_t> key;
+    std::uint64_t keyDigest = 0;
+    std::vector<CoreView> cores;
+};
+
+/** Monotonic counters exported into daemon stats JSON / bench output. */
+struct FeedCacheStats
+{
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t stores = 0;
+    std::uint64_t corruptDropped = 0; //!< blobs failing validation
+    std::uint64_t recovered = 0;      //!< blobs adopted at startup
+};
+
+/**
+ * RAII holder of one key's exclusive flock lease (see
+ * FeedCache::lockKey()); unlocks and closes on destruction.
+ */
+class FeedKeyLease
+{
+  public:
+    ~FeedKeyLease();
+    FeedKeyLease(const FeedKeyLease &) = delete;
+    FeedKeyLease &operator=(const FeedKeyLease &) = delete;
+
+  private:
+    friend class FeedCache;
+    FeedKeyLease() = default;
+    int fd = -1;
+};
+
+/**
+ * The persistent feed store; thread-safe.  Opened blobs are kept as
+ * weak references so concurrent sweep jobs hitting the same key share
+ * one mapping, while idle blobs cost nothing once the last replaying
+ * feed releases them.
+ */
+class FeedCache
+{
+  public:
+    /** Open (creating if needed) @p dir and run startup recovery.
+     *  Throws SimError(Kind::Io) when the directory is unusable. */
+    explicit FeedCache(const std::string &dir);
+
+    /**
+     * Process-wide shared instance for @p dir (canonicalized), so the
+     * harness, daemon stats and benches observe one set of counters.
+     */
+    static std::shared_ptr<FeedCache> open(const std::string &dir);
+
+    /**
+     * Look @p key up.
+     * @return the mapped blob, or nullptr on miss.  A blob failing any
+     *         validation check is unlinked and counted corruptDropped;
+     *         a digest collision (key bytes differ) is a plain miss.
+     */
+    std::shared_ptr<const FeedBlob> lookup(const FeedKey &key);
+
+    /**
+     * Persist @p feed's captured record streams under @p key (atomic
+     * tmp+fsync+rename blob, flock-guarded index append).  The feed
+     * must have been constructed in capture mode.
+     */
+    void store(const FeedKey &key, const FanoutFeed &feed);
+
+    /** Number of blobs currently believed present. */
+    std::size_t size() const;
+
+    /** Counter snapshot (taken under the cache lock). */
+    FeedCacheStats stats() const;
+
+    /** Blob path for @p digest (tests and fault injection). */
+    std::string blobPath(std::uint64_t digest) const;
+
+    /**
+     * Acquire the exclusive flock lease for @p digest's key (blocking).
+     * Cold-key writers take this before simulating so two processes
+     * racing the same key serialize: the first computes and stores, the
+     * second wakes, re-looks-up, and replays the warm blob.  Purely an
+     * efficiency protocol — correctness never depends on it, and a
+     * nullptr return (lock file unusable) just means both compute.
+     */
+    std::unique_ptr<FeedKeyLease> lockKey(std::uint64_t digest);
+
+    /** Rewrite the compacted index. */
+    void persistIndex();
+
+    const std::string &directory() const { return dir; }
+
+  private:
+    void appendIndex(std::uint64_t digest);
+    void recover();
+
+    std::string dir;
+    mutable std::mutex mu;
+    std::unordered_set<std::uint64_t> known; //!< digests with blobs
+    //! Live mappings by digest; weak so an unused blob unmaps itself.
+    std::unordered_map<std::uint64_t, std::weak_ptr<const FeedBlob>>
+        resident;
+    FeedCacheStats counters;
+};
+
+/**
+ * Fault-injection helpers (FaultInjector delegates here because the
+ * damage must be layout-aware): each corrupts an on-disk blob exactly
+ * the way one feed FaultClass describes.
+ */
+//! Truncate the blob mid-arrays (torn write / short copy).
+void feedTruncateBlob(const std::string &path);
+//! Flip one byte inside the arrays region (silent media corruption).
+void feedFlipBlobByte(const std::string &path);
+//! Bump the format version word and re-seal the header CRC, so ONLY
+//! the version check can reject the blob (stale-format detection).
+void feedStaleVersionBlob(const std::string &path);
+
+} // namespace rc
+
+#endif // RC_SIM_FEED_CACHE_HH

@@ -13,6 +13,7 @@
 #include "common/log.hh"
 #include "reuse/reuse_cache.hh"
 #include "sim/cmp.hh"
+#include "sim/feed_cache.hh"
 
 namespace rc
 {
@@ -90,6 +91,9 @@ toString(FaultClass cls)
       case FaultClass::WorkerCrash: return "worker-crash";
       case FaultClass::WorkerOom: return "worker-oom";
       case FaultClass::WorkerHang: return "worker-hang";
+      case FaultClass::FeedTruncate: return "feed-truncate";
+      case FaultClass::FeedFlip: return "feed-flip";
+      case FaultClass::FeedVersion: return "feed-version";
     }
     return "unknown";
 }
@@ -133,6 +137,10 @@ detectedBy(FaultClass cls, LlcKind kind)
       case FaultClass::WorkerOom:
       case FaultClass::WorkerHang:
         return Invariant::CrashContainment;
+      case FaultClass::FeedTruncate:
+      case FaultClass::FeedFlip:
+      case FaultClass::FeedVersion:
+        return Invariant::FeedIntegrity;
     }
     return Invariant::TagDataPointers;
 }
@@ -390,10 +398,13 @@ FaultInjector::inject(Cmp &cmp, FaultClass cls)
       case FaultClass::WorkerCrash:
       case FaultClass::WorkerOom:
       case FaultClass::WorkerHang:
+      case FaultClass::FeedTruncate:
+      case FaultClass::FeedFlip:
+      case FaultClass::FeedVersion:
         // Service-layer classes corrupt bytes in flight/at rest or a
         // worker process, not simulated state; see truncateFrame(),
-        // corruptBlobFile() and detonateChaos().  The
-        // checker-vs-injector matrix skips them like any other
+        // corruptBlobFile(), corruptFeedBlob() and detonateChaos().
+        // The checker-vs-injector matrix skips them like any other
         // inapplicable (class, organization) pair.
         break;
     }
@@ -444,7 +455,7 @@ chaosFromSeed(std::uint64_t seed, FaultClass &out)
         return false;
     const auto raw = static_cast<std::uint8_t>((seed >> 40) & 0xff);
     if (raw < static_cast<std::uint8_t>(FaultClass::WorkerCrash) ||
-        raw >= numFaultClasses)
+        raw > static_cast<std::uint8_t>(FaultClass::WorkerHang))
         return false;
     out = static_cast<FaultClass>(raw);
     return true;
@@ -516,6 +527,30 @@ FaultInjector::corruptBlobFile(const std::string &path)
     std::fputc((c == EOF ? 0 : c) ^ 0x5a, f);
     std::fclose(f);
     return true;
+}
+
+bool
+FaultInjector::corruptFeedBlob(const std::string &path, FaultClass cls)
+{
+    try {
+        switch (cls) {
+          case FaultClass::FeedTruncate:
+            feedTruncateBlob(path);
+            return true;
+          case FaultClass::FeedFlip:
+            feedFlipBlobByte(path);
+            return true;
+          case FaultClass::FeedVersion:
+            feedStaleVersionBlob(path);
+            return true;
+          default:
+            return false;
+        }
+    } catch (const SimError &) {
+        // The blob was too damaged to damage further (missing, shorter
+        // than a header); an injection that cannot land reports false.
+        return false;
+    }
 }
 
 } // namespace rc

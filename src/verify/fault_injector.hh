@@ -49,10 +49,16 @@ enum class FaultClass : std::uint8_t
                       //!< (chaos; detonated via detonateChaos)
     WorkerHang,       //!< abort-ignoring busy wait inside a sandboxed
                       //!< worker (chaos; detonated via detonateChaos)
+    FeedTruncate,     //!< cut a feed-cache blob short mid-arrays (torn
+                      //!< write; service layer, corrupts bytes at rest)
+    FeedFlip,         //!< flip one payload byte inside a feed blob's
+                      //!< record arrays (silent media corruption)
+    FeedVersion,      //!< bump a feed blob's format version word with a
+                      //!< re-sealed header CRC (stale-format detection)
 };
 
 /** Number of FaultClass values (matrix tests iterate over all). */
-inline constexpr std::size_t numFaultClasses = 12;
+inline constexpr std::size_t numFaultClasses = 15;
 
 /**
  * Classes that corrupt the service layer (bytes in flight/at rest, or a
@@ -65,7 +71,10 @@ isServiceFault(FaultClass cls)
     return cls == FaultClass::TruncatedFrame ||
            cls == FaultClass::CorruptBlob ||
            cls == FaultClass::WorkerCrash ||
-           cls == FaultClass::WorkerOom || cls == FaultClass::WorkerHang;
+           cls == FaultClass::WorkerOom ||
+           cls == FaultClass::WorkerHang ||
+           cls == FaultClass::FeedTruncate ||
+           cls == FaultClass::FeedFlip || cls == FaultClass::FeedVersion;
 }
 
 /** Short name, e.g. "dir-drop" (also the --inject= spelling). */
@@ -131,6 +140,20 @@ class FaultInjector
      * @return false when the file cannot be opened or is empty.
      */
     bool corruptBlobFile(const std::string &path);
+
+    /**
+     * Feed-cache blob faults: damage the RCFEED1 blob at @p path the
+     * way @p cls describes — FeedTruncate tears the file mid-arrays,
+     * FeedFlip flips one record-array byte (caught by the arrays
+     * hash), FeedVersion bumps the format version word and re-seals
+     * the header CRC so ONLY the version check can fire.  The contract
+     * partner is Invariant::FeedIntegrity: the next FeedCache::lookup
+     * must unlink the blob and demote the key to a verified recompute,
+     * never replay damaged records.
+     * @return false when @p path cannot be damaged (missing/short) or
+     *         @p cls is not a Feed* class.
+     */
+    bool corruptFeedBlob(const std::string &path, FaultClass cls);
 
   private:
     Rng rng;

@@ -46,6 +46,7 @@ toString(Invariant inv)
       case Invariant::BlobIntegrity: return "BlobIntegrity";
       case Invariant::CrashContainment: return "CrashContainment";
       case Invariant::PoisonQuarantine: return "PoisonQuarantine";
+      case Invariant::FeedIntegrity: return "FeedIntegrity";
     }
     return "unknown";
 }

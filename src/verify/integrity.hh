@@ -61,6 +61,10 @@ enum class Invariant : std::uint8_t
     PoisonQuarantine,   //!< a request that kills K distinct workers must
                         //!< be refused persistently from then on
                         //!< (enforced by svc::PoisonIndex + Daemon)
+    FeedIntegrity,      //!< feed-cache blob failed header/hash/meta/
+                        //!< version validation: the key must demote to
+                        //!< a verified recompute, never replay damaged
+                        //!< records (enforced by FeedCache::lookup)
 };
 
 /** Short name, e.g. "TagDataPointers". */

@@ -1,0 +1,462 @@
+/**
+ * @file
+ * Persistent feed-cache tests: a FanoutCmp replaying records out of a
+ * warm RCFEED1 blob must leave every member — including the arena's
+ * CRC2-family ports — in exactly the state the cold capturing run
+ * reached (same stats, same cycle count, same mid-run checkpoint
+ * bytes); the canonical key must be sensitive to everything that shapes
+ * the front end and insensitive to SLLC-only config changes; a corrupt
+ * blob of every feed FaultClass must demote to a verified recompute and
+ * be unlinked; and two processes racing one cold key through the flock
+ * lease must end with one blob and identical results.
+ */
+
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <cstdio>
+#include <cstdlib>
+
+#include <fcntl.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <gtest/gtest.h>
+
+#include "cache/replacement.hh"
+#include "sim/cmp.hh"
+#include "sim/fanout.hh"
+#include "sim/feed_cache.hh"
+#include "sim/system_config.hh"
+#include "snapshot/serializer.hh"
+#include "verify/fault_injector.hh"
+#include "workloads/mixes.hh"
+
+namespace
+{
+
+using namespace rc;
+
+constexpr Cycle kWarmup = 40'000;
+constexpr Cycle kMeasure = 160'000;
+constexpr std::uint32_t kScale = 8;
+constexpr std::uint64_t kSeed = 42;
+
+Mix
+testMix()
+{
+    Mix mix;
+    for (int c = 0; c < 8; ++c)
+        mix.apps.push_back(c % 2 == 0 ? "mcf" : "libquantum");
+    return mix;
+}
+
+StreamFactory
+mixFactory()
+{
+    return [] { return buildMixStreams(testMix(), kSeed, kScale); };
+}
+
+/** {conventional, arena ports, reuse, NCID} behind one front end. */
+std::vector<SystemConfig>
+matrixConfigs()
+{
+    std::vector<SystemConfig> cfgs;
+    cfgs.push_back(conventionalSystem(8.0, ReplKind::LRU, kScale));
+    cfgs.push_back(conventionalSystem(8.0, ReplKind::Ship, kScale));
+    cfgs.push_back(conventionalSystem(8.0, ReplKind::Redre, kScale));
+    cfgs.push_back(reuseSystem(4.0, 1.0, 16, kScale));
+    cfgs.push_back(ncidSystem(8.0, 1.0, kScale));
+    for (SystemConfig &c : cfgs)
+        c.seed = kSeed;
+    return cfgs;
+}
+
+/** Full-state fingerprint, mirroring tests/test_fanout.cc. */
+std::string
+fingerprint(const Cmp &sim)
+{
+    std::ostringstream os;
+    sim.llc().stats().dumpJson(os);
+    os << "\n";
+    for (std::uint32_t i = 0; i < sim.numCores(); ++i) {
+        sim.core(i).priv().stats().dumpJson(os);
+        os << "\n";
+    }
+    for (const auto &chan : sim.memory().channels()) {
+        chan->stats().dumpJson(os);
+        os << "\n";
+    }
+    for (const auto &mshr : sim.crossbar().mshrs()) {
+        mshr->stats().dumpJson(os);
+        os << "\n";
+    }
+    os << "refs=" << sim.referencesProcessed() << " cycles=" << sim.now()
+       << "\n";
+    return os.str();
+}
+
+std::string
+scratchDir(const std::string &name)
+{
+    return std::string(::testing::TempDir()) + name + "-" +
+           std::to_string(::getpid());
+}
+
+void
+removeTree(const std::string &dir)
+{
+    const std::string cmd = "rm -rf '" + dir + "'";
+    (void)std::system(cmd.c_str());
+}
+
+/** Drive @p fan through the standard warmup+measure window. */
+void
+runWindow(FanoutCmp &fan, Cycle warmup, Cycle measure)
+{
+    fan.run(warmup);
+    fan.beginMeasurement();
+    fan.run(measure);
+}
+
+/** All members' fingerprints, concatenated (order = config order). */
+std::string
+fleetFingerprint(FanoutCmp &fan, std::size_t n)
+{
+    std::string out;
+    for (std::size_t i = 0; i < n; ++i)
+        out += fingerprint(fan.member(i));
+    return out;
+}
+
+/**
+ * The executeFanout cold/warm protocol in miniature: look up, take the
+ * key lease on a miss, re-look-up, then capture-and-store or replay.
+ * Returns the fleet fingerprint either way (they must never differ).
+ */
+std::string
+runViaProtocol(const std::string &dir,
+               const std::vector<SystemConfig> &cfgs, Cycle warmup,
+               Cycle measure, bool *was_warm = nullptr)
+{
+    FeedCache fc(dir);
+    const FeedKey key =
+        feedKeyOf(cfgs.front(), testMix(), kSeed, kScale, warmup, measure);
+    std::shared_ptr<const FeedBlob> blob = fc.lookup(key);
+    std::unique_ptr<FeedKeyLease> lease;
+    if (!blob) {
+        lease = fc.lockKey(key.digest);
+        blob = fc.lookup(key);
+    }
+    if (was_warm)
+        *was_warm = blob != nullptr;
+    const bool capture = blob == nullptr;
+    FanoutCmp fan(cfgs, mixFactory(), blob, capture);
+    runWindow(fan, warmup, measure);
+    if (capture)
+        fc.store(key, fan.sharedFeed());
+    return fleetFingerprint(fan, cfgs.size());
+}
+
+// ---------------------------------------------------------------------
+// Warm-vs-cold bitwise identity
+// ---------------------------------------------------------------------
+
+TEST(FeedCacheTest, WarmReplayBitIdenticalToColdCapture)
+{
+    const std::string dir = scratchDir("rc-feed-identity");
+    removeTree(dir);
+    const std::vector<SystemConfig> cfgs = matrixConfigs();
+
+    FeedCache fc(dir);
+    const FeedKey key = feedKeyOf(cfgs.front(), testMix(), kSeed, kScale,
+                                  kWarmup, kMeasure);
+    EXPECT_EQ(fc.lookup(key), nullptr) << "fresh dir should miss";
+
+    FanoutCmp cold(cfgs, mixFactory(), nullptr, /*capture=*/true);
+    runWindow(cold, kWarmup, kMeasure);
+    fc.store(key, cold.sharedFeed());
+    EXPECT_EQ(fc.size(), 1u);
+
+    const std::shared_ptr<const FeedBlob> blob = fc.lookup(key);
+    ASSERT_NE(blob, nullptr) << "stored key must hit";
+    EXPECT_EQ(blob->numCores(), cfgs.front().numCores);
+
+    FanoutCmp warm(cfgs, mixFactory(), blob);
+    EXPECT_TRUE(warm.sharedFeed().warm());
+    EXPECT_FALSE(warm.sharedFeed().capturing());
+    runWindow(warm, kWarmup, kMeasure);
+
+    for (std::size_t i = 0; i < cfgs.size(); ++i) {
+        EXPECT_EQ(fingerprint(cold.member(i)), fingerprint(warm.member(i)))
+            << "member " << i << " diverged when replaying the blob";
+    }
+
+    const FeedCacheStats st = fc.stats();
+    EXPECT_EQ(st.stores, 1u);
+    EXPECT_EQ(st.hits, 1u);
+    EXPECT_GE(st.misses, 1u);
+    removeTree(dir);
+}
+
+// ---------------------------------------------------------------------
+// Mid-run checkpoints off a warm feed
+// ---------------------------------------------------------------------
+
+TEST(FeedCacheTest, WarmCheckpointsByteIdenticalToCold)
+{
+    const std::string dir = scratchDir("rc-feed-ckpt");
+    removeTree(dir);
+    std::vector<SystemConfig> cfgs;
+    cfgs.push_back(conventionalSystem(8.0, ReplKind::LRU, kScale));
+    cfgs.push_back(reuseSystem(4.0, 1.0, 16, kScale));
+    for (SystemConfig &c : cfgs)
+        c.seed = kSeed;
+    constexpr std::uint64_t kCkptEvery = 30'000;
+
+    auto capture = [](std::vector<std::vector<std::uint8_t>> &dst) {
+        return [&dst](const Cmp &c, Cycle) {
+            Serializer s;
+            c.save(s);
+            dst.push_back(s.image());
+        };
+    };
+
+    FeedCache fc(dir);
+    const FeedKey key = feedKeyOf(cfgs.front(), testMix(), kSeed, kScale,
+                                  kWarmup, kMeasure);
+
+    std::vector<std::vector<std::vector<std::uint8_t>>> coldCk(cfgs.size());
+    FanoutCmp cold(cfgs, mixFactory(), nullptr, /*capture=*/true);
+    for (std::size_t i = 0; i < cfgs.size(); ++i)
+        cold.member(i).setSnapshotHook(kCkptEvery, capture(coldCk[i]));
+    runWindow(cold, kWarmup, kMeasure);
+    fc.store(key, cold.sharedFeed());
+
+    const auto blob = fc.lookup(key);
+    ASSERT_NE(blob, nullptr);
+    std::vector<std::vector<std::vector<std::uint8_t>>> warmCk(cfgs.size());
+    FanoutCmp warm(cfgs, mixFactory(), blob);
+    for (std::size_t i = 0; i < cfgs.size(); ++i)
+        warm.member(i).setSnapshotHook(kCkptEvery, capture(warmCk[i]));
+    runWindow(warm, kWarmup, kMeasure);
+
+    for (std::size_t i = 0; i < cfgs.size(); ++i) {
+        ASSERT_FALSE(coldCk[i].empty())
+            << "checkpoint cadence never fired; raise kMeasure";
+        ASSERT_EQ(coldCk[i].size(), warmCk[i].size()) << "member " << i;
+        for (std::size_t k = 0; k < coldCk[i].size(); ++k) {
+            EXPECT_EQ(coldCk[i][k], warmCk[i][k])
+                << "checkpoint " << k << " of member " << i
+                << " differs between cold capture and warm replay";
+        }
+    }
+    removeTree(dir);
+}
+
+// ---------------------------------------------------------------------
+// Key derivation
+// ---------------------------------------------------------------------
+
+TEST(FeedCacheTest, KeySensitivity)
+{
+    const SystemConfig conv =
+        conventionalSystem(8.0, ReplKind::LRU, kScale);
+    const Mix mix = testMix();
+    const FeedKey base =
+        feedKeyOf(conv, mix, kSeed, kScale, kWarmup, kMeasure);
+
+    // SLLC-only differences share the front end, so they MUST share the
+    // key — that sharing is the entire point of the cache.
+    for (const SystemConfig &peer :
+         {conventionalSystem(8.0, ReplKind::Ship, kScale),
+          conventionalSystem(4.0, ReplKind::NRU, kScale),
+          reuseSystem(4.0, 1.0, 16, kScale),
+          ncidSystem(8.0, 1.0, kScale)}) {
+        ASSERT_TRUE(FanoutCmp::samePrivatePrefix(conv, peer));
+        const FeedKey k =
+            feedKeyOf(peer, mix, kSeed, kScale, kWarmup, kMeasure);
+        EXPECT_EQ(k.bytes, base.bytes);
+        EXPECT_EQ(k.digest, base.digest);
+    }
+
+    // Anything that reshapes reference generation or private-hierarchy
+    // classification must change the key.
+    auto expectDiffers = [&](const FeedKey &k, const char *what) {
+        EXPECT_NE(k.bytes, base.bytes) << what;
+        EXPECT_NE(k.digest, base.digest) << what;
+    };
+    expectDiffers(
+        feedKeyOf(conv, mix, kSeed + 1, kScale, kWarmup, kMeasure),
+        "seed");
+    expectDiffers(feedKeyOf(conv, mix, kSeed, 4, kWarmup, kMeasure),
+                  "scale");
+    expectDiffers(
+        feedKeyOf(conv, mix, kSeed, kScale, kWarmup + 1, kMeasure),
+        "warmup");
+    expectDiffers(
+        feedKeyOf(conv, mix, kSeed, kScale, kWarmup, kMeasure + 1),
+        "measure");
+    Mix other = mix;
+    other.apps[0] = "milc";
+    expectDiffers(feedKeyOf(conv, other, kSeed, kScale, kWarmup, kMeasure),
+                  "mix");
+    SystemConfig bigL2 = conv;
+    bigL2.priv.l2Bytes *= 2;
+    expectDiffers(
+        feedKeyOf(bigL2, mix, kSeed, kScale, kWarmup, kMeasure),
+        "private prefix (L2 bytes)");
+}
+
+// ---------------------------------------------------------------------
+// Corruption demotion matrix
+// ---------------------------------------------------------------------
+
+TEST(FeedCacheTest, CorruptBlobDemotesToVerifiedRecompute)
+{
+    std::vector<SystemConfig> cfgs;
+    cfgs.push_back(conventionalSystem(8.0, ReplKind::LRU, kScale));
+    cfgs.push_back(reuseSystem(4.0, 1.0, 16, kScale));
+    for (SystemConfig &c : cfgs)
+        c.seed = kSeed;
+    constexpr Cycle kW = 20'000, kM = 60'000;
+
+    for (const FaultClass cls : {FaultClass::FeedTruncate,
+                                 FaultClass::FeedFlip,
+                                 FaultClass::FeedVersion}) {
+        SCOPED_TRACE(toString(cls));
+        EXPECT_TRUE(isServiceFault(cls));
+        EXPECT_EQ(detectedBy(cls, LlcKind::Conventional),
+                  Invariant::FeedIntegrity);
+        EXPECT_EQ(detectedBy(cls, LlcKind::Reuse),
+                  Invariant::FeedIntegrity);
+
+        const std::string dir =
+            scratchDir(std::string("rc-feed-") + toString(cls));
+        removeTree(dir);
+        const FeedKey key =
+            feedKeyOf(cfgs.front(), testMix(), kSeed, kScale, kW, kM);
+        std::string pristine;
+        {
+            FeedCache fc(dir);
+            FanoutCmp cold(cfgs, mixFactory(), nullptr, /*capture=*/true);
+            runWindow(cold, kW, kM);
+            fc.store(key, cold.sharedFeed());
+            pristine = fleetFingerprint(cold, cfgs.size());
+        }
+
+        FaultInjector injector(kSeed);
+        FeedCache fc(dir);
+        const std::string path = fc.blobPath(key.digest);
+        ASSERT_TRUE(injector.corruptFeedBlob(path, cls));
+
+        // The damaged blob must demote to a miss and be unlinked —
+        // never replayed.
+        EXPECT_EQ(fc.lookup(key), nullptr);
+        EXPECT_EQ(fc.stats().corruptDropped, 1u);
+        EXPECT_NE(::access(path.c_str(), F_OK), 0)
+            << "corrupt blob left on disk";
+
+        // The demoted key recomputes bit-identically and re-stores.
+        bool warm = true;
+        const std::string recomputed =
+            runViaProtocol(dir, cfgs, kW, kM, &warm);
+        EXPECT_FALSE(warm) << "recompute should not have found a blob";
+        EXPECT_EQ(recomputed, pristine);
+        // A fresh instance (fc's in-memory view predates the re-store):
+        // the recompute must have landed a replayable blob.
+        FeedCache after(dir);
+        EXPECT_NE(after.lookup(key), nullptr)
+            << "recompute should have re-stored the blob";
+        removeTree(dir);
+    }
+}
+
+TEST(FeedCacheTest, InjectorRejectsNonFeedClassesAndMissingBlobs)
+{
+    FaultInjector injector(kSeed);
+    EXPECT_FALSE(injector.corruptFeedBlob("/nonexistent/feed.bin",
+                                          FaultClass::FeedFlip));
+    EXPECT_FALSE(injector.corruptFeedBlob("/nonexistent/feed.bin",
+                                          FaultClass::TagStateFlip));
+
+    // The --inject spellings round-trip like every other class.
+    for (const FaultClass cls : {FaultClass::FeedTruncate,
+                                 FaultClass::FeedFlip,
+                                 FaultClass::FeedVersion}) {
+        FaultClass parsed;
+        ASSERT_TRUE(faultClassFromName(toString(cls), parsed));
+        EXPECT_EQ(parsed, cls);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Two processes racing one cold key
+// ---------------------------------------------------------------------
+
+TEST(FeedCacheTest, ColdKeyRaceSerializesViaFlock)
+{
+    const std::string dir = scratchDir("rc-feed-race");
+    removeTree(dir);
+    std::vector<SystemConfig> cfgs;
+    cfgs.push_back(conventionalSystem(8.0, ReplKind::LRU, kScale));
+    cfgs.push_back(reuseSystem(4.0, 1.0, 16, kScale));
+    for (SystemConfig &c : cfgs)
+        c.seed = kSeed;
+    constexpr Cycle kW = 20'000, kM = 60'000;
+
+    // mkdir up front so both racers open the same directory.
+    { FeedCache fc(dir); }
+    const std::string childFp = dir + "/child.fp";
+
+    const pid_t pid = ::fork();
+    ASSERT_NE(pid, -1);
+    if (pid == 0) {
+        // Child: run the cold/warm protocol and report its fingerprint;
+        // no gtest assertions on this side of the fork.
+        const std::string fp = runViaProtocol(dir, cfgs, kW, kM);
+        std::FILE *f = std::fopen(childFp.c_str(), "w");
+        if (!f)
+            ::_exit(2);
+        std::fwrite(fp.data(), 1, fp.size(), f);
+        std::fclose(f);
+        ::_exit(0);
+    }
+
+    const std::string parentFp = runViaProtocol(dir, cfgs, kW, kM);
+    int status = 0;
+    ASSERT_EQ(::waitpid(pid, &status, 0), pid);
+    ASSERT_TRUE(WIFEXITED(status) && WEXITSTATUS(status) == 0)
+        << "child racer failed";
+
+    std::string childResult;
+    {
+        std::FILE *f = std::fopen(childFp.c_str(), "r");
+        ASSERT_NE(f, nullptr);
+        char buf[4096];
+        std::size_t n;
+        while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0)
+            childResult.append(buf, n);
+        std::fclose(f);
+    }
+    EXPECT_EQ(childResult, parentFp)
+        << "racers disagreed on the simulated state";
+
+    // However the race went, the dir holds exactly the one blob and a
+    // fresh lookup replays it.
+    FeedCache fc(dir);
+    EXPECT_EQ(fc.size(), 1u);
+    const FeedKey key =
+        feedKeyOf(cfgs.front(), testMix(), kSeed, kScale, kW, kM);
+    EXPECT_NE(fc.lookup(key), nullptr);
+
+    bool warm = false;
+    const std::string replayed = runViaProtocol(dir, cfgs, kW, kM, &warm);
+    EXPECT_TRUE(warm);
+    EXPECT_EQ(replayed, parentFp);
+    removeTree(dir);
+}
+
+} // namespace

@@ -15,8 +15,11 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdlib>
+
 #include "cache/replacement.hh"
 #include "harness.hh"
+#include "sim/feed_cache.hh"
 #include "sim/system_config.hh"
 #include "workloads/mixes.hh"
 
@@ -162,6 +165,48 @@ TEST(HarnessFanout, RunMixFanoutMatchesRunMix)
         std::snprintf(what, sizeof(what), "config %zu", i);
         expectIdentical(ref, fanned[i], what);
     }
+}
+
+/**
+ * Feed-cached sweeps through the harness wiring (opt.feedCacheDir):
+ * the cold capturing sweep and the warm replaying sweep must both be
+ * bit-identical to a feed-free sweep, and the second sweep must
+ * actually hit the blob the first one stored.
+ */
+TEST(HarnessFanout, FeedCachedSweepMatchesPlain)
+{
+    const auto plainOpt = smokeOptions(1);
+    const auto mixes = makeMixes(plainOpt.mixCount, 8, 7);
+    const auto cfgs = sllcMatrix(plainOpt.scale);
+    bench::clearBaselineMemoForTest();
+    const auto plain = bench::runConfigsOverMixes(cfgs, mixes, plainOpt);
+
+    auto opt = plainOpt;
+    opt.feedCacheDir = ::testing::TempDir() + "rc-harness-feedcache";
+    const std::string rm = "rm -rf '" + opt.feedCacheDir + "'";
+    (void)std::system(rm.c_str());
+
+    bench::clearBaselineMemoForTest();
+    const auto cold = bench::runConfigsOverMixes(cfgs, mixes, opt);
+    const auto fc = FeedCache::open(opt.feedCacheDir);
+    EXPECT_EQ(fc->size(), mixes.size()) << "one blob per mix expected";
+    const auto statsAfterCold = fc->stats();
+    EXPECT_EQ(statsAfterCold.stores, mixes.size());
+
+    bench::clearBaselineMemoForTest();
+    const auto warm = bench::runConfigsOverMixes(cfgs, mixes, opt);
+    EXPECT_EQ(fc->stats().hits, statsAfterCold.hits + mixes.size())
+        << "warm sweep should replay every mix's blob";
+
+    for (std::size_t i = 0; i < cfgs.size(); ++i) {
+        for (std::size_t m = 0; m < mixes.size(); ++m) {
+            char what[64];
+            std::snprintf(what, sizeof(what), "config %zu mix %zu", i, m);
+            expectIdentical(plain[i][m], cold[i][m], what);
+            expectIdentical(plain[i][m], warm[i][m], what);
+        }
+    }
+    (void)std::system(rm.c_str());
 }
 
 /**

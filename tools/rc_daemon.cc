@@ -94,7 +94,13 @@ const char *usage =
     "  --rlimit-as-mb=N     RLIMIT_AS megabytes per worker child "
     "(default 0 = uncapped; needs --isolate)\n"
     "  --poison-threshold=K distinct worker kills before a request is "
-    "quarantined (default 3; needs --isolate)\n";
+    "quarantined (default 3; needs --isolate)\n"
+    "  --feed-cache=DIR     persistent front-end feed cache: misses "
+    "whose private prefix,\n"
+    "                       mix and windows were seen before replay the "
+    "classified record\n"
+    "                       stream instead of re-simulating the front "
+    "end (default off)\n";
 
 } // namespace
 
@@ -136,6 +142,8 @@ main(int argc, char **argv)
         } else if (const char *v = value("--poison-threshold=")) {
             cfg.poisonThreshold =
                 static_cast<std::uint32_t>(std::atoi(v));
+        } else if (const char *v = value("--feed-cache=")) {
+            cfg.feedCacheDir = v;
         } else if (arg == "--help") {
             std::fputs(usage, stdout);
             return 0;
@@ -160,10 +168,12 @@ main(int argc, char **argv)
         installHandler(SIGCHLD, onChild);
 
     rc::svc::Daemon daemon(
-        cfg, [](const rc::svc::RunRequest &req,
-                const std::atomic<bool> *abort,
-                std::atomic<std::uint64_t> *heartbeat) {
-            return rc::bench::simulateRequest(req, abort, heartbeat);
+        cfg, [feedDir = cfg.feedCacheDir](
+                 const rc::svc::RunRequest &req,
+                 const std::atomic<bool> *abort,
+                 std::atomic<std::uint64_t> *heartbeat) {
+            return rc::bench::simulateRequest(req, abort, heartbeat,
+                                              feedDir);
         });
     try {
         daemon.start();
